@@ -1,0 +1,29 @@
+// Ablation: worker-pool width per server (DESIGN.md item 3). The worker
+// count is the server's parallel I/O depth; both engines gain from more
+// workers, but the async engine can also overlap steps.
+#include "bench/bench_util.h"
+
+using namespace gt;
+using namespace gt::bench;
+
+int main() {
+  PrintHeader("Ablation: workers per server, 8-step RMAT-1, 8 servers",
+              "Sync-GT vs GraphTrek at varying per-server I/O parallelism");
+
+  graph::Catalog catalog;
+  BenchConfig base;
+  graph::RefGraph g = BuildRmat1(&catalog, base);
+  const auto plan = HopPlan(&catalog, kBenchSource, 8);
+
+  std::printf("%-10s %12s %12s\n", "workers", "Sync-GT", "GraphTrek");
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    BenchConfig cfg = base;
+    cfg.workers_per_server = workers;
+    BenchCluster cluster(8, cfg, &catalog, g);
+    const double sync_ms = cluster.Run(plan, engine::EngineMode::kSync);
+    const double gt_ms = cluster.Run(plan, engine::EngineMode::kGraphTrek);
+    std::printf("%-10u %9.1f ms %9.1f ms\n", workers, sync_ms, gt_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 8 reproduction: 2-step graph traversal on RMAT-1, Sync-GT vs
+// GraphTrek across 2-32 servers. Claim shape: with few steps and few
+// servers, the synchronous engine can win (short traversals give the
+// asynchronous engine little to optimize).
+#include "bench/fig_step_scaling.h"
+
+int main() {
+  return gt::bench::RunStepScalingFigure(
+      "Figure 8: 2-step traversal on RMAT-1", 2,
+      "with smaller steps and fewer servers Sync-GT actually performs better");
+}

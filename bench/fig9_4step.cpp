@@ -1,0 +1,10 @@
+// Figure 9 reproduction: 4-step graph traversal on RMAT-1, Sync-GT vs
+// GraphTrek across 2-32 servers. Claim shape: GraphTrek's relative
+// performance improves as servers (and straggler potential) grow.
+#include "bench/fig_step_scaling.h"
+
+int main() {
+  return gt::bench::RunStepScalingFigure(
+      "Figure 9: 4-step traversal on RMAT-1", 4,
+      "GraphTrek's relative performance improves with more servers");
+}

@@ -1,0 +1,31 @@
+// Shared driver for Figures 8/9/10: N-step traversal on RMAT-1, Sync-GT vs
+// GraphTrek across 2-32 servers.
+#pragma once
+
+#include "bench/bench_util.h"
+
+namespace gt::bench {
+
+inline int RunStepScalingFigure(const char* title, uint32_t steps,
+                                const char* paper_note) {
+  PrintHeader(title, "elapsed ms, Sync-GT vs GraphTrek (scaled-down graph)");
+
+  BenchConfig cfg;
+  graph::Catalog catalog;
+  graph::RefGraph g = BuildRmat1(&catalog, cfg);
+  const auto plan = HopPlan(&catalog, kBenchSource, steps);
+
+  std::printf("%-8s %12s %12s %10s\n", "servers", "Sync-GT", "GraphTrek", "speedup");
+  for (uint32_t servers : {2u, 4u, 8u, 16u, 32u}) {
+    BenchCluster cluster(servers, cfg, &catalog, g);
+    const double sync_ms = cluster.RunAveraged(plan, engine::EngineMode::kSync, cfg.runs);
+    const double gt_ms = cluster.RunAveraged(plan, engine::EngineMode::kGraphTrek, cfg.runs);
+    std::printf("%-8u %9.1f ms %9.1f ms %9.2fx\n", servers, sync_ms, gt_ms,
+                sync_ms / gt_ms);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: %s\n", paper_note);
+  return 0;
+}
+
+}  // namespace gt::bench

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the graph storage layer: vertex
+// writes/reads, per-type edge scans, type-index scans and text export.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/graph/graph_store.h"
+#include "src/graph/text_io.h"
+#include "src/gen/rmat.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using namespace gt;
+using namespace gt::graph;
+
+std::unique_ptr<GraphStore> OpenStore(const gt::testing::ScopedTempDir& dir) {
+  auto store = GraphStore::Open(dir.sub("store"), GraphStoreOptions{});
+  if (!store.ok()) std::abort();
+  return std::move(*store);
+}
+
+void BM_GraphPutVertex(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto store = OpenStore(dir);
+  PropMap props;
+  props.Set(1, PropValue(std::string(static_cast<size_t>(state.range(0)), 'a')));
+  uint64_t vid = 0;
+  for (auto _ : state) {
+    VertexRecord v;
+    v.id = vid++;
+    v.label = 1;
+    v.props = props;
+    benchmark::DoNotOptimize(store->PutVertex(v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphPutVertex)->Arg(64)->Arg(512);
+
+void BM_GraphGetVertex(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto store = OpenStore(dir);
+  const int n = 10000;
+  for (int i = 0; i < n; i++) {
+    VertexRecord v;
+    v.id = static_cast<VertexId>(i);
+    v.label = 1;
+    v.props.Set(1, PropValue(std::string(128, 'a')));
+    store->PutVertex(v).ok();
+  }
+  store->Flush().ok();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->GetVertex(rng.Uniform(n)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphGetVertex);
+
+void BM_GraphScanEdgesByType(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto store = OpenStore(dir);
+  // 256 vertices x `range` edges per type x 3 types.
+  const int degree = static_cast<int>(state.range(0));
+  for (VertexId src = 0; src < 256; src++) {
+    for (LabelId label = 0; label < 3; label++) {
+      for (int e = 0; e < degree; e++) {
+        EdgeRecord rec;
+        rec.src = src;
+        rec.label = label;
+        rec.dst = static_cast<VertexId>(1000 + e);
+        store->PutEdge(rec).ok();
+      }
+    }
+  }
+  store->Flush().ok();
+  Rng rng(1);
+  for (auto _ : state) {
+    int count = 0;
+    store->ScanEdges(rng.Uniform(256), 1, [&](VertexId, const PropMap&) {
+      count++;
+      return true;
+    }).ok();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_GraphScanEdgesByType)->Arg(8)->Arg(64);
+
+void BM_GraphTypeIndexScan(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto store = OpenStore(dir);
+  for (VertexId v = 0; v < 8192; v++) {
+    VertexRecord rec;
+    rec.id = v;
+    rec.label = static_cast<LabelId>(v % 8);
+    store->PutVertex(rec).ok();
+  }
+  store->Flush().ok();
+  for (auto _ : state) {
+    int count = 0;
+    store->ScanVerticesByType(3, [&](VertexId) {
+      count++;
+      return true;
+    }).ok();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_GraphTypeIndexScan);
+
+void BM_TextExport(benchmark::State& state) {
+  Catalog catalog;
+  gen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.avg_degree = 4;
+  cfg.attr_bytes = 32;
+  gen::RmatGenerator rmat(cfg);
+  RefGraph g = rmat.Build(&catalog);
+  for (auto _ : state) {
+    std::ostringstream out;
+    ExportText(g, catalog, &out).ok();
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TextExport)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the embedded KV store: writes,
+// point reads, prefix scans, flush and compaction. Component regression
+// benches, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/kv/db.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using namespace gt;
+using namespace gt::kv;
+
+std::string Key(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_KvPut(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto db = DB::Open(dir.sub("db"), DBOptions{});
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Put(Key(i++), value));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_KvPut)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KvGetHit(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto db = DB::Open(dir.sub("db"), DBOptions{});
+  const int n = 10000;
+  for (int i = 0; i < n; i++) (*db)->Put(Key(i), std::string(128, 'v')).ok();
+  (*db)->Flush().ok();
+  Rng rng(1);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Get(Key(rng.Uniform(n)), &value));
+  }
+}
+BENCHMARK(BM_KvGetHit);
+
+void BM_KvGetMissBloom(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto db = DB::Open(dir.sub("db"), DBOptions{});
+  for (int i = 0; i < 10000; i++) (*db)->Put(Key(i), "v").ok();
+  (*db)->Flush().ok();
+  Rng rng(1);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Get(Key(1000000 + rng.Uniform(1000000)), &value));
+  }
+}
+BENCHMARK(BM_KvGetMissBloom);
+
+void BM_KvPrefixScan(benchmark::State& state) {
+  gt::testing::ScopedTempDir dir;
+  auto db = DB::Open(dir.sub("db"), DBOptions{});
+  // 128 groups of `range` adjacent keys, like edges grouped under a vertex.
+  const int group = static_cast<int>(state.range(0));
+  for (int g = 0; g < 128; g++) {
+    for (int i = 0; i < group; i++) {
+      (*db)->Put("g" + std::to_string(1000 + g) + "/" + Key(i), std::string(64, 'e')).ok();
+    }
+  }
+  (*db)->Flush().ok();
+  Rng rng(1);
+  for (auto _ : state) {
+    int count = 0;
+    (*db)->ScanPrefix("g" + std::to_string(1000 + rng.Uniform(128)) + "/",
+                      [&](Slice, Slice) {
+                        count++;
+                        return true;
+                      })
+        .ok();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * group);
+}
+BENCHMARK(BM_KvPrefixScan)->Arg(8)->Arg(64);
+
+void BM_KvCompactAll(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    gt::testing::ScopedTempDir dir;
+    DBOptions opts;
+    opts.background_compaction = false;
+    auto db = DB::Open(dir.sub("db"), opts);
+    for (int round = 0; round < 4; round++) {
+      for (int i = 0; i < 2000; i++) (*db)->Put(Key(i), std::string(64, 'v')).ok();
+      (*db)->Flush().ok();
+    }
+    state.ResumeTiming();
+    (*db)->CompactAll().ok();
+  }
+}
+BENCHMARK(BM_KvCompactAll)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table III reproduction: "Performance comparison on Darshan graph".
+// The suspicious-user audit query on the rich-metadata graph, 32 servers:
+//
+//   GTravel.v(suspectUser).e('run').ea('ts',RANGE,[ts,te])  // select jobs
+//          .e('hasExecutions')                              // executions
+//          .e('write')                                      // outputs
+//          .e('readBy')                                     // executions
+//          .e('write').rtn()                                // their outputs
+//
+// Paper (ms, 32 servers, real graph):  Sync-GT 3575 | Async-GT 4159 |
+// GraphTrek 2839. Claim shape: GraphTrek < Sync-GT < Async-GT.
+#include "bench/bench_util.h"
+#include "src/gen/darshan.h"
+
+using namespace gt;
+using namespace gt::bench;
+
+int main() {
+  PrintHeader("Table III: suspicious-user audit query on the Darshan-style graph",
+              "5-hop heterogeneous traversal with rtn(), 32 servers");
+
+  graph::Catalog catalog;
+  gen::DarshanConfig dcfg;
+  dcfg.users = 96;
+  dcfg.jobs_per_user_max = 48;
+  dcfg.execs_per_job_max = 12;
+  dcfg.files = 8192;
+  dcfg.seed = 2013;
+  gen::DarshanGenerator generator(dcfg);
+  graph::RefGraph g = generator.Build(&catalog);
+  std::printf("graph: %zu vertices, %zu edges\n\n", g.num_vertices(), g.num_edges());
+
+  auto plan = lang::GTravel(&catalog)
+                  .v({generator.UserVid(7)})  // the "randomized user"
+                  .e("run")
+                  .ea("ts", lang::FilterOp::kRange,
+                      {graph::PropValue(dcfg.ts_begin), graph::PropValue(dcfg.ts_end)})
+                  .e("hasExecutions")
+                  .e("write")
+                  .e("readBy")
+                  .e("write")
+                  .rtn()
+                  .Build();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  BenchConfig cfg;
+  std::printf("%-8s %12s %12s %12s\n", "servers", "Sync-GT", "Async-GT", "GraphTrek");
+  for (uint32_t servers : {8u, 16u, 32u}) {
+    BenchCluster cluster(servers, cfg, &catalog, g);
+    const double sync_ms = cluster.Run(*plan, engine::EngineMode::kSync);
+    const double async_ms = cluster.Run(*plan, engine::EngineMode::kAsyncPlain);
+    const double gt_ms = cluster.Run(*plan, engine::EngineMode::kGraphTrek);
+    std::printf("%-8u %9.1f ms %9.1f ms %9.1f ms\n", servers, sync_ms, async_ms, gt_ms);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper reference @32 servers (ms): Sync-GT 3575 | Async-GT 4159 | "
+              "GraphTrek 2839\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Timing helpers: a monotonic stopwatch and microsecond timestamps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gt {
+
+inline uint64_t NowMicros() {
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Restart() { start_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedMicros()) / 1e3; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedMicros()) / 1e6; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace gt

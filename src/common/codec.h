@@ -1,0 +1,244 @@
+// Binary codecs shared by the KV store (order-preserving big-endian keys),
+// the RPC wire format (varints, length-prefixed fields) and the graph
+// property encoding.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace gt {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian (values inside records; fast memcpy on LE hosts).
+// ---------------------------------------------------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width big-endian (order-preserving: memcmp on encoded bytes matches
+// numeric order). Used for all KV key components.
+// ---------------------------------------------------------------------------
+
+inline void PutFixed32BE(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v >> 24);
+  buf[1] = static_cast<char>(v >> 16);
+  buf[2] = static_cast<char>(v >> 8);
+  buf[3] = static_cast<char>(v);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64BE(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) buf[i] = static_cast<char>(v >> (56 - 8 * i));
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32BE(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return (uint32_t{u[0]} << 24) | (uint32_t{u[1]} << 16) | (uint32_t{u[2]} << 8) |
+         uint32_t{u[3]};
+}
+
+inline uint64_t DecodeFixed64BE(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v = (v << 8) | u[i];
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128) and zigzag for signed values.
+// ---------------------------------------------------------------------------
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutVarSigned64(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigZagEncode64(v));
+}
+
+// A cursor over an immutable byte range used for decoding. All Get* methods
+// return false (without advancing past the end) on truncated input.
+class Decoder {
+ public:
+  Decoder(const char* p, size_t n) : p_(p), end_(p + n) {}
+  explicit Decoder(std::string_view s) : Decoder(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool empty() const { return p_ == end_; }
+  const char* data() const { return p_; }
+
+  bool GetFixed32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = DecodeFixed32(p_);
+    p_ += 4;
+    return true;
+  }
+  bool GetFixed64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = DecodeFixed64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool GetFixed32BE(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = DecodeFixed32BE(p_);
+    p_ += 4;
+    return true;
+  }
+  bool GetFixed64BE(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = DecodeFixed64BE(p_);
+    p_ += 8;
+    return true;
+  }
+
+  bool GetVarint32(uint32_t* v) {
+    uint64_t x;
+    if (!GetVarint64(&x) || x > UINT32_MAX) return false;
+    *v = static_cast<uint32_t>(x);
+    return true;
+  }
+
+  bool GetVarint64(uint64_t* v) {
+    uint64_t result = 0;
+    int shift = 0;
+    const char* p = p_;
+    while (p < end_ && shift <= 63) {
+      uint64_t byte = static_cast<unsigned char>(*p);
+      p++;
+      if (byte & 0x80) {
+        result |= (byte & 0x7f) << shift;
+      } else {
+        result |= byte << shift;
+        *v = result;
+        p_ = p;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;
+  }
+
+  bool GetVarSigned64(int64_t* v) {
+    uint64_t x;
+    if (!GetVarint64(&x)) return false;
+    *v = ZigZagDecode64(x);
+    return true;
+  }
+
+  bool GetBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return false;
+    *out = std::string_view(p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::string_view* out) {
+    uint32_t len;
+    if (!GetVarint32(&len)) return false;
+    return GetBytes(len, out);
+  }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    p_ += n;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C (software, slice-by-1 table). Used by the WAL and table footers.
+// ---------------------------------------------------------------------------
+
+class Crc32c {
+ public:
+  static uint32_t Compute(const char* data, size_t n, uint32_t seed = 0) {
+    const uint32_t* table = Table();
+    uint32_t crc = ~seed;
+    const auto* p = reinterpret_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; i++) crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+  }
+  static uint32_t Compute(std::string_view s) { return Compute(s.data(), s.size()); }
+
+ private:
+  static const uint32_t* Table() {
+    static const uint32_t* t = [] {
+      static uint32_t table[256];
+      const uint32_t poly = 0x82f63b78;  // CRC-32C (Castagnoli), reflected
+      for (uint32_t i = 0; i < 256; i++) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; k++) c = (c & 1) ? poly ^ (c >> 1) : c >> 1;
+        table[i] = c;
+      }
+      return table;
+    }();
+    return t;
+  }
+};
+
+}  // namespace gt

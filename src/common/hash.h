@@ -1,0 +1,40 @@
+// Hashing utilities: a 64-bit mixer (splitmix64 finalizer) for partitioning
+// and cache keys, and a bytes hash (FNV-1a with avalanche) for bloom filters
+// and string interning.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace gt {
+
+// High-quality 64-bit integer mixer. Suitable for hash-partitioning vertex
+// ids: consecutive ids land on uncorrelated servers.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over bytes, finished with Mix64 for avalanche.
+inline uint64_t HashBytes(const char* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashBytes(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace gt

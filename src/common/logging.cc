@@ -1,0 +1,32 @@
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace gt {
+
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
+
+namespace {
+const char* LevelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+std::mutex g_log_mu;
+}  // namespace
+
+void Logger::Write(LogLevel lvl, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch());
+  std::lock_guard<std::mutex> lk(g_log_mu);
+  std::fprintf(stderr, "[%11.6f] [%s] %s\n", static_cast<double>(now.count()) / 1e6,
+               LevelName(lvl), msg.c_str());
+}
+
+}  // namespace gt

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Level is a process
+// global so tests and benches can silence the engine.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace gt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel Level() { return level_.load(std::memory_order_relaxed); }
+  static void SetLevel(LogLevel lvl) { level_.store(lvl, std::memory_order_relaxed); }
+
+  // Writes one formatted line: "[ts] [LEVEL] msg".
+  static void Write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static std::atomic<LogLevel> level_;
+};
+
+namespace log_internal {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel lvl) : lvl_(lvl) {}
+  ~LineBuilder() { Logger::Write(lvl_, os_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace log_internal
+
+}  // namespace gt
+
+#define GT_LOG(lvl)                                        \
+  if (static_cast<int>(::gt::LogLevel::lvl) <              \
+      static_cast<int>(::gt::Logger::Level())) {           \
+  } else                                                   \
+    ::gt::log_internal::LineBuilder(::gt::LogLevel::lvl)
+
+#define GT_DEBUG GT_LOG(kDebug)
+#define GT_INFO GT_LOG(kInfo)
+#define GT_WARN GT_LOG(kWarn)
+#define GT_ERROR GT_LOG(kError)

@@ -1,0 +1,83 @@
+// Deterministic, seedable RNG (xoshiro256**) used by the graph generators
+// and fault injectors. Deterministic across platforms so tests and benches
+// reproduce the same graphs.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "src/common/hash.h"
+
+namespace gt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // Expand the 64-bit seed into 256 bits of state with splitmix64.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      si = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Zipf-distributed value in [0, n) with exponent s (s > 0). Uses rejection
+  // sampling (Jain's method) — O(1) expected time, no precomputed tables.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+inline uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Rejection-inversion sampling after W. Hörmann & G. Derflinger.
+  // Falls back to uniform for degenerate exponents.
+  if (s <= 0.0 || n <= 1) return Uniform(n == 0 ? 1 : n);
+  auto h = [s](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto hinv = [s](double x) {
+    if (s == 1.0) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = hx0 + NextDouble() * (hn - hx0);
+    const double x = hinv(u);
+    const auto k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) continue;
+    if (k > n) continue;
+    const double hk = h(static_cast<double>(k) + 0.5);
+    const double hk1 = h(static_cast<double>(k) - 0.5);
+    // Accept with probability proportional to the true pmf over the envelope.
+    const double pk = std::pow(static_cast<double>(k), -s);
+    if (NextDouble() * (hk - hk1) <= pk) return k - 1;
+  }
+}
+
+}  // namespace gt

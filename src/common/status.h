@@ -1,0 +1,124 @@
+// Status and Result<T>: lightweight error propagation used across all
+// GraphTrek modules. No exceptions cross module boundaries; fallible
+// operations return Status (or Result<T> when they produce a value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gt {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kIOError,
+  kTimeout,
+  kUnavailable,
+  kAborted,
+  kAlreadyExists,
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status Corruption(std::string m = "") { return Status(StatusCode::kCorruption, std::move(m)); }
+  static Status InvalidArgument(std::string m = "") { return Status(StatusCode::kInvalidArgument, std::move(m)); }
+  static Status IOError(std::string m = "") { return Status(StatusCode::kIOError, std::move(m)); }
+  static Status Timeout(std::string m = "") { return Status(StatusCode::kTimeout, std::move(m)); }
+  static Status Unavailable(std::string m = "") { return Status(StatusCode::kUnavailable, std::move(m)); }
+  static Status Aborted(std::string m = "") { return Status(StatusCode::kAborted, std::move(m)); }
+  static Status AlreadyExists(std::string m = "") { return Status(StatusCode::kAlreadyExists, std::move(m)); }
+  static Status Internal(std::string m = "") { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace gt
+
+// Propagate a non-OK status to the caller.
+#define GT_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::gt::Status _st = (expr);               \
+    if (!_st.ok()) return _st;               \
+  } while (0)

@@ -1,0 +1,96 @@
+// Small synchronization primitives used across the engine:
+//  - CountDownLatch: one-shot counter latch.
+//  - Notification: one-shot event.
+//  - BlockingCounter: waits until N outstanding items complete.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace gt {
+
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int64_t count) : count_(count) {}
+
+  void CountDown(int64_t n = 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    count_ -= n;
+    if (count_ <= 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return count_ <= 0; });
+  }
+
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, d, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_;
+};
+
+class Notification {
+ public:
+  void Notify() {
+    std::lock_guard<std::mutex> lk(mu_);
+    notified_ = true;
+    cv_.notify_all();
+  }
+
+  bool HasBeenNotified() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return notified_;
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return notified_; });
+  }
+
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, d, [this] { return notified_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool notified_ = false;
+};
+
+// Tracks a dynamically growing set of outstanding items; Wait() returns when
+// the count returns to zero after at least one Add. Used by bulk ingest.
+class BlockingCounter {
+ public:
+  void Add(int64_t n = 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    outstanding_ += n;
+  }
+
+  void Done(int64_t n = 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    outstanding_ -= n;
+    if (outstanding_ <= 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return outstanding_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t outstanding_ = 0;
+};
+
+}  // namespace gt

@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a FIFO task queue. Used for background KV
+// compaction, bulk graph ingest, and client-side helpers. Backend-server
+// worker threads use their own priority queue (see engine/request_queue.h),
+// not this pool.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  // Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto SubmitWithResult(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    Submit([task] { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until the queue is empty and all in-flight tasks finished.
+  void Wait();
+
+  // Stops accepting tasks, drains the queue, joins all threads. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when tasks arrive / shutdown
+  std::condition_variable idle_cv_;   // signaled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gt

@@ -1,0 +1,1652 @@
+#include "src/engine/backend_server.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/engine/mutation.h"
+#include "src/engine/straggler.h"
+
+namespace gt::engine {
+
+namespace {
+
+constexpr uint32_t kBackwardKeyBit = 0x80000000u;
+constexpr size_t kMaxAbortTombstones = 10000;
+
+std::string EncodeTravelId(TravelId id) {
+  std::string s;
+  PutVarint64(&s, id);
+  return s;
+}
+
+Result<TravelId> DecodeTravelId(std::string_view payload) {
+  Decoder dec(payload);
+  uint64_t id;
+  if (!dec.GetVarint64(&id)) return Status::Corruption("bad travel id payload");
+  return id;
+}
+
+bool RtnAtStep(const lang::TraversalPlan& plan, uint32_t step) {
+  if (step == 0) return plan.start_rtn;
+  return plan.hops[step - 1].rtn;
+}
+
+// Whether a vertex surviving the final step is itself a result.
+bool FinalStepYieldsResults(const lang::TraversalPlan& plan) {
+  const uint32_t last = static_cast<uint32_t>(plan.num_steps());
+  return !plan.has_rtn() || RtnAtStep(plan, last);
+}
+
+// True when results require per-vertex attribution through the answer tree
+// (an rtn() on a non-final step). Plans without intermediate rtn() use the
+// paper's direct protocol: final vertices go straight to the coordinator.
+bool NeedsAttribution(const lang::TraversalPlan& plan) {
+  const uint32_t last = static_cast<uint32_t>(plan.num_steps());
+  if (plan.start_rtn && last > 0) return true;
+  for (size_t i = 0; i + 1 < plan.hops.size(); i++) {
+    if (plan.hops[i].rtn) return true;
+  }
+  return false;
+}
+
+// Smallest rtn-marked step (coordinator stops the sync backward phase there).
+uint32_t MinRtnStep(const lang::TraversalPlan& plan) {
+  if (plan.start_rtn) return 0;
+  for (size_t i = 0; i < plan.hops.size(); i++) {
+    if (plan.hops[i].rtn) return static_cast<uint32_t>(i) + 1;
+  }
+  return static_cast<uint32_t>(plan.num_steps());
+}
+
+// Resolves the type-index label for an unanchored v() start (the validator
+// guarantees a type EQ filter exists).
+graph::LabelId ScanLabelFor(const lang::TraversalPlan& plan, graph::Catalog* catalog) {
+  const graph::Catalog::Id type_key = catalog->Intern("type");
+  for (const auto& f : plan.start_vertex_filters) {
+    if (f.key == type_key && f.op == lang::FilterOp::kEq && !f.values.empty() &&
+        f.values[0].is_string()) {
+      return catalog->Intern(f.values[0].as_string());
+    }
+  }
+  return graph::Catalog::kInvalidId;
+}
+
+}  // namespace
+
+BackendServer::BackendServer(ServerConfig cfg, graph::GraphStore* store,
+                             const graph::Partitioner* partitioner,
+                             graph::Catalog* catalog, rpc::Transport* transport)
+    : cfg_(cfg),
+      store_(store),
+      partitioner_(partitioner),
+      catalog_(catalog),
+      transport_(transport),
+      cache_(cfg.cache_capacity) {}
+
+BackendServer::~BackendServer() { Stop(); }
+
+Status BackendServer::Start() {
+  GT_RETURN_IF_ERROR(transport_->RegisterEndpoint(
+      cfg_.id, [this](rpc::Message&& m) { OnMessage(std::move(m)); }));
+  for (uint32_t i = 0; i < cfg_.workers; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void BackendServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  transport_->UnregisterEndpoint(cfg_.id);
+  stop_.store(true);
+  queue_.Shutdown();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+size_t BackendServer::cache_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
+}
+
+uint64_t BackendServer::cache_evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.evictions();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+const std::vector<lang::Filter>& BackendServer::StepVertexFilters(
+    const lang::TraversalPlan& plan, uint32_t step) const {
+  if (step == 0) return plan.start_vertex_filters;
+  return plan.hops[step - 1].vertex_filters;
+}
+
+bool BackendServer::VertexPassesLocked(const CompiledPlan& cplan,
+                                       const graph::VertexRecord& rec,
+                                       uint32_t step) const {
+  return lang::VertexMatchesAll(StepVertexFilters(cplan.plan, step), rec, *catalog_,
+                                cplan.type_key);
+}
+
+void BackendServer::SendTraceEventLocked(ServerId coordinator, TravelId travel,
+                                         uint32_t step, std::vector<ExecId> ids,
+                                         bool created) {
+  if (ids.empty()) return;
+  ExecEventPayload ev;
+  ev.travel_id = travel;
+  ev.step = step;
+  ev.exec_ids = std::move(ids);
+  rpc::Message m;
+  m.type = created ? rpc::MsgType::kExecCreated : rpc::MsgType::kExecTerminated;
+  m.src = cfg_.id;
+  m.dst = coordinator;
+  m.payload = ev.Encode();
+  transport_->Send(std::move(m)).ok();
+}
+
+// Combined tracing event: registers the downstream executions AND reports
+// the dispatching execution's own termination. Items are buffered per
+// (coordinator, travel) and flushed by size or by the maintenance tick so
+// tracing stays off the traversal's critical path.
+void BackendServer::SendDispatchEventLocked(ServerId coordinator, TravelId travel,
+                                            uint32_t child_step, std::vector<ExecId> children,
+                                            ExecId term_exec, uint32_t term_step) {
+  auto& buf = trace_buffer_[{coordinator, travel}];
+  for (ExecId child : children) {
+    buf.push_back(TraceItem{child, child_step, 1});
+  }
+  buf.push_back(TraceItem{term_exec, term_step, 0});
+  if (buf.size() >= 48) FlushTraceBufferLocked(coordinator, travel);
+}
+
+void BackendServer::FlushTraceBufferLocked(ServerId coordinator, TravelId travel) {
+  auto it = trace_buffer_.find({coordinator, travel});
+  if (it == trace_buffer_.end() || it->second.empty()) return;
+  TraceBatchPayload batch;
+  batch.travel_id = travel;
+  batch.items = std::move(it->second);
+  trace_buffer_.erase(it);
+  rpc::Message m;
+  m.type = rpc::MsgType::kExecDispatched;
+  m.src = cfg_.id;
+  m.dst = coordinator;
+  m.payload = batch.Encode();
+  transport_->Send(std::move(m)).ok();
+}
+
+void BackendServer::FlushAllTraceBuffersLocked() {
+  while (!trace_buffer_.empty()) {
+    auto key = trace_buffer_.begin()->first;
+    FlushTraceBufferLocked(key.first, key.second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void BackendServer::OnMessage(rpc::Message&& msg) {
+  switch (msg.type) {
+    case rpc::MsgType::kSubmitTraversal:
+      HandleSubmit(std::move(msg));
+      break;
+    case rpc::MsgType::kTraverse:
+      HandleTraverse(std::move(msg));
+      break;
+    case rpc::MsgType::kReturnVertices:
+      HandleAnswer(std::move(msg));
+      break;
+    case rpc::MsgType::kExecCreated:
+      HandleExecEvent(std::move(msg), /*created=*/true);
+      break;
+    case rpc::MsgType::kExecTerminated:
+      HandleExecEvent(std::move(msg), /*created=*/false);
+      break;
+    case rpc::MsgType::kExecDispatched:
+      HandleExecEvent(std::move(msg), /*created=*/true);  // batch; flag unused
+      break;
+    case rpc::MsgType::kProgressRequest:
+      HandleProgress(std::move(msg));
+      break;
+    case rpc::MsgType::kAbortTraversal:
+      HandleAbort(std::move(msg));
+      break;
+    case rpc::MsgType::kSyncStepStart:
+      HandleSyncStepStart(std::move(msg));
+      break;
+    case rpc::MsgType::kSyncBatch:
+      HandleSyncBatch(std::move(msg));
+      break;
+    case rpc::MsgType::kSyncStepDone:
+      HandleSyncStepDone(std::move(msg));
+      break;
+    case rpc::MsgType::kPutVertex:
+    case rpc::MsgType::kPutEdge:
+    case rpc::MsgType::kGetVertex:
+    case rpc::MsgType::kDeleteVertex:
+      HandleMutation(std::move(msg));
+      break;
+    case rpc::MsgType::kCatalogIntern:
+    case rpc::MsgType::kCatalogPull:
+      HandleCatalog(std::move(msg));
+      break;
+    case rpc::MsgType::kPing: {
+      rpc::Message reply;
+      reply.type = rpc::MsgType::kPong;
+      reply.src = cfg_.id;
+      reply.dst = msg.src;
+      reply.rpc_id = msg.rpc_id;
+      transport_->Send(std::move(reply)).ok();
+      break;
+    }
+    default:
+      GT_WARN << "server " << cfg_.id << ": unexpected message type "
+              << rpc::MsgTypeName(msg.type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Submission (this server becomes the coordinator)
+// ---------------------------------------------------------------------------
+
+void BackendServer::HandleSubmit(rpc::Message&& msg) {
+  auto submit = SubmitPayload::Decode(msg.payload);
+  auto fail = [&](const Status& st) {
+    CompletePayload done;
+    done.ok = 0;
+    done.error = st.ToString();
+    rpc::Message reply;
+    reply.type = rpc::MsgType::kTraversalComplete;
+    reply.src = cfg_.id;
+    reply.dst = msg.src;
+    reply.rpc_id = msg.rpc_id;
+    reply.payload = done.Encode();
+    transport_->Send(std::move(reply)).ok();
+  };
+  if (!submit.ok()) {
+    fail(submit.status());
+    return;
+  }
+  auto plan = lang::TraversalPlan::Decode(submit->plan);
+  if (!plan.ok()) {
+    fail(plan.status());
+    return;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const TravelId travel = MakeExecId(cfg_.id, next_travel_seq_++);
+
+  TravelState& ts = travels_[travel];
+  ts.id = travel;
+  ts.mode = static_cast<EngineMode>(submit->mode);
+  ts.client = msg.src;
+  ts.plan_bytes = submit->plan;
+  ts.plan = *plan;
+  ts.started_us = NowMicros();
+  ts.last_activity_us = ts.started_us;
+  ts.timeout_ms = submit->timeout_ms == 0 ? cfg_.exec_timeout_ms : submit->timeout_ms;
+  ts.unfinished_per_step.assign(plan->num_steps() + 1, 0);
+
+  auto cplan = std::make_shared<CompiledPlan>();
+  cplan->plan = *plan;
+  cplan->plan_bytes = submit->plan;
+  cplan->mode = ts.mode;
+  cplan->coordinator = cfg_.id;
+  cplan->type_key = catalog_->Lookup("type");
+  cplan->attribution = NeedsAttribution(*plan);
+  plans_[travel] = cplan;
+  ts.attribution = cplan->attribution;
+
+  // Acknowledge with the assigned travel id; results stream separately.
+  rpc::Message reply;
+  reply.type = rpc::MsgType::kTraversalAccepted;
+  reply.src = cfg_.id;
+  reply.dst = msg.src;
+  reply.rpc_id = msg.rpc_id;
+  reply.payload = EncodeTravelId(travel);
+  transport_->Send(std::move(reply)).ok();
+
+  if (ts.mode == EngineMode::kSync) {
+    // Seed step-0 frontier batches, then start step 0 on every server.
+    ts.sync_fwd_matrices.assign(ts.plan.num_steps() + 1,
+                                std::vector<std::vector<uint32_t>>());
+    std::vector<std::vector<FrontierEntry>> seed(cfg_.num_servers);
+    std::vector<graph::VertexId> ids = ts.plan.start_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (auto vid : ids) {
+      seed[partitioner_->ServerFor(vid)].push_back(FrontierEntry{vid, {}});
+    }
+    const bool scan = ts.plan.start_ids.empty();
+    for (ServerId s = 0; s < cfg_.num_servers; s++) {
+      if (!seed[s].empty()) {
+        SyncBatchPayload batch;
+        batch.travel_id = travel;
+        batch.step = 0;
+        batch.phase = 0;
+        batch.entries = std::move(seed[s]);
+        rpc::Message bm;
+        bm.type = rpc::MsgType::kSyncBatch;
+        bm.src = cfg_.id;
+        bm.dst = s;
+        bm.payload = batch.Encode();
+        transport_->Send(std::move(bm)).ok();
+      }
+    }
+    ts.sync_step = 0;
+    ts.sync_phase = 0;
+    ts.sync_pending_done = cfg_.num_servers;
+    for (ServerId s = 0; s < cfg_.num_servers; s++) {
+      SyncStepPayload start;
+      start.travel_id = travel;
+      start.step = 0;
+      start.phase = 0;
+      start.scan_start = scan ? 1 : 0;
+      start.plan = ts.plan_bytes;
+      start.batches_expected = seed[s].empty() ? 0 : 1;
+      rpc::Message sm;
+      sm.type = rpc::MsgType::kSyncStepStart;
+      sm.src = cfg_.id;
+      sm.dst = s;
+      sm.payload = start.Encode();
+      transport_->Send(std::move(sm)).ok();
+    }
+    return;
+  }
+
+  StartRootExecsLocked(ts);
+}
+
+void BackendServer::StartRootExecsLocked(TravelState& ts) {
+  const auto& plan = ts.plan;
+  std::vector<std::vector<FrontierEntry>> per_server(cfg_.num_servers);
+  bool scan = false;
+
+  if (!plan.start_ids.empty()) {
+    std::vector<graph::VertexId> ids = plan.start_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (auto vid : ids) {
+      per_server[partitioner_->ServerFor(vid)].push_back(FrontierEntry{vid, {}});
+    }
+  } else {
+    scan = true;  // every server scans its local type index
+  }
+
+  std::vector<ExecId> created;
+  for (ServerId s = 0; s < cfg_.num_servers; s++) {
+    if (!scan && per_server[s].empty()) continue;
+    const ExecId exec_id = MakeExecId(cfg_.id, next_exec_seq_++);
+    created.push_back(exec_id);
+
+    TraversePayload req;
+    req.travel_id = ts.id;
+    req.step = 0;
+    req.exec_id = exec_id;
+    req.parent_exec = 0;
+    req.parent_server = cfg_.id;
+    req.coordinator = cfg_.id;
+    req.mode = static_cast<uint8_t>(ts.mode);
+    req.scan_start = scan ? 1 : 0;
+    req.plan = ts.plan_bytes;
+    req.entries = std::move(per_server[s]);
+
+    rpc::Message m;
+    m.type = rpc::MsgType::kTraverse;
+    m.src = cfg_.id;
+    m.dst = s;
+    m.payload = req.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+
+  ts.root_outstanding = static_cast<uint32_t>(created.size());
+  ts.roots_dispatched = true;
+  // Register the root creation events locally (the coordinator is the
+  // spawning party here).
+  for (ExecId id : created) {
+    auto& trace = ts.execs[id];
+    trace.step = 0;
+    trace.created = true;
+    ts.total_created++;
+    ts.incomplete_execs++;
+    ts.unfinished_per_step[0]++;
+  }
+
+  if (ts.root_outstanding == 0) {
+    CompleteTravelLocked(ts, Status::OK());
+  }
+}
+
+void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
+  if (ts.done) return;
+  ts.done = true;
+
+  // Stream results to the client in chunks, then the completion marker.
+  std::vector<graph::VertexId> all(ts.results.begin(), ts.results.end());
+  std::sort(all.begin(), all.end());
+  for (size_t off = 0; off < all.size(); off += cfg_.result_chunk) {
+    ResultChunkPayload chunk;
+    chunk.travel_id = ts.id;
+    chunk.vids.assign(all.begin() + off,
+                      all.begin() + std::min(all.size(), off + cfg_.result_chunk));
+    rpc::Message m;
+    m.type = rpc::MsgType::kResultChunk;
+    m.src = cfg_.id;
+    m.dst = ts.client;
+    m.payload = chunk.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+
+  CompletePayload done;
+  done.travel_id = ts.id;
+  done.ok = status.ok() ? 1 : 0;
+  done.error = status.ok() ? "" : status.ToString();
+  done.total_results = all.size();
+  rpc::Message m;
+  m.type = rpc::MsgType::kTraversalComplete;
+  m.src = cfg_.id;
+  m.dst = ts.client;
+  m.payload = done.Encode();
+  transport_->Send(std::move(m)).ok();
+
+  // Broadcast cleanup; every server (including this one) drops the travel's
+  // plans, cache entries and any leftover execution state.
+  for (ServerId s = 0; s < cfg_.num_servers; s++) {
+    rpc::Message abort;
+    abort.type = rpc::MsgType::kAbortTraversal;
+    abort.src = cfg_.id;
+    abort.dst = s;
+    abort.payload = EncodeTravelId(ts.id);
+    transport_->Send(std::move(abort)).ok();
+  }
+
+  travels_.erase(ts.id);  // ts is dangling after this line
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous traversal: frontier hand-off
+// ---------------------------------------------------------------------------
+
+void BackendServer::HandleTraverse(rpc::Message&& msg) {
+  auto req = TraversePayload::Decode(msg.payload);
+  if (!req.ok()) {
+    GT_WARN << "server " << cfg_.id << ": bad traverse payload";
+    return;
+  }
+
+  // Resolve the scan label before taking the lock (catalog is thread-safe).
+  std::lock_guard<std::mutex> lk(mu_);
+  if (aborted_travels_.count(req->travel_id) != 0) return;
+
+  auto pit = plans_.find(req->travel_id);
+  std::shared_ptr<CompiledPlan> cplan;
+  if (pit != plans_.end()) {
+    cplan = pit->second;
+  } else {
+    auto plan = lang::TraversalPlan::Decode(req->plan);
+    if (!plan.ok()) {
+      GT_WARN << "server " << cfg_.id << ": bad plan in traverse";
+      return;
+    }
+    cplan = std::make_shared<CompiledPlan>();
+    cplan->plan = std::move(*plan);
+    cplan->plan_bytes = req->plan;
+    cplan->mode = static_cast<EngineMode>(req->mode);
+    cplan->coordinator = req->coordinator;
+    cplan->type_key = catalog_->Lookup("type");
+    cplan->attribution = NeedsAttribution(cplan->plan);
+    plans_[req->travel_id] = cplan;
+  }
+
+  auto exec_owner = std::make_unique<ExecState>();
+  ExecState& exec = *exec_owner;
+  exec.travel = req->travel_id;
+  exec.id = req->exec_id;
+  exec.step = req->step;
+  exec.parent_server = req->parent_server;
+  exec.parent_exec = req->parent_exec;
+
+  const bool graphtrek = cplan->mode == EngineMode::kGraphTrek;
+  const bool attribution = cplan->attribution;
+
+  // Build the entry set. The attribution path deduplicates and keeps the
+  // per-vertex parents (needed for the answer flow); the direct path
+  // iterates the wire entries as-is (senders already deduplicate).
+  std::vector<graph::VertexId> scan_entries;
+  if (req->scan_start != 0) {
+    const graph::LabelId label = ScanLabelFor(cplan->plan, catalog_);
+    if (label != graph::Catalog::kInvalidId) {
+      store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
+        scan_entries.push_back(vid);
+        return true;
+      }).ok();
+    }
+  }
+
+  const ExecId exec_id = exec.id;
+  execs_.emplace(exec_id, std::move(exec_owner));
+  ExecState& ex = *execs_.at(exec_id);
+
+  if (!attribution) {
+    // Direct protocol: per entry, one memo probe decides owner vs redundant.
+    visit_stats_.received.fetch_add(req->entries.size() + scan_entries.size());
+    auto classify = [&](graph::VertexId vid) {
+      if (graphtrek) {
+        auto lr = cache_.LookupOrInsertPending(ex.travel, ex.step, vid);
+        if (lr.state != TravelCache::State::kMiss) {
+          visit_stats_.redundant.fetch_add(1);
+          return;
+        }
+        ex.owned_unprocessed++;
+        queue_.Push(VertexTask{ex.travel, ex.step, vid, ex.id, /*is_owner=*/true,
+                               /*sync=*/false},
+                    cfg_.graphtrek_priority_sched, cfg_.graphtrek_merging);
+      } else {
+        ex.owned_unprocessed++;
+        queue_.Push(VertexTask{ex.travel, ex.step, vid, ex.id, /*is_owner=*/false,
+                               /*sync=*/false},
+                    /*priority=*/false, /*mergeable=*/false);
+      }
+    };
+    for (const auto& e : req->entries) classify(e.vid);
+    for (auto vid : scan_entries) classify(vid);
+    if (ex.owned_unprocessed == 0 && !ex.dispatched) {
+      DispatchLocked(ex, *cplan);  // erases ex
+    }
+    return;
+  }
+
+  for (auto vid : scan_entries) {
+    ex.entry_parents.emplace(vid, std::vector<graph::VertexId>{});
+  }
+  for (auto& e : req->entries) {
+    auto [it, inserted] = ex.entry_parents.emplace(e.vid, e.parents);
+    if (!inserted) {
+      it->second.insert(it->second.end(), e.parents.begin(), e.parents.end());
+    }
+  }
+  ex.unresolved = ex.entry_parents.size();
+  visit_stats_.received.fetch_add(ex.entry_parents.size());
+
+  std::vector<std::pair<graph::VertexId, TravelCache::LookupResult>> classified;
+  classified.reserve(ex.entry_parents.size());
+  for (const auto& [vid, parents] : ex.entry_parents) {
+    if (graphtrek) {
+      classified.emplace_back(vid,
+                              cache_.LookupOrInsertPending(ex.travel, ex.step, vid));
+    } else {
+      // Async-GT: classification deferred to processing time; every entry
+      // pays its own I/O.
+      classified.emplace_back(vid, TravelCache::LookupResult{});
+    }
+  }
+
+  for (auto& [vid, lr] : classified) {
+    if (!graphtrek) {
+      ex.owned_unprocessed++;
+      queue_.Push(VertexTask{ex.travel, ex.step, vid, ex.id, /*is_owner=*/false,
+                             /*sync=*/false},
+                  /*priority=*/false, /*mergeable=*/false);
+      continue;
+    }
+    switch (lr.state) {
+      case TravelCache::State::kMiss:
+        ex.owned.insert(vid);
+        ex.owned_unprocessed++;
+        queue_.Push(VertexTask{ex.travel, ex.step, vid, ex.id, /*is_owner=*/true,
+                               /*sync=*/false},
+                    cfg_.graphtrek_priority_sched, cfg_.graphtrek_merging);
+        break;
+      case TravelCache::State::kPending: {
+        visit_stats_.redundant.fetch_add(1);
+        const ExecId waiter_exec = ex.id;
+        const graph::VertexId waiter_vid = vid;
+        cache_.AddWaiter(ex.travel, ex.step, vid, [this, waiter_exec, waiter_vid](bool reach) {
+          auto it = execs_.find(waiter_exec);
+          if (it == execs_.end()) return;
+          ResolveVertexLocked(*it->second, waiter_vid, reach, /*from_owner=*/false);
+          TryAnswerLocked(*it->second);
+        });
+        break;
+      }
+      case TravelCache::State::kResolved:
+        visit_stats_.redundant.fetch_add(1);
+        ResolveVertexLocked(ex, vid, lr.reach, /*from_owner=*/false);
+        break;
+    }
+  }
+
+  if (ex.owned_unprocessed == 0 && !ex.dispatched) {
+    DispatchLocked(ex, *cplan);
+  }
+  TryAnswerLocked(ex);
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop: vertex processing (async engines + sync-engine tasks)
+// ---------------------------------------------------------------------------
+
+void BackendServer::WorkerLoop() {
+  std::vector<VertexTask> batch;
+  while (queue_.PopBatch(&batch)) {
+    if (batch.empty()) continue;
+    if (batch.front().sync) {
+      // Sync-engine tasks are never merged (batch size 1).
+      ProcessSyncTask(batch.front());
+    } else {
+      ProcessBatch(batch);
+    }
+  }
+}
+
+void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
+  const graph::VertexId vid = batch.front().vid;
+  const TravelId travel = batch.front().travel;
+
+  std::shared_ptr<CompiledPlan> cplan;
+  bool warm = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = plans_.find(travel);
+    if (it == plans_.end()) return;  // travel aborted while queued
+    cplan = it->second;
+    // Re-reads within a travel hit the storage engine's block cache.
+    warm = !accessed_[travel].insert(vid).second;
+  }
+  const lang::TraversalPlan& plan = cplan->plan;
+  const uint32_t num_steps = static_cast<uint32_t>(plan.num_steps());
+  const bool graphtrek = cplan->mode == EngineMode::kGraphTrek;
+  const bool attribution = cplan->attribution;
+
+  // --- I/O phase (no engine lock held) -------------------------------------
+  tls_current_step = static_cast<int>(batch.front().step);
+  auto vrec = store_->GetVertex(vid, warm);
+  const bool vertex_exists = vrec.ok();
+
+  // One edge scan serves every merged task that needs expansion.
+  bool need_edges = false;
+  for (const auto& t : batch) {
+    if (t.step < num_steps) need_edges = true;
+  }
+  std::unordered_map<graph::LabelId, std::vector<std::pair<graph::VertexId, graph::PropMap>>>
+      edges_by_label;
+  if (vertex_exists && need_edges) {
+    store_->ScanAllEdges(vid,
+                         [&](graph::LabelId label, graph::VertexId dst,
+                             const graph::PropMap& props) {
+                           edges_by_label[label].emplace_back(dst, props);
+                           return true;
+                         },
+                         warm)
+        .ok();
+  }
+  tls_current_step = -1;
+
+  visit_stats_.real_io.fetch_add(1);
+  if (batch.size() > 1) visit_stats_.combined.fetch_add(batch.size() - 1);
+
+  // Per-task outcome, computed lock-free.
+  struct Outcome {
+    bool passed = false;
+    bool final_step = false;
+    // Expansion targets (dst grouped by owner server).
+    std::unordered_map<ServerId, std::vector<graph::VertexId>> targets;
+  };
+  std::vector<Outcome> outcomes(batch.size());
+  for (size_t i = 0; i < batch.size(); i++) {
+    const VertexTask& t = batch[i];
+    Outcome& out = outcomes[i];
+    if (!vertex_exists) continue;
+    if (!lang::VertexMatchesAll(StepVertexFilters(plan, t.step), *vrec, *catalog_,
+                                cplan->type_key)) {
+      continue;
+    }
+    out.passed = true;
+    if (t.step >= num_steps) {
+      out.final_step = true;
+      continue;
+    }
+    const lang::Hop& hop = plan.hops[t.step];
+    auto eit = edges_by_label.find(hop.edge_label);
+    if (eit == edges_by_label.end()) continue;
+    for (const auto& [dst, eprops] : eit->second) {
+      if (!lang::MatchesAll(hop.edge_filters, eprops)) continue;
+      out.targets[partitioner_->ServerFor(dst)].push_back(dst);
+    }
+  }
+
+  // --- apply phase (engine lock) --------------------------------------------
+  std::lock_guard<std::mutex> lk(mu_);
+  for (size_t i = 0; i < batch.size(); i++) {
+    const VertexTask& t = batch[i];
+    auto eit = execs_.find(t.exec);
+    if (eit == execs_.end()) continue;  // exec gone (abort)
+    ExecState& exec = *eit->second;
+    Outcome& out = outcomes[i];
+
+    bool owner = t.is_owner;
+    if (!graphtrek) {
+      // Async-GT classifies now: the I/O is already paid either way.
+      auto lr = cache_.LookupOrInsertPending(t.travel, t.step, t.vid);
+      switch (lr.state) {
+        case TravelCache::State::kMiss:
+          owner = true;
+          exec.owned.insert(t.vid);
+          break;
+        case TravelCache::State::kPending: {
+          visit_stats_.redundant.fetch_add(1);
+          if (attribution) {
+            const ExecId waiter_exec = exec.id;
+            const graph::VertexId waiter_vid = t.vid;
+            cache_.AddWaiter(t.travel, t.step, t.vid,
+                             [this, waiter_exec, waiter_vid](bool reach) {
+                               auto it2 = execs_.find(waiter_exec);
+                               if (it2 == execs_.end()) return;
+                               ResolveVertexLocked(*it2->second, waiter_vid, reach,
+                                                   /*from_owner=*/false);
+                               TryAnswerLocked(*it2->second);
+                             });
+          }
+          exec.owned_unprocessed--;
+          if (exec.owned_unprocessed == 0 && !exec.dispatched) {
+            DispatchLocked(exec, *cplan);  // erases exec on the direct path
+            if (attribution) TryAnswerLocked(exec);
+            continue;
+          }
+          if (attribution) TryAnswerLocked(exec);
+          continue;
+        }
+        case TravelCache::State::kResolved:
+          visit_stats_.redundant.fetch_add(1);
+          if (attribution) ResolveVertexLocked(exec, t.vid, lr.reach, /*from_owner=*/false);
+          exec.owned_unprocessed--;
+          if (exec.owned_unprocessed == 0 && !exec.dispatched) {
+            DispatchLocked(exec, *cplan);
+            if (attribution) TryAnswerLocked(exec);
+            continue;
+          }
+          if (attribution) TryAnswerLocked(exec);
+          continue;
+      }
+    }
+
+    // Owner path: apply the computed outcome.
+    if (!attribution) {
+      // Direct protocol: resolve the memo (for redundancy absorption) and
+      // collect results/expansion; no per-vertex answer bookkeeping.
+      if (owner) {
+        auto waiters = cache_.Resolve(t.travel, t.step, t.vid, out.passed);
+        for (auto& w : waiters) w(out.passed);  // none are registered
+        if (out.passed && out.final_step) {
+          exec.results.push_back(t.vid);
+        } else if (out.passed) {
+          for (auto& [server, dsts] : out.targets) {
+            auto& dst_map = exec.out_targets[server];
+            for (auto dst : dsts) dst_map[dst];  // parents not tracked
+          }
+        }
+      }
+      exec.owned_unprocessed--;
+      if (exec.owned_unprocessed == 0 && !exec.dispatched) {
+        DispatchLocked(exec, *cplan);  // erases exec on this path
+      }
+      continue;
+    }
+
+    if (!out.passed) {
+      ResolveVertexLocked(exec, t.vid, false, /*from_owner=*/owner);
+    } else if (out.final_step) {
+      ResolveVertexLocked(exec, t.vid, true, /*from_owner=*/owner);
+    } else if (out.targets.empty()) {
+      ResolveVertexLocked(exec, t.vid, false, /*from_owner=*/owner);
+    } else {
+      exec.awaiting_children.insert(t.vid);
+      for (auto& [server, dsts] : out.targets) {
+        auto& dst_map = exec.out_targets[server];
+        for (auto dst : dsts) dst_map[dst].push_back(t.vid);
+      }
+    }
+    exec.owned_unprocessed--;
+    if (exec.owned_unprocessed == 0 && !exec.dispatched) DispatchLocked(exec, *cplan);
+    TryAnswerLocked(exec);
+  }
+}
+
+void BackendServer::ResolveVertexLocked(ExecState& exec, graph::VertexId vid, bool reach,
+                                        bool from_owner) {
+  if (exec.answered) return;
+  if (!exec.resolved.insert(vid).second) return;  // already decided
+  exec.unresolved--;
+  exec.awaiting_children.erase(vid);
+  if (reach) {
+    exec.reached.insert(vid);
+    // rtn()/final-result emission happens exactly once, at the owner.
+    if (exec.owned.count(vid) != 0) {
+      const auto pit = plans_.find(exec.travel);
+      if (pit != plans_.end()) {
+        const lang::TraversalPlan& plan = pit->second->plan;
+        const bool is_final = exec.step >= plan.num_steps();
+        if (RtnAtStep(plan, exec.step) || (is_final && !plan.has_rtn())) {
+          exec.results.push_back(vid);
+        }
+      }
+    }
+  }
+  if (from_owner && exec.owned.count(vid) != 0) {
+    auto waiters = cache_.Resolve(exec.travel, exec.step, vid, reach);
+    for (auto& w : waiters) w(reach);
+  }
+}
+
+void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
+  exec.dispatched = true;
+
+  std::vector<ExecId> created;
+  for (auto& [server, targets] : exec.out_targets) {
+    const ExecId child_id = MakeExecId(cfg_.id, next_exec_seq_++);
+    created.push_back(child_id);
+
+    TraversePayload req;
+    req.travel_id = exec.travel;
+    req.step = exec.step + 1;
+    req.exec_id = child_id;
+    req.parent_exec = exec.id;
+    req.parent_server = cfg_.id;
+    req.coordinator = cplan.coordinator;
+    req.mode = static_cast<uint8_t>(cplan.mode);
+    req.plan = cplan.plan_bytes;
+    req.entries.reserve(targets.size());
+    for (auto& [dst, parents] : targets) {
+      req.entries.push_back(FrontierEntry{dst, std::move(parents)});
+    }
+
+    rpc::Message m;
+    m.type = rpc::MsgType::kTraverse;
+    m.src = cfg_.id;
+    m.dst = server;
+    m.payload = req.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+  exec.children_outstanding = static_cast<uint32_t>(created.size());
+  exec.out_targets.clear();
+
+  if (!cplan.attribution) {
+    // Direct protocol (paper Fig. 3): results go straight to the
+    // coordinator; the execution is finished once it has dispatched.
+    if (!exec.results.empty()) {
+      AnswerPayload ans;
+      ans.travel_id = exec.travel;
+      ans.exec_id = exec.id;
+      ans.parent_exec = 0;  // travel-level accumulation
+      ans.result_vids = std::move(exec.results);
+      rpc::Message m;
+      m.type = rpc::MsgType::kReturnVertices;
+      m.src = cfg_.id;
+      m.dst = cplan.coordinator;
+      m.payload = ans.Encode();
+      transport_->Send(std::move(m)).ok();
+    }
+    const TravelId travel = exec.travel;
+    const uint32_t step = exec.step;
+    const ExecId id = exec.id;
+    EraseExecLocked(id);  // exec is dangling after this line
+    SendDispatchEventLocked(cplan.coordinator, travel, step + 1, std::move(created), id,
+                            step);
+    return;
+  }
+
+  // Status tracing (Section IV-C): register the downstream executions with
+  // the coordinator and report this execution's own termination.
+  SendDispatchEventLocked(cplan.coordinator, exec.travel, exec.step + 1,
+                          std::move(created), exec.id, exec.step);
+}
+
+void BackendServer::TryAnswerLocked(ExecState& exec) {
+  if (exec.answered || !exec.dispatched || exec.owned_unprocessed > 0 ||
+      exec.children_outstanding > 0 || exec.unresolved > 0) {
+    return;
+  }
+  exec.answered = true;
+
+  AnswerPayload ans;
+  ans.travel_id = exec.travel;
+  ans.exec_id = exec.id;
+  ans.parent_exec = exec.parent_exec;
+  std::unordered_set<graph::VertexId> reached_parents;
+  for (auto vid : exec.reached) {
+    const auto it = exec.entry_parents.find(vid);
+    if (it == exec.entry_parents.end()) continue;
+    reached_parents.insert(it->second.begin(), it->second.end());
+  }
+  ans.reached_parents.assign(reached_parents.begin(), reached_parents.end());
+  ans.result_vids = std::move(exec.results);
+
+  rpc::Message m;
+  m.type = rpc::MsgType::kReturnVertices;
+  m.src = cfg_.id;
+  m.dst = exec.parent_server;
+  m.payload = ans.Encode();
+  transport_->Send(std::move(m)).ok();
+
+  EraseExecLocked(exec.id);  // exec is dangling after this line
+}
+
+void BackendServer::EraseExecLocked(ExecId id) { execs_.erase(id); }
+
+void BackendServer::HandleAnswer(rpc::Message&& msg) {
+  auto ans = AnswerPayload::Decode(msg.payload);
+  if (!ans.ok()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+
+  if (ans->parent_exec == 0) {
+    // Travel-level accounting at the coordinator.
+    auto it = travels_.find(ans->travel_id);
+    if (it == travels_.end()) return;
+    TravelState& ts = it->second;
+    ts.results.insert(ans->result_vids.begin(), ans->result_vids.end());
+    ts.last_activity_us = NowMicros();
+    if (!ts.attribution) return;  // completion comes from status tracing
+    if (ts.root_outstanding > 0) ts.root_outstanding--;
+    if (ts.root_outstanding == 0) CompleteTravelLocked(ts, Status::OK());
+    return;
+  }
+
+  auto eit = execs_.find(ans->parent_exec);
+  if (eit == execs_.end()) return;
+  ExecState& exec = *eit->second;
+  if (exec.children_outstanding > 0) exec.children_outstanding--;
+
+  for (auto vid : ans->reached_parents) {
+    ResolveVertexLocked(exec, vid, true, /*from_owner=*/true);
+  }
+  exec.results.insert(exec.results.end(), ans->result_vids.begin(), ans->result_vids.end());
+
+  if (exec.children_outstanding == 0) {
+    // Everything still awaiting children has no live path.
+    std::vector<graph::VertexId> dead(exec.awaiting_children.begin(),
+                                      exec.awaiting_children.end());
+    for (auto vid : dead) {
+      ResolveVertexLocked(exec, vid, false, /*from_owner=*/true);
+    }
+  }
+  TryAnswerLocked(exec);
+}
+
+// ---------------------------------------------------------------------------
+// Live updates + point queries (client -> owning server, Section I reqs)
+// ---------------------------------------------------------------------------
+
+void BackendServer::HandleMutation(rpc::Message&& msg) {
+  auto reply_ack = [&](const Status& st) {
+    MutateAckPayload ack;
+    ack.ok = st.ok() ? 1 : 0;
+    ack.error = st.ok() ? "" : st.ToString();
+    rpc::Message reply;
+    reply.type = rpc::MsgType::kMutateAck;
+    reply.src = cfg_.id;
+    reply.dst = msg.src;
+    reply.rpc_id = msg.rpc_id;
+    reply.payload = ack.Encode();
+    transport_->Send(std::move(reply)).ok();
+  };
+
+  // Clients may address any server; requests for records owned elsewhere
+  // are forwarded to the owner, which replies to the client directly (the
+  // original src rides along on the forwarded message).
+  auto forward_if_foreign = [&](graph::VertexId anchor) {
+    const ServerId owner = partitioner_->ServerFor(anchor);
+    if (owner == cfg_.id) return false;
+    rpc::Message fwd = msg;
+    fwd.dst = owner;
+    transport_->Send(std::move(fwd)).ok();
+    return true;
+  };
+
+  switch (msg.type) {
+    case rpc::MsgType::kPutVertex: {
+      auto req = PutVertexPayload::Decode(msg.payload);
+      if (!req.ok()) return reply_ack(req.status());
+      if (forward_if_foreign(req->vid)) return;
+      graph::VertexRecord rec;
+      rec.id = req->vid;
+      rec.label = catalog_->Intern(req->label);
+      rec.props = InternProps(req->props, catalog_);
+      reply_ack(store_->PutVertex(rec));
+      return;
+    }
+    case rpc::MsgType::kPutEdge: {
+      auto req = PutEdgePayload::Decode(msg.payload);
+      if (!req.ok()) return reply_ack(req.status());
+      if (forward_if_foreign(req->src)) return;  // edge-cut: edges live with src
+      graph::EdgeRecord rec;
+      rec.src = req->src;
+      rec.label = catalog_->Intern(req->label);
+      rec.dst = req->dst;
+      rec.props = InternProps(req->props, catalog_);
+      reply_ack(store_->PutEdge(rec));
+      return;
+    }
+    case rpc::MsgType::kDeleteVertex: {
+      auto req = GetVertexPayload::Decode(msg.payload);
+      if (!req.ok()) return reply_ack(req.status());
+      if (forward_if_foreign(req->vid)) return;
+      reply_ack(store_->DeleteVertex(req->vid));
+      return;
+    }
+    case rpc::MsgType::kGetVertex: {
+      auto req = GetVertexPayload::Decode(msg.payload);
+      if (!req.ok()) return;
+      if (forward_if_foreign(req->vid)) return;
+      VertexReplyPayload out;
+      out.vid = req->vid;
+      auto rec = store_->GetVertex(req->vid);
+      if (rec.ok()) {
+        out.found = 1;
+        out.label = catalog_->Name(rec->label).value_or("?");
+        for (const auto& [key, value] : rec->props) {
+          out.props.emplace_back(catalog_->Name(key).value_or("?"), value);
+        }
+      }
+      rpc::Message reply;
+      reply.type = rpc::MsgType::kVertexReply;
+      reply.src = cfg_.id;
+      reply.dst = msg.src;
+      reply.rpc_id = msg.rpc_id;
+      reply.payload = out.Encode();
+      transport_->Send(std::move(reply)).ok();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// Distributed catalog authority (clients conventionally address server 0;
+// in-process clusters share the catalog object so any server can answer).
+void BackendServer::HandleCatalog(rpc::Message&& msg) {
+  CatalogReplyPayload out;
+  if (msg.type == rpc::MsgType::kCatalogIntern) {
+    auto req = CatalogInternPayload::Decode(msg.payload);
+    if (req.ok()) out.id = catalog_->Intern(req->name);
+  } else {
+    out.names = catalog_->Snapshot();
+  }
+  rpc::Message reply;
+  reply.type = rpc::MsgType::kCatalogReply;
+  reply.src = cfg_.id;
+  reply.dst = msg.src;
+  reply.rpc_id = msg.rpc_id;
+  reply.payload = out.Encode();
+  transport_->Send(std::move(reply)).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Status tracing + progress + failure detection
+// ---------------------------------------------------------------------------
+
+void BackendServer::ApplyTraceItemLocked(TravelState& ts, const TraceItem& item) {
+  if (item.step >= ts.unfinished_per_step.size()) {
+    ts.unfinished_per_step.resize(item.step + 1, 0);
+  }
+  const bool existed = ts.execs.count(item.exec) != 0;
+  auto& trace = ts.execs[item.exec];
+  if (item.created != 0) {
+    if (trace.created) return;
+    trace.created = true;
+    trace.step = item.step;
+    ts.total_created++;
+    if (!existed) {
+      ts.incomplete_execs++;
+    } else if (trace.terminated) {
+      ts.incomplete_execs--;
+    }
+    if (!trace.terminated) ts.unfinished_per_step[item.step]++;
+  } else {
+    if (trace.terminated) return;
+    trace.terminated = true;
+    ts.total_terminated++;
+    if (!existed) {
+      ts.incomplete_execs++;
+    } else if (trace.created) {
+      ts.incomplete_execs--;
+    }
+    if (trace.created) {
+      if (ts.unfinished_per_step[trace.step] > 0) ts.unfinished_per_step[trace.step]--;
+    } else {
+      trace.step = item.step;  // termination raced ahead of creation
+    }
+  }
+}
+
+void BackendServer::HandleExecEvent(rpc::Message&& msg, bool created) {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  if (msg.type == rpc::MsgType::kExecDispatched) {
+    auto batch = TraceBatchPayload::Decode(msg.payload);
+    if (!batch.ok()) return;
+    auto it = travels_.find(batch->travel_id);
+    if (it == travels_.end()) return;
+    TravelState& ts = it->second;
+    ts.last_activity_us = NowMicros();
+    for (const auto& item : batch->items) ApplyTraceItemLocked(ts, item);
+    if (!ts.attribution && ts.mode != EngineMode::kSync && ts.roots_dispatched &&
+        ts.total_created > 0 && ts.incomplete_execs == 0) {
+      CompleteTravelLocked(ts, Status::OK());
+    }
+    return;
+  }
+
+  // Legacy single-kind events (kExecCreated / kExecTerminated).
+  auto ev = ExecEventPayload::Decode(msg.payload);
+  if (!ev.ok()) return;
+  auto it = travels_.find(ev->travel_id);
+  if (it == travels_.end()) return;
+  TravelState& ts = it->second;
+  ts.last_activity_us = NowMicros();
+  for (ExecId id : ev->exec_ids) {
+    ApplyTraceItemLocked(ts, TraceItem{id, ev->step, static_cast<uint8_t>(created ? 1 : 0)});
+  }
+  if (!ts.attribution && ts.mode != EngineMode::kSync && ts.roots_dispatched &&
+      ts.total_created > 0 && ts.incomplete_execs == 0) {
+    CompleteTravelLocked(ts, Status::OK());
+  }
+}
+
+void BackendServer::HandleProgress(rpc::Message&& msg) {
+  auto travel = DecodeTravelId(msg.payload);
+  ProgressPayload progress;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (travel.ok()) {
+      auto it = travels_.find(*travel);
+      if (it != travels_.end()) {
+        progress.travel_id = *travel;
+        progress.unfinished_per_step = it->second.unfinished_per_step;
+        progress.total_created = it->second.total_created;
+        progress.total_terminated = it->second.total_terminated;
+      }
+    }
+  }
+  rpc::Message reply;
+  reply.type = rpc::MsgType::kProgressReply;
+  reply.src = cfg_.id;
+  reply.dst = msg.src;
+  reply.rpc_id = msg.rpc_id;
+  reply.payload = progress.Encode();
+  transport_->Send(std::move(reply)).ok();
+}
+
+void BackendServer::HandleAbort(rpc::Message&& msg) {
+  auto travel = DecodeTravelId(msg.payload);
+  if (!travel.ok()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_travels_.insert(*travel);
+  aborted_order_.push_back(*travel);
+  while (aborted_order_.size() > kMaxAbortTombstones) {
+    aborted_travels_.erase(aborted_order_.front());
+    aborted_order_.pop_front();
+  }
+
+  plans_.erase(*travel);
+  cache_.EraseTravel(*travel);
+  accessed_.erase(*travel);
+  sync_locals_.erase(*travel);
+  for (auto it = trace_buffer_.begin(); it != trace_buffer_.end();) {
+    if (it->first.second == *travel) {
+      it = trace_buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  travels_.erase(*travel);
+  for (auto it = execs_.begin(); it != execs_.end();) {
+    if (it->second->travel == *travel) {
+      it = execs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BackendServer::MaintenanceLoop() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::vector<TravelId> failed;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      FlushAllTraceBuffersLocked();
+      const uint64_t now = NowMicros();
+      for (auto& [id, ts] : travels_) {
+        if (ts.done) continue;
+        if (now - ts.last_activity_us > static_cast<uint64_t>(ts.timeout_ms) * 1000) {
+          failed.push_back(id);
+        }
+      }
+      for (TravelId id : failed) {
+        auto it = travels_.find(id);
+        if (it == travels_.end()) continue;
+        GT_WARN << "server " << cfg_.id << ": traversal " << id
+                << " timed out (execution created but never terminated); failing";
+        // The paper's recovery story: detect via the trace registry and
+        // restart the whole traversal (the client resubmits).
+        it->second.results.clear();
+        CompleteTravelLocked(it->second, Status::Timeout("execution lost"));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous engine (Sync-GT)
+// ---------------------------------------------------------------------------
+
+void BackendServer::HandleSyncStepStart(rpc::Message&& msg) {
+  auto start = SyncStepPayload::Decode(msg.payload);
+  if (!start.ok()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (aborted_travels_.count(start->travel_id) != 0) return;
+  SyncLocal& sl = sync_locals_[start->travel_id];
+
+  if (!sl.plan_ready && !start->plan.empty()) {
+    auto plan = lang::TraversalPlan::Decode(start->plan);
+    if (!plan.ok()) return;
+    sl.cplan.plan = std::move(*plan);
+    sl.cplan.plan_bytes = start->plan;
+    sl.cplan.mode = EngineMode::kSync;
+    sl.cplan.coordinator = msg.src;
+    sl.cplan.type_key = catalog_->Lookup("type");
+    sl.coordinator = msg.src;
+    sl.scan_start = start->scan_start;
+    sl.plan_ready = true;
+  }
+
+  if (start->phase == 0) {
+    sl.step = start->step;
+    sl.batches_expected[start->step] = start->batches_expected;
+    SyncMaybeProcessStepLocked(start->travel_id);
+  } else {
+    // Backward round k: send alive subsets for step k+1 back to the senders,
+    // and note how many backward batches we expect ourselves.
+    sl.batches_expected[kBackwardKeyBit | start->step] = start->batches_expected;
+    SyncProcessBackwardLocked(start->travel_id, sl, start->step);
+  }
+}
+
+void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
+  auto batch = SyncBatchPayload::Decode(msg.payload);
+  if (!batch.ok()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (aborted_travels_.count(batch->travel_id) != 0) return;
+  SyncLocal& sl = sync_locals_[batch->travel_id];
+
+  if (batch->phase == 0) {
+    auto& slot = sl.inbox[batch->step][msg.src];
+    for (auto& e : batch->entries) slot.push_back(std::move(e));
+    sl.batches_received[batch->step]++;
+    visit_stats_.received.fetch_add(batch->entries.size());
+    SyncMaybeProcessStepLocked(batch->travel_id);
+    return;
+  }
+
+  // Backward: entries name alive step-`batch->step` targets that this server
+  // sent to msg.src during the forward phase.
+  const uint32_t k = batch->step - 1;  // round being resolved
+  auto& exp = sl.expansion[k][msg.src];
+  for (const auto& e : batch->entries) {
+    auto it = exp.find(e.vid);
+    if (it == exp.end()) continue;
+    for (auto parent : it->second) sl.alive[k].insert(parent);
+  }
+  sl.back_batches_received[k]++;
+
+  const auto expected_it = sl.batches_expected.find(kBackwardKeyBit | k);
+  if (expected_it != sl.batches_expected.end() &&
+      sl.back_batches_received[k] >= expected_it->second) {
+    // Round complete locally: report results (if this step is rtn-marked).
+    SyncStepPayload done;
+    done.travel_id = batch->travel_id;
+    done.step = k;
+    done.phase = 1;
+    if (sl.plan_ready && RtnAtStep(sl.cplan.plan, k)) {
+      done.result_vids.assign(sl.alive[k].begin(), sl.alive[k].end());
+    }
+    rpc::Message m;
+    m.type = rpc::MsgType::kSyncStepDone;
+    m.src = cfg_.id;
+    m.dst = sl.coordinator;
+    m.payload = done.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+}
+
+void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
+  auto it = sync_locals_.find(travel);
+  if (it == sync_locals_.end()) return;
+  SyncLocal& sl = it->second;
+  if (!sl.plan_ready || sl.processing) return;
+
+  const uint32_t step = sl.step;
+  if (sl.steps_processed.count(step) != 0) return;
+  auto exp = sl.batches_expected.find(step);
+  if (exp == sl.batches_expected.end()) return;
+  if (sl.batches_received[step] < exp->second) return;
+
+  sl.steps_processed.insert(step);
+  sl.processing = true;
+
+  // Merge the inbox into a deduplicated frontier.
+  sl.current_frontier.clear();
+  uint64_t raw_entries = 0;
+  for (auto& [sender, entries] : sl.inbox[step]) {
+    (void)sender;
+    for (auto& e : entries) {
+      raw_entries += 1;
+      auto [fit, inserted] = sl.current_frontier.emplace(e.vid, e.parents);
+      if (!inserted) {
+        fit->second.insert(fit->second.end(), e.parents.begin(), e.parents.end());
+      }
+    }
+  }
+  if (step == 0 && sl.scan_start != 0) {
+    const graph::LabelId label = ScanLabelFor(sl.cplan.plan, catalog_);
+    if (label != graph::Catalog::kInvalidId) {
+      const size_t before = sl.current_frontier.size();
+      store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
+        raw_entries += 1;
+        sl.current_frontier.emplace(vid, std::vector<graph::VertexId>{});
+        return true;
+      }).ok();
+      visit_stats_.received.fetch_add(sl.current_frontier.size() - before);
+    }
+  }
+  if (raw_entries > sl.current_frontier.size()) {
+    visit_stats_.redundant.fetch_add(raw_entries - sl.current_frontier.size());
+  }
+  // The forward inbox is only needed again by the backward phase.
+  if (!sl.cplan.plan.has_rtn()) sl.inbox.erase(step);
+
+  sl.pending_tasks = sl.current_frontier.size();
+  if (sl.pending_tasks == 0) {
+    SyncFinishForwardStepLocked(travel, sl);
+    return;
+  }
+  for (const auto& [vid, parents] : sl.current_frontier) {
+    (void)parents;
+    queue_.Push(VertexTask{travel, step, vid, 0, /*is_owner=*/true, /*sync=*/true},
+                /*priority=*/false, /*mergeable=*/false);
+  }
+}
+
+void BackendServer::ProcessSyncTask(const VertexTask& task) {
+  std::shared_ptr<CompiledPlan> cplan;
+  std::vector<graph::VertexId> parents;
+  bool warm = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sync_locals_.find(task.travel);
+    if (it == sync_locals_.end()) return;
+    auto fit = it->second.current_frontier.find(task.vid);
+    if (fit != it->second.current_frontier.end()) parents = fit->second;
+    cplan = std::make_shared<CompiledPlan>(it->second.cplan);
+    warm = !accessed_[task.travel].insert(task.vid).second;
+  }
+  const lang::TraversalPlan& plan = cplan->plan;
+  const uint32_t num_steps = static_cast<uint32_t>(plan.num_steps());
+  const uint32_t step = task.step;
+
+  tls_current_step = static_cast<int>(step);
+  auto vrec = store_->GetVertex(task.vid, warm);
+  bool passed = vrec.ok() && lang::VertexMatchesAll(StepVertexFilters(plan, step), *vrec,
+                                                    *catalog_, cplan->type_key);
+  std::vector<std::pair<graph::VertexId, graph::PropMap>> edges;
+  if (passed && step < num_steps) {
+    const lang::Hop& hop = plan.hops[step];
+    store_->ScanEdges(task.vid, hop.edge_label,
+                      [&](graph::VertexId dst, const graph::PropMap& props) {
+                        if (lang::MatchesAll(hop.edge_filters, props)) {
+                          edges.emplace_back(dst, props);
+                        }
+                        return true;
+                      },
+                      warm)
+        .ok();
+  }
+  tls_current_step = -1;
+  visit_stats_.real_io.fetch_add(1);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sync_locals_.find(task.travel);
+  if (it == sync_locals_.end()) return;
+  SyncLocal& sl = it->second;
+  if (passed) {
+    sl.passed[step].insert(task.vid);
+    for (const auto& [dst, props] : edges) {
+      (void)props;
+      sl.expansion[step][partitioner_->ServerFor(dst)][dst].push_back(task.vid);
+    }
+  }
+  if (sl.pending_tasks > 0) sl.pending_tasks--;
+  if (sl.pending_tasks == 0) SyncFinishForwardStepLocked(task.travel, sl);
+}
+
+void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) {
+  const uint32_t step = sl.step;
+  const lang::TraversalPlan& plan = sl.cplan.plan;
+  const uint32_t num_steps = static_cast<uint32_t>(plan.num_steps());
+
+  SyncStepPayload done;
+  done.travel_id = travel;
+  done.step = step;
+  done.phase = 0;
+  done.batches_sent.assign(cfg_.num_servers, 0);
+
+  if (step < num_steps) {
+    auto exp_it = sl.expansion.find(step);
+    if (exp_it != sl.expansion.end()) {
+      for (auto& [server, targets] : exp_it->second) {
+        SyncBatchPayload batch;
+        batch.travel_id = travel;
+        batch.step = step + 1;
+        batch.phase = 0;
+        batch.entries.reserve(targets.size());
+        // Parents stay local (the backward phase uses this server's own
+        // expansion map); ship bare vertex ids.
+        for (auto& [dst, parents] : targets) {
+          (void)parents;
+          batch.entries.push_back(FrontierEntry{dst, {}});
+        }
+        rpc::Message m;
+        m.type = rpc::MsgType::kSyncBatch;
+        m.src = cfg_.id;
+        m.dst = server;
+        m.payload = batch.Encode();
+        transport_->Send(std::move(m)).ok();
+        done.batches_sent[server] = 1;
+      }
+    }
+  } else {
+    // Final step: report surviving vertices when they are the results.
+    if (FinalStepYieldsResults(plan)) {
+      auto pit = sl.passed.find(step);
+      if (pit != sl.passed.end()) {
+        done.result_vids.assign(pit->second.begin(), pit->second.end());
+      }
+    }
+  }
+
+  // Keep forward history only when a backward phase will need it.
+  if (!plan.has_rtn()) {
+    sl.expansion.erase(step);
+    sl.passed.erase(step);
+  }
+  sl.current_frontier.clear();
+  sl.processing = false;
+
+  rpc::Message m;
+  m.type = rpc::MsgType::kSyncStepDone;
+  m.src = cfg_.id;
+  m.dst = sl.coordinator;
+  m.payload = done.Encode();
+  transport_->Send(std::move(m)).ok();
+}
+
+void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
+                                              uint32_t step) {
+  // Round `step`: send, to each forward sender of step+1 entries, the subset
+  // of its entries that are alive.
+  const lang::TraversalPlan& plan = sl.cplan.plan;
+  const uint32_t num_steps = static_cast<uint32_t>(plan.num_steps());
+  const std::unordered_set<graph::VertexId>& alive_next =
+      (step + 1 >= num_steps) ? sl.passed[num_steps] : sl.alive[step + 1];
+
+  auto ib = sl.inbox.find(step + 1);
+  if (ib != sl.inbox.end()) {
+    for (auto& [sender, entries] : ib->second) {
+      SyncBatchPayload batch;
+      batch.travel_id = travel;
+      batch.step = step + 1;
+      batch.phase = 1;
+      std::unordered_set<graph::VertexId> seen;
+      for (const auto& e : entries) {
+        if (alive_next.count(e.vid) != 0 && seen.insert(e.vid).second) {
+          batch.entries.push_back(FrontierEntry{e.vid, {}});
+        }
+      }
+      rpc::Message m;
+      m.type = rpc::MsgType::kSyncBatch;
+      m.src = cfg_.id;
+      m.dst = sender;
+      m.payload = batch.Encode();
+      transport_->Send(std::move(m)).ok();
+    }
+  }
+
+  // A server that expects zero backward batches finishes the round at once.
+  const auto expected_it = sl.batches_expected.find(kBackwardKeyBit | step);
+  if (expected_it != sl.batches_expected.end() &&
+      sl.back_batches_received[step] >= expected_it->second) {
+    SyncStepPayload done;
+    done.travel_id = travel;
+    done.step = step;
+    done.phase = 1;
+    if (RtnAtStep(plan, step)) {
+      done.result_vids.assign(sl.alive[step].begin(), sl.alive[step].end());
+    }
+    rpc::Message m;
+    m.type = rpc::MsgType::kSyncStepDone;
+    m.src = cfg_.id;
+    m.dst = sl.coordinator;
+    m.payload = done.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+}
+
+void BackendServer::HandleSyncStepDone(rpc::Message&& msg) {
+  auto done = SyncStepPayload::Decode(msg.payload);
+  if (!done.ok()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = travels_.find(done->travel_id);
+  if (it == travels_.end()) return;
+  TravelState& ts = it->second;
+  ts.last_activity_us = NowMicros();
+  SyncCoordinatorStepDoneLocked(ts, *done, msg.src);
+}
+
+void BackendServer::SyncCoordinatorStepDoneLocked(TravelState& ts,
+                                                  const SyncStepPayload& done,
+                                                  ServerId src) {
+  if (done.step != ts.sync_step || done.phase != ts.sync_phase) return;  // stale
+
+  ts.results.insert(done.result_vids.begin(), done.result_vids.end());
+  if (done.phase == 0) {
+    if (ts.sync_fwd_matrices[done.step].empty()) {
+      ts.sync_fwd_matrices[done.step].assign(cfg_.num_servers,
+                                             std::vector<uint32_t>(cfg_.num_servers, 0));
+    }
+    if (!done.batches_sent.empty() && src < cfg_.num_servers) {
+      ts.sync_fwd_matrices[done.step][src] = done.batches_sent;
+    }
+  }
+  if (ts.sync_pending_done > 0) ts.sync_pending_done--;
+  if (ts.sync_pending_done > 0) return;
+
+  const uint32_t num_steps = static_cast<uint32_t>(ts.plan.num_steps());
+
+  if (ts.sync_phase == 0) {
+    if (ts.sync_step < num_steps) {
+      SyncStartStepLocked(ts, ts.sync_step + 1, /*phase=*/0);
+      return;
+    }
+    // Forward pass complete.
+    const bool needs_backward = ts.plan.has_rtn() && MinRtnStep(ts.plan) < num_steps &&
+                                num_steps > 0;
+    if (!needs_backward) {
+      CompleteTravelLocked(ts, Status::OK());
+      return;
+    }
+    SyncStartStepLocked(ts, num_steps - 1, /*phase=*/1);
+    return;
+  }
+
+  // Backward phase.
+  const uint32_t min_rtn = MinRtnStep(ts.plan);
+  if (ts.sync_step > min_rtn) {
+    SyncStartStepLocked(ts, ts.sync_step - 1, /*phase=*/1);
+  } else {
+    CompleteTravelLocked(ts, Status::OK());
+  }
+}
+
+void BackendServer::SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t phase) {
+  ts.sync_step = step;
+  ts.sync_phase = phase;
+  ts.sync_pending_done = cfg_.num_servers;
+
+  for (ServerId s = 0; s < cfg_.num_servers; s++) {
+    SyncStepPayload start;
+    start.travel_id = ts.id;
+    start.step = step;
+    start.phase = phase;
+    if (phase == 0) {
+      // Expected forward batches = column sums of the previous step matrix.
+      uint32_t expected = 0;
+      const auto& matrix = ts.sync_fwd_matrices[step - 1];
+      for (ServerId u = 0; u < cfg_.num_servers; u++) {
+        if (!matrix.empty() && s < matrix[u].size()) expected += matrix[u][s];
+      }
+      start.batches_expected = expected;
+    } else {
+      // Expected backward batches for round `step` = number of servers this
+      // server sent forward batches to at step -> step+1.
+      uint32_t expected = 0;
+      const auto& matrix = ts.sync_fwd_matrices[step];
+      if (!matrix.empty()) {
+        for (ServerId dst = 0; dst < cfg_.num_servers; dst++) {
+          if (matrix[s][dst] > 0) expected++;
+        }
+      }
+      start.batches_expected = expected;
+    }
+    rpc::Message m;
+    m.type = rpc::MsgType::kSyncStepStart;
+    m.src = cfg_.id;
+    m.dst = s;
+    m.payload = start.Encode();
+    transport_->Send(std::move(m)).ok();
+  }
+}
+
+}  // namespace gt::engine

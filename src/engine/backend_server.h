@@ -1,0 +1,283 @@
+// BackendServer: one GraphTrek traversal-engine daemon. Each backend server
+// owns a GraphStore (its shard of the property graph), a request queue
+// drained by worker threads, a traversal-affiliate cache, and — for
+// traversals it coordinates — the status-tracing registry and client-facing
+// result stream.
+//
+// One class implements all three engines under evaluation; the mode travels
+// with each traversal:
+//   Sync-GT    - coordinator-driven level-synchronous steps (Section VI)
+//   Async-GT   - plain asynchronous: every arrival pays its own I/O, FIFO
+//                scheduling, no merging
+//   GraphTrek  - asynchronous + traversal-affiliate cache absorption +
+//                smallest-step-first scheduling + execution merging
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/engine/request_queue.h"
+#include "src/engine/travel_cache.h"
+#include "src/engine/types.h"
+#include "src/engine/visit_stats.h"
+#include "src/graph/graph_store.h"
+#include "src/graph/partitioner.h"
+#include "src/lang/gtravel.h"
+#include "src/rpc/transport.h"
+
+namespace gt::engine {
+
+struct ServerConfig {
+  ServerId id = 0;
+  uint32_t num_servers = 1;
+  uint32_t workers = 2;               // worker threads (parallel I/O depth)
+  size_t cache_capacity = 1 << 20;    // traversal-affiliate cache entries
+  uint32_t exec_timeout_ms = 15000;   // coordinator failure-detection window
+  uint32_t result_chunk = 4096;       // vids per kResultChunk message
+
+  // Ablation knobs for the GraphTrek mode (both on in the full system).
+  bool graphtrek_merging = true;        // execution merging (Section V-B)
+  bool graphtrek_priority_sched = true; // smallest-step-first scheduling
+};
+
+class BackendServer {
+ public:
+  BackendServer(ServerConfig cfg, graph::GraphStore* store,
+                const graph::Partitioner* partitioner, graph::Catalog* catalog,
+                rpc::Transport* transport);
+  ~BackendServer();
+
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  // Registers the endpoint and starts worker + maintenance threads.
+  Status Start();
+  void Stop();
+
+  ServerId id() const { return cfg_.id; }
+  const VisitStats& visit_stats() const { return visit_stats_; }
+  void ResetVisitStats() { visit_stats_.Reset(); }
+  size_t queue_depth() const { return queue_.size(); }
+  size_t cache_size() const;
+  uint64_t cache_evictions() const;
+  graph::GraphStore* store() { return store_; }
+
+ private:
+  // --- shared traversal bookkeeping ---------------------------------------
+
+  struct CompiledPlan {
+    lang::TraversalPlan plan;
+    std::string plan_bytes;  // serialized form forwarded on every hand-off
+    EngineMode mode = EngineMode::kGraphTrek;
+    ServerId coordinator = 0;
+    graph::Catalog::Id type_key = graph::Catalog::kInvalidId;
+    // True when an rtn() marks a non-final step: results must then be
+    // attributed per vertex through the execution-tree answer flow (the
+    // generalized Fig. 4 relay). Plans without intermediate rtn() take the
+    // paper's direct protocol: final vertices return straight to the
+    // coordinator and completion is detected purely by status tracing.
+    bool attribution = false;
+  };
+
+  // Asynchronous-engine execution state (one per kTraverse request).
+  struct ExecState {
+    TravelId travel = 0;
+    ExecId id = 0;
+    uint32_t step = 0;
+    ServerId parent_server = 0;
+    ExecId parent_exec = 0;
+
+    // Per distinct vertex: previous-step parents (for the answer upward).
+    std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> entry_parents;
+    // Vertices this execution owns (it performs their I/O + expansion).
+    std::unordered_set<graph::VertexId> owned;
+    // Vertices not yet resolved to reach/no-reach.
+    size_t unresolved = 0;
+    // Owner tasks not yet processed by a worker.
+    size_t owned_unprocessed = 0;
+    // Owner vertices whose reach awaits child answers.
+    std::unordered_set<graph::VertexId> awaiting_children;
+    // Vertices with a decided reach value / the subset decided true.
+    std::unordered_set<graph::VertexId> resolved;
+    std::unordered_set<graph::VertexId> reached;
+
+    // Outbound expansion accumulated while owner tasks process:
+    // target server -> dst -> parents.
+    std::unordered_map<ServerId,
+                       std::unordered_map<graph::VertexId, std::vector<graph::VertexId>>>
+        out_targets;
+    bool dispatched = false;
+    uint32_t children_outstanding = 0;
+
+    std::vector<graph::VertexId> results;  // rtn/final hits + child pass-through
+    bool answered = false;
+  };
+
+  // Coordinator-side per-traversal state (status tracing, Section IV-C).
+  struct TravelState {
+    TravelId id = 0;
+    EngineMode mode = EngineMode::kGraphTrek;
+    rpc::EndpointId client = 0;
+    std::string plan_bytes;
+    lang::TraversalPlan plan;
+    uint64_t started_us = 0;
+    uint64_t last_activity_us = 0;
+    uint32_t timeout_ms = 0;
+    bool done = false;
+
+    // Execution registry: created/terminated tracing events.
+    struct ExecTrace {
+      uint32_t step = 0;
+      bool created = false;
+      bool terminated = false;
+    };
+    std::unordered_map<ExecId, ExecTrace> execs;
+    uint64_t total_created = 0;
+    uint64_t total_terminated = 0;
+    std::vector<uint32_t> unfinished_per_step;
+
+    // Async: outstanding root executions (attribution path only); results
+    // accumulate here.
+    uint32_t root_outstanding = 0;
+    bool attribution = false;
+    bool roots_dispatched = false;
+    uint64_t incomplete_execs = 0;  // trace entries missing created/terminated
+    std::unordered_set<graph::VertexId> results;
+
+    // Sync engine control state.
+    uint32_t sync_step = 0;
+    uint8_t sync_phase = 0;  // 0 fwd, 1 back
+    uint32_t sync_pending_done = 0;
+    std::vector<std::vector<uint32_t>> sync_batch_matrix;  // [src][dst] forward counts
+    std::vector<std::vector<std::vector<uint32_t>>> sync_fwd_matrices;  // per step
+  };
+
+  // Per-server synchronous-engine state for one traversal.
+  struct SyncLocal {
+    CompiledPlan cplan;
+    ServerId coordinator = 0;
+    // inbox[step][sender] = entries received.
+    std::unordered_map<uint32_t, std::unordered_map<ServerId, std::vector<FrontierEntry>>>
+        inbox;
+    std::unordered_map<uint32_t, uint32_t> batches_received;
+    // Expected batch counts per step, set by kSyncStepStart (forward) and
+    // by the backward-round kick-off; UINT32_MAX = not yet announced.
+    std::unordered_map<uint32_t, uint32_t> batches_expected;
+    bool plan_ready = false;
+    uint8_t scan_start = 0;
+    bool processing = false;  // a forward step is in flight
+    std::unordered_set<uint32_t> steps_processed;  // forward steps already run
+    // Forward history for the backward (rtn) phase.
+    std::unordered_map<uint32_t, std::unordered_set<graph::VertexId>> passed;
+    std::unordered_map<
+        uint32_t,
+        std::unordered_map<ServerId,
+                           std::unordered_map<graph::VertexId, std::vector<graph::VertexId>>>>
+        expansion;  // [step][target server][dst] = parents
+    // Step being processed.
+    uint32_t step = 0;
+    size_t pending_tasks = 0;
+    std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> current_frontier;
+    std::unordered_set<graph::VertexId> current_passed;
+    std::vector<graph::VertexId> step_results;
+    // Backward phase.
+    std::unordered_map<uint32_t, std::unordered_set<graph::VertexId>> alive;
+    std::unordered_map<uint32_t, uint32_t> back_batches_received;
+  };
+
+  // --- message handling -----------------------------------------------------
+
+  void OnMessage(rpc::Message&& msg);
+  void HandleSubmit(rpc::Message&& msg);
+  void HandleTraverse(rpc::Message&& msg);
+  void HandleAnswer(rpc::Message&& msg);
+  void HandleExecEvent(rpc::Message&& msg, bool created);
+  void HandleProgress(rpc::Message&& msg);
+  void HandleAbort(rpc::Message&& msg);
+
+  void HandleMutation(rpc::Message&& msg);
+  void HandleCatalog(rpc::Message&& msg);
+
+  void HandleSyncStepStart(rpc::Message&& msg);
+  void HandleSyncBatch(rpc::Message&& msg);
+  void HandleSyncStepDone(rpc::Message&& msg);
+
+  // --- async engine ----------------------------------------------------------
+
+  void WorkerLoop();
+  void ProcessBatch(const std::vector<VertexTask>& batch);
+  void ProcessSyncTask(const VertexTask& task);
+
+  // All Locked methods require mu_.
+  void ResolveVertexLocked(ExecState& exec, graph::VertexId vid, bool reach, bool from_owner);
+  void DispatchLocked(ExecState& exec, const CompiledPlan& cplan);
+  void TryAnswerLocked(ExecState& exec);
+  void EraseExecLocked(ExecId id);
+  void StartRootExecsLocked(TravelState& ts);
+  void CompleteTravelLocked(TravelState& ts, Status status);
+  void SendTraceEventLocked(ServerId coordinator, TravelId travel, uint32_t step,
+                            std::vector<ExecId> ids, bool created);
+  void SendDispatchEventLocked(ServerId coordinator, TravelId travel, uint32_t child_step,
+                               std::vector<ExecId> children, ExecId term_exec,
+                               uint32_t term_step);
+  void FlushTraceBufferLocked(ServerId coordinator, TravelId travel);
+  void FlushAllTraceBuffersLocked();
+  void ApplyTraceItemLocked(TravelState& ts, const TraceItem& item);
+
+  // --- sync engine ------------------------------------------------------------
+
+  void SyncMaybeProcessStepLocked(TravelId travel);
+  void SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl);
+  void SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl, uint32_t step);
+  void SyncCoordinatorStepDoneLocked(TravelState& ts, const SyncStepPayload& done,
+                                     ServerId src);
+  void SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t phase);
+
+  // --- maintenance ------------------------------------------------------------
+
+  void MaintenanceLoop();
+
+  bool VertexPassesLocked(const CompiledPlan& cplan, const graph::VertexRecord& rec,
+                          uint32_t step) const;
+  const std::vector<lang::Filter>& StepVertexFilters(const lang::TraversalPlan& plan,
+                                                     uint32_t step) const;
+
+  ServerConfig cfg_;
+  graph::GraphStore* store_;
+  const graph::Partitioner* partitioner_;
+  graph::Catalog* catalog_;
+  rpc::Transport* transport_;
+
+  VisitStats visit_stats_;
+  RequestQueue queue_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TravelId, std::shared_ptr<CompiledPlan>> plans_;
+  std::unordered_map<ExecId, std::unique_ptr<ExecState>> execs_;
+  std::unordered_map<TravelId, TravelState> travels_;       // coordinated here
+  std::unordered_map<TravelId, SyncLocal> sync_locals_;
+  TravelCache cache_;
+  // Vertices already accessed per travel on this server: later accesses hit
+  // the storage engine's block cache and charge the warm device cost.
+  std::unordered_map<TravelId, std::unordered_set<graph::VertexId>> accessed_;
+  // Outbound tracing events, batched per (coordinator, travel) and flushed
+  // by size or by the maintenance tick.
+  std::map<std::pair<ServerId, TravelId>, std::vector<TraceItem>> trace_buffer_;
+  std::unordered_set<TravelId> aborted_travels_;  // tombstones for late messages
+  std::deque<TravelId> aborted_order_;            // bounds the tombstone set
+  uint64_t next_exec_seq_ = 1;
+  uint64_t next_travel_seq_ = 1;
+
+  std::vector<std::thread> workers_;
+  std::thread maintenance_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace gt::engine

@@ -1,0 +1,175 @@
+#include "src/engine/client.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace gt::engine {
+
+Result<TravelId> GraphTrekClient::Submit(const lang::TraversalPlan& plan,
+                                         const RunOptions& opts) {
+  SubmitPayload submit;
+  submit.mode = static_cast<uint8_t>(opts.mode);
+  submit.timeout_ms = opts.failure_timeout_ms;
+  submit.plan = plan.Encode();
+
+  auto reply = mailbox_.Call(opts.coordinator, rpc::MsgType::kSubmitTraversal,
+                             submit.Encode());
+  if (!reply.ok()) return reply.status();
+  if (reply->type == rpc::MsgType::kTraversalComplete) {
+    auto done = CompletePayload::Decode(reply->payload);
+    if (done.ok() && done->ok == 0) return Status::InvalidArgument(done->error);
+    return Status::Internal("unexpected completion on submit");
+  }
+  Decoder dec(reply->payload);
+  uint64_t travel = 0;
+  if (!dec.GetVarint64(&travel)) return Status::Corruption("bad accept payload");
+  return travel;
+}
+
+Result<TraversalResult> GraphTrekClient::Await(TravelId travel, uint32_t timeout_ms) {
+  TraversalResult result;
+  result.travel_id = travel;
+  const uint64_t deadline = NowMicros() + static_cast<uint64_t>(timeout_ms) * 1000;
+
+  for (;;) {
+    const uint64_t now = NowMicros();
+    if (now >= deadline) return Status::Timeout("traversal wait");
+    auto msg = mailbox_.Receive(static_cast<uint32_t>((deadline - now) / 1000) + 1);
+    if (!msg.ok()) return msg.status();
+
+    switch (msg->type) {
+      case rpc::MsgType::kResultChunk: {
+        auto chunk = ResultChunkPayload::Decode(msg->payload);
+        if (!chunk.ok()) return chunk.status();
+        if (chunk->travel_id != travel) continue;  // stale stream
+        result.vids.insert(result.vids.end(), chunk->vids.begin(), chunk->vids.end());
+        break;
+      }
+      case rpc::MsgType::kTraversalComplete: {
+        auto done = CompletePayload::Decode(msg->payload);
+        if (!done.ok()) return done.status();
+        if (done->travel_id != travel) continue;
+        if (done->ok == 0) return Status::Aborted(done->error);
+        std::sort(result.vids.begin(), result.vids.end());
+        result.vids.erase(std::unique(result.vids.begin(), result.vids.end()),
+                          result.vids.end());
+        return result;
+      }
+      default:
+        break;  // ignore unrelated traffic
+    }
+  }
+}
+
+Result<TraversalResult> GraphTrekClient::Run(const lang::TraversalPlan& plan,
+                                             const RunOptions& opts) {
+  Stopwatch watch;
+  uint32_t restarts = 0;
+  for (;;) {
+    auto travel = Submit(plan, opts);
+    if (!travel.ok()) return travel.status();
+    auto result = Await(*travel, opts.client_timeout_ms);
+    if (result.ok()) {
+      result->elapsed_ms = watch.ElapsedMillis();
+      result->restarts = restarts;
+      return result;
+    }
+    if (result.status().IsAborted() && restarts < opts.max_restarts) {
+      // Failure detected by the coordinator's status tracing; restart the
+      // traversal from scratch (paper Section IV-C).
+      restarts++;
+      GT_WARN << "traversal " << *travel << " failed (" << result.status().ToString()
+              << "); restarting (" << restarts << "/" << opts.max_restarts << ")";
+      continue;
+    }
+    return result.status();
+  }
+}
+
+Result<TraversalResult> GraphTrekClient::RunUnion(
+    const std::vector<lang::TraversalPlan>& plans, const RunOptions& opts) {
+  Stopwatch watch;
+  TraversalResult combined;
+  uint32_t restarts = 0;
+  for (const auto& plan : plans) {
+    auto result = Run(plan, opts);
+    if (!result.ok()) return result.status();
+    combined.vids.insert(combined.vids.end(), result->vids.begin(), result->vids.end());
+    restarts += result->restarts;
+    combined.travel_id = result->travel_id;
+  }
+  std::sort(combined.vids.begin(), combined.vids.end());
+  combined.vids.erase(std::unique(combined.vids.begin(), combined.vids.end()),
+                      combined.vids.end());
+  combined.elapsed_ms = watch.ElapsedMillis();
+  combined.restarts = restarts;
+  return combined;
+}
+
+Result<ProgressPayload> GraphTrekClient::Progress(TravelId travel, ServerId coordinator,
+                                                  uint32_t timeout_ms) {
+  std::string payload;
+  PutVarint64(&payload, travel);
+  auto reply = mailbox_.Call(coordinator, rpc::MsgType::kProgressRequest,
+                             std::move(payload), timeout_ms);
+  if (!reply.ok()) return reply.status();
+  return ProgressPayload::Decode(reply->payload);
+}
+
+}  // namespace gt::engine
+
+// ---------------------------------------------------------------------------
+// Live updates + point queries
+// ---------------------------------------------------------------------------
+
+namespace gt::engine {
+
+Status GraphTrekClient::CallMutation(ServerId dst, rpc::MsgType type, std::string payload,
+                                     uint32_t timeout_ms) {
+  auto reply = mailbox_.Call(dst, type, std::move(payload), timeout_ms);
+  if (!reply.ok()) return reply.status();
+  auto ack = MutateAckPayload::Decode(reply->payload);
+  if (!ack.ok()) return ack.status();
+  if (ack->ok == 0) return Status::Internal(ack->error);
+  return Status::OK();
+}
+
+Status GraphTrekClient::PutVertex(graph::VertexId vid, const std::string& label,
+                                  NamedProps props, uint32_t timeout_ms) {
+  PutVertexPayload req;
+  req.vid = vid;
+  req.label = label;
+  req.props = std::move(props);
+  return CallMutation(OwnerOf(vid), rpc::MsgType::kPutVertex, req.Encode(), timeout_ms);
+}
+
+Status GraphTrekClient::PutEdge(graph::VertexId src, const std::string& label,
+                                graph::VertexId dst, NamedProps props,
+                                uint32_t timeout_ms) {
+  PutEdgePayload req;
+  req.src = src;
+  req.label = label;
+  req.dst = dst;
+  req.props = std::move(props);
+  return CallMutation(OwnerOf(src), rpc::MsgType::kPutEdge, req.Encode(), timeout_ms);
+}
+
+Status GraphTrekClient::DeleteVertex(graph::VertexId vid, uint32_t timeout_ms) {
+  GetVertexPayload req;
+  req.vid = vid;
+  return CallMutation(OwnerOf(vid), rpc::MsgType::kDeleteVertex, req.Encode(), timeout_ms);
+}
+
+Result<VertexReplyPayload> GraphTrekClient::GetVertex(graph::VertexId vid,
+                                                      uint32_t timeout_ms) {
+  GetVertexPayload req;
+  req.vid = vid;
+  auto reply = mailbox_.Call(OwnerOf(vid), rpc::MsgType::kGetVertex, req.Encode(),
+                             timeout_ms);
+  if (!reply.ok()) return reply.status();
+  return VertexReplyPayload::Decode(reply->payload);
+}
+
+}  // namespace gt::engine

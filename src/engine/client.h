@@ -1,0 +1,91 @@
+// GraphTrekClient: submits GTravel plans to a coordinator server, streams
+// back results, polls progress, and implements the paper's restart-on-
+// failure policy (a traversal whose executions are lost to a failure is
+// simply resubmitted).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/mutation.h"
+#include "src/engine/types.h"
+#include "src/graph/partitioner.h"
+#include "src/lang/gtravel.h"
+#include "src/rpc/mailbox.h"
+
+namespace gt::engine {
+
+struct TraversalResult {
+  TravelId travel_id = 0;
+  std::vector<graph::VertexId> vids;  // sorted, deduplicated
+  double elapsed_ms = 0.0;
+  uint32_t restarts = 0;  // failure-triggered resubmissions
+};
+
+struct RunOptions {
+  EngineMode mode = EngineMode::kGraphTrek;
+  ServerId coordinator = 0;
+  uint32_t failure_timeout_ms = 0;  // 0 = server default
+  uint32_t max_restarts = 2;
+  uint32_t client_timeout_ms = 120000;  // overall wait
+};
+
+class GraphTrekClient {
+ public:
+  // `num_servers` > 0 enables owner-routing of mutations and point queries
+  // (otherwise they are sent to server 0, which forwards to the owner).
+  explicit GraphTrekClient(rpc::Transport* transport, rpc::EndpointId id,
+                           uint32_t num_servers = 0)
+      : mailbox_(transport, id),
+        partitioner_(num_servers == 0 ? 1 : num_servers),
+        routed_(num_servers > 0) {}
+
+  rpc::EndpointId id() const { return mailbox_.id(); }
+  rpc::Mailbox* mailbox() { return &mailbox_; }
+
+  // Submits the plan and blocks until the traversal completes (restarting
+  // on reported failures, per the paper's recovery policy).
+  Result<TraversalResult> Run(const lang::TraversalPlan& plan, const RunOptions& opts);
+
+  // Fire-and-forget submission; use Await() to collect.
+  Result<TravelId> Submit(const lang::TraversalPlan& plan, const RunOptions& opts);
+
+  // Waits for a previously submitted traversal.
+  Result<TraversalResult> Await(TravelId travel, uint32_t timeout_ms = 120000);
+
+  // Requests the per-step unfinished-execution counts from the coordinator.
+  Result<ProgressPayload> Progress(TravelId travel, ServerId coordinator,
+                                   uint32_t timeout_ms = 5000);
+
+  // --- live updates + point queries (paper Section I requirements) ---
+  // Labels and property keys are plain strings; servers intern them.
+
+  Status PutVertex(graph::VertexId vid, const std::string& label,
+                   NamedProps props = {}, uint32_t timeout_ms = 10000);
+  Status PutEdge(graph::VertexId src, const std::string& label, graph::VertexId dst,
+                 NamedProps props = {}, uint32_t timeout_ms = 10000);
+  Status DeleteVertex(graph::VertexId vid, uint32_t timeout_ms = 10000);
+
+  // Low-latency point lookup of one vertex record (label + props by name).
+  Result<VertexReplyPayload> GetVertex(graph::VertexId vid, uint32_t timeout_ms = 10000);
+
+  // OR-composition helper: the language AND-composes filters; the paper's
+  // prescription for OR is to "issue different traversals and combine their
+  // results". Runs each plan (sequentially) and returns the deduplicated
+  // union of their result sets.
+  Result<TraversalResult> RunUnion(const std::vector<lang::TraversalPlan>& plans,
+                                   const RunOptions& opts);
+
+ private:
+  ServerId OwnerOf(graph::VertexId vid) const {
+    return routed_ ? partitioner_.ServerFor(vid) : 0;
+  }
+  Status CallMutation(ServerId dst, rpc::MsgType type, std::string payload,
+                      uint32_t timeout_ms);
+
+  rpc::Mailbox mailbox_;
+  graph::HashPartitioner partitioner_;
+  bool routed_ = false;
+};
+
+}  // namespace gt::engine

@@ -1,0 +1,103 @@
+// Cluster: assembles N backend servers (each with its own GraphStore and
+// embedded KV database), the shared transport, catalog and partitioner into
+// a runnable GraphTrek deployment inside one process. Benches and tests use
+// this to stand up 2-32 "backend servers" the way the paper's evaluation
+// deploys nodes on the Fusion cluster.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/device_model.h"
+#include "src/engine/backend_server.h"
+#include "src/engine/client.h"
+#include "src/engine/straggler.h"
+#include "src/graph/ingest.h"
+#include "src/graph/ref_graph.h"
+#include "src/rpc/inproc_transport.h"
+
+namespace gt::engine {
+
+struct ClusterConfig {
+  uint32_t num_servers = 4;
+  uint32_t workers_per_server = 2;
+  size_t cache_capacity = 1 << 20;
+  uint32_t exec_timeout_ms = 15000;
+
+  // Ablation knobs for the GraphTrek optimizations (see DESIGN.md).
+  bool graphtrek_merging = true;
+  bool graphtrek_priority_sched = true;
+
+  // Empty: a fresh directory under the system temp dir, removed on Stop.
+  std::string data_dir;
+
+  // Simulated device cost per vertex access (cold-start disk behaviour).
+  DeviceModelConfig device;
+
+  // Simulated network fabric.
+  rpc::InProcConfig net;
+
+  // KV engine knobs (block cache etc.); `device` above is charged at the
+  // GraphStore access level, not per KV block.
+  kv::DBOptions db;
+};
+
+class Cluster {
+ public:
+  static Result<std::unique_ptr<Cluster>> Create(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  uint32_t num_servers() const { return cfg_.num_servers; }
+  graph::Catalog* catalog() { return &catalog_; }
+  const graph::Partitioner* partitioner() const { return partitioner_.get(); }
+  rpc::Transport* transport() { return transport_.get(); }
+  rpc::InProcTransport* inproc_transport() { return transport_.get(); }
+  BackendServer* server(uint32_t i) { return servers_[i].get(); }
+  graph::GraphStore* store(uint32_t i) { return stores_[i].get(); }
+  DeviceModel* device(uint32_t i) { return devices_[i].get(); }
+  StragglerInjector* straggler() { return &straggler_; }
+
+  // Bulk-loads a staged in-memory graph across the shards.
+  Status Load(const graph::RefGraph& graph);
+
+  // Creates a client endpoint (caller owns it; must not outlive the cluster).
+  std::unique_ptr<GraphTrekClient> NewClient();
+
+  // Convenience: build + run one traversal.
+  Result<TraversalResult> Run(const lang::TraversalPlan& plan, EngineMode mode,
+                              ServerId coordinator = 0);
+
+  // Clears engine statistics on every server (between bench iterations).
+  void ResetStats();
+
+  // Dumps the whole distributed graph (all shards) into the staging
+  // RefGraph form — the inverse of Load(); pair with graph::ExportText.
+  Result<graph::RefGraph> Dump();
+
+  // Writes per-server engine + storage statistics to `out` (ops tooling).
+  void DumpStats(std::ostream* out);
+
+  void Stop();
+
+ private:
+  explicit Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {}
+
+  ClusterConfig cfg_;
+  bool own_dir_ = false;
+  graph::Catalog catalog_;
+  std::unique_ptr<graph::Partitioner> partitioner_;
+  std::unique_ptr<rpc::InProcTransport> transport_;
+  std::vector<std::unique_ptr<DeviceModel>> devices_;
+  std::vector<std::unique_ptr<graph::GraphStore>> stores_;
+  std::vector<std::unique_ptr<BackendServer>> servers_;
+  StragglerInjector straggler_;
+  uint32_t next_client_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gt::engine

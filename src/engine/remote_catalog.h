@@ -1,0 +1,60 @@
+// RemoteCatalog: catalog replica for out-of-process participants (server
+// daemons other than the authority, and standalone clients).
+//
+// Id assignment must be globally consistent because label/property-key ids
+// are baked into stored records and serialized plans. One server (the
+// authority, by convention server 0) owns assignment; every other process
+// resolves unknown names through it and caches the bindings locally.
+// Lookup()/Name() are local-only (warm the replica with Pull() at startup);
+// Intern() falls through to an RPC on a local miss.
+#pragma once
+
+#include <memory>
+
+#include "src/engine/mutation.h"
+#include "src/graph/catalog.h"
+#include "src/rpc/mailbox.h"
+
+namespace gt::engine {
+
+class RemoteCatalog final : public graph::Catalog {
+ public:
+  // `mailbox` must outlive the catalog; `authority` is the owning endpoint.
+  RemoteCatalog(rpc::Mailbox* mailbox, rpc::EndpointId authority,
+                uint32_t timeout_ms = 10000)
+      : mailbox_(mailbox), authority_(authority), timeout_ms_(timeout_ms) {}
+
+  // Fetches the authority's full snapshot into the local replica.
+  Status Pull() {
+    auto reply = mailbox_->Call(authority_, rpc::MsgType::kCatalogPull, "", timeout_ms_);
+    if (!reply.ok()) return reply.status();
+    auto decoded = CatalogReplyPayload::Decode(reply->payload);
+    if (!decoded.ok()) return decoded.status();
+    for (uint32_t id = 0; id < decoded->names.size(); id++) {
+      InsertAt(id, decoded->names[id]);
+    }
+    return Status::OK();
+  }
+
+  Id Intern(const std::string& name) override {
+    const Id local = graph::Catalog::Lookup(name);
+    if (local != kInvalidId) return local;
+
+    CatalogInternPayload req;
+    req.name = name;
+    auto reply = mailbox_->Call(authority_, rpc::MsgType::kCatalogIntern, req.Encode(),
+                                timeout_ms_);
+    if (!reply.ok()) return kInvalidId;
+    auto decoded = CatalogReplyPayload::Decode(reply->payload);
+    if (!decoded.ok() || decoded->id == kInvalidId) return kInvalidId;
+    InsertAt(decoded->id, name);
+    return decoded->id;
+  }
+
+ private:
+  rpc::Mailbox* mailbox_;
+  rpc::EndpointId authority_;
+  uint32_t timeout_ms_;
+};
+
+}  // namespace gt::engine

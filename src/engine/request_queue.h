@@ -1,0 +1,126 @@
+// Per-server request queue implementing the paper's execution scheduling
+// and merging (Section V-B).
+//
+// Incoming traversal requests explode into per-vertex tasks. Worker threads
+// pop tasks; scheduling and merging behaviour is carried per task because
+// the engine mode travels with each traversal:
+//   GraphTrek tasks - smallest-step-first order ("process the slow steps
+//                     with higher priority to help them catch up"), and
+//                     mergeable: popping one extracts every queued task for
+//                     the same {travel, vertex} so a single disk access
+//                     serves them all ("combined visits").
+//   Async-GT tasks  - plain FIFO, never merged.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/engine/types.h"
+
+namespace gt::engine {
+
+struct VertexTask {
+  TravelId travel = 0;
+  uint32_t step = 0;
+  graph::VertexId vid = 0;
+  ExecId exec = 0;      // owning local execution (0 for sync-engine tasks)
+  bool is_owner = true; // false: redundant arrival that must re-consult the memo
+  bool sync = false;    // synchronous-engine task
+};
+
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+
+  // `priority`: order by (step, arrival) rather than arrival only.
+  // `mergeable`: candidate for execution merging.
+  void Push(VertexTask task, bool priority, bool mergeable) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const uint64_t seq = next_seq_++;
+      const OrderKey key =
+          priority ? ((static_cast<uint64_t>(task.step) << 44) | (seq & ((1ULL << 44) - 1)))
+                   : seq;
+      if (mergeable) merge_index_[MergeKey{task.travel, task.vid}].push_back(key);
+      queue_.emplace(key, Item{std::move(task), mergeable});
+      if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until tasks are available (or shutdown). Returns the scheduled
+  // task plus — when it is mergeable — all other queued tasks for the same
+  // vertex. Returns false on shutdown.
+  bool PopBatch(std::vector<VertexTask>* batch) {
+    batch->clear();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return false;
+
+    auto first = queue_.begin();
+    const MergeKey mkey{first->second.task.travel, first->second.task.vid};
+
+    if (!first->second.mergeable) {
+      batch->push_back(std::move(first->second.task));
+      queue_.erase(first);
+      return true;
+    }
+
+    // Extract every queued mergeable task for this {travel, vertex}.
+    auto idx = merge_index_.find(mkey);
+    for (const OrderKey key : idx->second) {
+      auto it = queue_.find(key);
+      batch->push_back(std::move(it->second.task));
+      queue_.erase(it);
+    }
+    merge_index_.erase(idx);
+    return true;
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+  }
+
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_watermark_;
+  }
+
+ private:
+  using OrderKey = uint64_t;
+
+  struct Item {
+    VertexTask task;
+    bool mergeable;
+  };
+
+  struct MergeKey {
+    TravelId travel;
+    graph::VertexId vid;
+    bool operator<(const MergeKey& o) const {
+      if (travel != o.travel) return travel < o.travel;
+      return vid < o.vid;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<OrderKey, Item> queue_;
+  std::map<MergeKey, std::vector<OrderKey>> merge_index_;
+  uint64_t next_seq_ = 0;
+  size_t high_watermark_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gt::engine

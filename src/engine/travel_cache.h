@@ -1,0 +1,143 @@
+// Traversal-affiliate cache (paper Section V-A), generalized into the
+// memo table that also drives rtn() attribution.
+//
+// Each entry is keyed by the paper's {travel-id, current-step, vertex-id}
+// triple and records whether that vertex's traversal subtree reaches the
+// end of the call chain (`reach`). A first arrival inserts a *pending*
+// entry and owns the vertex's processing; subsequent arrivals are redundant
+// visits — GraphTrek absorbs them without I/O and registers a waiter that
+// is answered when the owner resolves the entry.
+//
+// Replacement follows the paper's time-based strategy: the triples with the
+// smallest step ids are substituted first (the presence of larger step ids
+// indicates the oldest steps are finished). Only resolved entries are
+// evictable; pending entries pin protocol state.
+//
+// Not internally synchronized: the owning BackendServer serializes access
+// under its engine mutex, and waiter callbacks fire under that same mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/engine/types.h"
+
+namespace gt::engine {
+
+class TravelCache {
+ public:
+  explicit TravelCache(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  enum class State { kMiss, kPending, kResolved };
+
+  struct LookupResult {
+    State state = State::kMiss;
+    bool reach = false;  // valid when kResolved
+  };
+
+  // Looks up {travel, step, vid}; on miss inserts a pending entry (the
+  // caller becomes the owner responsible for resolving it).
+  LookupResult LookupOrInsertPending(TravelId travel, uint32_t step, graph::VertexId vid) {
+    const Key key{travel, step, vid};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      return LookupResult{it->second.resolved ? State::kResolved : State::kPending,
+                          it->second.reach};
+    }
+    MaybeEvict();
+    Entry e;
+    e.seq = next_seq_++;
+    entries_.emplace(key, std::move(e));
+    return LookupResult{State::kMiss, false};
+  }
+
+  // Registers a callback fired (under the server engine lock) when the
+  // pending entry resolves. REQUIRES: entry exists and is pending.
+  void AddWaiter(TravelId travel, uint32_t step, graph::VertexId vid,
+                 std::function<void(bool)> waiter) {
+    entries_.at(Key{travel, step, vid}).waiters.push_back(std::move(waiter));
+  }
+
+  // Resolves a pending entry and returns the waiters to fire. REQUIRES:
+  // entry exists and is pending.
+  std::vector<std::function<void(bool)>> Resolve(TravelId travel, uint32_t step,
+                                                 graph::VertexId vid, bool reach) {
+    const Key key{travel, step, vid};
+    Entry& e = entries_.at(key);
+    e.resolved = true;
+    e.reach = reach;
+    evictable_.insert(EvictKey{step, e.seq, key});
+    return std::move(e.waiters);
+  }
+
+  // Drops all entries of a finished travel.
+  void EraseTravel(TravelId travel) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.travel == travel) {
+        if (it->second.resolved) {
+          evictable_.erase(EvictKey{it->first.step, it->second.seq, it->first});
+        }
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Key {
+    TravelId travel;
+    uint32_t step;
+    graph::VertexId vid;
+    bool operator==(const Key& o) const {
+      return travel == o.travel && step == o.step && vid == o.vid;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(HashCombine(Mix64(k.travel), Mix64(k.step)), Mix64(k.vid));
+    }
+  };
+  struct Entry {
+    bool resolved = false;
+    bool reach = false;
+    uint64_t seq = 0;
+    std::vector<std::function<void(bool)>> waiters;
+  };
+  // Eviction order: smallest step first, then oldest insertion.
+  struct EvictKey {
+    uint32_t step;
+    uint64_t seq;
+    Key key;
+    bool operator<(const EvictKey& o) const {
+      if (step != o.step) return step < o.step;
+      return seq < o.seq;
+    }
+  };
+
+  void MaybeEvict() {
+    while (entries_.size() >= capacity_ && !evictable_.empty()) {
+      auto it = evictable_.begin();
+      entries_.erase(it->key);
+      evictable_.erase(it);
+      evictions_++;
+    }
+  }
+
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  uint64_t evictions_ = 0;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::set<EvictKey> evictable_;
+};
+
+}  // namespace gt::engine

@@ -1,0 +1,479 @@
+// Engine protocol types: identifiers, frontier entries and the payload
+// encodings for every engine message (async hand-offs, tracing events,
+// result returns and the synchronous control plane).
+//
+// rtn() attribution model
+// -----------------------
+// Each frontier entry carries `parents`: the vertices of the PREVIOUS step
+// (on the sending server) whose edge expansion produced this entry. Answers
+// flow back up the execution tree: a child execution answers its parent
+// with the subset of parent vertices that have at least one path reaching
+// the end of the chain. Every execution translates child answers into (a)
+// reach values for its own vertices (memoized in the traversal-affiliate
+// cache) and (b) an answer to its own parent. rtn-marked steps emit their
+// reached vertices as result values which ride the answers up to the
+// coordinator. This generalizes the paper's "change the reporting
+// destination" relay (Fig. 4) to exact per-vertex attribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/status.h"
+#include "src/graph/encoding.h"
+
+namespace gt::engine {
+
+using TravelId = uint64_t;
+using ExecId = uint64_t;
+using ServerId = uint32_t;
+
+inline ExecId MakeExecId(ServerId server, uint64_t seq) {
+  return (static_cast<uint64_t>(server) << 40) | (seq & ((1ULL << 40) - 1));
+}
+inline ServerId ExecServer(ExecId id) { return static_cast<ServerId>(id >> 40); }
+
+// Engine variants under evaluation (paper Section VII).
+enum class EngineMode : uint8_t {
+  kSync = 0,       // Sync-GT: level-synchronous, coordinator barrier per step
+  kAsyncPlain = 1, // Async-GT: asynchronous, no cache absorption / merging / priority
+  kGraphTrek = 2,  // GraphTrek: async + traversal-affiliate cache + sched/merge
+};
+
+inline const char* EngineModeName(EngineMode m) {
+  switch (m) {
+    case EngineMode::kSync: return "Sync-GT";
+    case EngineMode::kAsyncPlain: return "Async-GT";
+    case EngineMode::kGraphTrek: return "GraphTrek";
+  }
+  return "?";
+}
+
+// One frontier vertex plus the previous-step vertices that produced it.
+struct FrontierEntry {
+  graph::VertexId vid = 0;
+  std::vector<graph::VertexId> parents;
+
+  bool operator==(const FrontierEntry& o) const {
+    return vid == o.vid && parents == o.parents;
+  }
+};
+
+inline void EncodeEntries(std::string* out, const std::vector<FrontierEntry>& entries) {
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    PutVarint64(out, e.vid);
+    PutVarint32(out, static_cast<uint32_t>(e.parents.size()));
+    for (auto p : e.parents) PutVarint64(out, p);
+  }
+}
+
+inline bool DecodeEntries(Decoder* dec, std::vector<FrontierEntry>* out) {
+  uint32_t n = 0;
+  if (!dec->GetVarint32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    FrontierEntry e;
+    uint32_t np = 0;
+    if (!dec->GetVarint64(&e.vid) || !dec->GetVarint32(&np)) return false;
+    e.parents.reserve(np);
+    for (uint32_t j = 0; j < np; j++) {
+      uint64_t p;
+      if (!dec->GetVarint64(&p)) return false;
+      e.parents.push_back(p);
+    }
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+inline void EncodeVidList(std::string* out, const std::vector<graph::VertexId>& vids) {
+  PutVarint32(out, static_cast<uint32_t>(vids.size()));
+  for (auto v : vids) PutVarint64(out, v);
+}
+
+inline bool DecodeVidList(Decoder* dec, std::vector<graph::VertexId>* out) {
+  uint32_t n = 0;
+  if (!dec->GetVarint32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    uint64_t v;
+    if (!dec->GetVarint64(&v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+// --- kSubmitTraversal (client -> coordinator) ------------------------------
+
+struct SubmitPayload {
+  uint8_t mode = 0;           // EngineMode
+  uint32_t timeout_ms = 0;    // failure-detection timeout (0 = default)
+  std::string plan;           // TraversalPlan::Encode()
+
+  std::string Encode() const {
+    std::string out;
+    out.push_back(static_cast<char>(mode));
+    PutVarint32(&out, timeout_ms);
+    PutLengthPrefixed(&out, plan);
+    return out;
+  }
+  static Result<SubmitPayload> Decode(std::string_view data) {
+    SubmitPayload p;
+    Decoder dec(data);
+    std::string_view mode_byte, plan;
+    if (!dec.GetBytes(1, &mode_byte) || !dec.GetVarint32(&p.timeout_ms) ||
+        !dec.GetLengthPrefixed(&plan)) {
+      return Status::Corruption("bad submit payload");
+    }
+    p.mode = static_cast<uint8_t>(mode_byte[0]);
+    p.plan.assign(plan);
+    return p;
+  }
+};
+
+// --- kTraverse (server -> server) ------------------------------------------
+
+struct TraversePayload {
+  TravelId travel_id = 0;
+  uint32_t step = 0;      // step index of the entries' working set
+  ExecId exec_id = 0;     // id of the execution created at the receiver
+  ExecId parent_exec = 0;
+  ServerId parent_server = 0;
+  ServerId coordinator = 0;
+  uint8_t mode = 0;           // EngineMode (async variants)
+  uint8_t scan_start = 0;     // step-0 request: scan the local type index
+  std::string plan;           // included on every hand-off (plans are small)
+  std::vector<FrontierEntry> entries;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, step);
+    PutVarint64(&out, exec_id);
+    PutVarint64(&out, parent_exec);
+    PutVarint32(&out, parent_server);
+    PutVarint32(&out, coordinator);
+    out.push_back(static_cast<char>(mode));
+    out.push_back(static_cast<char>(scan_start));
+    PutLengthPrefixed(&out, plan);
+    EncodeEntries(&out, entries);
+    return out;
+  }
+  static Result<TraversePayload> Decode(std::string_view data) {
+    TraversePayload p;
+    Decoder dec(data);
+    std::string_view mode_byte, scan_byte, plan;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
+        !dec.GetVarint64(&p.exec_id) || !dec.GetVarint64(&p.parent_exec) ||
+        !dec.GetVarint32(&p.parent_server) || !dec.GetVarint32(&p.coordinator) ||
+        !dec.GetBytes(1, &mode_byte) || !dec.GetBytes(1, &scan_byte) ||
+        !dec.GetLengthPrefixed(&plan) || !DecodeEntries(&dec, &p.entries)) {
+      return Status::Corruption("bad traverse payload");
+    }
+    p.mode = static_cast<uint8_t>(mode_byte[0]);
+    p.scan_start = static_cast<uint8_t>(scan_byte[0]);
+    p.plan.assign(plan);
+    return p;
+  }
+};
+
+// --- kReturnVertices (execution answer, child -> parent / -> coordinator) --
+
+struct AnswerPayload {
+  TravelId travel_id = 0;
+  ExecId exec_id = 0;         // the answering execution
+  ExecId parent_exec = 0;     // destination execution
+  std::vector<graph::VertexId> reached_parents;  // parent vids with a live path
+  std::vector<graph::VertexId> result_vids;      // rtn/final results, pass-through
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint64(&out, exec_id);
+    PutVarint64(&out, parent_exec);
+    EncodeVidList(&out, reached_parents);
+    EncodeVidList(&out, result_vids);
+    return out;
+  }
+  static Result<AnswerPayload> Decode(std::string_view data) {
+    AnswerPayload p;
+    Decoder dec(data);
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint64(&p.exec_id) ||
+        !dec.GetVarint64(&p.parent_exec) || !DecodeVidList(&dec, &p.reached_parents) ||
+        !DecodeVidList(&dec, &p.result_vids)) {
+      return Status::Corruption("bad answer payload");
+    }
+    return p;
+  }
+};
+
+// --- kExecCreated / kExecTerminated (server -> coordinator tracing) --------
+
+struct ExecEventPayload {
+  TravelId travel_id = 0;
+  uint32_t step = 0;
+  std::vector<ExecId> exec_ids;  // created: may be several; terminated: one
+  // kExecDispatched: the execution reporting its own termination alongside
+  // the creation of its children (exec_ids, at `step`).
+  ExecId term_exec = 0;
+  uint32_t term_step = 0;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, step);
+    PutVarint32(&out, static_cast<uint32_t>(exec_ids.size()));
+    for (auto id : exec_ids) PutVarint64(&out, id);
+    PutVarint64(&out, term_exec);
+    PutVarint32(&out, term_step);
+    return out;
+  }
+  static Result<ExecEventPayload> Decode(std::string_view data) {
+    ExecEventPayload p;
+    Decoder dec(data);
+    uint32_t n = 0;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) || !dec.GetVarint32(&n)) {
+      return Status::Corruption("bad exec event payload");
+    }
+    p.exec_ids.reserve(n);
+    for (uint32_t i = 0; i < n; i++) {
+      uint64_t id;
+      if (!dec.GetVarint64(&id)) return Status::Corruption("bad exec id");
+      p.exec_ids.push_back(id);
+    }
+    if (!dec.GetVarint64(&p.term_exec) || !dec.GetVarint32(&p.term_step)) {
+      return Status::Corruption("bad exec event tail");
+    }
+    return p;
+  }
+};
+
+// --- kExecDispatched (batched tracing, server -> coordinator) ---------------
+// Servers coalesce creation/termination events into small batches to keep
+// the coordinator's tracing traffic off the traversal's critical path.
+
+struct TraceItem {
+  ExecId exec = 0;
+  uint32_t step = 0;
+  uint8_t created = 0;  // 1 = creation event, 0 = termination event
+
+  bool operator==(const TraceItem& o) const {
+    return exec == o.exec && step == o.step && created == o.created;
+  }
+};
+
+struct TraceBatchPayload {
+  TravelId travel_id = 0;
+  std::vector<TraceItem> items;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, static_cast<uint32_t>(items.size()));
+    for (const auto& it : items) {
+      PutVarint64(&out, it.exec);
+      PutVarint32(&out, it.step);
+      out.push_back(static_cast<char>(it.created));
+    }
+    return out;
+  }
+  static Result<TraceBatchPayload> Decode(std::string_view data) {
+    TraceBatchPayload p;
+    Decoder dec(data);
+    uint32_t n = 0;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&n)) {
+      return Status::Corruption("bad trace batch payload");
+    }
+    p.items.resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+      std::string_view flag;
+      if (!dec.GetVarint64(&p.items[i].exec) || !dec.GetVarint32(&p.items[i].step) ||
+          !dec.GetBytes(1, &flag)) {
+        return Status::Corruption("bad trace item");
+      }
+      p.items[i].created = static_cast<uint8_t>(flag[0]);
+    }
+    return p;
+  }
+};
+
+// --- kResultChunk / kTraversalComplete (coordinator -> client) -------------
+
+struct ResultChunkPayload {
+  TravelId travel_id = 0;
+  std::vector<graph::VertexId> vids;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    EncodeVidList(&out, vids);
+    return out;
+  }
+  static Result<ResultChunkPayload> Decode(std::string_view data) {
+    ResultChunkPayload p;
+    Decoder dec(data);
+    if (!dec.GetVarint64(&p.travel_id) || !DecodeVidList(&dec, &p.vids)) {
+      return Status::Corruption("bad result chunk");
+    }
+    return p;
+  }
+};
+
+struct CompletePayload {
+  TravelId travel_id = 0;
+  uint8_t ok = 1;
+  std::string error;
+  uint64_t total_results = 0;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    out.push_back(static_cast<char>(ok));
+    PutLengthPrefixed(&out, error);
+    PutVarint64(&out, total_results);
+    return out;
+  }
+  static Result<CompletePayload> Decode(std::string_view data) {
+    CompletePayload p;
+    Decoder dec(data);
+    std::string_view ok_byte, err;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetBytes(1, &ok_byte) ||
+        !dec.GetLengthPrefixed(&err) || !dec.GetVarint64(&p.total_results)) {
+      return Status::Corruption("bad complete payload");
+    }
+    p.ok = static_cast<uint8_t>(ok_byte[0]);
+    p.error.assign(err);
+    return p;
+  }
+};
+
+// --- kProgressReply (coordinator -> client) ---------------------------------
+// Per-step count of unfinished traversal executions, the paper's progress
+// estimate ("the count of current unfinished traversal executions in each
+// step can still help users estimate the remaining work").
+
+struct ProgressPayload {
+  TravelId travel_id = 0;
+  std::vector<uint32_t> unfinished_per_step;
+  uint64_t total_created = 0;
+  uint64_t total_terminated = 0;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, static_cast<uint32_t>(unfinished_per_step.size()));
+    for (auto c : unfinished_per_step) PutVarint32(&out, c);
+    PutVarint64(&out, total_created);
+    PutVarint64(&out, total_terminated);
+    return out;
+  }
+  static Result<ProgressPayload> Decode(std::string_view data) {
+    ProgressPayload p;
+    Decoder dec(data);
+    uint32_t n = 0;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&n)) {
+      return Status::Corruption("bad progress payload");
+    }
+    p.unfinished_per_step.resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+      if (!dec.GetVarint32(&p.unfinished_per_step[i])) {
+        return Status::Corruption("bad progress count");
+      }
+    }
+    if (!dec.GetVarint64(&p.total_created) || !dec.GetVarint64(&p.total_terminated)) {
+      return Status::Corruption("bad progress totals");
+    }
+    return p;
+  }
+};
+
+// --- synchronous engine control plane ---------------------------------------
+
+struct SyncStepPayload {
+  TravelId travel_id = 0;
+  uint32_t step = 0;
+  uint8_t phase = 0;  // 0 = forward, 1 = backward (rtn resolution)
+  // kSyncStepStart at step 0 carries the plan and the scan flag.
+  uint8_t scan_start = 0;
+  std::string plan;
+  // kSyncStepDone: number of batches this server sent to each server.
+  std::vector<uint32_t> batches_sent;
+  // kSyncStepStart: number of batches the receiver should expect.
+  uint32_t batches_expected = 0;
+  // kSyncStepDone: local result vids discovered this step (final/rtn).
+  std::vector<graph::VertexId> result_vids;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, step);
+    out.push_back(static_cast<char>(phase));
+    out.push_back(static_cast<char>(scan_start));
+    PutLengthPrefixed(&out, plan);
+    PutVarint32(&out, static_cast<uint32_t>(batches_sent.size()));
+    for (auto c : batches_sent) PutVarint32(&out, c);
+    PutVarint32(&out, batches_expected);
+    EncodeVidList(&out, result_vids);
+    return out;
+  }
+  static Result<SyncStepPayload> Decode(std::string_view data) {
+    SyncStepPayload p;
+    Decoder dec(data);
+    std::string_view phase_byte, scan_byte, plan;
+    uint32_t n = 0;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
+        !dec.GetBytes(1, &phase_byte) || !dec.GetBytes(1, &scan_byte) ||
+        !dec.GetLengthPrefixed(&plan) || !dec.GetVarint32(&n)) {
+      return Status::Corruption("bad sync step payload");
+    }
+    p.phase = static_cast<uint8_t>(phase_byte[0]);
+    p.scan_start = static_cast<uint8_t>(scan_byte[0]);
+    p.plan.assign(plan);
+    p.batches_sent.resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+      if (!dec.GetVarint32(&p.batches_sent[i])) return Status::Corruption("bad batch count");
+    }
+    if (!dec.GetVarint32(&p.batches_expected) || !DecodeVidList(&dec, &p.result_vids)) {
+      return Status::Corruption("bad sync step tail");
+    }
+    return p;
+  }
+};
+
+// Frontier batch between servers in the synchronous engine. In the forward
+// phase entries are next-step candidates; in the backward phase `entries`
+// carries (vid, {}) pairs naming alive vertices owned by the receiver's
+// forward expansion.
+struct SyncBatchPayload {
+  TravelId travel_id = 0;
+  uint32_t step = 0;  // step of the entries' working set
+  uint8_t phase = 0;
+  std::vector<FrontierEntry> entries;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    PutVarint32(&out, step);
+    out.push_back(static_cast<char>(phase));
+    EncodeEntries(&out, entries);
+    return out;
+  }
+  static Result<SyncBatchPayload> Decode(std::string_view data) {
+    SyncBatchPayload p;
+    Decoder dec(data);
+    std::string_view phase_byte;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
+        !dec.GetBytes(1, &phase_byte) || !DecodeEntries(&dec, &p.entries)) {
+      return Status::Corruption("bad sync batch payload");
+    }
+    p.phase = static_cast<uint8_t>(phase_byte[0]);
+    return p;
+  }
+};
+
+}  // namespace gt::engine

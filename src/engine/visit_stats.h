@@ -1,0 +1,44 @@
+// Per-server visit statistics — the three counters instrumented for the
+// paper's Fig. 7:
+//   redundant visits - repeated (travel, step, vertex) requests absorbed by
+//                      the traversal-affiliate cache (GraphTrek) or paid as
+//                      duplicate I/O (Async-GT)
+//   combined visits  - requests folded into another vertex access by
+//                      execution merging
+//   real I/O visits  - vertex accesses that reached the storage backend
+// The sum equals the total vertex requests the server received.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gt::engine {
+
+struct VisitStats {
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> redundant{0};
+  std::atomic<uint64_t> combined{0};
+  std::atomic<uint64_t> real_io{0};
+
+  void Reset() { received = redundant = combined = real_io = 0; }
+
+  struct Snapshot {
+    uint64_t received = 0;
+    uint64_t redundant = 0;
+    uint64_t combined = 0;
+    uint64_t real_io = 0;
+  };
+
+  Snapshot Read() const {
+    return Snapshot{received.load(), redundant.load(), combined.load(), real_io.load()};
+  }
+
+  std::string ToString() const {
+    auto s = Read();
+    return "received=" + std::to_string(s.received) + " redundant=" + std::to_string(s.redundant) +
+           " combined=" + std::to_string(s.combined) + " real_io=" + std::to_string(s.real_io);
+  }
+};
+
+}  // namespace gt::engine

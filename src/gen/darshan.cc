@@ -1,0 +1,126 @@
+#include "src/gen/darshan.h"
+
+namespace gt::gen {
+
+graph::RefGraph DarshanGenerator::Build(graph::Catalog* catalog) {
+  graph::RefGraph g;
+  stats_ = DarshanStats{};
+
+  const graph::LabelId user_t = catalog->Intern("User");
+  const graph::LabelId job_t = catalog->Intern("Job");
+  const graph::LabelId exec_t = catalog->Intern("Execution");
+  const graph::LabelId file_t = catalog->Intern("File");
+
+  const graph::LabelId run_e = catalog->Intern("run");
+  const graph::LabelId has_exec_e = catalog->Intern("hasExecutions");
+  const graph::LabelId exe_e = catalog->Intern("exe");
+  const graph::LabelId read_e = catalog->Intern("read");
+  const graph::LabelId read_by_e = catalog->Intern("readBy");
+  const graph::LabelId write_e = catalog->Intern("write");
+
+  const auto name_k = catalog->Intern("name");
+  const auto ts_k = catalog->Intern("ts");
+  const auto size_k = catalog->Intern("size");
+  const auto params_k = catalog->Intern("params");
+  const auto write_size_k = catalog->Intern("writeSize");
+
+  graph::VertexId next = 0;
+
+  // Users.
+  std::vector<graph::VertexId> users(cfg_.users);
+  for (uint32_t u = 0; u < cfg_.users; u++) {
+    graph::VertexRecord v;
+    v.id = next++;
+    v.label = user_t;
+    v.props.Set(name_k, graph::PropValue("user-" + std::to_string(u)));
+    users[u] = v.id;
+    g.AddVertex(std::move(v));
+    stats_.users++;
+  }
+
+  // Files (popularity is Zipf over this pool).
+  std::vector<graph::VertexId> files(cfg_.files);
+  for (uint32_t f = 0; f < cfg_.files; f++) {
+    graph::VertexRecord v;
+    v.id = next++;
+    v.label = file_t;
+    v.props.Set(name_k, graph::PropValue("/proj/data/file-" + std::to_string(f) +
+                                         (f % 7 == 0 ? ".txt" : ".dat")));
+    v.props.Set(size_k, graph::PropValue(static_cast<int64_t>(rng_.Uniform(1u << 30))));
+    files[f] = v.id;
+    g.AddVertex(std::move(v));
+    stats_.files++;
+  }
+
+  auto pick_file = [&] { return files[rng_.Zipf(files.size(), cfg_.zipf_s)]; };
+
+  auto add_edge = [&](graph::VertexId src, graph::LabelId label, graph::VertexId dst,
+                      graph::PropMap props) {
+    graph::EdgeRecord e;
+    e.src = src;
+    e.label = label;
+    e.dst = dst;
+    e.props = std::move(props);
+    g.AddEdge(std::move(e));
+    stats_.edges++;
+  };
+
+  // Jobs, executions and file accesses. User activity is skewed: a handful
+  // of power users own most jobs (as on a production machine).
+  for (uint32_t u = 0; u < cfg_.users; u++) {
+    const uint32_t jobs =
+        1 + static_cast<uint32_t>(rng_.Zipf(cfg_.jobs_per_user_max, 1.0));
+    for (uint32_t j = 0; j < jobs; j++) {
+      graph::VertexRecord job;
+      job.id = next++;
+      job.label = job_t;
+      const int64_t job_ts = RandomTs();
+      job.props.Set(ts_k, graph::PropValue(job_ts));
+      const graph::VertexId job_vid = job.id;
+      g.AddVertex(std::move(job));
+      stats_.jobs++;
+
+      graph::PropMap run_props;
+      run_props.Set(ts_k, graph::PropValue(job_ts));
+      add_edge(users[u], run_e, job_vid, std::move(run_props));
+
+      const uint32_t execs =
+          1 + static_cast<uint32_t>(rng_.Zipf(cfg_.execs_per_job_max, 1.2));
+      for (uint32_t x = 0; x < execs; x++) {
+        graph::VertexRecord exec;
+        exec.id = next++;
+        exec.label = exec_t;
+        exec.props.Set(params_k,
+                       graph::PropValue("-n " + std::to_string(1u << rng_.Uniform(12))));
+        const graph::VertexId exec_vid = exec.id;
+        g.AddVertex(std::move(exec));
+        stats_.executions++;
+
+        add_edge(job_vid, has_exec_e, exec_vid, {});
+        add_edge(exec_vid, exe_e, pick_file(), {});
+
+        const uint32_t reads = static_cast<uint32_t>(rng_.Uniform(cfg_.reads_per_exec_max + 1));
+        for (uint32_t r = 0; r < reads; r++) {
+          const graph::VertexId file = pick_file();
+          graph::PropMap rp;
+          rp.Set(ts_k, graph::PropValue(job_ts + static_cast<int64_t>(rng_.Uniform(3600))));
+          add_edge(exec_vid, read_e, file, rp);
+          add_edge(file, read_by_e, exec_vid, std::move(rp));
+        }
+
+        const uint32_t writes =
+            static_cast<uint32_t>(rng_.Uniform(cfg_.writes_per_exec_max + 1));
+        for (uint32_t w = 0; w < writes; w++) {
+          graph::PropMap wp;
+          wp.Set(ts_k, graph::PropValue(job_ts + static_cast<int64_t>(rng_.Uniform(3600))));
+          wp.Set(write_size_k,
+                 graph::PropValue(static_cast<int64_t>(rng_.Uniform(1u << 24))));
+          add_edge(exec_vid, write_e, pick_file(), std::move(wp));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace gt::gen

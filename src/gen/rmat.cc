@@ -1,0 +1,45 @@
+#include "src/gen/rmat.h"
+
+#include <unordered_set>
+
+namespace gt::gen {
+
+graph::RefGraph RmatGenerator::Build(graph::Catalog* catalog,
+                                     const std::string& vertex_type,
+                                     const std::string& edge_label) {
+  graph::RefGraph g;
+  const uint64_t n = 1ull << cfg_.scale;
+  const uint64_t m = n * cfg_.avg_degree;
+
+  const graph::LabelId vtype = catalog->Intern(vertex_type);
+  const graph::LabelId elabel = catalog->Intern(edge_label);
+  const graph::Catalog::Id attr_key = catalog->Intern("attr");
+  const graph::Catalog::Id weight_key = catalog->Intern("weight");
+
+  for (uint64_t vid = 0; vid < n; vid++) {
+    graph::VertexRecord v;
+    v.id = vid;
+    v.label = vtype;
+    if (cfg_.attr_bytes > 0) v.props.Set(attr_key, graph::PropValue(RandomAttr()));
+    g.AddVertex(std::move(v));
+  }
+
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < m; i++) {
+    auto [src, dst] = SampleEdge();
+    if (cfg_.dedup_edges) {
+      const uint64_t key = (src << cfg_.scale) | dst;
+      if (!seen.insert(key).second) continue;
+    }
+    graph::EdgeRecord e;
+    e.src = src;
+    e.label = elabel;
+    e.dst = dst;
+    e.props.Set(weight_key, graph::PropValue(static_cast<int64_t>(rng_.Uniform(1000))));
+    if (cfg_.attr_bytes > 0) e.props.Set(attr_key, graph::PropValue(RandomAttr()));
+    g.AddEdge(std::move(e));
+  }
+  return g;
+}
+
+}  // namespace gt::gen

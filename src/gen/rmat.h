@@ -1,0 +1,73 @@
+// RMAT graph generator (Chakrabarti, Zhan, Faloutsos — "R-MAT: A Recursive
+// Model for Graph Mining"). Generates the scale-free synthetic graphs used
+// throughout the paper's evaluation: 2^scale vertices, avg out-degree
+// `avg_degree`, quadrant probabilities (a, b, c, d); the paper's RMAT-1 uses
+// a=0.45, b=0.15, c=0.15, d=0.25 with scale 20 and degree 16, and attaches
+// a random 128-byte attribute to every vertex and edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/graph/catalog.h"
+#include "src/graph/ref_graph.h"
+
+namespace gt::gen {
+
+struct RmatConfig {
+  uint32_t scale = 14;          // 2^scale vertices
+  uint32_t avg_degree = 16;
+  double a = 0.45, b = 0.15, c = 0.15, d = 0.25;
+  uint32_t attr_bytes = 128;    // random payload per vertex and edge
+  uint64_t seed = 20150901;     // CLUSTER'15 vintage
+  bool dedup_edges = false;     // drop repeated (src, dst) pairs
+};
+
+class RmatGenerator {
+ public:
+  explicit RmatGenerator(RmatConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  // One RMAT edge sample.
+  std::pair<graph::VertexId, graph::VertexId> SampleEdge() {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    const double ab = cfg_.a + cfg_.b;
+    const double abc = ab + cfg_.c;
+    for (uint32_t bit = 0; bit < cfg_.scale; bit++) {
+      const double r = rng_.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < cfg_.a) {
+        // top-left quadrant
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    return {src, dst};
+  }
+
+  // Builds the full graph (all vertices exist; edges have one label).
+  // `edge_label`/`attr_key` are interned via the catalog by the caller.
+  graph::RefGraph Build(graph::Catalog* catalog, const std::string& vertex_type = "node",
+                        const std::string& edge_label = "link");
+
+  const RmatConfig& config() const { return cfg_; }
+
+ private:
+  std::string RandomAttr() {
+    std::string s(cfg_.attr_bytes, '\0');
+    for (auto& ch : s) ch = static_cast<char>('a' + rng_.Uniform(26));
+    return s;
+  }
+
+  RmatConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace gt::gen

@@ -1,0 +1,97 @@
+// Catalog: interning of label and property-key strings to 32-bit ids.
+// In a deployed system this metadata is tiny and replicated to every backend
+// server; here one Catalog instance is shared read-mostly by the cluster.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gt::graph {
+
+class Catalog {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kInvalidId = 0xffffffffu;
+
+  virtual ~Catalog() = default;
+
+  // Returns the id for `name`, interning it if new. Thread-safe.
+  virtual Id Intern(const std::string& name) {
+    {
+      std::shared_lock lk(mu_);
+      auto it = ids_.find(name);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lk(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const Id id = static_cast<Id>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  // Returns kInvalidId when the name was never interned.
+  virtual Id Lookup(const std::string& name) const {
+    std::shared_lock lk(mu_);
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  virtual Result<std::string> Name(Id id) const {
+    std::shared_lock lk(mu_);
+    if (id >= names_.size()) return Status::NotFound("catalog id " + std::to_string(id));
+    return names_[id];
+  }
+
+  size_t size() const {
+    std::shared_lock lk(mu_);
+    return names_.size();
+  }
+
+  // Replicates another catalog's name->id mapping (used when a cluster must
+  // agree with a catalog the data was generated against; in a deployment
+  // this metadata is shipped to every server). REQUIRES: this catalog is a
+  // prefix of `other` (typically empty).
+  void CopyFrom(const Catalog& other) {
+    std::vector<std::string> names;
+    {
+      std::shared_lock lk(other.mu_);
+      names = other.names_;
+    }
+    std::unique_lock lk(mu_);
+    for (size_t i = names_.size(); i < names.size(); i++) {
+      ids_.emplace(names[i], static_cast<Id>(i));
+      names_.push_back(names[i]);
+    }
+  }
+
+  // Installs a (name, id) binding decided elsewhere (the catalog authority
+  // in a multi-process deployment). Gaps are padded with placeholders that
+  // are overwritten when their bindings arrive.
+  void InsertAt(Id id, const std::string& name) {
+    std::unique_lock lk(mu_);
+    if (id >= names_.size()) names_.resize(id + 1);
+    names_[id] = name;
+    ids_[name] = id;
+  }
+
+  // Snapshot of all names in id order.
+  std::vector<std::string> Snapshot() const {
+    std::shared_lock lk(mu_);
+    return names_;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Id> ids_;
+};
+
+}  // namespace gt::graph

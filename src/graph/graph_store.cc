@@ -1,0 +1,165 @@
+#include "src/graph/graph_store.h"
+
+namespace gt::graph {
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Open(const std::string& dir,
+                                                     GraphStoreOptions opts) {
+  auto db = kv::DB::Open(dir, opts.db);
+  if (!db.ok()) return db.status();
+  return std::unique_ptr<GraphStore>(new GraphStore(opts, std::move(*db)));
+}
+
+Status GraphStore::PutVertex(const VertexRecord& v) {
+  // Overwriting a vertex with a different label leaves the old type-index
+  // entry behind; type scans re-verify against the live record (the engine
+  // applies the type filter after the index lookup), so stale entries are
+  // harmless. DeleteVertex removes both.
+  kv::WriteBatch batch;
+  batch.Put(VertexKey(v.id), EncodeVertexValue(v.label, v.props));
+  batch.Put(TypeIndexKey(v.label, v.id), "");
+  return db_->Write(std::move(batch));
+}
+
+Status GraphStore::PutEdge(const EdgeRecord& e) {
+  return db_->Put(EdgeKey(e.src, e.label, e.dst), EncodeEdgeValue(e.props));
+}
+
+Status GraphStore::DeleteVertex(VertexId vid) {
+  std::string value;
+  Status s = db_->Get(VertexKey(vid), &value);
+  if (!s.ok()) return s;
+  LabelId label;
+  PropMap props;
+  if (!DecodeVertexValue(value, &label, &props)) {
+    return Status::Corruption("bad vertex value");
+  }
+  kv::WriteBatch batch;
+  batch.Delete(VertexKey(vid));
+  batch.Delete(TypeIndexKey(label, vid));
+  return db_->Write(std::move(batch));
+}
+
+void GraphStore::ChargeAccess(VertexId vid, uint64_t bytes, bool warm) {
+  vertex_accesses_.fetch_add(1, std::memory_order_relaxed);
+  if (interceptor_ != nullptr) interceptor_->OnVertexAccess(opts_.server_id, vid);
+  if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes, warm);
+}
+
+Result<VertexRecord> GraphStore::GetVertex(VertexId vid, bool warm) {
+  std::string value;
+  GT_RETURN_IF_ERROR(db_->Get(VertexKey(vid), &value));
+  ChargeAccess(vid, value.size(), warm);
+
+  VertexRecord rec;
+  rec.id = vid;
+  if (!DecodeVertexValue(value, &rec.label, &rec.props)) {
+    return Status::Corruption("bad vertex value for vid " + std::to_string(vid));
+  }
+  return rec;
+}
+
+Status GraphStore::ScanEdges(VertexId src, LabelId label,
+                             const std::function<bool(VertexId, const PropMap&)>& fn,
+                             bool warm) {
+  uint64_t bytes = 0;
+  Status inner = Status::OK();
+  Status s = db_->ScanPrefix(EdgePrefix(src, label), [&](kv::Slice key, kv::Slice value) {
+    VertexId esrc, edst;
+    LabelId elabel;
+    if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+      inner = Status::Corruption("bad edge key");
+      return false;
+    }
+    PropMap props;
+    if (!DecodeEdgeValue(value.view(), &props)) {
+      inner = Status::Corruption("bad edge value");
+      return false;
+    }
+    bytes += key.size() + value.size();
+    return fn(edst, props);
+  });
+  ChargeAccess(src, bytes, warm);
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+Status GraphStore::ScanAllEdges(
+    VertexId src, const std::function<bool(LabelId, VertexId, const PropMap&)>& fn,
+    bool warm) {
+  uint64_t bytes = 0;
+  Status inner = Status::OK();
+  Status s = db_->ScanPrefix(EdgePrefixAllLabels(src), [&](kv::Slice key, kv::Slice value) {
+    VertexId esrc, edst;
+    LabelId elabel;
+    if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+      inner = Status::Corruption("bad edge key");
+      return false;
+    }
+    PropMap props;
+    if (!DecodeEdgeValue(value.view(), &props)) {
+      inner = Status::Corruption("bad edge value");
+      return false;
+    }
+    bytes += key.size() + value.size();
+    return fn(elabel, edst, props);
+  });
+  ChargeAccess(src, bytes, warm);
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+Status GraphStore::ScanAllVertices(
+    const std::function<bool(const VertexRecord&)>& fn) {
+  Status inner = Status::OK();
+  std::string prefix(1, kVertexNs);
+  Status s = db_->ScanPrefix(prefix, [&](kv::Slice key, kv::Slice value) {
+    VertexRecord rec;
+    if (!ParseVertexKey(key.view(), &rec.id) ||
+        !DecodeVertexValue(value.view(), &rec.label, &rec.props)) {
+      inner = Status::Corruption("bad vertex record");
+      return false;
+    }
+    return fn(rec);
+  });
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+Status GraphStore::ScanEverythingEdges(
+    const std::function<bool(const EdgeRecord&)>& fn) {
+  Status inner = Status::OK();
+  std::string prefix(1, kEdgeNs);
+  Status s = db_->ScanPrefix(prefix, [&](kv::Slice key, kv::Slice value) {
+    EdgeRecord rec;
+    if (!ParseEdgeKey(key.view(), &rec.src, &rec.label, &rec.dst) ||
+        !DecodeEdgeValue(value.view(), &rec.props)) {
+      inner = Status::Corruption("bad edge record");
+      return false;
+    }
+    return fn(rec);
+  });
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+Status GraphStore::ScanVerticesByType(LabelId label,
+                                      const std::function<bool(VertexId)>& fn) {
+  uint64_t bytes = 0;
+  Status inner = Status::OK();
+  Status s = db_->ScanPrefix(TypeIndexPrefix(label), [&](kv::Slice key, kv::Slice) {
+    LabelId klabel;
+    VertexId vid;
+    if (!ParseTypeIndexKey(key.view(), &klabel, &vid)) {
+      inner = Status::Corruption("bad type index key");
+      return false;
+    }
+    bytes += key.size();
+    return fn(vid);
+  });
+  // The type index is a compact sequential run: charge once per scan.
+  if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes);
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+}  // namespace gt::graph

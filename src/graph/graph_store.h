@@ -1,0 +1,97 @@
+// GraphStore: the per-backend-server property-graph storage daemon. Wraps
+// one embedded KV database (src/kv) with the key layout from encoding.h.
+//
+// Every *logical vertex access* (point lookup of a vertex record, or an edge
+// scan rooted at a vertex) charges the simulated device model once — the
+// access granularity the paper's evaluation instruments ("real I/O visits").
+// An optional AccessInterceptor lets the straggler injector insert external
+// delays into individual vertex accesses (Fig. 11 methodology).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "src/common/device_model.h"
+#include "src/common/status.h"
+#include "src/graph/encoding.h"
+#include "src/kv/db.h"
+
+namespace gt::graph {
+
+// Called before the store performs a vertex access; implementations may
+// sleep to emulate external interference.
+class AccessInterceptor {
+ public:
+  virtual ~AccessInterceptor() = default;
+  virtual void OnVertexAccess(uint32_t server_id, VertexId vid) = 0;
+};
+
+struct GraphStoreOptions {
+  kv::DBOptions db;
+  DeviceModel* device = nullptr;  // charged once per logical vertex access
+  uint32_t server_id = 0;
+};
+
+class GraphStore {
+ public:
+  static Result<std::unique_ptr<GraphStore>> Open(const std::string& dir,
+                                                  GraphStoreOptions opts);
+
+  // --- writes (ingest path) ---
+  Status PutVertex(const VertexRecord& v);
+  Status PutEdge(const EdgeRecord& e);
+  Status DeleteVertex(VertexId vid);  // removes record + type index entry
+  Status Flush() { return db_->Flush(); }
+  Status Compact() { return db_->CompactAll(); }
+
+  // --- reads (traversal path); each charges one device access. `warm`
+  // marks a re-read within the same traversal (block-cache hit). ---
+  Result<VertexRecord> GetVertex(VertexId vid, bool warm = false);
+
+  // Iterates out-edges of `src` with type `label` in dst order.
+  Status ScanEdges(VertexId src, LabelId label,
+                   const std::function<bool(VertexId dst, const PropMap&)>& fn,
+                   bool warm = false);
+
+  // Iterates all out-edges of `src` grouped by type.
+  Status ScanAllEdges(
+      VertexId src,
+      const std::function<bool(LabelId, VertexId dst, const PropMap&)>& fn,
+      bool warm = false);
+
+  // Iterates every vertex record on this shard (maintenance/export path;
+  // does not charge the device model).
+  Status ScanAllVertices(const std::function<bool(const VertexRecord&)>& fn);
+
+  // Iterates every edge on this shard (maintenance/export path).
+  Status ScanEverythingEdges(
+      const std::function<bool(const EdgeRecord&)>& fn);
+
+  // Iterates ids of all vertices with the given label (type index scan).
+  // Charged as one access per returned vertex would be pessimistic; the
+  // index is compact and sequential, so it charges once per scan.
+  Status ScanVerticesByType(LabelId label, const std::function<bool(VertexId)>& fn);
+
+  void SetInterceptor(AccessInterceptor* interceptor) { interceptor_ = interceptor; }
+
+  uint64_t vertex_accesses() const { return vertex_accesses_.load(std::memory_order_relaxed); }
+  void ResetAccessCount() { vertex_accesses_ = 0; }
+
+  kv::DB* db() { return db_.get(); }
+  uint32_t server_id() const { return opts_.server_id; }
+
+ private:
+  GraphStore(GraphStoreOptions opts, std::unique_ptr<kv::DB> db)
+      : opts_(opts), db_(std::move(db)) {}
+
+  // Charges one logical access of `bytes` bytes rooted at `vid`.
+  void ChargeAccess(VertexId vid, uint64_t bytes, bool warm);
+
+  GraphStoreOptions opts_;
+  std::unique_ptr<kv::DB> db_;
+  AccessInterceptor* interceptor_ = nullptr;
+  std::atomic<uint64_t> vertex_accesses_{0};
+};
+
+}  // namespace gt::graph

@@ -1,0 +1,109 @@
+// RefGraph: a simple in-memory property graph. Two roles:
+//  1. staging structure for the generators (built once, then bulk-loaded
+//     into the distributed stores), and
+//  2. oracle for tests — the reference traversal evaluator runs against it
+//     and its results are compared with the distributed engines'.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/encoding.h"
+#include "src/graph/ingest.h"
+
+namespace gt::graph {
+
+class RefGraph {
+ public:
+  void AddVertex(VertexRecord v) {
+    by_type_[v.label].push_back(v.id);
+    vertices_[v.id] = std::move(v);
+  }
+
+  void AddEdge(EdgeRecord e) {
+    adj_[e.src][e.label].emplace_back(e.dst, std::move(e.props));
+    num_edges_++;
+  }
+
+  const VertexRecord* FindVertex(VertexId vid) const {
+    auto it = vertices_.find(vid);
+    return it == vertices_.end() ? nullptr : &it->second;
+  }
+
+  // Out-edges of `src` with type `label` (empty if none).
+  const std::vector<std::pair<VertexId, PropMap>>& Edges(VertexId src, LabelId label) const {
+    static const std::vector<std::pair<VertexId, PropMap>> kEmpty;
+    auto it = adj_.find(src);
+    if (it == adj_.end()) return kEmpty;
+    auto jt = it->second.find(label);
+    return jt == it->second.end() ? kEmpty : jt->second;
+  }
+
+  const std::vector<VertexId>& VerticesByType(LabelId label) const {
+    static const std::vector<VertexId> kEmpty;
+    auto it = by_type_.find(label);
+    return it == by_type_.end() ? kEmpty : it->second;
+  }
+
+  const std::unordered_map<VertexId, VertexRecord>& vertices() const { return vertices_; }
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // Bulk-loads the whole graph into the distributed stores.
+  Status LoadInto(GraphLoader* loader) const {
+    for (const auto& [vid, v] : vertices_) {
+      GT_RETURN_IF_ERROR(loader->AddVertex(v));
+    }
+    for (const auto& [src, by_label] : adj_) {
+      for (const auto& [label, edges] : by_label) {
+        for (const auto& [dst, props] : edges) {
+          EdgeRecord e;
+          e.src = src;
+          e.label = label;
+          e.dst = dst;
+          e.props = props;
+          GT_RETURN_IF_ERROR(loader->AddEdge(e));
+        }
+      }
+    }
+    return loader->Finish();
+  }
+
+  // Out-degree distribution summary used by Table II-style reports.
+  struct DegreeStats {
+    uint64_t min = 0, max = 0;
+    double mean = 0.0;
+  };
+  DegreeStats OutDegreeStats() const {
+    DegreeStats st;
+    if (vertices_.empty()) return st;
+    uint64_t total = 0;
+    bool first = true;
+    for (const auto& [vid, v] : vertices_) {
+      uint64_t d = 0;
+      auto it = adj_.find(vid);
+      if (it != adj_.end()) {
+        for (const auto& [label, edges] : it->second) d += edges.size();
+      }
+      total += d;
+      if (first) {
+        st.min = st.max = d;
+        first = false;
+      } else {
+        st.min = std::min(st.min, d);
+        st.max = std::max(st.max, d);
+      }
+    }
+    st.mean = static_cast<double>(total) / static_cast<double>(vertices_.size());
+    return st;
+  }
+
+ private:
+  std::unordered_map<VertexId, VertexRecord> vertices_;
+  std::unordered_map<VertexId, std::map<LabelId, std::vector<std::pair<VertexId, PropMap>>>> adj_;
+  std::unordered_map<LabelId, std::vector<VertexId>> by_type_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace gt::graph

@@ -1,0 +1,270 @@
+#include "src/graph/text_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace gt::graph {
+
+namespace {
+
+bool NeedsEscape(unsigned char c) {
+  return c < 0x21 || c > 0x7e || c == '%' || c == '=';
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string EncodeValue(const PropValue& v) {
+  switch (v.kind()) {
+    case PropValue::Kind::kInt:
+      return "i:" + std::to_string(v.as_int());
+    case PropValue::Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", v.as_double());
+      return buf;
+    }
+    case PropValue::Kind::kString:
+      return "s:" + EscapeText(v.as_string());
+    case PropValue::Kind::kBytes: {
+      std::string out = "b:";
+      for (unsigned char c : v.as_bytes().data) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", c);
+        out += buf;
+      }
+      return out;
+    }
+  }
+  return "s:";
+}
+
+Result<PropValue> DecodeValue(const std::string& text) {
+  if (text.size() >= 2 && text[1] == ':') {
+    const std::string body = text.substr(2);
+    switch (text[0]) {
+      case 'i': {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(body.c_str(), &end, 10);
+        if (errno != 0 || end == body.c_str() || *end != '\0') {
+          return Status::InvalidArgument("bad int value: " + text);
+        }
+        return PropValue(static_cast<int64_t>(v));
+      }
+      case 'd': {
+        errno = 0;
+        char* end = nullptr;
+        const double v = std::strtod(body.c_str(), &end);
+        if (errno != 0 || end == body.c_str() || *end != '\0') {
+          return Status::InvalidArgument("bad double value: " + text);
+        }
+        return PropValue(v);
+      }
+      case 's': {
+        auto raw = UnescapeText(body);
+        if (!raw.ok()) return raw.status();
+        return PropValue(*raw);
+      }
+      case 'b': {
+        if (body.size() % 2 != 0) return Status::InvalidArgument("odd hex length");
+        std::string bytes;
+        bytes.reserve(body.size() / 2);
+        for (size_t i = 0; i < body.size(); i += 2) {
+          const int hi = HexVal(body[i]);
+          const int lo = HexVal(body[i + 1]);
+          if (hi < 0 || lo < 0) return Status::InvalidArgument("bad hex: " + text);
+          bytes.push_back(static_cast<char>((hi << 4) | lo));
+        }
+        return PropValue(Bytes{std::move(bytes)});
+      }
+      default:
+        break;
+    }
+  }
+  // Untyped: treat as escaped string.
+  auto raw = UnescapeText(text);
+  if (!raw.ok()) return raw.status();
+  return PropValue(*raw);
+}
+
+void WriteProps(std::ostream* out, const PropMap& props, const Catalog& catalog) {
+  for (const auto& [key, value] : props) {
+    *out << '\t' << EscapeText(catalog.Name(key).value_or("?")) << '='
+         << EncodeValue(value);
+  }
+}
+
+Result<PropMap> ParseProps(const std::vector<std::string>& fields, size_t from,
+                           Catalog* catalog) {
+  PropMap props;
+  for (size_t i = from; i < fields.size(); i++) {
+    const auto eq = fields[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("property without '=': " + fields[i]);
+    }
+    auto name = UnescapeText(fields[i].substr(0, eq));
+    if (!name.ok()) return name.status();
+    auto value = DecodeValue(fields[i].substr(eq + 1));
+    if (!value.ok()) return value.status();
+    props.Set(catalog->Intern(*name), std::move(*value));
+  }
+  return props;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  while (pos <= line.size()) {
+    const size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+  return fields;
+}
+
+Result<uint64_t> ParseId(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad id: " + text);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string EscapeText(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (NeedsEscape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeText(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); i++) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Status::InvalidArgument("truncated escape in: " + escaped);
+    }
+    const int hi = HexVal(escaped[i + 1]);
+    const int lo = HexVal(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad escape in: " + escaped);
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Status ExportText(const RefGraph& g, const Catalog& catalog, std::ostream* out) {
+  *out << "# GraphTrek text graph: " << g.num_vertices() << " vertices, "
+       << g.num_edges() << " edges\n";
+
+  // Vertices by id.
+  std::map<VertexId, const VertexRecord*> ordered;
+  for (const auto& [vid, rec] : g.vertices()) ordered.emplace(vid, &rec);
+  for (const auto& [vid, rec] : ordered) {
+    *out << "V\t" << vid << '\t' << EscapeText(catalog.Name(rec->label).value_or("?"));
+    WriteProps(out, rec->props, catalog);
+    *out << '\n';
+  }
+  // Out-edges per vertex, grouped by label (RefGraph stores them that way).
+  for (const auto& [vid, rec] : ordered) {
+    (void)rec;
+    for (uint32_t label = 0; label < catalog.size(); label++) {
+      for (const auto& [dst, props] : g.Edges(vid, label)) {
+        *out << "E\t" << vid << '\t' << EscapeText(catalog.Name(label).value_or("?"))
+             << '\t' << dst;
+        WriteProps(out, props, catalog);
+        *out << '\n';
+      }
+    }
+  }
+  if (!out->good()) return Status::IOError("text export stream failure");
+  return Status::OK();
+}
+
+Result<RefGraph> ImportText(std::istream* in, Catalog* catalog) {
+  RefGraph g;
+  std::string line;
+  size_t lineno = 0;
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) + ": " + why);
+  };
+
+  while (std::getline(*in, line)) {
+    lineno++;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "V") {
+      if (fields.size() < 3) return fail("V needs <vid> <label>");
+      auto vid = ParseId(fields[1]);
+      if (!vid.ok()) return fail(vid.status().message());
+      auto label = UnescapeText(fields[2]);
+      if (!label.ok()) return fail(label.status().message());
+      auto props = ParseProps(fields, 3, catalog);
+      if (!props.ok()) return fail(props.status().message());
+      VertexRecord rec;
+      rec.id = *vid;
+      rec.label = catalog->Intern(*label);
+      rec.props = std::move(*props);
+      g.AddVertex(std::move(rec));
+    } else if (fields[0] == "E") {
+      if (fields.size() < 4) return fail("E needs <src> <label> <dst>");
+      auto src = ParseId(fields[1]);
+      auto label = UnescapeText(fields[2]);
+      auto dst = ParseId(fields[3]);
+      if (!src.ok() || !label.ok() || !dst.ok()) return fail("bad edge fields");
+      auto props = ParseProps(fields, 4, catalog);
+      if (!props.ok()) return fail(props.status().message());
+      EdgeRecord rec;
+      rec.src = *src;
+      rec.label = catalog->Intern(*label);
+      rec.dst = *dst;
+      rec.props = std::move(*props);
+      g.AddEdge(std::move(rec));
+    } else {
+      return fail("unknown record type '" + fields[0] + "'");
+    }
+  }
+  return g;
+}
+
+Status ExportTextFile(const RefGraph& g, const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  return ExportText(g, catalog, &out);
+}
+
+Result<RefGraph> ImportTextFile(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return ImportText(&in, catalog);
+}
+
+}  // namespace gt::graph

@@ -1,0 +1,38 @@
+// Portable line-oriented text format for property graphs — the
+// import/export path for bringing external metadata (e.g. parsed I/O
+// traces) into GraphTrek and for dumping graphs for inspection.
+//
+// Format (tab-separated; one record per line; '#' starts a comment):
+//   V <vid> <label> [key=value ...]
+//   E <src> <label> <dst> [key=value ...]
+//
+// Values are typed by prefix: i:<int64>, d:<double>, s:<string>, b:<hex
+// bytes>; bare values parse as s:. Strings are %-escaped (%XX) for bytes
+// outside the printable set plus '%', '=', tab and newline.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/common/status.h"
+#include "src/graph/catalog.h"
+#include "src/graph/ref_graph.h"
+
+namespace gt::graph {
+
+// Writes the whole graph. Deterministic order: vertices by id, then each
+// vertex's out-edges grouped by label.
+Status ExportText(const RefGraph& g, const Catalog& catalog, std::ostream* out);
+
+// Parses a text graph, interning labels/keys into `catalog`. Lines that
+// fail to parse abort the import with the 1-based line number in the error.
+Result<RefGraph> ImportText(std::istream* in, Catalog* catalog);
+
+// Convenience file wrappers.
+Status ExportTextFile(const RefGraph& g, const Catalog& catalog, const std::string& path);
+Result<RefGraph> ImportTextFile(const std::string& path, Catalog* catalog);
+
+// Exposed for tests: string escaping used for s: values and names.
+std::string EscapeText(const std::string& raw);
+Result<std::string> UnescapeText(const std::string& escaped);
+
+}  // namespace gt::graph

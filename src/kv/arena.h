@@ -1,0 +1,73 @@
+// Bump allocator backing the memtable's skip list. Allocations live until
+// the arena is destroyed (i.e. until the memtable is flushed and dropped).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gt::kv {
+
+class Arena {
+ public:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    if (bytes <= avail_) {
+      char* r = ptr_;
+      ptr_ += bytes;
+      avail_ -= bytes;
+      mem_.fetch_add(bytes, std::memory_order_relaxed);
+      return r;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  // Aligned for pointer-bearing structures (skip list nodes).
+  char* AllocateAligned(size_t bytes) {
+    constexpr size_t align = alignof(std::max_align_t);
+    const size_t mod = reinterpret_cast<uintptr_t>(ptr_) & (align - 1);
+    const size_t slop = mod == 0 ? 0 : align - mod;
+    if (bytes + slop <= avail_) {
+      char* r = ptr_ + slop;
+      ptr_ += bytes + slop;
+      avail_ -= bytes + slop;
+      mem_.fetch_add(bytes + slop, std::memory_order_relaxed);
+      return r;
+    }
+    return AllocateFallback(bytes);  // fresh blocks are max-aligned
+  }
+
+  size_t MemoryUsage() const { return mem_.load(std::memory_order_relaxed); }
+
+ private:
+  char* AllocateFallback(size_t bytes) {
+    if (bytes > kBlockSize / 4) {
+      // Large allocation gets its own block; keeps current block usable.
+      blocks_.push_back(std::make_unique<char[]>(bytes));
+      mem_.fetch_add(bytes, std::memory_order_relaxed);
+      return blocks_.back().get();
+    }
+    blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+    ptr_ = blocks_.back().get();
+    avail_ = kBlockSize;
+    char* r = ptr_;
+    ptr_ += bytes;
+    avail_ -= bytes;
+    mem_.fetch_add(bytes, std::memory_order_relaxed);
+    return r;
+  }
+
+  char* ptr_ = nullptr;
+  size_t avail_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> mem_{0};
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,165 @@
+#include "src/kv/block.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace gt::kv {
+
+void BlockBuilder::Add(Slice key, Slice value) {
+  assert(!finished_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    const size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) shared++;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  counter_++;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) PutFixed32(&buffer_, r);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  last_key_.clear();
+  finished_ = false;
+}
+
+// ---------------------------------------------------------------------------
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < 4) return;
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - 4);
+  const uint64_t trailer = 4ull + 4ull * num_restarts_;
+  if (trailer > data_.size()) {
+    num_restarts_ = 0;
+    return;
+  }
+  restarts_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const Block* block, const InternalKeyComparator* cmp)
+      : block_(block), cmp_(cmp), current_(block->restarts_offset_) {}
+
+  bool Valid() const override { return current_ < block_->restarts_offset_ && status_.ok(); }
+
+  void SeekToFirst() override {
+    if (block_->num_restarts_ == 0) {
+      current_ = block_->restarts_offset_;
+      return;
+    }
+    SeekToRestart(0);
+    ParseNextEntry();
+  }
+
+  void Seek(Slice target) override {
+    // Binary search over restart points for the last restart whose key is
+    // < target, then scan forward linearly.
+    if (block_->num_restarts_ == 0) {
+      current_ = block_->restarts_offset_;
+      return;
+    }
+    uint32_t left = 0;
+    uint32_t right = block_->num_restarts_ - 1;
+    while (left < right) {
+      const uint32_t mid = (left + right + 1) / 2;
+      Slice mid_key = RestartKey(mid);
+      if (cmp_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestart(left);
+    ParseNextEntry();
+    while (Valid() && cmp_->Compare(key(), target) < 0) Next();
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextEntry();
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  void SeekToRestart(uint32_t index) {
+    key_.clear();
+    next_offset_ = DecodeFixed32(block_->data_.data() + block_->restarts_offset_ + 4 * index);
+  }
+
+  // Key at a restart point (shared length is always 0 there).
+  Slice RestartKey(uint32_t index) {
+    const uint32_t off = DecodeFixed32(block_->data_.data() + block_->restarts_offset_ + 4 * index);
+    Decoder dec(block_->data_.data() + off, block_->restarts_offset_ - off);
+    uint32_t shared = 0, non_shared = 0, vlen = 0;
+    dec.GetVarint32(&shared);
+    dec.GetVarint32(&non_shared);
+    dec.GetVarint32(&vlen);
+    return Slice(dec.data(), non_shared);
+  }
+
+  void ParseNextEntry() {
+    current_ = next_offset_;
+    if (current_ >= block_->restarts_offset_) return;  // end
+    Decoder dec(block_->data_.data() + current_, block_->restarts_offset_ - current_);
+    uint32_t shared = 0, non_shared = 0, vlen = 0;
+    if (!dec.GetVarint32(&shared) || !dec.GetVarint32(&non_shared) || !dec.GetVarint32(&vlen) ||
+        shared > key_.size()) {
+      status_ = Status::Corruption("bad block entry");
+      current_ = block_->restarts_offset_;
+      return;
+    }
+    std::string_view key_delta, val;
+    if (!dec.GetBytes(non_shared, &key_delta) || !dec.GetBytes(vlen, &val)) {
+      status_ = Status::Corruption("truncated block entry");
+      current_ = block_->restarts_offset_;
+      return;
+    }
+    key_.resize(shared);
+    key_.append(key_delta);
+    value_ = Slice(val);
+    next_offset_ = static_cast<uint32_t>(dec.data() - block_->data_.data());
+  }
+
+  const Block* block_;
+  const InternalKeyComparator* cmp_;
+  uint32_t current_;          // offset of current entry; == restarts_offset_ when invalid
+  uint32_t next_offset_ = 0;  // offset of next entry
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator(const InternalKeyComparator* cmp) const {
+  auto it = std::make_unique<Iter>(this, cmp);
+  // Start invalid; caller seeks.
+  return it;
+}
+
+}  // namespace gt::kv

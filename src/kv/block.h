@@ -1,0 +1,65 @@
+// Sorted key/value block with prefix compression and restart points — the
+// unit of storage inside a table file and the unit of caching.
+//
+// Entry:   varint32 shared | varint32 non_shared | varint32 vlen
+//          | key_delta(non_shared) | value(vlen)
+// Trailer: fixed32 * num_restarts (offsets) | fixed32 num_restarts
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kv/dbformat.h"
+#include "src/kv/iterator.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16) : restart_interval_(restart_interval) {
+    restarts_.push_back(0);
+  }
+
+  // Keys must be added in strictly increasing internal-key order.
+  void Add(Slice key, Slice value);
+
+  // Appends the restart array + count and returns the finished block.
+  Slice Finish();
+
+  void Reset();
+  size_t CurrentSizeEstimate() const {
+    return buffer_.size() + restarts_.size() * 4 + 4;
+  }
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  std::string last_key_;
+  bool finished_ = false;
+};
+
+// Immutable parsed block; owns its contents.
+class Block {
+ public:
+  explicit Block(std::string contents);
+
+  size_t size() const { return data_.size(); }
+  bool healthy() const { return num_restarts_ > 0 || data_.size() == 4; }
+
+  // Iterates entries; Seek positions at the first key >= target (internal
+  // key order).
+  std::unique_ptr<Iterator> NewIterator(const InternalKeyComparator* cmp) const;
+
+ private:
+  class Iter;
+  std::string data_;
+  uint32_t restarts_offset_ = 0;
+  uint32_t num_restarts_ = 0;
+};
+
+}  // namespace gt::kv

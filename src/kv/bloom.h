@@ -1,0 +1,72 @@
+// Bloom filter over user keys, stored per table file. Double hashing from a
+// single 64-bit hash (Kirsch–Mitzenmacher) gives k probe positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10) : bits_per_key_(bits_per_key) {
+    // k = bits_per_key * ln2, clamped to [1, 30].
+    k_ = static_cast<int>(bits_per_key * 0.69);
+    if (k_ < 1) k_ = 1;
+    if (k_ > 30) k_ = 30;
+  }
+
+  void AddKey(Slice key) { hashes_.push_back(HashBytes(key.view())); }
+
+  size_t NumKeys() const { return hashes_.size(); }
+
+  // Layout: bit array | k (1 byte).
+  std::string Finish() const {
+    size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+    if (bits < 64) bits = 64;
+    const size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    std::string out(bytes, '\0');
+    for (uint64_t h : hashes_) {
+      const uint64_t delta = (h >> 17) | (h << 47);
+      for (int j = 0; j < k_; j++) {
+        const uint64_t bitpos = h % bits;
+        out[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+    out.push_back(static_cast<char>(k_));
+    return out;
+  }
+
+ private:
+  int bits_per_key_;
+  int k_;
+  std::vector<uint64_t> hashes_;
+};
+
+// Returns true if the key MAY be present (false positives possible, false
+// negatives not). An empty/undersized filter matches everything.
+inline bool BloomMayContain(Slice filter, Slice key) {
+  if (filter.size() < 2) return true;
+  const size_t bytes = filter.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = static_cast<unsigned char>(filter[filter.size() - 1]);
+  if (k > 30) return true;  // reserved for future encodings
+
+  uint64_t h = HashBytes(key.view());
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (int j = 0; j < k; j++) {
+    const uint64_t bitpos = h % bits;
+    if ((filter[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace gt::kv

@@ -1,0 +1,426 @@
+#include "src/kv/db.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+
+namespace gt::kv {
+
+namespace {
+
+// Collapses internal-key versions into a live user-key view: first version
+// (highest sequence) of each user key wins; tombstoned keys are skipped.
+class DBIter final : public Iterator {
+ public:
+  DBIter(std::unique_ptr<Iterator> internal) : it_(std::move(internal)) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    it_->SeekToFirst();
+    FindNextLiveEntry();
+  }
+
+  void Seek(Slice target) override {
+    std::string ikey;
+    AppendInternalKey(&ikey, target, kMaxSequenceNumber, kTypeValue);
+    it_->Seek(ikey);
+    FindNextLiveEntry();
+  }
+
+  void Next() override {
+    SkipRemainingVersions();
+    FindNextLiveEntry();
+  }
+
+  Slice key() const override { return ExtractUserKey(it_->key()); }
+  Slice value() const override { return it_->value(); }
+  Status status() const override { return it_->status(); }
+
+ private:
+  // Advances past all remaining versions of the current user key.
+  void SkipRemainingVersions() {
+    std::string current(key().data(), key().size());
+    while (it_->Valid() && ExtractUserKey(it_->key()) == Slice(current)) it_->Next();
+  }
+
+  // Positions at the newest live (non-deleted) user key at/after current pos.
+  void FindNextLiveEntry() {
+    valid_ = false;
+    while (it_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(it_->key(), &parsed)) {
+        it_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion) {
+        // Skip all versions of this deleted key.
+        std::string dead(parsed.user_key.data(), parsed.user_key.size());
+        while (it_->Valid() && ExtractUserKey(it_->key()) == Slice(dead)) it_->Next();
+        continue;
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> it_;
+  bool valid_ = false;
+};
+
+bool ParseTableFileName(const std::string& name, uint64_t* id) {
+  if (name.size() != 10 || name.substr(6) != ".sst") return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 6; i++) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = v;
+  return true;
+}
+
+}  // namespace
+
+DB::DB(std::string dir, DBOptions opts) : dir_(std::move(dir)), opts_(opts) {
+  if (opts_.block_cache_bytes > 0) {
+    block_cache_ = std::make_unique<LruCache<Block>>(opts_.block_cache_bytes);
+  }
+  mem_ = std::make_shared<MemTable>();
+  compaction_pool_ = std::make_unique<ThreadPool>(1);
+}
+
+DB::~DB() {
+  {
+    // Final flush so reopening recovers without a WAL replay of a large log.
+    std::lock_guard<std::mutex> lk(write_mu_);
+    FlushLocked().ok();
+  }
+  WaitForCompaction();
+  compaction_pool_->Shutdown();
+}
+
+TableReadOptions DB::MakeTableReadOptions() {
+  TableReadOptions topts;
+  topts.block_cache = block_cache_.get();
+  topts.stats = &stats_;
+  topts.device = opts_.device;
+  topts.bloom_bits_per_key = opts_.bloom_bits_per_key;
+  return topts;
+}
+
+std::string DB::TableFileName(uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst", static_cast<unsigned long long>(id));
+  return dir_ + "/" + buf;
+}
+
+Result<std::unique_ptr<DB>> DB::Open(const std::string& dir, DBOptions opts) {
+  GT_RETURN_IF_ERROR(opts.env->CreateDirIfMissing(dir));
+  auto db = std::unique_ptr<DB>(new DB(dir, opts));
+  GT_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+Status DB::Recover() {
+  Env* env = opts_.env;
+
+  // Load table files, newest (highest id) first.
+  std::vector<std::string> names;
+  GT_RETURN_IF_ERROR(env->ListDir(dir_, &names));
+  std::vector<uint64_t> ids;
+  for (const auto& name : names) {
+    uint64_t id;
+    if (ParseTableFileName(name, &id)) ids.push_back(id);
+  }
+  std::sort(ids.rbegin(), ids.rend());
+  for (uint64_t id : ids) {
+    auto table = Table::Open(env, TableFileName(id), id, MakeTableReadOptions());
+    if (!table.ok()) return table.status();
+    tables_.push_back(*table);
+    next_file_id_ = std::max(next_file_id_, id + 1);
+    // Recover the sequence counter from the newest version in each table.
+    ParsedInternalKey parsed;
+    if (ParseInternalKey(Slice((*table)->largest()), &parsed)) {
+      last_sequence_ = std::max(last_sequence_, parsed.sequence);
+    }
+    if (ParseInternalKey(Slice((*table)->smallest()), &parsed)) {
+      last_sequence_ = std::max(last_sequence_, parsed.sequence);
+    }
+  }
+
+  // Replay the WAL into the memtable.
+  if (env->FileExists(WalFileName())) {
+    std::unique_ptr<SequentialFile> file;
+    GT_RETURN_IF_ERROR(env->NewSequentialFile(WalFileName(), &file));
+    WalReader reader(std::move(file));
+    std::string scratch;
+    Slice record;
+    while (reader.ReadRecord(&scratch, &record)) {
+      auto batch = WriteBatch::FromRep(record);
+      if (!batch.ok()) return batch.status();
+      GT_RETURN_IF_ERROR(batch->InsertInto(mem_.get()));
+      last_sequence_ = std::max(last_sequence_, batch->sequence() + batch->Count() - 1);
+      stats_.wal_records.fetch_add(1);
+    }
+    GT_RETURN_IF_ERROR(reader.status());
+  }
+
+  // Open (append is emulated by rewriting: flush replayed entries first so
+  // truncating the WAL loses nothing).
+  if (!mem_->empty()) {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    GT_RETURN_IF_ERROR(FlushLocked());
+  }
+  std::unique_ptr<WritableFile> wal_file;
+  GT_RETURN_IF_ERROR(env->NewWritableFile(WalFileName(), &wal_file));
+  wal_ = std::make_unique<WalWriter>(std::move(wal_file));
+  return Status::OK();
+}
+
+Status DB::Put(Slice key, Slice value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  stats_.puts.fetch_add(1);
+  return Write(std::move(batch));
+}
+
+Status DB::Delete(Slice key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  stats_.deletes.fetch_add(1);
+  return Write(std::move(batch));
+}
+
+Status DB::Write(WriteBatch batch) {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  batch.SetSequence(last_sequence_ + 1);
+  last_sequence_ += batch.Count();
+
+  GT_RETURN_IF_ERROR(wal_->AddRecord(batch.rep()));
+  if (opts_.sync_wal) GT_RETURN_IF_ERROR(wal_->Sync());
+  stats_.bytes_written.fetch_add(batch.rep().size());
+
+  std::shared_ptr<MemTable> mem;
+  {
+    std::lock_guard<std::mutex> slk(state_mu_);
+    mem = mem_;
+  }
+  GT_RETURN_IF_ERROR(batch.InsertInto(mem.get()));
+
+  if (mem->ApproximateMemoryUsage() >= opts_.memtable_bytes) {
+    GT_RETURN_IF_ERROR(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status DB::Flush() {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return FlushLocked();
+}
+
+Status DB::FlushLocked() {
+  std::shared_ptr<MemTable> mem;
+  {
+    std::lock_guard<std::mutex> slk(state_mu_);
+    mem = mem_;
+  }
+  if (mem->empty()) return Status::OK();
+
+  const uint64_t id = next_file_id_++;
+  const std::string path = TableFileName(id);
+  const std::string tmp = path + ".tmp";
+
+  std::unique_ptr<WritableFile> file;
+  GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(tmp, &file));
+  TableBuilder builder(std::move(file), opts_.block_size, opts_.bloom_bits_per_key);
+
+  auto it = mem->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    GT_RETURN_IF_ERROR(builder.Add(it->key(), it->value()));
+  }
+  GT_RETURN_IF_ERROR(builder.Finish());
+  GT_RETURN_IF_ERROR(opts_.env->RenameFile(tmp, path));
+
+  auto table = Table::Open(opts_.env, path, id, MakeTableReadOptions());
+  if (!table.ok()) return table.status();
+
+  bool trigger_compaction = false;
+  {
+    std::lock_guard<std::mutex> slk(state_mu_);
+    tables_.insert(tables_.begin(), *table);
+    mem_ = std::make_shared<MemTable>();
+    trigger_compaction = opts_.background_compaction &&
+                         static_cast<int>(tables_.size()) >= opts_.l0_compaction_trigger &&
+                         !compaction_scheduled_;
+    if (trigger_compaction) compaction_scheduled_ = true;
+  }
+  stats_.flushes.fetch_add(1);
+
+  // Start a fresh WAL: everything in the old one is now durable in the table.
+  std::unique_ptr<WritableFile> wal_file;
+  GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(WalFileName(), &wal_file));
+  wal_ = std::make_unique<WalWriter>(std::move(wal_file));
+
+  if (trigger_compaction) {
+    compaction_pool_->Submit([this] {
+      Status s = DoCompaction();
+      if (!s.ok()) {
+        GT_WARN << "background compaction failed: " << s.ToString();
+      }
+      std::lock_guard<std::mutex> slk(state_mu_);
+      compaction_scheduled_ = false;
+    });
+  }
+  return Status::OK();
+}
+
+Status DB::CompactAll() {
+  WaitForCompaction();
+  GT_RETURN_IF_ERROR(Flush());
+  return DoCompaction();
+}
+
+void DB::WaitForCompaction() { compaction_pool_->Wait(); }
+
+Status DB::DoCompaction() {
+  std::lock_guard<std::mutex> run_lk(compaction_run_mu_);
+
+  std::vector<std::shared_ptr<Table>> inputs;
+  {
+    std::lock_guard<std::mutex> slk(state_mu_);
+    inputs = tables_;
+  }
+  if (inputs.size() <= 1) return Status::OK();
+
+  // Merge all inputs, keeping only the newest version of each user key and
+  // dropping tombstones (this is a full compaction: nothing older exists).
+  InternalKeyComparator icmp;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(inputs.size());
+  for (auto& t : inputs) children.push_back(t->NewIterator());
+  MergingIterator merged(&icmp, std::move(children));
+
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    id = next_file_id_++;
+  }
+  const std::string path = TableFileName(id);
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(tmp, &file));
+  TableBuilder builder(std::move(file), opts_.block_size, opts_.bloom_bits_per_key);
+
+  std::string last_user_key;
+  bool has_last = false;
+  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(merged.key(), &parsed)) {
+      return Status::Corruption("bad key during compaction");
+    }
+    if (has_last && parsed.user_key == Slice(last_user_key)) continue;  // shadowed
+    last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+    has_last = true;
+    if (parsed.type == kTypeDeletion) continue;  // drop tombstone
+    GT_RETURN_IF_ERROR(builder.Add(merged.key(), merged.value()));
+  }
+  GT_RETURN_IF_ERROR(merged.status());
+  GT_RETURN_IF_ERROR(builder.Finish());
+  GT_RETURN_IF_ERROR(opts_.env->RenameFile(tmp, path));
+
+  auto table = Table::Open(opts_.env, path, id, MakeTableReadOptions());
+  if (!table.ok()) return table.status();
+
+  // Install: replace exactly the input tables; keep any tables flushed since
+  // the snapshot (they are newer and must stay in front).
+  std::vector<std::shared_ptr<Table>> obsolete;
+  {
+    std::lock_guard<std::mutex> slk(state_mu_);
+    std::vector<std::shared_ptr<Table>> next;
+    for (auto& t : tables_) {
+      const bool was_input =
+          std::any_of(inputs.begin(), inputs.end(),
+                      [&](const auto& in) { return in->file_id() == t->file_id(); });
+      if (!was_input) next.push_back(t);
+    }
+    next.push_back(*table);
+    tables_.swap(next);
+    obsolete = std::move(inputs);
+  }
+  stats_.compactions.fetch_add(1);
+
+  for (auto& t : obsolete) {
+    opts_.env->RemoveFile(TableFileName(t->file_id())).ok();
+  }
+  return Status::OK();
+}
+
+DB::ReadState DB::SnapshotState() const {
+  std::lock_guard<std::mutex> slk(state_mu_);
+  return ReadState{mem_, tables_};
+}
+
+Status DB::Get(Slice key, std::string* value) {
+  stats_.gets.fetch_add(1);
+  ReadState state = SnapshotState();
+  Status s = GetFromState(state, key, value);
+  if (s.ok()) stats_.get_hits.fetch_add(1);
+  return s;
+}
+
+Status DB::GetFromState(const ReadState& state, Slice key, std::string* value) {
+  LookupKey lkey(key, kMaxSequenceNumber);
+
+  Status st;
+  if (state.mem->Get(lkey, value, &st)) return st;
+
+  for (const auto& table : state.tables) {
+    bool found = false;
+    bool deleted = false;
+    Status s = table->Get(lkey.internal_key(), [&](const ParsedInternalKey& parsed, Slice v) {
+      found = true;
+      if (parsed.type == kTypeDeletion) {
+        deleted = true;
+      } else {
+        value->assign(v.data(), v.size());
+      }
+    });
+    if (s.ok() && found) return deleted ? Status::NotFound() : Status::OK();
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::NotFound();
+}
+
+std::unique_ptr<Iterator> DB::NewIterator() {
+  ReadState state = SnapshotState();
+  static const InternalKeyComparator icmp;
+
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(state.mem->NewIterator());
+  for (auto& t : state.tables) children.push_back(t->NewIterator());
+  auto merged = std::make_unique<MergingIterator>(&icmp, std::move(children));
+  return std::make_unique<DBIter>(std::move(merged));
+}
+
+Status DB::ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn) {
+  auto it = NewIterator();
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    if (!it->key().starts_with(prefix)) break;
+    if (!fn(it->key(), it->value())) break;
+  }
+  return it->status();
+}
+
+size_t DB::NumTableFiles() const {
+  std::lock_guard<std::mutex> slk(state_mu_);
+  return tables_.size();
+}
+
+uint64_t DB::ApproximateMemtableBytes() const {
+  std::lock_guard<std::mutex> slk(state_mu_);
+  return mem_->ApproximateMemoryUsage();
+}
+
+}  // namespace gt::kv

@@ -1,0 +1,121 @@
+// Embedded ordered key/value store — the storage engine under each
+// GraphTrek backend server (the role RocksDB plays in the paper).
+//
+// Architecture: a write-ahead log + arena skip-list memtable; memtables are
+// flushed to immutable sorted-table files (newest first); a background
+// compaction merges table files into a single run and drops shadowed
+// versions and tombstones. Readers are lock-free against writers: they
+// operate on a shared_ptr snapshot of {memtable, table list}.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/device_model.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/kv/dbformat.h"
+#include "src/kv/env.h"
+#include "src/kv/iterator.h"
+#include "src/kv/lru_cache.h"
+#include "src/kv/memtable.h"
+#include "src/kv/stats.h"
+#include "src/kv/table.h"
+#include "src/kv/wal.h"
+#include "src/kv/write_batch.h"
+
+namespace gt::kv {
+
+struct DBOptions {
+  Env* env = Env::Default();
+  size_t memtable_bytes = 4 << 20;
+  size_t block_size = 4096;
+  size_t block_cache_bytes = 8 << 20;  // 0 disables the block cache
+  int bloom_bits_per_key = 10;
+  int l0_compaction_trigger = 4;  // table-file count that triggers compaction
+  bool sync_wal = false;          // fdatasync per write batch
+  bool background_compaction = true;
+  DeviceModel* device = nullptr;  // charged per cold block read (optional)
+};
+
+class DB {
+ public:
+  // Opens (creating if missing) a DB in `dir`, recovering table files and
+  // replaying the WAL.
+  static Result<std::unique_ptr<DB>> Open(const std::string& dir, DBOptions opts = {});
+
+  ~DB();
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  Status Write(WriteBatch batch);
+
+  // Reads the newest live version; NotFound if absent or deleted.
+  Status Get(Slice key, std::string* value);
+
+  // Iterator over live user keys in ascending order. key() is the user key.
+  std::unique_ptr<Iterator> NewIterator();
+
+  // Calls fn(key, value) for every live key starting with `prefix`, in
+  // order; stops early if fn returns false.
+  Status ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn);
+
+  // Forces the memtable to a table file (no-op when empty).
+  Status Flush();
+
+  // Merges all table files into one run, dropping shadowed versions and
+  // tombstones. Blocks until done.
+  Status CompactAll();
+
+  // Blocks until any scheduled background compaction has finished.
+  void WaitForCompaction();
+
+  const KvStats& stats() const { return stats_; }
+  KvStats& mutable_stats() { return stats_; }
+  size_t NumTableFiles() const;
+  uint64_t ApproximateMemtableBytes() const;
+
+ private:
+  struct ReadState {
+    std::shared_ptr<MemTable> mem;
+    std::vector<std::shared_ptr<Table>> tables;  // newest first
+  };
+
+  DB(std::string dir, DBOptions opts);
+
+  Status Recover();
+  Status FlushLocked();  // requires write_mu_
+  Status DoCompaction();
+  std::string TableFileName(uint64_t id) const;
+  std::string WalFileName() const { return dir_ + "/wal.log"; }
+  ReadState SnapshotState() const;
+  Status GetFromState(const ReadState& state, Slice key, std::string* value);
+  TableReadOptions MakeTableReadOptions();
+
+  const std::string dir_;
+  const DBOptions opts_;
+  std::unique_ptr<LruCache<Block>> block_cache_;
+  KvStats stats_;
+
+  // Serializes writers (Put/Delete/Write/Flush).
+  std::mutex write_mu_;
+  std::unique_ptr<WalWriter> wal_;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t next_file_id_ = 1;
+
+  // Guards read-state swaps; readers copy the shared_ptrs under this lock.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::vector<std::shared_ptr<Table>> tables_;  // newest first
+
+  std::unique_ptr<ThreadPool> compaction_pool_;
+  bool compaction_scheduled_ = false;  // guarded by state_mu_
+  std::mutex compaction_run_mu_;       // at most one compaction at a time
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,84 @@
+// Internal key format shared by the memtable, tables and iterators.
+//
+// InternalKey := user_key | fixed64le((sequence << 8) | value_type)
+//
+// Ordering: ascending user key, then DESCENDING sequence, so the newest
+// version of a key is encountered first by forward iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/codec.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (1ULL << 56) - 1;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+inline uint64_t PackSeqAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+};
+
+inline void AppendInternalKey(std::string* dst, Slice user_key, SequenceNumber seq,
+                              ValueType t) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, PackSeqAndType(seq, t));
+}
+
+inline bool ParseInternalKey(Slice internal_key, ParsedInternalKey* out) {
+  if (internal_key.size() < 8) return false;
+  const uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  out->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  out->sequence = tag >> 8;
+  const uint8_t t = static_cast<uint8_t>(tag & 0xff);
+  if (t > kTypeValue) return false;
+  out->type = static_cast<ValueType>(t);
+  return true;
+}
+
+inline Slice ExtractUserKey(Slice internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+// Bytewise user-key order; ties broken by descending sequence.
+class InternalKeyComparator {
+ public:
+  int Compare(Slice a, Slice b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    const uint64_t atag = DecodeFixed64(a.data() + a.size() - 8);
+    const uint64_t btag = DecodeFixed64(b.data() + b.size() - 8);
+    if (atag > btag) return -1;  // higher seq sorts first
+    if (atag < btag) return +1;
+    return 0;
+  }
+};
+
+// A lookup key targeting "newest version at or before `seq`" of user_key.
+class LookupKey {
+ public:
+  LookupKey(Slice user_key, SequenceNumber seq) {
+    key_.reserve(user_key.size() + 8);
+    AppendInternalKey(&key_, user_key, seq, kTypeValue);
+  }
+  Slice internal_key() const { return Slice(key_); }
+  Slice user_key() const { return Slice(key_.data(), key_.size() - 8); }
+
+ private:
+  std::string key_;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,213 @@
+#include "src/kv/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gt::kv {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) return Status::NotFound(context + ": " + std::strerror(err));
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(Slice data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // no user-space buffer
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError(path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return PosixError(path_, errno);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError(path_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    for (;;) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) < 0) return PosixError(path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path, std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0) return PosixError(path, errno);
+    *out = std::make_unique<PosixWritableFile>(path, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(path, errno);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return PosixError(path, errno);
+    }
+    *out = std::make_unique<PosixRandomAccessFile>(path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(path, errno);
+    *out = std::make_unique<PosixSequentialFile>(path, fd);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) return PosixError(path, errno);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return PosixError(path, errno);
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    std::vector<std::string> names;
+    Status s = ListDir(path, &names);
+    if (s.IsNotFound()) return Status::OK();
+    GT_RETURN_IF_ERROR(s);
+    for (const auto& name : names) {
+      const std::string child = path + "/" + name;
+      struct stat st {};
+      if (::lstat(child.c_str(), &st) != 0) continue;
+      if (S_ISDIR(st.st_mode)) {
+        GT_RETURN_IF_ERROR(RemoveDirRecursive(child));
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    if (::rmdir(path.c_str()) != 0 && errno != ENOENT) return PosixError(path, errno);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override { return ::access(path.c_str(), F_OK) == 0; }
+
+  Status ListDir(const std::string& path, std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) return PosixError(path, errno);
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(std::move(name));
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return PosixError(from, errno);
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) return PosixError(path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace gt::kv

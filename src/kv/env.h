@@ -1,0 +1,63 @@
+// Thin POSIX file-system wrappers used by the WAL and the sorted tables:
+// append-only writable files, positional-read random-access files, and a few
+// directory helpers. All operations return gt::Status.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+// Append-only file with explicit Flush (to OS) and Sync (to device).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(Slice data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+// Positional reads; safe for concurrent use from multiple threads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  // Reads up to n bytes at offset into scratch; *result points into scratch.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const = 0;
+  virtual uint64_t size() const = 0;
+};
+
+// Sequential reader used for WAL replay.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+class Env {
+ public:
+  static Env* Default();
+
+  virtual ~Env() = default;
+  virtual Status NewWritableFile(const std::string& path, std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewRandomAccessFile(const std::string& path,
+                                     std::unique_ptr<RandomAccessFile>* out) = 0;
+  virtual Status NewSequentialFile(const std::string& path,
+                                   std::unique_ptr<SequentialFile>* out) = 0;
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status ListDir(const std::string& path, std::vector<std::string>* names) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+}  // namespace gt::kv

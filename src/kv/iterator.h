@@ -1,0 +1,91 @@
+// Abstract iterator over ordered key/value pairs, plus a merging iterator
+// that yields the union of several children in internal-key order.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/dbformat.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(Slice target) = 0;
+  virtual void Next() = 0;
+  // REQUIRES: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+// Merges N children; on equal internal keys the child with the lowest index
+// wins (callers order children newest-first so fresher data shadows older).
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* cmp,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : cmp_(cmp), children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& c : children_) c->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(Slice target) override {
+    for (auto& c : children_) c->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    // Advance every child positioned at a key equal to current (they are
+    // duplicates shadowed by the winning child), then advance the winner.
+    Slice k = current_->key();
+    for (auto& c : children_) {
+      if (c.get() != current_ && c->Valid() && cmp_->Compare(c->key(), k) == 0) {
+        c->Next();
+      }
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& c : children_) {
+      Status s = c->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& c : children_) {
+      if (!c->Valid()) continue;
+      if (current_ == nullptr || cmp_->Compare(c->key(), current_->key()) < 0) {
+        current_ = c.get();
+      }
+    }
+  }
+
+  const InternalKeyComparator* cmp_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,129 @@
+// Sharded LRU cache keyed by (file_id, block_offset), holding parsed blocks.
+// Thread-safe; capacity is in charged bytes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+
+namespace gt::kv {
+
+template <typename V>
+class LruCache {
+ public:
+  using Key = uint64_t;
+
+  explicit LruCache(size_t capacity_bytes, int shards = 4)
+      : shards_(static_cast<size_t>(shards)) {
+    if (shards_ == 0) shards_ = 1;
+    per_shard_capacity_ = capacity_bytes / shards_;
+    shard_.reset(new Shard[shards_]);
+  }
+
+  static Key MakeKey(uint64_t file_id, uint64_t offset) {
+    return HashCombine(Mix64(file_id), Mix64(offset));
+  }
+
+  // Inserts (replacing any existing entry) and returns the cached value.
+  std::shared_ptr<V> Insert(Key key, std::shared_ptr<V> value, size_t charge) {
+    Shard& s = shard_[key % shards_];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.usage -= it->second->charge;
+      s.lru.erase(it->second->lru_pos);
+      s.map.erase(it);
+    }
+    s.lru.push_front(key);
+    auto entry = std::make_unique<Entry>();
+    entry->value = value;
+    entry->charge = charge;
+    entry->lru_pos = s.lru.begin();
+    s.map[key] = std::move(entry);
+    s.usage += charge;
+    EvictLocked(s);
+    return value;
+  }
+
+  std::shared_ptr<V> Lookup(Key key) {
+    Shard& s = shard_[key % shards_];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      s.misses++;
+      return nullptr;
+    }
+    s.hits++;
+    s.lru.erase(it->second->lru_pos);
+    s.lru.push_front(key);
+    it->second->lru_pos = s.lru.begin();
+    return it->second->value;
+  }
+
+  void Erase(Key key) {
+    Shard& s = shard_[key % shards_];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return;
+    s.usage -= it->second->charge;
+    s.lru.erase(it->second->lru_pos);
+    s.map.erase(it);
+  }
+
+  size_t usage() const {
+    size_t total = 0;
+    for (size_t i = 0; i < shards_; i++) {
+      std::lock_guard<std::mutex> lk(shard_[i].mu);
+      total += shard_[i].usage;
+    }
+    return total;
+  }
+
+  uint64_t hits() const { return Sum(&Shard::hits); }
+  uint64_t misses() const { return Sum(&Shard::misses); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<V> value;
+    size_t charge = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Key> lru;  // front = most recent
+    std::unordered_map<Key, std::unique_ptr<Entry>> map;
+    size_t usage = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  void EvictLocked(Shard& s) {
+    while (s.usage > per_shard_capacity_ && !s.lru.empty()) {
+      const Key victim = s.lru.back();
+      s.lru.pop_back();
+      auto it = s.map.find(victim);
+      s.usage -= it->second->charge;
+      s.map.erase(it);
+    }
+  }
+
+  uint64_t Sum(uint64_t Shard::* field) const {
+    uint64_t total = 0;
+    for (size_t i = 0; i < shards_; i++) {
+      std::lock_guard<std::mutex> lk(shard_[i].mu);
+      total += shard_[i].*field;
+    }
+    return total;
+  }
+
+  size_t shards_;
+  size_t per_shard_capacity_;
+  std::unique_ptr<Shard[]> shard_;
+};
+
+}  // namespace gt::kv

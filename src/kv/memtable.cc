@@ -1,0 +1,130 @@
+#include "src/kv/memtable.h"
+
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace gt::kv {
+
+namespace {
+
+// Decodes the length-prefixed internal key at `p`.
+Slice GetLengthPrefixedSlice(const char* p) {
+  Decoder dec(p, 5 + 8);  // varint32 is at most 5 bytes; key >= 8
+  uint32_t len = 0;
+  dec.GetVarint32(&len);
+  return Slice(dec.data(), len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  return icmp->Compare(GetLengthPrefixedSlice(a), GetLengthPrefixedSlice(b));
+}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, Slice user_key, Slice value) {
+  std::string ikey;
+  ikey.reserve(user_key.size() + 8);
+  AppendInternalKey(&ikey, user_key, seq, type);
+
+  std::string header;
+  PutVarint32(&header, static_cast<uint32_t>(ikey.size()));
+
+  std::string vheader;
+  PutVarint32(&vheader, static_cast<uint32_t>(value.size()));
+
+  const size_t total = header.size() + ikey.size() + vheader.size() + value.size();
+  char* buf = arena_.Allocate(total);
+  char* p = buf;
+  std::memcpy(p, header.data(), header.size());
+  p += header.size();
+  std::memcpy(p, ikey.data(), ikey.size());
+  p += ikey.size();
+  std::memcpy(p, vheader.data(), vheader.size());
+  p += vheader.size();
+  std::memcpy(p, value.data(), value.size());
+  table_.Insert(buf);
+}
+
+bool MemTable::Get(const LookupKey& key, std::string* value, Status* status) const {
+  Table::Iterator it(&table_);
+
+  // Seek needs an encoded entry; build "varint32 len | internal_key".
+  std::string target;
+  Slice ik = key.internal_key();
+  PutVarint32(&target, static_cast<uint32_t>(ik.size()));
+  target.append(ik.data(), ik.size());
+  it.Seek(target.data());
+
+  if (!it.Valid()) return false;
+
+  const char* entry = it.key();
+  Slice entry_ikey = GetLengthPrefixedSlice(entry);
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(entry_ikey, &parsed)) {
+    *status = Status::Corruption("bad memtable entry");
+    return true;
+  }
+  if (parsed.user_key != key.user_key()) return false;
+
+  if (parsed.type == kTypeDeletion) {
+    *status = Status::NotFound();
+    return true;
+  }
+  // Value follows the internal key.
+  const char* vstart = entry_ikey.data() + entry_ikey.size();
+  Decoder dec(vstart, 5 + (1 << 30));
+  uint32_t vlen = 0;
+  dec.GetVarint32(&vlen);
+  value->assign(dec.data(), vlen);
+  *status = Status::OK();
+  return true;
+}
+
+namespace {
+
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(const SkipList<const char*, MemTable::KeyComparator>* table)
+      : it_(table) {}
+
+  bool Valid() const override { return it_.Valid(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(Slice target) override {
+    scratch_.clear();
+    PutVarint32(&scratch_, static_cast<uint32_t>(target.size()));
+    scratch_.append(target.data(), target.size());
+    it_.Seek(scratch_.data());
+  }
+  void Next() override { it_.Next(); }
+
+  Slice key() const override {
+    Decoder dec(it_.key(), 5 + 8);
+    uint32_t len = 0;
+    dec.GetVarint32(&len);
+    return Slice(dec.data(), len);
+  }
+
+  Slice value() const override {
+    Slice k = key();
+    const char* vstart = k.data() + k.size();
+    Decoder dec(vstart, 5 + (1 << 30));
+    uint32_t vlen = 0;
+    dec.GetVarint32(&vlen);
+    return Slice(dec.data(), vlen);
+  }
+
+  Status status() const override { return Status::OK(); }
+
+ private:
+  SkipList<const char*, MemTable::KeyComparator>::Iterator it_;
+  std::string scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace gt::kv

@@ -1,0 +1,53 @@
+// In-memory write buffer: an arena-backed skip list of encoded entries.
+// Entry layout (all in one arena allocation):
+//   varint32 internal_key_len | internal_key | varint32 value_len | value
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kv/arena.h"
+#include "src/kv/dbformat.h"
+#include "src/kv/iterator.h"
+#include "src/kv/skiplist.h"
+
+namespace gt::kv {
+
+class MemTable {
+ public:
+  MemTable() : table_(KeyComparator{&icmp_}, &arena_) {}
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, Slice user_key, Slice value);
+
+  // Returns true if this memtable has an authoritative answer for `key`:
+  // either a live value (status OK, *value filled) or a tombstone (NotFound).
+  bool Get(const LookupKey& key, std::string* value, Status* status) const;
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  bool empty() const {
+    Table::Iterator it(&table_);
+    it.SeekToFirst();
+    return !it.Valid();
+  }
+
+  // Iterates entries in internal-key order; key() returns the internal key.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  // Exposed for the iterator implementation; not part of the public API.
+  struct KeyComparator {
+    const InternalKeyComparator* icmp;
+    // Entries are length-prefixed internal keys.
+    int operator()(const char* a, const char* b) const;
+  };
+  using Table = SkipList<const char*, KeyComparator>;
+
+ private:
+  InternalKeyComparator icmp_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,137 @@
+// Concurrent-read skip list (single writer, lock-free readers), the data
+// structure behind the memtable. Keys are opaque and ordered by Comparator.
+// Modeled after the classic LevelDB design: nodes are arena-allocated and
+// next pointers are released/acquired so readers never see torn nodes.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/kv/arena.h"
+
+namespace gt::kv {
+
+template <typename Key, class Comparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; i++) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // REQUIRES: nothing equal to key is present. External synchronization for
+  // writers; readers may run concurrently.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+    (void)x;
+
+    const int height = RandomHeight();
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; i++) prev[i] = head_;
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+
+    Node* n = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      n->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
+      prev[i]->SetNext(i, n);
+    }
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const Key& target) { node_ = list_->FindGreaterOrEqual(target, nullptr); }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    Key const key;
+
+    Node* Next(int n) { return next_[n].load(std::memory_order_acquire); }
+    void SetNext(int n, Node* x) { next_[n].store(x, std::memory_order_release); }
+    Node* NoBarrierNext(int n) { return next_[n].load(std::memory_order_relaxed); }
+    void NoBarrierSetNext(int n, Node* x) { next_[n].store(x, std::memory_order_relaxed); }
+
+   private:
+    // Length == node height; allocated inline by NewNode.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(std::atomic<Node*>) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.Uniform(kBranching) == 0) height++;
+    return height;
+  }
+
+  int GetMaxHeight() const { return max_height_.load(std::memory_order_relaxed); }
+
+  bool Equal(const Key& a, const Key& b) const { return compare_(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Rng rnd_;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,45 @@
+// KV-level statistics counters, shared by the DB, tables and cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gt::kv {
+
+struct KvStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> get_hits{0};
+  std::atomic<uint64_t> block_reads{0};       // cold reads from file
+  std::atomic<uint64_t> block_cache_hits{0};
+  std::atomic<uint64_t> bloom_negatives{0};   // table probes skipped by bloom
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> wal_records{0};
+
+  void Reset() {
+    puts = deletes = gets = get_hits = 0;
+    block_reads = block_cache_hits = bloom_negatives = 0;
+    flushes = compactions = bytes_written = bytes_read = wal_records = 0;
+  }
+
+  std::string ToString() const {
+    std::string s;
+    s += "puts=" + std::to_string(puts.load());
+    s += " deletes=" + std::to_string(deletes.load());
+    s += " gets=" + std::to_string(gets.load());
+    s += " get_hits=" + std::to_string(get_hits.load());
+    s += " block_reads=" + std::to_string(block_reads.load());
+    s += " block_cache_hits=" + std::to_string(block_cache_hits.load());
+    s += " bloom_negatives=" + std::to_string(bloom_negatives.load());
+    s += " flushes=" + std::to_string(flushes.load());
+    s += " compactions=" + std::to_string(compactions.load());
+    return s;
+  }
+};
+
+}  // namespace gt::kv

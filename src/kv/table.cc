@@ -1,0 +1,288 @@
+#include "src/kv/table.h"
+
+#include <cassert>
+
+#include "src/common/codec.h"
+
+namespace gt::kv {
+
+namespace {
+constexpr size_t kFooterSize = 56;
+
+void PutHandle(std::string* dst, uint64_t off, uint64_t size) {
+  PutFixed64(dst, off);
+  PutFixed64(dst, size);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TableBuilder
+// ---------------------------------------------------------------------------
+
+Status TableBuilder::Add(Slice internal_key, Slice value) {
+  assert(!closed_);
+  if (smallest_.empty() && num_entries_ == 0) smallest_.assign(internal_key.data(), internal_key.size());
+  largest_.assign(internal_key.data(), internal_key.size());
+
+  bloom_.AddKey(ExtractUserKey(internal_key));
+  data_block_.Add(internal_key, value);
+  last_key_.assign(internal_key.data(), internal_key.size());
+  num_entries_++;
+
+  if (data_block_.CurrentSizeEstimate() >= block_size_) {
+    return FlushDataBlock();
+  }
+  return Status::OK();
+}
+
+Status TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return Status::OK();
+  uint64_t off, size;
+  GT_RETURN_IF_ERROR(WriteBlock(data_block_.Finish(), &off, &size));
+  data_block_.Reset();
+
+  std::string handle;
+  PutHandle(&handle, off, size);
+  index_block_.Add(last_key_, handle);
+  return Status::OK();
+}
+
+Status TableBuilder::WriteBlock(Slice contents, uint64_t* off, uint64_t* size) {
+  *off = offset_;
+  *size = contents.size();
+  GT_RETURN_IF_ERROR(file_->Append(contents));
+  std::string trailer;
+  PutFixed32(&trailer, Crc32c::Compute(contents.data(), contents.size()));
+  GT_RETURN_IF_ERROR(file_->Append(trailer));
+  offset_ += contents.size() + 4;
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  assert(!closed_);
+  closed_ = true;
+  GT_RETURN_IF_ERROR(FlushDataBlock());
+
+  uint64_t bloom_off, bloom_size;
+  GT_RETURN_IF_ERROR(WriteBlock(bloom_.Finish(), &bloom_off, &bloom_size));
+
+  std::string meta;
+  PutLengthPrefixed(&meta, smallest_);
+  PutLengthPrefixed(&meta, largest_);
+  PutFixed64(&meta, num_entries_);
+  uint64_t meta_off, meta_size;
+  GT_RETURN_IF_ERROR(WriteBlock(meta, &meta_off, &meta_size));
+
+  uint64_t index_off, index_size;
+  GT_RETURN_IF_ERROR(WriteBlock(index_block_.Finish(), &index_off, &index_size));
+
+  std::string footer;
+  PutHandle(&footer, index_off, index_size);
+  PutHandle(&footer, bloom_off, bloom_size);
+  PutHandle(&footer, meta_off, meta_size);
+  PutFixed64(&footer, kTableMagic);
+  GT_RETURN_IF_ERROR(file_->Append(footer));
+  offset_ += footer.size();
+
+  GT_RETURN_IF_ERROR(file_->Sync());
+  return file_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Table reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Reads a crc-trailed block from `file` without caching.
+Status ReadRawBlock(RandomAccessFile* file, uint64_t off, uint64_t size, std::string* out) {
+  out->resize(size + 4);
+  Slice result;
+  GT_RETURN_IF_ERROR(file->Read(off, size + 4, &result, out->data()));
+  if (result.size() != size + 4) return Status::Corruption("short block read");
+  const uint32_t expected = DecodeFixed32(result.data() + size);
+  if (Crc32c::Compute(result.data(), size) != expected) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  out->resize(size);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> Table::Open(Env* env, const std::string& path,
+                                           uint64_t file_id, TableReadOptions opts) {
+  auto table = std::shared_ptr<Table>(new Table(file_id, opts));
+  GT_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &table->file_));
+
+  const uint64_t fsize = table->file_->size();
+  if (fsize < kFooterSize) return Status::Corruption("table too small: " + path);
+
+  char scratch[kFooterSize];
+  Slice footer;
+  GT_RETURN_IF_ERROR(table->file_->Read(fsize - kFooterSize, kFooterSize, &footer, scratch));
+  if (footer.size() != kFooterSize) return Status::Corruption("short footer read");
+
+  Decoder dec(footer.data(), footer.size());
+  uint64_t index_off, index_size, bloom_off, bloom_size, meta_off, meta_size, magic;
+  dec.GetFixed64(&index_off);
+  dec.GetFixed64(&index_size);
+  dec.GetFixed64(&bloom_off);
+  dec.GetFixed64(&bloom_size);
+  dec.GetFixed64(&meta_off);
+  dec.GetFixed64(&meta_size);
+  dec.GetFixed64(&magic);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic: " + path);
+
+  std::string index_contents;
+  GT_RETURN_IF_ERROR(ReadRawBlock(table->file_.get(), index_off, index_size, &index_contents));
+  table->index_ = std::make_shared<Block>(std::move(index_contents));
+
+  GT_RETURN_IF_ERROR(ReadRawBlock(table->file_.get(), bloom_off, bloom_size, &table->bloom_));
+
+  std::string meta;
+  GT_RETURN_IF_ERROR(ReadRawBlock(table->file_.get(), meta_off, meta_size, &meta));
+  Decoder mdec(meta.data(), meta.size());
+  std::string_view smallest, largest;
+  uint64_t entries = 0;
+  if (!mdec.GetLengthPrefixed(&smallest) || !mdec.GetLengthPrefixed(&largest) ||
+      !mdec.GetFixed64(&entries)) {
+    return Status::Corruption("bad meta block: " + path);
+  }
+  table->smallest_.assign(smallest);
+  table->largest_.assign(largest);
+  table->num_entries_ = entries;
+  return table;
+}
+
+Result<std::shared_ptr<Block>> Table::ReadBlock(uint64_t off, uint64_t size) {
+  const uint64_t cache_key = LruCache<Block>::MakeKey(file_id_, off);
+  if (opts_.block_cache != nullptr) {
+    if (auto cached = opts_.block_cache->Lookup(cache_key)) {
+      if (opts_.stats != nullptr) opts_.stats->block_cache_hits.fetch_add(1);
+      return cached;
+    }
+  }
+  std::string contents;
+  GT_RETURN_IF_ERROR(ReadRawBlock(file_.get(), off, size, &contents));
+  if (opts_.stats != nullptr) {
+    opts_.stats->block_reads.fetch_add(1);
+    opts_.stats->bytes_read.fetch_add(size);
+  }
+  if (opts_.device != nullptr) opts_.device->ChargeAccess(size);
+  auto block = std::make_shared<Block>(std::move(contents));
+  if (opts_.block_cache != nullptr) {
+    opts_.block_cache->Insert(cache_key, block, block->size());
+  }
+  return block;
+}
+
+Status Table::Get(Slice internal_key,
+                  const std::function<void(const ParsedInternalKey&, Slice)>& found) {
+  if (!BloomMayContain(bloom_, ExtractUserKey(internal_key))) {
+    if (opts_.stats != nullptr) opts_.stats->bloom_negatives.fetch_add(1);
+    return Status::NotFound();
+  }
+
+  auto index_it = index_->NewIterator(&icmp_);
+  index_it->Seek(internal_key);
+  if (!index_it->Valid()) return Status::NotFound();
+
+  Slice handle = index_it->value();
+  if (handle.size() != 16) return Status::Corruption("bad index handle");
+  const uint64_t off = DecodeFixed64(handle.data());
+  const uint64_t size = DecodeFixed64(handle.data() + 8);
+
+  auto block = ReadBlock(off, size);
+  if (!block.ok()) return block.status();
+
+  auto it = (*block)->NewIterator(&icmp_);
+  it->Seek(internal_key);
+  if (!it->Valid()) return Status::NotFound();
+
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(it->key(), &parsed)) return Status::Corruption("bad key in block");
+  if (parsed.user_key != ExtractUserKey(internal_key)) return Status::NotFound();
+  found(parsed, it->value());
+  return Status::OK();
+}
+
+// Two-level iterator: walks the index block, opening data blocks on demand.
+class Table::TwoLevelIter final : public Iterator {
+ public:
+  explicit TwoLevelIter(std::shared_ptr<Table> table)
+      : table_(std::move(table)), index_it_(table_->index_->NewIterator(&table_->icmp_)) {}
+
+  bool Valid() const override { return data_it_ != nullptr && data_it_->Valid(); }
+
+  void SeekToFirst() override {
+    index_it_->SeekToFirst();
+    InitDataBlock();
+    if (data_it_ != nullptr) data_it_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+
+  void Seek(Slice target) override {
+    index_it_->Seek(target);
+    InitDataBlock();
+    if (data_it_ != nullptr) data_it_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    data_it_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  Slice key() const override { return data_it_->key(); }
+  Slice value() const override { return data_it_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (data_it_ != nullptr) return data_it_->status();
+    return index_it_->status();
+  }
+
+ private:
+  void InitDataBlock() {
+    data_it_.reset();
+    data_block_.reset();
+    if (!index_it_->Valid()) return;
+    Slice handle = index_it_->value();
+    if (handle.size() != 16) {
+      status_ = Status::Corruption("bad index handle");
+      return;
+    }
+    auto block = table_->ReadBlock(DecodeFixed64(handle.data()), DecodeFixed64(handle.data() + 8));
+    if (!block.ok()) {
+      status_ = block.status();
+      return;
+    }
+    data_block_ = *block;
+    data_it_ = data_block_->NewIterator(&table_->icmp_);
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_it_ == nullptr || !data_it_->Valid()) {
+      if (!index_it_->Valid()) {
+        data_it_.reset();
+        return;
+      }
+      index_it_->Next();
+      InitDataBlock();
+      if (data_it_ != nullptr) data_it_->SeekToFirst();
+    }
+  }
+
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<Iterator> index_it_;
+  std::shared_ptr<Block> data_block_;
+  std::unique_ptr<Iterator> data_it_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Table::NewIterator() {
+  // Safe: Table instances are always managed by shared_ptr (Open).
+  return std::make_unique<TwoLevelIter>(shared_from_this());
+}
+
+}  // namespace gt::kv

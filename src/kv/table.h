@@ -1,0 +1,114 @@
+// Sorted table files (the on-disk runs of the LSM tree).
+//
+// File layout:
+//   data block 0 | crc32
+//   ...                    (blocks carry a fixed32 crc trailer)
+//   data block N | crc32
+//   bloom block | crc32
+//   meta block  | crc32   (smallest key, largest key, num_entries)
+//   index block | crc32   (key = last internal key of the data block,
+//                          value = fixed64 offset | fixed64 size)
+//   footer (56 bytes):
+//     fixed64 index_off | fixed64 index_size
+//     fixed64 bloom_off | fixed64 bloom_size
+//     fixed64 meta_off  | fixed64 meta_size | fixed64 magic
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/device_model.h"
+#include "src/common/status.h"
+#include "src/kv/block.h"
+#include "src/kv/bloom.h"
+#include "src/kv/dbformat.h"
+#include "src/kv/env.h"
+#include "src/kv/iterator.h"
+#include "src/kv/lru_cache.h"
+#include "src/kv/stats.h"
+
+namespace gt::kv {
+
+constexpr uint64_t kTableMagic = 0x477261706854726bULL;  // "GraphTrk"
+
+struct TableReadOptions {
+  LruCache<Block>* block_cache = nullptr;  // may be null (no caching)
+  KvStats* stats = nullptr;
+  DeviceModel* device = nullptr;  // charged per cold block read (optional)
+  int bloom_bits_per_key = 10;
+};
+
+class TableBuilder {
+ public:
+  TableBuilder(std::unique_ptr<WritableFile> file, size_t block_size = 4096,
+               int bloom_bits_per_key = 10)
+      : file_(std::move(file)), block_size_(block_size), bloom_(bloom_bits_per_key) {}
+
+  // Keys must arrive in strictly increasing internal-key order.
+  Status Add(Slice internal_key, Slice value);
+
+  // Flushes remaining data, writes bloom/index/footer, syncs and closes.
+  Status Finish();
+
+  uint64_t NumEntries() const { return num_entries_; }
+  uint64_t FileSize() const { return offset_; }
+  // Smallest/largest internal keys added (valid after at least one Add).
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+
+ private:
+  Status FlushDataBlock();
+  Status WriteBlock(Slice contents, uint64_t* off, uint64_t* size);
+
+  std::unique_ptr<WritableFile> file_;
+  size_t block_size_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder bloom_;
+  std::string last_key_;
+  std::string smallest_, largest_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  bool closed_ = false;
+};
+
+class Table : public std::enable_shared_from_this<Table> {
+ public:
+  // Opens a table file; reads footer, index and bloom eagerly (they are
+  // resident for the table's lifetime, like RocksDB with pinned metadata).
+  static Result<std::shared_ptr<Table>> Open(Env* env, const std::string& path,
+                                             uint64_t file_id, TableReadOptions opts);
+
+  // Point lookup for the newest visible version of the internal key.
+  // Calls found(parsed_key, value) at most once; returns NotFound when the
+  // table has no entry for the user key at all.
+  Status Get(Slice internal_key,
+             const std::function<void(const ParsedInternalKey&, Slice)>& found);
+
+  // Iterator over the whole table in internal-key order.
+  std::unique_ptr<Iterator> NewIterator();
+
+  uint64_t file_id() const { return file_id_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  class TwoLevelIter;
+
+  Table(uint64_t file_id, TableReadOptions opts) : file_id_(file_id), opts_(opts) {}
+
+  Result<std::shared_ptr<Block>> ReadBlock(uint64_t off, uint64_t size);
+
+  uint64_t file_id_;
+  TableReadOptions opts_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::shared_ptr<Block> index_;
+  std::string bloom_;
+  InternalKeyComparator icmp_;
+  std::string smallest_, largest_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,43 @@
+#include "src/kv/wal.h"
+
+#include "src/common/codec.h"
+
+namespace gt::kv {
+
+Status WalWriter::AddRecord(Slice payload) {
+  std::string header;
+  PutFixed32(&header, Crc32c::Compute(payload.data(), payload.size()));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  GT_RETURN_IF_ERROR(file_->Append(header));
+  GT_RETURN_IF_ERROR(file_->Append(payload));
+  return file_->Flush();
+}
+
+bool WalReader::ReadRecord(std::string* scratch, Slice* record) {
+  if (!status_.ok()) return false;
+
+  char header[8];
+  Slice h;
+  status_ = file_->Read(8, &h, header);
+  if (!status_.ok()) return false;
+  if (h.size() == 0) return false;  // clean EOF
+  if (h.size() < 8) return false;   // truncated tail: treat as end of log
+
+  const uint32_t crc = DecodeFixed32(h.data());
+  const uint32_t len = DecodeFixed32(h.data() + 4);
+
+  scratch->resize(len);
+  Slice payload;
+  status_ = file_->Read(len, &payload, scratch->data());
+  if (!status_.ok()) return false;
+  if (payload.size() < len) return false;  // truncated tail
+
+  if (Crc32c::Compute(payload.data(), payload.size()) != crc) {
+    status_ = Status::Corruption("wal record checksum mismatch");
+    return false;
+  }
+  *record = payload;
+  return true;
+}
+
+}  // namespace gt::kv

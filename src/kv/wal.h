@@ -1,0 +1,45 @@
+// Write-ahead log. Record format on disk:
+//   fixed32 crc32c(payload) | fixed32 payload_len | payload
+// The reader stops cleanly at EOF or a truncated tail (normal after crash)
+// and reports corruption for checksum mismatches in the middle of the log.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kv/env.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+class WalWriter {
+ public:
+  explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
+
+  Status AddRecord(Slice payload);
+  Status Sync() { return file_->Sync(); }
+  uint64_t size() const { return file_->size(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+class WalReader {
+ public:
+  explicit WalReader(std::unique_ptr<SequentialFile> file) : file_(std::move(file)) {}
+
+  // Reads the next record into *record (backed by *scratch). Returns:
+  //   true  - record read
+  //   false - clean end of log (EOF or truncated tail); status() is OK
+  //   false - with !status().ok() on mid-log corruption
+  bool ReadRecord(std::string* scratch, Slice* record);
+
+  Status status() const { return status_; }
+
+ private:
+  std::unique_ptr<SequentialFile> file_;
+  Status status_;
+};
+
+}  // namespace gt::kv

@@ -1,0 +1,48 @@
+#include "src/kv/write_batch.h"
+
+#include "src/common/codec.h"
+#include "src/kv/memtable.h"
+
+namespace gt::kv {
+
+void WriteBatch::Put(Slice key, Slice value) {
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixed(&rep_, key.view());
+  PutLengthPrefixed(&rep_, value.view());
+  EncodeFixed32(rep_.data() + 8, Count() + 1);
+}
+
+void WriteBatch::Delete(Slice key) {
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixed(&rep_, key.view());
+  EncodeFixed32(rep_.data() + 8, Count() + 1);
+}
+
+void WriteBatch::Clear() {
+  rep_.assign(kHeader, '\0');
+}
+
+uint32_t WriteBatch::Count() const { return DecodeFixed32(rep_.data() + 8); }
+
+SequenceNumber WriteBatch::sequence() const { return DecodeFixed64(rep_.data()); }
+
+void WriteBatch::SetSequence(SequenceNumber seq) { EncodeFixed64(rep_.data(), seq); }
+
+Result<WriteBatch> WriteBatch::FromRep(Slice rep) {
+  if (rep.size() < kHeader) return Status::Corruption("batch rep too small");
+  WriteBatch b;
+  b.rep_.assign(rep.data(), rep.size());
+  // Validate by iterating.
+  Status s = b.Iterate([](ValueType, Slice, Slice) {});
+  if (!s.ok()) return s;
+  return b;
+}
+
+Status WriteBatch::InsertInto(MemTable* mem) const {
+  SequenceNumber seq = sequence();
+  return Iterate([mem, &seq](ValueType type, Slice key, Slice value) {
+    mem->Add(seq++, type, key, value);
+  });
+}
+
+}  // namespace gt::kv

@@ -1,0 +1,71 @@
+// WriteBatch: an ordered group of Put/Delete operations applied atomically.
+// Serialized form (also the WAL payload):
+//   fixed64 starting_sequence | fixed32 count | count * record
+//   record := type(1B) | varint32 klen | key | [varint32 vlen | value]
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kv/dbformat.h"
+#include "src/kv/slice.h"
+
+namespace gt::kv {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch() { Clear(); }
+
+  void Put(Slice key, Slice value);
+  void Delete(Slice key);
+  void Clear();
+
+  uint32_t Count() const;
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  // Serialized representation (header + records).
+  const std::string& rep() const { return rep_; }
+  static Result<WriteBatch> FromRep(Slice rep);
+
+  SequenceNumber sequence() const;
+  void SetSequence(SequenceNumber seq);
+
+  // Applies every record to `mem`, assigning consecutive sequence numbers
+  // starting at sequence().
+  Status InsertInto(MemTable* mem) const;
+
+  // Invokes handler(type, key, value) per record, in order.
+  template <typename Handler>
+  Status Iterate(Handler&& handler) const;
+
+ private:
+  static constexpr size_t kHeader = 12;  // 8B seq + 4B count
+  std::string rep_;
+};
+
+template <typename Handler>
+Status WriteBatch::Iterate(Handler&& handler) const {
+  if (rep_.size() < kHeader) return Status::Corruption("batch too small");
+  Decoder dec(rep_.data() + kHeader, rep_.size() - kHeader);
+  uint32_t found = 0;
+  while (!dec.empty()) {
+    std::string_view t;
+    if (!dec.GetBytes(1, &t)) return Status::Corruption("bad record type");
+    const auto type = static_cast<ValueType>(static_cast<unsigned char>(t[0]));
+    std::string_view key, value;
+    if (!dec.GetLengthPrefixed(&key)) return Status::Corruption("bad key");
+    if (type == kTypeValue) {
+      if (!dec.GetLengthPrefixed(&value)) return Status::Corruption("bad value");
+    } else if (type != kTypeDeletion) {
+      return Status::Corruption("unknown record type");
+    }
+    handler(type, Slice(key), Slice(value));
+    found++;
+  }
+  if (found != Count()) return Status::Corruption("batch count mismatch");
+  return Status::OK();
+}
+
+}  // namespace gt::kv

@@ -1,0 +1,196 @@
+#include "src/lang/gtravel.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gt::lang {
+
+GTravel& GTravel::v(std::vector<graph::VertexId> ids) {
+  if (has_v_) {
+    v_repeated_ = true;
+    return *this;
+  }
+  if (!hop_labels_.empty() || !filters_.empty() || !rtn_steps_.empty()) {
+    v_first_error_ = true;
+  }
+  has_v_ = true;
+  start_ids_ = std::move(ids);
+  return *this;
+}
+
+GTravel& GTravel::e(const std::string& label) {
+  hop_labels_.push_back(label);
+  return *this;
+}
+
+GTravel& GTravel::va(const std::string& key, FilterOp op,
+                     std::vector<graph::PropValue> values) {
+  PendingFilter f;
+  f.is_edge = false;
+  f.key = key;
+  f.op = op;
+  f.values = std::move(values);
+  f.step = static_cast<int>(hop_labels_.size());
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+GTravel& GTravel::ea(const std::string& key, FilterOp op,
+                     std::vector<graph::PropValue> values) {
+  PendingFilter f;
+  f.is_edge = true;
+  f.key = key;
+  f.op = op;
+  f.values = std::move(values);
+  f.step = static_cast<int>(hop_labels_.size());  // filter on hop step-1 -> step
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+GTravel& GTravel::rtn() {
+  rtn_steps_.push_back(static_cast<int>(hop_labels_.size()));
+  return *this;
+}
+
+Status GTravel::CheckFilterShape(const PendingFilter& f) const {
+  switch (f.op) {
+    case FilterOp::kEq:
+      if (f.values.size() != 1) return Status::InvalidArgument("EQ filter needs 1 value");
+      break;
+    case FilterOp::kIn:
+      if (f.values.empty()) return Status::InvalidArgument("IN filter needs >= 1 value");
+      break;
+    case FilterOp::kRange:
+      if (f.values.size() != 2) return Status::InvalidArgument("RANGE filter needs 2 values");
+      break;
+  }
+  return Status::OK();
+}
+
+Result<TraversalPlan> GTravel::Build() const {
+  if (!has_v_) return Status::InvalidArgument("traversal must start with v()");
+  if (v_repeated_) return Status::InvalidArgument("v() may only be called once");
+  if (v_first_error_) return Status::InvalidArgument("v() must be the first call");
+
+  TraversalPlan plan;
+  plan.start_ids = start_ids_;
+  plan.hops.resize(hop_labels_.size());
+  for (size_t i = 0; i < hop_labels_.size(); i++) {
+    plan.hops[i].edge_label = catalog_->Intern(hop_labels_[i]);
+  }
+
+  for (const auto& f : filters_) {
+    GT_RETURN_IF_ERROR(CheckFilterShape(f));
+    Filter compiled;
+    compiled.key = catalog_->Intern(f.key);
+    compiled.op = f.op;
+    compiled.values = f.values;
+    if (f.is_edge) {
+      if (f.step == 0) return Status::InvalidArgument("ea() requires a preceding e()");
+      plan.hops[f.step - 1].edge_filters.push_back(std::move(compiled));
+    } else if (f.step == 0) {
+      plan.start_vertex_filters.push_back(std::move(compiled));
+    } else {
+      plan.hops[f.step - 1].vertex_filters.push_back(std::move(compiled));
+    }
+  }
+
+  for (int step : rtn_steps_) {
+    if (step == 0) {
+      plan.start_rtn = true;
+    } else {
+      plan.hops[step - 1].rtn = true;
+    }
+  }
+
+  if (plan.start_ids.empty()) {
+    // An unanchored v() must be scannable through the type index: require a
+    // "type" EQ filter on the start step.
+    const graph::Catalog::Id type_key = catalog_->Intern("type");
+    const bool has_type_eq =
+        std::any_of(plan.start_vertex_filters.begin(), plan.start_vertex_filters.end(),
+                    [&](const Filter& f) { return f.key == type_key && f.op == FilterOp::kEq; });
+    if (!has_type_eq) {
+      return Status::InvalidArgument(
+          "v() without ids requires a va(\"type\", EQ, ...) filter");
+    }
+  }
+
+  if (plan.hops.empty() && plan.start_ids.empty()) {
+    return Status::InvalidArgument("traversal needs at least one hop or explicit start ids");
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluator (oracle)
+// ---------------------------------------------------------------------------
+
+std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
+                                                    const graph::RefGraph& graph,
+                                                    const graph::Catalog& catalog) {
+  using graph::VertexId;
+  const size_t n = plan.hops.size();
+  const graph::Catalog::Id type_key = catalog.Lookup("type");
+
+  // Forward pass: fwd[k] = working set at step k (deduplicated).
+  std::vector<std::unordered_set<VertexId>> fwd(n + 1);
+
+  auto vertex_passes = [&](VertexId vid, const std::vector<Filter>& filters) {
+    const graph::VertexRecord* rec = graph.FindVertex(vid);
+    return rec != nullptr && VertexMatchesAll(filters, *rec, catalog, type_key);
+  };
+
+  if (!plan.start_ids.empty()) {
+    for (VertexId vid : plan.start_ids) {
+      if (vertex_passes(vid, plan.start_vertex_filters)) fwd[0].insert(vid);
+    }
+  } else {
+    for (const auto& [vid, rec] : graph.vertices()) {
+      if (VertexMatchesAll(plan.start_vertex_filters, rec, catalog, type_key)) fwd[0].insert(vid);
+    }
+  }
+
+  for (size_t k = 0; k < n; k++) {
+    const Hop& hop = plan.hops[k];
+    for (VertexId src : fwd[k]) {
+      for (const auto& [dst, eprops] : graph.Edges(src, hop.edge_label)) {
+        if (!MatchesAll(hop.edge_filters, eprops)) continue;
+        if (!vertex_passes(dst, hop.vertex_filters)) continue;
+        fwd[k + 1].insert(dst);
+      }
+    }
+  }
+
+  // Backward pass: alive[k] = members of fwd[k] with a full path to step n.
+  std::vector<std::unordered_set<VertexId>> alive(n + 1);
+  alive[n] = fwd[n];
+  for (size_t k = n; k-- > 0;) {
+    const Hop& hop = plan.hops[k];
+    for (VertexId src : fwd[k]) {
+      for (const auto& [dst, eprops] : graph.Edges(src, hop.edge_label)) {
+        if (!MatchesAll(hop.edge_filters, eprops)) continue;
+        if (alive[k + 1].count(dst) != 0) {
+          alive[k].insert(src);
+          break;
+        }
+      }
+    }
+  }
+
+  std::unordered_set<VertexId> result;
+  if (!plan.has_rtn()) {
+    result = alive[n];
+  } else {
+    if (plan.start_rtn) result.insert(alive[0].begin(), alive[0].end());
+    for (size_t k = 0; k < n; k++) {
+      if (plan.hops[k].rtn) result.insert(alive[k + 1].begin(), alive[k + 1].end());
+    }
+  }
+
+  std::vector<VertexId> out(result.begin(), result.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gt::lang

@@ -1,0 +1,87 @@
+// GTravel: the chainable traversal-building language from the paper,
+// in C++ method-chaining form:
+//
+//   auto plan = GTravel(&catalog)
+//                   .v({user_id})
+//                   .e("run").ea("start_ts", FilterOp::kRange, {t_s, t_e})
+//                   .e("read").va("type", FilterOp::kEq, {"text"})
+//                   .rtn()
+//                   .Build();
+//
+// Selectors/filters:
+//   v(ids)   - entry vertices by id; v() with a type va() scans the index
+//   e(label) - follow edges of the given type (one traversal step)
+//   va(...)  - filter the current working set's vertices (AND-composed)
+//   ea(...)  - filter the edges just traversed (must follow e())
+//   rtn()    - mark the current working set for return; returned vertices
+//              are those whose traversals reach the end of the chain
+//
+// Build() validates the chain and resolves names against the catalog.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/ref_graph.h"
+#include "src/lang/plan.h"
+
+namespace gt::lang {
+
+class GTravel {
+ public:
+  explicit GTravel(graph::Catalog* catalog) : catalog_(catalog) {}
+
+  // Entry-point selector. Call exactly once, first.
+  GTravel& v(std::vector<graph::VertexId> ids = {});
+
+  // Follow edges with the given label into the next step.
+  GTravel& e(const std::string& label);
+
+  // Vertex property filter on the current working set.
+  GTravel& va(const std::string& key, FilterOp op, std::vector<graph::PropValue> values);
+
+  // Edge property filter on the edges most recently traversed.
+  GTravel& ea(const std::string& key, FilterOp op, std::vector<graph::PropValue> values);
+
+  // Mark the current working set for return.
+  GTravel& rtn();
+
+  // Validates and compiles the chain. Errors:
+  //  - v() missing, repeated, or not first
+  //  - ea() before any e()
+  //  - RANGE filters without exactly 2 values / EQ without exactly 1
+  //  - v() without ids and without a type EQ filter (unindexable scan)
+  //  - no steps at all
+  Result<TraversalPlan> Build() const;
+
+ private:
+  struct PendingFilter {
+    bool is_edge = false;
+    std::string key;
+    FilterOp op = FilterOp::kEq;
+    std::vector<graph::PropValue> values;
+    int step = -1;  // 0 = start, i = after hop i-1
+  };
+
+  Status CheckFilterShape(const PendingFilter& f) const;
+
+  graph::Catalog* catalog_;
+  bool has_v_ = false;
+  bool v_first_error_ = false;   // a selector/filter preceded v()
+  bool v_repeated_ = false;
+  std::vector<graph::VertexId> start_ids_;
+  std::vector<std::string> hop_labels_;
+  std::vector<PendingFilter> filters_;
+  std::vector<int> rtn_steps_;
+};
+
+// Reference evaluator: runs a plan against an in-memory RefGraph, used as
+// the oracle in engine tests and by small examples. Returns the rtn-marked
+// working sets' vertices (or the final working set when no rtn is present),
+// deduplicated and sorted. The catalog provides the "type" pseudo-property
+// (vertex label) used by va("type", ...) filters.
+std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
+                                                    const graph::RefGraph& graph,
+                                                    const graph::Catalog& catalog);
+
+}  // namespace gt::lang

@@ -1,0 +1,135 @@
+// TraversalPlan: the compiled form of a GTravel query that travels between
+// servers. A plan has a start step (explicit vertex ids, or a typed vertex
+// scan) followed by hops; each hop names the edge type to follow, filters on
+// those edges, filters on the destination vertices, and whether the step's
+// working set is marked rtn().
+//
+// Step numbering matches the paper: step 0 is the start working set; step i
+// (i >= 1) is the working set after following hops[i-1].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/encoding.h"
+#include "src/lang/filter.h"
+
+namespace gt::lang {
+
+struct Hop {
+  graph::LabelId edge_label = 0;
+  std::vector<Filter> edge_filters;    // ea() on the traversed edges
+  std::vector<Filter> vertex_filters;  // va() on the destination vertices
+  bool rtn = false;
+
+  bool operator==(const Hop& o) const {
+    return edge_label == o.edge_label && edge_filters == o.edge_filters &&
+           vertex_filters == o.vertex_filters && rtn == o.rtn;
+  }
+};
+
+struct TraversalPlan {
+  // Start working set: explicit ids, or (when empty) every vertex passing
+  // start_vertex_filters — the validator requires a type EQ filter in that
+  // case so the scan can use the type index.
+  std::vector<graph::VertexId> start_ids;
+  std::vector<Filter> start_vertex_filters;
+  bool start_rtn = false;
+
+  std::vector<Hop> hops;
+
+  // Number of traversal steps in the paper's sense (edge hops).
+  size_t num_steps() const { return hops.size(); }
+
+  // True if any step is marked rtn(); otherwise the engines return the
+  // final working set.
+  bool has_rtn() const {
+    if (start_rtn) return true;
+    for (const auto& h : hops) {
+      if (h.rtn) return true;
+    }
+    return false;
+  }
+
+  // Index of the last rtn-marked step, or -1 when none.
+  int last_rtn_step() const {
+    int last = start_rtn ? 0 : -1;
+    for (size_t i = 0; i < hops.size(); i++) {
+      if (hops[i].rtn) last = static_cast<int>(i) + 1;
+    }
+    return last;
+  }
+
+  bool operator==(const TraversalPlan& o) const {
+    return start_ids == o.start_ids && start_vertex_filters == o.start_vertex_filters &&
+           start_rtn == o.start_rtn && hops == o.hops;
+  }
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint32(&out, static_cast<uint32_t>(start_ids.size()));
+    for (auto vid : start_ids) PutVarint64(&out, vid);
+    EncodeFilters(&out, start_vertex_filters);
+    out.push_back(start_rtn ? 1 : 0);
+    PutVarint32(&out, static_cast<uint32_t>(hops.size()));
+    for (const auto& h : hops) {
+      PutVarint32(&out, h.edge_label);
+      EncodeFilters(&out, h.edge_filters);
+      EncodeFilters(&out, h.vertex_filters);
+      out.push_back(h.rtn ? 1 : 0);
+    }
+    return out;
+  }
+
+  static Result<TraversalPlan> Decode(std::string_view data) {
+    TraversalPlan plan;
+    Decoder dec(data);
+    uint32_t n = 0;
+    if (!dec.GetVarint32(&n)) return Status::Corruption("plan: start ids");
+    plan.start_ids.reserve(n);
+    for (uint32_t i = 0; i < n; i++) {
+      uint64_t vid;
+      if (!dec.GetVarint64(&vid)) return Status::Corruption("plan: start id");
+      plan.start_ids.push_back(vid);
+    }
+    if (!DecodeFilters(&dec, &plan.start_vertex_filters)) {
+      return Status::Corruption("plan: start filters");
+    }
+    std::string_view flag;
+    if (!dec.GetBytes(1, &flag)) return Status::Corruption("plan: start rtn");
+    plan.start_rtn = flag[0] != 0;
+
+    uint32_t hops = 0;
+    if (!dec.GetVarint32(&hops)) return Status::Corruption("plan: hop count");
+    plan.hops.resize(hops);
+    for (uint32_t i = 0; i < hops; i++) {
+      Hop& h = plan.hops[i];
+      if (!dec.GetVarint32(&h.edge_label)) return Status::Corruption("plan: hop label");
+      if (!DecodeFilters(&dec, &h.edge_filters)) return Status::Corruption("plan: hop efilters");
+      if (!DecodeFilters(&dec, &h.vertex_filters)) return Status::Corruption("plan: hop vfilters");
+      if (!dec.GetBytes(1, &flag)) return Status::Corruption("plan: hop rtn");
+      h.rtn = flag[0] != 0;
+    }
+    if (!dec.empty()) return Status::Corruption("plan: trailing bytes");
+    return plan;
+  }
+
+ private:
+  static void EncodeFilters(std::string* out, const std::vector<Filter>& filters) {
+    PutVarint32(out, static_cast<uint32_t>(filters.size()));
+    for (const auto& f : filters) f.EncodeTo(out);
+  }
+
+  static bool DecodeFilters(Decoder* dec, std::vector<Filter>* out) {
+    uint32_t n = 0;
+    if (!dec->GetVarint32(&n)) return false;
+    out->resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+      if (!Filter::DecodeFrom(dec, &(*out)[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace gt::lang

@@ -1,0 +1,127 @@
+#include "src/rpc/inproc_transport.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace gt::rpc {
+
+InProcTransport::InProcTransport(InProcConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+InProcTransport::~InProcTransport() { Shutdown(); }
+
+Status InProcTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Status::Unavailable("transport shut down");
+  if (endpoints_.count(id) != 0) {
+    return Status::AlreadyExists("endpoint " + std::to_string(id));
+  }
+  auto ep = std::make_unique<Endpoint>(std::move(handler));
+  Endpoint* raw = ep.get();
+  ep->worker = std::thread([this, raw] { DeliveryLoop(raw); });
+  endpoints_.emplace(id, std::move(ep));
+  return Status::OK();
+}
+
+void InProcTransport::UnregisterEndpoint(EndpointId id) {
+  std::unique_ptr<Endpoint> ep;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) return;
+    ep = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> elk(ep->mu);
+    ep->stop = true;
+  }
+  ep->cv.notify_all();
+  if (ep->worker.joinable()) ep->worker.join();
+}
+
+void InProcTransport::SetFaultHook(std::function<bool(const Message&)> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+Status InProcTransport::Send(Message msg) {
+  Endpoint* ep = nullptr;
+  uint64_t extra_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return Status::Unavailable("transport shut down");
+    if (fault_hook_ && fault_hook_(msg)) {
+      stats_.messages_dropped.fetch_add(1);
+      return Status::OK();  // silent drop, like a lost datagram
+    }
+    if (cfg_.drop_probability > 0.0 && rng_.Bernoulli(cfg_.drop_probability)) {
+      stats_.messages_dropped.fetch_add(1);
+      return Status::OK();
+    }
+    auto it = endpoints_.find(msg.dst);
+    if (it == endpoints_.end()) {
+      return Status::NotFound("no endpoint " + std::to_string(msg.dst));
+    }
+    ep = it->second.get();
+    if (cfg_.jitter_us > 0) extra_us = rng_.Uniform(cfg_.jitter_us);
+  }
+
+  stats_.messages_sent.fetch_add(1);
+  stats_.bytes_sent.fetch_add(msg.WireSize());
+
+  const uint64_t deliver_at = NowMicros() + cfg_.latency_us + extra_us;
+  {
+    std::lock_guard<std::mutex> elk(ep->mu);
+    if (ep->stop) return Status::Unavailable("endpoint closing");
+    ep->queue.emplace_back(deliver_at, std::move(msg));
+  }
+  ep->cv.notify_one();
+  return Status::OK();
+}
+
+void InProcTransport::DeliveryLoop(Endpoint* ep) {
+  for (;;) {
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lk(ep->mu);
+      ep->cv.wait(lk, [ep] { return ep->stop || !ep->queue.empty(); });
+      if (ep->stop) return;  // undelivered messages are dropped at teardown
+
+      const uint64_t deliver_at = ep->queue.front().first;
+      const uint64_t now = NowMicros();
+      if (deliver_at > now) {
+        // Model link latency: hold the message until its delivery time.
+        ep->cv.wait_for(lk, std::chrono::microseconds(deliver_at - now));
+        continue;  // re-check queue/stop
+      }
+      msg = std::move(ep->queue.front().second);
+      ep->queue.pop_front();
+    }
+    ep->handler(std::move(msg));
+  }
+}
+
+void InProcTransport::Shutdown() {
+  std::unordered_map<EndpointId, std::unique_ptr<Endpoint>> eps;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    eps = std::move(endpoints_);
+    endpoints_.clear();
+  }
+  for (auto& [id, ep] : eps) {
+    (void)id;
+    {
+      std::lock_guard<std::mutex> elk(ep->mu);
+      ep->stop = true;
+    }
+    ep->cv.notify_all();
+  }
+  for (auto& [id, ep] : eps) {
+    (void)id;
+    if (ep->worker.joinable()) ep->worker.join();
+  }
+}
+
+}  // namespace gt::rpc

@@ -1,0 +1,63 @@
+// In-process transport: per-endpoint inboxes drained by dedicated delivery
+// threads. Models the paper's ZeroMQ fabric with configurable per-message
+// latency/jitter and a fault hook used by failure-detection tests.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/rpc/transport.h"
+
+namespace gt::rpc {
+
+struct InProcConfig {
+  uint32_t latency_us = 0;  // one-way delivery latency
+  uint32_t jitter_us = 0;   // uniform extra [0, jitter_us)
+  uint64_t seed = 42;       // for jitter and probabilistic drops
+  double drop_probability = 0.0;  // applies to every message (tests only)
+};
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(InProcConfig cfg = {});
+  ~InProcTransport() override;
+
+  Status RegisterEndpoint(EndpointId id, MessageHandler handler) override;
+  void UnregisterEndpoint(EndpointId id) override;
+  Status Send(Message msg) override;
+  void Shutdown() override;
+
+  // Fault injection: if set and returns true, the message is silently
+  // dropped (counts in stats().messages_dropped). Called on the send path.
+  void SetFaultHook(std::function<bool(const Message&)> hook);
+
+ private:
+  struct Endpoint {
+    explicit Endpoint(MessageHandler h) : handler(std::move(h)) {}
+
+    MessageHandler handler;
+    std::mutex mu;
+    std::condition_variable cv;
+    // (deliver_at_us, message); FIFO within the queue, deliver_at is
+    // monotone because latency is applied at enqueue time.
+    std::deque<std::pair<uint64_t, Message>> queue;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void DeliveryLoop(Endpoint* ep);
+
+  InProcConfig cfg_;
+  std::mutex mu_;  // guards endpoints_ and fault hook
+  std::unordered_map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
+  std::function<bool(const Message&)> fault_hook_;
+  Rng rng_;
+  bool shutdown_ = false;
+};
+
+}  // namespace gt::rpc

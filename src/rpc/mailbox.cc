@@ -1,0 +1,77 @@
+#include "src/rpc/mailbox.h"
+
+#include <chrono>
+
+namespace gt::rpc {
+
+Mailbox::Mailbox(Transport* transport, EndpointId id) : transport_(transport), id_(id) {
+  Status s = transport_->RegisterEndpoint(id_, [this](Message&& m) { OnMessage(std::move(m)); });
+  (void)s;  // AlreadyExists only happens on programmer error; surfaced in tests
+}
+
+Mailbox::~Mailbox() {
+  transport_->UnregisterEndpoint(id_);
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+void Mailbox::OnMessage(Message&& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (msg.rpc_id != 0) {
+    responses_.emplace(msg.rpc_id, std::move(msg));
+  } else {
+    inbox_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Status Mailbox::Send(EndpointId dst, MsgType type, std::string payload) {
+  Message m;
+  m.type = type;
+  m.src = id_;
+  m.dst = dst;
+  m.payload = std::move(payload);
+  return transport_->Send(std::move(m));
+}
+
+Result<Message> Mailbox::Call(EndpointId dst, MsgType type, std::string payload,
+                              uint32_t timeout_ms) {
+  const uint64_t rpc_id = next_rpc_id_.fetch_add(1);
+  Message m;
+  m.type = type;
+  m.src = id_;
+  m.dst = dst;
+  m.rpc_id = rpc_id;
+  m.payload = std::move(payload);
+  GT_RETURN_IF_ERROR(transport_->Send(std::move(m)));
+
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [&] {
+    return closed_ || responses_.count(rpc_id) != 0;
+  });
+  if (!got || closed_) return Status::Timeout("rpc " + std::to_string(rpc_id));
+  Message reply = std::move(responses_.at(rpc_id));
+  responses_.erase(rpc_id);
+  return reply;
+}
+
+Result<Message> Mailbox::Receive(uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                                [&] { return closed_ || !inbox_.empty(); });
+  if (!got || inbox_.empty()) return Status::Timeout("mailbox receive");
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  return m;
+}
+
+Result<Message> Mailbox::TryReceive() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inbox_.empty()) return Status::Timeout("mailbox empty");
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  return m;
+}
+
+}  // namespace gt::rpc

@@ -1,0 +1,52 @@
+// Mailbox: endpoint helper that correlates request/response pairs and
+// queues unsolicited messages. Used by GraphTrek clients to talk to
+// coordinator servers (submit, progress, streamed results).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/rpc/transport.h"
+
+namespace gt::rpc {
+
+class Mailbox {
+ public:
+  // Registers `id` on `transport`; the transport must outlive the mailbox.
+  Mailbox(Transport* transport, EndpointId id);
+  ~Mailbox();
+
+  EndpointId id() const { return id_; }
+
+  // Sends a one-way message (rpc_id = 0).
+  Status Send(EndpointId dst, MsgType type, std::string payload);
+
+  // Sends a request and waits for the message that echoes its rpc_id.
+  Result<Message> Call(EndpointId dst, MsgType type, std::string payload,
+                       uint32_t timeout_ms = 30000);
+
+  // Blocks for the next unsolicited (rpc_id == 0 or unmatched) message.
+  Result<Message> Receive(uint32_t timeout_ms = 30000);
+
+  // Non-blocking variant; returns Timeout immediately when empty.
+  Result<Message> TryReceive();
+
+ private:
+  void OnMessage(Message&& msg);
+
+  Transport* transport_;
+  EndpointId id_;
+  std::atomic<uint64_t> next_rpc_id_{1};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Message> responses_;  // rpc_id -> reply
+  std::deque<Message> inbox_;
+  bool closed_ = false;
+};
+
+}  // namespace gt::rpc

@@ -1,0 +1,138 @@
+// RPC message and wire format shared by all transports.
+//
+// Frame on the wire:
+//   fixed32 frame_len (bytes after this field)
+//   fixed16 type | fixed32 src | fixed32 dst | fixed64 rpc_id | payload
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/codec.h"
+#include "src/common/status.h"
+
+namespace gt::rpc {
+
+// Endpoint ids: backend servers use [0, num_servers); clients allocate ids
+// at kClientIdBase and above.
+using EndpointId = uint32_t;
+constexpr EndpointId kClientIdBase = 1u << 20;
+
+enum class MsgType : uint16_t {
+  kInvalid = 0,
+
+  // Client <-> coordinator.
+  kSubmitTraversal = 1,   // client -> coordinator: serialized plan
+  kTraversalAccepted = 2, // coordinator -> client
+  kResultChunk = 3,       // coordinator -> client: streamed result vertices
+  kTraversalComplete = 4, // coordinator -> client: final status
+  kProgressRequest = 5,   // client -> coordinator
+  kProgressReply = 6,     // coordinator -> client
+
+  // Asynchronous engine, server <-> server.
+  kTraverse = 16,         // frontier hand-off for one step
+  kTraverseAck = 17,      // receiver buffered the request
+  kExecCreated = 18,      // creation event -> coordinator
+  kExecTerminated = 19,   // termination event -> coordinator / report dest
+  kReturnVertices = 20,   // final/rtn vertices -> report destination
+  kExecDispatched = 21,   // combined created(children)+terminated(self) event
+
+  // Synchronous engine control plane.
+  kSyncStepStart = 32,    // controller -> all servers
+  kSyncStepDone = 33,     // server -> controller (includes sent-batch counts)
+  kSyncBatch = 34,        // server -> server frontier batch
+  kSyncExpect = 35,       // controller -> server: batch count to expect
+  kSyncReady = 36,        // server -> controller: batches received
+
+  // Management.
+  kAbortTraversal = 48,
+  kPing = 49,
+  kPong = 50,
+
+  // Live updates + point queries (client -> owning server).
+  kPutVertex = 64,
+  kPutEdge = 65,
+  kMutateAck = 66,
+  kGetVertex = 67,
+  kVertexReply = 68,
+  kDeleteVertex = 69,
+
+  // Distributed catalog (any process -> authority server).
+  kCatalogIntern = 80,
+  kCatalogPull = 81,
+  kCatalogReply = 82,
+};
+
+struct Message {
+  MsgType type = MsgType::kInvalid;
+  EndpointId src = 0;
+  EndpointId dst = 0;
+  uint64_t rpc_id = 0;  // nonzero correlates a request with its response
+  std::string payload;
+
+  // Header: frame_len(4) + type(4, low 16 bits used) + src(4) + dst(4) + rpc_id(8).
+  size_t WireSize() const { return 4 + 4 + 4 + 4 + 8 + payload.size(); }
+
+  void EncodeTo(std::string* out) const {
+    const uint32_t frame_len = static_cast<uint32_t>(4 + 4 + 4 + 8 + payload.size());
+    PutFixed32(out, frame_len);
+    PutFixed32(out, (static_cast<uint32_t>(type) & 0xffff));
+    // type packed as fixed32 for alignment simplicity; high 16 bits zero.
+    PutFixed32(out, src);
+    PutFixed32(out, dst);
+    PutFixed64(out, rpc_id);
+    out->append(payload);
+  }
+
+  // Decodes the body of a frame (everything after frame_len).
+  static Result<Message> DecodeBody(std::string_view body) {
+    Message m;
+    Decoder dec(body);
+    uint32_t type32 = 0;
+    if (!dec.GetFixed32(&type32) || !dec.GetFixed32(&m.src) || !dec.GetFixed32(&m.dst) ||
+        !dec.GetFixed64(&m.rpc_id)) {
+      return Status::Corruption("short message header");
+    }
+    m.type = static_cast<MsgType>(type32 & 0xffff);
+    m.payload.assign(dec.data(), dec.remaining());
+    return m;
+  }
+};
+
+inline const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kInvalid: return "Invalid";
+    case MsgType::kSubmitTraversal: return "SubmitTraversal";
+    case MsgType::kTraversalAccepted: return "TraversalAccepted";
+    case MsgType::kResultChunk: return "ResultChunk";
+    case MsgType::kTraversalComplete: return "TraversalComplete";
+    case MsgType::kProgressRequest: return "ProgressRequest";
+    case MsgType::kProgressReply: return "ProgressReply";
+    case MsgType::kTraverse: return "Traverse";
+    case MsgType::kTraverseAck: return "TraverseAck";
+    case MsgType::kExecCreated: return "ExecCreated";
+    case MsgType::kExecTerminated: return "ExecTerminated";
+    case MsgType::kReturnVertices: return "ReturnVertices";
+    case MsgType::kExecDispatched: return "ExecDispatched";
+    case MsgType::kSyncStepStart: return "SyncStepStart";
+    case MsgType::kSyncStepDone: return "SyncStepDone";
+    case MsgType::kSyncBatch: return "SyncBatch";
+    case MsgType::kSyncExpect: return "SyncExpect";
+    case MsgType::kSyncReady: return "SyncReady";
+    case MsgType::kAbortTraversal: return "AbortTraversal";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kPutVertex: return "PutVertex";
+    case MsgType::kPutEdge: return "PutEdge";
+    case MsgType::kMutateAck: return "MutateAck";
+    case MsgType::kGetVertex: return "GetVertex";
+    case MsgType::kVertexReply: return "VertexReply";
+    case MsgType::kDeleteVertex: return "DeleteVertex";
+    case MsgType::kCatalogIntern: return "CatalogIntern";
+    case MsgType::kCatalogPull: return "CatalogPull";
+    case MsgType::kCatalogReply: return "CatalogReply";
+  }
+  return "Unknown";
+}
+
+}  // namespace gt::rpc

@@ -1,0 +1,240 @@
+#include "src/rpc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+
+namespace gt::rpc {
+
+namespace {
+
+Status SockError(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct TcpTransport::Listener {
+  int listen_fd = -1;
+  MessageHandler handler;
+  std::thread accept_thread;
+  std::mutex conn_mu;
+  std::vector<std::thread> conn_threads;
+  std::vector<int> conn_fds;
+  std::atomic<bool> stop{false};
+
+  ~Listener() {
+    stop = true;
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn_mu);
+      for (int fd : conn_fds) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+      }
+      conn_fds.clear();
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+    std::lock_guard<std::mutex> lk(conn_mu);
+    for (auto& t : conn_threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(cfg) {}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+uint16_t TcpTransport::PortFor(EndpointId id) const {
+  // Clients get ports after the server range via the high id bits folded in.
+  return static_cast<uint16_t>(cfg_.base_port + (id % 10000));
+}
+
+Status TcpTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Status::Unavailable("transport shut down");
+  if (listeners_.count(id) != 0) return Status::AlreadyExists("endpoint exists");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SockError("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(PortFor(id));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return SockError("bind");
+  }
+  if (::listen(fd, cfg_.listen_backlog) != 0) {
+    ::close(fd);
+    return SockError("listen");
+  }
+
+  auto listener = std::make_unique<Listener>();
+  listener->listen_fd = fd;
+  listener->handler = std::move(handler);
+  Listener* raw = listener.get();
+
+  listener->accept_thread = std::thread([raw] {
+    while (!raw->stop) {
+      int conn = ::accept(raw->listen_fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (raw->stop) return;
+        continue;
+      }
+      int one2 = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one2, sizeof(one2));
+      std::lock_guard<std::mutex> lk(raw->conn_mu);
+      raw->conn_fds.push_back(conn);
+      raw->conn_threads.emplace_back([raw, conn] {
+        // Reader loop: one frame at a time.
+        for (;;) {
+          char lenbuf[4];
+          if (!ReadFull(conn, lenbuf, 4)) return;
+          const uint32_t frame_len = DecodeFixed32(lenbuf);
+          if (frame_len < 20 || frame_len > (64u << 20)) return;  // sanity
+          std::string body(frame_len, '\0');
+          if (!ReadFull(conn, body.data(), frame_len)) return;
+          auto msg = Message::DecodeBody(body);
+          if (!msg.ok()) {
+            GT_WARN << "tcp: bad frame: " << msg.status().ToString();
+            return;
+          }
+          if (raw->stop) return;
+          raw->handler(std::move(*msg));
+        }
+      });
+    }
+  });
+
+  listeners_.emplace(id, std::move(listener));
+  return Status::OK();
+}
+
+void TcpTransport::UnregisterEndpoint(EndpointId id) {
+  std::unique_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = listeners_.find(id);
+    if (it == listeners_.end()) return;
+    listener = std::move(it->second);
+    listeners_.erase(it);
+  }
+  listener.reset();  // joins threads
+}
+
+Result<int> TcpTransport::ConnectTo(EndpointId id) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SockError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(PortFor(id));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return SockError("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status TcpTransport::Send(Message msg) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return Status::Unavailable("transport shut down");
+    auto it = out_fds_.find(msg.dst);
+    if (it != out_fds_.end()) fd = it->second;
+  }
+  if (fd < 0) {
+    auto r = ConnectTo(msg.dst);
+    if (!r.ok()) return r.status();
+    fd = *r;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = out_fds_.emplace(msg.dst, fd);
+    if (!inserted) {
+      // Raced with another sender: keep the existing connection.
+      ::close(fd);
+      fd = it->second;
+    }
+  }
+
+  std::string frame;
+  frame.reserve(msg.WireSize());
+  msg.EncodeTo(&frame);
+
+  std::lock_guard<std::mutex> slk(send_mu_);
+  stats_.messages_sent.fetch_add(1);
+  stats_.bytes_sent.fetch_add(frame.size());
+  if (!WriteFull(fd, frame.data(), frame.size())) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = out_fds_.find(msg.dst);
+    if (it != out_fds_.end() && it->second == fd) {
+      ::close(fd);
+      out_fds_.erase(it);
+    }
+    return Status::IOError("tcp send failed");
+  }
+  return Status::OK();
+}
+
+void TcpTransport::Shutdown() {
+  std::map<EndpointId, std::unique_ptr<Listener>> listeners;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    listeners = std::move(listeners_);
+    for (auto& [id, fd] : out_fds_) {
+      (void)id;
+      ::close(fd);
+    }
+    out_fds_.clear();
+  }
+  listeners.clear();  // joins all threads
+}
+
+}  // namespace gt::rpc

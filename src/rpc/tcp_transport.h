@@ -1,0 +1,47 @@
+// TCP transport: every endpoint listens on 127.0.0.1:(base_port + id) and
+// senders maintain one outbound connection per destination. Frames are
+// length-prefixed (see Message::EncodeTo). Used to run a GraphTrek cluster
+// over real sockets; the in-process transport remains the default for
+// benches because it offers controlled latency injection.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/rpc/transport.h"
+
+namespace gt::rpc {
+
+struct TcpConfig {
+  uint16_t base_port = 47600;
+  int listen_backlog = 64;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpConfig cfg = {});
+  ~TcpTransport() override;
+
+  Status RegisterEndpoint(EndpointId id, MessageHandler handler) override;
+  void UnregisterEndpoint(EndpointId id) override;
+  Status Send(Message msg) override;
+  void Shutdown() override;
+
+ private:
+  struct Listener;
+
+  uint16_t PortFor(EndpointId id) const;
+  Result<int> ConnectTo(EndpointId id);
+
+  TcpConfig cfg_;
+  std::mutex mu_;
+  std::map<EndpointId, std::unique_ptr<Listener>> listeners_;
+  std::map<EndpointId, int> out_fds_;  // connection pool, one per destination
+  std::mutex send_mu_;                 // serializes frame writes per transport
+  bool shutdown_ = false;
+};
+
+}  // namespace gt::rpc

@@ -1,0 +1,49 @@
+// Transport abstraction connecting GraphTrek endpoints (backend servers and
+// clients). Implementations: InProcTransport (default; models an RPC fabric
+// with configurable latency and fault injection) and TcpTransport (real
+// localhost sockets).
+//
+// Delivery contract shared by all implementations:
+//  - Send() is asynchronous and returns once the message is accepted.
+//  - Messages between a given (src, dst) pair are delivered in send order.
+//  - The handler for an endpoint is invoked on a transport-owned thread;
+//    handlers must be fast or hand work off to their own queues.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/rpc/message.h"
+
+namespace gt::rpc {
+
+using MessageHandler = std::function<void(Message&&)>;
+
+struct TransportStats {
+  std::atomic<uint64_t> messages_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> messages_dropped{0};  // fault injection
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Registers the handler invoked for messages addressed to `id`.
+  virtual Status RegisterEndpoint(EndpointId id, MessageHandler handler) = 0;
+  virtual void UnregisterEndpoint(EndpointId id) = 0;
+
+  // Queues `msg` for delivery to msg.dst. Unknown destinations are an error.
+  virtual Status Send(Message msg) = 0;
+
+  // Stops delivery and joins internal threads. Idempotent.
+  virtual void Shutdown() = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  TransportStats stats_;
+};
+
+}  // namespace gt::rpc

@@ -1,0 +1,240 @@
+// Additional engine tests: OR-composition via traversal unions, traversal
+// robustness under concurrent live updates, sync-engine progress, and
+// stress of many sequential traversals on one cluster (state cleanup).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/engine/cluster.h"
+#include "src/lang/gtravel.h"
+
+namespace gt::engine {
+namespace {
+
+using graph::Catalog;
+using graph::EdgeRecord;
+using graph::PropValue;
+using graph::RefGraph;
+using graph::VertexId;
+using graph::VertexRecord;
+using lang::FilterOp;
+using lang::GTravel;
+
+RefGraph TwoColorGraph(Catalog* catalog) {
+  // user 1 -run-> jobs; half the jobs tagged "red", half "blue".
+  RefGraph g;
+  const auto user_t = catalog->Intern("User");
+  const auto job_t = catalog->Intern("Job");
+  const auto run = catalog->Intern("run");
+  const auto color = catalog->Intern("color");
+
+  VertexRecord u;
+  u.id = 1;
+  u.label = user_t;
+  g.AddVertex(u);
+  for (VertexId j = 10; j < 20; j++) {
+    VertexRecord job;
+    job.id = j;
+    job.label = job_t;
+    job.props.Set(color, PropValue(j % 2 == 0 ? "red" : "blue"));
+    g.AddVertex(job);
+    EdgeRecord e;
+    e.src = 1;
+    e.label = run;
+    e.dst = j;
+    g.AddEdge(e);
+  }
+  return g;
+}
+
+TEST(EngineExtrasTest, RunUnionImplementsOrSemantics) {
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  Catalog* catalog = (*cluster)->catalog();
+  RefGraph g = TwoColorGraph(catalog);
+  ASSERT_TRUE((*cluster)->Load(g).ok());
+
+  // color == red OR color == blue, expressed as two traversals (the paper's
+  // prescription; the language only AND-composes).
+  auto red = GTravel(catalog).v({1}).e("run").va("color", FilterOp::kEq, {PropValue("red")}).Build();
+  auto blue =
+      GTravel(catalog).v({1}).e("run").va("color", FilterOp::kEq, {PropValue("blue")}).Build();
+  ASSERT_TRUE(red.ok());
+  ASSERT_TRUE(blue.ok());
+
+  auto client = (*cluster)->NewClient();
+  RunOptions opts;
+  opts.mode = EngineMode::kGraphTrek;
+  auto result = client->RunUnion({*red, *blue}, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->vids,
+            (std::vector<VertexId>{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}));
+
+  // The union of disjoint halves equals the unfiltered traversal.
+  auto all = GTravel(catalog).v({1}).e("run").Build();
+  ASSERT_TRUE(all.ok());
+  auto expected = (*cluster)->Run(*all, EngineMode::kGraphTrek);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(result->vids, expected->vids);
+}
+
+TEST(EngineExtrasTest, TraversalsSurviveConcurrentLiveUpdates) {
+  // Mutations racing a traversal must never crash or wedge the engine; the
+  // traversal sees some consistent prefix of the updates.
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  Catalog* catalog = (*cluster)->catalog();
+
+  auto writer_client = (*cluster)->NewClient();
+  ASSERT_TRUE(writer_client->PutVertex(1, "User").ok());
+  for (VertexId j = 0; j < 50; j++) {
+    ASSERT_TRUE(writer_client->PutVertex(100 + j, "Job").ok());
+    ASSERT_TRUE(writer_client->PutEdge(1, "run", 100 + j).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    VertexId next = 500;
+    while (!stop.load()) {
+      writer_client->PutVertex(next, "Job").ok();
+      writer_client->PutEdge(1, "run", next).ok();
+      next++;
+    }
+  });
+
+  auto plan = GTravel(catalog).v({1}).e("run").Build();
+  ASSERT_TRUE(plan.ok());
+  for (int i = 0; i < 10; i++) {
+    auto result = (*cluster)->Run(*plan, i % 2 == 0 ? EngineMode::kGraphTrek
+                                                    : EngineMode::kSync);
+    ASSERT_TRUE(result.ok()) << i << ": " << result.status().ToString();
+    EXPECT_GE(result->vids.size(), 50u) << i;  // at least the pre-loaded jobs
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST(EngineExtrasTest, ManySequentialTraversalsDoNotLeakState) {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  Catalog* catalog = (*cluster)->catalog();
+  RefGraph g = TwoColorGraph(catalog);
+  ASSERT_TRUE((*cluster)->Load(g).ok());
+
+  auto plan = GTravel(catalog).v({1}).e("run").Build();
+  ASSERT_TRUE(plan.ok());
+  for (int i = 0; i < 50; i++) {
+    auto result = (*cluster)->Run(*plan, EngineMode::kGraphTrek);
+    ASSERT_TRUE(result.ok()) << i;
+    ASSERT_EQ(result->vids.size(), 10u) << i;
+  }
+  // Cleanup broadcasts drain the per-travel state; poll for the caches.
+  bool clean = false;
+  for (int i = 0; i < 200 && !clean; i++) {
+    clean = (*cluster)->server(0)->cache_size() == 0 &&
+            (*cluster)->server(1)->cache_size() == 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(clean);
+  EXPECT_EQ((*cluster)->server(0)->queue_depth(), 0u);
+}
+
+TEST(EngineExtrasTest, ProgressForUnknownTravelIsEmpty) {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewClient();
+  auto progress = client->Progress(/*travel=*/123456, /*coordinator=*/0);
+  ASSERT_TRUE(progress.ok());
+  EXPECT_EQ(progress->total_created, 0u);
+  EXPECT_TRUE(progress->unfinished_per_step.empty());
+}
+
+TEST(EngineExtrasTest, SyncEngineTracksLastActivityUnderLongSteps) {
+  // A sync traversal with a slow device must not trip the failure detector
+  // as long as steps keep completing (last_activity refreshes per step).
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.exec_timeout_ms = 400;
+  cfg.device.access_latency_us = 3000;  // each step takes a noticeable time
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  Catalog* catalog = (*cluster)->catalog();
+
+  RefGraph g;
+  const auto t = catalog->Intern("N");
+  const auto next = catalog->Intern("next");
+  for (VertexId v = 0; v < 40; v++) {
+    VertexRecord rec;
+    rec.id = v;
+    rec.label = t;
+    g.AddVertex(rec);
+    if (v > 0) {
+      EdgeRecord e;
+      e.src = v - 1;
+      e.label = next;
+      e.dst = v;
+      g.AddEdge(e);
+    }
+  }
+  ASSERT_TRUE((*cluster)->Load(g).ok());
+
+  GTravel travel(catalog);
+  travel.v({0});
+  for (int i = 0; i < 30; i++) travel.e("next");
+  auto plan = travel.Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = (*cluster)->Run(*plan, EngineMode::kSync);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->vids, std::vector<VertexId>{30});
+}
+
+TEST(EngineExtrasTest, AbortedTravelTombstonesDropLateTraffic) {
+  // After a failure-triggered abort, late kTraverse messages for the dead
+  // travel must not resurrect zombie state.
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.exec_timeout_ms = 150;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  Catalog* catalog = (*cluster)->catalog();
+  RefGraph g = TwoColorGraph(catalog);
+  ASSERT_TRUE((*cluster)->Load(g).ok());
+
+  // Delay every frontier hand-off beyond the failure timeout.
+  (*cluster)->inproc_transport()->SetFaultHook([](const rpc::Message& m) {
+    if (m.type == rpc::MsgType::kTraverse) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    return false;
+  });
+
+  auto client = (*cluster)->NewClient();
+  RunOptions opts;
+  opts.mode = EngineMode::kGraphTrek;
+  opts.max_restarts = 0;
+  opts.failure_timeout_ms = 150;
+  auto travel = client->Submit(*GTravel(catalog).v({1}).e("run").Build(), opts);
+  ASSERT_TRUE(travel.ok());
+  auto result = client->Await(*travel, 10000);
+  EXPECT_FALSE(result.ok());  // timed out and aborted
+
+  // The engine keeps functioning for fresh traversals.
+  (*cluster)->inproc_transport()->SetFaultHook(nullptr);
+  auto plan = GTravel(catalog).v({1}).e("run").Build();
+  ASSERT_TRUE(plan.ok());
+  auto fresh = (*cluster)->Run(*plan, EngineMode::kGraphTrek);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->vids.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gt::engine

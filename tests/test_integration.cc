@@ -1,0 +1,308 @@
+// End-to-end integration tests on the synthetic Darshan rich-metadata graph:
+// the paper's data-auditing and provenance queries, run through the full
+// stack (generator -> ingest -> KV -> engines) and checked against the
+// reference evaluator; plus generator invariants and persistence.
+#include <gtest/gtest.h>
+
+#include "src/engine/cluster.h"
+#include "src/gen/darshan.h"
+#include "src/gen/rmat.h"
+#include "src/lang/gtravel.h"
+#include "tests/test_util.h"
+
+namespace gt::engine {
+namespace {
+
+using graph::Catalog;
+using graph::PropValue;
+using graph::RefGraph;
+using graph::VertexId;
+using lang::FilterOp;
+using lang::GTravel;
+
+class DarshanIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_servers = 4;
+    auto cluster = Cluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+
+    gen::DarshanConfig dcfg;
+    dcfg.users = 24;
+    dcfg.files = 1024;
+    dcfg.seed = 11;
+    gen_ = std::make_unique<gen::DarshanGenerator>(dcfg);
+    graph_ = gen_->Build(cluster_->catalog());
+    ASSERT_TRUE(cluster_->Load(graph_).ok());
+  }
+
+  void ExpectAllEnginesMatch(const lang::TraversalPlan& plan) {
+    const auto expected =
+        lang::EvaluatePlanOnRefGraph(plan, graph_, *cluster_->catalog());
+    for (EngineMode mode :
+         {EngineMode::kSync, EngineMode::kAsyncPlain, EngineMode::kGraphTrek}) {
+      auto result = cluster_->Run(plan, mode);
+      ASSERT_TRUE(result.ok()) << EngineModeName(mode) << ": "
+                               << result.status().ToString();
+      EXPECT_EQ(result->vids, expected) << EngineModeName(mode);
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<gen::DarshanGenerator> gen_;
+  RefGraph graph_;
+};
+
+TEST_F(DarshanIntegrationTest, GeneratorMatchesSchemaCounts) {
+  const auto& stats = gen_->stats();
+  EXPECT_EQ(stats.users, 24u);
+  EXPECT_EQ(stats.files, 1024u);
+  EXPECT_GT(stats.jobs, 0u);
+  EXPECT_GE(stats.executions, stats.jobs);  // >= 1 execution per job
+  EXPECT_GT(stats.edges, stats.executions); // each execution has >= 2 edges
+  EXPECT_EQ(graph_.num_vertices(), stats.users + stats.files + stats.jobs + stats.executions);
+  EXPECT_EQ(graph_.num_edges(), stats.edges);
+}
+
+TEST_F(DarshanIntegrationTest, FilePopularityIsSkewed) {
+  // Zipf popularity: the hottest decile of files receives a majority of the
+  // incoming read/readBy/write/exe edges.
+  Catalog* cat = cluster_->catalog();
+  const auto read_by = cat->Lookup("readBy");
+  ASSERT_NE(read_by, Catalog::kInvalidId);
+  uint64_t hot = 0, total = 0;
+  for (uint32_t f = 0; f < 1024; f++) {
+    const auto deg = graph_.Edges(gen_->FileVid(f), read_by).size();
+    total += deg;
+    if (f < 102) hot += deg;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.5);
+}
+
+TEST_F(DarshanIntegrationTest, PaperDataAuditQuery) {
+  // "Find files read by a specific user during a given timeframe":
+  // v(user).e(run).ea(ts RANGE).e(hasExecutions).e(read).rtn()
+  gen::DarshanConfig dcfg = gen_->config();
+  auto plan = GTravel(cluster_->catalog())
+                  .v({gen_->UserVid(3)})
+                  .e("run")
+                  .ea("ts", FilterOp::kRange,
+                      {PropValue(dcfg.ts_begin), PropValue((dcfg.ts_begin + dcfg.ts_end) / 2)})
+                  .e("hasExecutions")
+                  .e("read")
+                  .rtn()
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ExpectAllEnginesMatch(*plan);
+}
+
+TEST_F(DarshanIntegrationTest, PaperSuspiciousUserQuery) {
+  // Table III query: outputs of executions that read files written by a
+  // suspect user's executions.
+  // v(user).e(run).ea(ts RANGE).e(hasExecutions).e(write).e(readBy).e(write).rtn()
+  gen::DarshanConfig dcfg = gen_->config();
+  auto plan = GTravel(cluster_->catalog())
+                  .v({gen_->UserVid(1)})
+                  .e("run")
+                  .ea("ts", FilterOp::kRange,
+                      {PropValue(dcfg.ts_begin), PropValue(dcfg.ts_end)})
+                  .e("hasExecutions")
+                  .e("write")
+                  .e("readBy")
+                  .e("write")
+                  .rtn()
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ExpectAllEnginesMatch(*plan);
+}
+
+TEST_F(DarshanIntegrationTest, PaperProvenanceQueryWithSourceRtn) {
+  // "Find the executions whose inputs have a given property" — rtn() on the
+  // source executions (paper Section III-A2 shape).
+  auto plan = GTravel(cluster_->catalog())
+                  .v()
+                  .va("type", FilterOp::kEq, {PropValue("Execution")})
+                  .rtn()
+                  .e("read")
+                  .va("name", FilterOp::kEq, {PropValue("/proj/data/file-7.txt")})
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ExpectAllEnginesMatch(*plan);
+}
+
+TEST_F(DarshanIntegrationTest, TextFileAuditWithVertexFilter) {
+  // Name-suffix flavour of the audit: only .txt files (modeled with an IN
+  // filter over candidate names since the language has no suffix operator).
+  auto plan = GTravel(cluster_->catalog())
+                  .v({gen_->UserVid(2)})
+                  .e("run")
+                  .e("hasExecutions")
+                  .e("read")
+                  .va("name", FilterOp::kIn,
+                      {PropValue("/proj/data/file-0.txt"), PropValue("/proj/data/file-7.txt"),
+                       PropValue("/proj/data/file-14.txt"),
+                       PropValue("/proj/data/file-21.txt")})
+                  .rtn()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  ExpectAllEnginesMatch(*plan);
+}
+
+TEST_F(DarshanIntegrationTest, AllUsersAuditSweep) {
+  // Run the 3-hop audit for several users to exercise varied fanouts.
+  for (uint32_t u = 0; u < 8; u++) {
+    auto plan = GTravel(cluster_->catalog())
+                    .v({gen_->UserVid(u)})
+                    .e("run")
+                    .e("hasExecutions")
+                    .e("read")
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    const auto expected =
+        lang::EvaluatePlanOnRefGraph(*plan, graph_, *cluster_->catalog());
+    auto result = cluster_->Run(*plan, EngineMode::kGraphTrek);
+    ASSERT_TRUE(result.ok()) << "user " << u;
+    EXPECT_EQ(result->vids, expected) << "user " << u;
+  }
+}
+
+// --- persistence through the full stack --------------------------------------------
+
+TEST(PersistenceIntegrationTest, ClusterDataSurvivesRestart) {
+  gt::testing::ScopedTempDir dir;
+  Catalog catalog_template;  // catalogs are rebuilt identically (same order)
+
+  std::vector<VertexId> expected;
+  {
+    ClusterConfig cfg;
+    cfg.num_servers = 3;
+    cfg.data_dir = dir.sub("cluster");
+    auto cluster = Cluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    gen::DarshanConfig dcfg;
+    dcfg.users = 8;
+    dcfg.files = 128;
+    gen::DarshanGenerator generator(dcfg);
+    RefGraph g = generator.Build((*cluster)->catalog());
+    ASSERT_TRUE((*cluster)->Load(g).ok());
+
+    auto plan = GTravel((*cluster)->catalog())
+                    .v({generator.UserVid(1)})
+                    .e("run")
+                    .e("hasExecutions")
+                    .e("read")
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    auto result = (*cluster)->Run(*plan, EngineMode::kGraphTrek);
+    ASSERT_TRUE(result.ok());
+    expected = result->vids;
+    (*cluster)->Stop();
+  }
+  {
+    // Reopen the same data directory: stores recover from their table files
+    // and WALs; the catalog re-interns the same names in the same order.
+    ClusterConfig cfg;
+    cfg.num_servers = 3;
+    cfg.data_dir = dir.sub("cluster");
+    auto cluster = Cluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    gen::DarshanConfig dcfg;
+    dcfg.users = 8;
+    dcfg.files = 128;
+    gen::DarshanGenerator generator(dcfg);
+    generator.Build((*cluster)->catalog());  // rebuild catalog ids only
+
+    auto plan = GTravel((*cluster)->catalog())
+                    .v({generator.UserVid(1)})
+                    .e("run")
+                    .e("hasExecutions")
+                    .e("read")
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    auto result = (*cluster)->Run(*plan, EngineMode::kGraphTrek);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->vids, expected);
+  }
+}
+
+// --- RMAT generator invariants --------------------------------------------------------
+
+TEST(RmatGeneratorTest, ProducesRequestedScale) {
+  Catalog cat;
+  gen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.avg_degree = 8;
+  cfg.attr_bytes = 32;
+  gen::RmatGenerator rmat(cfg);
+  RefGraph g = rmat.Build(&cat);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 1024u * 8u);
+  auto stats = g.OutDegreeStats();
+  EXPECT_NEAR(stats.mean, 8.0, 0.01);
+}
+
+TEST(RmatGeneratorTest, SkewedParametersProducePowerLawDegrees) {
+  Catalog cat;
+  gen::RmatConfig cfg;
+  cfg.scale = 12;
+  cfg.avg_degree = 16;
+  cfg.attr_bytes = 0;
+  gen::RmatGenerator rmat(cfg);
+  RefGraph g = rmat.Build(&cat);
+  auto stats = g.OutDegreeStats();
+  // RMAT-1 parameters (a=.45) concentrate edges on low-id vertices: the max
+  // degree far exceeds the mean.
+  EXPECT_GT(stats.max, static_cast<uint64_t>(stats.mean * 5));
+  EXPECT_EQ(stats.min, 0u);
+}
+
+TEST(RmatGeneratorTest, DeterministicForSeed) {
+  Catalog cat1, cat2;
+  gen::RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.avg_degree = 4;
+  gen::RmatGenerator a(cfg), b(cfg);
+  RefGraph ga = a.Build(&cat1);
+  RefGraph gb = b.Build(&cat2);
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+  const auto link1 = cat1.Lookup("link");
+  const auto link2 = cat2.Lookup("link");
+  for (VertexId v = 0; v < 256; v += 17) {
+    EXPECT_EQ(ga.Edges(v, link1).size(), gb.Edges(v, link2).size()) << v;
+  }
+}
+
+TEST(RmatGeneratorTest, AttributesHaveConfiguredSize) {
+  Catalog cat;
+  gen::RmatConfig cfg;
+  cfg.scale = 6;
+  cfg.avg_degree = 2;
+  cfg.attr_bytes = 128;  // the paper's attribute size
+  gen::RmatGenerator rmat(cfg);
+  RefGraph g = rmat.Build(&cat);
+  const auto attr = cat.Lookup("attr");
+  const auto* v = g.FindVertex(0);
+  ASSERT_NE(v, nullptr);
+  const auto* a = v->props.Find(attr);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->as_string().size(), 128u);
+}
+
+TEST(DarshanGeneratorTest, DeterministicForSeed) {
+  Catalog cat1, cat2;
+  gen::DarshanConfig cfg;
+  cfg.users = 8;
+  cfg.files = 64;
+  gen::DarshanGenerator a(cfg), b(cfg);
+  RefGraph ga = a.Build(&cat1);
+  RefGraph gb = b.Build(&cat2);
+  EXPECT_EQ(ga.num_vertices(), gb.num_vertices());
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+  EXPECT_EQ(a.stats().jobs, b.stats().jobs);
+}
+
+}  // namespace
+}  // namespace gt::engine

@@ -1,0 +1,405 @@
+// Tests for the RPC layer: message wire format, in-process transport
+// (delivery, ordering, latency, fault injection), mailbox request/response
+// correlation, and the TCP transport over localhost sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/sync.h"
+#include "src/rpc/inproc_transport.h"
+#include "src/rpc/mailbox.h"
+#include "src/rpc/message.h"
+#include "src/rpc/tcp_transport.h"
+
+namespace gt::rpc {
+namespace {
+
+// --- wire format -------------------------------------------------------------
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message m;
+  m.type = MsgType::kTraverse;
+  m.src = 3;
+  m.dst = 7;
+  m.rpc_id = 0xabcdef;
+  m.payload = "frontier-bytes\0with-nul";
+
+  std::string frame;
+  m.EncodeTo(&frame);
+  // Strip the frame_len prefix like a transport reader would.
+  ASSERT_GE(frame.size(), 4u);
+  const uint32_t frame_len = DecodeFixed32(frame.data());
+  ASSERT_EQ(frame_len, frame.size() - 4);
+
+  auto decoded = Message::DecodeBody(std::string_view(frame).substr(4));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, MsgType::kTraverse);
+  EXPECT_EQ(decoded->src, 3u);
+  EXPECT_EQ(decoded->dst, 7u);
+  EXPECT_EQ(decoded->rpc_id, 0xabcdefu);
+  EXPECT_EQ(decoded->payload, m.payload);
+}
+
+TEST(MessageTest, DecodeRejectsShortBody) {
+  EXPECT_FALSE(Message::DecodeBody("tiny").ok());
+}
+
+TEST(MessageTest, EmptyPayloadAllowed) {
+  Message m;
+  m.type = MsgType::kPing;
+  std::string frame;
+  m.EncodeTo(&frame);
+  auto decoded = Message::DecodeBody(std::string_view(frame).substr(4));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+// --- InProcTransport -----------------------------------------------------------
+
+TEST(InProcTransportTest, DeliversToRegisteredEndpoint) {
+  InProcTransport transport;
+  Notification got;
+  std::string payload;
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      payload = m.payload;
+                                      got.Notify();
+                                    })
+                  .ok());
+  Message m;
+  m.type = MsgType::kPing;
+  m.dst = 1;
+  m.payload = "hello";
+  ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(5)));
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(InProcTransportTest, UnknownDestinationFails) {
+  InProcTransport transport;
+  Message m;
+  m.dst = 99;
+  EXPECT_TRUE(transport.Send(std::move(m)).IsNotFound());
+}
+
+TEST(InProcTransportTest, DuplicateRegistrationRejected) {
+  InProcTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint(5, [](Message&&) {}).ok());
+  EXPECT_EQ(transport.RegisterEndpoint(5, [](Message&&) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(InProcTransportTest, PerDestinationOrderingPreserved) {
+  InProcTransport transport;
+  std::vector<int> order;
+  std::mutex mu;
+  CountDownLatch latch(100);
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      std::lock_guard<std::mutex> lk(mu);
+                                      order.push_back(static_cast<int>(m.rpc_id));
+                                      latch.CountDown();
+                                    })
+                  .ok());
+  for (int i = 0; i < 100; i++) {
+    Message m;
+    m.type = MsgType::kPing;
+    m.dst = 1;
+    m.rpc_id = static_cast<uint64_t>(i);
+    ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(10)));
+  std::lock_guard<std::mutex> lk(mu);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(InProcTransportTest, ConfiguredLatencyDelaysDelivery) {
+  InProcConfig cfg;
+  cfg.latency_us = 20000;  // 20 ms
+  InProcTransport transport(cfg);
+  Notification got;
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { got.Notify(); }).ok());
+  Stopwatch watch;
+  Message m;
+  m.dst = 1;
+  ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(5)));
+  EXPECT_GE(watch.ElapsedMicros(), 15000u);
+}
+
+TEST(InProcTransportTest, FaultHookDropsMatchingMessages) {
+  InProcTransport transport;
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { delivered++; }).ok());
+  transport.SetFaultHook(
+      [](const Message& m) { return m.type == MsgType::kTraverse; });
+
+  Message drop;
+  drop.type = MsgType::kTraverse;
+  drop.dst = 1;
+  ASSERT_TRUE(transport.Send(std::move(drop)).ok());
+
+  Notification got;
+  ASSERT_TRUE(transport.RegisterEndpoint(2, [&](Message&&) { got.Notify(); }).ok());
+  Message keep;
+  keep.type = MsgType::kPing;
+  keep.dst = 2;
+  ASSERT_TRUE(transport.Send(std::move(keep)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(5)));
+
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(transport.stats().messages_dropped.load(), 1u);
+}
+
+TEST(InProcTransportTest, StatsCountTraffic) {
+  InProcTransport transport;
+  CountDownLatch latch(3);
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { latch.CountDown(); }).ok());
+  for (int i = 0; i < 3; i++) {
+    Message m;
+    m.dst = 1;
+    m.payload = "xx";
+    ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(5)));
+  EXPECT_EQ(transport.stats().messages_sent.load(), 3u);
+  EXPECT_GT(transport.stats().bytes_sent.load(), 6u);
+}
+
+TEST(InProcTransportTest, UnregisterStopsDelivery) {
+  InProcTransport transport;
+  std::atomic<int> count{0};
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { count++; }).ok());
+  transport.UnregisterEndpoint(1);
+  Message m;
+  m.dst = 1;
+  EXPECT_TRUE(transport.Send(std::move(m)).IsNotFound());
+  // Re-registration after unregister works.
+  EXPECT_TRUE(transport.RegisterEndpoint(1, [](Message&&) {}).ok());
+}
+
+TEST(InProcTransportTest, ShutdownIsIdempotentAndStopsSends) {
+  InProcTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [](Message&&) {}).ok());
+  transport.Shutdown();
+  transport.Shutdown();
+  Message m;
+  m.dst = 1;
+  EXPECT_FALSE(transport.Send(std::move(m)).ok());
+}
+
+TEST(InProcTransportTest, ProbabilisticDropLosesRoughlyConfiguredShare) {
+  InProcConfig cfg;
+  cfg.drop_probability = 0.5;
+  cfg.seed = 7;
+  InProcTransport transport(cfg);
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { delivered++; }).ok());
+  const int sends = 400;
+  for (int i = 0; i < sends; i++) {
+    Message m;
+    m.dst = 1;
+    ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  }
+  // Wait until every non-dropped message has been delivered.
+  const auto dropped = transport.stats().messages_dropped.load();
+  while (delivered.load() + static_cast<int>(dropped) < sends) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(dropped, sends / 4u);
+  EXPECT_LT(dropped, 3u * sends / 4u);
+  EXPECT_EQ(delivered.load() + static_cast<int>(dropped), sends);
+}
+
+TEST(InProcTransportTest, JitterStaysWithinConfiguredBound) {
+  InProcConfig cfg;
+  cfg.latency_us = 1000;
+  cfg.jitter_us = 2000;
+  InProcTransport transport(cfg);
+  CountDownLatch latch(20);
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [&](Message&&) { latch.CountDown(); }).ok());
+  Stopwatch watch;
+  for (int i = 0; i < 20; i++) {
+    Message m;
+    m.dst = 1;
+    ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(5)));
+  // All 20 messages pipeline: the last delivery is bounded by max one-way
+  // latency (1ms + 2ms jitter) plus scheduling slack, not 20x that.
+  EXPECT_LT(watch.ElapsedMicros(), 1000000u);
+}
+
+// --- Mailbox ----------------------------------------------------------------------
+
+TEST(MailboxTest, CallMatchesResponseByRpcId) {
+  InProcTransport transport;
+  // Echo server: replies with the same rpc_id, transformed payload.
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      Message reply;
+                                      reply.type = MsgType::kPong;
+                                      reply.src = 1;
+                                      reply.dst = m.src;
+                                      reply.rpc_id = m.rpc_id;
+                                      reply.payload = "re:" + m.payload;
+                                      transport.Send(std::move(reply)).ok();
+                                    })
+                  .ok());
+  Mailbox mailbox(&transport, kClientIdBase);
+  auto reply = mailbox.Call(1, MsgType::kPing, "ping-1");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->payload, "re:ping-1");
+}
+
+TEST(MailboxTest, CallTimesOutWithoutResponder) {
+  InProcTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [](Message&&) { /* never reply */ }).ok());
+  Mailbox mailbox(&transport, kClientIdBase);
+  auto reply = mailbox.Call(1, MsgType::kPing, "", /*timeout_ms=*/50);
+  EXPECT_TRUE(reply.status().IsTimeout());
+}
+
+TEST(MailboxTest, ReceiveGetsUnsolicitedMessages) {
+  InProcTransport transport;
+  Mailbox mailbox(&transport, kClientIdBase);
+  Message m;
+  m.type = MsgType::kResultChunk;
+  m.dst = kClientIdBase;
+  m.payload = "chunk";
+  ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  auto got = mailbox.Receive(5000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "chunk");
+}
+
+TEST(MailboxTest, TryReceiveNonBlocking) {
+  InProcTransport transport;
+  Mailbox mailbox(&transport, kClientIdBase);
+  EXPECT_TRUE(mailbox.TryReceive().status().IsTimeout());
+}
+
+TEST(MailboxTest, ConcurrentCallsFromMultipleThreads) {
+  InProcTransport transport;
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      Message reply;
+                                      reply.dst = m.src;
+                                      reply.rpc_id = m.rpc_id;
+                                      reply.payload = m.payload;
+                                      transport.Send(std::move(reply)).ok();
+                                    })
+                  .ok());
+  Mailbox mailbox(&transport, kClientIdBase);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; i++) {
+        const std::string payload = std::to_string(t) + ":" + std::to_string(i);
+        auto reply = mailbox.Call(1, MsgType::kPing, payload);
+        if (!reply.ok() || reply->payload != payload) mismatches++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- TcpTransport --------------------------------------------------------------
+
+TEST(TcpTransportTest, DeliversOverLocalhostSockets) {
+  TcpConfig cfg;
+  cfg.base_port = 48100;
+  TcpTransport transport(cfg);
+  Notification got;
+  std::string payload;
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(0,
+                                    [&](Message&& m) {
+                                      payload = m.payload;
+                                      got.Notify();
+                                    })
+                  .ok());
+  Message m;
+  m.type = MsgType::kPing;
+  m.src = 1;
+  m.dst = 0;
+  m.payload = "over-tcp";
+  ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(10)));
+  EXPECT_EQ(payload, "over-tcp");
+}
+
+TEST(TcpTransportTest, LargeFrameRoundTrips) {
+  TcpConfig cfg;
+  cfg.base_port = 48200;
+  TcpTransport transport(cfg);
+  Notification got;
+  size_t received_size = 0;
+  uint32_t checksum = 0;
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(0,
+                                    [&](Message&& m) {
+                                      received_size = m.payload.size();
+                                      checksum = Crc32c::Compute(m.payload);
+                                      got.Notify();
+                                    })
+                  .ok());
+  Message m;
+  m.dst = 0;
+  m.payload.assign(2 << 20, 'q');
+  m.payload[12345] = 'Z';
+  const uint32_t sent_checksum = Crc32c::Compute(m.payload);
+  ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(20)));
+  EXPECT_EQ(received_size, 2u << 20);
+  EXPECT_EQ(checksum, sent_checksum);
+}
+
+TEST(TcpTransportTest, ManyMessagesBetweenTwoEndpoints) {
+  TcpConfig cfg;
+  cfg.base_port = 48300;
+  TcpTransport transport(cfg);
+  CountDownLatch latch(200);
+  std::atomic<uint64_t> sum{0};
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(0,
+                                    [&](Message&& m) {
+                                      sum.fetch_add(m.rpc_id);
+                                      latch.CountDown();
+                                    })
+                  .ok());
+  ASSERT_TRUE(transport.RegisterEndpoint(1, [](Message&&) {}).ok());
+  uint64_t expected = 0;
+  for (uint64_t i = 1; i <= 200; i++) {
+    Message m;
+    m.src = 1;
+    m.dst = 0;
+    m.rpc_id = i;
+    expected += i;
+    ASSERT_TRUE(transport.Send(std::move(m)).ok());
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(20)));
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(TcpTransportTest, SendToUnboundPortFails) {
+  TcpConfig cfg;
+  cfg.base_port = 48400;
+  TcpTransport transport(cfg);
+  Message m;
+  m.dst = 9;  // nothing listening
+  EXPECT_FALSE(transport.Send(std::move(m)).ok());
+}
+
+}  // namespace
+}  // namespace gt::rpc

@@ -1,0 +1,181 @@
+// Tests for the portable text graph format (import/export round-trips,
+// escaping, malformed-input rejection) and its end-to-end use: import a
+// text graph into a cluster and traverse it.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/engine/cluster.h"
+#include "src/gen/darshan.h"
+#include "src/graph/text_io.h"
+#include "src/lang/gtravel.h"
+#include "tests/test_util.h"
+
+namespace gt::graph {
+namespace {
+
+TEST(TextEscapeTest, RoundTripsAwkwardBytes) {
+  const std::string awkward("name with spaces\t=%\n\x01\xff binary", 31);
+  const std::string escaped = EscapeText(awkward);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('='), std::string::npos);
+  auto raw = UnescapeText(escaped);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, awkward);
+}
+
+TEST(TextEscapeTest, RejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeText("%").ok());
+  EXPECT_FALSE(UnescapeText("%2").ok());
+  EXPECT_FALSE(UnescapeText("%zz").ok());
+  EXPECT_TRUE(UnescapeText("%20").ok());
+}
+
+class TextIoTest : public ::testing::Test {
+ protected:
+  RefGraph BuildSample(Catalog* catalog) {
+    RefGraph g;
+    const auto user_t = catalog->Intern("User");
+    const auto file_t = catalog->Intern("File");
+    const auto reads = catalog->Intern("reads");
+    const auto name_k = catalog->Intern("name");
+    const auto size_k = catalog->Intern("size");
+    const auto score_k = catalog->Intern("score");
+    const auto blob_k = catalog->Intern("blob");
+
+    VertexRecord u;
+    u.id = 1;
+    u.label = user_t;
+    u.props.Set(name_k, PropValue("sam spade"));  // space forces escaping
+    g.AddVertex(u);
+
+    VertexRecord f;
+    f.id = 2;
+    f.label = file_t;
+    f.props.Set(size_k, PropValue(int64_t{-123456}));
+    f.props.Set(score_k, PropValue(0.125));
+    f.props.Set(blob_k, PropValue(Bytes{std::string("\x00\xff\x7f", 3)}));
+    g.AddVertex(f);
+
+    EdgeRecord e;
+    e.src = 1;
+    e.label = reads;
+    e.dst = 2;
+    e.props.Set(name_k, PropValue("ts=1?%"));
+    g.AddEdge(e);
+    return g;
+  }
+};
+
+TEST_F(TextIoTest, ExportImportRoundTrip) {
+  Catalog catalog;
+  RefGraph g = BuildSample(&catalog);
+
+  std::ostringstream out;
+  ASSERT_TRUE(ExportText(g, catalog, &out).ok());
+
+  Catalog fresh;
+  std::istringstream in(out.str());
+  auto imported = ImportText(&in, &fresh);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  EXPECT_EQ(imported->num_vertices(), 2u);
+  EXPECT_EQ(imported->num_edges(), 1u);
+
+  const auto* u = imported->FindVertex(1);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(fresh.Name(u->label).value_or(""), "User");
+  EXPECT_EQ(u->props.Find(fresh.Lookup("name"))->as_string(), "sam spade");
+
+  const auto* f = imported->FindVertex(2);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->props.Find(fresh.Lookup("size"))->as_int(), -123456);
+  EXPECT_DOUBLE_EQ(f->props.Find(fresh.Lookup("score"))->as_double(), 0.125);
+  EXPECT_EQ(f->props.Find(fresh.Lookup("blob"))->as_bytes().data,
+            std::string("\x00\xff\x7f", 3));
+
+  const auto& edges = imported->Edges(1, fresh.Lookup("reads"));
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, 2u);
+  EXPECT_EQ(edges[0].second.Find(fresh.Lookup("name"))->as_string(), "ts=1?%");
+}
+
+TEST_F(TextIoTest, FileRoundTripOfGeneratedGraph) {
+  gt::testing::ScopedTempDir dir;
+  Catalog catalog;
+  gen::DarshanConfig cfg;
+  cfg.users = 8;
+  cfg.files = 64;
+  gen::DarshanGenerator generator(cfg);
+  RefGraph g = generator.Build(&catalog);
+
+  const std::string path = dir.sub("graph.txt");
+  ASSERT_TRUE(ExportTextFile(g, catalog, path).ok());
+
+  Catalog fresh;
+  auto imported = ImportTextFile(path, &fresh);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->num_vertices(), g.num_vertices());
+  EXPECT_EQ(imported->num_edges(), g.num_edges());
+  EXPECT_EQ(imported->OutDegreeStats().max, g.OutDegreeStats().max);
+}
+
+TEST_F(TextIoTest, CommentsAndBlankLinesIgnored) {
+  Catalog catalog;
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "V\t1\tNode\n"
+      "# middle comment\n"
+      "V\t2\tNode\tw=i:7\n"
+      "E\t1\tlink\t2\n");
+  auto g = ImportText(&in, &catalog);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 2u);
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST_F(TextIoTest, MalformedLinesReportLineNumbers) {
+  Catalog catalog;
+  const char* bad_cases[] = {
+      "X\t1\tNode\n",            // unknown record
+      "V\t1\n",                  // missing label
+      "V\tnotanid\tNode\n",      // bad id
+      "E\t1\tlink\n",            // missing dst
+      "V\t1\tNode\tnoequals\n",  // bad property
+      "V\t1\tNode\tk=i:12x\n",   // bad int
+  };
+  for (const char* text : bad_cases) {
+    std::istringstream in(std::string("# ok line\n") + text);
+    auto g = ImportText(&in, &catalog);
+    EXPECT_FALSE(g.ok()) << text;
+    EXPECT_NE(g.status().message().find("line 2"), std::string::npos) << text;
+  }
+}
+
+TEST_F(TextIoTest, ImportedGraphIsTraversable) {
+  engine::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  auto cluster = engine::Cluster::Create(ccfg);
+  ASSERT_TRUE(cluster.ok());
+
+  std::istringstream in(
+      "V\t1\tUser\tname=s:sam\n"
+      "V\t2\tJob\n"
+      "V\t3\tFile\tname=s:out.txt\n"
+      "E\t1\trun\t2\n"
+      "E\t2\twrite\t3\n");
+  auto g = ImportText(&in, (*cluster)->catalog());
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE((*cluster)->Load(*g).ok());
+
+  auto plan = lang::GTravel((*cluster)->catalog()).v({1}).e("run").e("write").Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = (*cluster)->Run(*plan, engine::EngineMode::kGraphTrek);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vids, std::vector<VertexId>{3});
+}
+
+}  // namespace
+}  // namespace gt::graph

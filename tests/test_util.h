@@ -1,0 +1,28 @@
+// Shared test helpers.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "src/kv/env.h"
+
+namespace gt::testing {
+
+// Creates a unique temp directory, removed (recursively) on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    std::string tmpl = "/tmp/graphtrek-test-XXXXXX";
+    char* result = ::mkdtemp(tmpl.data());
+    path_ = result != nullptr ? tmpl : "/tmp/graphtrek-test-fallback";
+  }
+  ~ScopedTempDir() { kv::Env::Default()->RemoveDirRecursive(path_).ok(); }
+
+  const std::string& path() const { return path_; }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gt::testing

@@ -1,0 +1,209 @@
+// graphtrek_cli: command-line client for a graphtrek_server cluster over
+// TCP. Property values given as key=value parse as integers when numeric,
+// strings otherwise.
+//
+//   graphtrek_cli --servers 4 put-vertex 1 User name=sam
+//   graphtrek_cli --servers 4 put-edge 1 run 100 ts=1400000000
+//   graphtrek_cli --servers 4 get 1
+//   graphtrek_cli --servers 4 traverse 1 run,read
+//   graphtrek_cli --servers 4 traverse 1 run,read --mode sync
+//   graphtrek_cli --servers 4 import graph.txt
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/engine/client.h"
+#include "src/engine/remote_catalog.h"
+#include "src/graph/text_io.h"
+#include "src/rpc/tcp_transport.h"
+
+using namespace gt;
+
+namespace {
+
+graph::PropValue ParseValue(const std::string& text) {
+  if (!text.empty() &&
+      text.find_first_not_of("-0123456789") == std::string::npos) {
+    return graph::PropValue(static_cast<int64_t>(atoll(text.c_str())));
+  }
+  return graph::PropValue(text);
+}
+
+engine::NamedProps ParseProps(const std::vector<std::string>& args, size_t from) {
+  engine::NamedProps props;
+  for (size_t i = from; i < args.size(); i++) {
+    const auto eq = args[i].find('=');
+    if (eq == std::string::npos) continue;
+    props.emplace_back(args[i].substr(0, eq), ParseValue(args[i].substr(eq + 1)));
+  }
+  return props;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: graphtrek_cli [--servers M] [--base-port P] <command>\n"
+               "  put-vertex <vid> <label> [k=v ...]\n"
+               "  put-edge <src> <label> <dst> [k=v ...]\n"
+               "  get <vid>\n"
+               "  delete <vid>\n"
+               "  traverse <start-vid> <label1,label2,...> [--mode sync|async|graphtrek]\n"
+               "  import <graph.txt>     (text graph format, see src/graph/text_io.h)\n"
+               "  catalog\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t servers = 1;
+  uint16_t base_port = 47600;
+  std::vector<std::string> args;
+  engine::EngineMode mode = engine::EngineMode::kGraphTrek;
+
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
+      servers = static_cast<uint32_t>(atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--base-port") == 0 && i + 1 < argc) {
+      base_port = static_cast<uint16_t>(atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const std::string m = argv[++i];
+      mode = m == "sync"    ? engine::EngineMode::kSync
+             : m == "async" ? engine::EngineMode::kAsyncPlain
+                            : engine::EngineMode::kGraphTrek;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return Usage();
+
+  rpc::TcpConfig tcfg;
+  tcfg.base_port = base_port;
+  rpc::TcpTransport transport(tcfg);
+  // Endpoint derived from the pid so concurrent CLI invocations coexist.
+  const rpc::EndpointId endpoint = 6000 + static_cast<rpc::EndpointId>(getpid() % 2000);
+  engine::GraphTrekClient client(&transport, endpoint, servers);
+  engine::RemoteCatalog catalog(client.mailbox(), /*authority=*/0);
+
+  const std::string& cmd = args[0];
+  if (cmd == "put-vertex" && args.size() >= 3) {
+    Status s = client.PutVertex(strtoull(args[1].c_str(), nullptr, 10), args[2],
+                                ParseProps(args, 3));
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (cmd == "put-edge" && args.size() >= 4) {
+    Status s = client.PutEdge(strtoull(args[1].c_str(), nullptr, 10), args[2],
+                              strtoull(args[3].c_str(), nullptr, 10), ParseProps(args, 4));
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (cmd == "delete" && args.size() >= 2) {
+    Status s = client.DeleteVertex(strtoull(args[1].c_str(), nullptr, 10));
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (cmd == "get" && args.size() >= 2) {
+    auto rec = client.GetVertex(strtoull(args[1].c_str(), nullptr, 10));
+    if (!rec.ok()) {
+      std::printf("error: %s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+    if (rec->found == 0) {
+      std::printf("not found\n");
+      return 1;
+    }
+    std::printf("vertex %llu type=%s\n", (unsigned long long)rec->vid, rec->label.c_str());
+    for (const auto& [key, value] : rec->props) {
+      std::printf("  %s = %s\n", key.c_str(), value.ToString().c_str());
+    }
+    return 0;
+  }
+  if (cmd == "traverse" && args.size() >= 3) {
+    if (!catalog.Pull().ok()) {
+      std::fprintf(stderr, "catalog pull failed (is server 0 up?)\n");
+      return 1;
+    }
+    lang::GTravel travel(&catalog);
+    travel.v({strtoull(args[1].c_str(), nullptr, 10)});
+    std::string labels = args[2];
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      const size_t comma = labels.find(',', pos);
+      travel.e(labels.substr(pos, comma == std::string::npos ? comma : comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    auto plan = travel.Build();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    engine::RunOptions opts;
+    opts.mode = mode;
+    auto result = client.Run(*plan, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "traverse: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu vertices in %.2f ms (%s)\n", result->vids.size(),
+                result->elapsed_ms, engine::EngineModeName(mode));
+    for (size_t i = 0; i < result->vids.size(); i++) {
+      std::printf("%llu%s", (unsigned long long)result->vids[i],
+                  (i + 1) % 10 == 0 || i + 1 == result->vids.size() ? "\n" : " ");
+    }
+    return 0;
+  }
+  if (cmd == "import" && args.size() >= 2) {
+    graph::Catalog scratch;
+    auto g = graph::ImportTextFile(args[1], &scratch);
+    if (!g.ok()) {
+      std::fprintf(stderr, "import: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t vertices = 0, edges = 0;
+    for (const auto& [vid, rec] : g->vertices()) {
+      engine::NamedProps props;
+      for (const auto& [key, value] : rec.props) {
+        props.emplace_back(scratch.Name(key).value_or("?"), value);
+      }
+      Status s = client.PutVertex(vid, scratch.Name(rec.label).value_or("?"), props);
+      if (!s.ok()) {
+        std::fprintf(stderr, "put-vertex %llu: %s\n", (unsigned long long)vid,
+                     s.ToString().c_str());
+        return 1;
+      }
+      vertices++;
+      for (uint32_t label = 0; label < scratch.size(); label++) {
+        for (const auto& [dst, eprops] : g->Edges(vid, label)) {
+          engine::NamedProps named;
+          for (const auto& [key, value] : eprops) {
+            named.emplace_back(scratch.Name(key).value_or("?"), value);
+          }
+          Status es = client.PutEdge(vid, scratch.Name(label).value_or("?"), dst, named);
+          if (!es.ok()) {
+            std::fprintf(stderr, "put-edge: %s\n", es.ToString().c_str());
+            return 1;
+          }
+          edges++;
+        }
+      }
+    }
+    std::printf("imported %llu vertices, %llu edges\n", (unsigned long long)vertices,
+                (unsigned long long)edges);
+    return 0;
+  }
+  if (cmd == "catalog") {
+    if (!catalog.Pull().ok()) {
+      std::fprintf(stderr, "catalog pull failed\n");
+      return 1;
+    }
+    for (uint32_t id = 0; id < catalog.size(); id++) {
+      std::printf("%4u %s\n", id, catalog.Name(id).value_or("?").c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,143 @@
+// graphtrek_server: standalone backend-server daemon. Each instance owns
+// one shard of the property graph and speaks the GraphTrek protocol over
+// TCP on 127.0.0.1:(base_port + id). Server 0 is the catalog authority;
+// the others replicate name/id bindings from it at startup and on demand.
+//
+//   graphtrek_server --id 0 --servers 4 --base-port 47600 --data-dir /tmp/gt
+//
+// Run one process per server id, then drive the cluster with graphtrek_cli.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "src/common/device_model.h"
+#include "src/common/logging.h"
+#include "src/engine/backend_server.h"
+#include "src/engine/remote_catalog.h"
+#include "src/rpc/tcp_transport.h"
+
+using namespace gt;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+struct Flags {
+  uint32_t id = 0;
+  uint32_t servers = 1;
+  uint16_t base_port = 47600;
+  std::string data_dir = "/tmp/graphtrek";
+  uint32_t workers = 2;
+  uint32_t access_us = 0;
+  uint32_t warm_us = 0;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* out) {
+  for (int i = 1; i < argc; i++) {
+    auto need = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = need("--id")) {
+      out->id = static_cast<uint32_t>(atoi(v));
+    } else if (const char* v2 = need("--servers")) {
+      out->servers = static_cast<uint32_t>(atoi(v2));
+    } else if (const char* v3 = need("--base-port")) {
+      out->base_port = static_cast<uint16_t>(atoi(v3));
+    } else if (const char* v4 = need("--data-dir")) {
+      out->data_dir = v4;
+    } else if (const char* v5 = need("--workers")) {
+      out->workers = static_cast<uint32_t>(atoi(v5));
+    } else if (const char* v6 = need("--access-us")) {
+      out->access_us = static_cast<uint32_t>(atoi(v6));
+    } else if (const char* v7 = need("--warm-us")) {
+      out->warm_us = static_cast<uint32_t>(atoi(v7));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Catalog replica endpoints live above the server-id range.
+constexpr rpc::EndpointId kCatalogEndpointBase = 5000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    std::fprintf(stderr,
+                 "usage: graphtrek_server --id N --servers M [--base-port P] "
+                 "[--data-dir D] [--workers W] [--access-us U] [--warm-us U]\n");
+    return 2;
+  }
+  Logger::SetLevel(LogLevel::kInfo);
+
+  rpc::TcpConfig tcfg;
+  tcfg.base_port = flags.base_port;
+  rpc::TcpTransport transport(tcfg);
+
+  // Catalog: server 0 is the authority; others replicate through it.
+  graph::Catalog local_catalog;
+  std::unique_ptr<rpc::Mailbox> catalog_mailbox;
+  std::unique_ptr<engine::RemoteCatalog> remote_catalog;
+  graph::Catalog* catalog = &local_catalog;
+  if (flags.id != 0) {
+    catalog_mailbox = std::make_unique<rpc::Mailbox>(&transport,
+                                                     kCatalogEndpointBase + flags.id);
+    remote_catalog = std::make_unique<engine::RemoteCatalog>(catalog_mailbox.get(), 0);
+    // Warm the replica; retry while the authority comes up.
+    for (int attempt = 0; attempt < 60; attempt++) {
+      if (remote_catalog->Pull().ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+    catalog = remote_catalog.get();
+  }
+
+  DeviceModel device(DeviceModelConfig{.access_latency_us = flags.access_us,
+                                       .per_kib_us = 0,
+                                       .warm_latency_us = flags.warm_us});
+  graph::GraphStoreOptions sopts;
+  sopts.device = flags.access_us > 0 ? &device : nullptr;
+  sopts.server_id = flags.id;
+  auto store = graph::GraphStore::Open(
+      flags.data_dir + "/s" + std::to_string(flags.id), sopts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  graph::HashPartitioner partitioner(flags.servers);
+  engine::ServerConfig scfg;
+  scfg.id = flags.id;
+  scfg.num_servers = flags.servers;
+  scfg.workers = flags.workers;
+  engine::BackendServer server(scfg, store->get(), &partitioner, catalog, &transport);
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("graphtrek_server %u/%u listening on 127.0.0.1:%u (data: %s)\n", flags.id,
+              flags.servers, flags.base_port + flags.id, flags.data_dir.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("graphtrek_server %u shutting down\n", flags.id);
+  server.Stop();
+  return 0;
+}
