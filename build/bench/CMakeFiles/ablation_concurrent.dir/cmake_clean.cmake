@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_concurrent.dir/ablation_concurrent.cpp.o"
+  "CMakeFiles/ablation_concurrent.dir/ablation_concurrent.cpp.o.d"
+  "ablation_concurrent"
+  "ablation_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iolat.dir/ablation_iolat.cpp.o"
+  "CMakeFiles/ablation_iolat.dir/ablation_iolat.cpp.o.d"
+  "ablation_iolat"
+  "ablation_iolat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iolat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

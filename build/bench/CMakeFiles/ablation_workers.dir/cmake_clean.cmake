@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workers.dir/ablation_workers.cpp.o"
+  "CMakeFiles/ablation_workers.dir/ablation_workers.cpp.o.d"
+  "ablation_workers"
+  "ablation_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_8step.dir/fig10_8step.cpp.o"
+  "CMakeFiles/fig10_8step.dir/fig10_8step.cpp.o.d"
+  "fig10_8step"
+  "fig10_8step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_8step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stragglers.dir/fig11_stragglers.cpp.o"
+  "CMakeFiles/fig11_stragglers.dir/fig11_stragglers.cpp.o.d"
+  "fig11_stragglers"
+  "fig11_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_visit_stats.dir/fig7_visit_stats.cpp.o"
+  "CMakeFiles/fig7_visit_stats.dir/fig7_visit_stats.cpp.o.d"
+  "fig7_visit_stats"
+  "fig7_visit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_visit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_2step.dir/fig8_2step.cpp.o"
+  "CMakeFiles/fig8_2step.dir/fig8_2step.cpp.o.d"
+  "fig8_2step"
+  "fig8_2step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_2step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_4step.dir/fig9_4step.cpp.o"
+  "CMakeFiles/fig9_4step.dir/fig9_4step.cpp.o.d"
+  "fig9_4step"
+  "fig9_4step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_4step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

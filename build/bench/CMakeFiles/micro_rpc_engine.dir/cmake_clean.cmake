@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rpc_engine.dir/micro_rpc_engine.cpp.o"
+  "CMakeFiles/micro_rpc_engine.dir/micro_rpc_engine.cpp.o.d"
+  "micro_rpc_engine"
+  "micro_rpc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rpc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

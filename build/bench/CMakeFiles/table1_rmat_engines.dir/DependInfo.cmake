@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_rmat_engines.cpp" "bench/CMakeFiles/table1_rmat_engines.dir/table1_rmat_engines.cpp.o" "gcc" "bench/CMakeFiles/table1_rmat_engines.dir/table1_rmat_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/gt_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gt_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/gt_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

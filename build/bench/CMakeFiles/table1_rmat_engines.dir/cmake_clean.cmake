@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rmat_engines.dir/table1_rmat_engines.cpp.o"
+  "CMakeFiles/table1_rmat_engines.dir/table1_rmat_engines.cpp.o.d"
+  "table1_rmat_engines"
+  "table1_rmat_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rmat_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_darshan_query.dir/table3_darshan_query.cpp.o"
+  "CMakeFiles/table3_darshan_query.dir/table3_darshan_query.cpp.o.d"
+  "table3_darshan_query"
+  "table3_darshan_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_darshan_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

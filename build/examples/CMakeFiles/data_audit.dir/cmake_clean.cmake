@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_audit.dir/data_audit.cpp.o"
+  "CMakeFiles/data_audit.dir/data_audit.cpp.o.d"
+  "data_audit"
+  "data_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

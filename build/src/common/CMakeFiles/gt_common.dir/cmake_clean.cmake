@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_common.dir/logging.cc.o"
+  "CMakeFiles/gt_common.dir/logging.cc.o.d"
+  "CMakeFiles/gt_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gt_common.dir/thread_pool.cc.o.d"
+  "libgt_common.a"
+  "libgt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_engine.dir/backend_server.cc.o"
+  "CMakeFiles/gt_engine.dir/backend_server.cc.o.d"
+  "CMakeFiles/gt_engine.dir/client.cc.o"
+  "CMakeFiles/gt_engine.dir/client.cc.o.d"
+  "CMakeFiles/gt_engine.dir/cluster.cc.o"
+  "CMakeFiles/gt_engine.dir/cluster.cc.o.d"
+  "libgt_engine.a"
+  "libgt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gen.dir/darshan.cc.o"
+  "CMakeFiles/gt_gen.dir/darshan.cc.o.d"
+  "CMakeFiles/gt_gen.dir/rmat.cc.o"
+  "CMakeFiles/gt_gen.dir/rmat.cc.o.d"
+  "libgt_gen.a"
+  "libgt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block.cc" "src/kv/CMakeFiles/gt_kv.dir/block.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/block.cc.o.d"
+  "/root/repo/src/kv/db.cc" "src/kv/CMakeFiles/gt_kv.dir/db.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/db.cc.o.d"
+  "/root/repo/src/kv/env.cc" "src/kv/CMakeFiles/gt_kv.dir/env.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/env.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/gt_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/table.cc" "src/kv/CMakeFiles/gt_kv.dir/table.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/table.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/kv/CMakeFiles/gt_kv.dir/wal.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/wal.cc.o.d"
+  "/root/repo/src/kv/write_batch.cc" "src/kv/CMakeFiles/gt_kv.dir/write_batch.cc.o" "gcc" "src/kv/CMakeFiles/gt_kv.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

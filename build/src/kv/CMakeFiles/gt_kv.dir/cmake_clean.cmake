@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_kv.dir/block.cc.o"
+  "CMakeFiles/gt_kv.dir/block.cc.o.d"
+  "CMakeFiles/gt_kv.dir/db.cc.o"
+  "CMakeFiles/gt_kv.dir/db.cc.o.d"
+  "CMakeFiles/gt_kv.dir/env.cc.o"
+  "CMakeFiles/gt_kv.dir/env.cc.o.d"
+  "CMakeFiles/gt_kv.dir/memtable.cc.o"
+  "CMakeFiles/gt_kv.dir/memtable.cc.o.d"
+  "CMakeFiles/gt_kv.dir/table.cc.o"
+  "CMakeFiles/gt_kv.dir/table.cc.o.d"
+  "CMakeFiles/gt_kv.dir/wal.cc.o"
+  "CMakeFiles/gt_kv.dir/wal.cc.o.d"
+  "CMakeFiles/gt_kv.dir/write_batch.cc.o"
+  "CMakeFiles/gt_kv.dir/write_batch.cc.o.d"
+  "libgt_kv.a"
+  "libgt_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_lang.dir/gtravel.cc.o"
+  "CMakeFiles/gt_lang.dir/gtravel.cc.o.d"
+  "libgt_lang.a"
+  "libgt_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

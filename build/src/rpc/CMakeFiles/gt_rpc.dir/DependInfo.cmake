@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/inproc_transport.cc" "src/rpc/CMakeFiles/gt_rpc.dir/inproc_transport.cc.o" "gcc" "src/rpc/CMakeFiles/gt_rpc.dir/inproc_transport.cc.o.d"
+  "/root/repo/src/rpc/mailbox.cc" "src/rpc/CMakeFiles/gt_rpc.dir/mailbox.cc.o" "gcc" "src/rpc/CMakeFiles/gt_rpc.dir/mailbox.cc.o.d"
+  "/root/repo/src/rpc/tcp_transport.cc" "src/rpc/CMakeFiles/gt_rpc.dir/tcp_transport.cc.o" "gcc" "src/rpc/CMakeFiles/gt_rpc.dir/tcp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

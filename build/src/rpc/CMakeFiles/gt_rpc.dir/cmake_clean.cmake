@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_rpc.dir/inproc_transport.cc.o"
+  "CMakeFiles/gt_rpc.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/gt_rpc.dir/mailbox.cc.o"
+  "CMakeFiles/gt_rpc.dir/mailbox.cc.o.d"
+  "CMakeFiles/gt_rpc.dir/tcp_transport.cc.o"
+  "CMakeFiles/gt_rpc.dir/tcp_transport.cc.o.d"
+  "libgt_rpc.a"
+  "libgt_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

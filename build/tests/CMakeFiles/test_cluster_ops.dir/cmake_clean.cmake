@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_ops.dir/test_cluster_ops.cc.o"
+  "CMakeFiles/test_cluster_ops.dir/test_cluster_ops.cc.o.d"
+  "test_cluster_ops"
+  "test_cluster_ops.pdb"
+  "test_cluster_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

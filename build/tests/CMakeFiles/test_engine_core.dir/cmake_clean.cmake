@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_core.dir/test_engine_core.cc.o"
+  "CMakeFiles/test_engine_core.dir/test_engine_core.cc.o.d"
+  "test_engine_core"
+  "test_engine_core.pdb"
+  "test_engine_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_traversal.dir/test_engine_traversal.cc.o"
+  "CMakeFiles/test_engine_traversal.dir/test_engine_traversal.cc.o.d"
+  "test_engine_traversal"
+  "test_engine_traversal.pdb"
+  "test_engine_traversal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_core.dir/test_kv_core.cc.o"
+  "CMakeFiles/test_kv_core.dir/test_kv_core.cc.o.d"
+  "test_kv_core"
+  "test_kv_core.pdb"
+  "test_kv_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_core[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_db[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_lang[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_core[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_traversal[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_features[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_text_io[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_ops[1]_include.cmake")

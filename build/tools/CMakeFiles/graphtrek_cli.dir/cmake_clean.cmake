@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphtrek_cli.dir/graphtrek_cli.cpp.o"
+  "CMakeFiles/graphtrek_cli.dir/graphtrek_cli.cpp.o.d"
+  "graphtrek_cli"
+  "graphtrek_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphtrek_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graphtrek_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphtrek_server.dir/graphtrek_server.cpp.o"
+  "CMakeFiles/graphtrek_server.dir/graphtrek_server.cpp.o.d"
+  "graphtrek_server"
+  "graphtrek_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphtrek_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
