@@ -35,6 +35,11 @@ struct BenchConfig {
   uint32_t workers_per_server = 2;
   uint64_t seed = 20150901;
   uint32_t runs = 2;                 // timed repetitions averaged per cell
+
+  // Wrap the cluster fabric in a FaultInjectingTransport (seeded); the bench
+  // then configures per-link faults via cluster->fault_transport().
+  bool net_faults = false;
+  uint64_t net_fault_seed = 42;
 };
 
 // Builds the RMAT-1-style bench graph once (shareable across clusters).
@@ -69,6 +74,8 @@ class BenchCluster {
     ccfg.device.tail_prob = cfg.tail_prob;
     ccfg.device.tail_mult = cfg.tail_mult;
     ccfg.net.latency_us = cfg.net_latency_us;
+    ccfg.net_faults = cfg.net_faults;
+    ccfg.net_fault_seed = cfg.net_fault_seed;
     ccfg.exec_timeout_ms = 600000;  // benches must never trip failure detection
     auto cluster = engine::Cluster::Create(ccfg);
     if (!cluster.ok()) {

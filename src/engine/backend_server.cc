@@ -149,7 +149,7 @@ void BackendServer::SendTraceEventLocked(ServerId coordinator, TravelId travel,
   m.src = cfg_.id;
   m.dst = coordinator;
   m.payload = ev.Encode();
-  transport_->Send(std::move(m)).ok();
+  SendLossy(std::move(m));
 }
 
 // Combined tracing event: registers the downstream executions AND reports
@@ -179,7 +179,7 @@ void BackendServer::FlushTraceBufferLocked(ServerId coordinator, TravelId travel
   m.src = cfg_.id;
   m.dst = coordinator;
   m.payload = batch.Encode();
-  transport_->Send(std::move(m)).ok();
+  SendLossy(std::move(m));
 }
 
 void BackendServer::FlushAllTraceBuffersLocked() {
@@ -244,7 +244,7 @@ void BackendServer::OnMessage(rpc::Message&& msg) {
       reply.src = cfg_.id;
       reply.dst = msg.src;
       reply.rpc_id = msg.rpc_id;
-      transport_->Send(std::move(reply)).ok();
+      SendLossy(std::move(reply));
       break;
     }
     default:
@@ -269,7 +269,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     reply.dst = msg.src;
     reply.rpc_id = msg.rpc_id;
     reply.payload = done.Encode();
-    transport_->Send(std::move(reply)).ok();
+    SendLossy(std::move(reply));
   };
   if (!submit.ok()) {
     fail(submit.status());
@@ -312,7 +312,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   reply.dst = msg.src;
   reply.rpc_id = msg.rpc_id;
   reply.payload = EncodeTravelId(travel);
-  transport_->Send(std::move(reply)).ok();
+  SendLossy(std::move(reply));
 
   if (ts.mode == EngineMode::kSync) {
     // Seed step-0 frontier batches, then start step 0 on every server.
@@ -338,7 +338,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
         bm.src = cfg_.id;
         bm.dst = s;
         bm.payload = batch.Encode();
-        transport_->Send(std::move(bm)).ok();
+        SendLossy(std::move(bm));
       }
     }
     ts.sync_step = 0;
@@ -357,7 +357,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
       sm.src = cfg_.id;
       sm.dst = s;
       sm.payload = start.Encode();
-      transport_->Send(std::move(sm)).ok();
+      SendLossy(std::move(sm));
     }
     return;
   }
@@ -404,7 +404,7 @@ void BackendServer::StartRootExecsLocked(TravelState& ts) {
     m.src = cfg_.id;
     m.dst = s;
     m.payload = req.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
 
   ts.root_outstanding = static_cast<uint32_t>(created.size());
@@ -442,7 +442,7 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
     m.src = cfg_.id;
     m.dst = ts.client;
     m.payload = chunk.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
 
   CompletePayload done;
@@ -455,7 +455,7 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
   m.src = cfg_.id;
   m.dst = ts.client;
   m.payload = done.Encode();
-  transport_->Send(std::move(m)).ok();
+  SendLossy(std::move(m));
 
   // Broadcast cleanup; every server (including this one) drops the travel's
   // plans, cache entries and any leftover execution state.
@@ -465,7 +465,7 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
     abort.src = cfg_.id;
     abort.dst = s;
     abort.payload = EncodeTravelId(ts.id);
-    transport_->Send(std::move(abort)).ok();
+    SendLossy(std::move(abort));
   }
 
   travels_.erase(ts.id);  // ts is dangling after this line
@@ -873,7 +873,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
     m.src = cfg_.id;
     m.dst = server;
     m.payload = req.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
   exec.children_outstanding = static_cast<uint32_t>(created.size());
   exec.out_targets.clear();
@@ -892,7 +892,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
       m.src = cfg_.id;
       m.dst = cplan.coordinator;
       m.payload = ans.Encode();
-      transport_->Send(std::move(m)).ok();
+      SendLossy(std::move(m));
     }
     const TravelId travel = exec.travel;
     const uint32_t step = exec.step;
@@ -934,7 +934,7 @@ void BackendServer::TryAnswerLocked(ExecState& exec) {
   m.src = cfg_.id;
   m.dst = exec.parent_server;
   m.payload = ans.Encode();
-  transport_->Send(std::move(m)).ok();
+  SendLossy(std::move(m));
 
   EraseExecLocked(exec.id);  // exec is dangling after this line
 }
@@ -996,7 +996,7 @@ void BackendServer::HandleMutation(rpc::Message&& msg) {
     reply.dst = msg.src;
     reply.rpc_id = msg.rpc_id;
     reply.payload = ack.Encode();
-    transport_->Send(std::move(reply)).ok();
+    SendLossy(std::move(reply));
   };
 
   // Clients may address any server; requests for records owned elsewhere
@@ -1007,7 +1007,7 @@ void BackendServer::HandleMutation(rpc::Message&& msg) {
     if (owner == cfg_.id) return false;
     rpc::Message fwd = msg;
     fwd.dst = owner;
-    transport_->Send(std::move(fwd)).ok();
+    SendLossy(std::move(fwd));
     return true;
   };
 
@@ -1062,7 +1062,7 @@ void BackendServer::HandleMutation(rpc::Message&& msg) {
       reply.dst = msg.src;
       reply.rpc_id = msg.rpc_id;
       reply.payload = out.Encode();
-      transport_->Send(std::move(reply)).ok();
+      SendLossy(std::move(reply));
       return;
     }
     default:
@@ -1086,7 +1086,7 @@ void BackendServer::HandleCatalog(rpc::Message&& msg) {
   reply.dst = msg.src;
   reply.rpc_id = msg.rpc_id;
   reply.payload = out.Encode();
-  transport_->Send(std::move(reply)).ok();
+  SendLossy(std::move(reply));
 }
 
 // ---------------------------------------------------------------------------
@@ -1182,7 +1182,7 @@ void BackendServer::HandleProgress(rpc::Message&& msg) {
   reply.dst = msg.src;
   reply.rpc_id = msg.rpc_id;
   reply.payload = progress.Encode();
-  transport_->Send(std::move(reply)).ok();
+  SendLossy(std::move(reply));
 }
 
 void BackendServer::HandleAbort(rpc::Message&& msg) {
@@ -1215,6 +1215,16 @@ void BackendServer::HandleAbort(rpc::Message&& msg) {
     } else {
       ++it;
     }
+  }
+}
+
+void BackendServer::SendLossy(rpc::Message msg) {
+  const rpc::EndpointId dst = msg.dst;
+  Status s = transport_->Send(std::move(msg));
+  if (!s.ok()) {
+    send_failures_.fetch_add(1);
+    GT_WARN << "server " << cfg_.id << ": send to endpoint " << dst
+            << " failed: " << s.ToString();
   }
 }
 
@@ -1327,7 +1337,7 @@ void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
     m.src = cfg_.id;
     m.dst = sl.coordinator;
     m.payload = done.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
 }
 
@@ -1472,7 +1482,7 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
         m.src = cfg_.id;
         m.dst = server;
         m.payload = batch.Encode();
-        transport_->Send(std::move(m)).ok();
+        SendLossy(std::move(m));
         done.batches_sent[server] = 1;
       }
     }
@@ -1499,7 +1509,7 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
   m.src = cfg_.id;
   m.dst = sl.coordinator;
   m.payload = done.Encode();
-  transport_->Send(std::move(m)).ok();
+  SendLossy(std::move(m));
 }
 
 void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
@@ -1529,7 +1539,7 @@ void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
       m.src = cfg_.id;
       m.dst = sender;
       m.payload = batch.Encode();
-      transport_->Send(std::move(m)).ok();
+      SendLossy(std::move(m));
     }
   }
 
@@ -1549,7 +1559,7 @@ void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
     m.src = cfg_.id;
     m.dst = sl.coordinator;
     m.payload = done.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
 }
 
@@ -1645,7 +1655,7 @@ void BackendServer::SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t 
     m.src = cfg_.id;
     m.dst = s;
     m.payload = start.Encode();
-    transport_->Send(std::move(m)).ok();
+    SendLossy(std::move(m));
   }
 }
 

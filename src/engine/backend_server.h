@@ -67,6 +67,10 @@ class BackendServer {
   size_t cache_size() const;
   uint64_t cache_evictions() const;
   graph::GraphStore* store() { return store_; }
+  // Transport sends that failed (peer unreachable after retries). The engine
+  // tolerates loss — status tracing restarts lost work — but the count feeds
+  // the ops stats line.
+  uint64_t send_failures() const { return send_failures_.load(); }
 
  private:
   // --- shared traversal bookkeeping ---------------------------------------
@@ -243,6 +247,10 @@ class BackendServer {
 
   void MaintenanceLoop();
 
+  // Fire-and-forget send: delivery failures are logged and counted, never
+  // propagated — the engine's status tracer owns end-to-end recovery.
+  void SendLossy(rpc::Message msg);
+
   bool VertexPassesLocked(const CompiledPlan& cplan, const graph::VertexRecord& rec,
                           uint32_t step) const;
   const std::vector<lang::Filter>& StepVertexFilters(const lang::TraversalPlan& plan,
@@ -276,6 +284,7 @@ class BackendServer {
 
   std::vector<std::thread> workers_;
   std::thread maintenance_;
+  std::atomic<uint64_t> send_failures_{0};
   std::atomic<bool> stop_{false};
   bool started_ = false;
 };

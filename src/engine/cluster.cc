@@ -25,6 +25,10 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
 
   cluster->partitioner_ = std::make_unique<graph::HashPartitioner>(c.num_servers);
   cluster->transport_ = std::make_unique<rpc::InProcTransport>(c.net);
+  if (c.net_faults) {
+    cluster->fault_transport_ = std::make_unique<rpc::FaultInjectingTransport>(
+        cluster->transport_.get(), c.net_fault_seed);
+  }
 
   for (uint32_t i = 0; i < c.num_servers; i++) {
     cluster->devices_.push_back(std::make_unique<DeviceModel>(c.device));
@@ -49,7 +53,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     scfg.graphtrek_priority_sched = c.graphtrek_priority_sched;
     cluster->servers_.push_back(std::make_unique<BackendServer>(
         scfg, cluster->stores_.back().get(), cluster->partitioner_.get(),
-        &cluster->catalog_, cluster->transport_.get()));
+        &cluster->catalog_, cluster->transport()));
   }
   for (auto& server : cluster->servers_) {
     GT_RETURN_IF_ERROR(server->Start());
@@ -63,7 +67,7 @@ void Cluster::Stop() {
   if (stopped_) return;
   stopped_ = true;
   for (auto& server : servers_) server->Stop();
-  transport_->Shutdown();
+  transport()->Shutdown();  // decorator (if any) shuts the inner fabric too
   servers_.clear();
   stores_.clear();
   if (own_dir_) {
@@ -81,7 +85,7 @@ Status Cluster::Load(const graph::RefGraph& graph) {
 
 std::unique_ptr<GraphTrekClient> Cluster::NewClient() {
   return std::make_unique<GraphTrekClient>(
-      transport_.get(), rpc::kClientIdBase + next_client_++, cfg_.num_servers);
+      transport(), rpc::kClientIdBase + next_client_++, cfg_.num_servers);
 }
 
 Result<TraversalResult> Cluster::Run(const lang::TraversalPlan& plan, EngineMode mode,
@@ -119,8 +123,12 @@ void Cluster::DumpStats(std::ostream* out) {
          << " device{accesses=" << devices_[i]->total_accesses()
          << " warm=" << devices_[i]->warm_accesses()
          << " tails=" << devices_[i]->tail_accesses() << "} kv{"
-         << stores_[i]->db()->stats().ToString() << "}\n";
+         << stores_[i]->db()->stats().ToString() << "}"
+         << " send_failures=" << servers_[i]->send_failures() << "\n";
   }
+  const rpc::Transport& t = *transport();
+  *out << rpc::TransportStatsSummary(t) << "\n";
+  *out << rpc::FormatLinkStats(t, /*top_n=*/12);
 }
 
 void Cluster::ResetStats() {

@@ -16,6 +16,7 @@
 #include "src/engine/straggler.h"
 #include "src/graph/ingest.h"
 #include "src/graph/ref_graph.h"
+#include "src/rpc/fault_transport.h"
 #include "src/rpc/inproc_transport.h"
 
 namespace gt::engine {
@@ -39,6 +40,11 @@ struct ClusterConfig {
   // Simulated network fabric.
   rpc::InProcConfig net;
 
+  // When true, the cluster's transport is wrapped in a seeded
+  // FaultInjectingTransport; configure link faults via fault_transport().
+  bool net_faults = false;
+  uint64_t net_fault_seed = 42;
+
   // KV engine knobs (block cache etc.); `device` above is charged at the
   // GraphStore access level, not per KV block.
   kv::DBOptions db;
@@ -55,8 +61,15 @@ class Cluster {
   uint32_t num_servers() const { return cfg_.num_servers; }
   graph::Catalog* catalog() { return &catalog_; }
   const graph::Partitioner* partitioner() const { return partitioner_.get(); }
-  rpc::Transport* transport() { return transport_.get(); }
+  // The transport every server/client endpoint is registered on: the fault
+  // decorator when net_faults is set, the raw in-process fabric otherwise.
+  rpc::Transport* transport() {
+    if (fault_transport_) return fault_transport_.get();
+    return transport_.get();
+  }
   rpc::InProcTransport* inproc_transport() { return transport_.get(); }
+  // Null unless ClusterConfig::net_faults was set.
+  rpc::FaultInjectingTransport* fault_transport() { return fault_transport_.get(); }
   BackendServer* server(uint32_t i) { return servers_[i].get(); }
   graph::GraphStore* store(uint32_t i) { return stores_[i].get(); }
   DeviceModel* device(uint32_t i) { return devices_[i].get(); }
@@ -92,6 +105,7 @@ class Cluster {
   graph::Catalog catalog_;
   std::unique_ptr<graph::Partitioner> partitioner_;
   std::unique_ptr<rpc::InProcTransport> transport_;
+  std::unique_ptr<rpc::FaultInjectingTransport> fault_transport_;
   std::vector<std::unique_ptr<DeviceModel>> devices_;
   std::vector<std::unique_ptr<graph::GraphStore>> stores_;
   std::vector<std::unique_ptr<BackendServer>> servers_;

@@ -1,0 +1,189 @@
+#include "src/rpc/fault_transport.h"
+
+#include "src/common/clock.h"
+
+namespace gt::rpc {
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner, uint64_t seed)
+    : inner_(inner), rng_(seed) {
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+FaultInjectingTransport::~FaultInjectingTransport() { Shutdown(); }
+
+Status FaultInjectingTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
+  // Wrap the handler so receive-side traffic shows up in this decorator's
+  // stats too (the inner transport keeps its own, narrower view).
+  return inner_->RegisterEndpoint(
+      id, [this, h = std::move(handler)](Message&& msg) mutable {
+        stats_.messages_received.fetch_add(1);
+        stats_.bytes_received.fetch_add(msg.WireSize());
+        const size_t wire_size = msg.WireSize();
+        link_stats_.Update(msg.src, msg.dst, [wire_size](LinkStats& ls) {
+          ls.messages_received++;
+          ls.bytes_received += wire_size;
+        });
+        h(std::move(msg));
+      });
+}
+
+void FaultInjectingTransport::UnregisterEndpoint(EndpointId id) {
+  inner_->UnregisterEndpoint(id);
+}
+
+const LinkFault* FaultInjectingTransport::MatchLocked(const Message& msg) const {
+  const LinkKey candidates[4] = {{msg.src, msg.dst},
+                                 {kAnyEndpoint, msg.dst},
+                                 {msg.src, kAnyEndpoint},
+                                 {kAnyEndpoint, kAnyEndpoint}};
+  for (const auto& key : candidates) {
+    auto it = rules_.find(key);
+    if (it == rules_.end()) continue;
+    if (it->second.only_type != MsgType::kInvalid && it->second.only_type != msg.type) {
+      continue;
+    }
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Status FaultInjectingTransport::Send(Message msg) {
+  bool duplicate = false;
+  uint64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return Status::Unavailable("transport shut down");
+    const LinkFault* fault = MatchLocked(msg);
+    if (fault != nullptr) {
+      if (fault->blocked ||
+          (fault->drop_probability > 0.0 && rng_.Bernoulli(fault->drop_probability))) {
+        stats_.messages_dropped.fetch_add(1);
+        link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.dropped++; });
+        return Status::OK();  // silent loss, like a dead link
+      }
+      if (fault->duplicate_probability > 0.0 &&
+          rng_.Bernoulli(fault->duplicate_probability)) {
+        duplicate = true;
+      }
+      if (fault->delay_us > 0 || fault->jitter_us > 0) {
+        delay_us = fault->delay_us;
+        if (fault->jitter_us > 0) delay_us += rng_.Uniform(fault->jitter_us);
+      }
+    }
+  }
+
+  stats_.messages_sent.fetch_add(1);
+  stats_.bytes_sent.fetch_add(msg.WireSize());
+  const size_t wire_size = msg.WireSize();
+  link_stats_.Update(msg.src, msg.dst, [wire_size, duplicate](LinkStats& ls) {
+    ls.messages_sent++;
+    ls.bytes_sent += wire_size;
+    if (duplicate) ls.duplicated++;
+  });
+  if (duplicate) stats_.messages_duplicated.fetch_add(1);
+
+  if (delay_us > 0) {
+    link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.delayed++; });
+    const uint64_t deliver_at = NowMicros() + delay_us;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return Status::Unavailable("transport shut down");
+    if (duplicate) delayed_.emplace(deliver_at, msg);
+    delayed_.emplace(deliver_at, std::move(msg));
+    timer_cv_.notify_one();
+    return Status::OK();
+  }
+
+  if (duplicate) {
+    Message copy = msg;
+    Status first = inner_->Send(std::move(copy));
+    if (!first.ok()) return first;
+  }
+  return inner_->Send(std::move(msg));
+}
+
+void FaultInjectingTransport::TimerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (delayed_.empty()) {
+      timer_cv_.wait(lk, [this] { return stop_ || !delayed_.empty(); });
+      continue;
+    }
+    const uint64_t now = NowMicros();
+    const uint64_t deadline = delayed_.begin()->first;
+    if (deadline > now) {
+      timer_cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
+      continue;
+    }
+    Message msg = std::move(delayed_.begin()->second);
+    delayed_.erase(delayed_.begin());
+    lk.unlock();
+    inner_->Send(std::move(msg)).ok();  // at-most-once: late failures are loss
+    lk.lock();
+  }
+}
+
+void FaultInjectingTransport::SetLinkFault(EndpointId src, EndpointId dst,
+                                           LinkFault fault) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_[{src, dst}] = fault;
+}
+
+void FaultInjectingTransport::ClearFault(EndpointId src, EndpointId dst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_.erase({src, dst});
+  partition_keys_.erase({src, dst});
+}
+
+void FaultInjectingTransport::ClearAllFaults() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_.clear();
+  partition_keys_.clear();
+}
+
+void FaultInjectingTransport::PartitionBetween(const std::vector<EndpointId>& a,
+                                               const std::vector<EndpointId>& b) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (EndpointId x : a) {
+    for (EndpointId y : b) {
+      for (const LinkKey& key : {LinkKey{x, y}, LinkKey{y, x}}) {
+        rules_[key].blocked = true;
+        partition_keys_.insert(key);
+      }
+    }
+  }
+}
+
+void FaultInjectingTransport::Heal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& key : partition_keys_) {
+    auto it = rules_.find(key);
+    if (it == rules_.end()) continue;
+    it->second.blocked = false;
+    // Drop rules the partition created outright (no other effects left).
+    const LinkFault& f = it->second;
+    if (f.drop_probability == 0.0 && f.duplicate_probability == 0.0 &&
+        f.delay_us == 0 && f.jitter_us == 0) {
+      rules_.erase(it);
+    }
+  }
+  partition_keys_.clear();
+}
+
+void FaultInjectingTransport::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    // Pending delayed messages are lost, like frames in flight on a dying
+    // fabric; count them so tests can account for every message.
+    stats_.messages_dropped.fetch_add(delayed_.size());
+    delayed_.clear();
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  // The inner transport is owned by the caller; shutting it down here keeps
+  // decorator semantics ("the whole stack stops") without owning it.
+  inner_->Shutdown();
+}
+
+}  // namespace gt::rpc

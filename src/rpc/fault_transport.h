@@ -1,0 +1,81 @@
+// FaultInjectingTransport: a Transport decorator that injects deterministic,
+// seeded faults per link before handing messages to the wrapped transport.
+// Tests and the straggler benches use it to model lossy/slow/partitioned
+// fabrics on top of *any* concrete transport (in-process or TCP) instead of
+// hacking ad-hoc failure paths into each one.
+//
+// Fault kinds, matched per (src, dst) link with kAnyEndpoint wildcards:
+//   - drop:      Bernoulli(drop_probability) messages vanish silently
+//   - duplicate: Bernoulli(duplicate_probability) messages delivered twice
+//   - delay:     fixed delay_us (+ uniform jitter) before the inner Send
+//   - partition: blocked links drop everything until healed
+//
+// All randomness comes from one seeded Rng, so a given (seed, traffic)
+// sequence replays identically. Delayed messages are re-sent from a single
+// timer thread: messages with equal deadlines keep FIFO order, but — like a
+// real network — a delayed link can reorder against undelayed traffic.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rpc/transport.h"
+
+namespace gt::rpc {
+
+struct LinkFault {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  uint32_t delay_us = 0;
+  uint32_t jitter_us = 0;        // uniform extra [0, jitter_us)
+  bool blocked = false;          // partition: drop everything on the link
+  MsgType only_type = MsgType::kInvalid;  // kInvalid = match all types
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  explicit FaultInjectingTransport(Transport* inner, uint64_t seed = 42);
+  ~FaultInjectingTransport() override;
+
+  Status RegisterEndpoint(EndpointId id, MessageHandler handler) override;
+  void UnregisterEndpoint(EndpointId id) override;
+  Status Send(Message msg) override;
+  void Shutdown() override;
+
+  // Installs (or replaces) the fault rule for a link. kAnyEndpoint acts as
+  // a wildcard on either side; the most specific rule wins:
+  // (src,dst) > (*,dst) > (src,*) > (*,*).
+  void SetLinkFault(EndpointId src, EndpointId dst, LinkFault fault);
+  void ClearFault(EndpointId src, EndpointId dst);
+  void ClearAllFaults();
+
+  // Blocks every link crossing the two groups, both directions. Heal()
+  // removes exactly the rules the partition installed.
+  void PartitionBetween(const std::vector<EndpointId>& a,
+                        const std::vector<EndpointId>& b);
+  void Heal();
+
+  Transport* inner() { return inner_; }
+
+ private:
+  const LinkFault* MatchLocked(const Message& msg) const;
+  void TimerLoop();
+
+  Transport* inner_;
+  mutable std::mutex mu_;  // guards rules, rng, delay queue
+  std::map<LinkKey, LinkFault> rules_;
+  std::set<LinkKey> partition_keys_;
+  Rng rng_;
+  // Delayed messages awaiting their inner Send, ordered by deadline;
+  // multimap keeps FIFO order among equal deadlines.
+  std::multimap<uint64_t, Message> delayed_;
+  std::condition_variable timer_cv_;
+  std::thread timer_;
+  bool stop_ = false;
+};
+
+}  // namespace gt::rpc

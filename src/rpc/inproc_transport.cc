@@ -50,13 +50,11 @@ Status InProcTransport::Send(Message msg) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) return Status::Unavailable("transport shut down");
-    if (fault_hook_ && fault_hook_(msg)) {
+    if ((fault_hook_ && fault_hook_(msg)) ||
+        (cfg_.drop_probability > 0.0 && rng_.Bernoulli(cfg_.drop_probability))) {
       stats_.messages_dropped.fetch_add(1);
+      link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.dropped++; });
       return Status::OK();  // silent drop, like a lost datagram
-    }
-    if (cfg_.drop_probability > 0.0 && rng_.Bernoulli(cfg_.drop_probability)) {
-      stats_.messages_dropped.fetch_add(1);
-      return Status::OK();
     }
     auto it = endpoints_.find(msg.dst);
     if (it == endpoints_.end()) {
@@ -68,6 +66,11 @@ Status InProcTransport::Send(Message msg) {
 
   stats_.messages_sent.fetch_add(1);
   stats_.bytes_sent.fetch_add(msg.WireSize());
+  const size_t wire_size = msg.WireSize();
+  link_stats_.Update(msg.src, msg.dst, [wire_size](LinkStats& ls) {
+    ls.messages_sent++;
+    ls.bytes_sent += wire_size;
+  });
 
   const uint64_t deliver_at = NowMicros() + cfg_.latency_us + extra_us;
   {
@@ -97,8 +100,27 @@ void InProcTransport::DeliveryLoop(Endpoint* ep) {
       msg = std::move(ep->queue.front().second);
       ep->queue.pop_front();
     }
+    stats_.messages_received.fetch_add(1);
+    stats_.bytes_received.fetch_add(msg.WireSize());
+    const size_t wire_size = msg.WireSize();
+    link_stats_.Update(msg.src, msg.dst, [wire_size](LinkStats& ls) {
+      ls.messages_received++;
+      ls.bytes_received += wire_size;
+    });
     ep->handler(std::move(msg));
   }
+}
+
+std::map<LinkKey, LinkStats> InProcTransport::LinkSnapshot() const {
+  auto rows = link_stats_.Snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [id, ep] : endpoints_) {
+    std::lock_guard<std::mutex> elk(ep->mu);
+    if (!ep->queue.empty()) {
+      rows[{kAnyEndpoint, id}].queue_depth = ep->queue.size();
+    }
+  }
+  return rows;
 }
 
 void InProcTransport::Shutdown() {

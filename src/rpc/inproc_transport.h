@@ -32,8 +32,14 @@ class InProcTransport final : public Transport {
   Status Send(Message msg) override;
   void Shutdown() override;
 
+  // Per-link counters plus the current inbox depth of every endpoint
+  // (reported on the (kAnyEndpoint, id) row).
+  std::map<LinkKey, LinkStats> LinkSnapshot() const override;
+
   // Fault injection: if set and returns true, the message is silently
   // dropped (counts in stats().messages_dropped). Called on the send path.
+  // Kept for targeted message-level predicates; richer per-link faults
+  // (delay/duplicate/partition) live in FaultInjectingTransport.
   void SetFaultHook(std::function<bool(const Message&)> hook);
 
  private:
@@ -53,7 +59,7 @@ class InProcTransport final : public Transport {
   void DeliveryLoop(Endpoint* ep);
 
   InProcConfig cfg_;
-  std::mutex mu_;  // guards endpoints_ and fault hook
+  mutable std::mutex mu_;  // guards endpoints_ and fault hook
   std::unordered_map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
   std::function<bool(const Message&)> fault_hook_;
   Rng rng_;

@@ -18,6 +18,14 @@ namespace gt::rpc {
 using EndpointId = uint32_t;
 constexpr EndpointId kClientIdBase = 1u << 20;
 
+// Fixed message-header layout after the frame_len prefix:
+// type (packed as fixed32) + src + dst + rpc_id. Every frame body is at
+// least this long; transports reject shorter (or absurdly long) frames as
+// protocol errors instead of trying to resynchronize the stream.
+constexpr uint32_t kMsgHeaderBytes = 4 + 4 + 4 + 8;
+constexpr uint32_t kMinFrameBody = kMsgHeaderBytes;
+constexpr uint32_t kMaxFrameBody = 64u << 20;
+
 enum class MsgType : uint16_t {
   kInvalid = 0,
 
@@ -71,10 +79,10 @@ struct Message {
   std::string payload;
 
   // Header: frame_len(4) + type(4, low 16 bits used) + src(4) + dst(4) + rpc_id(8).
-  size_t WireSize() const { return 4 + 4 + 4 + 4 + 8 + payload.size(); }
+  size_t WireSize() const { return 4 + kMsgHeaderBytes + payload.size(); }
 
   void EncodeTo(std::string* out) const {
-    const uint32_t frame_len = static_cast<uint32_t>(4 + 4 + 4 + 8 + payload.size());
+    const uint32_t frame_len = static_cast<uint32_t>(kMsgHeaderBytes + payload.size());
     PutFixed32(out, frame_len);
     PutFixed32(out, (static_cast<uint32_t>(type) & 0xffff));
     // type packed as fixed32 for alignment simplicity; high 16 bits zero.

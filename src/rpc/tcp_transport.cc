@@ -1,12 +1,19 @@
 #include "src/rpc/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
 
 #include "src/common/codec.h"
@@ -16,10 +23,21 @@ namespace gt::rpc {
 
 namespace {
 
+// Connection hello: magic + version + dialed endpoint id. The listener
+// verifies it hosts that endpoint and answers with the ack magic; anything
+// else is a protocol error and the connection is refused. This catches
+// stale registry entries whose port has been recycled by another process.
+constexpr uint32_t kHelloMagic = 0x4754524b;  // "GTRK"
+constexpr uint32_t kHelloAck = 0x4754414b;    // "GTAK"
+constexpr uint32_t kWireVersion = 1;
+constexpr size_t kHelloBytes = 12;
+
 Status SockError(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
+// Both helpers honor SO_RCVTIMEO / SO_SNDTIMEO: a timed-out syscall shows
+// up as EAGAIN and fails the transfer rather than blocking forever.
 bool ReadFull(int fd, char* buf, size_t n) {
   size_t got = 0;
   while (got < n) {
@@ -47,16 +65,184 @@ bool WriteFull(int fd, const char* buf, size_t n) {
   return true;
 }
 
+void SetSocketTimeout(int fd, int which, uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+// --- port registry (cross-process endpoint discovery) ------------------------
+
+bool EnsureDir(const std::string& path) {
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); i++) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && ::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+        return false;
+      }
+    }
+    if (i < path.size()) partial += path[i];
+  }
+  return true;
+}
+
+std::string RegistryPath(const std::string& dir, EndpointId id) {
+  return dir + "/ep-" + std::to_string(id) + ".port";
+}
+
+Status PublishPort(const std::string& dir, EndpointId id, uint16_t port) {
+  if (!EnsureDir(dir)) return SockError("mkdir registry");
+  const std::string path = RegistryPath(dir, id);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return SockError("registry open");
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return SockError("registry rename");
+  }
+  return Status::OK();
+}
+
+void RetractPort(const std::string& dir, EndpointId id) {
+  ::unlink(RegistryPath(dir, id).c_str());
+}
+
+Result<uint16_t> ReadPortFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("no registry entry at " + path);
+  unsigned port = 0;
+  const int n = std::fscanf(f, "%u", &port);
+  std::fclose(f);
+  if (n != 1 || port == 0 || port > 65535) {
+    return Status::Corruption("bad registry entry at " + path);
+  }
+  return static_cast<uint16_t>(port);
+}
+
 }  // namespace
 
+// --- inbound side -------------------------------------------------------------
+
 struct TcpTransport::Listener {
+  TcpTransport* owner = nullptr;
+  EndpointId id = 0;
   int listen_fd = -1;
+  uint16_t port = 0;
   MessageHandler handler;
   std::thread accept_thread;
-  std::mutex conn_mu;
-  std::vector<std::thread> conn_threads;
-  std::vector<int> conn_fds;
   std::atomic<bool> stop{false};
+
+  std::mutex conn_mu;
+  std::condition_variable conn_cv;
+  uint64_t next_token = 0;
+  std::map<uint64_t, int> live_fds;         // open connection fds
+  std::map<uint64_t, std::thread> readers;  // their reader threads
+  std::vector<std::thread> finished;        // exited readers awaiting join
+
+  // Joins readers that already exited; called from the accept loop so the
+  // thread/fd tables stay bounded by the number of *live* connections.
+  void ReapFinished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu);
+      done.swap(finished);
+    }
+    for (auto& t : done) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  void AcceptLoop() {
+    while (!stop) {
+      ReapFinished();
+      int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (stop) return;
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lk(conn_mu);
+      if (stop) {
+        ::close(conn);
+        return;
+      }
+      const uint64_t token = next_token++;
+      live_fds.emplace(token, conn);
+      readers.emplace(token, std::thread([this, token, conn] { ReaderLoop(token, conn); }));
+    }
+  }
+
+  void ReaderLoop(uint64_t token, int conn) {
+    ReadConnection(conn);
+    // Reap ourselves: close the fd, drop it from the live table, and hand
+    // the (still running) thread object to the accept loop for joining.
+    ::close(conn);
+    std::lock_guard<std::mutex> lk(conn_mu);
+    live_fds.erase(token);
+    auto it = readers.find(token);
+    if (it != readers.end()) {
+      finished.push_back(std::move(it->second));
+      readers.erase(it);
+    }
+    conn_cv.notify_all();
+  }
+
+  void ReadConnection(int conn) {
+    // Handshake first, under a bounded receive timeout.
+    SetSocketTimeout(conn, SO_RCVTIMEO, owner->cfg_.connect_timeout_ms);
+    char hello[kHelloBytes];
+    if (!ReadFull(conn, hello, sizeof(hello))) return;
+    const uint32_t magic = DecodeFixed32(hello);
+    const uint32_t version = DecodeFixed32(hello + 4);
+    const EndpointId dialed = DecodeFixed32(hello + 8);
+    if (magic != kHelloMagic || version != kWireVersion) {
+      GT_WARN << "tcp: protocol error on endpoint " << id
+              << ": bad hello (magic=" << magic << " version=" << version << ")";
+      return;
+    }
+    if (dialed != id) {
+      GT_WARN << "tcp: endpoint " << id << " refused connection dialed for endpoint "
+              << dialed << " (stale registry entry?)";
+      return;
+    }
+    char ack[4];
+    EncodeFixed32(ack, kHelloAck);
+    if (!WriteFull(conn, ack, sizeof(ack))) return;
+    SetSocketTimeout(conn, SO_RCVTIMEO, 0);  // frames may be arbitrarily spaced
+
+    // Reader loop: one frame at a time.
+    for (;;) {
+      char lenbuf[4];
+      if (!ReadFull(conn, lenbuf, 4)) return;
+      const uint32_t frame_len = DecodeFixed32(lenbuf);
+      if (frame_len < kMinFrameBody || frame_len > kMaxFrameBody) {
+        GT_WARN << "tcp: protocol error on endpoint " << id << ": frame length "
+                << frame_len << " outside [" << kMinFrameBody << ", " << kMaxFrameBody
+                << "]; closing connection";
+        return;
+      }
+      std::string body(frame_len, '\0');
+      if (!ReadFull(conn, body.data(), frame_len)) return;
+      auto msg = Message::DecodeBody(body);
+      if (!msg.ok()) {
+        GT_WARN << "tcp: protocol error on endpoint " << id << ": "
+                << msg.status().ToString() << "; closing connection";
+        return;
+      }
+      if (stop) return;
+      owner->stats_.messages_received.fetch_add(1);
+      owner->stats_.bytes_received.fetch_add(4 + frame_len);
+      owner->link_stats_.Update(msg->src, msg->dst, [frame_len](LinkStats& ls) {
+        ls.messages_received++;
+        ls.bytes_received += 4 + frame_len;
+      });
+      handler(std::move(*msg));
+    }
+  }
 
   ~Listener() {
     stop = true;
@@ -65,29 +251,39 @@ struct TcpTransport::Listener {
       ::close(listen_fd);
     }
     {
+      // Wound live connections; their readers wake, close, and self-reap.
       std::lock_guard<std::mutex> lk(conn_mu);
-      for (int fd : conn_fds) {
+      for (auto& [token, fd] : live_fds) {
+        (void)token;
         ::shutdown(fd, SHUT_RDWR);
-        ::close(fd);
       }
-      conn_fds.clear();
     }
     if (accept_thread.joinable()) accept_thread.join();
-    std::lock_guard<std::mutex> lk(conn_mu);
-    for (auto& t : conn_threads) {
+    std::unique_lock<std::mutex> lk(conn_mu);
+    conn_cv.wait(lk, [this] { return readers.empty(); });
+    std::vector<std::thread> done;
+    done.swap(finished);
+    lk.unlock();
+    for (auto& t : done) {
       if (t.joinable()) t.join();
     }
   }
 };
 
-TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(cfg) {}
+// --- outbound side ------------------------------------------------------------
+
+// Per-destination connection state. fd is only touched under mu, which also
+// serializes frame writes per link (preserving the per-(src, dst) ordering
+// contract) without coupling independent links to each other.
+struct TcpTransport::Link {
+  std::mutex mu;
+  int fd = -1;
+  bool ever_connected = false;
+};
+
+TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
-
-uint16_t TcpTransport::PortFor(EndpointId id) const {
-  // Clients get ports after the server range via the high id bits folded in.
-  return static_cast<uint16_t>(cfg_.base_port + (id % 10000));
-}
 
 Status TcpTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -99,57 +295,45 @@ Status TcpTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
+  // Ephemeral bind: the kernel picks a free port, so concurrent processes
+  // (e.g. test binaries under ctest -j) can never collide.
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(PortFor(id));
+  addr.sin_port = 0;
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return SockError("bind");
   }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return SockError("getsockname");
+  }
+  const uint16_t port = ntohs(addr.sin_port);
   if (::listen(fd, cfg_.listen_backlog) != 0) {
     ::close(fd);
     return SockError("listen");
   }
 
+  if (!cfg_.registry_dir.empty()) {
+    if (Status s = PublishPort(cfg_.registry_dir, id, port); !s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+
   auto listener = std::make_unique<Listener>();
+  listener->owner = this;
+  listener->id = id;
   listener->listen_fd = fd;
+  listener->port = port;
   listener->handler = std::move(handler);
   Listener* raw = listener.get();
-
-  listener->accept_thread = std::thread([raw] {
-    while (!raw->stop) {
-      int conn = ::accept(raw->listen_fd, nullptr, nullptr);
-      if (conn < 0) {
-        if (raw->stop) return;
-        continue;
-      }
-      int one2 = 1;
-      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one2, sizeof(one2));
-      std::lock_guard<std::mutex> lk(raw->conn_mu);
-      raw->conn_fds.push_back(conn);
-      raw->conn_threads.emplace_back([raw, conn] {
-        // Reader loop: one frame at a time.
-        for (;;) {
-          char lenbuf[4];
-          if (!ReadFull(conn, lenbuf, 4)) return;
-          const uint32_t frame_len = DecodeFixed32(lenbuf);
-          if (frame_len < 20 || frame_len > (64u << 20)) return;  // sanity
-          std::string body(frame_len, '\0');
-          if (!ReadFull(conn, body.data(), frame_len)) return;
-          auto msg = Message::DecodeBody(body);
-          if (!msg.ok()) {
-            GT_WARN << "tcp: bad frame: " << msg.status().ToString();
-            return;
-          }
-          if (raw->stop) return;
-          raw->handler(std::move(*msg));
-        }
-      });
-    }
-  });
+  listener->accept_thread = std::thread([raw] { raw->AcceptLoop(); });
 
   listeners_.emplace(id, std::move(listener));
+  local_ports_[id] = port;
   return Status::OK();
 }
 
@@ -161,78 +345,208 @@ void TcpTransport::UnregisterEndpoint(EndpointId id) {
     if (it == listeners_.end()) return;
     listener = std::move(it->second);
     listeners_.erase(it);
+    local_ports_.erase(id);
   }
+  if (!cfg_.registry_dir.empty()) RetractPort(cfg_.registry_dir, id);
   listener.reset();  // joins threads
 }
 
-Result<int> TcpTransport::ConnectTo(EndpointId id) {
+uint16_t TcpTransport::PortOf(EndpointId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = local_ports_.find(id);
+  return it == local_ports_.end() ? 0 : it->second;
+}
+
+void TcpTransport::InjectLinkFailure(EndpointId dst) {
+  std::shared_ptr<Link> link;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = links_.find(dst);
+    if (it == links_.end()) return;
+    link = it->second;
+  }
+  std::lock_guard<std::mutex> lk(link->mu);
+  if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
+}
+
+Result<uint16_t> TcpTransport::ResolvePort(EndpointId dst) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = local_ports_.find(dst);
+    if (it != local_ports_.end()) return it->second;
+  }
+  if (cfg_.registry_dir.empty()) {
+    return Status::NotFound("no endpoint " + std::to_string(dst) +
+                            " (and no registry configured)");
+  }
+  return ReadPortFile(RegistryPath(cfg_.registry_dir, dst));
+}
+
+Result<int> TcpTransport::ConnectAndHandshake(uint16_t port, EndpointId dst) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return SockError("socket");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(PortFor(id));
+  addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return SockError("connect");
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return SockError("connect");
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(cfg_.connect_timeout_ms));
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Timeout("connect to endpoint " + std::to_string(dst));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      errno = err;
+      return SockError("connect");
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);
+
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSocketTimeout(fd, SO_SNDTIMEO, cfg_.send_timeout_ms);
+  SetSocketTimeout(fd, SO_RCVTIMEO, cfg_.connect_timeout_ms);
+
+  char hello[kHelloBytes];
+  EncodeFixed32(hello, kHelloMagic);
+  EncodeFixed32(hello + 4, kWireVersion);
+  EncodeFixed32(hello + 8, dst);
+  if (!WriteFull(fd, hello, sizeof(hello))) {
+    ::close(fd);
+    return SockError("handshake send");
+  }
+  char ack[4];
+  if (!ReadFull(fd, ack, sizeof(ack)) || DecodeFixed32(ack) != kHelloAck) {
+    ::close(fd);
+    return Status::IOError("handshake rejected by peer on port " + std::to_string(port));
+  }
   return fd;
 }
 
+bool TcpTransport::BackoffSleep(uint32_t attempt) {
+  uint64_t delay_ms = cfg_.backoff_initial_ms;
+  for (uint32_t i = 1; i < attempt && delay_ms < cfg_.backoff_max_ms; i++) delay_ms *= 2;
+  if (delay_ms > cfg_.backoff_max_ms) delay_ms = cfg_.backoff_max_ms;
+  // Sleep in small slices so Shutdown never waits out a full backoff.
+  while (delay_ms > 0) {
+    if (stopping_.load()) return false;
+    const uint64_t slice = delay_ms < 10 ? delay_ms : 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    delay_ms -= slice;
+  }
+  return !stopping_.load();
+}
+
 Status TcpTransport::Send(Message msg) {
-  int fd = -1;
+  std::shared_ptr<Link> link;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) return Status::Unavailable("transport shut down");
-    auto it = out_fds_.find(msg.dst);
-    if (it != out_fds_.end()) fd = it->second;
-  }
-  if (fd < 0) {
-    auto r = ConnectTo(msg.dst);
-    if (!r.ok()) return r.status();
-    fd = *r;
-    std::lock_guard<std::mutex> lk(mu_);
-    auto [it, inserted] = out_fds_.emplace(msg.dst, fd);
-    if (!inserted) {
-      // Raced with another sender: keep the existing connection.
-      ::close(fd);
-      fd = it->second;
-    }
+    auto& slot = links_[msg.dst];
+    if (slot == nullptr) slot = std::make_shared<Link>();
+    link = slot;
   }
 
   std::string frame;
   frame.reserve(msg.WireSize());
   msg.EncodeTo(&frame);
 
-  std::lock_guard<std::mutex> slk(send_mu_);
-  stats_.messages_sent.fetch_add(1);
-  stats_.bytes_sent.fetch_add(frame.size());
-  if (!WriteFull(fd, frame.data(), frame.size())) {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = out_fds_.find(msg.dst);
-    if (it != out_fds_.end() && it->second == fd) {
-      ::close(fd);
-      out_fds_.erase(it);
+  std::lock_guard<std::mutex> slk(link->mu);
+  Status last = Status::Unavailable("send not attempted");
+  for (uint32_t attempt = 0; attempt < cfg_.max_send_attempts; attempt++) {
+    if (stopping_.load()) return Status::Unavailable("transport shut down");
+    if (attempt > 0 && !BackoffSleep(attempt)) {
+      return Status::Unavailable("transport shut down");
     }
-    return Status::IOError("tcp send failed");
+
+    if (link->fd < 0) {
+      auto port = ResolvePort(msg.dst);
+      if (!port.ok()) {
+        last = port.status();
+        stats_.send_failures.fetch_add(1);
+        link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.send_failures++; });
+        // Without a registry the endpoint could only ever be in-process;
+        // an unknown id stays unknown, so fail fast instead of backing off.
+        if (cfg_.registry_dir.empty()) break;
+        continue;
+      }
+      auto conn = ConnectAndHandshake(*port, msg.dst);
+      if (!conn.ok()) {
+        last = conn.status();
+        stats_.send_failures.fetch_add(1);
+        link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.send_failures++; });
+        continue;
+      }
+      link->fd = *conn;
+      if (link->ever_connected) {
+        stats_.reconnects.fetch_add(1);
+        link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.reconnects++; });
+        GT_INFO << "tcp: reconnected to endpoint " << msg.dst;
+      }
+      link->ever_connected = true;
+    }
+
+    if (WriteFull(link->fd, frame.data(), frame.size())) {
+      stats_.messages_sent.fetch_add(1);
+      stats_.bytes_sent.fetch_add(frame.size());
+      const size_t frame_size = frame.size();
+      link_stats_.Update(msg.src, msg.dst, [frame_size](LinkStats& ls) {
+        ls.messages_sent++;
+        ls.bytes_sent += frame_size;
+      });
+      return Status::OK();
+    }
+
+    // Write failed: retire this connection and retry on a fresh one. The
+    // fd lives and dies under link->mu, so no other thread can be writing
+    // to (or recycling) it while we close.
+    last = SockError("tcp send");
+    stats_.send_failures.fetch_add(1);
+    link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.send_failures++; });
+    ::close(link->fd);
+    link->fd = -1;
   }
-  return Status::OK();
+  return last;
 }
 
 void TcpTransport::Shutdown() {
   std::map<EndpointId, std::unique_ptr<Listener>> listeners;
+  std::map<EndpointId, std::shared_ptr<Link>> links;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) return;
     shutdown_ = true;
+    stopping_.store(true);  // aborts backoff sleeps + further attempts
     listeners = std::move(listeners_);
-    for (auto& [id, fd] : out_fds_) {
-      (void)id;
-      ::close(fd);
+    listeners_.clear();
+    links = std::move(links_);
+    links_.clear();
+  }
+  for (auto& [id, link] : links) {
+    (void)id;
+    std::lock_guard<std::mutex> lk(link->mu);
+    if (link->fd >= 0) {
+      ::close(link->fd);
+      link->fd = -1;
     }
-    out_fds_.clear();
+  }
+  if (!cfg_.registry_dir.empty()) {
+    for (auto& [id, listener] : listeners) {
+      (void)listener;
+      RetractPort(cfg_.registry_dir, id);
+    }
   }
   listeners.clear();  // joins all threads
 }

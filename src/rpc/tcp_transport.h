@@ -1,13 +1,29 @@
-// TCP transport: every endpoint listens on 127.0.0.1:(base_port + id) and
-// senders maintain one outbound connection per destination. Frames are
-// length-prefixed (see Message::EncodeTo). Used to run a GraphTrek cluster
-// over real sockets; the in-process transport remains the default for
-// benches because it offers controlled latency injection.
+// TCP transport over 127.0.0.1 with production-shaped failure semantics.
+//
+// Endpoint discovery: every endpoint binds an *ephemeral* port (no fixed
+// port arithmetic, so concurrent processes never collide). The bound port
+// is recorded in an in-process table and — when TcpConfig::registry_dir is
+// set — published as "<registry_dir>/ep-<id>.port" so other processes can
+// resolve it. A 12-byte hello handshake on every new connection verifies
+// the peer really hosts the dialed endpoint, which guards against stale
+// registry entries pointing at recycled ports.
+//
+// Sending: one Link per destination endpoint, each with its own mutex, so
+// traffic to different peers never serializes on a shared lock. A Send
+// (re)connects with a bounded number of attempts under exponential backoff,
+// with explicit connect/send timeouts; a transient peer failure is retried
+// instead of dropping the frame. Per-(src, dst) metrics are kept in the
+// base-class LinkStatsMap.
+//
+// Frames are length-prefixed (see Message::EncodeTo). The in-process
+// transport remains the default for benches because it offers controlled
+// latency injection.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,8 +32,22 @@
 namespace gt::rpc {
 
 struct TcpConfig {
-  uint16_t base_port = 47600;
+  // Directory for cross-process endpoint discovery. Empty: endpoints are
+  // only resolvable inside this process (enough for tests that share one
+  // transport instance). The directory is created if missing.
+  std::string registry_dir;
+
   int listen_backlog = 64;
+
+  // Failure semantics. A Send makes up to `max_send_attempts` passes of
+  // resolve -> connect (bounded by connect_timeout_ms) -> handshake ->
+  // write (bounded by send_timeout_ms), sleeping an exponentially growing
+  // backoff between attempts.
+  uint32_t connect_timeout_ms = 2000;
+  uint32_t send_timeout_ms = 5000;
+  uint32_t max_send_attempts = 4;
+  uint32_t backoff_initial_ms = 10;
+  uint32_t backoff_max_ms = 500;
 };
 
 class TcpTransport final : public Transport {
@@ -30,17 +60,28 @@ class TcpTransport final : public Transport {
   Status Send(Message msg) override;
   void Shutdown() override;
 
+  // Bound port of a locally registered endpoint (0 if not registered).
+  uint16_t PortOf(EndpointId id) const;
+
+  // Chaos/test hook: forcibly wound the cached outbound connection to `dst`
+  // (half-close, leaving the fd in place) so the next Send experiences a
+  // real write failure and must reconnect. No-op without a cached link.
+  void InjectLinkFailure(EndpointId dst);
+
  private:
   struct Listener;
+  struct Link;
 
-  uint16_t PortFor(EndpointId id) const;
-  Result<int> ConnectTo(EndpointId id);
+  Result<uint16_t> ResolvePort(EndpointId dst);
+  Result<int> ConnectAndHandshake(uint16_t port, EndpointId dst);
+  bool BackoffSleep(uint32_t attempt);  // false if shutdown interrupted it
 
   TcpConfig cfg_;
-  std::mutex mu_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;  // guards the three maps below
   std::map<EndpointId, std::unique_ptr<Listener>> listeners_;
-  std::map<EndpointId, int> out_fds_;  // connection pool, one per destination
-  std::mutex send_mu_;                 // serializes frame writes per transport
+  std::map<EndpointId, uint16_t> local_ports_;
+  std::map<EndpointId, std::shared_ptr<Link>> links_;  // one per destination
   bool shutdown_ = false;
 };
 

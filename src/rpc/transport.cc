@@ -1,0 +1,59 @@
+#include "src/rpc/transport.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace gt::rpc {
+
+namespace {
+
+std::string EndpointName(EndpointId id) {
+  if (id == kAnyEndpoint) return "*";
+  if (id >= kClientIdBase) return "c" + std::to_string(id - kClientIdBase);
+  return "s" + std::to_string(id);
+}
+
+}  // namespace
+
+std::string TransportStatsSummary(const Transport& t) {
+  const TransportStats& s = t.stats();
+  std::ostringstream os;
+  os << "net{sent=" << s.messages_sent.load() << "/" << s.bytes_sent.load()
+     << "B recv=" << s.messages_received.load() << "/" << s.bytes_received.load()
+     << "B dropped=" << s.messages_dropped.load()
+     << " duplicated=" << s.messages_duplicated.load()
+     << " reconnects=" << s.reconnects.load()
+     << " send_failures=" << s.send_failures.load() << "}";
+  return os.str();
+}
+
+std::string FormatLinkStats(const Transport& t, size_t top_n) {
+  auto snapshot = t.LinkSnapshot();
+  std::vector<std::pair<LinkKey, LinkStats>> rows(snapshot.begin(), snapshot.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes_sent + a.second.bytes_received >
+           b.second.bytes_sent + b.second.bytes_received;
+  });
+  if (top_n != 0 && rows.size() > top_n) rows.resize(top_n);
+
+  std::ostringstream os;
+  for (const auto& [key, ls] : rows) {
+    os << "  link " << EndpointName(key.first) << "->" << EndpointName(key.second)
+       << ": sent=" << ls.messages_sent << "/" << ls.bytes_sent
+       << "B recv=" << ls.messages_received << "/" << ls.bytes_received << "B";
+    if (ls.reconnects != 0) os << " reconnects=" << ls.reconnects;
+    if (ls.send_failures != 0) os << " send_failures=" << ls.send_failures;
+    if (ls.dropped != 0) os << " dropped=" << ls.dropped;
+    if (ls.duplicated != 0) os << " duplicated=" << ls.duplicated;
+    if (ls.delayed != 0) os << " delayed=" << ls.delayed;
+    if (ls.queue_depth != 0) os << " queue=" << ls.queue_depth;
+    os << "\n";
+  }
+  if (snapshot.size() > rows.size()) {
+    os << "  (" << (snapshot.size() - rows.size()) << " quieter links elided)\n";
+  }
+  return os.str();
+}
+
+}  // namespace gt::rpc

@@ -1,17 +1,28 @@
 // Transport abstraction connecting GraphTrek endpoints (backend servers and
 // clients). Implementations: InProcTransport (default; models an RPC fabric
-// with configurable latency and fault injection) and TcpTransport (real
-// localhost sockets).
+// with configurable latency and fault injection), TcpTransport (real
+// localhost sockets with reconnection + timeouts), and
+// FaultInjectingTransport (a decorator that injects deterministic
+// drop/delay/duplicate/partition faults per link).
 //
 // Delivery contract shared by all implementations:
 //  - Send() is asynchronous and returns once the message is accepted.
 //  - Messages between a given (src, dst) pair are delivered in send order.
+//    (FaultInjectingTransport relaxes this only for messages it delays.)
 //  - The handler for an endpoint is invoked on a transport-owned thread;
 //    handlers must be fast or hand work off to their own queues.
+//  - Delivery is at-most-once: a Send() that returns OK may still be lost
+//    if the peer fails before draining it. Higher layers (the engine's
+//    status tracer) own end-to-end failure detection.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/rpc/message.h"
@@ -20,10 +31,59 @@ namespace gt::rpc {
 
 using MessageHandler = std::function<void(Message&&)>;
 
+// Wildcard endpoint for per-link fault rules and stats rows that are not
+// attributable to a single endpoint.
+constexpr EndpointId kAnyEndpoint = 0xffffffffu;
+
+// Aggregate counters for one transport instance.
 struct TransportStats {
   std::atomic<uint64_t> messages_sent{0};
   std::atomic<uint64_t> bytes_sent{0};
-  std::atomic<uint64_t> messages_dropped{0};  // fault injection
+  std::atomic<uint64_t> messages_received{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> messages_dropped{0};     // fault injection / partitions
+  std::atomic<uint64_t> messages_duplicated{0};  // fault injection
+  std::atomic<uint64_t> reconnects{0};           // re-established connections
+  std::atomic<uint64_t> send_failures{0};        // failed write/connect attempts
+};
+
+// Per-link counters, keyed by the (src, dst) endpoint pair carried on the
+// messages themselves. Plain integers: rows are only touched under the
+// owning LinkStatsMap's mutex.
+struct LinkStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t reconnects = 0;
+  uint64_t send_failures = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+  size_t queue_depth = 0;  // receive-side inbox depth (snapshot time)
+};
+
+using LinkKey = std::pair<EndpointId, EndpointId>;  // (src, dst)
+
+// Mutex-guarded (src, dst) -> LinkStats registry shared by all transport
+// implementations. Updates are a map probe plus a few integer adds; the
+// actual I/O on every path dwarfs that.
+class LinkStatsMap {
+ public:
+  template <typename F>
+  void Update(EndpointId src, EndpointId dst, F&& f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    f(rows_[{src, dst}]);
+  }
+
+  std::map<LinkKey, LinkStats> Snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return rows_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<LinkKey, LinkStats> rows_;
 };
 
 class Transport {
@@ -42,8 +102,22 @@ class Transport {
 
   const TransportStats& stats() const { return stats_; }
 
+  // Per-link counters as seen by this transport instance. Implementations
+  // that track send queues fold the current depth into the snapshot.
+  virtual std::map<LinkKey, LinkStats> LinkSnapshot() const {
+    return link_stats_.Snapshot();
+  }
+
  protected:
   TransportStats stats_;
+  LinkStatsMap link_stats_;
 };
+
+// One-line aggregate summary, e.g. for harness stat dumps.
+std::string TransportStatsSummary(const Transport& t);
+
+// Multi-line per-link table (one row per (src, dst) pair), ordered by total
+// bytes moved, truncated to the `top_n` busiest links (0 = all).
+std::string FormatLinkStats(const Transport& t, size_t top_n = 0);
 
 }  // namespace gt::rpc

@@ -233,13 +233,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MutationOracleSweep, ::testing::Values(11, 22, 3
 class TcpClusterTest : public ::testing::Test {
  protected:
   static constexpr uint32_t kServers = 3;
-  static constexpr uint16_t kBasePort = 48600;
   static constexpr rpc::EndpointId kCatalogEndpointBase = 5000;
 
   void SetUp() override {
-    rpc::TcpConfig tcfg;
-    tcfg.base_port = kBasePort;
-    transport_ = std::make_unique<rpc::TcpTransport>(tcfg);
+    // Default TcpConfig: every endpoint binds an ephemeral port, so fixtures
+    // running concurrently under `ctest -j` can never collide on a bind.
+    transport_ = std::make_unique<rpc::TcpTransport>();
     partitioner_ = std::make_unique<graph::HashPartitioner>(kServers);
 
     for (uint32_t i = 0; i < kServers; i++) {

@@ -317,9 +317,7 @@ TEST(MailboxTest, ConcurrentCallsFromMultipleThreads) {
 // --- TcpTransport --------------------------------------------------------------
 
 TEST(TcpTransportTest, DeliversOverLocalhostSockets) {
-  TcpConfig cfg;
-  cfg.base_port = 48100;
-  TcpTransport transport(cfg);
+  TcpTransport transport;  // ephemeral ports: no fixed-port collisions
   Notification got;
   std::string payload;
   ASSERT_TRUE(transport
@@ -340,9 +338,7 @@ TEST(TcpTransportTest, DeliversOverLocalhostSockets) {
 }
 
 TEST(TcpTransportTest, LargeFrameRoundTrips) {
-  TcpConfig cfg;
-  cfg.base_port = 48200;
-  TcpTransport transport(cfg);
+  TcpTransport transport;
   Notification got;
   size_t received_size = 0;
   uint32_t checksum = 0;
@@ -366,9 +362,7 @@ TEST(TcpTransportTest, LargeFrameRoundTrips) {
 }
 
 TEST(TcpTransportTest, ManyMessagesBetweenTwoEndpoints) {
-  TcpConfig cfg;
-  cfg.base_port = 48300;
-  TcpTransport transport(cfg);
+  TcpTransport transport;
   CountDownLatch latch(200);
   std::atomic<uint64_t> sum{0};
   ASSERT_TRUE(transport
@@ -392,13 +386,15 @@ TEST(TcpTransportTest, ManyMessagesBetweenTwoEndpoints) {
   EXPECT_EQ(sum.load(), expected);
 }
 
-TEST(TcpTransportTest, SendToUnboundPortFails) {
-  TcpConfig cfg;
-  cfg.base_port = 48400;
-  TcpTransport transport(cfg);
+TEST(TcpTransportTest, SendToUnknownEndpointFails) {
+  // No registry dir and no local registration: the destination cannot be
+  // resolved, so Send must fail fast (NotFound, no connect attempts).
+  TcpTransport transport;
   Message m;
-  m.dst = 9;  // nothing listening
-  EXPECT_FALSE(transport.Send(std::move(m)).ok());
+  m.dst = 9;  // never registered anywhere
+  Status s = transport.Send(std::move(m));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(transport.stats().send_failures.load(), 1u);
 }
 
 }  // namespace

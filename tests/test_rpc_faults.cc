@@ -1,0 +1,453 @@
+// Failure-semantics tests for the transport layer: the FaultInjectingTransport
+// decorator (deterministic drop/duplicate/delay/partition per link), TCP
+// reconnection after peer crashes and link kills, protocol-error handling for
+// malformed peers, and engine-level tolerance of transport faults (duplicate
+// delivery, links killed mid-traversal).
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/sync.h"
+#include "src/engine/backend_server.h"
+#include "src/engine/client.h"
+#include "src/engine/cluster.h"
+#include "src/lang/gtravel.h"
+#include "src/rpc/fault_transport.h"
+#include "src/rpc/inproc_transport.h"
+#include "src/rpc/tcp_transport.h"
+#include "tests/test_util.h"
+
+namespace gt {
+namespace {
+
+using rpc::EndpointId;
+using rpc::FaultInjectingTransport;
+using rpc::InProcTransport;
+using rpc::kAnyEndpoint;
+using rpc::LinkFault;
+using rpc::Message;
+using rpc::MsgType;
+using rpc::TcpConfig;
+using rpc::TcpTransport;
+
+Message MakeMsg(EndpointId src, EndpointId dst, uint64_t rpc_id = 0,
+                MsgType type = MsgType::kPing) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.rpc_id = rpc_id;
+  m.payload = "x";
+  return m;
+}
+
+// --- FaultInjectingTransport over the in-process fabric ----------------------
+
+TEST(FaultTransportTest, BlockedLinkDropsSilently) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(faults.RegisterEndpoint(1, [&](Message&&) { received++; }).ok());
+
+  LinkFault blocked;
+  blocked.blocked = true;
+  faults.SetLinkFault(0, 1, blocked);
+  for (uint64_t i = 0; i < 5; i++) {
+    EXPECT_TRUE(faults.Send(MakeMsg(0, 1, i)).ok());  // loss is silent
+  }
+  EXPECT_EQ(faults.stats().messages_dropped.load(), 5u);
+  EXPECT_EQ(faults.stats().messages_sent.load(), 0u);
+
+  // Clearing the rule restores delivery.
+  faults.ClearFault(0, 1);
+  Notification got;
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 1, 99)).ok());
+  // Delivery is asynchronous; poll briefly.
+  for (int i = 0; i < 200 && received.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(FaultTransportTest, DropPatternIsDeterministicForASeed) {
+  auto run = [](uint64_t seed) {
+    InProcTransport inner;
+    FaultInjectingTransport faults(&inner, seed);
+    std::mutex mu;
+    std::set<uint64_t> delivered;
+    CountDownLatch done(1);  // counted down when the sentinel arrives
+    EXPECT_TRUE(faults
+                    .RegisterEndpoint(1,
+                                      [&](Message&& m) {
+                                        std::lock_guard<std::mutex> lk(mu);
+                                        if (m.rpc_id == 10000) {
+                                          done.CountDown();
+                                          return;
+                                        }
+                                        delivered.insert(m.rpc_id);
+                                      })
+                    .ok());
+    LinkFault lossy;
+    lossy.drop_probability = 0.5;
+    faults.SetLinkFault(0, 1, lossy);
+    for (uint64_t i = 0; i < 200; i++) {
+      EXPECT_TRUE(faults.Send(MakeMsg(0, 1, i)).ok());
+    }
+    faults.ClearFault(0, 1);
+    EXPECT_TRUE(faults.Send(MakeMsg(0, 1, 10000)).ok());  // flush marker
+    EXPECT_TRUE(done.WaitFor(std::chrono::seconds(10)));
+    std::lock_guard<std::mutex> lk(mu);
+    return delivered;
+  };
+
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a, b);  // same seed, same traffic -> identical survivors
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 200u);  // p=0.5 over 200 sends loses at least one
+}
+
+TEST(FaultTransportTest, DuplicateDeliversMessageTwice) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  CountDownLatch latch(20);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(faults
+                  .RegisterEndpoint(1,
+                                    [&](Message&&) {
+                                      received++;
+                                      latch.CountDown();
+                                    })
+                  .ok());
+  LinkFault dup;
+  dup.duplicate_probability = 1.0;
+  faults.SetLinkFault(kAnyEndpoint, 1, dup);
+  for (uint64_t i = 0; i < 10; i++) {
+    ASSERT_TRUE(faults.Send(MakeMsg(0, 1, i)).ok());
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(10)));
+  EXPECT_EQ(received.load(), 20);
+  EXPECT_EQ(faults.stats().messages_duplicated.load(), 10u);
+}
+
+TEST(FaultTransportTest, DelayedLinkIsOvertakenByCleanLink) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  std::mutex mu;
+  std::vector<uint64_t> order;
+  CountDownLatch latch(2);
+  ASSERT_TRUE(faults
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      std::lock_guard<std::mutex> lk(mu);
+                                      order.push_back(m.rpc_id);
+                                      latch.CountDown();
+                                    })
+                  .ok());
+  LinkFault slow;
+  slow.delay_us = 500000;  // 500 ms: far above in-process delivery time
+  faults.SetLinkFault(0, 1, slow);
+
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 1, 111)).ok());  // delayed link
+  ASSERT_TRUE(faults.Send(MakeMsg(2, 1, 222)).ok());  // clean link
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(10)));
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 222u);  // undelayed traffic overtakes the slow link
+  EXPECT_EQ(order[1], 111u);
+  const auto links = faults.LinkSnapshot();
+  ASSERT_TRUE(links.count({0, 1}));
+  EXPECT_EQ(links.at({0, 1}).delayed, 1u);
+}
+
+TEST(FaultTransportTest, PartitionBlocksBothDirectionsUntilHealed) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  std::atomic<int> at1{0}, at2{0};
+  ASSERT_TRUE(faults.RegisterEndpoint(1, [&](Message&&) { at1++; }).ok());
+  ASSERT_TRUE(faults.RegisterEndpoint(2, [&](Message&&) { at2++; }).ok());
+
+  faults.PartitionBetween({1}, {2});
+  ASSERT_TRUE(faults.Send(MakeMsg(1, 2)).ok());
+  ASSERT_TRUE(faults.Send(MakeMsg(2, 1)).ok());
+  EXPECT_EQ(faults.stats().messages_dropped.load(), 2u);
+
+  faults.Heal();
+  ASSERT_TRUE(faults.Send(MakeMsg(1, 2)).ok());
+  ASSERT_TRUE(faults.Send(MakeMsg(2, 1)).ok());
+  for (int i = 0; i < 200 && (at1.load() == 0 || at2.load() == 0); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(at1.load(), 1);
+  EXPECT_EQ(at2.load(), 1);
+}
+
+TEST(FaultTransportTest, SpecificRuleBeatsWildcard) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  std::atomic<int> at1{0};
+  ASSERT_TRUE(faults.RegisterEndpoint(1, [&](Message&&) { at1++; }).ok());
+  ASSERT_TRUE(faults.RegisterEndpoint(2, [](Message&&) {}).ok());
+
+  LinkFault blocked;
+  blocked.blocked = true;
+  faults.SetLinkFault(kAnyEndpoint, kAnyEndpoint, blocked);
+  faults.SetLinkFault(0, 1, LinkFault{});  // explicit clean override
+
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 1)).ok());  // specific rule: passes
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 2)).ok());  // wildcard: dropped
+  for (int i = 0; i < 200 && at1.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(at1.load(), 1);
+  EXPECT_EQ(faults.stats().messages_dropped.load(), 1u);
+}
+
+TEST(FaultTransportTest, OnlyTypeRestrictsTheFault) {
+  InProcTransport inner;
+  FaultInjectingTransport faults(&inner);
+  std::atomic<int> pings{0};
+  ASSERT_TRUE(faults
+                  .RegisterEndpoint(1,
+                                    [&](Message&& m) {
+                                      if (m.type == MsgType::kPing) pings++;
+                                    })
+                  .ok());
+  LinkFault traverse_only;
+  traverse_only.blocked = true;
+  traverse_only.only_type = MsgType::kTraverse;
+  faults.SetLinkFault(kAnyEndpoint, kAnyEndpoint, traverse_only);
+
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 1, 1, MsgType::kTraverse)).ok());  // dropped
+  ASSERT_TRUE(faults.Send(MakeMsg(0, 1, 2, MsgType::kPing)).ok());      // passes
+  for (int i = 0; i < 200 && pings.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pings.load(), 1);
+  EXPECT_EQ(faults.stats().messages_dropped.load(), 1u);
+}
+
+// --- TCP transport failure semantics ----------------------------------------
+
+// Dials the transport's listener like a buggy/crashing peer would.
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(TcpFaultTest, ListenerSurvivesPeerCrashMidFrame) {
+  TcpTransport transport;
+  std::atomic<int> received{0};
+  Notification got;
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(0,
+                                    [&](Message&&) {
+                                      received++;
+                                      got.Notify();
+                                    })
+                  .ok());
+  const uint16_t port = transport.PortOf(0);
+  ASSERT_NE(port, 0);
+
+  // A peer that completes the handshake, then dies mid-frame.
+  {
+    int fd = RawConnect(port);
+    ASSERT_GE(fd, 0);
+    char hello[12];
+    EncodeFixed32(hello, 0x4754524b);      // magic "GTRK"
+    EncodeFixed32(hello + 4, 1);           // wire version
+    EncodeFixed32(hello + 8, 0);           // dialed endpoint
+    ASSERT_EQ(::send(fd, hello, sizeof(hello), 0), 12);
+    char ack[4];
+    ASSERT_TRUE(::recv(fd, ack, sizeof(ack), MSG_WAITALL) == 4);
+    // Announce a 100-byte frame but deliver only 8 bytes, then "crash".
+    char partial[12];
+    EncodeFixed32(partial, 100);
+    std::memset(partial + 4, 'z', 8);
+    ASSERT_EQ(::send(fd, partial, sizeof(partial), 0), 12);
+    ::close(fd);
+  }
+
+  // A peer that speaks garbage instead of the hello: refused, not fatal.
+  {
+    int fd = RawConnect(port);
+    ASSERT_GE(fd, 0);
+    char junk[12];
+    std::memset(junk, 0xab, sizeof(junk));
+    ::send(fd, junk, sizeof(junk), 0);
+    char buf[4];
+    EXPECT_EQ(::recv(fd, buf, sizeof(buf), MSG_WAITALL), 0);  // closed, no ack
+    ::close(fd);
+  }
+
+  // The endpoint still serves well-formed traffic.
+  ASSERT_TRUE(transport.Send(MakeMsg(1, 0)).ok());
+  ASSERT_TRUE(got.WaitFor(std::chrono::seconds(10)));
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(TcpFaultTest, InjectedLinkKillForcesReconnect) {
+  TcpTransport transport;
+  CountDownLatch latch(2);
+  ASSERT_TRUE(transport.RegisterEndpoint(0, [&](Message&&) { latch.CountDown(); }).ok());
+
+  ASSERT_TRUE(transport.Send(MakeMsg(1, 0, 1)).ok());  // establishes the link
+  transport.InjectLinkFailure(0);                      // half-close the cached fd
+  ASSERT_TRUE(transport.Send(MakeMsg(1, 0, 2)).ok());  // must reconnect + deliver
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(10)));
+  EXPECT_GE(transport.stats().reconnects.load(), 1u);
+  EXPECT_GE(transport.stats().send_failures.load(), 1u);
+}
+
+TEST(TcpFaultTest, ReconnectsThroughRegistryAfterPeerRestart) {
+  gt::testing::ScopedTempDir dir;
+  TcpConfig cfg;
+  cfg.registry_dir = dir.sub("ports");
+  cfg.connect_timeout_ms = 500;
+  cfg.backoff_initial_ms = 5;
+  cfg.backoff_max_ms = 50;
+
+  TcpTransport sender(cfg);
+  Notification first;
+  auto receiver = std::make_unique<TcpTransport>(cfg);
+  ASSERT_TRUE(receiver->RegisterEndpoint(7, [&](Message&&) { first.Notify(); }).ok());
+  ASSERT_TRUE(sender.Send(MakeMsg(100, 7, 1)).ok());
+  ASSERT_TRUE(first.WaitFor(std::chrono::seconds(10)));
+
+  // Crash the peer process (transport teardown retracts its registry entry),
+  // then bring up a replacement on a fresh ephemeral port.
+  receiver.reset();
+  Notification second;
+  TcpTransport restarted(cfg);
+  ASSERT_TRUE(restarted.RegisterEndpoint(7, [&](Message&&) { second.Notify(); }).ok());
+
+  // The sender's cached connection is dead; the first write after a peer
+  // crash can be buffered (at-most-once loss), so send until one arrives.
+  for (int i = 0; i < 100 && !second.HasBeenNotified(); i++) {
+    sender.Send(MakeMsg(100, 7, 100 + i)).ok();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(second.WaitFor(std::chrono::seconds(10)));
+  EXPECT_GE(sender.stats().reconnects.load(), 1u);
+}
+
+// --- engine-level fault tolerance -------------------------------------------
+
+TEST(EngineFaultTest, TraversalCompletesWhileLinksAreKilled) {
+  // Mini TCP cluster, the graphtrek_server wiring: three backend servers on
+  // one transport, a shared catalog, real sockets between them.
+  constexpr uint32_t kServers = 3;
+  gt::testing::ScopedTempDir dir;
+  TcpTransport transport;
+  graph::HashPartitioner partitioner(kServers);
+  graph::Catalog catalog;
+  std::vector<std::unique_ptr<graph::GraphStore>> stores;
+  std::vector<std::unique_ptr<engine::BackendServer>> servers;
+  for (uint32_t i = 0; i < kServers; i++) {
+    auto store = graph::GraphStore::Open(dir.sub("s" + std::to_string(i)),
+                                         graph::GraphStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    stores.push_back(std::move(*store));
+    engine::ServerConfig scfg;
+    scfg.id = i;
+    scfg.num_servers = kServers;
+    servers.push_back(std::make_unique<engine::BackendServer>(
+        scfg, stores.back().get(), &partitioner, &catalog, &transport));
+    ASSERT_TRUE(servers.back()->Start().ok());
+  }
+
+  engine::GraphTrekClient client(&transport, rpc::kClientIdBase, kServers);
+  for (graph::VertexId v = 0; v < 12; v++) {
+    ASSERT_TRUE(client.PutVertex(v, "Node").ok());
+    if (v > 0) {
+      ASSERT_TRUE(client.PutEdge(v - 1, "next", v).ok());
+    }
+  }
+
+  // Kill every server-to-server link before the traversal starts: the very
+  // first frame on each wounded link must reconnect. Keep killing links
+  // while the traversal runs to exercise reconnection mid-travel.
+  for (uint32_t i = 0; i < kServers; i++) transport.InjectLinkFailure(i);
+
+  lang::GTravel travel(&catalog);
+  travel.v({0});
+  for (int i = 0; i < 6; i++) travel.e("next");
+  auto plan = travel.Build();
+  ASSERT_TRUE(plan.ok());
+
+  std::atomic<bool> done{false};
+  std::thread chaos([&] {
+    while (!done.load()) {
+      for (uint32_t i = 0; i < kServers; i++) transport.InjectLinkFailure(i);
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+  engine::RunOptions opts;
+  opts.mode = engine::EngineMode::kGraphTrek;
+  auto result = client.Run(*plan, opts);
+  done.store(true);
+  chaos.join();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->vids, std::vector<graph::VertexId>{6});
+  EXPECT_GE(transport.stats().reconnects.load(), 1u);
+
+  for (auto& s : servers) s->Stop();
+  transport.Shutdown();
+}
+
+TEST(EngineFaultTest, DuplicateTraverseDeliveryIsIdempotent) {
+  // GraphTrek's travel cache absorbs re-delivered frontier hand-offs as
+  // redundant visits, and the coordinator's trace registry ignores repeated
+  // created/terminated events — so duplicating every kTraverse frame must
+  // not change the traversal result.
+  engine::ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.net_faults = true;
+  auto cluster = engine::Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewClient();
+  for (graph::VertexId v = 0; v < 10; v++) {
+    ASSERT_TRUE(client->PutVertex(v, "Node").ok());
+    if (v > 0) {
+      ASSERT_TRUE(client->PutEdge(v - 1, "next", v).ok());
+    }
+  }
+
+  LinkFault dup;
+  dup.duplicate_probability = 1.0;
+  dup.only_type = MsgType::kTraverse;
+  (*cluster)->fault_transport()->SetLinkFault(kAnyEndpoint, kAnyEndpoint, dup);
+
+  lang::GTravel travel((*cluster)->catalog());
+  travel.v({0});
+  for (int i = 0; i < 4; i++) travel.e("next");
+  auto plan = travel.Build();
+  ASSERT_TRUE(plan.ok());
+  for (int run = 0; run < 3; run++) {
+    auto result = (*cluster)->Run(*plan, engine::EngineMode::kGraphTrek);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->vids, std::vector<graph::VertexId>{4}) << "run " << run;
+  }
+  EXPECT_GT((*cluster)->fault_transport()->stats().messages_duplicated.load(), 0u);
+}
+
+}  // namespace
+}  // namespace gt

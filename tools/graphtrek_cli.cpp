@@ -1,6 +1,8 @@
 // graphtrek_cli: command-line client for a graphtrek_server cluster over
-// TCP. Property values given as key=value parse as integers when numeric,
-// strings otherwise.
+// TCP. Server ports are resolved through the shared port registry
+// (--registry-dir; default /tmp/graphtrek/ports, matching the server's
+// default data dir). Property values given as key=value parse as integers
+// when numeric, strings otherwise.
 //
 //   graphtrek_cli --servers 4 put-vertex 1 User name=sam
 //   graphtrek_cli --servers 4 put-edge 1 run 100 ts=1400000000
@@ -45,7 +47,7 @@ engine::NamedProps ParseProps(const std::vector<std::string>& args, size_t from)
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: graphtrek_cli [--servers M] [--base-port P] <command>\n"
+               "usage: graphtrek_cli [--servers M] [--registry-dir R] <command>\n"
                "  put-vertex <vid> <label> [k=v ...]\n"
                "  put-edge <src> <label> <dst> [k=v ...]\n"
                "  get <vid>\n"
@@ -60,15 +62,15 @@ int Usage() {
 
 int main(int argc, char** argv) {
   uint32_t servers = 1;
-  uint16_t base_port = 47600;
+  std::string registry_dir = "/tmp/graphtrek/ports";
   std::vector<std::string> args;
   engine::EngineMode mode = engine::EngineMode::kGraphTrek;
 
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
       servers = static_cast<uint32_t>(atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--base-port") == 0 && i + 1 < argc) {
-      base_port = static_cast<uint16_t>(atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--registry-dir") == 0 && i + 1 < argc) {
+      registry_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       const std::string m = argv[++i];
       mode = m == "sync"    ? engine::EngineMode::kSync
@@ -81,7 +83,7 @@ int main(int argc, char** argv) {
   if (args.empty()) return Usage();
 
   rpc::TcpConfig tcfg;
-  tcfg.base_port = base_port;
+  tcfg.registry_dir = registry_dir;
   rpc::TcpTransport transport(tcfg);
   // Endpoint derived from the pid so concurrent CLI invocations coexist.
   const rpc::EndpointId endpoint = 6000 + static_cast<rpc::EndpointId>(getpid() % 2000);

@@ -1,11 +1,14 @@
 // graphtrek_server: standalone backend-server daemon. Each instance owns
 // one shard of the property graph and speaks the GraphTrek protocol over
-// TCP on 127.0.0.1:(base_port + id). Server 0 is the catalog authority;
-// the others replicate name/id bindings from it at startup and on demand.
+// TCP on an ephemeral 127.0.0.1 port published in the shared port registry
+// (--registry-dir, one small file per endpoint). Server 0 is the catalog
+// authority; the others replicate name/id bindings from it at startup and
+// on demand.
 //
-//   graphtrek_server --id 0 --servers 4 --base-port 47600 --data-dir /tmp/gt
+//   graphtrek_server --id 0 --servers 4 --data-dir /tmp/gt
 //
-// Run one process per server id, then drive the cluster with graphtrek_cli.
+// Run one process per server id (same --registry-dir, default
+// <data-dir>/ports), then drive the cluster with graphtrek_cli.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +32,7 @@ void OnSignal(int) { g_stop = 1; }
 struct Flags {
   uint32_t id = 0;
   uint32_t servers = 1;
-  uint16_t base_port = 47600;
+  std::string registry_dir;  // default: <data_dir>/ports
   std::string data_dir = "/tmp/graphtrek";
   uint32_t workers = 2;
   uint32_t access_us = 0;
@@ -50,8 +53,8 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
       out->id = static_cast<uint32_t>(atoi(v));
     } else if (const char* v2 = need("--servers")) {
       out->servers = static_cast<uint32_t>(atoi(v2));
-    } else if (const char* v3 = need("--base-port")) {
-      out->base_port = static_cast<uint16_t>(atoi(v3));
+    } else if (const char* v3 = need("--registry-dir")) {
+      out->registry_dir = v3;
     } else if (const char* v4 = need("--data-dir")) {
       out->data_dir = v4;
     } else if (const char* v5 = need("--workers")) {
@@ -77,14 +80,15 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
-                 "usage: graphtrek_server --id N --servers M [--base-port P] "
+                 "usage: graphtrek_server --id N --servers M [--registry-dir R] "
                  "[--data-dir D] [--workers W] [--access-us U] [--warm-us U]\n");
     return 2;
   }
   Logger::SetLevel(LogLevel::kInfo);
 
   rpc::TcpConfig tcfg;
-  tcfg.base_port = flags.base_port;
+  tcfg.registry_dir =
+      flags.registry_dir.empty() ? flags.data_dir + "/ports" : flags.registry_dir;
   rpc::TcpTransport transport(tcfg);
 
   // Catalog: server 0 is the authority; others replicate through it.
@@ -128,8 +132,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("graphtrek_server %u/%u listening on 127.0.0.1:%u (data: %s)\n", flags.id,
-              flags.servers, flags.base_port + flags.id, flags.data_dir.c_str());
+  std::printf("graphtrek_server %u/%u listening on 127.0.0.1:%u (registry: %s, data: %s)\n",
+              flags.id, flags.servers, transport.PortOf(flags.id),
+              tcfg.registry_dir.c_str(), flags.data_dir.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
