@@ -8,6 +8,7 @@ include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_kv_core[1]_include.cmake")
 include("/root/repo/build/tests/test_kv_db[1]_include.cmake")
 include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc_faults[1]_include.cmake")
 include("/root/repo/build/tests/test_graph[1]_include.cmake")
 include("/root/repo/build/tests/test_lang[1]_include.cmake")
 include("/root/repo/build/tests/test_engine_core[1]_include.cmake")
