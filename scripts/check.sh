@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Full local verification matrix:
+#   1. default build + ctest
+#   2. GT_ANALYZE=ON with clang++ (-Werror=thread-safety)  [skipped if no clang++]
+#   3. GT_SANITIZE=thread build + ctest                    [TSan]
+#   4. tools/gt_lint.py                                    [repo lint gate]
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer leg (slowest part of the matrix)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+GEN_ARGS=()
+command -v ninja >/dev/null 2>&1 && GEN_ARGS=(-G Ninja)
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+# -- 1. default build + tests -------------------------------------------------
+step "default build + ctest"
+cmake -B build -S . "${GEN_ARGS[@]}" >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# -- 2. thread-safety analysis (clang only) -----------------------------------
+step "GT_ANALYZE=ON (clang thread-safety analysis)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . "${GEN_ARGS[@]}" \
+    -DCMAKE_CXX_COMPILER=clang++ -DGT_ANALYZE=ON >/dev/null
+  cmake --build build-tsa -j "$JOBS"
+else
+  echo "clang++ not found: skipping the -Werror=thread-safety leg" \
+       "(annotations compile as no-ops elsewhere)"
+fi
+
+# -- 3. ThreadSanitizer -------------------------------------------------------
+if [[ "$FAST" == 0 ]]; then
+  step "GT_SANITIZE=thread build + ctest"
+  cmake -B build-tsan -S . "${GEN_ARGS[@]}" -DGT_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+  step "GT_SANITIZE=thread (skipped: --fast)"
+fi
+
+# -- 4. repo lint gate --------------------------------------------------------
+step "tools/gt_lint.py"
+python3 tools/gt_lint.py
+
+printf '\ncheck.sh: all enabled legs passed\n'

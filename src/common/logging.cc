@@ -2,7 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace gt {
 
@@ -18,13 +19,13 @@ const char* LevelName(LogLevel lvl) {
     default: return "?";
   }
 }
-std::mutex g_log_mu;
+Mutex g_log_mu;
 }  // namespace
 
 void Logger::Write(LogLevel lvl, const std::string& msg) {
   using namespace std::chrono;
   const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch());
-  std::lock_guard<std::mutex> lk(g_log_mu);
+  MutexLock lk(&g_log_mu);
   std::fprintf(stderr, "[%11.6f] [%s] %s\n", static_cast<double>(now.count()) / 1e6,
                LevelName(lvl), msg.c_str());
 }

@@ -1,96 +1,250 @@
-// Small synchronization primitives used across the engine:
-//  - CountDownLatch: one-shot counter latch.
-//  - Notification: one-shot event.
-//  - BlockingCounter: waits until N outstanding items complete.
+// Synchronization primitives used across the engine. This is the only file
+// in src/ allowed to touch <mutex>/<condition_variable>/<shared_mutex>
+// directly (enforced by tools/gt_lint.py): everything else locks through the
+// annotated wrappers so Clang Thread Safety Analysis (-DGT_ANALYZE=ON) can
+// prove at compile time that guarded state is only touched under its lock.
+//
+//  - Mutex / MutexLock:                annotated std::mutex + RAII lock
+//  - SharedMutex / Reader|WriterMutexLock: annotated std::shared_mutex
+//  - CondVar:                          condition variable bound to one Mutex
+//  - CountDownLatch:                   one-shot counter latch
+//  - Notification:                     one-shot event
+//  - BlockingCounter:                  waits until N outstanding items complete
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace gt {
 
-class CountDownLatch {
- public:
-  explicit CountDownLatch(int64_t count) : count_(count) {}
+class CondVar;
 
-  void CountDown(int64_t n = 1) {
-    std::lock_guard<std::mutex> lk(mu_);
-    count_ -= n;
-    if (count_ <= 0) cv_.notify_all();
+// Annotated exclusive mutex. Prefer MutexLock over manual Lock()/Unlock().
+class GT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GT_ACQUIRE() { mu_.lock(); }
+  void Unlock() GT_RELEASE() { mu_.unlock(); }
+  bool TryLock() GT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // No-op at runtime; tells the analysis the lock is held. Use at the top of
+  // callbacks that the analysis cannot follow across a call boundary (e.g.
+  // waiter lambdas fired while the owning object's lock is held).
+  void AssertHeld() const GT_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Annotated reader/writer mutex (used by the read-mostly Catalog).
+class GT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GT_ACQUIRE() { mu_.lock(); }
+  void Unlock() GT_RELEASE() { mu_.unlock(); }
+  void LockShared() GT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() GT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over a Mutex.
+class GT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GT_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GT_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII exclusive lock over a SharedMutex.
+class GT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) GT_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterMutexLock() GT_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class GT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) GT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
   }
+  ~ReaderMutexLock() GT_RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable bound to a single Mutex for its lifetime (the LevelDB
+// port::CondVar shape). All Wait* methods functionally require the bound
+// mutex to be held; like std::condition_variable they release it while
+// blocked and reacquire before returning. They carry no REQUIRES annotation
+// because the analysis cannot alias the stored pointer to the caller's
+// member, so the held-lock proof stays with the caller's MutexLock scope.
+// Callers express predicates as explicit loops:
+//
+//   MutexLock lk(&mu_);
+//   while (!ready_) cv_.Wait();
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
 
   void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [this] { return count_ <= 0; });
+    std::unique_lock<std::mutex> lk(mu_->mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's scope
+  }
+
+  // Returns false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock<std::mutex> lk(mu_->mu_, std::adopt_lock);
+    const auto r = cv_.wait_for(lk, d);
+    lk.release();
+    return r == std::cv_status::no_timeout;
+  }
+
+  // Returns false once `deadline` has passed. Loop shape for timed waits:
+  //   const auto deadline = steady_clock::now() + d;
+  //   while (!ready_) if (!cv_.WaitUntil(deadline)) break;
+  template <typename Clock, typename Duration>
+  bool WaitUntil(std::chrono::time_point<Clock, Duration> deadline) {
+    std::unique_lock<std::mutex> lk(mu_->mu_, std::adopt_lock);
+    const auto r = cv_.wait_until(lk, deadline);
+    lk.release();
+    return r == std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int64_t count) : cv_(&mu_), count_(count) {}
+
+  void CountDown(int64_t n = 1) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    count_ -= n;
+    if (count_ <= 0) cv_.SignalAll();
+  }
+
+  void Wait() GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    while (count_ > 0) cv_.Wait();
   }
 
   template <typename Rep, typename Period>
-  bool WaitFor(std::chrono::duration<Rep, Period> d) {
-    std::unique_lock<std::mutex> lk(mu_);
-    return cv_.wait_for(lk, d, [this] { return count_ <= 0; });
+  bool WaitFor(std::chrono::duration<Rep, Period> d) GT_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + d;
+    MutexLock lk(&mu_);
+    while (count_ > 0) {
+      if (!cv_.WaitUntil(deadline)) break;
+    }
+    return count_ <= 0;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  int64_t count_ GT_GUARDED_BY(mu_);
 };
 
 class Notification {
  public:
-  void Notify() {
-    std::lock_guard<std::mutex> lk(mu_);
+  Notification() : cv_(&mu_) {}
+
+  void Notify() GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     notified_ = true;
-    cv_.notify_all();
+    cv_.SignalAll();
   }
 
-  bool HasBeenNotified() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool HasBeenNotified() const GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return notified_;
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [this] { return notified_; });
+  void Wait() GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    while (!notified_) cv_.Wait();
   }
 
   template <typename Rep, typename Period>
-  bool WaitFor(std::chrono::duration<Rep, Period> d) {
-    std::unique_lock<std::mutex> lk(mu_);
-    return cv_.wait_for(lk, d, [this] { return notified_; });
+  bool WaitFor(std::chrono::duration<Rep, Period> d) GT_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + d;
+    MutexLock lk(&mu_);
+    while (!notified_) {
+      if (!cv_.WaitUntil(deadline)) break;
+    }
+    return notified_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool notified_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool notified_ GT_GUARDED_BY(mu_) = false;
 };
 
 // Tracks a dynamically growing set of outstanding items; Wait() returns when
 // the count returns to zero after at least one Add. Used by bulk ingest.
 class BlockingCounter {
  public:
-  void Add(int64_t n = 1) {
-    std::lock_guard<std::mutex> lk(mu_);
+  BlockingCounter() : cv_(&mu_) {}
+
+  void Add(int64_t n = 1) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     outstanding_ += n;
   }
 
-  void Done(int64_t n = 1) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void Done(int64_t n = 1) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     outstanding_ -= n;
-    if (outstanding_ <= 0) cv_.notify_all();
+    if (outstanding_ <= 0) cv_.SignalAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [this] { return outstanding_ <= 0; });
+  void Wait() GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    while (outstanding_ > 0) cv_.Wait();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t outstanding_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  int64_t outstanding_ GT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gt

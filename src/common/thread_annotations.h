@@ -1,0 +1,98 @@
+// Portable wrappers over Clang's Thread Safety Analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under clang the
+// annotations are checked at compile time — every path, not just the paths a
+// test happens to execute — and promoted to errors by -DGT_ANALYZE=ON
+// (-Werror=thread-safety). Under GCC and other compilers they expand to
+// nothing, so annotated code builds everywhere.
+//
+// Usage conventions in this repo:
+//   - Data members protected by a lock:            GT_GUARDED_BY(mu_)
+//   - Data reached through a guarded pointer:      GT_PT_GUARDED_BY(mu_)
+//   - Private "FooLocked()" helpers:                GT_REQUIRES(mu_)
+//   - Public methods that take the lock inside:     GT_EXCLUDES(mu_)
+//   - Lambdas/callbacks that run under a lock the
+//     analysis cannot see across the call boundary:  mu_.AssertHeld() first
+// The lock types carrying these capabilities live in src/common/sync.h
+// (gt::Mutex, gt::SharedMutex, gt::MutexLock, ...); raw std::mutex use
+// outside sync.h is rejected by tools/gt_lint.py.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define GT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+// Type attributes ------------------------------------------------------------
+
+// Marks a class as a capability (a lock). The string names the capability
+// kind in diagnostics, e.g. GT_CAPABILITY("mutex").
+#define GT_CAPABILITY(x) GT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (gt::MutexLock and friends).
+#define GT_SCOPED_CAPABILITY GT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data-member attributes -----------------------------------------------------
+
+// The member may only be read/written while holding the given capability.
+#define GT_GUARDED_BY(x) GT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// The pointer itself is unguarded, but the data it points to may only be
+// dereferenced while holding the given capability.
+#define GT_PT_GUARDED_BY(x) GT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Lock-ordering declarations (checked when both locks are annotated).
+#define GT_ACQUIRED_BEFORE(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define GT_ACQUIRED_AFTER(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Function attributes --------------------------------------------------------
+
+// The caller must hold the capability (exclusively / shared) on entry, and
+// still holds it on exit. Used for the repo's "FooLocked()" helpers.
+#define GT_REQUIRES(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define GT_REQUIRES_SHARED(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and does not release it before
+// returning (lock functions, scoped-lock constructors).
+#define GT_ACQUIRE(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define GT_ACQUIRE_SHARED(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (unlock functions, scoped-lock
+// destructors; the generic form releases either mode).
+#define GT_RELEASE(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define GT_RELEASE_SHARED(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define GT_RELEASE_GENERIC(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+// The function tries to acquire the capability; the first argument is the
+// return value that signals success.
+#define GT_TRY_ACQUIRE(...) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (the function acquires it itself,
+// or a deadlock would result).
+#define GT_EXCLUDES(...) GT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; teaches the analysis about
+// lock state it cannot derive, e.g. inside callbacks invoked under a lock.
+#define GT_ASSERT_CAPABILITY(x) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define GT_ASSERT_SHARED_CAPABILITY(x) \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define GT_RETURN_CAPABILITY(x) GT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment explaining why the analysis cannot see the invariant.
+#define GT_NO_THREAD_SAFETY_ANALYSIS \
+  GT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

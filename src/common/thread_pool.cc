@@ -2,7 +2,7 @@
 
 namespace gt {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : work_cv_(&mu_), idle_cv_(&mu_) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; i++) {
@@ -14,31 +14,31 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lk(&mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return queue_.size();
 }
 
@@ -46,8 +46,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lk(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait();
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -58,9 +58,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       active_--;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.SignalAll();
     }
   }
 }

@@ -1,16 +1,17 @@
 // Fixed-size thread pool with a FIFO task queue. Used for background KV
-// compaction, bulk graph ingest, and client-side helpers. Backend-server
-// worker threads use their own priority queue (see engine/request_queue.h),
-// not this pool.
+// compaction, bulk graph ingest, engine worker/maintenance threads, and
+// client-side helpers. One of the few sanctioned owners of raw std::thread
+// (see tools/gt_lint.py); everything else submits work here.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 
 namespace gt {
 
@@ -23,7 +24,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GT_EXCLUDES(mu_);
 
   // Enqueues a task and returns a future for its result.
   template <typename F>
@@ -36,24 +37,24 @@ class ThreadPool {
   }
 
   // Blocks until the queue is empty and all in-flight tasks finished.
-  void Wait();
+  void Wait() GT_EXCLUDES(mu_);
 
   // Stops accepting tasks, drains the queue, joins all threads. Idempotent.
-  void Shutdown();
+  void Shutdown() GT_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
-  size_t pending() const;
+  size_t pending() const GT_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signaled when tasks arrive / shutdown
-  std::condition_variable idle_cv_;   // signaled when the pool drains
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // signaled when tasks arrive / shutdown
+  CondVar idle_cv_;  // signaled when the pool drains
+  std::deque<std::function<void()>> queue_ GT_GUARDED_BY(mu_);
+  size_t active_ GT_GUARDED_BY(mu_) = 0;
+  bool shutdown_ GT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written only by the constructor
 };
 
 }  // namespace gt

@@ -1,6 +1,8 @@
 #include "src/engine/backend_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
@@ -89,10 +91,13 @@ BackendServer::~BackendServer() { Stop(); }
 Status BackendServer::Start() {
   GT_RETURN_IF_ERROR(transport_->RegisterEndpoint(
       cfg_.id, [this](rpc::Message&& m) { OnMessage(std::move(m)); }));
+  // Workers plus the maintenance tick share one pool; each loop occupies a
+  // pool thread until Stop() makes it return.
+  pool_ = std::make_unique<ThreadPool>(cfg_.workers + 1);
   for (uint32_t i = 0; i < cfg_.workers; i++) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    pool_->Submit([this] { WorkerLoop(); });
   }
-  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  pool_->Submit([this] { MaintenanceLoop(); });
   started_ = true;
   return Status::OK();
 }
@@ -103,19 +108,19 @@ void BackendServer::Stop() {
   transport_->UnregisterEndpoint(cfg_.id);
   stop_.store(true);
   queue_.Shutdown();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  if (pool_ != nullptr) {
+    pool_->Shutdown();  // joins worker + maintenance loops
+    pool_.reset();
   }
-  if (maintenance_.joinable()) maintenance_.join();
 }
 
 size_t BackendServer::cache_size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return cache_.size();
 }
 
 uint64_t BackendServer::cache_evictions() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return cache_.evictions();
 }
 
@@ -281,7 +286,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     return;
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const TravelId travel = MakeExecId(cfg_.id, next_travel_seq_++);
 
   TravelState& ts = travels_[travel];
@@ -483,7 +488,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
   }
 
   // Resolve the scan label before taking the lock (catalog is thread-safe).
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (aborted_travels_.count(req->travel_id) != 0) return;
 
   auto pit = plans_.find(req->travel_id);
@@ -610,6 +615,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
         const ExecId waiter_exec = ex.id;
         const graph::VertexId waiter_vid = vid;
         cache_.AddWaiter(ex.travel, ex.step, vid, [this, waiter_exec, waiter_vid](bool reach) {
+          mu_.AssertHeld();  // waiters fire under the engine lock (Resolve sites)
           auto it = execs_.find(waiter_exec);
           if (it == execs_.end()) return;
           ResolveVertexLocked(*it->second, waiter_vid, reach, /*from_owner=*/false);
@@ -654,7 +660,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
   std::shared_ptr<CompiledPlan> cplan;
   bool warm = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = plans_.find(travel);
     if (it == plans_.end()) return;  // travel aborted while queued
     cplan = it->second;
@@ -724,7 +730,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
   }
 
   // --- apply phase (engine lock) --------------------------------------------
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (size_t i = 0; i < batch.size(); i++) {
     const VertexTask& t = batch[i];
     auto eit = execs_.find(t.exec);
@@ -748,6 +754,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
             const graph::VertexId waiter_vid = t.vid;
             cache_.AddWaiter(t.travel, t.step, t.vid,
                              [this, waiter_exec, waiter_vid](bool reach) {
+                               mu_.AssertHeld();  // fired under the engine lock
                                auto it2 = execs_.find(waiter_exec);
                                if (it2 == execs_.end()) return;
                                ResolveVertexLocked(*it2->second, waiter_vid, reach,
@@ -945,7 +952,7 @@ void BackendServer::HandleAnswer(rpc::Message&& msg) {
   auto ans = AnswerPayload::Decode(msg.payload);
   if (!ans.ok()) return;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
 
   if (ans->parent_exec == 0) {
     // Travel-level accounting at the coordinator.
@@ -1128,7 +1135,7 @@ void BackendServer::ApplyTraceItemLocked(TravelState& ts, const TraceItem& item)
 }
 
 void BackendServer::HandleExecEvent(rpc::Message&& msg, bool created) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
 
   if (msg.type == rpc::MsgType::kExecDispatched) {
     auto batch = TraceBatchPayload::Decode(msg.payload);
@@ -1165,7 +1172,7 @@ void BackendServer::HandleProgress(rpc::Message&& msg) {
   auto travel = DecodeTravelId(msg.payload);
   ProgressPayload progress;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (travel.ok()) {
       auto it = travels_.find(*travel);
       if (it != travels_.end()) {
@@ -1189,7 +1196,7 @@ void BackendServer::HandleAbort(rpc::Message&& msg) {
   auto travel = DecodeTravelId(msg.payload);
   if (!travel.ok()) return;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   aborted_travels_.insert(*travel);
   aborted_order_.push_back(*travel);
   while (aborted_order_.size() > kMaxAbortTombstones) {
@@ -1233,7 +1240,7 @@ void BackendServer::MaintenanceLoop() {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     std::vector<TravelId> failed;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       FlushAllTraceBuffersLocked();
       const uint64_t now = NowMicros();
       for (auto& [id, ts] : travels_) {
@@ -1264,7 +1271,7 @@ void BackendServer::HandleSyncStepStart(rpc::Message&& msg) {
   auto start = SyncStepPayload::Decode(msg.payload);
   if (!start.ok()) return;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (aborted_travels_.count(start->travel_id) != 0) return;
   SyncLocal& sl = sync_locals_[start->travel_id];
 
@@ -1297,7 +1304,7 @@ void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
   auto batch = SyncBatchPayload::Decode(msg.payload);
   if (!batch.ok()) return;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (aborted_travels_.count(batch->travel_id) != 0) return;
   SyncLocal& sl = sync_locals_[batch->travel_id];
 
@@ -1404,7 +1411,7 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
   std::vector<graph::VertexId> parents;
   bool warm = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = sync_locals_.find(task.travel);
     if (it == sync_locals_.end()) return;
     auto fit = it->second.current_frontier.find(task.vid);
@@ -1436,7 +1443,7 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
   tls_current_step = -1;
   visit_stats_.real_io.fetch_add(1);
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = sync_locals_.find(task.travel);
   if (it == sync_locals_.end()) return;
   SyncLocal& sl = it->second;
@@ -1567,7 +1574,7 @@ void BackendServer::HandleSyncStepDone(rpc::Message&& msg) {
   auto done = SyncStepPayload::Decode(msg.payload);
   if (!done.ok()) return;
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = travels_.find(done->travel_id);
   if (it == travels_.end()) return;
   TravelState& ts = it->second;

@@ -16,12 +16,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+#include "src/common/thread_pool.h"
 #include "src/engine/request_queue.h"
 #include "src/engine/travel_cache.h"
 #include "src/engine/types.h"
@@ -219,29 +220,31 @@ class BackendServer {
   void ProcessSyncTask(const VertexTask& task);
 
   // All Locked methods require mu_.
-  void ResolveVertexLocked(ExecState& exec, graph::VertexId vid, bool reach, bool from_owner);
-  void DispatchLocked(ExecState& exec, const CompiledPlan& cplan);
-  void TryAnswerLocked(ExecState& exec);
-  void EraseExecLocked(ExecId id);
-  void StartRootExecsLocked(TravelState& ts);
-  void CompleteTravelLocked(TravelState& ts, Status status);
+  void ResolveVertexLocked(ExecState& exec, graph::VertexId vid, bool reach, bool from_owner)
+      GT_REQUIRES(mu_);
+  void DispatchLocked(ExecState& exec, const CompiledPlan& cplan) GT_REQUIRES(mu_);
+  void TryAnswerLocked(ExecState& exec) GT_REQUIRES(mu_);
+  void EraseExecLocked(ExecId id) GT_REQUIRES(mu_);
+  void StartRootExecsLocked(TravelState& ts) GT_REQUIRES(mu_);
+  void CompleteTravelLocked(TravelState& ts, Status status) GT_REQUIRES(mu_);
   void SendTraceEventLocked(ServerId coordinator, TravelId travel, uint32_t step,
-                            std::vector<ExecId> ids, bool created);
+                            std::vector<ExecId> ids, bool created) GT_REQUIRES(mu_);
   void SendDispatchEventLocked(ServerId coordinator, TravelId travel, uint32_t child_step,
                                std::vector<ExecId> children, ExecId term_exec,
-                               uint32_t term_step);
-  void FlushTraceBufferLocked(ServerId coordinator, TravelId travel);
-  void FlushAllTraceBuffersLocked();
-  void ApplyTraceItemLocked(TravelState& ts, const TraceItem& item);
+                               uint32_t term_step) GT_REQUIRES(mu_);
+  void FlushTraceBufferLocked(ServerId coordinator, TravelId travel) GT_REQUIRES(mu_);
+  void FlushAllTraceBuffersLocked() GT_REQUIRES(mu_);
+  void ApplyTraceItemLocked(TravelState& ts, const TraceItem& item) GT_REQUIRES(mu_);
 
   // --- sync engine ------------------------------------------------------------
 
-  void SyncMaybeProcessStepLocked(TravelId travel);
-  void SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl);
-  void SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl, uint32_t step);
+  void SyncMaybeProcessStepLocked(TravelId travel) GT_REQUIRES(mu_);
+  void SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) GT_REQUIRES(mu_);
+  void SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl, uint32_t step)
+      GT_REQUIRES(mu_);
   void SyncCoordinatorStepDoneLocked(TravelState& ts, const SyncStepPayload& done,
-                                     ServerId src);
-  void SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t phase);
+                                     ServerId src) GT_REQUIRES(mu_);
+  void SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t phase) GT_REQUIRES(mu_);
 
   // --- maintenance ------------------------------------------------------------
 
@@ -252,7 +255,7 @@ class BackendServer {
   void SendLossy(rpc::Message msg);
 
   bool VertexPassesLocked(const CompiledPlan& cplan, const graph::VertexRecord& rec,
-                          uint32_t step) const;
+                          uint32_t step) const GT_REQUIRES(mu_);
   const std::vector<lang::Filter>& StepVertexFilters(const lang::TraversalPlan& plan,
                                                      uint32_t step) const;
 
@@ -265,28 +268,30 @@ class BackendServer {
   VisitStats visit_stats_;
   RequestQueue queue_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<TravelId, std::shared_ptr<CompiledPlan>> plans_;
-  std::unordered_map<ExecId, std::unique_ptr<ExecState>> execs_;
-  std::unordered_map<TravelId, TravelState> travels_;       // coordinated here
-  std::unordered_map<TravelId, SyncLocal> sync_locals_;
-  TravelCache cache_;
+  mutable Mutex mu_;
+  std::unordered_map<TravelId, std::shared_ptr<CompiledPlan>> plans_ GT_GUARDED_BY(mu_);
+  std::unordered_map<ExecId, std::unique_ptr<ExecState>> execs_ GT_GUARDED_BY(mu_);
+  std::unordered_map<TravelId, TravelState> travels_ GT_GUARDED_BY(mu_);  // coordinated here
+  std::unordered_map<TravelId, SyncLocal> sync_locals_ GT_GUARDED_BY(mu_);
+  TravelCache cache_ GT_GUARDED_BY(mu_);
   // Vertices already accessed per travel on this server: later accesses hit
   // the storage engine's block cache and charge the warm device cost.
-  std::unordered_map<TravelId, std::unordered_set<graph::VertexId>> accessed_;
+  std::unordered_map<TravelId, std::unordered_set<graph::VertexId>> accessed_ GT_GUARDED_BY(mu_);
   // Outbound tracing events, batched per (coordinator, travel) and flushed
   // by size or by the maintenance tick.
-  std::map<std::pair<ServerId, TravelId>, std::vector<TraceItem>> trace_buffer_;
-  std::unordered_set<TravelId> aborted_travels_;  // tombstones for late messages
-  std::deque<TravelId> aborted_order_;            // bounds the tombstone set
-  uint64_t next_exec_seq_ = 1;
-  uint64_t next_travel_seq_ = 1;
+  std::map<std::pair<ServerId, TravelId>, std::vector<TraceItem>> trace_buffer_
+      GT_GUARDED_BY(mu_);
+  std::unordered_set<TravelId> aborted_travels_ GT_GUARDED_BY(mu_);  // late-message tombstones
+  std::deque<TravelId> aborted_order_ GT_GUARDED_BY(mu_);  // bounds the tombstone set
+  uint64_t next_exec_seq_ GT_GUARDED_BY(mu_) = 1;
+  uint64_t next_travel_seq_ GT_GUARDED_BY(mu_) = 1;
 
-  std::vector<std::thread> workers_;
-  std::thread maintenance_;
+  // Workers plus the maintenance tick run on this pool (cfg_.workers + 1
+  // threads) so the engine owns no raw std::thread lifecycles.
+  std::unique_ptr<ThreadPool> pool_;
   std::atomic<uint64_t> send_failures_{0};
   std::atomic<bool> stop_{false};
-  bool started_ = false;
+  bool started_ = false;  // Start/Stop are external-control-thread only
 };
 
 }  // namespace gt::engine

@@ -85,7 +85,7 @@ Status Cluster::Load(const graph::RefGraph& graph) {
 
 std::unique_ptr<GraphTrekClient> Cluster::NewClient() {
   return std::make_unique<GraphTrekClient>(
-      transport(), rpc::kClientIdBase + next_client_++, cfg_.num_servers);
+      transport(), rpc::kClientIdBase + next_client_.fetch_add(1), cfg_.num_servers);
 }
 
 Result<TraversalResult> Cluster::Run(const lang::TraversalPlan& plan, EngineMode mode,

@@ -5,6 +5,7 @@
 // deploys nodes on the Fusion cluster.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -110,7 +111,8 @@ class Cluster {
   std::vector<std::unique_ptr<graph::GraphStore>> stores_;
   std::vector<std::unique_ptr<BackendServer>> servers_;
   StragglerInjector straggler_;
-  uint32_t next_client_ = 0;
+  // Atomic: tests/benches create clients from several threads at once.
+  std::atomic<uint32_t> next_client_{0};
   bool stopped_ = false;
 };
 

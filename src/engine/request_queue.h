@@ -12,11 +12,11 @@
 //   Async-GT tasks  - plain FIFO, never merged.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/types.h"
 
 namespace gt::engine {
@@ -32,13 +32,13 @@ struct VertexTask {
 
 class RequestQueue {
  public:
-  RequestQueue() = default;
+  RequestQueue() : cv_(&mu_) {}
 
   // `priority`: order by (step, arrival) rather than arrival only.
   // `mergeable`: candidate for execution merging.
-  void Push(VertexTask task, bool priority, bool mergeable) {
+  void Push(VertexTask task, bool priority, bool mergeable) GT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       const uint64_t seq = next_seq_++;
       const OrderKey key =
           priority ? ((static_cast<uint64_t>(task.step) << 44) | (seq & ((1ULL << 44) - 1)))
@@ -47,16 +47,16 @@ class RequestQueue {
       queue_.emplace(key, Item{std::move(task), mergeable});
       if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
     }
-    cv_.notify_one();
+    cv_.Signal();
   }
 
   // Blocks until tasks are available (or shutdown). Returns the scheduled
   // task plus — when it is mergeable — all other queued tasks for the same
   // vertex. Returns false on shutdown.
-  bool PopBatch(std::vector<VertexTask>* batch) {
+  bool PopBatch(std::vector<VertexTask>* batch) GT_EXCLUDES(mu_) {
     batch->clear();
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    MutexLock lk(&mu_);
+    while (!stop_ && queue_.empty()) cv_.Wait();
     if (stop_) return false;
 
     auto first = queue_.begin();
@@ -79,21 +79,21 @@ class RequestQueue {
     return true;
   }
 
-  void Shutdown() {
+  void Shutdown() GT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.SignalAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t size() const GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return queue_.size();
   }
 
-  size_t high_watermark() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t high_watermark() const GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return high_watermark_;
   }
 
@@ -114,13 +114,13 @@ class RequestQueue {
     }
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<OrderKey, Item> queue_;
-  std::map<MergeKey, std::vector<OrderKey>> merge_index_;
-  uint64_t next_seq_ = 0;
-  size_t high_watermark_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<OrderKey, Item> queue_ GT_GUARDED_BY(mu_);
+  std::map<MergeKey, std::vector<OrderKey>> merge_index_ GT_GUARDED_BY(mu_);
+  uint64_t next_seq_ GT_GUARDED_BY(mu_) = 0;
+  size_t high_watermark_ GT_GUARDED_BY(mu_) = 0;
+  bool stop_ GT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gt::engine

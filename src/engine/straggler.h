@@ -5,11 +5,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/device_model.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/graph/graph_store.h"
 
 namespace gt::engine {
@@ -28,13 +31,13 @@ class StragglerInjector final : public graph::AccessInterceptor {
  public:
   explicit StragglerInjector(DeviceModel* device = nullptr) : device_(device) {}
 
-  void AddRule(StragglerRule rule) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void AddRule(StragglerRule rule) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     rules_.push_back(RuleState{rule, 0});
   }
 
-  void ClearRules() {
-    std::lock_guard<std::mutex> lk(mu_);
+  void ClearRules() GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     rules_.clear();
   }
 
@@ -43,7 +46,7 @@ class StragglerInjector final : public graph::AccessInterceptor {
   void OnVertexAccess(uint32_t server_id, graph::VertexId) override {
     uint64_t delay = 0;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       for (auto& rs : rules_) {
         if (rs.rule.server_id != server_id) continue;
         if (rs.rule.step >= 0 && rs.rule.step != tls_current_step) continue;
@@ -69,8 +72,8 @@ class StragglerInjector final : public graph::AccessInterceptor {
   };
 
   DeviceModel* device_;
-  std::mutex mu_;
-  std::vector<RuleState> rules_;
+  Mutex mu_;
+  std::vector<RuleState> rules_ GT_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
 };
 

@@ -4,13 +4,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 
 namespace gt::graph {
 
@@ -22,13 +22,13 @@ class Catalog {
   virtual ~Catalog() = default;
 
   // Returns the id for `name`, interning it if new. Thread-safe.
-  virtual Id Intern(const std::string& name) {
+  virtual Id Intern(const std::string& name) GT_EXCLUDES(mu_) {
     {
-      std::shared_lock lk(mu_);
+      ReaderMutexLock lk(&mu_);
       auto it = ids_.find(name);
       if (it != ids_.end()) return it->second;
     }
-    std::unique_lock lk(mu_);
+    WriterMutexLock lk(&mu_);
     auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
     const Id id = static_cast<Id>(names_.size());
@@ -38,20 +38,20 @@ class Catalog {
   }
 
   // Returns kInvalidId when the name was never interned.
-  virtual Id Lookup(const std::string& name) const {
-    std::shared_lock lk(mu_);
+  virtual Id Lookup(const std::string& name) const GT_EXCLUDES(mu_) {
+    ReaderMutexLock lk(&mu_);
     auto it = ids_.find(name);
     return it == ids_.end() ? kInvalidId : it->second;
   }
 
-  virtual Result<std::string> Name(Id id) const {
-    std::shared_lock lk(mu_);
+  virtual Result<std::string> Name(Id id) const GT_EXCLUDES(mu_) {
+    ReaderMutexLock lk(&mu_);
     if (id >= names_.size()) return Status::NotFound("catalog id " + std::to_string(id));
     return names_[id];
   }
 
-  size_t size() const {
-    std::shared_lock lk(mu_);
+  size_t size() const GT_EXCLUDES(mu_) {
+    ReaderMutexLock lk(&mu_);
     return names_.size();
   }
 
@@ -59,13 +59,9 @@ class Catalog {
   // agree with a catalog the data was generated against; in a deployment
   // this metadata is shipped to every server). REQUIRES: this catalog is a
   // prefix of `other` (typically empty).
-  void CopyFrom(const Catalog& other) {
-    std::vector<std::string> names;
-    {
-      std::shared_lock lk(other.mu_);
-      names = other.names_;
-    }
-    std::unique_lock lk(mu_);
+  void CopyFrom(const Catalog& other) GT_EXCLUDES(mu_) {
+    std::vector<std::string> names = other.Snapshot();
+    WriterMutexLock lk(&mu_);
     for (size_t i = names_.size(); i < names.size(); i++) {
       ids_.emplace(names[i], static_cast<Id>(i));
       names_.push_back(names[i]);
@@ -75,23 +71,23 @@ class Catalog {
   // Installs a (name, id) binding decided elsewhere (the catalog authority
   // in a multi-process deployment). Gaps are padded with placeholders that
   // are overwritten when their bindings arrive.
-  void InsertAt(Id id, const std::string& name) {
-    std::unique_lock lk(mu_);
+  void InsertAt(Id id, const std::string& name) GT_EXCLUDES(mu_) {
+    WriterMutexLock lk(&mu_);
     if (id >= names_.size()) names_.resize(id + 1);
     names_[id] = name;
     ids_[name] = id;
   }
 
   // Snapshot of all names in id order.
-  std::vector<std::string> Snapshot() const {
-    std::shared_lock lk(mu_);
+  std::vector<std::string> Snapshot() const GT_EXCLUDES(mu_) {
+    ReaderMutexLock lk(&mu_);
     return names_;
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, Id> ids_;
+  mutable SharedMutex mu_;
+  std::vector<std::string> names_ GT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Id> ids_ GT_GUARDED_BY(mu_);
 };
 
 }  // namespace gt::graph

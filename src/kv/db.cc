@@ -94,7 +94,7 @@ DB::DB(std::string dir, DBOptions opts) : dir_(std::move(dir)), opts_(opts) {
 DB::~DB() {
   {
     // Final flush so reopening recovers without a WAL replay of a large log.
-    std::lock_guard<std::mutex> lk(write_mu_);
+    MutexLock lk(&write_mu_);
     FlushLocked().ok();
   }
   WaitForCompaction();
@@ -125,6 +125,9 @@ Result<std::unique_ptr<DB>> DB::Open(const std::string& dir, DBOptions opts) {
 
 Status DB::Recover() {
   Env* env = opts_.env;
+  // Open-time only, so the locks are uncontended — but taking them keeps the
+  // guarded-by contracts honest instead of opting Recover out of analysis.
+  MutexLock lk(&write_mu_);
 
   // Load table files, newest (highest id) first.
   std::vector<std::string> names;
@@ -135,10 +138,11 @@ Status DB::Recover() {
     if (ParseTableFileName(name, &id)) ids.push_back(id);
   }
   std::sort(ids.rbegin(), ids.rend());
+  std::vector<std::shared_ptr<Table>> tables;
   for (uint64_t id : ids) {
     auto table = Table::Open(env, TableFileName(id), id, MakeTableReadOptions());
     if (!table.ok()) return table.status();
-    tables_.push_back(*table);
+    tables.push_back(*table);
     next_file_id_ = std::max(next_file_id_, id + 1);
     // Recover the sequence counter from the newest version in each table.
     ParsedInternalKey parsed;
@@ -148,6 +152,12 @@ Status DB::Recover() {
     if (ParseInternalKey(Slice((*table)->smallest()), &parsed)) {
       last_sequence_ = std::max(last_sequence_, parsed.sequence);
     }
+  }
+  std::shared_ptr<MemTable> mem;
+  {
+    MutexLock slk(&state_mu_);
+    tables_ = std::move(tables);
+    mem = mem_;
   }
 
   // Replay the WAL into the memtable.
@@ -160,7 +170,7 @@ Status DB::Recover() {
     while (reader.ReadRecord(&scratch, &record)) {
       auto batch = WriteBatch::FromRep(record);
       if (!batch.ok()) return batch.status();
-      GT_RETURN_IF_ERROR(batch->InsertInto(mem_.get()));
+      GT_RETURN_IF_ERROR(batch->InsertInto(mem.get()));
       last_sequence_ = std::max(last_sequence_, batch->sequence() + batch->Count() - 1);
       stats_.wal_records.fetch_add(1);
     }
@@ -169,8 +179,7 @@ Status DB::Recover() {
 
   // Open (append is emulated by rewriting: flush replayed entries first so
   // truncating the WAL loses nothing).
-  if (!mem_->empty()) {
-    std::lock_guard<std::mutex> lk(write_mu_);
+  if (!mem->empty()) {
     GT_RETURN_IF_ERROR(FlushLocked());
   }
   std::unique_ptr<WritableFile> wal_file;
@@ -194,7 +203,7 @@ Status DB::Delete(Slice key) {
 }
 
 Status DB::Write(WriteBatch batch) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  MutexLock lk(&write_mu_);
   batch.SetSequence(last_sequence_ + 1);
   last_sequence_ += batch.Count();
 
@@ -204,7 +213,7 @@ Status DB::Write(WriteBatch batch) {
 
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<std::mutex> slk(state_mu_);
+    MutexLock slk(&state_mu_);
     mem = mem_;
   }
   GT_RETURN_IF_ERROR(batch.InsertInto(mem.get()));
@@ -216,14 +225,14 @@ Status DB::Write(WriteBatch batch) {
 }
 
 Status DB::Flush() {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  MutexLock lk(&write_mu_);
   return FlushLocked();
 }
 
 Status DB::FlushLocked() {
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<std::mutex> slk(state_mu_);
+    MutexLock slk(&state_mu_);
     mem = mem_;
   }
   if (mem->empty()) return Status::OK();
@@ -248,7 +257,7 @@ Status DB::FlushLocked() {
 
   bool trigger_compaction = false;
   {
-    std::lock_guard<std::mutex> slk(state_mu_);
+    MutexLock slk(&state_mu_);
     tables_.insert(tables_.begin(), *table);
     mem_ = std::make_shared<MemTable>();
     trigger_compaction = opts_.background_compaction &&
@@ -269,7 +278,7 @@ Status DB::FlushLocked() {
       if (!s.ok()) {
         GT_WARN << "background compaction failed: " << s.ToString();
       }
-      std::lock_guard<std::mutex> slk(state_mu_);
+      MutexLock slk(&state_mu_);
       compaction_scheduled_ = false;
     });
   }
@@ -285,11 +294,11 @@ Status DB::CompactAll() {
 void DB::WaitForCompaction() { compaction_pool_->Wait(); }
 
 Status DB::DoCompaction() {
-  std::lock_guard<std::mutex> run_lk(compaction_run_mu_);
+  MutexLock run_lk(&compaction_run_mu_);
 
   std::vector<std::shared_ptr<Table>> inputs;
   {
-    std::lock_guard<std::mutex> slk(state_mu_);
+    MutexLock slk(&state_mu_);
     inputs = tables_;
   }
   if (inputs.size() <= 1) return Status::OK();
@@ -304,7 +313,7 @@ Status DB::DoCompaction() {
 
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lk(write_mu_);
+    MutexLock lk(&write_mu_);
     id = next_file_id_++;
   }
   const std::string path = TableFileName(id);
@@ -337,7 +346,7 @@ Status DB::DoCompaction() {
   // the snapshot (they are newer and must stay in front).
   std::vector<std::shared_ptr<Table>> obsolete;
   {
-    std::lock_guard<std::mutex> slk(state_mu_);
+    MutexLock slk(&state_mu_);
     std::vector<std::shared_ptr<Table>> next;
     for (auto& t : tables_) {
       const bool was_input =
@@ -358,7 +367,7 @@ Status DB::DoCompaction() {
 }
 
 DB::ReadState DB::SnapshotState() const {
-  std::lock_guard<std::mutex> slk(state_mu_);
+  MutexLock slk(&state_mu_);
   return ReadState{mem_, tables_};
 }
 
@@ -414,12 +423,12 @@ Status DB::ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn)
 }
 
 size_t DB::NumTableFiles() const {
-  std::lock_guard<std::mutex> slk(state_mu_);
+  MutexLock slk(&state_mu_);
   return tables_.size();
 }
 
 uint64_t DB::ApproximateMemtableBytes() const {
-  std::lock_guard<std::mutex> slk(state_mu_);
+  MutexLock slk(&state_mu_);
   return mem_->ApproximateMemoryUsage();
 }
 

@@ -10,12 +10,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/device_model.h"
 #include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/kv/dbformat.h"
 #include "src/kv/env.h"
@@ -88,12 +89,12 @@ class DB {
 
   DB(std::string dir, DBOptions opts);
 
-  Status Recover();
-  Status FlushLocked();  // requires write_mu_
-  Status DoCompaction();
+  Status Recover() GT_EXCLUDES(write_mu_, state_mu_);
+  Status FlushLocked() GT_REQUIRES(write_mu_);
+  Status DoCompaction() GT_EXCLUDES(compaction_run_mu_, write_mu_, state_mu_);
   std::string TableFileName(uint64_t id) const;
   std::string WalFileName() const { return dir_ + "/wal.log"; }
-  ReadState SnapshotState() const;
+  ReadState SnapshotState() const GT_EXCLUDES(state_mu_);
   Status GetFromState(const ReadState& state, Slice key, std::string* value);
   TableReadOptions MakeTableReadOptions();
 
@@ -102,20 +103,22 @@ class DB {
   std::unique_ptr<LruCache<Block>> block_cache_;
   KvStats stats_;
 
+  // Lock order (outermost first): compaction_run_mu_ -> write_mu_ -> state_mu_.
+
   // Serializes writers (Put/Delete/Write/Flush).
-  std::mutex write_mu_;
-  std::unique_ptr<WalWriter> wal_;
-  SequenceNumber last_sequence_ = 0;
-  uint64_t next_file_id_ = 1;
+  Mutex write_mu_;
+  std::unique_ptr<WalWriter> wal_ GT_GUARDED_BY(write_mu_);
+  SequenceNumber last_sequence_ GT_GUARDED_BY(write_mu_) = 0;
+  uint64_t next_file_id_ GT_GUARDED_BY(write_mu_) = 1;
 
   // Guards read-state swaps; readers copy the shared_ptrs under this lock.
-  mutable std::mutex state_mu_;
-  std::shared_ptr<MemTable> mem_;
-  std::vector<std::shared_ptr<Table>> tables_;  // newest first
+  mutable Mutex state_mu_;
+  std::shared_ptr<MemTable> mem_ GT_GUARDED_BY(state_mu_);
+  std::vector<std::shared_ptr<Table>> tables_ GT_GUARDED_BY(state_mu_);  // newest first
 
   std::unique_ptr<ThreadPool> compaction_pool_;
-  bool compaction_scheduled_ = false;  // guarded by state_mu_
-  std::mutex compaction_run_mu_;       // at most one compaction at a time
+  bool compaction_scheduled_ GT_GUARDED_BY(state_mu_) = false;
+  Mutex compaction_run_mu_;  // at most one compaction at a time
 };
 
 }  // namespace gt::kv

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/common/hash.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 
 namespace gt::kv {
 
@@ -31,7 +32,7 @@ class LruCache {
   // Inserts (replacing any existing entry) and returns the cached value.
   std::shared_ptr<V> Insert(Key key, std::shared_ptr<V> value, size_t charge) {
     Shard& s = shard_[key % shards_];
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       s.usage -= it->second->charge;
@@ -51,7 +52,7 @@ class LruCache {
 
   std::shared_ptr<V> Lookup(Key key) {
     Shard& s = shard_[key % shards_];
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       s.misses++;
@@ -66,7 +67,7 @@ class LruCache {
 
   void Erase(Key key) {
     Shard& s = shard_[key % shards_];
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) return;
     s.usage -= it->second->charge;
@@ -77,7 +78,7 @@ class LruCache {
   size_t usage() const {
     size_t total = 0;
     for (size_t i = 0; i < shards_; i++) {
-      std::lock_guard<std::mutex> lk(shard_[i].mu);
+      MutexLock lk(&shard_[i].mu);
       total += shard_[i].usage;
     }
     return total;
@@ -94,15 +95,15 @@ class LruCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Key> lru;  // front = most recent
-    std::unordered_map<Key, std::unique_ptr<Entry>> map;
-    size_t usage = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    mutable Mutex mu;  // leaf lock: nothing else is acquired while held
+    std::list<Key> lru GT_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Key, std::unique_ptr<Entry>> map GT_GUARDED_BY(mu);
+    size_t usage GT_GUARDED_BY(mu) = 0;
+    uint64_t hits GT_GUARDED_BY(mu) = 0;
+    uint64_t misses GT_GUARDED_BY(mu) = 0;
   };
 
-  void EvictLocked(Shard& s) {
+  void EvictLocked(Shard& s) GT_REQUIRES(s.mu) {
     while (s.usage > per_shard_capacity_ && !s.lru.empty()) {
       const Key victim = s.lru.back();
       s.lru.pop_back();
@@ -115,7 +116,7 @@ class LruCache {
   uint64_t Sum(uint64_t Shard::* field) const {
     uint64_t total = 0;
     for (size_t i = 0; i < shards_; i++) {
-      std::lock_guard<std::mutex> lk(shard_[i].mu);
+      MutexLock lk(&shard_[i].mu);
       total += shard_[i].*field;
     }
     return total;

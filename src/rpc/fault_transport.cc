@@ -5,7 +5,7 @@
 namespace gt::rpc {
 
 FaultInjectingTransport::FaultInjectingTransport(Transport* inner, uint64_t seed)
-    : inner_(inner), rng_(seed) {
+    : inner_(inner), rng_(seed), timer_cv_(&mu_) {
   timer_ = std::thread([this] { TimerLoop(); });
 }
 
@@ -51,7 +51,7 @@ Status FaultInjectingTransport::Send(Message msg) {
   bool duplicate = false;
   uint64_t delay_us = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stop_) return Status::Unavailable("transport shut down");
     const LinkFault* fault = MatchLocked(msg);
     if (fault != nullptr) {
@@ -85,11 +85,11 @@ Status FaultInjectingTransport::Send(Message msg) {
   if (delay_us > 0) {
     link_stats_.Update(msg.src, msg.dst, [](LinkStats& ls) { ls.delayed++; });
     const uint64_t deliver_at = NowMicros() + delay_us;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stop_) return Status::Unavailable("transport shut down");
     if (duplicate) delayed_.emplace(deliver_at, msg);
     delayed_.emplace(deliver_at, std::move(msg));
-    timer_cv_.notify_one();
+    timer_cv_.Signal();
     return Status::OK();
   }
 
@@ -102,47 +102,50 @@ Status FaultInjectingTransport::Send(Message msg) {
 }
 
 void FaultInjectingTransport::TimerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   while (!stop_) {
     if (delayed_.empty()) {
-      timer_cv_.wait(lk, [this] { return stop_ || !delayed_.empty(); });
+      timer_cv_.Wait();
       continue;
     }
     const uint64_t now = NowMicros();
     const uint64_t deadline = delayed_.begin()->first;
     if (deadline > now) {
-      timer_cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
+      timer_cv_.WaitFor(std::chrono::microseconds(deadline - now));
       continue;
     }
     Message msg = std::move(delayed_.begin()->second);
     delayed_.erase(delayed_.begin());
-    lk.unlock();
+    // Never call into the inner transport with mu_ held: its own locks sit
+    // below ours in the sanctioned order, and Send may block on real I/O.
+    mu_.Unlock();
     inner_->Send(std::move(msg)).ok();  // at-most-once: late failures are loss
-    lk.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 void FaultInjectingTransport::SetLinkFault(EndpointId src, EndpointId dst,
                                            LinkFault fault) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   rules_[{src, dst}] = fault;
 }
 
 void FaultInjectingTransport::ClearFault(EndpointId src, EndpointId dst) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   rules_.erase({src, dst});
   partition_keys_.erase({src, dst});
 }
 
 void FaultInjectingTransport::ClearAllFaults() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   rules_.clear();
   partition_keys_.clear();
 }
 
 void FaultInjectingTransport::PartitionBetween(const std::vector<EndpointId>& a,
                                                const std::vector<EndpointId>& b) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (EndpointId x : a) {
     for (EndpointId y : b) {
       for (const LinkKey& key : {LinkKey{x, y}, LinkKey{y, x}}) {
@@ -154,7 +157,7 @@ void FaultInjectingTransport::PartitionBetween(const std::vector<EndpointId>& a,
 }
 
 void FaultInjectingTransport::Heal() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& key : partition_keys_) {
     auto it = rules_.find(key);
     if (it == rules_.end()) continue;
@@ -171,7 +174,7 @@ void FaultInjectingTransport::Heal() {
 
 void FaultInjectingTransport::Shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stop_) return;
     stop_ = true;
     // Pending delayed messages are lost, like frames in flight on a dying
@@ -179,7 +182,7 @@ void FaultInjectingTransport::Shutdown() {
     stats_.messages_dropped.fetch_add(delayed_.size());
     delayed_.clear();
   }
-  timer_cv_.notify_all();
+  timer_cv_.SignalAll();
   if (timer_.joinable()) timer_.join();
   // The inner transport is owned by the caller; shutting it down here keeps
   // decorator semantics ("the whole stack stops") without owning it.

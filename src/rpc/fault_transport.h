@@ -16,13 +16,14 @@
 // real network — a delayed link can reorder against undelayed traffic.
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/rpc/transport.h"
 
 namespace gt::rpc {
@@ -62,20 +63,20 @@ class FaultInjectingTransport final : public Transport {
   Transport* inner() { return inner_; }
 
  private:
-  const LinkFault* MatchLocked(const Message& msg) const;
-  void TimerLoop();
+  const LinkFault* MatchLocked(const Message& msg) const GT_REQUIRES(mu_);
+  void TimerLoop() GT_EXCLUDES(mu_);
 
   Transport* inner_;
-  mutable std::mutex mu_;  // guards rules, rng, delay queue
-  std::map<LinkKey, LinkFault> rules_;
-  std::set<LinkKey> partition_keys_;
-  Rng rng_;
+  mutable Mutex mu_;  // guards rules, rng, delay queue
+  std::map<LinkKey, LinkFault> rules_ GT_GUARDED_BY(mu_);
+  std::set<LinkKey> partition_keys_ GT_GUARDED_BY(mu_);
+  Rng rng_ GT_GUARDED_BY(mu_);
   // Delayed messages awaiting their inner Send, ordered by deadline;
   // multimap keeps FIFO order among equal deadlines.
-  std::multimap<uint64_t, Message> delayed_;
-  std::condition_variable timer_cv_;
-  std::thread timer_;
-  bool stop_ = false;
+  std::multimap<uint64_t, Message> delayed_ GT_GUARDED_BY(mu_);
+  CondVar timer_cv_;
+  std::thread timer_;  // sanctioned raw thread: the delayed-send timer
+  bool stop_ GT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gt::rpc

@@ -10,12 +10,12 @@ InProcTransport::InProcTransport(InProcConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 InProcTransport::~InProcTransport() { Shutdown(); }
 
 Status InProcTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (shutdown_) return Status::Unavailable("transport shut down");
   if (endpoints_.count(id) != 0) {
     return Status::AlreadyExists("endpoint " + std::to_string(id));
   }
-  auto ep = std::make_unique<Endpoint>(std::move(handler));
+  auto ep = std::make_shared<Endpoint>(std::move(handler));
   Endpoint* raw = ep.get();
   ep->worker = std::thread([this, raw] { DeliveryLoop(raw); });
   endpoints_.emplace(id, std::move(ep));
@@ -23,32 +23,34 @@ Status InProcTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) 
 }
 
 void InProcTransport::UnregisterEndpoint(EndpointId id) {
-  std::unique_ptr<Endpoint> ep;
+  std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = endpoints_.find(id);
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
     endpoints_.erase(it);
   }
   {
-    std::lock_guard<std::mutex> elk(ep->mu);
+    MutexLock elk(&ep->mu);
     ep->stop = true;
   }
-  ep->cv.notify_all();
+  ep->cv.SignalAll();
   if (ep->worker.joinable()) ep->worker.join();
 }
 
 void InProcTransport::SetFaultHook(std::function<bool(const Message&)> hook) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   fault_hook_ = std::move(hook);
 }
 
 Status InProcTransport::Send(Message msg) {
-  Endpoint* ep = nullptr;
+  // Pinning the shared_ptr (not a raw pointer) keeps the endpoint alive even
+  // if it is unregistered between releasing mu_ and locking ep->mu below.
+  std::shared_ptr<Endpoint> ep;
   uint64_t extra_us = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return Status::Unavailable("transport shut down");
     if ((fault_hook_ && fault_hook_(msg)) ||
         (cfg_.drop_probability > 0.0 && rng_.Bernoulli(cfg_.drop_probability))) {
@@ -60,7 +62,7 @@ Status InProcTransport::Send(Message msg) {
     if (it == endpoints_.end()) {
       return Status::NotFound("no endpoint " + std::to_string(msg.dst));
     }
-    ep = it->second.get();
+    ep = it->second;
     if (cfg_.jitter_us > 0) extra_us = rng_.Uniform(cfg_.jitter_us);
   }
 
@@ -74,11 +76,11 @@ Status InProcTransport::Send(Message msg) {
 
   const uint64_t deliver_at = NowMicros() + cfg_.latency_us + extra_us;
   {
-    std::lock_guard<std::mutex> elk(ep->mu);
+    MutexLock elk(&ep->mu);
     if (ep->stop) return Status::Unavailable("endpoint closing");
     ep->queue.emplace_back(deliver_at, std::move(msg));
   }
-  ep->cv.notify_one();
+  ep->cv.Signal();
   return Status::OK();
 }
 
@@ -86,15 +88,15 @@ void InProcTransport::DeliveryLoop(Endpoint* ep) {
   for (;;) {
     Message msg;
     {
-      std::unique_lock<std::mutex> lk(ep->mu);
-      ep->cv.wait(lk, [ep] { return ep->stop || !ep->queue.empty(); });
+      MutexLock lk(&ep->mu);
+      while (!ep->stop && ep->queue.empty()) ep->cv.Wait();
       if (ep->stop) return;  // undelivered messages are dropped at teardown
 
       const uint64_t deliver_at = ep->queue.front().first;
       const uint64_t now = NowMicros();
       if (deliver_at > now) {
         // Model link latency: hold the message until its delivery time.
-        ep->cv.wait_for(lk, std::chrono::microseconds(deliver_at - now));
+        ep->cv.WaitFor(std::chrono::microseconds(deliver_at - now));
         continue;  // re-check queue/stop
       }
       msg = std::move(ep->queue.front().second);
@@ -113,9 +115,9 @@ void InProcTransport::DeliveryLoop(Endpoint* ep) {
 
 std::map<LinkKey, LinkStats> InProcTransport::LinkSnapshot() const {
   auto rows = link_stats_.Snapshot();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& [id, ep] : endpoints_) {
-    std::lock_guard<std::mutex> elk(ep->mu);
+    MutexLock elk(&ep->mu);
     if (!ep->queue.empty()) {
       rows[{kAnyEndpoint, id}].queue_depth = ep->queue.size();
     }
@@ -124,9 +126,9 @@ std::map<LinkKey, LinkStats> InProcTransport::LinkSnapshot() const {
 }
 
 void InProcTransport::Shutdown() {
-  std::unordered_map<EndpointId, std::unique_ptr<Endpoint>> eps;
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> eps;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
     eps = std::move(endpoints_);
@@ -135,10 +137,10 @@ void InProcTransport::Shutdown() {
   for (auto& [id, ep] : eps) {
     (void)id;
     {
-      std::lock_guard<std::mutex> elk(ep->mu);
+      MutexLock elk(&ep->mu);
       ep->stop = true;
     }
-    ep->cv.notify_all();
+    ep->cv.SignalAll();
   }
   for (auto& [id, ep] : eps) {
     (void)id;

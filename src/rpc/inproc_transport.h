@@ -3,14 +3,14 @@
 // latency/jitter and a fault hook used by failure-detection tests.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/rpc/transport.h"
 
 namespace gt::rpc {
@@ -44,26 +44,28 @@ class InProcTransport final : public Transport {
 
  private:
   struct Endpoint {
-    explicit Endpoint(MessageHandler h) : handler(std::move(h)) {}
+    explicit Endpoint(MessageHandler h) : cv(&mu), handler(std::move(h)) {}
 
-    MessageHandler handler;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
+    MessageHandler handler;  // invoked by the delivery thread only
     // (deliver_at_us, message); FIFO within the queue, deliver_at is
     // monotone because latency is applied at enqueue time.
-    std::deque<std::pair<uint64_t, Message>> queue;
-    bool stop = false;
-    std::thread worker;
+    std::deque<std::pair<uint64_t, Message>> queue GT_GUARDED_BY(mu);
+    bool stop GT_GUARDED_BY(mu) = false;
+    std::thread worker;  // delivery thread; joined by the unregister/shutdown path
   };
 
   void DeliveryLoop(Endpoint* ep);
 
   InProcConfig cfg_;
-  mutable std::mutex mu_;  // guards endpoints_ and fault hook
-  std::unordered_map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
-  std::function<bool(const Message&)> fault_hook_;
-  Rng rng_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;  // guards the endpoint table, fault hook and rng
+  // shared_ptr, not unique_ptr: Send() pins the endpoint it resolved so a
+  // concurrent UnregisterEndpoint() cannot destroy it mid-enqueue.
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_ GT_GUARDED_BY(mu_);
+  std::function<bool(const Message&)> fault_hook_ GT_GUARDED_BY(mu_);
+  Rng rng_ GT_GUARDED_BY(mu_);
+  bool shutdown_ GT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gt::rpc

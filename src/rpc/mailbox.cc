@@ -4,26 +4,31 @@
 
 namespace gt::rpc {
 
-Mailbox::Mailbox(Transport* transport, EndpointId id) : transport_(transport), id_(id) {
+Mailbox::Mailbox(Transport* transport, EndpointId id)
+    : transport_(transport), id_(id), cv_(&mu_) {
   Status s = transport_->RegisterEndpoint(id_, [this](Message&& m) { OnMessage(std::move(m)); });
   (void)s;  // AlreadyExists only happens on programmer error; surfaced in tests
 }
 
 Mailbox::~Mailbox() {
   transport_->UnregisterEndpoint(id_);
-  std::lock_guard<std::mutex> lk(mu_);
-  closed_ = true;
-  cv_.notify_all();
+  {
+    MutexLock lk(&mu_);
+    closed_ = true;
+  }
+  cv_.SignalAll();
 }
 
 void Mailbox::OnMessage(Message&& msg) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (msg.rpc_id != 0) {
-    responses_.emplace(msg.rpc_id, std::move(msg));
-  } else {
-    inbox_.push_back(std::move(msg));
+  {
+    MutexLock lk(&mu_);
+    if (msg.rpc_id != 0) {
+      responses_.emplace(msg.rpc_id, std::move(msg));
+    } else {
+      inbox_.push_back(std::move(msg));
+    }
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 Status Mailbox::Send(EndpointId dst, MsgType type, std::string payload) {
@@ -46,28 +51,33 @@ Result<Message> Mailbox::Call(EndpointId dst, MsgType type, std::string payload,
   m.payload = std::move(payload);
   GT_RETURN_IF_ERROR(transport_->Send(std::move(m)));
 
-  std::unique_lock<std::mutex> lk(mu_);
-  const bool got = cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [&] {
-    return closed_ || responses_.count(rpc_id) != 0;
-  });
-  if (!got || closed_) return Status::Timeout("rpc " + std::to_string(rpc_id));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  MutexLock lk(&mu_);
+  while (!closed_ && responses_.count(rpc_id) == 0) {
+    if (!cv_.WaitUntil(deadline)) break;
+  }
+  if (closed_ || responses_.count(rpc_id) == 0) {
+    return Status::Timeout("rpc " + std::to_string(rpc_id));
+  }
   Message reply = std::move(responses_.at(rpc_id));
   responses_.erase(rpc_id);
   return reply;
 }
 
 Result<Message> Mailbox::Receive(uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
-  const bool got = cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                                [&] { return closed_ || !inbox_.empty(); });
-  if (!got || inbox_.empty()) return Status::Timeout("mailbox receive");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  MutexLock lk(&mu_);
+  while (!closed_ && inbox_.empty()) {
+    if (!cv_.WaitUntil(deadline)) break;
+  }
+  if (inbox_.empty()) return Status::Timeout("mailbox receive");
   Message m = std::move(inbox_.front());
   inbox_.pop_front();
   return m;
 }
 
 Result<Message> Mailbox::TryReceive() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (inbox_.empty()) return Status::Timeout("mailbox empty");
   Message m = std::move(inbox_.front());
   inbox_.pop_front();

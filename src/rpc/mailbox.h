@@ -4,12 +4,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/rpc/transport.h"
 
 namespace gt::rpc {
@@ -36,17 +36,17 @@ class Mailbox {
   Result<Message> TryReceive();
 
  private:
-  void OnMessage(Message&& msg);
+  void OnMessage(Message&& msg) GT_EXCLUDES(mu_);
 
   Transport* transport_;
   EndpointId id_;
   std::atomic<uint64_t> next_rpc_id_{1};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, Message> responses_;  // rpc_id -> reply
-  std::deque<Message> inbox_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<uint64_t, Message> responses_ GT_GUARDED_BY(mu_);  // rpc_id -> reply
+  std::deque<Message> inbox_ GT_GUARDED_BY(mu_);
+  bool closed_ GT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gt::rpc

@@ -12,7 +12,6 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 
@@ -127,27 +126,29 @@ Result<uint16_t> ReadPortFile(const std::string& path) {
 // --- inbound side -------------------------------------------------------------
 
 struct TcpTransport::Listener {
+  Listener() : conn_cv(&conn_mu) {}
+
   TcpTransport* owner = nullptr;
   EndpointId id = 0;
   int listen_fd = -1;
   uint16_t port = 0;
   MessageHandler handler;
-  std::thread accept_thread;
+  std::thread accept_thread;  // sanctioned raw thread: the accept loop
   std::atomic<bool> stop{false};
 
-  std::mutex conn_mu;
-  std::condition_variable conn_cv;
-  uint64_t next_token = 0;
-  std::map<uint64_t, int> live_fds;         // open connection fds
-  std::map<uint64_t, std::thread> readers;  // their reader threads
-  std::vector<std::thread> finished;        // exited readers awaiting join
+  Mutex conn_mu;
+  CondVar conn_cv;
+  uint64_t next_token GT_GUARDED_BY(conn_mu) = 0;
+  std::map<uint64_t, int> live_fds GT_GUARDED_BY(conn_mu);         // open connection fds
+  std::map<uint64_t, std::thread> readers GT_GUARDED_BY(conn_mu);  // their reader threads
+  std::vector<std::thread> finished GT_GUARDED_BY(conn_mu);  // exited readers awaiting join
 
   // Joins readers that already exited; called from the accept loop so the
   // thread/fd tables stay bounded by the number of *live* connections.
-  void ReapFinished() {
+  void ReapFinished() GT_EXCLUDES(conn_mu) {
     std::vector<std::thread> done;
     {
-      std::lock_guard<std::mutex> lk(conn_mu);
+      MutexLock lk(&conn_mu);
       done.swap(finished);
     }
     for (auto& t : done) {
@@ -155,7 +156,7 @@ struct TcpTransport::Listener {
     }
   }
 
-  void AcceptLoop() {
+  void AcceptLoop() GT_EXCLUDES(conn_mu) {
     while (!stop) {
       ReapFinished();
       int conn = ::accept(listen_fd, nullptr, nullptr);
@@ -165,7 +166,7 @@ struct TcpTransport::Listener {
       }
       int one = 1;
       ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      std::lock_guard<std::mutex> lk(conn_mu);
+      MutexLock lk(&conn_mu);
       if (stop) {
         ::close(conn);
         return;
@@ -176,19 +177,21 @@ struct TcpTransport::Listener {
     }
   }
 
-  void ReaderLoop(uint64_t token, int conn) {
+  void ReaderLoop(uint64_t token, int conn) GT_EXCLUDES(conn_mu) {
     ReadConnection(conn);
     // Reap ourselves: close the fd, drop it from the live table, and hand
     // the (still running) thread object to the accept loop for joining.
     ::close(conn);
-    std::lock_guard<std::mutex> lk(conn_mu);
-    live_fds.erase(token);
-    auto it = readers.find(token);
-    if (it != readers.end()) {
-      finished.push_back(std::move(it->second));
-      readers.erase(it);
+    {
+      MutexLock lk(&conn_mu);
+      live_fds.erase(token);
+      auto it = readers.find(token);
+      if (it != readers.end()) {
+        finished.push_back(std::move(it->second));
+        readers.erase(it);
+      }
     }
-    conn_cv.notify_all();
+    conn_cv.SignalAll();
   }
 
   void ReadConnection(int conn) {
@@ -252,18 +255,19 @@ struct TcpTransport::Listener {
     }
     {
       // Wound live connections; their readers wake, close, and self-reap.
-      std::lock_guard<std::mutex> lk(conn_mu);
+      MutexLock lk(&conn_mu);
       for (auto& [token, fd] : live_fds) {
         (void)token;
         ::shutdown(fd, SHUT_RDWR);
       }
     }
     if (accept_thread.joinable()) accept_thread.join();
-    std::unique_lock<std::mutex> lk(conn_mu);
-    conn_cv.wait(lk, [this] { return readers.empty(); });
     std::vector<std::thread> done;
-    done.swap(finished);
-    lk.unlock();
+    {
+      MutexLock lk(&conn_mu);
+      while (!readers.empty()) conn_cv.Wait();
+      done.swap(finished);
+    }
     for (auto& t : done) {
       if (t.joinable()) t.join();
     }
@@ -276,9 +280,9 @@ struct TcpTransport::Listener {
 // serializes frame writes per link (preserving the per-(src, dst) ordering
 // contract) without coupling independent links to each other.
 struct TcpTransport::Link {
-  std::mutex mu;
-  int fd = -1;
-  bool ever_connected = false;
+  Mutex mu;
+  int fd GT_GUARDED_BY(mu) = -1;
+  bool ever_connected GT_GUARDED_BY(mu) = false;
 };
 
 TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {}
@@ -286,7 +290,7 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {}
 TcpTransport::~TcpTransport() { Shutdown(); }
 
 Status TcpTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (shutdown_) return Status::Unavailable("transport shut down");
   if (listeners_.count(id) != 0) return Status::AlreadyExists("endpoint exists");
 
@@ -340,7 +344,7 @@ Status TcpTransport::RegisterEndpoint(EndpointId id, MessageHandler handler) {
 void TcpTransport::UnregisterEndpoint(EndpointId id) {
   std::unique_ptr<Listener> listener;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = listeners_.find(id);
     if (it == listeners_.end()) return;
     listener = std::move(it->second);
@@ -352,7 +356,7 @@ void TcpTransport::UnregisterEndpoint(EndpointId id) {
 }
 
 uint16_t TcpTransport::PortOf(EndpointId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = local_ports_.find(id);
   return it == local_ports_.end() ? 0 : it->second;
 }
@@ -360,18 +364,18 @@ uint16_t TcpTransport::PortOf(EndpointId id) const {
 void TcpTransport::InjectLinkFailure(EndpointId dst) {
   std::shared_ptr<Link> link;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = links_.find(dst);
     if (it == links_.end()) return;
     link = it->second;
   }
-  std::lock_guard<std::mutex> lk(link->mu);
+  MutexLock lk(&link->mu);
   if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
 }
 
 Result<uint16_t> TcpTransport::ResolvePort(EndpointId dst) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = local_ports_.find(dst);
     if (it != local_ports_.end()) return it->second;
   }
@@ -452,7 +456,7 @@ bool TcpTransport::BackoffSleep(uint32_t attempt) {
 Status TcpTransport::Send(Message msg) {
   std::shared_ptr<Link> link;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return Status::Unavailable("transport shut down");
     auto& slot = links_[msg.dst];
     if (slot == nullptr) slot = std::make_shared<Link>();
@@ -463,7 +467,7 @@ Status TcpTransport::Send(Message msg) {
   frame.reserve(msg.WireSize());
   msg.EncodeTo(&frame);
 
-  std::lock_guard<std::mutex> slk(link->mu);
+  MutexLock slk(&link->mu);
   Status last = Status::Unavailable("send not attempted");
   for (uint32_t attempt = 0; attempt < cfg_.max_send_attempts; attempt++) {
     if (stopping_.load()) return Status::Unavailable("transport shut down");
@@ -525,7 +529,7 @@ void TcpTransport::Shutdown() {
   std::map<EndpointId, std::unique_ptr<Listener>> listeners;
   std::map<EndpointId, std::shared_ptr<Link>> links;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
     stopping_.store(true);  // aborts backoff sleeps + further attempts
@@ -536,7 +540,7 @@ void TcpTransport::Shutdown() {
   }
   for (auto& [id, link] : links) {
     (void)id;
-    std::lock_guard<std::mutex> lk(link->mu);
+    MutexLock lk(&link->mu);
     if (link->fd >= 0) {
       ::close(link->fd);
       link->fd = -1;

@@ -22,11 +22,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/rpc/transport.h"
 
 namespace gt::rpc {
@@ -72,17 +73,20 @@ class TcpTransport final : public Transport {
   struct Listener;
   struct Link;
 
-  Result<uint16_t> ResolvePort(EndpointId dst);
+  Result<uint16_t> ResolvePort(EndpointId dst) GT_EXCLUDES(mu_);
   Result<int> ConnectAndHandshake(uint16_t port, EndpointId dst);
   bool BackoffSleep(uint32_t attempt);  // false if shutdown interrupted it
 
   TcpConfig cfg_;
   std::atomic<bool> stopping_{false};
-  mutable std::mutex mu_;  // guards the three maps below
-  std::map<EndpointId, std::unique_ptr<Listener>> listeners_;
-  std::map<EndpointId, uint16_t> local_ports_;
-  std::map<EndpointId, std::shared_ptr<Link>> links_;  // one per destination
-  bool shutdown_ = false;
+  // Lock order: a Link::mu may be held while ResolvePort briefly takes mu_;
+  // mu_ is therefore never held while acquiring a Link::mu (callers copy the
+  // shared_ptr under mu_, release it, then lock the link).
+  mutable Mutex mu_;  // guards the three maps below
+  std::map<EndpointId, std::unique_ptr<Listener>> listeners_ GT_GUARDED_BY(mu_);
+  std::map<EndpointId, uint16_t> local_ports_ GT_GUARDED_BY(mu_);
+  std::map<EndpointId, std::shared_ptr<Link>> links_ GT_GUARDED_BY(mu_);  // one per destination
+  bool shutdown_ GT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gt::rpc

@@ -20,11 +20,12 @@
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/rpc/message.h"
 
 namespace gt::rpc {
@@ -71,19 +72,19 @@ using LinkKey = std::pair<EndpointId, EndpointId>;  // (src, dst)
 class LinkStatsMap {
  public:
   template <typename F>
-  void Update(EndpointId src, EndpointId dst, F&& f) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void Update(EndpointId src, EndpointId dst, F&& f) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     f(rows_[{src, dst}]);
   }
 
-  std::map<LinkKey, LinkStats> Snapshot() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::map<LinkKey, LinkStats> Snapshot() const GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return rows_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<LinkKey, LinkStats> rows_;
+  mutable Mutex mu_;
+  std::map<LinkKey, LinkStats> rows_ GT_GUARDED_BY(mu_);
 };
 
 class Transport {

@@ -4,6 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+// Detect ThreadSanitizer on both GCC (__SANITIZE_THREAD__) and Clang
+// (__has_feature) so timing-sensitive assertions can opt out.
+#if defined(__SANITIZE_THREAD__)
+#define GT_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GT_UNDER_TSAN 1
+#endif
+#endif
 
 #include "src/engine/cluster.h"
 #include "src/gen/rmat.h"
@@ -260,6 +273,35 @@ TEST(EngineFeatureTest, ConcurrentTraversalsAllCorrect) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Regression: NewClient() used to bump a plain uint32_t counter, so threads
+// creating clients concurrently (as the test above does) raced on it and
+// could be handed the same endpoint id. TSan caught it; the counter is
+// atomic now. Verify ids stay unique under contention.
+TEST(EngineFeatureTest, ConcurrentNewClientIdsAreUnique) {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  auto cluster = Cluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<rpc::EndpointId> ids[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&cluster, &ids, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        auto client = (*cluster)->NewClient();
+        ids[t].push_back(client->id());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<rpc::EndpointId> unique;
+  for (auto& v : ids) unique.insert(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
 // --- visit statistics (the Fig. 7 counters) ------------------------------------------
 
 TEST(EngineFeatureTest, GraphTrekVisitCountersPartitionReceivedRequests) {
@@ -334,6 +376,11 @@ TEST(EngineFeatureTest, AsyncPlainDoesMoreIoThanGraphTrek) {
 // --- straggler injection ---------------------------------------------------------------
 
 TEST(EngineFeatureTest, InjectedStragglerSlowsSyncMoreThanGraphTrek) {
+#if defined(GT_UNDER_TSAN)
+  // This test compares wall-clock timings; TSan's instrumentation overhead
+  // swamps the injected 2 ms delays and makes the comparison meaningless.
+  GTEST_SKIP() << "timing comparison is not meaningful under ThreadSanitizer";
+#endif
   ClusterConfig cfg;
   cfg.num_servers = 4;
   cfg.device.access_latency_us = 100;

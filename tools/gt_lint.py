@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Repo lint gate for GraphTrek's concurrency rules.
+
+Checks (all scoped to src/):
+  1. Raw synchronization primitives (std::mutex, std::lock_guard,
+     std::unique_lock, std::scoped_lock, std::shared_mutex, std::shared_lock,
+     std::condition_variable and their headers) are allowed only in
+     src/common/sync.h. Everything else must use the annotated gt::Mutex /
+     gt::MutexLock / gt::CondVar wrappers so Clang Thread Safety Analysis
+     (-DGT_ANALYZE=ON) sees every lock.
+  2. Naked std::thread is allowed only in the sanctioned thread owners:
+     the thread pool and the transport listener/delivery/timer loops.
+  3. The #include graph over "src/..." headers must be acyclic.
+  4. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+     clang-format is installed.
+
+Exit status: 0 when checks 1-3 pass; 1 otherwise. Check 4 never fails the
+run — it only prints warnings.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+# The one file allowed to own raw primitives.
+SYNC_H = "src/common/sync.h"
+
+# Sanctioned owners of raw std::thread (long-lived I/O loops that cannot run
+# on a pool: they block in accept()/recv()/timed waits for their whole life).
+THREAD_ALLOWLIST = {
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+    "src/rpc/inproc_transport.h",
+    "src/rpc/inproc_transport.cc",
+    "src/rpc/tcp_transport.h",
+    "src/rpc/tcp_transport.cc",
+    "src/rpc/fault_transport.h",
+    "src/rpc/fault_transport.cc",
+}
+
+PRIMITIVE_RE = re.compile(
+    r"std::(mutex|lock_guard|unique_lock|scoped_lock|shared_mutex|shared_lock|"
+    r"condition_variable(_any)?)\b"
+)
+PRIMITIVE_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|condition_variable|shared_mutex)>')
+# std::thread but not std::this_thread.
+THREAD_RE = re.compile(r"std::thread\b")
+INCLUDE_RE = re.compile(r'#\s*include\s*"(src/[^"]+)"')
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments and string literals (crudely but enough
+    for token matching; keeps line structure so line numbers stay right)."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"':
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        elif c == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def src_files():
+    for root, _dirs, names in os.walk(SRC):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                path = os.path.join(root, name)
+                yield os.path.relpath(path, REPO).replace(os.sep, "/")
+
+
+def check_primitives(files):
+    errors = []
+    for rel in files:
+        if rel == SYNC_H:
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = PRIMITIVE_RE.search(line) or PRIMITIVE_INCLUDE_RE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: raw primitive '{m.group(0).strip()}' — use the "
+                    f"annotated wrappers from {SYNC_H} instead"
+                )
+    return errors
+
+
+def check_threads(files):
+    errors = []
+    for rel in files:
+        if rel in THREAD_ALLOWLIST:
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            # Mask std::this_thread before looking for std::thread.
+            masked = line.replace("std::this_thread", "")
+            if THREAD_RE.search(masked):
+                errors.append(
+                    f"{rel}:{lineno}: naked std::thread — submit work to gt::ThreadPool "
+                    f"(or add the file to THREAD_ALLOWLIST with justification)"
+                )
+    return errors
+
+
+def check_include_cycles(files):
+    graph = {}
+    for rel in files:
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = f.read()
+        graph[rel] = [inc for inc in INCLUDE_RE.findall(text) if inc != rel]
+
+    errors = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in graph.get(node, []):
+            if dep not in graph:
+                continue  # e.g. generated or non-src header
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                errors.append("include cycle: " + " -> ".join(cycle))
+            elif color[dep] == WHITE:
+                dfs(dep)
+        stack.pop()
+        color[node] = BLACK
+
+    for rel in graph:
+        if color[rel] == WHITE:
+            dfs(rel)
+    return errors
+
+
+def warn_format():
+    """Warn-only: clang-format check over files changed vs HEAD."""
+    try:
+        subprocess.run(["clang-format", "--version"], capture_output=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return  # not installed: silently skip (the CI gate notes this)
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--", "src", "tests", "bench",
+             "examples", "tools"],
+            capture_output=True, check=True, cwd=REPO, text=True)
+    except (OSError, subprocess.CalledProcessError):
+        return
+    for rel in out.stdout.split():
+        if not rel.endswith((".h", ".cc")):
+            continue
+        path = os.path.join(REPO, rel)
+        if not os.path.exists(path):
+            continue
+        r = subprocess.run(["clang-format", "--dry-run", "-Werror", path],
+                           capture_output=True)
+        if r.returncode != 0:
+            print(f"warning: {rel} is not clang-format clean", file=sys.stderr)
+
+
+def main():
+    files = list(src_files())
+    errors = []
+    errors += check_primitives(files)
+    errors += check_threads(files)
+    errors += check_include_cycles(files)
+    warn_format()
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        print(f"gt_lint: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"gt_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
