@@ -1,11 +1,25 @@
 #include "src/graph/graph_store.h"
 
+#include "src/common/logging.h"
+
 namespace gt::graph {
 
 Result<std::unique_ptr<GraphStore>> GraphStore::Open(const std::string& dir,
                                                      GraphStoreOptions opts) {
   auto db = kv::DB::Open(dir, opts.db);
   if (!db.ok()) return db.status();
+  // The graph layers above treat this store as durable ground truth, so
+  // evidence that the KV layer recovered from a crash (a torn WAL tail
+  // dropped, orphaned files swept) must reach the operator log even though
+  // the open itself succeeded.
+  const auto& stats = (*db)->stats();
+  const uint64_t torn = stats.wal_torn_tails.load();
+  const uint64_t swept = stats.orphans_swept.load();
+  if (torn > 0 || swept > 0) {
+    GT_WARN << "graph store " << dir << " recovered from an unclean shutdown ("
+            << torn << " torn WAL tail(s) dropped, " << swept
+            << " orphaned file(s) swept)";
+  }
   return std::unique_ptr<GraphStore>(new GraphStore(opts, std::move(*db)));
 }
 

@@ -1,0 +1,247 @@
+#include "src/kv/crash_env.h"
+
+#include <memory>
+#include <utility>
+
+namespace gt::kv {
+
+namespace {
+
+Status CrashedError(const std::string& path) {
+  return Status::IOError(path + ": simulated crash (CrashFaultEnv kill point reached)");
+}
+
+}  // namespace
+
+// Counts and gates every mutating call, and moves the env's durable-length
+// watermark only on successful Sync.
+class CrashWritableFile final : public WritableFile {
+ public:
+  CrashWritableFile(CrashFaultEnv* env, std::string path, std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(Slice data) override {
+    if (!env_->ConsumeOp()) return CrashedError(path_);
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    if (!env_->ConsumeOp()) return CrashedError(path_);
+    GT_RETURN_IF_ERROR(base_->Sync());
+    env_->RecordSynced(path_, base_->size());
+    return Status::OK();
+  }
+
+  // Closing an fd needs no disk write; it stays possible after the "crash".
+  Status Close() override { return base_->Close(); }
+
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  CrashFaultEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void CrashFaultEnv::ArmKillPoint(uint64_t ops) {
+  MutexLock lk(&mu_);
+  armed_ = true;
+  kill_at_ = ops_ + ops;
+}
+
+void CrashFaultEnv::CrashNow() {
+  MutexLock lk(&mu_);
+  crashed_ = true;
+}
+
+bool CrashFaultEnv::crashed() const {
+  MutexLock lk(&mu_);
+  return crashed_;
+}
+
+uint64_t CrashFaultEnv::op_count() const {
+  MutexLock lk(&mu_);
+  return ops_;
+}
+
+bool CrashFaultEnv::ConsumeOp() {
+  MutexLock lk(&mu_);
+  if (crashed_) return false;
+  if (armed_ && ops_ >= kill_at_) {
+    crashed_ = true;
+    return false;
+  }
+  ops_++;
+  return true;
+}
+
+void CrashFaultEnv::RecordSynced(const std::string& path, uint64_t bytes) {
+  MutexLock lk(&mu_);
+  synced_bytes_[path] = bytes;
+}
+
+std::string CrashFaultEnv::ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+Status CrashFaultEnv::ReadAll(const std::string& path, std::string* out) {
+  out->clear();
+  std::unique_ptr<SequentialFile> file;
+  GT_RETURN_IF_ERROR(target()->NewSequentialFile(path, &file));
+  char buf[4096];
+  Slice chunk;
+  do {
+    GT_RETURN_IF_ERROR(file->Read(sizeof(buf), &chunk, buf));
+    out->append(chunk.data(), chunk.size());
+  } while (chunk.size() > 0);
+  return Status::OK();
+}
+
+Status CrashFaultEnv::WriteAll(const std::string& path, const std::string& bytes) {
+  std::unique_ptr<WritableFile> file;
+  GT_RETURN_IF_ERROR(target()->NewWritableFile(path, &file));
+  GT_RETURN_IF_ERROR(file->Append(bytes));
+  return file->Close();
+}
+
+Status CrashFaultEnv::NewWritableFile(const std::string& path,
+                                      std::unique_ptr<WritableFile>* out) {
+  if (!ConsumeOp()) return CrashedError(path);
+  const bool existed = target()->FileExists(path);
+  std::unique_ptr<WritableFile> base;
+  GT_RETURN_IF_ERROR(target()->NewWritableFile(path, &base));
+  {
+    MutexLock lk(&mu_);
+    // O_TRUNC re-creation of an existing entry: entry already durable, but
+    // the content must be re-synced from zero.
+    synced_bytes_[path] = 0;
+    if (!existed) {
+      dir_journal_[ParentDir(path)].push_back(DirOp{DirOp::kCreate, path, "", "", false, 0});
+    }
+  }
+  *out = std::make_unique<CrashWritableFile>(this, path, std::move(base));
+  return Status::OK();
+}
+
+Status CrashFaultEnv::RemoveFile(const std::string& path) {
+  if (!ConsumeOp()) return CrashedError(path);
+  // Keep the bytes so an un-synced unlink can be undone at DropUnsynced.
+  std::string saved;
+  GT_RETURN_IF_ERROR(ReadAll(path, &saved));
+  GT_RETURN_IF_ERROR(target()->RemoveFile(path));
+  MutexLock lk(&mu_);
+  DirOp op{DirOp::kRemove, path, "", std::move(saved), true, 0};
+  auto it = synced_bytes_.find(path);
+  // Pre-existing files (not written through this env) count as fully durable.
+  op.saved_synced = it != synced_bytes_.end() ? it->second : op.saved.size();
+  dir_journal_[ParentDir(path)].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status CrashFaultEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (!ConsumeOp()) return CrashedError(from);
+  DirOp op{DirOp::kRename, from, to, "", false, 0};
+  if (target()->FileExists(to)) {
+    // The rename clobbers `to`; keep its bytes so the undo can restore them.
+    GT_RETURN_IF_ERROR(ReadAll(to, &op.saved));
+    op.had_saved = true;
+    MutexLock lk(&mu_);
+    auto it = synced_bytes_.find(to);
+    op.saved_synced = it != synced_bytes_.end() ? it->second : op.saved.size();
+  }
+  GT_RETURN_IF_ERROR(target()->RenameFile(from, to));
+  MutexLock lk(&mu_);
+  auto it = synced_bytes_.find(from);
+  if (it != synced_bytes_.end()) {
+    synced_bytes_[to] = it->second;
+    synced_bytes_.erase(from);
+  }
+  dir_journal_[ParentDir(to)].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status CrashFaultEnv::TruncateFile(const std::string& path, uint64_t size) {
+  if (!ConsumeOp()) return CrashedError(path);
+  GT_RETURN_IF_ERROR(target()->TruncateFile(path, size));
+  MutexLock lk(&mu_);
+  auto it = synced_bytes_.find(path);
+  if (it != synced_bytes_.end() && it->second > size) it->second = size;
+  return Status::OK();
+}
+
+Status CrashFaultEnv::SyncDir(const std::string& path) {
+  if (!ConsumeOp()) return CrashedError(path);
+  GT_RETURN_IF_ERROR(target()->SyncDir(path));
+  MutexLock lk(&mu_);
+  dir_journal_.erase(path);  // every entry op so far is now durable
+  return Status::OK();
+}
+
+Status CrashFaultEnv::CreateDirIfMissing(const std::string& path) {
+  if (!ConsumeOp()) return CrashedError(path);
+  // Directory creation itself is modeled as durable (the harness creates the
+  // DB dir before arming interesting kill points anyway).
+  return target()->CreateDirIfMissing(path);
+}
+
+Status CrashFaultEnv::DropUnsynced() {
+  // Snapshot + clear the tracking under the lock, then repair the real
+  // filesystem without holding it (ReadAll/WriteAll take mu_-free paths).
+  std::map<std::string, std::vector<DirOp>> journal;
+  std::map<std::string, uint64_t> synced;
+  {
+    MutexLock lk(&mu_);
+    journal.swap(dir_journal_);
+    synced.swap(synced_bytes_);
+  }
+
+  // 1. Undo un-synced directory-entry operations, newest first, restoring
+  //    the durable names. Later renames may depend on earlier creates, so
+  //    strict reverse order matters.
+  for (auto& [dir, ops] : journal) {
+    (void)dir;
+    for (auto rit = ops.rbegin(); rit != ops.rend(); ++rit) {
+      const DirOp& op = *rit;
+      switch (op.kind) {
+        case DirOp::kCreate:
+          if (target()->FileExists(op.a)) GT_RETURN_IF_ERROR(target()->RemoveFile(op.a));
+          synced.erase(op.a);
+          break;
+        case DirOp::kRename:
+          if (target()->FileExists(op.b)) {
+            GT_RETURN_IF_ERROR(target()->RenameFile(op.b, op.a));
+            auto it = synced.find(op.b);
+            if (it != synced.end()) {
+              synced[op.a] = it->second;
+              synced.erase(it);
+            }
+          }
+          if (op.had_saved) {
+            GT_RETURN_IF_ERROR(WriteAll(op.b, op.saved));
+            GT_RETURN_IF_ERROR(target()->TruncateFile(op.b, op.saved_synced));
+            synced.erase(op.b);
+          }
+          break;
+        case DirOp::kRemove:
+          GT_RETURN_IF_ERROR(WriteAll(op.a, op.saved));
+          GT_RETURN_IF_ERROR(target()->TruncateFile(op.a, op.saved_synced));
+          synced.erase(op.a);
+          break;
+      }
+    }
+  }
+
+  // 2. Drop every byte above the durable watermark of surviving files.
+  for (const auto& [path, bytes] : synced) {
+    if (!target()->FileExists(path)) continue;
+    auto size = target()->FileSize(path);
+    GT_RETURN_IF_ERROR(size.status());
+    if (*size > bytes) GT_RETURN_IF_ERROR(target()->TruncateFile(path, bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace gt::kv

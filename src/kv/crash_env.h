@@ -1,0 +1,98 @@
+// CrashFaultEnv: an Env decorator that emulates power loss underneath the
+// store, in the spirit of LevelDB's fault-injection test env.
+//
+// It forwards everything to a base Env while tracking, per file, how many
+// bytes have been made durable (Sync), and, per directory, which entry
+// operations (create / rename / remove) have happened since the directory
+// was last fsync'd. Two controls drive a test:
+//
+//   - ArmKillPoint(n): the first n mutating operations succeed; operation
+//     n+1 and everything after fail with IOError ("the kernel died").
+//     Mutating operations are Append/Sync on writable files plus
+//     NewWritableFile/RemoveFile/RenameFile/TruncateFile/SyncDir/
+//     CreateDirIfMissing.
+//   - DropUnsynced(): after the DB object is gone, rewinds the real
+//     directory to what the disk would hold after the crash — every tracked
+//     file is truncated to its synced length and every directory-entry
+//     operation that was never followed by a SyncDir is undone (created
+//     entries vanish, renames revert, removed files reappear). This is the
+//     most adversarial POSIX-legal outcome: nothing un-synced survives.
+//
+// Model simplifications (documented, deliberately optimistic): re-creating
+// an existing path with O_TRUNC treats the truncation as immediately
+// durable, and file contents below the synced watermark never rot. Both are
+// refinements the harness does not need to catch the bug classes in scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+#include "src/kv/env.h"
+
+namespace gt::kv {
+
+class CrashFaultEnv final : public EnvWrapper {
+ public:
+  explicit CrashFaultEnv(Env* base) : EnvWrapper(base) {}
+
+  // The next `ops` mutating operations succeed; everything after fails.
+  void ArmKillPoint(uint64_t ops) GT_EXCLUDES(mu_);
+  // Fails every mutating operation from now on.
+  void CrashNow() GT_EXCLUDES(mu_);
+  bool crashed() const GT_EXCLUDES(mu_);
+  // Mutating operations observed so far (use an unarmed dry run to size a
+  // kill-point sweep).
+  uint64_t op_count() const GT_EXCLUDES(mu_);
+
+  // Materializes the post-crash state on the real filesystem. Call only
+  // after every file handle from this env has been destroyed.
+  Status DropUnsynced() GT_EXCLUDES(mu_);
+
+  Status NewWritableFile(const std::string& path, std::unique_ptr<WritableFile>* out) override
+      GT_EXCLUDES(mu_);
+  Status RemoveFile(const std::string& path) override GT_EXCLUDES(mu_);
+  Status RenameFile(const std::string& from, const std::string& to) override GT_EXCLUDES(mu_);
+  Status TruncateFile(const std::string& path, uint64_t size) override GT_EXCLUDES(mu_);
+  Status SyncDir(const std::string& path) override GT_EXCLUDES(mu_);
+  Status CreateDirIfMissing(const std::string& path) override GT_EXCLUDES(mu_);
+
+ private:
+  friend class CrashWritableFile;
+
+  struct DirOp {
+    enum Kind { kCreate, kRename, kRemove } kind;
+    std::string a;              // created/removed path, or rename source
+    std::string b;              // rename target
+    std::string saved;          // removed file's bytes / clobbered rename target's bytes
+    bool had_saved = false;     // whether `saved` is meaningful
+    uint64_t saved_synced = 0;  // durable prefix of the saved bytes
+  };
+
+  // Consumes one mutating-op credit. False when the env has (just) crashed;
+  // the caller must fail without side effects.
+  bool ConsumeOp() GT_EXCLUDES(mu_);
+
+  // Bookkeeping hooks called by CrashWritableFile.
+  void RecordSynced(const std::string& path, uint64_t bytes) GT_EXCLUDES(mu_);
+
+  static std::string ParentDir(const std::string& path);
+  Status ReadAll(const std::string& path, std::string* out);
+  Status WriteAll(const std::string& path, const std::string& bytes);
+
+  mutable Mutex mu_;
+  bool armed_ GT_GUARDED_BY(mu_) = false;
+  bool crashed_ GT_GUARDED_BY(mu_) = false;
+  uint64_t kill_at_ GT_GUARDED_BY(mu_) = 0;
+  uint64_t ops_ GT_GUARDED_BY(mu_) = 0;
+  // Durable length of every file written through this env.
+  std::map<std::string, uint64_t> synced_bytes_ GT_GUARDED_BY(mu_);
+  // Entry ops not yet covered by a SyncDir, per parent directory, in order.
+  std::map<std::string, std::vector<DirOp>> dir_journal_ GT_GUARDED_BY(mu_);
+};
+
+}  // namespace gt::kv

@@ -1,10 +1,11 @@
 #include "src/kv/db.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <unordered_set>
 
 #include "src/common/codec.h"
 #include "src/common/logging.h"
+#include "src/kv/filename.h"
 
 namespace gt::kv {
 
@@ -70,17 +71,6 @@ class DBIter final : public Iterator {
   bool valid_ = false;
 };
 
-bool ParseTableFileName(const std::string& name, uint64_t* id) {
-  if (name.size() != 10 || name.substr(6) != ".sst") return false;
-  uint64_t v = 0;
-  for (int i = 0; i < 6; i++) {
-    if (name[i] < '0' || name[i] > '9') return false;
-    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
-  }
-  *id = v;
-  return true;
-}
-
 }  // namespace
 
 DB::DB(std::string dir, DBOptions opts) : dir_(std::move(dir)), opts_(opts) {
@@ -95,10 +85,26 @@ DB::~DB() {
   {
     // Final flush so reopening recovers without a WAL replay of a large log.
     MutexLock lk(&write_mu_);
-    FlushLocked().ok();
+    Status s = FlushLocked();
+    if (!s.ok()) {
+      // Not fatal — the WAL still holds the data and replays on reopen — but
+      // a flush that fails at shutdown usually means a dying disk.
+      GT_WARN << "kv: final flush failed (WAL will replay on reopen): " << s.ToString();
+      stats_.file_op_errors.fetch_add(1);
+    }
   }
   WaitForCompaction();
   compaction_pool_->Shutdown();
+}
+
+bool DB::RemoveFileLogged(const std::string& path, const char* what) {
+  Status s = opts_.env->RemoveFile(path);
+  if (!s.ok() && !s.IsNotFound()) {
+    GT_WARN << "kv: removing " << what << " " << path << " failed: " << s.ToString();
+    stats_.file_op_errors.fetch_add(1);
+    return false;
+  }
+  return true;
 }
 
 TableReadOptions DB::MakeTableReadOptions() {
@@ -110,11 +116,9 @@ TableReadOptions DB::MakeTableReadOptions() {
   return topts;
 }
 
-std::string DB::TableFileName(uint64_t id) const {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%06llu.sst", static_cast<unsigned long long>(id));
-  return dir_ + "/" + buf;
-}
+std::string DB::TablePath(uint64_t id) const { return dir_ + "/" + TableFileName(id); }
+
+std::string DB::WalPath() const { return dir_ + "/" + kWalFileName; }
 
 Result<std::unique_ptr<DB>> DB::Open(const std::string& dir, DBOptions opts) {
   GT_RETURN_IF_ERROR(opts.env->CreateDirIfMissing(dir));
@@ -129,22 +133,45 @@ Status DB::Recover() {
   // guarded-by contracts honest instead of opting Recover out of analysis.
   MutexLock lk(&write_mu_);
 
-  // Load table files, newest (highest id) first.
+  // The manifest names the exact live table set. Directories from before the
+  // manifest existed (no CURRENT) bootstrap it once from a directory glob —
+  // the only place globbing is still allowed.
+  const bool legacy = !env->FileExists(dir_ + "/" + kCurrentFileName);
   std::vector<std::string> names;
-  GT_RETURN_IF_ERROR(env->ListDir(dir_, &names));
-  std::vector<uint64_t> ids;
-  for (const auto& name : names) {
-    uint64_t id;
-    if (ParseTableFileName(name, &id)) ids.push_back(id);
+  if (legacy) GT_RETURN_IF_ERROR(env->ListDir(dir_, &names));
+  ManifestState mstate;
+  auto manifest = Manifest::Open(env, dir_, &mstate, &stats_);
+  if (!manifest.ok()) return manifest.status();
+  manifest_ = std::move(*manifest);
+  if (legacy) {
+    VersionEdit bootstrap;
+    for (const auto& name : names) {
+      uint64_t id;
+      if (ParseTableFileName(name, &id)) bootstrap.added_tables.push_back(id);
+    }
+    if (!bootstrap.added_tables.empty()) {
+      GT_RETURN_IF_ERROR(manifest_->LogEdit(bootstrap));
+      mstate.Apply(bootstrap);
+    }
   }
+
+  // Delete crash leftovers before loading anything.
+  SweepOrphans(mstate.live_tables);
+
+  // Load live tables, newest (highest id) first. Ids are allocated in
+  // install order, so descending id == newest data first.
+  std::vector<uint64_t> ids = mstate.live_tables;
   std::sort(ids.rbegin(), ids.rend());
+  next_file_id_ = std::max(next_file_id_, mstate.next_file_id);
+  last_sequence_ = std::max(last_sequence_, mstate.last_sequence);
   std::vector<std::shared_ptr<Table>> tables;
   for (uint64_t id : ids) {
-    auto table = Table::Open(env, TableFileName(id), id, MakeTableReadOptions());
+    auto table = Table::Open(env, TablePath(id), id, MakeTableReadOptions());
     if (!table.ok()) return table.status();
     tables.push_back(*table);
     next_file_id_ = std::max(next_file_id_, id + 1);
-    // Recover the sequence counter from the newest version in each table.
+    // Legacy dirs have no sequence watermark in the manifest; recover it
+    // from the newest version in each table.
     ParsedInternalKey parsed;
     if (ParseInternalKey(Slice((*table)->largest()), &parsed)) {
       last_sequence_ = std::max(last_sequence_, parsed.sequence);
@@ -160,10 +187,11 @@ Status DB::Recover() {
     mem = mem_;
   }
 
-  // Replay the WAL into the memtable.
-  if (env->FileExists(WalFileName())) {
+  // Replay the WAL into the memtable. A torn final record (crash mid-append)
+  // ends the log cleanly; corruption in the middle is fatal.
+  if (env->FileExists(WalPath())) {
     std::unique_ptr<SequentialFile> file;
-    GT_RETURN_IF_ERROR(env->NewSequentialFile(WalFileName(), &file));
+    GT_RETURN_IF_ERROR(env->NewSequentialFile(WalPath(), &file));
     WalReader reader(std::move(file));
     std::string scratch;
     Slice record;
@@ -175,17 +203,51 @@ Status DB::Recover() {
       stats_.wal_records.fetch_add(1);
     }
     GT_RETURN_IF_ERROR(reader.status());
+    if (reader.tail_dropped()) {
+      GT_WARN << "kv: dropped torn tail of " << WalPath() << " (crash mid-append)";
+      stats_.wal_torn_tails.fetch_add(1);
+    }
   }
 
   // Open (append is emulated by rewriting: flush replayed entries first so
   // truncating the WAL loses nothing).
   if (!mem->empty()) {
-    GT_RETURN_IF_ERROR(FlushLocked());
+    GT_RETURN_IF_ERROR(FlushLocked());  // also starts a fresh WAL
   }
-  std::unique_ptr<WritableFile> wal_file;
-  GT_RETURN_IF_ERROR(env->NewWritableFile(WalFileName(), &wal_file));
-  wal_ = std::make_unique<WalWriter>(std::move(wal_file));
-  return Status::OK();
+  if (wal_ == nullptr) {
+    std::unique_ptr<WritableFile> wal_file;
+    GT_RETURN_IF_ERROR(env->NewWritableFile(WalPath(), &wal_file));
+    wal_ = std::make_unique<WalWriter>(std::move(wal_file));
+  }
+  // One directory sync covers every entry created above (first WAL, first
+  // manifest) so a fresh store survives power loss from its first write on.
+  return env->SyncDir(dir_);
+}
+
+void DB::SweepOrphans(const std::vector<uint64_t>& live_tables) {
+  std::vector<std::string> names;
+  Status s = opts_.env->ListDir(dir_, &names);
+  if (!s.ok()) {
+    GT_WARN << "kv: orphan sweep could not list " << dir_ << ": " << s.ToString();
+    stats_.file_op_errors.fetch_add(1);
+    return;
+  }
+  const std::unordered_set<uint64_t> live(live_tables.begin(), live_tables.end());
+  const std::string current_manifest = manifest_->current_file_name();
+  for (const auto& name : names) {
+    uint64_t id = 0;
+    bool orphan = false;
+    if (IsTempFileName(name)) {
+      orphan = true;  // half-written table/CURRENT from a crashed install
+    } else if (ParseTableFileName(name, &id)) {
+      orphan = live.count(id) == 0;  // e.g. compaction input whose delete was cut short
+    } else if (ParseManifestFileName(name, &id)) {
+      orphan = name != current_manifest;  // leftover of an interrupted rotation
+    }
+    if (orphan && RemoveFileLogged(dir_ + "/" + name, "orphan")) {
+      stats_.orphans_swept.fetch_add(1);
+    }
+  }
 }
 
 Status DB::Put(Slice key, Slice value) {
@@ -238,22 +300,41 @@ Status DB::FlushLocked() {
   if (mem->empty()) return Status::OK();
 
   const uint64_t id = next_file_id_++;
-  const std::string path = TableFileName(id);
-  const std::string tmp = path + ".tmp";
+  const std::string path = TablePath(id);
+  const std::string tmp = path + kTempSuffix;
 
   std::unique_ptr<WritableFile> file;
   GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(tmp, &file));
   TableBuilder builder(std::move(file), opts_.block_size, opts_.bloom_bits_per_key);
 
+  Status s;
   auto it = mem->NewIterator();
-  for (it->SeekToFirst(); it->Valid(); it->Next()) {
-    GT_RETURN_IF_ERROR(builder.Add(it->key(), it->value()));
+  for (it->SeekToFirst(); s.ok() && it->Valid(); it->Next()) {
+    s = builder.Add(it->key(), it->value());
   }
-  GT_RETURN_IF_ERROR(builder.Finish());
-  GT_RETURN_IF_ERROR(opts_.env->RenameFile(tmp, path));
+  if (s.ok()) s = builder.Finish();  // syncs the table file before closing
+  if (s.ok()) s = opts_.env->RenameFile(tmp, path);
+  // The rename (and the entry itself) must be durable before the manifest
+  // references the file, or recovery could chase a name that power loss
+  // erased.
+  if (s.ok()) s = opts_.env->SyncDir(dir_);
+  if (!s.ok()) {
+    RemoveFileLogged(tmp, "aborted flush output");  // don't leak the temp
+    return s;
+  }
 
   auto table = Table::Open(opts_.env, path, id, MakeTableReadOptions());
   if (!table.ok()) return table.status();
+
+  // Durably install the table in the live set. Until this edit is synced the
+  // WAL must stay intact, so the rotation below strictly follows it; if we
+  // crash in between, replay simply rebuilds the same data (the orphaned
+  // table file is swept at the next open).
+  VersionEdit edit;
+  edit.added_tables.push_back(id);
+  edit.next_file_id = next_file_id_;
+  edit.last_sequence = last_sequence_;
+  GT_RETURN_IF_ERROR(manifest_->LogEdit(edit));
 
   bool trigger_compaction = false;
   {
@@ -267,9 +348,10 @@ Status DB::FlushLocked() {
   }
   stats_.flushes.fetch_add(1);
 
-  // Start a fresh WAL: everything in the old one is now durable in the table.
+  // Start a fresh WAL: everything in the old one is now durably installed in
+  // the table (the manifest edit above is fsync'd before we get here).
   std::unique_ptr<WritableFile> wal_file;
-  GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(WalFileName(), &wal_file));
+  GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(WalPath(), &wal_file));
   wal_ = std::make_unique<WalWriter>(std::move(wal_file));
 
   if (trigger_compaction) {
@@ -312,35 +394,56 @@ Status DB::DoCompaction() {
   MergingIterator merged(&icmp, std::move(children));
 
   uint64_t id;
+  uint64_t next_id_after;
   {
     MutexLock lk(&write_mu_);
     id = next_file_id_++;
+    next_id_after = next_file_id_;
   }
-  const std::string path = TableFileName(id);
-  const std::string tmp = path + ".tmp";
+  const std::string path = TablePath(id);
+  const std::string tmp = path + kTempSuffix;
   std::unique_ptr<WritableFile> file;
   GT_RETURN_IF_ERROR(opts_.env->NewWritableFile(tmp, &file));
   TableBuilder builder(std::move(file), opts_.block_size, opts_.bloom_bits_per_key);
 
+  Status s;
   std::string last_user_key;
   bool has_last = false;
-  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+  for (merged.SeekToFirst(); s.ok() && merged.Valid(); merged.Next()) {
     ParsedInternalKey parsed;
     if (!ParseInternalKey(merged.key(), &parsed)) {
-      return Status::Corruption("bad key during compaction");
+      s = Status::Corruption("bad key during compaction");
+      break;
     }
     if (has_last && parsed.user_key == Slice(last_user_key)) continue;  // shadowed
     last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
     has_last = true;
     if (parsed.type == kTypeDeletion) continue;  // drop tombstone
-    GT_RETURN_IF_ERROR(builder.Add(merged.key(), merged.value()));
+    s = builder.Add(merged.key(), merged.value());
   }
-  GT_RETURN_IF_ERROR(merged.status());
-  GT_RETURN_IF_ERROR(builder.Finish());
-  GT_RETURN_IF_ERROR(opts_.env->RenameFile(tmp, path));
+  if (s.ok()) s = merged.status();
+  if (s.ok()) s = builder.Finish();  // syncs the table file before closing
+  if (s.ok()) s = opts_.env->RenameFile(tmp, path);
+  if (s.ok()) s = opts_.env->SyncDir(dir_);  // entry durable before the manifest names it
+  if (!s.ok()) {
+    RemoveFileLogged(tmp, "aborted compaction output");  // don't leak the temp
+    return s;
+  }
 
   auto table = Table::Open(opts_.env, path, id, MakeTableReadOptions());
   if (!table.ok()) return table.status();
+
+  // One durable edit swaps the inputs for the output. Ordering is the heart
+  // of the tombstone-resurrection fix: the output (which dropped tombstones)
+  // only becomes live in the same fsync'd edit that retires the inputs, and
+  // the input files are physically deleted strictly afterwards — a crash
+  // anywhere in between leaves either the old live set or the new one, never
+  // a recovery that re-reads retired inputs.
+  VersionEdit edit;
+  edit.added_tables.push_back(id);
+  for (const auto& in : inputs) edit.removed_tables.push_back(in->file_id());
+  edit.next_file_id = next_id_after;
+  GT_RETURN_IF_ERROR(manifest_->LogEdit(edit));
 
   // Install: replace exactly the input tables; keep any tables flushed since
   // the snapshot (they are newer and must stay in front).
@@ -361,7 +464,9 @@ Status DB::DoCompaction() {
   stats_.compactions.fetch_add(1);
 
   for (auto& t : obsolete) {
-    opts_.env->RemoveFile(TableFileName(t->file_id())).ok();
+    // Failures are non-fatal (the file is already retired in the manifest
+    // and will be swept at the next open) but must not be invisible.
+    RemoveFileLogged(TablePath(t->file_id()), "compaction input");
   }
   return Status::OK();
 }

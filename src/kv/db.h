@@ -22,6 +22,7 @@
 #include "src/kv/env.h"
 #include "src/kv/iterator.h"
 #include "src/kv/lru_cache.h"
+#include "src/kv/manifest.h"
 #include "src/kv/memtable.h"
 #include "src/kv/stats.h"
 #include "src/kv/table.h"
@@ -37,7 +38,23 @@ struct DBOptions {
   size_t block_cache_bytes = 8 << 20;  // 0 disables the block cache
   int bloom_bits_per_key = 10;
   int l0_compaction_trigger = 4;  // table-file count that triggers compaction
-  bool sync_wal = false;          // fdatasync per write batch
+
+  // Durability contract. Structural durability is unconditional: table files
+  // are fsync'd before install, installs are recorded in a fsync'd MANIFEST,
+  // and the parent directory is fsync'd after every create/rename — so a
+  // crash at any instant can never resurrect deleted keys, load a
+  // half-written table, or leave the store unopenable. sync_wal controls
+  // only the durability of *individual writes*:
+  //   sync_wal = true   every acked Put/Delete/Write is fdatasync'd in the
+  //                     WAL before it returns; power loss loses nothing
+  //                     that was acknowledged.
+  //   sync_wal = false  (default) writes since the last flush ride the OS
+  //                     page cache; power loss rolls the store back to a
+  //                     consistent earlier point (at worst the last table
+  //                     install), never to a torn or mixed state.
+  // The per-call-site fsync matrix lives in DESIGN.md ("Durability & crash
+  // recovery").
+  bool sync_wal = false;
   bool background_compaction = true;
   DeviceModel* device = nullptr;  // charged per cold block read (optional)
 };
@@ -92,8 +109,17 @@ class DB {
   Status Recover() GT_EXCLUDES(write_mu_, state_mu_);
   Status FlushLocked() GT_REQUIRES(write_mu_);
   Status DoCompaction() GT_EXCLUDES(compaction_run_mu_, write_mu_, state_mu_);
-  std::string TableFileName(uint64_t id) const;
-  std::string WalFileName() const { return dir_ + "/wal.log"; }
+  // Deletes crash leftovers at open: *.tmp files, table files the manifest
+  // does not reference (e.g. compaction inputs whose deletion was cut short
+  // — reloading those is what used to resurrect tombstoned keys), and stale
+  // MANIFEST-* from interrupted rotations.
+  void SweepOrphans(const std::vector<uint64_t>& live_tables);
+  // Removes `path` best-effort; failures are logged and counted in stats
+  // (recovery re-sweeps them) instead of being silently dropped. Returns
+  // true when the file is gone.
+  bool RemoveFileLogged(const std::string& path, const char* what);
+  std::string TablePath(uint64_t id) const;
+  std::string WalPath() const;
   ReadState SnapshotState() const GT_EXCLUDES(state_mu_);
   Status GetFromState(const ReadState& state, Slice key, std::string* value);
   TableReadOptions MakeTableReadOptions();
@@ -104,6 +130,13 @@ class DB {
   KvStats stats_;
 
   // Lock order (outermost first): compaction_run_mu_ -> write_mu_ -> state_mu_.
+  // Manifest::mu_ is a leaf below all three (LogEdit is called with write_mu_
+  // held on the flush path and with only compaction_run_mu_ held on the
+  // compaction path, and never calls back into the DB).
+
+  // Set once during Recover (before any other thread exists), then
+  // effectively const; Manifest serializes its own writers internally.
+  std::unique_ptr<Manifest> manifest_;
 
   // Serializes writers (Put/Delete/Write/Flush).
   Mutex write_mu_;

@@ -201,6 +201,20 @@ class PosixEnv final : public Env {
     if (::stat(path.c_str(), &st) != 0) return PosixError(path, errno);
     return static_cast<uint64_t>(st.st_size);
   }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) return PosixError(path, errno);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return PosixError(path, errno);
+    Status s;
+    if (::fsync(fd) != 0) s = PosixError(path, errno);
+    ::close(fd);
+    return s;
+  }
 };
 
 }  // namespace

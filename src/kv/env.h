@@ -58,6 +58,54 @@ class Env {
   virtual Status ListDir(const std::string& path, std::vector<std::string>* names) = 0;
   virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
   virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  // Truncates the file to `size` bytes (used by fault injection to drop
+  // un-synced tails; the store itself never shrinks files).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  // fsyncs the directory itself so entries created/renamed inside it survive
+  // power loss. A file rename is only durable once its parent dir is synced.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+// Forwards every call to a wrapped Env; decorators (fault injection, crash
+// emulation) override only the operations they care about.
+class EnvWrapper : public Env {
+ public:
+  explicit EnvWrapper(Env* target) : target_(target) {}
+  Env* target() const { return target_; }
+
+  Status NewWritableFile(const std::string& path, std::unique_ptr<WritableFile>* out) override {
+    return target_->NewWritableFile(path, out);
+  }
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    return target_->NewRandomAccessFile(path, out);
+  }
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override {
+    return target_->NewSequentialFile(path, out);
+  }
+  Status CreateDirIfMissing(const std::string& path) override {
+    return target_->CreateDirIfMissing(path);
+  }
+  Status RemoveFile(const std::string& path) override { return target_->RemoveFile(path); }
+  Status RemoveDirRecursive(const std::string& path) override {
+    return target_->RemoveDirRecursive(path);
+  }
+  bool FileExists(const std::string& path) override { return target_->FileExists(path); }
+  Status ListDir(const std::string& path, std::vector<std::string>* names) override {
+    return target_->ListDir(path, names);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return target_->RenameFile(from, to);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override { return target_->FileSize(path); }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return target_->TruncateFile(path, size);
+  }
+  Status SyncDir(const std::string& path) override { return target_->SyncDir(path); }
+
+ private:
+  Env* target_;
 };
 
 }  // namespace gt::kv

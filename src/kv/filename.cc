@@ -1,0 +1,52 @@
+#include "src/kv/filename.h"
+
+#include <cstdio>
+
+namespace gt::kv {
+
+namespace {
+
+// Parses `digits` (1..20 decimal chars) into *v, rejecting overflow.
+bool ParseDecimal(const std::string& digits, uint64_t* v) {
+  if (digits.empty() || digits.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *v = value;
+  return true;
+}
+
+}  // namespace
+
+std::string TableFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool ParseTableFileName(const std::string& name, uint64_t* id) {
+  if (name.size() < 5 || name.compare(name.size() - 4, 4, ".sst") != 0) return false;
+  return ParseDecimal(name.substr(0, name.size() - 4), id);
+}
+
+std::string ManifestFileName(uint64_t number) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "MANIFEST-%06llu", static_cast<unsigned long long>(number));
+  return buf;
+}
+
+bool ParseManifestFileName(const std::string& name, uint64_t* number) {
+  static const std::string kPrefix = "MANIFEST-";
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  return ParseDecimal(name.substr(kPrefix.size()), number);
+}
+
+bool IsTempFileName(const std::string& name) {
+  return name.size() > 4 && name.compare(name.size() - 4, 4, kTempSuffix) == 0;
+}
+
+}  // namespace gt::kv

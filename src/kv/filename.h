@@ -1,0 +1,40 @@
+// Canonical file names inside a DB directory and their parsers. Every file
+// the store creates is named through these helpers so recovery can classify
+// arbitrary directory listings (live tables, the manifest chain, the WAL,
+// half-written temporaries) without guessing.
+//
+// Layout of a DB directory:
+//   CURRENT            - name of the active manifest ("MANIFEST-<n>\n")
+//   MANIFEST-<n>       - append-only log of version edits (see manifest.h)
+//   wal.log            - write-ahead log for the active memtable
+//   <id>.sst           - sorted table file; <id> is zero-padded to at least
+//                        6 digits but grows naturally beyond 999999
+//   *.tmp              - in-progress table/manifest/CURRENT writes; any
+//                        *.tmp found at open is a crash leftover
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gt::kv {
+
+// "000007.sst" for 7, "1000000.sst" for 1000000. Zero-padding keeps small
+// ids lexicographically sorted; ids past 6 digits widen without truncation.
+std::string TableFileName(uint64_t id);
+
+// Accepts both the padded 6-digit form and wider ids (up to 20 digits, the
+// full uint64 range). Returns false for anything else.
+bool ParseTableFileName(const std::string& name, uint64_t* id);
+
+// "MANIFEST-000003" for 3 (same widening rule as table files).
+std::string ManifestFileName(uint64_t number);
+bool ParseManifestFileName(const std::string& name, uint64_t* number);
+
+inline const char* kCurrentFileName = "CURRENT";
+inline const char* kWalFileName = "wal.log";
+inline const char* kTempSuffix = ".tmp";
+
+// True when `name` ends in ".tmp" (crash leftover of an atomic write).
+bool IsTempFileName(const std::string& name);
+
+}  // namespace gt::kv

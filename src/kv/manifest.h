@@ -1,0 +1,97 @@
+// The MANIFEST: an append-only, CRC-framed log of version edits that names
+// the exact set of live table files. Recovery replays it instead of globbing
+// `*.sst`, so a crash between a compaction install and the deletion of its
+// input files can never resurrect tombstoned keys — the inputs are simply
+// not in the live set and get swept as orphans.
+//
+// On-disk protocol:
+//   CURRENT        - single line "MANIFEST-<n>\n"; updated by writing
+//                    CURRENT.tmp, syncing it, renaming over CURRENT and
+//                    syncing the directory (atomic pointer swap).
+//   MANIFEST-<n>   - sequence of records framed exactly like WAL records
+//                    (fixed32 crc | fixed32 len | payload); each payload is
+//                    one encoded VersionEdit (see write format in
+//                    manifest.cc). Torn final records are tolerated the same
+//                    way as WAL tails: the edit never committed.
+//
+// Every LogEdit is fsync'd before it returns: table installs are rare (one
+// per flush/compaction) and the live-set pointer must never lag the file
+// operations it describes. Rotation (snapshot into MANIFEST-<n+1>, swap
+// CURRENT, delete the old file) happens on every Open and when the log
+// outgrows kRotateBytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+#include "src/kv/env.h"
+#include "src/kv/stats.h"
+#include "src/kv/wal.h"
+
+namespace gt::kv {
+
+// One atomic change to the live-file set. Zero-valued counters mean
+// "unchanged" (file ids and sequence numbers both start at 1).
+struct VersionEdit {
+  std::vector<uint64_t> added_tables;
+  std::vector<uint64_t> removed_tables;
+  uint64_t next_file_id = 0;   // floor for future allocations; 0 = unchanged
+  uint64_t last_sequence = 0;  // durable sequence watermark; 0 = unchanged
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice src, VersionEdit* edit);
+};
+
+// Accumulated result of replaying a manifest log.
+struct ManifestState {
+  std::vector<uint64_t> live_tables;  // unordered; DB sorts newest-first
+  uint64_t next_file_id = 1;
+  uint64_t last_sequence = 0;
+
+  void Apply(const VersionEdit& edit);
+};
+
+class Manifest {
+ public:
+  // Loads the state named by CURRENT (empty state when this is a fresh
+  // directory), then rotates into a new manifest file so the log starts
+  // from a compact snapshot. `*state` receives the recovered state.
+  static Result<std::unique_ptr<Manifest>> Open(Env* env, const std::string& dir,
+                                                ManifestState* state, KvStats* stats);
+
+  // Appends one edit, fsyncs it, and applies it to the in-memory state.
+  // Rotates first when the log has outgrown kRotateBytes. Safe to call from
+  // the writer and the compaction thread concurrently.
+  Status LogEdit(const VersionEdit& edit) GT_EXCLUDES(mu_);
+
+  // Name (not path) of the active MANIFEST-<n> file; recovery keeps it and
+  // sweeps every other MANIFEST-* as a crashed-rotation leftover.
+  std::string current_file_name() const GT_EXCLUDES(mu_);
+
+  static constexpr uint64_t kRotateBytes = 1 << 20;
+
+ private:
+  Manifest(Env* env, std::string dir, KvStats* stats)
+      : env_(env), dir_(std::move(dir)), stats_(stats) {}
+
+  // Writes a fresh MANIFEST-<number_+1> seeded with a snapshot of state_,
+  // points CURRENT at it and removes the previous file.
+  Status RotateLocked() GT_REQUIRES(mu_);
+  Status WriteCurrentPointerLocked(uint64_t number) GT_REQUIRES(mu_);
+
+  Env* const env_;
+  const std::string dir_;
+  KvStats* const stats_;
+
+  mutable Mutex mu_;
+  ManifestState state_ GT_GUARDED_BY(mu_);
+  uint64_t number_ GT_GUARDED_BY(mu_) = 0;  // active MANIFEST-<n>
+  std::unique_ptr<WalWriter> log_ GT_GUARDED_BY(mu_);
+};
+
+}  // namespace gt::kv

@@ -20,11 +20,19 @@ struct KvStats {
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_torn_tails{0};     // torn final WAL records dropped at recovery
+  std::atomic<uint64_t> manifest_edits{0};     // version edits logged (flush/compaction installs)
+  std::atomic<uint64_t> manifest_rotations{0};
+  std::atomic<uint64_t> orphans_swept{0};      // leftover .tmp/unreferenced files removed at open
+  std::atomic<uint64_t> file_op_errors{0};     // failed deletes/closes/flushes an operator
+                                               // should investigate (dying disk)
 
   void Reset() {
     puts = deletes = gets = get_hits = 0;
     block_reads = block_cache_hits = bloom_negatives = 0;
     flushes = compactions = bytes_written = bytes_read = wal_records = 0;
+    wal_torn_tails = manifest_edits = manifest_rotations = 0;
+    orphans_swept = file_op_errors = 0;
   }
 
   std::string ToString() const {
@@ -38,6 +46,9 @@ struct KvStats {
     s += " bloom_negatives=" + std::to_string(bloom_negatives.load());
     s += " flushes=" + std::to_string(flushes.load());
     s += " compactions=" + std::to_string(compactions.load());
+    s += " wal_torn_tails=" + std::to_string(wal_torn_tails.load());
+    s += " orphans_swept=" + std::to_string(orphans_swept.load());
+    s += " file_op_errors=" + std::to_string(file_op_errors.load());
     return s;
   }
 };

@@ -1,5 +1,7 @@
 #include "src/kv/wal.h"
 
+#include <algorithm>
+
 #include "src/common/codec.h"
 
 namespace gt::kv {
@@ -13,30 +15,57 @@ Status WalWriter::AddRecord(Slice payload) {
   return file_->Flush();
 }
 
+bool WalReader::AtEof() {
+  char byte;
+  Slice b;
+  Status s = file_->Read(1, &b, &byte);
+  return s.ok() && b.size() == 0;
+}
+
 bool WalReader::ReadRecord(std::string* scratch, Slice* record) {
-  if (!status_.ok()) return false;
+  if (!status_.ok() || tail_dropped_) return false;
 
   char header[8];
   Slice h;
   status_ = file_->Read(8, &h, header);
   if (!status_.ok()) return false;
   if (h.size() == 0) return false;  // clean EOF
-  if (h.size() < 8) return false;   // truncated tail: treat as end of log
+  if (h.size() < 8) {               // torn header: end of log
+    tail_dropped_ = true;
+    return false;
+  }
 
   const uint32_t crc = DecodeFixed32(h.data());
   const uint32_t len = DecodeFixed32(h.data() + 4);
 
-  scratch->resize(len);
-  Slice payload;
-  status_ = file_->Read(len, &payload, scratch->data());
-  if (!status_.ok()) return false;
-  if (payload.size() < len) return false;  // truncated tail
-
-  if (Crc32c::Compute(payload.data(), payload.size()) != crc) {
-    status_ = Status::Corruption("wal record checksum mismatch");
+  // Read the payload in bounded chunks: `len` may be garbage from a corrupt
+  // header, so never trust it for a single huge allocation.
+  scratch->clear();
+  while (scratch->size() < len) {
+    const size_t chunk = std::min<size_t>(len - scratch->size(), 1 << 20);
+    const size_t off = scratch->size();
+    scratch->resize(off + chunk);
+    Slice part;
+    status_ = file_->Read(chunk, &part, scratch->data() + off);
+    if (!status_.ok()) return false;
+    scratch->resize(off + part.size());
+    if (part.size() < chunk) break;  // hit EOF inside the payload
+  }
+  if (scratch->size() < len) {  // torn payload: end of log
+    tail_dropped_ = true;
     return false;
   }
-  *record = payload;
+
+  if (Crc32c::Compute(scratch->data(), len) != crc) {
+    if (AtEof()) {
+      // Torn final record (crash mid-append): drop it, end the log cleanly.
+      tail_dropped_ = true;
+      return false;
+    }
+    status_ = Status::Corruption("wal record checksum mismatch mid-log");
+    return false;
+  }
+  *record = Slice(scratch->data(), len);
   return true;
 }
 

@@ -1,7 +1,12 @@
 // Write-ahead log. Record format on disk:
 //   fixed32 crc32c(payload) | fixed32 payload_len | payload
-// The reader stops cleanly at EOF or a truncated tail (normal after crash)
-// and reports corruption for checksum mismatches in the middle of the log.
+//
+// Tail semantics (shared with the MANIFEST, which reuses this framing): the
+// final record of a log may be torn by a crash mid-append — truncated bytes
+// or a failing checksum with nothing after it — and reading treats that as a
+// clean end of log (the record was never acknowledged as durable). A failing
+// checksum with more log after it cannot be a torn append in an append-only,
+// sync-ordered log, so it is reported as Corruption.
 #pragma once
 
 #include <memory>
@@ -31,15 +36,25 @@ class WalReader {
 
   // Reads the next record into *record (backed by *scratch). Returns:
   //   true  - record read
-  //   false - clean end of log (EOF or truncated tail); status() is OK
+  //   false - clean end of log (EOF or torn final record); status() is OK
   //   false - with !status().ok() on mid-log corruption
   bool ReadRecord(std::string* scratch, Slice* record);
 
   Status status() const { return status_; }
 
+  // True when the log ended at a torn final record (truncated or
+  // CRC-failing) rather than a clean record boundary — i.e. the tail was
+  // dropped. Recovery surfaces this to stats/logs.
+  bool tail_dropped() const { return tail_dropped_; }
+
  private:
+  // Consumes one byte to probe for end-of-file; only called when the current
+  // record is already known bad, so the lost byte is never needed again.
+  bool AtEof();
+
   std::unique_ptr<SequentialFile> file_;
   Status status_;
+  bool tail_dropped_ = false;
 };
 
 }  // namespace gt::kv

@@ -371,7 +371,42 @@ TEST(WalTest, TruncatedTailIsCleanEnd) {
   EXPECT_TRUE(reader.status().ok()) << reader.status().ToString();
 }
 
-TEST(WalTest, CorruptPayloadDetected) {
+TEST(WalTest, CorruptFinalRecordIsTornTail) {
+  // A CRC-failing *final* record is indistinguishable from a crash
+  // mid-append, so it reads as a clean end of log (with the tail flagged).
+  gt::testing::ScopedTempDir dir;
+  const std::string path = dir.sub("wal.log");
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(Env::Default()->NewWritableFile(path, &file).ok());
+    WalWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("complete").ok());
+    ASSERT_TRUE(writer.AddRecord("important-data").ok());
+  }
+  // Flip a payload byte of the second (final) record in place. The first
+  // record is 8 bytes of header + 8 bytes of payload.
+  {
+    FILE* f = ::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ::fseek(f, 16 + 8 + 2, SEEK_SET);
+    ::fputc('X', f);
+    ::fclose(f);
+  }
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(Env::Default()->NewSequentialFile(path, &file).ok());
+  WalReader reader(std::move(file));
+  std::string scratch;
+  Slice record;
+  ASSERT_TRUE(reader.ReadRecord(&scratch, &record));
+  EXPECT_EQ(record.ToString(), "complete");
+  EXPECT_FALSE(reader.ReadRecord(&scratch, &record));
+  EXPECT_TRUE(reader.status().ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.tail_dropped());
+}
+
+TEST(WalTest, CorruptMidLogRecordIsFatal) {
+  // A CRC failure with more log after it cannot be a torn append; recovery
+  // must refuse rather than silently skip acknowledged records.
   gt::testing::ScopedTempDir dir;
   const std::string path = dir.sub("wal.log");
   {
@@ -379,8 +414,9 @@ TEST(WalTest, CorruptPayloadDetected) {
     ASSERT_TRUE(Env::Default()->NewWritableFile(path, &file).ok());
     WalWriter writer(std::move(file));
     ASSERT_TRUE(writer.AddRecord("important-data").ok());
+    ASSERT_TRUE(writer.AddRecord("later-record").ok());
   }
-  // Flip a payload byte in place.
+  // Flip a payload byte of the *first* record in place.
   {
     FILE* f = ::fopen(path.c_str(), "r+b");
     ASSERT_NE(f, nullptr);
@@ -395,6 +431,7 @@ TEST(WalTest, CorruptPayloadDetected) {
   Slice record;
   EXPECT_FALSE(reader.ReadRecord(&scratch, &record));
   EXPECT_TRUE(reader.status().IsCorruption());
+  EXPECT_FALSE(reader.tail_dropped());
 }
 
 // --- Bloom filter ----------------------------------------------------------------

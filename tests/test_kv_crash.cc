@@ -1,0 +1,736 @@
+// Crash-consistency tests for the KV store: file-name round-trips, orphan
+// sweeping, manifest-based recovery (tombstone resurrection), torn-tail WAL
+// tolerance, error-path temp-file cleanup, and a kill-point sweep that
+// simulates power loss at every mutating file-system operation of a workload
+// and checks the reopened store against a model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kv/crash_env.h"
+#include "src/kv/db.h"
+#include "src/kv/filename.h"
+#include "src/kv/wal.h"
+#include "tests/test_util.h"
+
+namespace gt::kv {
+namespace {
+
+// --- Small file helpers (through Env so the tests stay POSIX-free) -----------
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(Env::Default()->NewSequentialFile(path, &file).ok()) << path;
+  std::string out;
+  char buf[4096];
+  Slice chunk;
+  do {
+    EXPECT_TRUE(file->Read(sizeof(buf), &chunk, buf).ok()) << path;
+    out.append(chunk.data(), chunk.size());
+  } while (chunk.size() > 0);
+  return out;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& bytes) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(Env::Default()->NewWritableFile(path, &file).ok()) << path;
+  ASSERT_TRUE(file->Append(bytes).ok()) << path;
+  ASSERT_TRUE(file->Close().ok()) << path;
+}
+
+void CopyDir(const std::string& from, const std::string& to) {
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(to).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(from, &names).ok());
+  for (const auto& name : names) {
+    WriteFileOrDie(to + "/" + name, ReadFileOrDie(from + "/" + name));
+  }
+}
+
+// Flips one byte of a file in place (via read + rewrite).
+void FlipByte(const std::string& path, size_t index) {
+  std::string bytes = ReadFileOrDie(path);
+  ASSERT_LT(index, bytes.size());
+  bytes[index] = static_cast<char>(bytes[index] ^ 0x40);
+  WriteFileOrDie(path, bytes);
+}
+
+// Asserts the directory looks like a healthy store: no temp files, exactly
+// the manifest CURRENT points at, and one .sst per live table.
+void CheckDirInvariants(const std::string& dir, size_t num_tables) {
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(dir, &names).ok());
+  size_t ssts = 0, manifests = 0;
+  bool current = false;
+  for (const auto& name : names) {
+    EXPECT_FALSE(IsTempFileName(name)) << "leaked temp file: " << name;
+    uint64_t id = 0;
+    if (ParseTableFileName(name, &id)) {
+      ssts++;
+    } else if (ParseManifestFileName(name, &id)) {
+      manifests++;
+    } else if (name == kCurrentFileName) {
+      current = true;
+    }
+  }
+  EXPECT_EQ(ssts, num_tables) << "stray or missing table files";
+  EXPECT_EQ(manifests, 1u) << "stale manifest survived recovery";
+  EXPECT_TRUE(current);
+}
+
+std::map<std::string, std::string> Dump(DB* db) {
+  std::map<std::string, std::string> out;
+  auto it = db->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out[it->key().ToString()] = it->value().ToString();
+  }
+  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  return out;
+}
+
+// --- File-name round-trips ---------------------------------------------------
+
+TEST(FilenameTest, TableNameRoundTripsAcrossTheIdRange) {
+  // Ids past 999999 widen instead of truncating — round-trip the boundary.
+  for (uint64_t id : {uint64_t{1}, uint64_t{42}, uint64_t{999999}, uint64_t{1000000},
+                      uint64_t{1000001}, uint64_t{12345678901ULL},
+                      uint64_t{18446744073709551615ULL}}) {
+    const std::string name = TableFileName(id);
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseTableFileName(name, &parsed)) << name;
+    EXPECT_EQ(parsed, id) << name;
+  }
+  EXPECT_EQ(TableFileName(7), "000007.sst");
+  EXPECT_EQ(TableFileName(999999), "999999.sst");
+  EXPECT_EQ(TableFileName(1000000), "1000000.sst");
+
+  uint64_t id = 0;
+  EXPECT_TRUE(ParseTableFileName("000007.sst", &id));
+  EXPECT_EQ(id, 7u);
+  EXPECT_TRUE(ParseTableFileName("1000000.sst", &id));
+  EXPECT_EQ(id, 1000000u);
+  for (const std::string bad :
+       {"", ".sst", "abc.sst", "123.tmp", "123.sstx", "12a4.sst", "123456789012345678901.sst",
+        "99999999999999999999.sst", "wal.log", "CURRENT"}) {
+    EXPECT_FALSE(ParseTableFileName(bad, &id)) << bad;
+  }
+}
+
+TEST(FilenameTest, ManifestNameRoundTrips) {
+  for (uint64_t n : {uint64_t{1}, uint64_t{999999}, uint64_t{1000000}}) {
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseManifestFileName(ManifestFileName(n), &parsed));
+    EXPECT_EQ(parsed, n);
+  }
+  uint64_t n = 0;
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-", &n));
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-abc", &n));
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST", &n));
+  EXPECT_TRUE(IsTempFileName("000123.sst.tmp"));
+  EXPECT_TRUE(IsTempFileName("CURRENT.tmp"));
+  EXPECT_FALSE(IsTempFileName("000123.sst"));
+}
+
+// --- Manifest recovery -------------------------------------------------------
+
+TEST(CrashRecoveryTest, CompactionCrashCannotResurrectTombstonedKeys) {
+  // The bug this PR exists to fix: a crash after compaction installs its
+  // output but before it finishes deleting the inputs used to leave a stale
+  // value-bearing table on disk; glob-based recovery reloaded it and a
+  // deleted key came back to life. Manifest recovery must sweep it instead.
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("db");
+  DBOptions opts;
+  opts.background_compaction = false;
+
+  std::string value_table_name;
+  std::string value_table_bytes;
+  {
+    auto db = DB::Open(dir, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put("k1", "v1").ok());
+    ASSERT_TRUE((*db)->Put("doomed", "ghost").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+
+    // The first table holds the soon-to-be-deleted value; remember it.
+    std::vector<std::string> names;
+    ASSERT_TRUE(Env::Default()->ListDir(dir, &names).ok());
+    for (const auto& name : names) {
+      uint64_t id = 0;
+      if (ParseTableFileName(name, &id)) value_table_name = name;
+    }
+    ASSERT_FALSE(value_table_name.empty());
+    value_table_bytes = ReadFileOrDie(dir + "/" + value_table_name);
+
+    ASSERT_TRUE((*db)->Delete("doomed").ok());
+    ASSERT_TRUE((*db)->Put("k2", "v2").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->CompactAll().ok());  // tombstone and old value both dropped
+
+    std::string v;
+    ASSERT_TRUE((*db)->Get("doomed", &v).IsNotFound());
+  }
+
+  // Simulate the crash: the retired input file was never actually unlinked.
+  WriteFileOrDie(dir + "/" + value_table_name, value_table_bytes);
+
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string v;
+  EXPECT_TRUE((*db)->Get("doomed", &v).IsNotFound()) << "tombstoned key resurrected";
+  ASSERT_TRUE((*db)->Get("k1", &v).ok());
+  EXPECT_EQ(v, "v1");
+  ASSERT_TRUE((*db)->Get("k2", &v).ok());
+  EXPECT_EQ(v, "v2");
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/" + value_table_name))
+      << "unreferenced table survived recovery";
+  EXPECT_GE((*db)->stats().orphans_swept.load(), 1u);
+}
+
+TEST(CrashRecoveryTest, LegacyDirectoryWithoutManifestBootstraps) {
+  // Directories created before the manifest existed have table files but no
+  // CURRENT; recovery globs them once and installs them into a new manifest.
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("db");
+  DBOptions opts;
+  opts.background_compaction = false;
+  {
+    auto db = DB::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("a", "1").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Put("b", "2").ok());
+  }
+  // Strip the manifest chain, leaving a pre-manifest layout.
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(dir, &names).ok());
+  for (const auto& name : names) {
+    uint64_t n = 0;
+    if (name == kCurrentFileName || ParseManifestFileName(name, &n)) {
+      ASSERT_TRUE(Env::Default()->RemoveFile(dir + "/" + name).ok());
+    }
+  }
+
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string v;
+  ASSERT_TRUE((*db)->Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE((*db)->Get("b", &v).ok());
+  EXPECT_EQ(v, "2");
+  EXPECT_TRUE(Env::Default()->FileExists(dir + "/" + kCurrentFileName));
+  CheckDirInvariants(dir, (*db)->NumTableFiles());
+}
+
+TEST(CrashRecoveryTest, OrphanFilesAreSweptAtOpen) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("db");
+  DBOptions opts;
+  opts.background_compaction = false;
+  {
+    auto db = DB::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("a", "1").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  // Plant crash leftovers: a half-written temp, an unreferenced table, and a
+  // stale manifest from an interrupted rotation.
+  WriteFileOrDie(dir + "/000123.sst.tmp", "half-written");
+  WriteFileOrDie(dir + "/" + TableFileName(999), "not in the manifest");
+  WriteFileOrDie(dir + "/" + ManifestFileName(424242), "stale rotation leftover");
+
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/000123.sst.tmp"));
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/" + TableFileName(999)));
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/" + ManifestFileName(424242)));
+  EXPECT_GE((*db)->stats().orphans_swept.load(), 3u);
+  std::string v;
+  ASSERT_TRUE((*db)->Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  CheckDirInvariants(dir, (*db)->NumTableFiles());
+}
+
+// --- Error-path temp cleanup -------------------------------------------------
+
+// Fails the next Append directed at a *.tmp file, then recovers — a
+// transient write error, not a crash.
+class FailTmpWritesEnv final : public EnvWrapper {
+ public:
+  explicit FailTmpWritesEnv(Env* base) : EnvWrapper(base) {}
+
+  void FailNextTmpAppend() { armed_.store(true); }
+
+  Status NewWritableFile(const std::string& path, std::unique_ptr<WritableFile>* out) override {
+    std::unique_ptr<WritableFile> base;
+    GT_RETURN_IF_ERROR(EnvWrapper::NewWritableFile(path, &base));
+    *out = std::make_unique<File>(this, IsTempFileName(path), std::move(base));
+    return Status::OK();
+  }
+
+ private:
+  class File final : public WritableFile {
+   public:
+    File(FailTmpWritesEnv* env, bool is_tmp, std::unique_ptr<WritableFile> base)
+        : env_(env), is_tmp_(is_tmp), base_(std::move(base)) {}
+    Status Append(Slice data) override {
+      bool expected = true;
+      if (is_tmp_ && env_->armed_.compare_exchange_strong(expected, false)) {
+        return Status::IOError("injected temp-file write failure");
+      }
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override { return base_->Sync(); }
+    Status Close() override { return base_->Close(); }
+    uint64_t size() const override { return base_->size(); }
+
+   private:
+    FailTmpWritesEnv* env_;
+    bool is_tmp_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  std::atomic<bool> armed_{false};
+};
+
+TEST(CrashRecoveryTest, FailedFlushCleansUpItsTempFile) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("db");
+  FailTmpWritesEnv fenv(Env::Default());
+  DBOptions opts;
+  opts.env = &fenv;
+  opts.background_compaction = false;
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("a", "1").ok());
+
+  fenv.FailNextTmpAppend();
+  EXPECT_FALSE((*db)->Flush().ok());
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(dir, &names).ok());
+  for (const auto& name : names) {
+    EXPECT_FALSE(IsTempFileName(name)) << "failed flush leaked " << name;
+  }
+  // Store stays usable: the memtable still holds the data and a retry works.
+  std::string v;
+  ASSERT_TRUE((*db)->Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_EQ((*db)->NumTableFiles(), 1u);
+}
+
+TEST(CrashRecoveryTest, FailedCompactionCleansUpItsTempFile) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("db");
+  FailTmpWritesEnv fenv(Env::Default());
+  DBOptions opts;
+  opts.env = &fenv;
+  opts.background_compaction = false;
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("a", "1").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put("b", "2").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_EQ((*db)->NumTableFiles(), 2u);
+
+  fenv.FailNextTmpAppend();
+  EXPECT_FALSE((*db)->CompactAll().ok());
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(dir, &names).ok());
+  for (const auto& name : names) {
+    EXPECT_FALSE(IsTempFileName(name)) << "failed compaction leaked " << name;
+  }
+  // Inputs are untouched and a retry succeeds.
+  std::string v;
+  ASSERT_TRUE((*db)->Get("a", &v).ok());
+  ASSERT_TRUE((*db)->Get("b", &v).ok());
+  ASSERT_TRUE((*db)->CompactAll().ok());
+  EXPECT_EQ((*db)->NumTableFiles(), 1u);
+}
+
+// --- Torn-tail WAL recovery at the DB level ----------------------------------
+
+// Builds a store whose WAL holds three un-flushed records, snapshotted
+// mid-run so the destructor's final flush doesn't rotate the log away.
+void BuildDirWithWalRecords(const std::string& snapshot_dir,
+                            gt::testing::ScopedTempDir* tmp) {
+  const std::string src = tmp->sub("src");
+  DBOptions opts;
+  opts.background_compaction = false;
+  auto db = DB::Open(src, opts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k1", "value-one").ok());
+  ASSERT_TRUE((*db)->Put("k2", "value-two").ok());
+  ASSERT_TRUE((*db)->Put("k3", "value-three").ok());
+  CopyDir(src, snapshot_dir);
+}
+
+TEST(CrashRecoveryTest, TruncatedWalTailOpensCleanly) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("torn");
+  BuildDirWithWalRecords(dir, &tmp);
+  const std::string wal = dir + "/" + kWalFileName;
+  auto size = Env::Default()->FileSize(wal);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(Env::Default()->TruncateFile(wal, *size - 5).ok());
+
+  DBOptions opts;
+  opts.background_compaction = false;
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k1", &v).ok());
+  EXPECT_EQ(v, "value-one");
+  ASSERT_TRUE((*db)->Get("k2", &v).ok());
+  EXPECT_EQ(v, "value-two");
+  EXPECT_TRUE((*db)->Get("k3", &v).IsNotFound()) << "torn record partially applied";
+  EXPECT_EQ((*db)->stats().wal_torn_tails.load(), 1u);
+}
+
+TEST(CrashRecoveryTest, BitFlippedFinalWalRecordOpensCleanly) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("flipped");
+  BuildDirWithWalRecords(dir, &tmp);
+  const std::string wal = dir + "/" + kWalFileName;
+  // The last byte of the file is inside the final record's payload.
+  const std::string bytes = ReadFileOrDie(wal);
+  FlipByte(wal, bytes.size() - 1);
+
+  DBOptions opts;
+  opts.background_compaction = false;
+  auto db = DB::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k1", &v).ok());
+  ASSERT_TRUE((*db)->Get("k2", &v).ok());
+  EXPECT_TRUE((*db)->Get("k3", &v).IsNotFound()) << "corrupt record applied";
+  EXPECT_EQ((*db)->stats().wal_torn_tails.load(), 1u);
+}
+
+TEST(CrashRecoveryTest, MidLogWalCorruptionFailsOpen) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("midlog");
+  BuildDirWithWalRecords(dir, &tmp);
+  // Byte 9 sits in the first record's payload; two intact records follow, so
+  // this cannot be a torn append and recovery must refuse.
+  FlipByte(dir + "/" + kWalFileName, 9);
+
+  DBOptions opts;
+  opts.background_compaction = false;
+  auto db = DB::Open(dir, opts);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption()) << db.status().ToString();
+}
+
+// --- CrashFaultEnv unit behavior ---------------------------------------------
+
+TEST(CrashFaultEnvTest, DropUnsyncedRewindsFilesAndDirectoryEntries) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("env");
+  CrashFaultEnv fenv(Env::Default());
+  ASSERT_TRUE(fenv.CreateDirIfMissing(dir).ok());
+
+  auto write = [&](const std::string& path, const std::string& bytes, bool sync) {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(fenv.NewWritableFile(path, &f).ok());
+    ASSERT_TRUE(f->Append(bytes).ok());
+    if (sync) {
+      ASSERT_TRUE(f->Sync().ok());
+    }
+    ASSERT_TRUE(f->Close().ok());
+  };
+
+  // a: synced prefix, then an un-synced suffix appended later.
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(fenv.NewWritableFile(dir + "/a", &f).ok());
+    ASSERT_TRUE(f->Append("hello").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Append(" world").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  write(dir + "/b", "data", /*sync=*/false);  // entry durable, bytes not
+  write(dir + "/e", "ee", /*sync=*/true);
+  ASSERT_TRUE(fenv.SyncDir(dir).ok());  // a, b, e entries now durable
+
+  write(dir + "/c", "cc", /*sync=*/true);          // entry never dir-synced
+  ASSERT_TRUE(fenv.RenameFile(dir + "/c", dir + "/d").ok());
+  ASSERT_TRUE(fenv.RemoveFile(dir + "/e").ok());   // unlink never dir-synced
+
+  fenv.CrashNow();
+  ASSERT_TRUE(fenv.DropUnsynced().ok());
+
+  EXPECT_EQ(ReadFileOrDie(dir + "/a"), "hello");  // un-synced suffix gone
+  EXPECT_EQ(ReadFileOrDie(dir + "/b"), "");       // entry survives, bytes don't
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/c"));  // create undone
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/d"));  // rename undone too
+  EXPECT_EQ(ReadFileOrDie(dir + "/e"), "ee");     // unlink undone
+}
+
+TEST(CrashFaultEnvTest, KillPointFailsEveryLaterMutation) {
+  gt::testing::ScopedTempDir tmp;
+  const std::string dir = tmp.sub("env");
+  CrashFaultEnv fenv(Env::Default());
+  ASSERT_TRUE(fenv.CreateDirIfMissing(dir).ok());
+  fenv.ArmKillPoint(2);  // the CreateDirIfMissing above consumed one op
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv.NewWritableFile(dir + "/x", &f).ok());
+  ASSERT_TRUE(f->Append("one").ok());  // op 3 == kill point
+  EXPECT_FALSE(f->Append("two").ok());
+  EXPECT_TRUE(fenv.crashed());
+  EXPECT_FALSE(f->Sync().ok());
+  EXPECT_FALSE(fenv.SyncDir(dir).ok());
+  EXPECT_FALSE(fenv.RemoveFile(dir + "/x").ok());
+  EXPECT_TRUE(f->Close().ok());  // closing an fd needs no disk write
+}
+
+// --- Kill-point sweep --------------------------------------------------------
+
+enum class OpKind { kPut, kDelete, kBatch, kFlush, kCompact };
+
+struct WorkOp {
+  OpKind kind;
+  std::vector<std::pair<std::string, std::string>> puts;
+  std::vector<std::string> dels;
+};
+
+WorkOp OpPut(std::string k, std::string v) {
+  return WorkOp{OpKind::kPut, {{std::move(k), std::move(v)}}, {}};
+}
+WorkOp OpDel(std::string k) { return WorkOp{OpKind::kDelete, {}, {std::move(k)}}; }
+WorkOp OpBatch(std::vector<std::pair<std::string, std::string>> puts,
+               std::vector<std::string> dels) {
+  return WorkOp{OpKind::kBatch, std::move(puts), std::move(dels)};
+}
+WorkOp OpFlush() { return WorkOp{OpKind::kFlush, {}, {}}; }
+WorkOp OpCompact() { return WorkOp{OpKind::kCompact, {}, {}}; }
+
+Status ApplyOp(DB* db, const WorkOp& op) {
+  switch (op.kind) {
+    case OpKind::kPut:
+      return db->Put(op.puts[0].first, op.puts[0].second);
+    case OpKind::kDelete:
+      return db->Delete(op.dels[0]);
+    case OpKind::kBatch: {
+      WriteBatch batch;
+      for (const auto& [k, v] : op.puts) batch.Put(k, v);
+      for (const auto& k : op.dels) batch.Delete(k);
+      return db->Write(std::move(batch));
+    }
+    case OpKind::kFlush:
+      return db->Flush();
+    case OpKind::kCompact:
+      return db->CompactAll();
+  }
+  return Status::InvalidArgument("unreachable");
+}
+
+// Expected user-visible contents after the first `n` ops.
+std::map<std::string, std::string> ModelAfter(const std::vector<WorkOp>& ops, size_t n) {
+  std::map<std::string, std::string> m;
+  for (size_t i = 0; i < n && i < ops.size(); i++) {
+    for (const auto& [k, v] : ops[i].puts) m[k] = v;
+    for (const auto& k : ops[i].dels) m.erase(k);
+  }
+  return m;
+}
+
+// Applies ops until one fails (which must mean the env crashed). Returns the
+// number of acknowledged ops.
+size_t RunWorkload(DB* db, const std::vector<WorkOp>& ops, CrashFaultEnv* fenv) {
+  size_t acked = 0;
+  for (const auto& op : ops) {
+    Status s = ApplyOp(db, op);
+    if (!s.ok()) {
+      EXPECT_TRUE(fenv->crashed()) << "non-crash failure: " << s.ToString();
+      break;
+    }
+    acked++;
+  }
+  return acked;
+}
+
+std::vector<WorkOp> ScriptedWorkload() {
+  return {
+      OpPut("a", "va1"),
+      OpPut("b", "vb1"),
+      OpPut("c", "vc1"),
+      OpFlush(),
+      OpPut("b", "vb2"),
+      OpDel("c"),
+      OpFlush(),
+      OpCompact(),  // drops c's tombstone — resurrection territory
+      OpBatch({{"d", "vd1"}, {"e", "ve1"}}, {"a"}),
+      OpFlush(),
+      OpPut("f", "vf1"),
+      OpDel("e"),
+      OpFlush(),
+      OpCompact(),
+      OpPut("g", "vg1"),
+      OpBatch({{"a", "va2"}}, {"f"}),
+  };
+}
+
+// Crashes at kill point `k` of the workload, materializes the post-crash
+// disk, reopens with the real env and checks that the recovered contents
+// equal the model after some op count in [lo(acked), acked+1]. `min_prefix`
+// maps the acked count to the oldest state recovery may legally roll back to
+// (acked itself when every write is synced, 0 when none are).
+void RunKillPoint(const std::string& dir, const std::vector<WorkOp>& ops, uint64_t k,
+                  bool sync_wal, size_t memtable_bytes,
+                  const std::function<size_t(size_t)>& min_prefix) {
+  size_t acked = 0;
+  CrashFaultEnv fenv(Env::Default());
+  fenv.ArmKillPoint(k);
+  {
+    DBOptions opts;
+    opts.env = &fenv;
+    opts.sync_wal = sync_wal;
+    opts.memtable_bytes = memtable_bytes;
+    opts.background_compaction = false;
+    auto db = DB::Open(dir, opts);
+    if (db.ok()) {
+      acked = RunWorkload(db->get(), ops, &fenv);
+    } else {
+      EXPECT_TRUE(fenv.crashed()) << "non-crash open failure: " << db.status().ToString();
+    }
+    // The destructor's final flush may also hit the kill point; that must
+    // never make recovery fail, only lose un-synced tail data.
+  }
+  ASSERT_TRUE(fenv.DropUnsynced().ok());
+
+  DBOptions plain;
+  plain.sync_wal = sync_wal;
+  plain.memtable_bytes = memtable_bytes;
+  plain.background_compaction = false;
+  auto db = DB::Open(dir, plain);
+  ASSERT_TRUE(db.ok()) << "store unopenable after crash: " << db.status().ToString();
+  const auto dump = Dump(db->get());
+
+  const size_t lo = min_prefix(acked);
+  const size_t hi = std::min(acked + 1, ops.size());
+  bool matched = false;
+  size_t matched_at = 0;
+  for (size_t i = lo; i <= hi && !matched; i++) {
+    if (dump == ModelAfter(ops, i)) {
+      matched = true;
+      matched_at = i;
+    }
+  }
+  EXPECT_TRUE(matched) << "recovered state matches no op prefix in [" << lo << ", " << hi
+                       << "]; acked=" << acked << " recovered_keys=" << dump.size();
+  (void)matched_at;
+  CheckDirInvariants(dir, (*db)->NumTableFiles());
+}
+
+void KillPointSweep(bool sync_wal) {
+  gt::testing::ScopedTempDir tmp;
+  const auto ops = ScriptedWorkload();
+  const size_t memtable_bytes = 64 << 20;  // flush only when scripted
+
+  // Dry run: count the workload's mutating file-system operations.
+  uint64_t total_ops = 0;
+  {
+    CrashFaultEnv fenv(Env::Default());
+    DBOptions opts;
+    opts.env = &fenv;
+    opts.sync_wal = sync_wal;
+    opts.memtable_bytes = memtable_bytes;
+    opts.background_compaction = false;
+    {
+      auto db = DB::Open(tmp.sub("dry"), opts);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      ASSERT_EQ(RunWorkload(db->get(), ops, &fenv), ops.size());
+    }
+    total_ops = fenv.op_count();
+    ASSERT_FALSE(fenv.crashed());
+  }
+
+  // With sync_wal every acked op must survive exactly; without it, recovery
+  // may roll back to any earlier prefix (most adversarially, the last table
+  // install) but never to a state that matches no prefix at all.
+  const auto min_prefix = sync_wal ? std::function<size_t(size_t)>([](size_t acked) {
+    return acked;
+  })
+                                   : std::function<size_t(size_t)>([](size_t) {
+                                       return size_t{0};
+                                     });
+  for (uint64_t k = 0; k <= total_ops; k++) {
+    SCOPED_TRACE("kill point " + std::to_string(k) + "/" + std::to_string(total_ops));
+    const std::string dir = tmp.sub("k" + std::to_string(k));
+    RunKillPoint(dir, ops, k, sync_wal, memtable_bytes, min_prefix);
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) return;
+    ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir).ok());
+  }
+}
+
+TEST(CrashSweepTest, ScriptedWorkloadSurvivesEveryKillPoint) { KillPointSweep(false); }
+
+TEST(CrashSweepTest, ScriptedWorkloadSurvivesEveryKillPointWithSyncWal) {
+  KillPointSweep(true);
+}
+
+TEST(CrashSweepTest, RandomizedWorkloadSurvivesSampledKillPoints) {
+  // Same invariant, messier workload: random puts/deletes/flushes/compactions
+  // with values sized to trigger automatic memtable flushes. Fixed seed so a
+  // failure reproduces exactly.
+  gt::testing::ScopedTempDir tmp;
+  gt::Rng rng(0xC0FFEE);
+  std::vector<WorkOp> ops;
+  for (int i = 0; i < 50; i++) {
+    const uint64_t roll = rng.Uniform(100);
+    const std::string key = "key" + std::to_string(rng.Uniform(16));
+    if (roll < 70) {
+      ops.push_back(OpPut(key, key + "=v" + std::to_string(i) + std::string(64, 'x')));
+    } else if (roll < 85) {
+      ops.push_back(OpDel(key));
+    } else if (roll < 95) {
+      ops.push_back(OpFlush());
+    } else {
+      ops.push_back(OpCompact());
+    }
+  }
+  const size_t memtable_bytes = 1024;  // force auto-flushes mid-workload
+
+  uint64_t total_ops = 0;
+  {
+    CrashFaultEnv fenv(Env::Default());
+    DBOptions opts;
+    opts.env = &fenv;
+    opts.memtable_bytes = memtable_bytes;
+    opts.background_compaction = false;
+    {
+      auto db = DB::Open(tmp.sub("dry"), opts);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      ASSERT_EQ(RunWorkload(db->get(), ops, &fenv), ops.size());
+    }
+    total_ops = fenv.op_count();
+  }
+
+  const auto min_prefix = std::function<size_t(size_t)>([](size_t) { return size_t{0}; });
+  const uint64_t stride = std::max<uint64_t>(1, total_ops / 40);
+  for (uint64_t k = 0; k <= total_ops; k += stride) {
+    SCOPED_TRACE("kill point " + std::to_string(k) + "/" + std::to_string(total_ops));
+    const std::string dir = tmp.sub("r" + std::to_string(k));
+    RunKillPoint(dir, ops, k, /*sync_wal=*/false, memtable_bytes, min_prefix);
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) return;
+    ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gt::kv

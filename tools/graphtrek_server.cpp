@@ -37,6 +37,10 @@ struct Flags {
   uint32_t workers = 2;
   uint32_t access_us = 0;
   uint32_t warm_us = 0;
+  // fdatasync the KV write-ahead log before acking each write. Off by
+  // default (matching kv::DBOptions): crash recovery then rolls back to a
+  // consistent earlier state instead of guaranteeing every acked write.
+  bool sync_wal = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
@@ -63,6 +67,8 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
       out->access_us = static_cast<uint32_t>(atoi(v6));
     } else if (const char* v7 = need("--warm-us")) {
       out->warm_us = static_cast<uint32_t>(atoi(v7));
+    } else if (std::strcmp(argv[i], "--sync-wal") == 0) {
+      out->sync_wal = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -81,7 +87,8 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
                  "usage: graphtrek_server --id N --servers M [--registry-dir R] "
-                 "[--data-dir D] [--workers W] [--access-us U] [--warm-us U]\n");
+                 "[--data-dir D] [--workers W] [--access-us U] [--warm-us U] "
+                 "[--sync-wal]\n");
     return 2;
   }
   Logger::SetLevel(LogLevel::kInfo);
@@ -114,6 +121,7 @@ int main(int argc, char** argv) {
   graph::GraphStoreOptions sopts;
   sopts.device = flags.access_us > 0 ? &device : nullptr;
   sopts.server_id = flags.id;
+  sopts.db.sync_wal = flags.sync_wal;
   auto store = graph::GraphStore::Open(
       flags.data_dir + "/s" + std::to_string(flags.id), sopts);
   if (!store.ok()) {

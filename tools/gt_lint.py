@@ -11,10 +11,14 @@ Checks (all scoped to src/):
   2. Naked std::thread is allowed only in the sanctioned thread owners:
      the thread pool and the transport listener/delivery/timer loops.
   3. The #include graph over "src/..." headers must be acyclic.
-  4. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  4. Direct POSIX file-system calls (::open, ::rename, ::fsync, ...) are
+     allowed only in src/kv/env.cc. The rest of src/kv must go through the
+     Env interface, or crash-fault injection (CrashFaultEnv) cannot see the
+     operation and the durability rules in DESIGN.md cannot be enforced.
+  5. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-3 pass; 1 otherwise. Check 4 never fails the
+Exit status: 0 when checks 1-4 pass; 1 otherwise. Check 5 never fails the
 run — it only prints warnings.
 """
 
@@ -50,6 +54,16 @@ PRIMITIVE_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|condition_variable|sha
 # std::thread but not std::this_thread.
 THREAD_RE = re.compile(r"std::thread\b")
 INCLUDE_RE = re.compile(r'#\s*include\s*"(src/[^"]+)"')
+
+# The one file in src/kv allowed to call the kernel directly.
+KV_ENV_CC = "src/kv/env.cc"
+# Globally-qualified POSIX file-system calls. The lookbehind keeps
+# qualified names like std::remove from matching.
+POSIX_FS_RE = re.compile(
+    r"(?<![\w:])::(open|openat|close|read|write|pread|pwrite|lseek|rename|renameat|"
+    r"unlink|unlinkat|remove|truncate|ftruncate|fsync|fdatasync|sync_file_range|"
+    r"mkdir|rmdir|opendir|readdir|closedir|stat|fstat|lstat|access)\s*\("
+)
 
 
 def strip_comments(text):
@@ -133,6 +147,24 @@ def check_threads(files):
     return errors
 
 
+def check_kv_posix(files):
+    errors = []
+    for rel in files:
+        if not rel.startswith("src/kv/") or rel == KV_ENV_CC:
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = POSIX_FS_RE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: direct POSIX call '::{m.group(1)}' — go through "
+                    f"Env (only {KV_ENV_CC} may touch the kernel, so fault injection "
+                    f"sees every file operation)"
+                )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -195,6 +227,7 @@ def main():
     errors = []
     errors += check_primitives(files)
     errors += check_threads(files)
+    errors += check_kv_posix(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:
