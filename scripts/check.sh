@@ -30,7 +30,8 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # Crash-fault-injection gate: run the kill-point sweeps explicitly so a
 # filter or discovery problem can never silently drop them from the matrix.
 step "crash-fault-injection sweep (test_kv_crash)"
-ctest --test-dir build --output-on-failure -R 'Crash(Sweep|Recovery|FaultEnv)Test'
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'Crash(Sweep|Recovery|FaultEnv)Test'
 
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
@@ -50,7 +51,8 @@ if [[ "$FAST" == 0 ]]; then
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
   step "crash-fault-injection sweep under TSan"
-  ctest --test-dir build-tsan --output-on-failure -R 'Crash(Sweep|Recovery|FaultEnv)Test'
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'Crash(Sweep|Recovery|FaultEnv)Test'
 else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi

@@ -135,25 +135,24 @@ Status DB::Recover() {
 
   // The manifest names the exact live table set. Directories from before the
   // manifest existed (no CURRENT) bootstrap it once from a directory glob —
-  // the only place globbing is still allowed.
-  const bool legacy = !env->FileExists(dir_ + "/" + kCurrentFileName);
-  std::vector<std::string> names;
-  if (legacy) GT_RETURN_IF_ERROR(env->ListDir(dir_, &names));
-  ManifestState mstate;
-  auto manifest = Manifest::Open(env, dir_, &mstate, &stats_);
-  if (!manifest.ok()) return manifest.status();
-  manifest_ = std::move(*manifest);
-  if (legacy) {
-    VersionEdit bootstrap;
+  // the only place globbing is still allowed. The glob happens up front and
+  // is handed to Manifest::Open so the legacy tables land in the initial
+  // snapshot before CURRENT is created; logging them as an edit afterwards
+  // would open a crash window in which a durable CURRENT names an empty
+  // live set and the orphan sweep deletes every legacy table.
+  std::vector<uint64_t> legacy_tables;
+  if (!env->FileExists(dir_ + "/" + kCurrentFileName)) {
+    std::vector<std::string> names;
+    GT_RETURN_IF_ERROR(env->ListDir(dir_, &names));
     for (const auto& name : names) {
       uint64_t id;
-      if (ParseTableFileName(name, &id)) bootstrap.added_tables.push_back(id);
-    }
-    if (!bootstrap.added_tables.empty()) {
-      GT_RETURN_IF_ERROR(manifest_->LogEdit(bootstrap));
-      mstate.Apply(bootstrap);
+      if (ParseTableFileName(name, &id)) legacy_tables.push_back(id);
     }
   }
+  ManifestState mstate;
+  auto manifest = Manifest::Open(env, dir_, &mstate, &stats_, legacy_tables);
+  if (!manifest.ok()) return manifest.status();
+  manifest_ = std::move(*manifest);
 
   // Delete crash leftovers before loading anything.
   SweepOrphans(mstate.live_tables);

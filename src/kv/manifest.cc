@@ -88,21 +88,25 @@ void ManifestState::Apply(const VersionEdit& edit) {
 }
 
 Result<std::unique_ptr<Manifest>> Manifest::Open(Env* env, const std::string& dir,
-                                                 ManifestState* state, KvStats* stats) {
+                                                 ManifestState* state, KvStats* stats,
+                                                 const std::vector<uint64_t>& bootstrap_tables) {
   auto manifest = std::unique_ptr<Manifest>(new Manifest(env, dir, stats));
   MutexLock lk(&manifest->mu_);
 
   const std::string current_path = dir + "/" + kCurrentFileName;
   if (env->FileExists(current_path)) {
-    // Read the pointer, then replay the named manifest log.
+    // Read the pointer (to EOF — a single Read may legally return short),
+    // then replay the named manifest log.
     std::string pointer;
     {
       std::unique_ptr<SequentialFile> file;
       GT_RETURN_IF_ERROR(env->NewSequentialFile(current_path, &file));
       char buf[64];
       Slice chunk;
-      GT_RETURN_IF_ERROR(file->Read(sizeof(buf), &chunk, buf));
-      pointer.assign(chunk.data(), chunk.size());
+      do {
+        GT_RETURN_IF_ERROR(file->Read(sizeof(buf), &chunk, buf));
+        pointer.append(chunk.data(), chunk.size());
+      } while (!chunk.empty());
     }
     while (!pointer.empty() && (pointer.back() == '\n' || pointer.back() == '\r')) {
       pointer.pop_back();
@@ -130,6 +134,16 @@ Result<std::unique_ptr<Manifest>> Manifest::Open(Env* env, const std::string& di
     }
     GT_RETURN_IF_ERROR(reader.status());
     manifest->number_ = number;
+  } else if (!bootstrap_tables.empty()) {
+    // Pre-manifest directory: seed the live set with the legacy tables so
+    // the rotation below writes them into the very first snapshot, before
+    // CURRENT comes into existence. A crash anywhere in the upgrade then
+    // leaves either no CURRENT (still legacy; the next open re-globs) or a
+    // CURRENT whose manifest already names every legacy table — never a
+    // durable empty live set that would get the tables swept as orphans.
+    VersionEdit bootstrap;
+    bootstrap.added_tables = bootstrap_tables;
+    manifest->state_.Apply(bootstrap);
   }
 
   // Start every open from a compact snapshot in a fresh file; this also

@@ -58,11 +58,17 @@ struct ManifestState {
 
 class Manifest {
  public:
-  // Loads the state named by CURRENT (empty state when this is a fresh
-  // directory), then rotates into a new manifest file so the log starts
-  // from a compact snapshot. `*state` receives the recovered state.
+  // Loads the state named by CURRENT, then rotates into a new manifest file
+  // so the log starts from a compact snapshot. `*state` receives the
+  // recovered state. When CURRENT does not exist (fresh or pre-manifest
+  // directory), `bootstrap_tables` seeds the live set BEFORE that first
+  // rotation writes the snapshot and creates CURRENT — the upgrade of a
+  // legacy directory must be atomic: a durable CURRENT may never name a
+  // live set that omits table files already on disk, or the orphan sweep
+  // would delete real data after a crash. Ignored when CURRENT exists.
   static Result<std::unique_ptr<Manifest>> Open(Env* env, const std::string& dir,
-                                                ManifestState* state, KvStats* stats);
+                                                ManifestState* state, KvStats* stats,
+                                                const std::vector<uint64_t>& bootstrap_tables = {});
 
   // Appends one edit, fsyncs it, and applies it to the in-memory state.
   // Rotates first when the log has outgrown kRotateBytes. Safe to call from

@@ -684,6 +684,80 @@ TEST(CrashSweepTest, ScriptedWorkloadSurvivesEveryKillPointWithSyncWal) {
   KillPointSweep(true);
 }
 
+TEST(CrashSweepTest, LegacyUpgradeSurvivesEveryKillPoint) {
+  // The pre-manifest upgrade must be atomic: at every kill point of the
+  // first manifest-creating open, the durable directory either still looks
+  // legacy (no CURRENT; the next open re-globs the tables) or has a CURRENT
+  // whose manifest names every legacy table. A CURRENT that durably names an
+  // empty live set would get the legacy .sst files swept as orphans — total
+  // data loss.
+  gt::testing::ScopedTempDir tmp;
+  const std::string legacy = tmp.sub("legacy");
+  DBOptions opts;
+  opts.background_compaction = false;
+  {
+    auto db = DB::Open(legacy, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put("a", "1").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Put("b", "2").ok());  // flushed into a table by ~DB
+  }
+  // Strip the manifest chain, leaving a pre-manifest layout whose data lives
+  // entirely in table files.
+  std::vector<std::string> names;
+  ASSERT_TRUE(Env::Default()->ListDir(legacy, &names).ok());
+  for (const auto& name : names) {
+    uint64_t n = 0;
+    if (name == kCurrentFileName || ParseManifestFileName(name, &n)) {
+      ASSERT_TRUE(Env::Default()->RemoveFile(legacy + "/" + name).ok());
+    }
+  }
+
+  // Dry run: count the upgrade's mutating file-system operations.
+  uint64_t total_ops = 0;
+  {
+    const std::string dir = tmp.sub("dry");
+    CopyDir(legacy, dir);
+    CrashFaultEnv fenv(Env::Default());
+    DBOptions copts = opts;
+    copts.env = &fenv;
+    {
+      auto db = DB::Open(dir, copts);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+    }
+    total_ops = fenv.op_count();
+    ASSERT_FALSE(fenv.crashed());
+  }
+
+  for (uint64_t k = 0; k <= total_ops; k++) {
+    SCOPED_TRACE("kill point " + std::to_string(k) + "/" + std::to_string(total_ops));
+    const std::string dir = tmp.sub("k" + std::to_string(k));
+    CopyDir(legacy, dir);
+    CrashFaultEnv fenv(Env::Default());
+    fenv.ArmKillPoint(k);
+    {
+      DBOptions copts = opts;
+      copts.env = &fenv;
+      auto db = DB::Open(dir, copts);
+      if (!db.ok()) {
+        EXPECT_TRUE(fenv.crashed()) << "non-crash open failure: " << db.status().ToString();
+      }
+    }
+    ASSERT_TRUE(fenv.DropUnsynced().ok());
+
+    auto db = DB::Open(dir, opts);
+    ASSERT_TRUE(db.ok()) << "store unopenable after crashed upgrade: " << db.status().ToString();
+    std::string v;
+    ASSERT_TRUE((*db)->Get("a", &v).ok()) << "flushed data lost in crashed upgrade";
+    EXPECT_EQ(v, "1");
+    ASSERT_TRUE((*db)->Get("b", &v).ok()) << "flushed data lost in crashed upgrade";
+    EXPECT_EQ(v, "2");
+    CheckDirInvariants(dir, (*db)->NumTableFiles());
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) return;
+    ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir).ok());
+  }
+}
+
 TEST(CrashSweepTest, RandomizedWorkloadSurvivesSampledKillPoints) {
   // Same invariant, messier workload: random puts/deletes/flushes/compactions
   // with values sized to trigger automatic memtable flushes. Fixed seed so a
