@@ -36,17 +36,20 @@ double Makespan(engine::Cluster* cluster, const std::vector<lang::TraversalPlan>
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Ablation: concurrent traversals, 6-step RMAT-1, 8 servers",
               "makespan of K simultaneous traversals, Sync-GT vs GraphTrek");
 
   BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
 
   std::printf("%-14s %12s %12s %10s\n", "concurrency", "Sync-GT", "GraphTrek", "speedup");
-  for (uint32_t k : {1u, 2u, 4u, 8u}) {
-    BenchCluster cluster(8, cfg, &catalog, g);
+  const std::vector<uint32_t> sweep =
+      g_smoke ? std::vector<uint32_t>{2u} : std::vector<uint32_t>{1u, 2u, 4u, 8u};
+  for (uint32_t k : sweep) {
+    BenchCluster cluster(ServersOrSmoke(8), cfg, &catalog, g);
     std::vector<lang::TraversalPlan> plans;
     for (uint32_t i = 0; i < k; i++) {
       plans.push_back(HopPlan(&catalog, kBenchSource + i * 13, 6));

@@ -7,20 +7,24 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Ablation: device-latency sweep, 8-step RMAT-1, 16 servers",
               "Sync-GT vs GraphTrek as the per-access device cost varies");
 
   graph::Catalog catalog;
   BenchConfig base;
+  ParseBenchArgs(argc, argv, &base);
   graph::RefGraph g = BuildRmat1(&catalog, base);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
 
   std::printf("%-14s %12s %12s %10s\n", "access_us", "Sync-GT", "GraphTrek", "speedup");
-  for (uint32_t access_us : {0u, 25u, 50u, 100u, 200u, 400u}) {
+  const std::vector<uint32_t> sweep =
+      g_smoke ? std::vector<uint32_t>{25u}
+              : std::vector<uint32_t>{0u, 25u, 50u, 100u, 200u, 400u};
+  for (uint32_t access_us : sweep) {
     BenchConfig cfg = base;
     cfg.access_latency_us = access_us;
-    BenchCluster cluster(16, cfg, &catalog, g);
+    BenchCluster cluster(ServersOrSmoke(16), cfg, &catalog, g);
     const double sync_ms = cluster.Run(plan, engine::EngineMode::kSync);
     const double gt_ms = cluster.Run(plan, engine::EngineMode::kGraphTrek);
     std::printf("%-14u %9.1f ms %9.1f ms %9.2fx\n", access_us, sync_ms, gt_ms,

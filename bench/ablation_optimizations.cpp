@@ -39,15 +39,16 @@ double RunConfigured(const graph::RefGraph& g, graph::Catalog* catalog,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Ablation: GraphTrek optimizations, 8-step RMAT-1, 16 servers",
               "traversal-affiliate cache / execution merging / priority scheduling");
 
   BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
-  const uint32_t servers = 16;
+  const uint32_t servers = ServersOrSmoke(16);
   const size_t big_cache = 1 << 20;
 
   struct Variant {
@@ -73,7 +74,10 @@ int main() {
 
   std::printf("\ncache-capacity sweep (GraphTrek, entries):\n");
   std::printf("%-12s %12s\n", "capacity", "elapsed");
-  for (size_t capacity : {64ul, 256ul, 1024ul, 4096ul, 1ul << 20}) {
+  const std::vector<size_t> capacities =
+      g_smoke ? std::vector<size_t>{64ul, 1ul << 20}
+              : std::vector<size_t>{64ul, 256ul, 1024ul, 4096ul, 1ul << 20};
+  for (size_t capacity : capacities) {
     const double ms = RunConfigured(g, &catalog, plan, cfg, servers, true, true,
                                     capacity, engine::EngineMode::kGraphTrek);
     std::printf("%-12zu %9.1f ms\n", capacity, ms);

@@ -6,20 +6,23 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Ablation: workers per server, 8-step RMAT-1, 8 servers",
               "Sync-GT vs GraphTrek at varying per-server I/O parallelism");
 
   graph::Catalog catalog;
   BenchConfig base;
+  ParseBenchArgs(argc, argv, &base);
   graph::RefGraph g = BuildRmat1(&catalog, base);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
 
   std::printf("%-10s %12s %12s\n", "workers", "Sync-GT", "GraphTrek");
-  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+  const std::vector<uint32_t> sweep =
+      g_smoke ? std::vector<uint32_t>{2u} : std::vector<uint32_t>{1u, 2u, 4u, 8u};
+  for (uint32_t workers : sweep) {
     BenchConfig cfg = base;
     cfg.workers_per_server = workers;
-    BenchCluster cluster(8, cfg, &catalog, g);
+    BenchCluster cluster(ServersOrSmoke(8), cfg, &catalog, g);
     const double sync_ms = cluster.Run(plan, engine::EngineMode::kSync);
     const double gt_ms = cluster.Run(plan, engine::EngineMode::kGraphTrek);
     std::printf("%-10u %9.1f ms %9.1f ms\n", workers, sync_ms, gt_ms);

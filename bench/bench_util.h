@@ -10,12 +10,17 @@
 // orderings, scaling trends and crossovers, not absolute seconds.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/engine/cluster.h"
 #include "src/gen/rmat.h"
 #include "src/lang/gtravel.h"
@@ -41,6 +46,90 @@ struct BenchConfig {
   bool net_faults = false;
   uint64_t net_fault_seed = 42;
 };
+
+// Set by ParseBenchArgs when the binary runs with --smoke: shrink the
+// workload so every fig/table binary finishes in seconds. The ctest
+// bench_smoke_* gates run every bench this way so the reproduction
+// harness itself cannot silently rot.
+inline bool g_smoke = false;
+
+inline void ParseBenchArgs(int argc, char** argv, BenchConfig* cfg) {
+  for (int i = 1; i < argc; i++) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      g_smoke = true;
+      cfg->rmat_scale = 7;
+      cfg->runs = 1;
+      cfg->access_latency_us = 40;
+      cfg->warm_latency_us = 10;
+      cfg->per_kib_us = 0;
+      cfg->tail_prob = 0.0;
+      cfg->net_latency_us = 5;
+    } else {
+      std::fprintf(stderr, "bench: unknown flag '%s' (supported: --smoke)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+}
+
+// Sweep/size helpers honouring --smoke.
+inline uint32_t ServersOrSmoke(uint32_t full) { return g_smoke ? 2u : full; }
+
+inline std::vector<uint32_t> ServerSweep(std::vector<uint32_t> full) {
+  if (g_smoke) return {2u};
+  return full;
+}
+
+// Process-wide total of one counter family, read from the metrics registry
+// (sums every label set plus collector-backed instances).
+inline uint64_t MetricTotal(const std::string& name) {
+  return static_cast<uint64_t>(metrics::Registry::Default()->Sum(name));
+}
+
+// Transport traffic report from the registry's gt_rpc_* families: one
+// summary line plus the busiest links by messages sent. Replaces the
+// transport's old hand-rolled stats formatter.
+inline void PrintRpcStats(size_t top_n) {
+  std::printf("  rpc: sent=%llu recv=%llu dropped=%llu reconnects=%llu "
+              "send_failures=%llu\n",
+              static_cast<unsigned long long>(MetricTotal("gt_rpc_messages_sent_total")),
+              static_cast<unsigned long long>(MetricTotal("gt_rpc_messages_received_total")),
+              static_cast<unsigned long long>(MetricTotal("gt_rpc_messages_dropped_total")),
+              static_cast<unsigned long long>(MetricTotal("gt_rpc_reconnects_total")),
+              static_cast<unsigned long long>(MetricTotal("gt_rpc_send_failures_total")));
+
+  struct Link {
+    double sent = 0;
+    double bytes = 0;
+    double delayed = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Link> links;
+  for (const auto& s : metrics::Registry::Default()->Collect("gt_rpc_link_")) {
+    std::string src, dst;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "src") src = v;
+      if (k == "dst") dst = v;
+    }
+    Link& l = links[{src, dst}];
+    if (s.name == "gt_rpc_link_messages_sent_total") l.sent += s.value;
+    if (s.name == "gt_rpc_link_bytes_sent_total") l.bytes += s.value;
+    if (s.name == "gt_rpc_link_delayed_total") l.delayed += s.value;
+  }
+  std::vector<std::pair<std::pair<std::string, std::string>, Link>> rows(
+      links.begin(), links.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.sent > b.second.sent; });
+  if (rows.size() > top_n) rows.resize(top_n);
+  for (const auto& [key, l] : rows) {
+    std::printf("  link %s->%s: sent=%.0f bytes=%.0f%s\n", key.first.c_str(),
+                key.second.c_str(), l.sent, l.bytes,
+                l.delayed > 0 ? (" delayed=" + std::to_string(static_cast<uint64_t>(
+                                                   l.delayed)))
+                                    .c_str()
+                              : "");
+  }
+}
 
 // Builds the RMAT-1-style bench graph once (shareable across clusters).
 inline graph::RefGraph BuildRmat1(graph::Catalog* catalog, const BenchConfig& cfg) {

@@ -3,8 +3,8 @@
 // servers vs ~5% at 2 servers — deeper traversals amplify the win.
 #include "bench/fig_step_scaling.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gt::bench::RunStepScalingFigure(
-      "Figure 10: 8-step traversal on RMAT-1", 8,
+      argc, argv, "Figure 10: 8-step traversal on RMAT-1", 8,
       "~24% improvement over Sync-GT at 32 servers vs ~5% at 2 servers");
 }

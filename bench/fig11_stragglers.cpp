@@ -43,21 +43,23 @@ void InstallStragglers(engine::Cluster* cluster, uint32_t servers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 11: 8-step traversal with simulated external stragglers",
               "avg of 3 runs; 5ms x 50 delayed accesses at steps 1/3/7 (scaled)");
 
   BenchConfig cfg;
   cfg.net_faults = true;  // run the whole bench through the fault decorator
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
+  const int reps = g_smoke ? 1 : 3;
 
   std::printf("%-8s %12s %12s %10s\n", "servers", "Sync-GT", "GraphTrek", "speedup");
-  for (uint32_t servers : {2u, 4u, 8u, 16u, 32u}) {
+  for (uint32_t servers : ServerSweep({2u, 4u, 8u, 16u, 32u})) {
     BenchCluster cluster(servers, cfg, &catalog, g);
     double sync_total = 0, gt_total = 0;
-    for (int run = 0; run < 3; run++) {
+    for (int run = 0; run < reps; run++) {
       cluster.get()->straggler()->ClearRules();
       InstallStragglers(cluster.get(), servers);
       sync_total += cluster.Run(plan, engine::EngineMode::kSync);
@@ -66,13 +68,14 @@ int main() {
       gt_total += cluster.Run(plan, engine::EngineMode::kGraphTrek);
     }
     cluster.get()->straggler()->ClearRules();
-    const double sync_ms = sync_total / 3.0;
-    const double gt_ms = gt_total / 3.0;
+    const double sync_ms = sync_total / reps;
+    const double gt_ms = gt_total / reps;
     std::printf("%-8u %9.1f ms %9.1f ms %9.2fx\n", servers, sync_ms, gt_ms,
                 sync_ms / gt_ms);
-    const rpc::Transport& t = *cluster.get()->transport();
-    std::printf("  %s\n%s", rpc::TransportStatsSummary(t).c_str(),
-                rpc::FormatLinkStats(t, /*top_n=*/6).c_str());
+    // Per-link traffic (congested links stand out) from the metrics
+    // registry: only this cluster's transports are registered while it is
+    // alive, so the scrape is scoped to the current sweep point.
+    PrintRpcStats(/*top_n=*/6);
     std::fflush(stdout);
   }
   std::printf("\npaper: obvious advantage for GraphTrek (2x with 32 servers)\n");

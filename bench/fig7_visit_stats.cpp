@@ -13,37 +13,51 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 7: per-server visit statistics, 8-step traversal, 32 servers",
               "GraphTrek engine instrumentation (received = redundant+combined+real)");
 
   BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
 
-  const uint32_t servers = 32;
+  const uint32_t servers = ServersOrSmoke(32);
   BenchCluster cluster(servers, cfg, &catalog, g);
   cluster.get()->ResetStats();
   cluster.Run(plan, engine::EngineMode::kGraphTrek);
 
+  // Per-server figures come from the metrics registry (each BackendServer
+  // registers an exposition collector labelled server="s<N>"), not from
+  // poking the engine internals directly.
   struct Row {
-    uint32_t server;
-    engine::VisitStats::Snapshot snap;
+    uint64_t received = 0, redundant = 0, combined = 0, real_io = 0;
   };
-  std::vector<Row> rows;
-  for (uint32_t s = 0; s < servers; s++) {
-    rows.push_back({s, cluster.get()->server(s)->visit_stats().Read()});
+  std::map<std::string, Row> by_server;
+  for (const auto& s : metrics::Registry::Default()->Collect("gt_engine_visits_")) {
+    std::string server;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "server") server = v;
+    }
+    Row& r = by_server[server];
+    const uint64_t v = static_cast<uint64_t>(s.value);
+    if (s.name == "gt_engine_visits_received_total") r.received = v;
+    if (s.name == "gt_engine_visits_redundant_total") r.redundant = v;
+    if (s.name == "gt_engine_visits_combined_total") r.combined = v;
+    if (s.name == "gt_engine_visits_real_io_total") r.real_io = v;
   }
+  std::vector<Row> rows;
+  for (const auto& [server, row] : by_server) rows.push_back(row);
   // The paper reorders servers for presentation; sort by real I/O.
   std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.snap.real_io > b.snap.real_io; });
+            [](const Row& a, const Row& b) { return a.real_io > b.real_io; });
 
   std::printf("%-6s %10s %10s %10s %10s\n", "rank", "received", "real_io", "combined",
               "redundant");
   uint64_t tot_recv = 0, tot_io = 0, tot_comb = 0, tot_red = 0;
   for (size_t i = 0; i < rows.size(); i++) {
-    const auto& s = rows[i].snap;
+    const Row& s = rows[i];
     std::printf("%-6zu %10llu %10llu %10llu %10llu\n", i + 1,
                 static_cast<unsigned long long>(s.received),
                 static_cast<unsigned long long>(s.real_io),

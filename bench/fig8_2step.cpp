@@ -4,8 +4,8 @@
 // asynchronous engine little to optimize).
 #include "bench/fig_step_scaling.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gt::bench::RunStepScalingFigure(
-      "Figure 8: 2-step traversal on RMAT-1", 2,
+      argc, argv, "Figure 8: 2-step traversal on RMAT-1", 2,
       "with smaller steps and fewer servers Sync-GT actually performs better");
 }

@@ -3,8 +3,8 @@
 // performance improves as servers (and straggler potential) grow.
 #include "bench/fig_step_scaling.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gt::bench::RunStepScalingFigure(
-      "Figure 9: 4-step traversal on RMAT-1", 4,
+      argc, argv, "Figure 9: 4-step traversal on RMAT-1", 4,
       "GraphTrek's relative performance improves with more servers");
 }

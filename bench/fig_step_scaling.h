@@ -6,17 +6,18 @@
 
 namespace gt::bench {
 
-inline int RunStepScalingFigure(const char* title, uint32_t steps,
-                                const char* paper_note) {
+inline int RunStepScalingFigure(int argc, char** argv, const char* title,
+                                uint32_t steps, const char* paper_note) {
   PrintHeader(title, "elapsed ms, Sync-GT vs GraphTrek (scaled-down graph)");
 
   BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
   const auto plan = HopPlan(&catalog, kBenchSource, steps);
 
   std::printf("%-8s %12s %12s %10s\n", "servers", "Sync-GT", "GraphTrek", "speedup");
-  for (uint32_t servers : {2u, 4u, 8u, 16u, 32u}) {
+  for (uint32_t servers : ServerSweep({2u, 4u, 8u, 16u, 32u})) {
     BenchCluster cluster(servers, cfg, &catalog, g);
     const double sync_ms = cluster.RunAveraged(plan, engine::EngineMode::kSync, cfg.runs);
     const double gt_ms = cluster.RunAveraged(plan, engine::EngineMode::kGraphTrek, cfg.runs);

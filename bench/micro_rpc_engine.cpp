@@ -2,6 +2,7 @@
 // per-server data structures (traversal-affiliate cache, request queue).
 #include <benchmark/benchmark.h>
 
+#include "src/common/metrics.h"
 #include "src/common/sync.h"
 #include "src/engine/request_queue.h"
 #include "src/engine/travel_cache.h"
@@ -91,6 +92,29 @@ void BM_RequestQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_RequestQueuePushPop)->Arg(0)->Arg(1);
+
+// Registry hot-path costs: instrumented code touches only these two
+// operations, so they bound the observability overhead per event.
+void BM_MetricsCounterInc(benchmark::State& state) {
+  metrics::Registry registry;
+  metrics::Counter* c = registry.GetCounter("bm_counter_total", {{"k", "v"}});
+  for (auto _ : state) c->Inc();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  metrics::Registry registry;
+  metrics::Histogram* h = registry.GetHistogram(
+      "bm_latency_ms", {}, metrics::Histogram::LatencyBucketsMs());
+  double v = 0.1;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 8000 ? v * 1.7 : 0.1;  // walk across the bucket ladder
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 }  // namespace
 

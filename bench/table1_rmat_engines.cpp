@@ -15,17 +15,18 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Table I: 8-step traversal on RMAT-1, all three engines",
               "elapsed ms per engine (scaled-down graph; see DESIGN.md)");
 
   BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   graph::RefGraph g = BuildRmat1(&catalog, cfg);
   const auto plan = HopPlan(&catalog, kBenchSource, 8);
 
   std::printf("%-8s %12s %12s %12s\n", "servers", "Sync-GT", "Async-GT", "GraphTrek");
-  for (uint32_t servers : {2u, 4u, 8u, 16u, 32u}) {
+  for (uint32_t servers : ServerSweep({2u, 4u, 8u, 16u, 32u})) {
     BenchCluster cluster(servers, cfg, &catalog, g);
     const double sync_ms = cluster.RunAveraged(plan, engine::EngineMode::kSync, cfg.runs);
     const double async_ms =

@@ -14,16 +14,18 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Table II: statistics of the rich-metadata graph",
               "synthetic Darshan-style generator at bench scale (see DESIGN.md)");
 
+  BenchConfig bcfg;
+  ParseBenchArgs(argc, argv, &bcfg);
   graph::Catalog catalog;
   gen::DarshanConfig cfg;
-  cfg.users = 177;  // match the paper's user count; volume knobs scaled down
-  cfg.jobs_per_user_max = 64;
-  cfg.execs_per_job_max = 16;
-  cfg.files = 16384;
+  cfg.users = g_smoke ? 16 : 177;  // paper's user count; volume knobs scaled down
+  cfg.jobs_per_user_max = g_smoke ? 8 : 64;
+  cfg.execs_per_job_max = g_smoke ? 4 : 16;
+  cfg.files = g_smoke ? 1024 : 16384;
   cfg.seed = 2013;
   gen::DarshanGenerator generator(cfg);
   Stopwatch watch;

@@ -15,16 +15,18 @@
 using namespace gt;
 using namespace gt::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Table III: suspicious-user audit query on the Darshan-style graph",
               "5-hop heterogeneous traversal with rtn(), 32 servers");
 
+  BenchConfig cfg;
+  ParseBenchArgs(argc, argv, &cfg);
   graph::Catalog catalog;
   gen::DarshanConfig dcfg;
-  dcfg.users = 96;
-  dcfg.jobs_per_user_max = 48;
-  dcfg.execs_per_job_max = 12;
-  dcfg.files = 8192;
+  dcfg.users = g_smoke ? 12 : 96;
+  dcfg.jobs_per_user_max = g_smoke ? 8 : 48;
+  dcfg.execs_per_job_max = g_smoke ? 4 : 12;
+  dcfg.files = g_smoke ? 512 : 8192;
   dcfg.seed = 2013;
   gen::DarshanGenerator generator(dcfg);
   graph::RefGraph g = generator.Build(&catalog);
@@ -46,9 +48,8 @@ int main() {
     return 1;
   }
 
-  BenchConfig cfg;
   std::printf("%-8s %12s %12s %12s\n", "servers", "Sync-GT", "Async-GT", "GraphTrek");
-  for (uint32_t servers : {8u, 16u, 32u}) {
+  for (uint32_t servers : ServerSweep({8u, 16u, 32u})) {
     BenchCluster cluster(servers, cfg, &catalog, g);
     const double sync_ms = cluster.Run(*plan, engine::EngineMode::kSync);
     const double async_ms = cluster.Run(*plan, engine::EngineMode::kAsyncPlain);

@@ -33,6 +33,20 @@ step "crash-fault-injection sweep (test_kv_crash)"
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'Crash(Sweep|Recovery|FaultEnv)Test'
 
+# Cross-engine differential gate: the seeded random-workload comparison of
+# Sync-GT / Async-GT / GraphTrek against the reference evaluator, including
+# the duplicate+drop idempotence leg. Run explicitly for the same reason as
+# the crash sweeps: discovery problems must not silently drop it.
+step "cross-engine differential harness (test_engine_differential)"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'EngineDifferentialTest'
+
+# Bench smoke gate: every figure/table/ablation binary must still run end to
+# end at --smoke size (they read the metrics registry, so a renamed series
+# breaks here instead of on a multi-hour full run).
+step "bench smoke run (--smoke)"
+ctest --test-dir build --output-on-failure --no-tests=error -L bench_smoke
+
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
 if command -v clang++ >/dev/null 2>&1; then
@@ -53,6 +67,9 @@ if [[ "$FAST" == 0 ]]; then
   step "crash-fault-injection sweep under TSan"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'Crash(Sweep|Recovery|FaultEnv)Test'
+  step "cross-engine differential harness under TSan"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'EngineDifferentialTest'
 else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi

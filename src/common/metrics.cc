@@ -1,0 +1,284 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gt::metrics {
+
+namespace {
+
+// Prometheus floats: integers render without a fractional part so counter
+// output stays exact and golden-testable; everything else gets shortest-
+// round-trip-ish %g.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string FormatLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; i++) {
+    buckets_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+void Histogram::Observe(double v) {
+  // Prometheus bucket bounds are inclusive upper edges (le = "less than or
+  // equal"), so an observation exactly on a bound lands in that bucket.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b->load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::LatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+  return kBuckets;
+}
+
+Registry* Registry::Default() {
+  static Registry* r = new Registry();  // leaked: outlives every collector
+  return r;
+}
+
+void Registry::RecordFamilyLocked(const std::string& name, MetricType type,
+                                  const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    families_[name] = {type, help};
+  } else if (it->second.second.empty() && !help.empty()) {
+    it->second.second = help;
+  }
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels,
+                              const std::string& help) {
+  MutexLock lk(&mu_);
+  RecordFamilyLocked(name, MetricType::kCounter, help);
+  auto& slot = counters_[{name, SortedLabels(std::move(labels))}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels,
+                          const std::string& help) {
+  MutexLock lk(&mu_);
+  RecordFamilyLocked(name, MetricType::kGauge, help);
+  auto& slot = gauges_[{name, SortedLabels(std::move(labels))}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, Labels labels,
+                                  std::vector<double> bounds,
+                                  const std::string& help) {
+  MutexLock lk(&mu_);
+  RecordFamilyLocked(name, MetricType::kHistogram, help);
+  auto& slot = histograms_[{name, SortedLabels(std::move(labels))}];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::LatencyBucketsMs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+CollectorId Registry::AddCollector(CollectorFn fn) {
+  MutexLock lk(&mu_);
+  const CollectorId id = next_collector_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void Registry::RemoveCollector(CollectorId id) {
+  MutexLock lk(&mu_);
+  collectors_.erase(id);
+}
+
+void Registry::DescribeFamily(const std::string& name, MetricType type,
+                              const std::string& help) {
+  MutexLock lk(&mu_);
+  RecordFamilyLocked(name, type, help);
+}
+
+void Registry::CollectLocked(const std::string& prefix,
+                             std::vector<Sample>* out) const {
+  auto want = [&](const std::string& name) {
+    return prefix.empty() || name.compare(0, prefix.size(), prefix) == 0;
+  };
+  for (const auto& [key, c] : counters_) {
+    if (!want(key.first)) continue;
+    out->push_back({key.first, key.second, static_cast<double>(c->Value()),
+                    MetricType::kCounter});
+  }
+  for (const auto& [key, g] : gauges_) {
+    if (!want(key.first)) continue;
+    out->push_back({key.first, key.second, static_cast<double>(g->Value()),
+                    MetricType::kGauge});
+  }
+  for (const auto& [key, h] : histograms_) {
+    if (!want(key.first)) continue;
+    const auto counts = h->BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); i++) {
+      cumulative += counts[i];
+      Labels with_le = key.second;
+      with_le.emplace_back(
+          "le", i < h->bounds().size() ? FormatValue(h->bounds()[i]) : "+Inf");
+      out->push_back({key.first + "_bucket", std::move(with_le),
+                      static_cast<double>(cumulative), MetricType::kHistogram});
+    }
+    out->push_back(
+        {key.first + "_sum", key.second, h->Sum(), MetricType::kHistogram});
+    out->push_back({key.first + "_count", key.second,
+                    static_cast<double>(h->Count()), MetricType::kHistogram});
+  }
+  std::vector<Sample> extra;
+  for (const auto& [id, fn] : collectors_) {
+    (void)id;
+    fn(&extra);
+  }
+  for (auto& s : extra) {
+    if (!want(s.name)) continue;
+    std::sort(s.labels.begin(), s.labels.end());
+    out->push_back(std::move(s));
+  }
+}
+
+std::vector<Sample> Registry::Collect(const std::string& prefix) const {
+  std::vector<Sample> out;
+  MutexLock lk(&mu_);
+  CollectLocked(prefix, &out);
+  return out;
+}
+
+double Registry::Sum(const std::string& name) const {
+  double total = 0;
+  for (const auto& s : Collect()) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+std::string Registry::Expose(const std::string& prefix) const {
+  std::vector<Sample> samples;
+  std::map<std::string, std::pair<MetricType, std::string>> families;
+  {
+    MutexLock lk(&mu_);
+    CollectLocked(prefix, &samples);
+    families = families_;
+  }
+  // Group by family: histogram series (name_bucket/_sum/_count) sort under
+  // their base family so the whole histogram sits beneath one # TYPE line.
+  auto family_of = [&](const Sample& s) -> std::string {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::char_traits<char>::length(suffix);
+      if (s.type == MetricType::kHistogram && s.name.size() > len &&
+          s.name.compare(s.name.size() - len, len, suffix) == 0) {
+        return s.name.substr(0, s.name.size() - len);
+      }
+    }
+    return s.name;
+  };
+  std::stable_sort(samples.begin(), samples.end(),
+                   [&](const Sample& a, const Sample& b) {
+                     const std::string fa = family_of(a), fb = family_of(b);
+                     if (fa != fb) return fa < fb;
+                     return false;  // keep intern/emit order within a family
+                   });
+  std::string out;
+  std::string current_family;
+  for (const auto& s : samples) {
+    const std::string family = family_of(s);
+    if (family != current_family) {
+      current_family = family;
+      auto it = families.find(family);
+      const MetricType type = it != families.end() ? it->second.first : s.type;
+      const std::string& help = it != families.end() ? it->second.second : "";
+      if (!help.empty()) out += "# HELP " + family + " " + help + "\n";
+      out += "# TYPE " + family + " " + std::string(TypeName(type)) + "\n";
+    }
+    out += s.name + FormatLabels(s.labels) + " " + FormatValue(s.value) + "\n";
+  }
+  return out;
+}
+
+void Registry::ResetForTest() {
+  MutexLock lk(&mu_);
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, g] : gauges_) g->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+}
+
+}  // namespace gt::metrics

@@ -1,0 +1,176 @@
+// Process-wide metrics registry: the one place every layer (kv, rpc,
+// engine, coordinator) reports counters, gauges and latency histograms,
+// exposed in Prometheus text format.
+//
+// Design:
+//  - The hot path is lock-free: Counter::Inc / Gauge::Set / Histogram::Observe
+//    are plain std::atomic operations on handles fetched once at setup time.
+//    The registry mutex is taken only when interning a metric (startup) or
+//    rendering an exposition (ops/bench frequency).
+//  - Instrumented objects with their own internal counters (KvStats,
+//    TransportStats, VisitStats) do not duplicate state into the registry:
+//    they register a *collector* — a callback that emits Samples at
+//    exposition time with instance labels attached — and remove it when the
+//    instance dies. This keeps hot paths untouched and label cardinality
+//    bounded by the set of live instances.
+//  - Naming scheme (see DESIGN.md "Observability"): gt_<layer>_<what>[_total],
+//    layer in {kv, rpc, engine, travel}; instance labels `db`, `transport`,
+//    `server`; per-link rpc rows carry `src`/`dst`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+
+namespace gt::metrics {
+
+// Sorted (key, value) pairs; sorted at intern time so label order never
+// creates duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+// A monotonically increasing counter. Lock-free.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// A value that can go up and down. Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed-bucket histogram. Observe() is lock-free: one fetch_add on the
+// bucket, one on the total count, and a CAS loop on the (double) sum.
+// Bucket bounds are inclusive upper edges; an implicit +Inf bucket catches
+// the rest, Prometheus-style (each exposed `le` bucket is cumulative).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts, one per bound plus the +Inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+  // Default bounds for operation latencies measured in milliseconds:
+  // 0.25ms .. 10s, roughly 2-2.5x apart (sub-ms cache hits through
+  // multi-second cold traversals).
+  static const std::vector<double>& LatencyBucketsMs();
+
+ private:
+  const std::vector<double> bounds_;  // ascending upper edges
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> buckets_;  // bounds + Inf
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// One exposition-time data point, as emitted by collectors and Collect().
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+  MetricType type = MetricType::kGauge;
+};
+
+// Collectors append Samples for the instance they describe.
+using CollectorFn = std::function<void(std::vector<Sample>*)>;
+using CollectorId = uint64_t;
+
+class Registry {
+ public:
+  // The process-wide registry every layer reports into.
+  static Registry* Default();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Interns (or returns the existing) metric for (name, labels). The returned
+  // pointer is stable for the registry's lifetime; fetch it once and keep it.
+  // A histogram created with empty `bounds` uses LatencyBucketsMs().
+  Counter* GetCounter(const std::string& name, Labels labels = {},
+                      const std::string& help = "") GT_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, Labels labels = {},
+                  const std::string& help = "") GT_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, Labels labels = {},
+                          std::vector<double> bounds = {},
+                          const std::string& help = "") GT_EXCLUDES(mu_);
+
+  // Registers a callback run at every Expose()/Collect(); remove it before
+  // the instance it reads from dies. Collector callbacks run under the
+  // registry mutex and must not call back into the registry.
+  CollectorId AddCollector(CollectorFn fn) GT_EXCLUDES(mu_);
+  void RemoveCollector(CollectorId id) GT_EXCLUDES(mu_);
+
+  // Records the # TYPE/# HELP header for a family whose samples come from
+  // collectors (owned metrics register theirs at Get* time).
+  void DescribeFamily(const std::string& name, MetricType type,
+                      const std::string& help = "") GT_EXCLUDES(mu_);
+
+  // All current samples (owned metrics + collectors), optionally filtered to
+  // names starting with `prefix`. Histograms expand to <name>_sum,
+  // <name>_count and cumulative <name>_bucket{le=...} samples.
+  std::vector<Sample> Collect(const std::string& prefix = "") const GT_EXCLUDES(mu_);
+
+  // Sum of every sample whose name is exactly `name`, across all label sets
+  // and collectors (e.g. total messages sent over all live transports).
+  double Sum(const std::string& name) const GT_EXCLUDES(mu_);
+
+  // Prometheus text exposition of Collect(prefix): families sorted by name,
+  // one # HELP/# TYPE header per family, label values escaped.
+  std::string Expose(const std::string& prefix = "") const GT_EXCLUDES(mu_);
+
+  // Zeroes every owned counter/gauge/histogram (collectors are left alone:
+  // they mirror live instances, which own their state). Test fixtures use
+  // this so registry state never bleeds between tests.
+  void ResetForTest() GT_EXCLUDES(mu_);
+
+ private:
+  using MetricKey = std::pair<std::string, Labels>;  // (name, sorted labels)
+
+  void CollectLocked(const std::string& prefix, std::vector<Sample>* out) const
+      GT_REQUIRES(mu_);
+  void RecordFamilyLocked(const std::string& name, MetricType type,
+                          const std::string& help) GT_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_ GT_GUARDED_BY(mu_);
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_ GT_GUARDED_BY(mu_);
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_ GT_GUARDED_BY(mu_);
+  // Family name -> (type, help) for # TYPE/# HELP headers.
+  std::map<std::string, std::pair<MetricType, std::string>> families_
+      GT_GUARDED_BY(mu_);
+  std::map<CollectorId, CollectorFn> collectors_ GT_GUARDED_BY(mu_);
+  CollectorId next_collector_ GT_GUARDED_BY(mu_) = 1;
+};
+
+// Formats a label set as {k="v",...} with Prometheus escaping ("" for empty).
+std::string FormatLabels(const Labels& labels);
+
+}  // namespace gt::metrics

@@ -84,7 +84,24 @@ BackendServer::BackendServer(ServerConfig cfg, graph::GraphStore* store,
       partitioner_(partitioner),
       catalog_(catalog),
       transport_(transport),
-      cache_(cfg.cache_capacity) {}
+      cache_(cfg.cache_capacity) {
+  auto* reg = metrics::Registry::Default();
+  const std::string server = "s" + std::to_string(cfg_.id);
+  reg->DescribeFamily("gt_travel_duration_ms", metrics::MetricType::kHistogram,
+                      "End-to-end travel wall time at the coordinator");
+  reg->DescribeFamily("gt_travel_completed_total", metrics::MetricType::kCounter,
+                      "Travels completed, by outcome");
+  for (int m = 0; m < 3; m++) {
+    travel_duration_ms_[m] = reg->GetHistogram(
+        "gt_travel_duration_ms",
+        {{"server", server}, {"mode", EngineModeName(static_cast<EngineMode>(m))}},
+        metrics::Histogram::LatencyBucketsMs());
+  }
+  travels_ok_ = reg->GetCounter("gt_travel_completed_total",
+                                {{"server", server}, {"outcome", "ok"}});
+  travels_failed_ = reg->GetCounter("gt_travel_completed_total",
+                                    {{"server", server}, {"outcome", "error"}});
+}
 
 BackendServer::~BackendServer() { Stop(); }
 
@@ -99,12 +116,72 @@ Status BackendServer::Start() {
   }
   pool_->Submit([this] { MaintenanceLoop(); });
   started_ = true;
+
+  // Exposition-time bridge: snapshots this server's engine-layer state into
+  // the registry. Runs off the hot path (only when someone scrapes), so
+  // taking mu_ for the cache/travel figures is fine — hot paths never call
+  // into the registry while holding mu_.
+  auto* reg = metrics::Registry::Default();
+  const std::string server = "s" + std::to_string(cfg_.id);
+  reg->DescribeFamily("gt_engine_visits_received_total", metrics::MetricType::kCounter,
+                      "Vertex visit requests received");
+  reg->DescribeFamily("gt_engine_visits_redundant_total", metrics::MetricType::kCounter,
+                      "Redundant visits absorbed by the travel cache");
+  reg->DescribeFamily("gt_engine_visits_combined_total", metrics::MetricType::kCounter,
+                      "Visits folded into another access by execution merging");
+  reg->DescribeFamily("gt_engine_visits_real_io_total", metrics::MetricType::kCounter,
+                      "Visits that reached the storage backend");
+  reg->DescribeFamily("gt_engine_step_visits_total", metrics::MetricType::kCounter,
+                      "Visit requests received, by traversal step");
+  reg->DescribeFamily("gt_engine_duplicate_frames_total", metrics::MetricType::kCounter,
+                      "Re-delivered hand-off frames absorbed by exec-id dedup");
+  reg->DescribeFamily("gt_engine_travel_cache_hits_total", metrics::MetricType::kCounter,
+                      "Travel-cache lookups that found an entry");
+  reg->DescribeFamily("gt_engine_travel_cache_misses_total", metrics::MetricType::kCounter,
+                      "Travel-cache lookups that inserted a pending entry");
+  reg->DescribeFamily("gt_engine_queue_depth", metrics::MetricType::kGauge,
+                      "Request-queue depth");
+  metrics_collector_ = reg->AddCollector([this, server](
+                                             std::vector<metrics::Sample>* out) {
+    using metrics::MetricType;
+    const metrics::Labels base = {{"server", server}};
+    auto counter = [&](const char* name, uint64_t v) {
+      out->push_back({name, base, static_cast<double>(v), MetricType::kCounter});
+    };
+    const VisitStats::Snapshot vs = visit_stats_.Read();
+    counter("gt_engine_visits_received_total", vs.received);
+    counter("gt_engine_visits_redundant_total", vs.redundant);
+    counter("gt_engine_visits_combined_total", vs.combined);
+    counter("gt_engine_visits_real_io_total", vs.real_io);
+    for (uint32_t i = 0; i < VisitStats::kMaxTrackedSteps; i++) {
+      if (vs.per_step[i] == 0) continue;
+      metrics::Labels labels = base;
+      labels.emplace_back("step", std::to_string(i));
+      out->push_back({"gt_engine_step_visits_total", std::move(labels),
+                      static_cast<double>(vs.per_step[i]), MetricType::kCounter});
+    }
+    counter("gt_engine_send_failures_total", send_failures_.load());
+    counter("gt_engine_duplicate_frames_total", visit_stats_.duplicate_frames.load());
+    out->push_back({"gt_engine_queue_depth", base,
+                    static_cast<double>(queue_.size()), MetricType::kGauge});
+    out->push_back({"gt_engine_queue_high_watermark", base,
+                    static_cast<double>(queue_.high_watermark()), MetricType::kGauge});
+    MutexLock lk(&mu_);
+    counter("gt_engine_travel_cache_hits_total", cache_.hits());
+    counter("gt_engine_travel_cache_misses_total", cache_.misses());
+    counter("gt_engine_travel_cache_evictions_total", cache_.evictions());
+    out->push_back({"gt_engine_travel_cache_entries", base,
+                    static_cast<double>(cache_.size()), MetricType::kGauge});
+    out->push_back({"gt_engine_active_travels", base,
+                    static_cast<double>(travels_.size()), MetricType::kGauge});
+  });
   return Status::OK();
 }
 
 void BackendServer::Stop() {
   if (!started_) return;
   started_ = false;
+  metrics::Registry::Default()->RemoveCollector(metrics_collector_);
   transport_->UnregisterEndpoint(cfg_.id);
   stop_.store(true);
   queue_.Shutdown();
@@ -350,6 +427,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     ts.sync_phase = 0;
     ts.sync_pending_done = cfg_.num_servers;
     for (ServerId s = 0; s < cfg_.num_servers; s++) {
+      RecordStepEventLocked(ts, 0, /*created=*/true);
       SyncStepPayload start;
       start.travel_id = travel;
       start.step = 0;
@@ -423,6 +501,7 @@ void BackendServer::StartRootExecsLocked(TravelState& ts) {
     ts.total_created++;
     ts.incomplete_execs++;
     ts.unfinished_per_step[0]++;
+    RecordStepEventLocked(ts, 0, /*created=*/true);
   }
 
   if (ts.root_outstanding == 0) {
@@ -473,7 +552,66 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
     SendLossy(std::move(abort));
   }
 
+  const uint64_t now_us = NowMicros();
+  travel_duration_ms_[static_cast<int>(ts.mode)]->Observe(
+      (now_us - ts.started_us) / 1000.0);
+  (status.ok() ? travels_ok_ : travels_failed_)->Inc();
+  ArchiveTravelLocked(ts, status.ok(), now_us);
+
   travels_.erase(ts.id);  // ts is dangling after this line
+}
+
+void BackendServer::RecordStepEventLocked(TravelState& ts, uint32_t step,
+                                          bool created) {
+  if (ts.step_spans.size() <= step) ts.step_spans.resize(step + 1);
+  TravelTrace::StepSpan& span = ts.step_spans[step];
+  const uint64_t now = NowMicros();
+  if (span.first_event_us == 0) span.first_event_us = now;
+  span.last_event_us = now;
+  if (created) {
+    span.created++;
+  } else {
+    span.terminated++;
+  }
+}
+
+void BackendServer::ArchiveTravelLocked(const TravelState& ts, bool ok,
+                                        uint64_t now_us) {
+  constexpr size_t kMaxArchivedTraces = 32;
+  TravelTrace trace;
+  trace.travel = ts.id;
+  trace.mode = ts.mode;
+  trace.coordinator = cfg_.id;
+  trace.ok = ok;
+  trace.started_us = ts.started_us;
+  trace.finished_us = now_us;
+  trace.total_created = ts.total_created;
+  trace.total_terminated = ts.total_terminated;
+  trace.result_count = ts.results.size();
+  trace.steps = ts.step_spans;
+  recent_traces_.push_back(std::move(trace));
+  while (recent_traces_.size() > kMaxArchivedTraces) recent_traces_.pop_front();
+}
+
+std::vector<TravelTrace> BackendServer::RecentTraces() const {
+  MutexLock lk(&mu_);
+  return std::vector<TravelTrace>(recent_traces_.begin(), recent_traces_.end());
+}
+
+bool BackendServer::ExportTraceJson(TravelId travel, std::string* json) const {
+  MutexLock lk(&mu_);
+  if (recent_traces_.empty()) return false;
+  if (travel == 0) {
+    *json = ToChromeTraceJson(recent_traces_.back());
+    return true;
+  }
+  for (const TravelTrace& t : recent_traces_) {
+    if (t.travel == travel) {
+      *json = ToChromeTraceJson(t);
+      return true;
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +649,13 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
     plans_[req->travel_id] = cplan;
   }
 
+  // Duplicate-delivery absorption (exec ids are globally unique): only the
+  // first copy of a hand-off frame executes.
+  if (!cplan->seen_execs.insert(req->exec_id).second) {
+    visit_stats_.duplicate_frames.fetch_add(1);
+    return;
+  }
+
   auto exec_owner = std::make_unique<ExecState>();
   ExecState& exec = *exec_owner;
   exec.travel = req->travel_id;
@@ -543,6 +688,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
   if (!attribution) {
     // Direct protocol: per entry, one memo probe decides owner vs redundant.
     visit_stats_.received.fetch_add(req->entries.size() + scan_entries.size());
+    visit_stats_.AddStep(ex.step, req->entries.size() + scan_entries.size());
     auto classify = [&](graph::VertexId vid) {
       if (graphtrek) {
         auto lr = cache_.LookupOrInsertPending(ex.travel, ex.step, vid);
@@ -580,6 +726,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
   }
   ex.unresolved = ex.entry_parents.size();
   visit_stats_.received.fetch_add(ex.entry_parents.size());
+  visit_stats_.AddStep(ex.step, ex.entry_parents.size());
 
   std::vector<std::pair<graph::VertexId, TravelCache::LookupResult>> classified;
   classified.reserve(ex.entry_parents.size());
@@ -1110,6 +1257,7 @@ void BackendServer::ApplyTraceItemLocked(TravelState& ts, const TraceItem& item)
     if (trace.created) return;
     trace.created = true;
     trace.step = item.step;
+    RecordStepEventLocked(ts, item.step, /*created=*/true);
     ts.total_created++;
     if (!existed) {
       ts.incomplete_execs++;
@@ -1120,6 +1268,8 @@ void BackendServer::ApplyTraceItemLocked(TravelState& ts, const TraceItem& item)
   } else {
     if (trace.terminated) return;
     trace.terminated = true;
+    RecordStepEventLocked(ts, trace.created ? trace.step : item.step,
+                          /*created=*/false);
     ts.total_terminated++;
     if (!existed) {
       ts.incomplete_execs++;
@@ -1313,6 +1463,7 @@ void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
     for (auto& e : batch->entries) slot.push_back(std::move(e));
     sl.batches_received[batch->step]++;
     visit_stats_.received.fetch_add(batch->entries.size());
+    visit_stats_.AddStep(batch->step, batch->entries.size());
     SyncMaybeProcessStepLocked(batch->travel_id);
     return;
   }
@@ -1386,6 +1537,7 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
         return true;
       }).ok();
       visit_stats_.received.fetch_add(sl.current_frontier.size() - before);
+      visit_stats_.AddStep(step, sl.current_frontier.size() - before);
     }
   }
   if (raw_entries > sl.current_frontier.size()) {
@@ -1587,6 +1739,8 @@ void BackendServer::SyncCoordinatorStepDoneLocked(TravelState& ts,
                                                   ServerId src) {
   if (done.step != ts.sync_step || done.phase != ts.sync_phase) return;  // stale
 
+  // Forward-phase barrier arrivals close the per-server span for this step.
+  if (done.phase == 0) RecordStepEventLocked(ts, done.step, /*created=*/false);
   ts.results.insert(done.result_vids.begin(), done.result_vids.end());
   if (done.phase == 0) {
     if (ts.sync_fwd_matrices[done.step].empty()) {
@@ -1633,6 +1787,7 @@ void BackendServer::SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t 
   ts.sync_pending_done = cfg_.num_servers;
 
   for (ServerId s = 0; s < cfg_.num_servers; s++) {
+    if (phase == 0) RecordStepEventLocked(ts, step, /*created=*/true);
     SyncStepPayload start;
     start.travel_id = ts.id;
     start.step = step;

@@ -20,11 +20,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/sync.h"
 #include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/request_queue.h"
 #include "src/engine/travel_cache.h"
+#include "src/engine/travel_trace.h"
 #include "src/engine/types.h"
 #include "src/engine/visit_stats.h"
 #include "src/graph/graph_store.h"
@@ -73,6 +75,13 @@ class BackendServer {
   // the ops stats line.
   uint64_t send_failures() const { return send_failures_.load(); }
 
+  // Recently completed travels this server coordinated (oldest first,
+  // bounded archive), with per-step execution spans.
+  std::vector<TravelTrace> RecentTraces() const GT_EXCLUDES(mu_);
+  // Renders the archived trace for `travel` (0 = most recent) as Chrome
+  // trace-event JSON. False when the travel is not in the archive.
+  bool ExportTraceJson(TravelId travel, std::string* json) const GT_EXCLUDES(mu_);
+
  private:
   // --- shared traversal bookkeeping ---------------------------------------
 
@@ -88,6 +97,13 @@ class BackendServer {
     // paper's direct protocol: final vertices return straight to the
     // coordinator and completion is detected purely by status tracing.
     bool attribution = false;
+    // Exec ids already delivered for this travel (guarded by the server
+    // mu_, like the plans_ map itself). Hand-off frames are absorbed
+    // first-delivery-wins: a re-delivered frame replayed against live exec
+    // state corrupts the unresolved/children accounting, and replayed
+    // against an already-erased exec it re-answers the parent and lets the
+    // travel complete without its siblings' results.
+    std::unordered_set<ExecId> seen_execs;
   };
 
   // Asynchronous-engine execution state (one per kTraverse request).
@@ -154,6 +170,10 @@ class BackendServer {
     bool roots_dispatched = false;
     uint64_t incomplete_execs = 0;  // trace entries missing created/terminated
     std::unordered_set<graph::VertexId> results;
+
+    // Per-step span accumulation for the archived TravelTrace (async modes
+    // feed this from trace items, the sync engine from its step barriers).
+    std::vector<TravelTrace::StepSpan> step_spans;
 
     // Sync engine control state.
     uint32_t sync_step = 0;
@@ -227,6 +247,13 @@ class BackendServer {
   void EraseExecLocked(ExecId id) GT_REQUIRES(mu_);
   void StartRootExecsLocked(TravelState& ts) GT_REQUIRES(mu_);
   void CompleteTravelLocked(TravelState& ts, Status status) GT_REQUIRES(mu_);
+  // Folds one execution lifecycle event into the travel's step spans.
+  void RecordStepEventLocked(TravelState& ts, uint32_t step, bool created)
+      GT_REQUIRES(mu_);
+  // Archives the finished travel into recent_traces_ and observes its wall
+  // time in the per-mode duration histogram.
+  void ArchiveTravelLocked(const TravelState& ts, bool ok, uint64_t now_us)
+      GT_REQUIRES(mu_);
   void SendTraceEventLocked(ServerId coordinator, TravelId travel, uint32_t step,
                             std::vector<ExecId> ids, bool created) GT_REQUIRES(mu_);
   void SendDispatchEventLocked(ServerId coordinator, TravelId travel, uint32_t child_step,
@@ -285,6 +312,15 @@ class BackendServer {
   std::deque<TravelId> aborted_order_ GT_GUARDED_BY(mu_);  // bounds the tombstone set
   uint64_t next_exec_seq_ GT_GUARDED_BY(mu_) = 1;
   uint64_t next_travel_seq_ GT_GUARDED_BY(mu_) = 1;
+  // Completed-travel archive for trace export (bounded; oldest dropped).
+  std::deque<TravelTrace> recent_traces_ GT_GUARDED_BY(mu_);
+
+  // Registry handles, fetched once at construction (hot paths only touch
+  // the atomics inside). Indexed by EngineMode for the duration histogram.
+  metrics::Histogram* travel_duration_ms_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* travels_ok_ = nullptr;
+  metrics::Counter* travels_failed_ = nullptr;
+  metrics::CollectorId metrics_collector_ = 0;  // live between Start and Stop
 
   // Workers plus the maintenance tick run on this pool (cfg_.workers + 1
   // threads) so the engine owns no raw std::thread lifecycles.

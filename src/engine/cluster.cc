@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/kv/env.h"
 
 namespace gt::engine {
@@ -112,23 +113,24 @@ Result<graph::RefGraph> Cluster::Dump() {
   return g;
 }
 
-void Cluster::DumpStats(std::ostream* out) {
+void Cluster::DumpMetrics(std::ostream* out) {
+  // Every layer (kv DBs, transports, backend servers) registered its own
+  // exposition collector; one scrape of the process registry covers the
+  // whole cluster. Device-model figures are the only cluster-owned state.
+  *out << metrics::Registry::Default()->Expose("gt_");
   for (uint32_t i = 0; i < cfg_.num_servers; i++) {
-    const auto snap = servers_[i]->visit_stats().Read();
-    *out << "server " << i << ": visits{received=" << snap.received
-         << " redundant=" << snap.redundant << " combined=" << snap.combined
-         << " real_io=" << snap.real_io << "} cache{size=" << servers_[i]->cache_size()
-         << " evictions=" << servers_[i]->cache_evictions()
-         << "} queue=" << servers_[i]->queue_depth()
-         << " device{accesses=" << devices_[i]->total_accesses()
+    *out << "# device model s" << i << ": accesses=" << devices_[i]->total_accesses()
          << " warm=" << devices_[i]->warm_accesses()
-         << " tails=" << devices_[i]->tail_accesses() << "} kv{"
-         << stores_[i]->db()->stats().ToString() << "}"
-         << " send_failures=" << servers_[i]->send_failures() << "\n";
+         << " tails=" << devices_[i]->tail_accesses() << "\n";
   }
-  const rpc::Transport& t = *transport();
-  *out << rpc::TransportStatsSummary(t) << "\n";
-  *out << rpc::FormatLinkStats(t, /*top_n=*/12);
+}
+
+bool Cluster::ExportTraceJson(TravelId travel, std::string* json) {
+  // Any coordinator may have archived the travel; latest-first when travel=0.
+  for (auto it = servers_.rbegin(); it != servers_.rend(); ++it) {
+    if ((*it)->ExportTraceJson(travel, json)) return true;
+  }
+  return false;
 }
 
 void Cluster::ResetStats() {

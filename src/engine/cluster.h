@@ -93,8 +93,14 @@ class Cluster {
   // RefGraph form — the inverse of Load(); pair with graph::ExportText.
   Result<graph::RefGraph> Dump();
 
-  // Writes per-server engine + storage statistics to `out` (ops tooling).
-  void DumpStats(std::ostream* out);
+  // Writes the process metrics registry (Prometheus text exposition — kv,
+  // rpc, engine and travel families) plus the cluster's device-model
+  // figures to `out` (ops tooling).
+  void DumpMetrics(std::ostream* out);
+
+  // Renders an archived travel (0 = most recent across all coordinators)
+  // as Chrome trace-event JSON. False when no coordinator archived it.
+  bool ExportTraceJson(TravelId travel, std::string* json);
 
   void Stop();
 

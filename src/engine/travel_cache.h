@@ -46,9 +46,11 @@ class TravelCache {
     const Key key{travel, step, vid};
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+      hits_++;
       return LookupResult{it->second.resolved ? State::kResolved : State::kPending,
                           it->second.reach};
     }
+    misses_++;
     MaybeEvict();
     Entry e;
     e.seq = next_seq_++;
@@ -92,6 +94,8 @@ class TravelCache {
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
 
  private:
   struct Key {
@@ -136,6 +140,8 @@ class TravelCache {
   size_t capacity_;
   uint64_t next_seq_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   std::set<EvictKey> evictable_;
 };

@@ -1,0 +1,58 @@
+#include "src/engine/travel_trace.h"
+
+namespace gt::engine {
+
+namespace {
+
+void AppendEvent(std::string* out, bool* first, const std::string& name,
+                 const char* cat, uint64_t pid, uint64_t tid, uint64_t ts_us,
+                 uint64_t dur_us, const std::string& args) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "  {\"name\":\"" + name + "\",\"cat\":\"" + cat +
+          "\",\"ph\":\"X\",\"ts\":" + std::to_string(ts_us) +
+          ",\"dur\":" + std::to_string(dur_us) + ",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":" + std::to_string(tid) + ",\"args\":{" + args + "}}";
+}
+
+void AppendTravel(std::string* out, bool* first, const TravelTrace& t) {
+  // Travel ids encode the coordinator in the high bits; fold to something the
+  // trace viewer displays comfortably while keeping concurrent travels apart.
+  const uint64_t pid = t.travel % 100000;
+  const uint64_t end_us = t.finished_us > t.started_us ? t.finished_us : t.started_us;
+  AppendEvent(out, first,
+              "travel " + std::to_string(t.travel) + " (" +
+                  EngineModeName(t.mode) + ")",
+              "travel", pid, 0, t.started_us, end_us - t.started_us,
+              std::string("\"ok\":") + (t.ok ? "true" : "false") +
+                  ",\"results\":" + std::to_string(t.result_count) +
+                  ",\"execs_created\":" + std::to_string(t.total_created) +
+                  ",\"execs_terminated\":" + std::to_string(t.total_terminated) +
+                  ",\"coordinator\":" + std::to_string(t.coordinator));
+  for (size_t step = 0; step < t.steps.size(); step++) {
+    const TravelTrace::StepSpan& s = t.steps[step];
+    if (s.created == 0 && s.terminated == 0) continue;
+    const uint64_t begin = s.first_event_us != 0 ? s.first_event_us : t.started_us;
+    const uint64_t last = s.last_event_us > begin ? s.last_event_us : begin;
+    AppendEvent(out, first, "step " + std::to_string(step), "step", pid, step + 1,
+                begin, last - begin,
+                "\"created\":" + std::to_string(s.created) +
+                    ",\"terminated\":" + std::to_string(s.terminated));
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TravelTrace& trace) {
+  return ToChromeTraceJson(std::vector<TravelTrace>{trace});
+}
+
+std::string ToChromeTraceJson(const std::vector<TravelTrace>& traces) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& t : traces) AppendTravel(&out, &first, t);
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace gt::engine

@@ -71,6 +71,48 @@ class DBIter final : public Iterator {
   bool valid_ = false;
 };
 
+// Emits every KvStats counter for one live DB instance into the process
+// registry, labelled db=<instance>. Exposition-time only: the write paths
+// keep touching the plain KvStats atomics.
+metrics::CollectorId RegisterKvCollector(const std::string& label,
+                                         const KvStats* stats) {
+  auto* reg = metrics::Registry::Default();
+  reg->DescribeFamily("gt_kv_block_cache_hits_total", metrics::MetricType::kCounter,
+                      "Block reads served from the block cache.");
+  reg->DescribeFamily("gt_kv_wal_fsyncs_total", metrics::MetricType::kCounter,
+                      "WAL fdatasyncs paid before write acks (sync_wal).");
+  reg->DescribeFamily("gt_kv_compaction_bytes_total", metrics::MetricType::kCounter,
+                      "Output bytes written by compactions.");
+  reg->DescribeFamily("gt_kv_file_op_errors_total", metrics::MetricType::kCounter,
+                      "Failed best-effort file operations (dying disk).");
+  return reg->AddCollector([label, stats](std::vector<metrics::Sample>* out) {
+    const metrics::Labels l = {{"db", label}};
+    auto counter = [&](const char* name, const std::atomic<uint64_t>& v) {
+      out->push_back({name, l, static_cast<double>(v.load()),
+                      metrics::MetricType::kCounter});
+    };
+    counter("gt_kv_puts_total", stats->puts);
+    counter("gt_kv_deletes_total", stats->deletes);
+    counter("gt_kv_gets_total", stats->gets);
+    counter("gt_kv_get_hits_total", stats->get_hits);
+    counter("gt_kv_block_reads_total", stats->block_reads);
+    counter("gt_kv_block_cache_hits_total", stats->block_cache_hits);
+    counter("gt_kv_bloom_negatives_total", stats->bloom_negatives);
+    counter("gt_kv_flushes_total", stats->flushes);
+    counter("gt_kv_compactions_total", stats->compactions);
+    counter("gt_kv_compaction_bytes_total", stats->compaction_bytes);
+    counter("gt_kv_bytes_written_total", stats->bytes_written);
+    counter("gt_kv_bytes_read_total", stats->bytes_read);
+    counter("gt_kv_wal_records_total", stats->wal_records);
+    counter("gt_kv_wal_fsyncs_total", stats->wal_fsyncs);
+    counter("gt_kv_wal_torn_tails_total", stats->wal_torn_tails);
+    counter("gt_kv_manifest_edits_total", stats->manifest_edits);
+    counter("gt_kv_manifest_rotations_total", stats->manifest_rotations);
+    counter("gt_kv_orphans_swept_total", stats->orphans_swept);
+    counter("gt_kv_file_op_errors_total", stats->file_op_errors);
+  });
+}
+
 }  // namespace
 
 DB::DB(std::string dir, DBOptions opts) : dir_(std::move(dir)), opts_(opts) {
@@ -79,9 +121,16 @@ DB::DB(std::string dir, DBOptions opts) : dir_(std::move(dir)), opts_(opts) {
   }
   mem_ = std::make_shared<MemTable>();
   compaction_pool_ = std::make_unique<ThreadPool>(1);
+  std::string label = opts_.metrics_label;
+  if (label.empty()) {
+    const size_t slash = dir_.find_last_of('/');
+    label = slash == std::string::npos ? dir_ : dir_.substr(slash + 1);
+  }
+  metrics_collector_ = RegisterKvCollector(label, &stats_);
 }
 
 DB::~DB() {
+  metrics::Registry::Default()->RemoveCollector(metrics_collector_);
   {
     // Final flush so reopening recovers without a WAL replay of a large log.
     MutexLock lk(&write_mu_);
@@ -269,7 +318,10 @@ Status DB::Write(WriteBatch batch) {
   last_sequence_ += batch.Count();
 
   GT_RETURN_IF_ERROR(wal_->AddRecord(batch.rep()));
-  if (opts_.sync_wal) GT_RETURN_IF_ERROR(wal_->Sync());
+  if (opts_.sync_wal) {
+    GT_RETURN_IF_ERROR(wal_->Sync());
+    stats_.wal_fsyncs.fetch_add(1);
+  }
   stats_.bytes_written.fetch_add(batch.rep().size());
 
   std::shared_ptr<MemTable> mem;
@@ -422,6 +474,7 @@ Status DB::DoCompaction() {
   }
   if (s.ok()) s = merged.status();
   if (s.ok()) s = builder.Finish();  // syncs the table file before closing
+  if (s.ok()) stats_.compaction_bytes.fetch_add(builder.FileSize());
   if (s.ok()) s = opts_.env->RenameFile(tmp, path);
   if (s.ok()) s = opts_.env->SyncDir(dir_);  // entry durable before the manifest names it
   if (!s.ok()) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/device_model.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/common/thread_annotations.h"
@@ -57,6 +58,10 @@ struct DBOptions {
   bool sync_wal = false;
   bool background_compaction = true;
   DeviceModel* device = nullptr;  // charged per cold block read (optional)
+
+  // `db` label this instance reports under in the process metrics registry
+  // (gt_kv_* families). Empty: the basename of the DB directory.
+  std::string metrics_label;
 };
 
 class DB {
@@ -128,6 +133,7 @@ class DB {
   const DBOptions opts_;
   std::unique_ptr<LruCache<Block>> block_cache_;
   KvStats stats_;
+  metrics::CollectorId metrics_collector_ = 0;  // registry hookup (ctor/dtor)
 
   // Lock order (outermost first): compaction_run_mu_ -> write_mu_ -> state_mu_.
   // Manifest::mu_ is a leaf below all three (LogEdit is called with write_mu_

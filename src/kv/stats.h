@@ -17,9 +17,11 @@ struct KvStats {
   std::atomic<uint64_t> bloom_negatives{0};   // table probes skipped by bloom
   std::atomic<uint64_t> flushes{0};
   std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compaction_bytes{0};  // output bytes written by compactions
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_fsyncs{0};         // WAL fdatasyncs paid before acks (sync_wal)
   std::atomic<uint64_t> wal_torn_tails{0};     // torn final WAL records dropped at recovery
   std::atomic<uint64_t> manifest_edits{0};     // version edits logged (flush/compaction installs)
   std::atomic<uint64_t> manifest_rotations{0};
@@ -30,7 +32,8 @@ struct KvStats {
   void Reset() {
     puts = deletes = gets = get_hits = 0;
     block_reads = block_cache_hits = bloom_negatives = 0;
-    flushes = compactions = bytes_written = bytes_read = wal_records = 0;
+    flushes = compactions = compaction_bytes = 0;
+    bytes_written = bytes_read = wal_records = wal_fsyncs = 0;
     wal_torn_tails = manifest_edits = manifest_rotations = 0;
     orphans_swept = file_op_errors = 0;
   }
@@ -46,6 +49,8 @@ struct KvStats {
     s += " bloom_negatives=" + std::to_string(bloom_negatives.load());
     s += " flushes=" + std::to_string(flushes.load());
     s += " compactions=" + std::to_string(compactions.load());
+    s += " compaction_bytes=" + std::to_string(compaction_bytes.load());
+    s += " wal_fsyncs=" + std::to_string(wal_fsyncs.load());
     s += " wal_torn_tails=" + std::to_string(wal_torn_tails.load());
     s += " orphans_swept=" + std::to_string(orphans_swept.load());
     s += " file_op_errors=" + std::to_string(file_op_errors.load());

@@ -1,12 +1,8 @@
 #include "src/rpc/transport.h"
 
-#include <algorithm>
-#include <sstream>
-#include <vector>
+#include <atomic>
 
 namespace gt::rpc {
-
-namespace {
 
 std::string EndpointName(EndpointId id) {
   if (id == kAnyEndpoint) return "*";
@@ -14,46 +10,75 @@ std::string EndpointName(EndpointId id) {
   return "s" + std::to_string(id);
 }
 
-}  // namespace
-
-std::string TransportStatsSummary(const Transport& t) {
-  const TransportStats& s = t.stats();
-  std::ostringstream os;
-  os << "net{sent=" << s.messages_sent.load() << "/" << s.bytes_sent.load()
-     << "B recv=" << s.messages_received.load() << "/" << s.bytes_received.load()
-     << "B dropped=" << s.messages_dropped.load()
-     << " duplicated=" << s.messages_duplicated.load()
-     << " reconnects=" << s.reconnects.load()
-     << " send_failures=" << s.send_failures.load() << "}";
-  return os.str();
+Transport::Transport() {
+  static std::atomic<uint64_t> next_instance{0};
+  auto* reg = metrics::Registry::Default();
+  reg->DescribeFamily("gt_rpc_messages_sent_total", metrics::MetricType::kCounter,
+                      "Messages accepted for delivery.");
+  reg->DescribeFamily("gt_rpc_messages_received_total",
+                      metrics::MetricType::kCounter, "Messages delivered to handlers.");
+  reg->DescribeFamily("gt_rpc_messages_dropped_total", metrics::MetricType::kCounter,
+                      "Messages dropped by fault injection or partitions.");
+  reg->DescribeFamily("gt_rpc_reconnects_total", metrics::MetricType::kCounter,
+                      "Re-established connections.");
+  RegisterMetricsCollector("t" + std::to_string(next_instance.fetch_add(1)));
 }
 
-std::string FormatLinkStats(const Transport& t, size_t top_n) {
-  auto snapshot = t.LinkSnapshot();
-  std::vector<std::pair<LinkKey, LinkStats>> rows(snapshot.begin(), snapshot.end());
-  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second.bytes_sent + a.second.bytes_received >
-           b.second.bytes_sent + b.second.bytes_received;
-  });
-  if (top_n != 0 && rows.size() > top_n) rows.resize(top_n);
+Transport::~Transport() {
+  metrics::Registry::Default()->RemoveCollector(metrics_collector_);
+}
 
-  std::ostringstream os;
-  for (const auto& [key, ls] : rows) {
-    os << "  link " << EndpointName(key.first) << "->" << EndpointName(key.second)
-       << ": sent=" << ls.messages_sent << "/" << ls.bytes_sent
-       << "B recv=" << ls.messages_received << "/" << ls.bytes_received << "B";
-    if (ls.reconnects != 0) os << " reconnects=" << ls.reconnects;
-    if (ls.send_failures != 0) os << " send_failures=" << ls.send_failures;
-    if (ls.dropped != 0) os << " dropped=" << ls.dropped;
-    if (ls.duplicated != 0) os << " duplicated=" << ls.duplicated;
-    if (ls.delayed != 0) os << " delayed=" << ls.delayed;
-    if (ls.queue_depth != 0) os << " queue=" << ls.queue_depth;
-    os << "\n";
-  }
-  if (snapshot.size() > rows.size()) {
-    os << "  (" << (snapshot.size() - rows.size()) << " quieter links elided)\n";
-  }
-  return os.str();
+void Transport::SetMetricsLabel(const std::string& label) {
+  metrics::Registry::Default()->RemoveCollector(metrics_collector_);
+  RegisterMetricsCollector(label);
+}
+
+void Transport::RegisterMetricsCollector(const std::string& label) {
+  metrics_collector_ = metrics::Registry::Default()->AddCollector(
+      [this, label](std::vector<metrics::Sample>* out) {
+        const metrics::Labels l = {{"transport", label}};
+        auto counter = [&](const char* name, uint64_t v) {
+          out->push_back({name, l, static_cast<double>(v),
+                          metrics::MetricType::kCounter});
+        };
+        counter("gt_rpc_messages_sent_total", stats_.messages_sent.load());
+        counter("gt_rpc_bytes_sent_total", stats_.bytes_sent.load());
+        counter("gt_rpc_messages_received_total", stats_.messages_received.load());
+        counter("gt_rpc_bytes_received_total", stats_.bytes_received.load());
+        counter("gt_rpc_messages_dropped_total", stats_.messages_dropped.load());
+        counter("gt_rpc_messages_duplicated_total",
+                stats_.messages_duplicated.load());
+        counter("gt_rpc_reconnects_total", stats_.reconnects.load());
+        counter("gt_rpc_send_failures_total", stats_.send_failures.load());
+        // Per-link rows, keyed by the endpoint pair carried on the messages.
+        // Read from the base-class map (not the LinkSnapshot virtual): this
+        // collector may fire while a derived transport is partway through
+        // construction or destruction.
+        for (const auto& [key, ls] : link_stats_.Snapshot()) {
+          metrics::Labels ll = l;
+          ll.emplace_back("src", EndpointName(key.first));
+          ll.emplace_back("dst", EndpointName(key.second));
+          auto link = [&](const char* name, uint64_t v,
+                          metrics::MetricType type = metrics::MetricType::kCounter) {
+            out->push_back({name, ll, static_cast<double>(v), type});
+          };
+          link("gt_rpc_link_messages_sent_total", ls.messages_sent);
+          link("gt_rpc_link_bytes_sent_total", ls.bytes_sent);
+          link("gt_rpc_link_messages_received_total", ls.messages_received);
+          link("gt_rpc_link_bytes_received_total", ls.bytes_received);
+          if (ls.reconnects) link("gt_rpc_link_reconnects_total", ls.reconnects);
+          if (ls.send_failures) {
+            link("gt_rpc_link_send_failures_total", ls.send_failures);
+          }
+          if (ls.dropped) link("gt_rpc_link_dropped_total", ls.dropped);
+          if (ls.duplicated) link("gt_rpc_link_duplicated_total", ls.duplicated);
+          if (ls.delayed) link("gt_rpc_link_delayed_total", ls.delayed);
+          if (ls.queue_depth) {
+            link("gt_rpc_link_queue_depth", ls.queue_depth,
+                 metrics::MetricType::kGauge);
+          }
+        }
+      });
 }
 
 }  // namespace gt::rpc

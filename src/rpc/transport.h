@@ -23,6 +23,7 @@
 #include <string>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/common/thread_annotations.h"
@@ -89,7 +90,12 @@ class LinkStatsMap {
 
 class Transport {
  public:
-  virtual ~Transport() = default;
+  // Every transport instance reports into the process metrics registry
+  // (gt_rpc_* aggregate counters plus gt_rpc_link_* per-(src,dst) rows),
+  // distinguished by a {transport="..."} label: "t<n>" in construction
+  // order unless SetMetricsLabel renames it.
+  Transport();
+  virtual ~Transport();
 
   // Registers the handler invoked for messages addressed to `id`.
   virtual Status RegisterEndpoint(EndpointId id, MessageHandler handler) = 0;
@@ -109,16 +115,23 @@ class Transport {
     return link_stats_.Snapshot();
   }
 
+  void SetMetricsLabel(const std::string& label);
+
  protected:
   TransportStats stats_;
   LinkStatsMap link_stats_;
+
+ private:
+  // (Re-)registers the registry collector. Reads only base-class state
+  // (stats_, link_stats_) so it stays safe during derived
+  // construction/destruction windows.
+  void RegisterMetricsCollector(const std::string& label);
+
+  metrics::CollectorId metrics_collector_ = 0;
 };
 
-// One-line aggregate summary, e.g. for harness stat dumps.
-std::string TransportStatsSummary(const Transport& t);
-
-// Multi-line per-link table (one row per (src, dst) pair), ordered by total
-// bytes moved, truncated to the `top_n` busiest links (0 = all).
-std::string FormatLinkStats(const Transport& t, size_t top_n = 0);
+// Human-readable endpoint name for stats labels: "s<id>" for servers,
+// "c<n>" for clients, "*" for kAnyEndpoint.
+std::string EndpointName(EndpointId id);
 
 }  // namespace gt::rpc

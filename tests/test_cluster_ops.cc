@@ -113,12 +113,25 @@ TEST(ClusterOpsTest, StatsReportCoversEveryServer) {
   ASSERT_TRUE((*cluster)->Run(*plan, EngineMode::kGraphTrek).ok());
 
   std::ostringstream out;
-  (*cluster)->DumpStats(&out);
+  (*cluster)->DumpMetrics(&out);
   const std::string report = out.str();
-  for (const char* needle : {"server 0:", "server 1:", "server 2:", "visits{",
-                             "cache{", "device{", "kv{"}) {
+  // One exposition document covers every layer: kv, rpc, engine visits and
+  // per-travel durations, with one labelled series per server instance.
+  for (const char* needle :
+       {"server=\"s0\"", "server=\"s1\"", "server=\"s2\"",
+        "gt_engine_visits_received_total", "gt_engine_travel_cache_misses_total",
+        "gt_kv_puts_total", "gt_rpc_messages_sent_total",
+        "gt_travel_duration_ms_bucket", "gt_travel_completed_total",
+        "# TYPE gt_travel_duration_ms histogram", "# device model s2:"}) {
     EXPECT_NE(report.find(needle), std::string::npos) << needle;
   }
+
+  // The archived coordinator trace renders as Chrome trace-event JSON.
+  std::string json;
+  ASSERT_TRUE((*cluster)->ExportTraceJson(0, &json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("GraphTrek"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Cross-engine differential test: the three engines (Sync-GT, Async-GT,
+// GraphTrek) are three implementations of one semantics, so on any graph
+// and any valid GTravel plan they must return identical result sets — and
+// all three must agree with the in-memory reference evaluator.
+//
+// The harness generates seeded random property graphs (two vertex types,
+// two edge labels, integer properties, cycles and parallel paths so
+// re-visits actually occur) and random plans mixing v()/e()/va()/ea()/rtn()
+// including intermediate returns (the attribution protocol). A separate leg
+// repeats the comparison under a FaultInjectingTransport that duplicates
+// every kTraverse frame and drops a fraction on one link, checking the
+// status-tracing restart path converges to the same answer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+// Detect ThreadSanitizer on both GCC (__SANITIZE_THREAD__) and Clang
+// (__has_feature) so the seed count can shrink under instrumentation.
+#if defined(__SANITIZE_THREAD__)
+#define GT_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GT_UNDER_TSAN 1
+#endif
+#endif
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/engine/client.h"
+#include "src/engine/cluster.h"
+#include "src/lang/gtravel.h"
+#include "src/rpc/fault_transport.h"
+
+namespace gt::engine {
+namespace {
+
+using graph::Catalog;
+using graph::EdgeRecord;
+using graph::PropValue;
+using graph::RefGraph;
+using graph::VertexId;
+using graph::VertexRecord;
+using lang::FilterOp;
+using lang::GTravel;
+
+// Random property graph: types A/B with an integer weight, edge labels
+// x/y with an integer cost. Dense enough (and cyclic) that traversals
+// revisit vertices, which is what exercises the travel cache, execution
+// merging and trace dedup differently per engine.
+RefGraph BuildRandomGraph(Catalog* catalog, Rng* rng, uint32_t n) {
+  RefGraph g;
+  const auto type_a = catalog->Intern("A");
+  const auto type_b = catalog->Intern("B");
+  const auto w_key = catalog->Intern("w");
+  const auto p_key = catalog->Intern("p");
+  const auto label_x = catalog->Intern("x");
+  const auto label_y = catalog->Intern("y");
+
+  for (VertexId v = 0; v < n; v++) {
+    VertexRecord rec;
+    rec.id = v;
+    rec.label = rng->Bernoulli(0.6) ? type_a : type_b;
+    rec.props.Set(w_key, PropValue(static_cast<int64_t>(rng->Uniform(100))));
+    g.AddVertex(rec);
+  }
+  const uint32_t edges = n * 3;
+  for (uint32_t i = 0; i < edges; i++) {
+    EdgeRecord e;
+    e.src = rng->Uniform(n);
+    e.dst = rng->Uniform(n);  // self-loops and duplicates are legal
+    e.label = rng->Bernoulli(0.5) ? label_x : label_y;
+    e.props.Set(p_key, PropValue(static_cast<int64_t>(rng->Uniform(100))));
+    g.AddEdge(e);
+  }
+  return g;
+}
+
+// Random plan over the graph above. Always valid by construction (Build()
+// is still asserted): anchored or scan start, 2-4 hops over x/y, optional
+// vertex/edge property filters, optional rtn() markers including
+// intermediate ones (which force the attribution protocol).
+lang::TraversalPlan BuildRandomPlan(Catalog* catalog, Rng* rng, uint32_t n) {
+  GTravel travel(catalog);
+
+  if (rng->Bernoulli(0.75)) {
+    // Anchored start: 1-3 random entry vertices (duplicates allowed — the
+    // engines must dedup them identically).
+    std::vector<VertexId> ids;
+    const uint32_t k = 1 + static_cast<uint32_t>(rng->Uniform(3));
+    for (uint32_t i = 0; i < k; i++) ids.push_back(rng->Uniform(n));
+    travel.v(ids);
+  } else {
+    // Unanchored scan over one type index.
+    travel.v().va("type", FilterOp::kEq, {PropValue(rng->Bernoulli(0.5) ? "A" : "B")});
+  }
+  if (rng->Bernoulli(0.2)) {
+    const int64_t lo = static_cast<int64_t>(rng->Uniform(50));
+    travel.va("w", FilterOp::kRange, {PropValue(lo), PropValue(lo + 45)});
+  }
+  if (rng->Bernoulli(0.15)) travel.rtn();
+
+  const uint32_t hops = 2 + static_cast<uint32_t>(rng->Uniform(3));
+  for (uint32_t h = 0; h < hops; h++) {
+    travel.e(rng->Bernoulli(0.5) ? "x" : "y");
+    if (rng->Bernoulli(0.25)) {
+      const int64_t lo = static_cast<int64_t>(rng->Uniform(40));
+      travel.ea("p", FilterOp::kRange, {PropValue(lo), PropValue(lo + 55)});
+    }
+    if (rng->Bernoulli(0.2)) {
+      travel.va("w", FilterOp::kRange, {PropValue(int64_t{0}), PropValue(int64_t{85})});
+    }
+    // Intermediate rtn() on non-final hops triggers per-vertex attribution
+    // through the answer tree; a final rtn() is the direct protocol.
+    if (rng->Bernoulli(0.3)) travel.rtn();
+  }
+
+  auto plan = travel.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+constexpr EngineMode kAllModes[] = {EngineMode::kSync, EngineMode::kAsyncPlain,
+                                    EngineMode::kGraphTrek};
+
+TEST(EngineDifferentialTest, AllEnginesMatchOracleOnRandomWorkloads) {
+#if defined(GT_UNDER_TSAN)
+  const uint64_t seeds = 6;  // instrumented runs cost ~10x; keep coverage daily-size
+#else
+  const uint64_t seeds = 20;
+#endif
+  for (uint64_t seed = 1; seed <= seeds; seed++) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 7919);
+    ClusterConfig cfg;
+    cfg.num_servers = 3;
+    auto cluster = Cluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    Catalog* catalog = (*cluster)->catalog();
+
+    const uint32_t n = 60 + static_cast<uint32_t>(rng.Uniform(60));
+    RefGraph g = BuildRandomGraph(catalog, &rng, n);
+    ASSERT_TRUE((*cluster)->Load(g).ok());
+
+    // Several plans per graph amortize the cluster setup cost.
+    for (int q = 0; q < 3; q++) {
+      SCOPED_TRACE("query=" + std::to_string(q));
+      const lang::TraversalPlan plan = BuildRandomPlan(catalog, &rng, n);
+      const std::vector<VertexId> oracle =
+          lang::EvaluatePlanOnRefGraph(plan, g, *catalog);
+      for (EngineMode mode : kAllModes) {
+        SCOPED_TRACE(EngineModeName(mode));
+        const ServerId coordinator =
+            static_cast<ServerId>(rng.Uniform(cfg.num_servers));
+        auto result = (*cluster)->Run(plan, mode, coordinator);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        // TraversalResult::vids is sorted + deduplicated, as is the oracle,
+        // so vector equality is multiset equality.
+        EXPECT_EQ(result->vids, oracle);
+      }
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, AsyncEnginesMatchOracleUnderDuplicationAndDrops) {
+  // Idempotence leg: duplicate every kTraverse frame on every link, and
+  // additionally drop a fraction of them on one link so the failure
+  // detector's restart path runs. Only kTraverse is exercised because only
+  // frontier hand-offs are idempotent by design (exec-id dedup absorbs
+  // re-delivered frames; duplicated kReturnVertices/kSyncBatch frames would
+  // double-count protocol state, which the transport never re-delivers).
+  // The sync engine does not use kTraverse, so this leg covers the two
+  // asynchronous engines.
+#if defined(GT_UNDER_TSAN)
+  const uint64_t seeds = 2;
+#else
+  const uint64_t seeds = 5;
+#endif
+  for (uint64_t seed = 1; seed <= seeds; seed++) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 104729);
+    ClusterConfig cfg;
+    cfg.num_servers = 3;
+    cfg.net_faults = true;
+    cfg.net_fault_seed = seed;
+    cfg.exec_timeout_ms = 1000;  // lost work must be re-detected quickly
+    auto cluster = Cluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok());
+    Catalog* catalog = (*cluster)->catalog();
+
+    const uint32_t n = 40 + static_cast<uint32_t>(rng.Uniform(30));
+    RefGraph g = BuildRandomGraph(catalog, &rng, n);
+    ASSERT_TRUE((*cluster)->Load(g).ok());
+
+    rpc::LinkFault dup;
+    dup.duplicate_probability = 1.0;
+    dup.only_type = rpc::MsgType::kTraverse;
+    (*cluster)->fault_transport()->SetLinkFault(rpc::kAnyEndpoint,
+                                                rpc::kAnyEndpoint, dup);
+    rpc::LinkFault lossy = dup;
+    lossy.drop_probability = 0.2;
+    (*cluster)->fault_transport()->SetLinkFault(1, 2, lossy);
+
+    const lang::TraversalPlan plan = BuildRandomPlan(catalog, &rng, n);
+    const std::vector<VertexId> oracle =
+        lang::EvaluatePlanOnRefGraph(plan, g, *catalog);
+    auto client = (*cluster)->NewClient();
+    for (EngineMode mode : {EngineMode::kAsyncPlain, EngineMode::kGraphTrek}) {
+      SCOPED_TRACE(EngineModeName(mode));
+      RunOptions opts;
+      opts.mode = mode;
+      opts.coordinator = 0;
+      opts.max_restarts = 8;  // drops can kill several attempts in a row
+      auto result = client->Run(plan, opts);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->vids, oracle);
+    }
+    EXPECT_GT(
+        (*cluster)->fault_transport()->stats().messages_duplicated.load(), 0u);
+    // The engines must have actually absorbed re-deliveries (not merely
+    // gotten lucky): the dedup counter is part of the exposed registry.
+    EXPECT_GT(metrics::Registry::Default()->Sum("gt_engine_duplicate_frames_total"),
+              0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gt::engine

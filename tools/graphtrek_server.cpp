@@ -18,6 +18,7 @@
 
 #include "src/common/device_model.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/engine/backend_server.h"
 #include "src/engine/remote_catalog.h"
 #include "src/rpc/tcp_transport.h"
@@ -41,6 +42,10 @@ struct Flags {
   // default (matching kv::DBOptions): crash recovery then rolls back to a
   // consistent earlier state instead of guaranteeing every acked write.
   bool sync_wal = false;
+  // Print the full Prometheus exposition on clean shutdown.
+  bool metrics_dump = false;
+  // Seconds between one-line metrics summaries in the log (0 disables).
+  uint32_t metrics_interval_s = 30;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
@@ -67,8 +72,12 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
       out->access_us = static_cast<uint32_t>(atoi(v6));
     } else if (const char* v7 = need("--warm-us")) {
       out->warm_us = static_cast<uint32_t>(atoi(v7));
+    } else if (const char* v8 = need("--metrics-interval-s")) {
+      out->metrics_interval_s = static_cast<uint32_t>(atoi(v8));
     } else if (std::strcmp(argv[i], "--sync-wal") == 0) {
       out->sync_wal = true;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      out->metrics_dump = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -88,7 +97,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: graphtrek_server --id N --servers M [--registry-dir R] "
                  "[--data-dir D] [--workers W] [--access-us U] [--warm-us U] "
-                 "[--sync-wal]\n");
+                 "[--sync-wal] [--metrics-dump] [--metrics-interval-s S]\n");
     return 2;
   }
   Logger::SetLevel(LogLevel::kInfo);
@@ -147,10 +156,29 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  auto* registry = metrics::Registry::Default();
+  uint64_t ticks = 0;
+  const uint64_t ticks_per_report =
+      static_cast<uint64_t>(flags.metrics_interval_s) * 10;  // 100ms per tick
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (ticks_per_report != 0 && ++ticks % ticks_per_report == 0) {
+      GT_INFO << "metrics: travels=" << registry->Sum("gt_travel_completed_total")
+              << " visits=" << registry->Sum("gt_engine_visits_received_total")
+              << " real_io=" << registry->Sum("gt_engine_visits_real_io_total")
+              << " rpc_sent=" << registry->Sum("gt_rpc_messages_sent_total")
+              << " rpc_reconnects=" << registry->Sum("gt_rpc_reconnects_total")
+              << " kv_gets=" << registry->Sum("gt_kv_gets_total")
+              << " wal_fsyncs=" << registry->Sum("gt_kv_wal_fsyncs_total");
+    }
   }
   std::printf("graphtrek_server %u shutting down\n", flags.id);
+  if (flags.metrics_dump) {
+    // Scrape before Stop(): the server/transport collectors deregister on
+    // shutdown, after which their families would vanish from the exposition.
+    std::fputs(registry->Expose("gt_").c_str(), stdout);
+    std::fflush(stdout);
+  }
   server.Stop();
   return 0;
 }

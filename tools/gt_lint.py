@@ -15,10 +15,16 @@ Checks (all scoped to src/):
      allowed only in src/kv/env.cc. The rest of src/kv must go through the
      Env interface, or crash-fault injection (CrashFaultEnv) cannot see the
      operation and the durability rules in DESIGN.md cannot be enforced.
-  5. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  5. Ad-hoc console output (std::cout/std::cerr, bare printf, fprintf to
+     stdout/stderr, puts/fputs to the standard streams) is banned in src/:
+     diagnostics go through src/common/logging.cc (GT_INFO/GT_WARN/...) and
+     statistics go through the metrics registry (src/common/metrics.cc),
+     whose exposition the tools/benches print. Hand-rolled stat dumps
+     bit-rot and fork the observability story.
+  6. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-4 pass; 1 otherwise. Check 5 never fails the
+Exit status: 0 when checks 1-5 pass; 1 otherwise. Check 6 never fails the
 run — it only prints warnings.
 """
 
@@ -54,6 +60,20 @@ PRIMITIVE_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|condition_variable|sha
 # std::thread but not std::this_thread.
 THREAD_RE = re.compile(r"std::thread\b")
 INCLUDE_RE = re.compile(r'#\s*include\s*"(src/[^"]+)"')
+
+# The files allowed to write to the standard streams: the logger's sink and
+# the registry's exposition formatter.
+CONSOLE_ALLOWLIST = {
+    "src/common/logging.cc",
+    "src/common/metrics.cc",
+}
+CONSOLE_RE = re.compile(
+    r"std::c(?:out|err)\b"
+    r"|(?<![\w:])(?:std::)?printf\s*\("
+    r"|(?<![\w:])(?:std::)?fprintf\s*\(\s*(?:stdout|stderr)\b"
+    r"|(?<![\w:])(?:std::)?puts\s*\("
+    r"|(?<![\w:])(?:std::)?fputs\s*\([^()\n]*,\s*(?:stdout|stderr)\s*\)"
+)
 
 # The one file in src/kv allowed to call the kernel directly.
 KV_ENV_CC = "src/kv/env.cc"
@@ -165,6 +185,24 @@ def check_kv_posix(files):
     return errors
 
 
+def check_console_output(files):
+    errors = []
+    for rel in files:
+        if rel in CONSOLE_ALLOWLIST:
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = CONSOLE_RE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: ad-hoc console output '{m.group(0).strip()}' — "
+                    f"log through GT_INFO/GT_WARN and report statistics through the "
+                    f"metrics registry (src/common/metrics.h)"
+                )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -228,6 +266,7 @@ def main():
     errors += check_primitives(files)
     errors += check_threads(files)
     errors += check_kv_posix(files)
+    errors += check_console_output(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:
