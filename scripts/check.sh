@@ -47,6 +47,15 @@ ctest --test-dir build --output-on-failure --no-tests=error \
 step "bench smoke run (--smoke)"
 ctest --test-dir build --output-on-failure --no-tests=error -L bench_smoke
 
+# I/O-path ablation gate: the adjacency-cache / batched-MultiGet / arena
+# knobs must stay independently toggleable (the ablation binary sweeps each
+# one off in turn), and the cache's unit + differential coverage must run.
+# Explicit -R for the same reason as the sweeps above: a label or discovery
+# problem must not silently drop them.
+step "I/O-path ablation smoke + adjacency-cache tests"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'bench_smoke_ablation_optimizations|AdjacencyCacheTest'
+
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
 if command -v clang++ >/dev/null 2>&1; then
@@ -70,6 +79,9 @@ if [[ "$FAST" == 0 ]]; then
   step "cross-engine differential harness under TSan"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'EngineDifferentialTest'
+  step "adjacency-cache tests under TSan (mutate-while-traversing)"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'AdjacencyCacheTest'
 else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/arena.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/engine/mutation.h"
@@ -641,7 +642,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
     }
     cplan = std::make_shared<CompiledPlan>();
     cplan->plan = std::move(*plan);
-    cplan->plan_bytes = req->plan;
+    cplan->plan_bytes.assign(req->plan);  // first sight: copy out of the frame
     cplan->mode = static_cast<EngineMode>(req->mode);
     cplan->coordinator = req->coordinator;
     cplan->type_key = catalog_->Lookup("type");
@@ -674,10 +675,11 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
   if (req->scan_start != 0) {
     const graph::LabelId label = ScanLabelFor(cplan->plan, catalog_);
     if (label != graph::Catalog::kInvalidId) {
+      const bool warm = !scanned_types_[req->travel_id].insert(label).second;
       store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
         scan_entries.push_back(vid);
         return true;
-      }).ok();
+      }, warm).ok();
     }
   }
 
@@ -788,8 +790,10 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
 // ---------------------------------------------------------------------------
 
 void BackendServer::WorkerLoop() {
+  const size_t max_frontier =
+      cfg_.batched_multiget ? std::max<uint32_t>(1, cfg_.max_frontier_batch) : 1;
   std::vector<VertexTask> batch;
-  while (queue_.PopBatch(&batch)) {
+  while (queue_.PopBatch(&batch, max_frontier)) {
     if (batch.empty()) continue;
     if (batch.front().sync) {
       // Sync-engine tasks are never merged (batch size 1).
@@ -801,64 +805,161 @@ void BackendServer::WorkerLoop() {
 }
 
 void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
-  const graph::VertexId vid = batch.front().vid;
   const TravelId travel = batch.front().travel;
 
+  // Per-thread scratch: every per-batch container below lives in the arena
+  // and is reclaimed wholesale by Reset(). A disabled knob hands out a null
+  // arena and the same containers silently fall back to the heap.
+  thread_local Arena scratch_arena(256 << 10);
+  Arena* arena = cfg_.arena_scratch ? &scratch_arena : nullptr;
+  if (arena != nullptr) arena->Reset();
+
+  // Distinct vertices in the group, in first-appearance order, with each
+  // task mapped to its vertex slot.
+  std::vector<graph::VertexId, ArenaAllocator<graph::VertexId>> vids{
+      ArenaAllocator<graph::VertexId>(arena)};
+  std::vector<uint32_t, ArenaAllocator<uint32_t>> task_slot{
+      ArenaAllocator<uint32_t>(arena)};
+  task_slot.reserve(batch.size());
+  for (const auto& t : batch) {
+    uint32_t slot = 0;
+    while (slot < vids.size() && vids[slot] != t.vid) slot++;
+    if (slot == vids.size()) vids.push_back(t.vid);
+    task_slot.push_back(slot);
+  }
+
   std::shared_ptr<CompiledPlan> cplan;
-  bool warm = false;
+  std::vector<bool> warm(vids.size(), false);
   {
     MutexLock lk(&mu_);
     auto it = plans_.find(travel);
     if (it == plans_.end()) return;  // travel aborted while queued
     cplan = it->second;
     // Re-reads within a travel hit the storage engine's block cache.
-    warm = !accessed_[travel].insert(vid).second;
+    auto& acc = accessed_[travel];
+    for (size_t i = 0; i < vids.size(); i++) warm[i] = !acc.insert(vids[i]).second;
   }
   const lang::TraversalPlan& plan = cplan->plan;
   const uint32_t num_steps = static_cast<uint32_t>(plan.num_steps());
   const bool graphtrek = cplan->mode == EngineMode::kGraphTrek;
   const bool attribution = cplan->attribution;
 
+  // Step each vertex is first scheduled at (drives straggler step matching).
+  std::vector<uint32_t, ArenaAllocator<uint32_t>> vid_step(
+      vids.size(), 0, ArenaAllocator<uint32_t>(arena));
+  {
+    std::vector<bool> seen(vids.size(), false);
+    for (size_t i = 0; i < batch.size(); i++) {
+      if (!seen[task_slot[i]]) {
+        seen[task_slot[i]] = true;
+        vid_step[task_slot[i]] = batch[i].step;
+      }
+    }
+  }
+
   // --- I/O phase (no engine lock held) -------------------------------------
-  tls_current_step = static_cast<int>(batch.front().step);
-  auto vrec = store_->GetVertex(vid, warm);
-  const bool vertex_exists = vrec.ok();
-
-  // One edge scan serves every merged task that needs expansion.
-  bool need_edges = false;
-  for (const auto& t : batch) {
-    if (t.step < num_steps) need_edges = true;
+  struct EdgeEntry {
+    graph::LabelId label;
+    graph::VertexId dst;
+    graph::PropMap props;
+  };
+  using EdgeVec = std::vector<EdgeEntry, ArenaAllocator<EdgeEntry>>;
+  struct VidData {
+    bool exists = false;
+    graph::VertexRecord rec;
+  };
+  std::vector<VidData> vid_data(vids.size());
+  std::vector<EdgeVec, ArenaAllocator<EdgeVec>> vid_edges{
+      ArenaAllocator<EdgeVec>(arena)};
+  for (size_t i = 0; i < vids.size(); i++) {
+    vid_edges.emplace_back(ArenaAllocator<EdgeEntry>(arena));
   }
-  std::unordered_map<graph::LabelId, std::vector<std::pair<graph::VertexId, graph::PropMap>>>
-      edges_by_label;
-  if (vertex_exists && need_edges) {
-    store_->ScanAllEdges(vid,
-                         [&](graph::LabelId label, graph::VertexId dst,
-                             const graph::PropMap& props) {
-                           edges_by_label[label].emplace_back(dst, props);
-                           return true;
-                         },
-                         warm)
+
+  if (cfg_.batched_multiget && vids.size() > 1) {
+    // One MultiGet per step cohort (usually the whole group) so straggler
+    // rules still see the step each access belongs to.
+    std::vector<bool> fetched(vids.size(), false);
+    for (size_t lo = 0; lo < vids.size(); lo++) {
+      if (fetched[lo]) continue;
+      const uint32_t step = vid_step[lo];
+      std::vector<graph::GraphStore::VertexLookup> lookups;
+      std::vector<size_t> slots;
+      for (size_t i = lo; i < vids.size(); i++) {
+        if (fetched[i] || vid_step[i] != step) continue;
+        graph::GraphStore::VertexLookup lk;
+        lk.vid = vids[i];
+        lk.warm = warm[i];
+        lookups.push_back(lk);
+        slots.push_back(i);
+        fetched[i] = true;
+      }
+      tls_current_step = static_cast<int>(step);
+      store_->MultiGetVertices(&lookups).ok();
+      tls_current_step = -1;
+      for (size_t j = 0; j < slots.size(); j++) {
+        vid_data[slots[j]].exists = lookups[j].found;
+        vid_data[slots[j]].rec = std::move(lookups[j].rec);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < vids.size(); i++) {
+      tls_current_step = static_cast<int>(vid_step[i]);
+      auto vrec = store_->GetVertex(vids[i], warm[i]);
+      tls_current_step = -1;
+      if (vrec.ok()) {
+        vid_data[i].exists = true;
+        vid_data[i].rec = std::move(*vrec);
+      }
+    }
+  }
+
+  // One edge scan per vertex serves every merged task that needs expansion.
+  for (size_t i = 0; i < vids.size(); i++) {
+    bool need_edges = false;
+    for (size_t k = 0; k < batch.size(); k++) {
+      if (task_slot[k] == i && batch[k].step < num_steps) need_edges = true;
+    }
+    if (!vid_data[i].exists || !need_edges) continue;
+    tls_current_step = static_cast<int>(vid_step[i]);
+    store_
+        ->ScanAllEdges(vids[i],
+                       [&](graph::LabelId label, graph::VertexId dst,
+                           const graph::PropMap& props) {
+                         vid_edges[i].push_back({label, dst, props});
+                         return true;
+                       },
+                       warm[i])
         .ok();
+    tls_current_step = -1;
   }
-  tls_current_step = -1;
 
-  visit_stats_.real_io.fetch_add(1);
-  if (batch.size() > 1) visit_stats_.combined.fetch_add(batch.size() - 1);
+  visit_stats_.real_io.fetch_add(vids.size());
+  if (batch.size() > vids.size()) {
+    visit_stats_.combined.fetch_add(batch.size() - vids.size());
+  }
 
-  // Per-task outcome, computed lock-free.
+  // Per-task outcome, computed lock-free. Targets are a flat arena vector
+  // of (owner server, dst) pairs; the apply phase groups as it inserts.
+  using TargetVec =
+      std::vector<std::pair<ServerId, graph::VertexId>,
+                  ArenaAllocator<std::pair<ServerId, graph::VertexId>>>;
   struct Outcome {
     bool passed = false;
     bool final_step = false;
-    // Expansion targets (dst grouped by owner server).
-    std::unordered_map<ServerId, std::vector<graph::VertexId>> targets;
+    TargetVec targets;
+    explicit Outcome(Arena* a)
+        : targets(ArenaAllocator<std::pair<ServerId, graph::VertexId>>(a)) {}
   };
-  std::vector<Outcome> outcomes(batch.size());
+  std::vector<Outcome, ArenaAllocator<Outcome>> outcomes{
+      ArenaAllocator<Outcome>(arena)};
+  outcomes.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); i++) outcomes.emplace_back(arena);
   for (size_t i = 0; i < batch.size(); i++) {
     const VertexTask& t = batch[i];
+    const VidData& vd = vid_data[task_slot[i]];
     Outcome& out = outcomes[i];
-    if (!vertex_exists) continue;
-    if (!lang::VertexMatchesAll(StepVertexFilters(plan, t.step), *vrec, *catalog_,
+    if (!vd.exists) continue;
+    if (!lang::VertexMatchesAll(StepVertexFilters(plan, t.step), vd.rec, *catalog_,
                                 cplan->type_key)) {
       continue;
     }
@@ -868,11 +969,14 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
       continue;
     }
     const lang::Hop& hop = plan.hops[t.step];
-    auto eit = edges_by_label.find(hop.edge_label);
-    if (eit == edges_by_label.end()) continue;
-    for (const auto& [dst, eprops] : eit->second) {
-      if (!lang::MatchesAll(hop.edge_filters, eprops)) continue;
-      out.targets[partitioner_->ServerFor(dst)].push_back(dst);
+    // Edges are in (label, dst) order: the hop's label is one contiguous run.
+    const EdgeVec& edges = vid_edges[task_slot[i]];
+    auto lo = std::lower_bound(
+        edges.begin(), edges.end(), hop.edge_label,
+        [](const EdgeEntry& e, graph::LabelId l) { return e.label < l; });
+    for (auto eit = lo; eit != edges.end() && eit->label == hop.edge_label; ++eit) {
+      if (!lang::MatchesAll(hop.edge_filters, eit->props)) continue;
+      out.targets.emplace_back(partitioner_->ServerFor(eit->dst), eit->dst);
     }
   }
 
@@ -942,9 +1046,8 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
         if (out.passed && out.final_step) {
           exec.results.push_back(t.vid);
         } else if (out.passed) {
-          for (auto& [server, dsts] : out.targets) {
-            auto& dst_map = exec.out_targets[server];
-            for (auto dst : dsts) dst_map[dst];  // parents not tracked
+          for (auto& [server, dst] : out.targets) {
+            exec.out_targets[server][dst];  // parents not tracked
           }
         }
       }
@@ -963,9 +1066,8 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
       ResolveVertexLocked(exec, t.vid, false, /*from_owner=*/owner);
     } else {
       exec.awaiting_children.insert(t.vid);
-      for (auto& [server, dsts] : out.targets) {
-        auto& dst_map = exec.out_targets[server];
-        for (auto dst : dsts) dst_map[dst].push_back(t.vid);
+      for (auto& [server, dst] : out.targets) {
+        exec.out_targets[server][dst].push_back(t.vid);
       }
     }
     exec.owned_unprocessed--;
@@ -1357,6 +1459,7 @@ void BackendServer::HandleAbort(rpc::Message&& msg) {
   plans_.erase(*travel);
   cache_.EraseTravel(*travel);
   accessed_.erase(*travel);
+  scanned_types_.erase(*travel);
   sync_locals_.erase(*travel);
   for (auto it = trace_buffer_.begin(); it != trace_buffer_.end();) {
     if (it->first.second == *travel) {
@@ -1531,11 +1634,12 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
     const graph::LabelId label = ScanLabelFor(sl.cplan.plan, catalog_);
     if (label != graph::Catalog::kInvalidId) {
       const size_t before = sl.current_frontier.size();
+      const bool warm = !scanned_types_[travel].insert(label).second;
       store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
         raw_entries += 1;
         sl.current_frontier.emplace(vid, std::vector<graph::VertexId>{});
         return true;
-      }).ok();
+      }, warm).ok();
       visit_stats_.received.fetch_add(sl.current_frontier.size() - before);
       visit_stats_.AddStep(step, sl.current_frontier.size() - before);
     }

@@ -47,6 +47,21 @@ struct ServerConfig {
   // Ablation knobs for the GraphTrek mode (both on in the full system).
   bool graphtrek_merging = true;        // execution merging (Section V-B)
   bool graphtrek_priority_sched = true; // smallest-step-first scheduling
+
+  // I/O-path ablation knobs (all on in the full system). Independent of
+  // the scheduling knobs above and of GraphStoreOptions::
+  // adjacency_cache_bytes, so each optimization can be toggled alone.
+  //
+  // Batch same-travel frontier vertices into one worker dequeue: vertex
+  // records resolve through one GraphStore::MultiGetVertices (single KV
+  // snapshot) instead of per-vertex Gets. Device/warm accounting is
+  // unchanged — this is a CPU-path optimization.
+  bool batched_multiget = true;
+  // Cap on distinct vertices per dequeued frontier group.
+  uint32_t max_frontier_batch = 64;
+  // Carve worker-loop scratch (edge lists, expansion targets) from a
+  // per-thread arena reset between batches instead of the heap.
+  bool arena_scratch = true;
 };
 
 class BackendServer {
@@ -304,6 +319,11 @@ class BackendServer {
   // Vertices already accessed per travel on this server: later accesses hit
   // the storage engine's block cache and charge the warm device cost.
   std::unordered_map<TravelId, std::unordered_set<graph::VertexId>> accessed_ GT_GUARDED_BY(mu_);
+  // Type-index labels already scanned per travel on this server: a travel
+  // re-scanning the same index (scan-start re-delivery, sync backward
+  // phase) charges the warm device cost, mirroring accessed_ above.
+  std::unordered_map<TravelId, std::unordered_set<graph::LabelId>> scanned_types_
+      GT_GUARDED_BY(mu_);
   // Outbound tracing events, batched per (coordinator, travel) and flushed
   // by size or by the maintenance tick.
   std::map<std::pair<ServerId, TravelId>, std::vector<TraceItem>> trace_buffer_

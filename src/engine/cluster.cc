@@ -38,6 +38,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     sopts.db = c.db;
     sopts.device = cluster->devices_.back().get();
     sopts.server_id = i;
+    sopts.adjacency_cache_bytes = c.adjacency_cache_bytes;
     auto store =
         graph::GraphStore::Open(c.data_dir + "/s" + std::to_string(i), sopts);
     if (!store.ok()) return store.status();
@@ -52,6 +53,8 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     scfg.exec_timeout_ms = c.exec_timeout_ms;
     scfg.graphtrek_merging = c.graphtrek_merging;
     scfg.graphtrek_priority_sched = c.graphtrek_priority_sched;
+    scfg.batched_multiget = c.batched_multiget;
+    scfg.arena_scratch = c.arena_scratch;
     cluster->servers_.push_back(std::make_unique<BackendServer>(
         scfg, cluster->stores_.back().get(), cluster->partitioner_.get(),
         &cluster->catalog_, cluster->transport()));

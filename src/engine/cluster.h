@@ -32,6 +32,12 @@ struct ClusterConfig {
   bool graphtrek_merging = true;
   bool graphtrek_priority_sched = true;
 
+  // I/O-path ablation knobs (see DESIGN.md "Adjacency cache & batched
+  // I/O"). Each axis toggles independently of the two above.
+  size_t adjacency_cache_bytes = 16 << 20;  // 0 disables the CSR cache
+  bool batched_multiget = true;             // frontier-group MultiGet
+  bool arena_scratch = true;                // per-worker arena scratch
+
   // Empty: a fresh directory under the system temp dir, removed on Stop.
   std::string data_dir;
 

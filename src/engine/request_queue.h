@@ -52,8 +52,12 @@ class RequestQueue {
 
   // Blocks until tasks are available (or shutdown). Returns the scheduled
   // task plus — when it is mergeable — all other queued tasks for the same
-  // vertex. Returns false on shutdown.
-  bool PopBatch(std::vector<VertexTask>* batch) GT_EXCLUDES(mu_) {
+  // vertex. With `max_frontier` > 1, additionally drains queued mergeable
+  // tasks for up to that many distinct vertices of the *same travel* (the
+  // batched-frontier-I/O group: one dequeue, one KV snapshot for all of
+  // them). Returns false on shutdown.
+  bool PopBatch(std::vector<VertexTask>* batch, size_t max_frontier = 1)
+      GT_EXCLUDES(mu_) {
     batch->clear();
     MutexLock lk(&mu_);
     while (!stop_ && queue_.empty()) cv_.Wait();
@@ -69,13 +73,22 @@ class RequestQueue {
     }
 
     // Extract every queued mergeable task for this {travel, vertex}.
-    auto idx = merge_index_.find(mkey);
-    for (const OrderKey key : idx->second) {
-      auto it = queue_.find(key);
-      batch->push_back(std::move(it->second.task));
-      queue_.erase(it);
+    ExtractGroupLocked(merge_index_.find(mkey), batch);
+    if (max_frontier <= 1) return true;
+
+    // Widen to other vertices of the same travel, in vid order. Grouping
+    // jumps those tasks ahead of their scheduled order, which is safe for
+    // the same reason cross-step vertex merging is: every task still runs
+    // exactly once, and execution accounting is per task.
+    size_t vertices = 1;
+    auto it = merge_index_.lower_bound(MergeKey{mkey.travel, 0});
+    while (vertices < max_frontier && it != merge_index_.end() &&
+           it->first.travel == mkey.travel) {
+      auto next = std::next(it);
+      ExtractGroupLocked(it, batch);
+      vertices++;
+      it = next;
     }
-    merge_index_.erase(idx);
     return true;
   }
 
@@ -113,6 +126,18 @@ class RequestQueue {
       return vid < o.vid;
     }
   };
+
+  // Moves every queued task of one merge-index group into `batch` and
+  // erases the group.
+  void ExtractGroupLocked(std::map<MergeKey, std::vector<OrderKey>>::iterator idx,
+                          std::vector<VertexTask>* batch) GT_REQUIRES(mu_) {
+    for (const OrderKey key : idx->second) {
+      auto it = queue_.find(key);
+      batch->push_back(std::move(it->second.task));
+      queue_.erase(it);
+    }
+    merge_index_.erase(idx);
+  }
 
   mutable Mutex mu_;
   CondVar cv_;

@@ -147,7 +147,11 @@ struct TraversePayload {
   ServerId coordinator = 0;
   uint8_t mode = 0;           // EngineMode (async variants)
   uint8_t scan_start = 0;     // step-0 request: scan the local type index
-  std::string plan;           // included on every hand-off (plans are small)
+  // Included on every hand-off (plans are small). A view, not a copy: on
+  // decode it aliases the message payload (kTraverse is the hot frame, and
+  // the receiver only reads the plan on the travel's first frame), so the
+  // decoded payload is only valid while the backing message/buffer lives.
+  std::string_view plan;
   std::vector<FrontierEntry> entries;
 
   std::string Encode() const {
@@ -177,7 +181,7 @@ struct TraversePayload {
     }
     p.mode = static_cast<uint8_t>(mode_byte[0]);
     p.scan_start = static_cast<uint8_t>(scan_byte[0]);
-    p.plan.assign(plan);
+    p.plan = plan;  // zero-copy: aliases `data`
     return p;
   }
 };

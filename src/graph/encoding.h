@@ -47,6 +47,10 @@ inline std::string VertexKey(VertexId vid) {
   return k;
 }
 
+// ns byte + src + label + dst. The adjacency cache uses this to reconstruct
+// per-edge byte accounting from rows that no longer store the keys.
+inline constexpr size_t kEdgeKeyBytes = 1 + 8 + 4 + 8;
+
 inline std::string EdgeKey(VertexId src, LabelId label, VertexId dst) {
   std::string k;
   k.push_back(kEdgeNs);

@@ -1,8 +1,22 @@
 #include "src/graph/graph_store.h"
 
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 
 namespace gt::graph {
+
+GraphStore::GraphStore(GraphStoreOptions opts, std::unique_ptr<kv::DB> db)
+    : opts_(opts), db_(std::move(db)) {
+  if (opts_.adjacency_cache_bytes > 0) {
+    AdjacencyCacheOptions cache_opts;
+    cache_opts.capacity_bytes = opts_.adjacency_cache_bytes;
+    cache_opts.server_id = opts_.server_id;
+    adj_cache_ = std::make_unique<AdjacencyCache>(cache_opts);
+  }
+}
 
 Result<std::unique_ptr<GraphStore>> GraphStore::Open(const std::string& dir,
                                                      GraphStoreOptions opts) {
@@ -35,7 +49,11 @@ Status GraphStore::PutVertex(const VertexRecord& v) {
 }
 
 Status GraphStore::PutEdge(const EdgeRecord& e) {
-  return db_->Put(EdgeKey(e.src, e.label, e.dst), EncodeEdgeValue(e.props));
+  Status s = db_->Put(EdgeKey(e.src, e.label, e.dst), EncodeEdgeValue(e.props));
+  // Invalidate after the KV write commits so a concurrent rebuild cannot
+  // cache the pre-write row after we dropped it.
+  if (s.ok() && adj_cache_ != nullptr) adj_cache_->InvalidateEdge(e.src, e.label);
+  return s;
 }
 
 Status GraphStore::DeleteVertex(VertexId vid) {
@@ -50,7 +68,14 @@ Status GraphStore::DeleteVertex(VertexId vid) {
   kv::WriteBatch batch;
   batch.Delete(VertexKey(vid));
   batch.Delete(TypeIndexKey(label, vid));
-  return db_->Write(std::move(batch));
+  Status w = db_->Write(std::move(batch));
+  // Conservative: the KV layer keeps the deleted vertex's out-edges (only
+  // the record + type-index entry are removed), so cached rows for vid
+  // would rebuild identically — but dropping them keeps the invariant
+  // "every cached row was built after the last mutation of its src" simple
+  // enough to audit.
+  if (w.ok() && adj_cache_ != nullptr) adj_cache_->InvalidateVertex(vid);
+  return w;
 }
 
 void GraphStore::ChargeAccess(VertexId vid, uint64_t bytes, bool warm) {
@@ -72,53 +97,225 @@ Result<VertexRecord> GraphStore::GetVertex(VertexId vid, bool warm) {
   return rec;
 }
 
-Status GraphStore::ScanEdges(VertexId src, LabelId label,
-                             const std::function<bool(VertexId, const PropMap&)>& fn,
-                             bool warm) {
-  uint64_t bytes = 0;
+Status GraphStore::MultiGetVertices(std::vector<VertexLookup>* lookups) {
+  if (lookups->empty()) return Status::OK();
+  // Visit keys in vid order (big-endian keys sort the same way) so the
+  // batch walks each table's index monotonically; results land back in the
+  // caller's slot via the permutation.
+  std::vector<size_t> order(lookups->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*lookups)[a].vid < (*lookups)[b].vid;
+  });
+
+  std::vector<std::string> key_storage;
+  key_storage.reserve(order.size());
+  std::vector<kv::Slice> keys;
+  keys.reserve(order.size());
+  for (size_t idx : order) {
+    key_storage.push_back(VertexKey((*lookups)[idx].vid));
+    keys.emplace_back(key_storage.back());
+  }
+
+  std::vector<std::optional<std::string>> values;
+  GT_RETURN_IF_ERROR(db_->MultiGet(keys, &values));
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    VertexLookup& lk = (*lookups)[order[i]];
+    if (!values[i].has_value()) {
+      lk.found = false;
+      continue;
+    }
+    // Same accounting as GetVertex: one charge per vid at its warm flag.
+    ChargeAccess(lk.vid, values[i]->size(), lk.warm);
+    lk.rec.id = lk.vid;
+    if (!DecodeVertexValue(*values[i], &lk.rec.label, &lk.rec.props)) {
+      return Status::Corruption("bad vertex value for vid " + std::to_string(lk.vid));
+    }
+    lk.found = true;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const AdjacencyRow>> GraphStore::BuildRow(VertexId src,
+                                                                 LabelId label) {
+  const uint64_t token = adj_cache_->BeginBuild(src);
+  Stopwatch timer;
+  AdjacencyRow::Builder builder;
   Status inner = Status::OK();
-  Status s = db_->ScanPrefix(EdgePrefix(src, label), [&](kv::Slice key, kv::Slice value) {
+  const std::string prefix = label == AdjacencyCache::kAllLabels
+                                 ? EdgePrefixAllLabels(src)
+                                 : EdgePrefix(src, label);
+  Status s = db_->ScanPrefix(prefix, [&](kv::Slice key, kv::Slice value) {
     VertexId esrc, edst;
     LabelId elabel;
     if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
       inner = Status::Corruption("bad edge key");
       return false;
     }
-    PropMap props;
-    if (!DecodeEdgeValue(value.view(), &props)) {
-      inner = Status::Corruption("bad edge value");
-      return false;
-    }
-    bytes += key.size() + value.size();
-    return fn(edst, props);
+    builder.Add(elabel, edst, value.view());
+    builder.AddSourceBytes(key.size() + value.size());
+    return true;
   });
-  ChargeAccess(src, bytes, warm);
   if (!inner.ok()) return inner;
-  return s;
+  if (!s.ok()) return s;
+  auto row = builder.Build();
+  adj_cache_->Insert(src, label, row, token);
+  adj_cache_->RecordBuild(timer.ElapsedMicros());
+  return row;
+}
+
+Status GraphStore::ScanEdges(VertexId src, LabelId label,
+                             const std::function<bool(VertexId, const PropMap&)>& fn,
+                             bool warm) {
+  if (adj_cache_ == nullptr) {
+    uint64_t bytes = 0;
+    Status inner = Status::OK();
+    Status s = db_->ScanPrefix(EdgePrefix(src, label), [&](kv::Slice key, kv::Slice value) {
+      VertexId esrc, edst;
+      LabelId elabel;
+      if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+        inner = Status::Corruption("bad edge key");
+        return false;
+      }
+      PropMap props;
+      if (!DecodeEdgeValue(value.view(), &props)) {
+        inner = Status::Corruption("bad edge value");
+        return false;
+      }
+      bytes += key.size() + value.size();
+      return fn(edst, props);
+    });
+    ChargeAccess(src, bytes, warm);
+    if (!inner.ok()) return inner;
+    return s;
+  }
+
+  // Prefer the exact (src, label) row; fall back to slicing a resident
+  // all-labels row (edges are in (label, dst) order, so the slice is a
+  // contiguous run and its byte share is proportional by edge count).
+  auto row = adj_cache_->Lookup(src, label, /*count_miss=*/false);
+  bool hit = row != nullptr;
+  uint64_t bytes = 0;
+  if (!hit) {
+    if (auto all = adj_cache_->Lookup(src, AdjacencyCache::kAllLabels)) {
+      hit = true;
+      Status serve = Status::OK();
+      for (uint32_t i = 0; i < all->size(); ++i) {
+        if (all->label_at(i) != label) continue;
+        bytes += kEdgeKeyBytes + all->props_at(i).size();
+        PropMap props;
+        if (!DecodeEdgeValue(all->props_at(i), &props)) {
+          serve = Status::Corruption("bad cached edge value");
+          break;
+        }
+        if (!fn(all->dst_at(i), props)) break;
+      }
+      ChargeAccess(src, bytes, /*warm=*/true);
+      return serve;
+    }
+  }
+  if (!hit) {
+    auto built = BuildRow(src, label);
+    if (!built.ok()) {
+      ChargeAccess(src, 0, warm);
+      return built.status();
+    }
+    row = *built;
+  }
+  // A fresh build charges at the caller's cold/warm rate (the bytes really
+  // came off the device); a cache hit always charges warm.
+  ChargeAccess(src, row->source_bytes(), hit ? true : warm);
+  for (uint32_t i = 0; i < row->size(); ++i) {
+    PropMap props;
+    if (!DecodeEdgeValue(row->props_at(i), &props)) {
+      return Status::Corruption("bad cached edge value");
+    }
+    if (!fn(row->dst_at(i), props)) break;
+  }
+  return Status::OK();
 }
 
 Status GraphStore::ScanAllEdges(
     VertexId src, const std::function<bool(LabelId, VertexId, const PropMap&)>& fn,
     bool warm) {
-  uint64_t bytes = 0;
-  Status inner = Status::OK();
-  Status s = db_->ScanPrefix(EdgePrefixAllLabels(src), [&](kv::Slice key, kv::Slice value) {
-    VertexId esrc, edst;
-    LabelId elabel;
-    if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
-      inner = Status::Corruption("bad edge key");
-      return false;
+  if (adj_cache_ == nullptr) {
+    uint64_t bytes = 0;
+    Status inner = Status::OK();
+    Status s = db_->ScanPrefix(EdgePrefixAllLabels(src), [&](kv::Slice key, kv::Slice value) {
+      VertexId esrc, edst;
+      LabelId elabel;
+      if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+        inner = Status::Corruption("bad edge key");
+        return false;
+      }
+      PropMap props;
+      if (!DecodeEdgeValue(value.view(), &props)) {
+        inner = Status::Corruption("bad edge value");
+        return false;
+      }
+      bytes += key.size() + value.size();
+      return fn(elabel, edst, props);
+    });
+    ChargeAccess(src, bytes, warm);
+    if (!inner.ok()) return inner;
+    return s;
+  }
+
+  auto row = adj_cache_->Lookup(src, AdjacencyCache::kAllLabels);
+  const bool hit = row != nullptr;
+  if (!hit) {
+    auto built = BuildRow(src, AdjacencyCache::kAllLabels);
+    if (!built.ok()) {
+      ChargeAccess(src, 0, warm);
+      return built.status();
     }
+    row = *built;
+  }
+  ChargeAccess(src, row->source_bytes(), hit ? true : warm);
+  for (uint32_t i = 0; i < row->size(); ++i) {
     PropMap props;
-    if (!DecodeEdgeValue(value.view(), &props)) {
-      inner = Status::Corruption("bad edge value");
-      return false;
+    if (!DecodeEdgeValue(row->props_at(i), &props)) {
+      return Status::Corruption("bad cached edge value");
     }
-    bytes += key.size() + value.size();
-    return fn(elabel, edst, props);
+    if (!fn(row->label_at(i), row->dst_at(i), props)) break;
+  }
+  return Status::OK();
+}
+
+Status GraphStore::WarmAdjacency() {
+  if (adj_cache_ == nullptr) return Status::OK();
+  // One sweep of the edge namespace; keys arrive in (src, label, dst) order,
+  // so each vertex's edges form one contiguous run and every all-labels row
+  // is completed before the next src starts. The warm-up is an ingest /
+  // benchmark-setup path: callers must not mutate edges concurrently (the
+  // per-insert epoch token is taken at flush time, after the row's edges
+  // were already read, so it does not protect a warm-up raced by writers
+  // the way the lazy BuildRow path protects itself).
+  bool have_src = false;
+  VertexId cur_src = 0;
+  Stopwatch row_timer;
+  AdjacencyRow::Builder builder;
+  auto flush = [&]() {
+    if (!have_src) return;
+    adj_cache_->Insert(cur_src, AdjacencyCache::kAllLabels, builder.Build(),
+                       adj_cache_->BeginBuild(cur_src));
+    adj_cache_->RecordBuild(row_timer.ElapsedMicros());
+    builder = AdjacencyRow::Builder();
+  };
+  Status s = ScanEverythingEdges([&](const EdgeRecord& e) {
+    if (!have_src || e.src != cur_src) {
+      flush();
+      cur_src = e.src;
+      have_src = true;
+      row_timer.Restart();
+    }
+    const std::string value = EncodeEdgeValue(e.props);
+    builder.Add(e.label, e.dst, value);
+    builder.AddSourceBytes(kEdgeKeyBytes + value.size());
+    return true;
   });
-  ChargeAccess(src, bytes, warm);
-  if (!inner.ok()) return inner;
+  flush();
   return s;
 }
 
@@ -157,7 +354,8 @@ Status GraphStore::ScanEverythingEdges(
 }
 
 Status GraphStore::ScanVerticesByType(LabelId label,
-                                      const std::function<bool(VertexId)>& fn) {
+                                      const std::function<bool(VertexId)>& fn,
+                                      bool warm) {
   uint64_t bytes = 0;
   Status inner = Status::OK();
   Status s = db_->ScanPrefix(TypeIndexPrefix(label), [&](kv::Slice key, kv::Slice) {
@@ -170,8 +368,9 @@ Status GraphStore::ScanVerticesByType(LabelId label,
     bytes += key.size();
     return fn(vid);
   });
-  // The type index is a compact sequential run: charge once per scan.
-  if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes);
+  // The type index is a compact sequential run: charge once per scan, at
+  // the caller-tracked warm rate on re-scans (see the header contract).
+  if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes, warm);
   if (!inner.ok()) return inner;
   return s;
 }

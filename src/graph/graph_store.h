@@ -14,6 +14,7 @@
 
 #include "src/common/device_model.h"
 #include "src/common/status.h"
+#include "src/graph/adjacency_cache.h"
 #include "src/graph/encoding.h"
 #include "src/kv/db.h"
 
@@ -31,6 +32,10 @@ struct GraphStoreOptions {
   kv::DBOptions db;
   DeviceModel* device = nullptr;  // charged once per logical vertex access
   uint32_t server_id = 0;
+
+  // Byte budget for the CSR adjacency cache (0 disables it entirely; every
+  // edge scan then goes straight to the KV iterator stack).
+  size_t adjacency_cache_bytes = 16 << 20;
 };
 
 class GraphStore {
@@ -49,16 +54,42 @@ class GraphStore {
   // marks a re-read within the same traversal (block-cache hit). ---
   Result<VertexRecord> GetVertex(VertexId vid, bool warm = false);
 
-  // Iterates out-edges of `src` with type `label` in dst order.
+  // One frontier batch of vertex point-reads resolved against a single KV
+  // snapshot (DB::MultiGet): the memtable/table handshake is paid once for
+  // the whole batch instead of once per vertex. Device accounting is
+  // identical to calling GetVertex once per entry — one charge per vid with
+  // that entry's `warm` flag — so the batch is a pure CPU-path optimization
+  // and ablating it cannot move simulated-device numbers by itself.
+  struct VertexLookup {
+    VertexId vid = 0;
+    bool warm = false;      // in: same semantics as GetVertex(vid, warm)
+    bool found = false;     // out: false = absent/deleted (not an error)
+    VertexRecord rec;       // out: valid when found
+  };
+  Status MultiGetVertices(std::vector<VertexLookup>* lookups);
+
+  // Iterates out-edges of `src` with type `label` in dst order. Served from
+  // the adjacency cache when resident ((src,label) row, or a (src,all) row
+  // filtered down); a miss scans the KV prefix once, building and caching
+  // the row as a side effect. Cache hits charge the device the row's
+  // original byte count at the warm (cache-hit) rate regardless of `warm` —
+  // the row IS the cached copy — while misses charge cold/warm exactly as
+  // before.
   Status ScanEdges(VertexId src, LabelId label,
                    const std::function<bool(VertexId dst, const PropMap&)>& fn,
                    bool warm = false);
 
-  // Iterates all out-edges of `src` grouped by type.
+  // Iterates all out-edges of `src` grouped by type. Same caching and
+  // charging policy as ScanEdges, keyed on the (src, all-labels) row.
   Status ScanAllEdges(
       VertexId src,
       const std::function<bool(LabelId, VertexId dst, const PropMap&)>& fn,
       bool warm = false);
+
+  // Eagerly builds an all-labels adjacency row for every vertex on this
+  // shard from one bulk edge sweep (ingest/benchmark warm-up path; charges
+  // no device accesses). Rows beyond the byte budget LRU out as usual.
+  Status WarmAdjacency();
 
   // Iterates every vertex record on this shard (maintenance/export path;
   // does not charge the device model).
@@ -70,8 +101,15 @@ class GraphStore {
 
   // Iterates ids of all vertices with the given label (type index scan).
   // Charged as one access per returned vertex would be pessimistic; the
-  // index is compact and sequential, so it charges once per scan.
-  Status ScanVerticesByType(LabelId label, const std::function<bool(VertexId)>& fn);
+  // index is compact and sequential, so it charges once per scan, at the
+  // cold rate the first time a traversal touches the index and at the warm
+  // (cache-hit) rate on re-scans — the same warm semantics every other
+  // traversal read has. The caller (the engine) tracks which travels have
+  // already scanned which type and passes `warm` accordingly; the scan is
+  // deliberately not routed through ChargeAccess because it is not rooted
+  // at any single vertex (no interceptor hook, no vertex_accesses_ bump).
+  Status ScanVerticesByType(LabelId label, const std::function<bool(VertexId)>& fn,
+                            bool warm = false);
 
   void SetInterceptor(AccessInterceptor* interceptor) { interceptor_ = interceptor; }
 
@@ -81,15 +119,23 @@ class GraphStore {
   kv::DB* db() { return db_.get(); }
   uint32_t server_id() const { return opts_.server_id; }
 
+  // Null when adjacency_cache_bytes == 0.
+  AdjacencyCache* adjacency_cache() { return adj_cache_.get(); }
+
  private:
-  GraphStore(GraphStoreOptions opts, std::unique_ptr<kv::DB> db)
-      : opts_(opts), db_(std::move(db)) {}
+  GraphStore(GraphStoreOptions opts, std::unique_ptr<kv::DB> db);
 
   // Charges one logical access of `bytes` bytes rooted at `vid`.
   void ChargeAccess(VertexId vid, uint64_t bytes, bool warm);
 
+  // Scans the (src, label) KV prefix (label == kAllLabels: every label),
+  // builds the CSR row, and inserts it into the cache. Never serves the
+  // caller directly — callers re-serve from the returned row.
+  Result<std::shared_ptr<const AdjacencyRow>> BuildRow(VertexId src, LabelId label);
+
   GraphStoreOptions opts_;
   std::unique_ptr<kv::DB> db_;
+  std::unique_ptr<AdjacencyCache> adj_cache_;
   AccessInterceptor* interceptor_ = nullptr;
   std::atomic<uint64_t> vertex_accesses_{0};
 };

@@ -536,6 +536,25 @@ Status DB::Get(Slice key, std::string* value) {
   return s;
 }
 
+Status DB::MultiGet(const std::vector<Slice>& keys,
+                    std::vector<std::optional<std::string>>* values) {
+  values->assign(keys.size(), std::nullopt);
+  if (keys.empty()) return Status::OK();
+  stats_.gets.fetch_add(keys.size());
+  ReadState state = SnapshotState();
+  std::string value;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Status s = GetFromState(state, keys[i], &value);
+    if (s.ok()) {
+      stats_.get_hits.fetch_add(1);
+      (*values)[i] = std::move(value);
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
 Status DB::GetFromState(const ReadState& state, Slice key, std::string* value) {
   LookupKey lkey(key, kMaxSequenceNumber);
 

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,15 @@ class DB {
 
   // Reads the newest live version; NotFound if absent or deleted.
   Status Get(Slice key, std::string* value);
+
+  // Point-reads a batch of keys against ONE snapshot of the memtable/table
+  // stack — the version-set handshake (mutex + shared_ptr copies) is paid
+  // once instead of once per key. (*values)[i] is nullopt for keys that are
+  // absent or deleted. Callers get the best locality by passing keys in
+  // sorted order, but any order is correct. Only I/O errors are returned;
+  // per-key NotFound is expressed through the nullopt slot.
+  Status MultiGet(const std::vector<Slice>& keys,
+                  std::vector<std::optional<std::string>>* values);
 
   // Iterator over live user keys in ascending order. key() is the user key.
   std::unique_ptr<Iterator> NewIterator();

@@ -7,7 +7,7 @@
 #include <string>
 
 #include "src/common/status.h"
-#include "src/kv/arena.h"
+#include "src/common/arena.h"
 #include "src/kv/dbformat.h"
 #include "src/kv/iterator.h"
 #include "src/kv/skiplist.h"

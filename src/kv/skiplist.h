@@ -9,7 +9,7 @@
 #include <cstdint>
 
 #include "src/common/rng.h"
-#include "src/kv/arena.h"
+#include "src/common/arena.h"
 
 namespace gt::kv {
 

@@ -95,15 +95,33 @@ struct Message {
   // Decodes the body of a frame (everything after frame_len).
   static Result<Message> DecodeBody(std::string_view body) {
     Message m;
+    if (Status s = DecodeHeader(body, &m); !s.ok()) return s;
+    m.payload.assign(body.substr(kMsgHeaderBytes));
+    return m;
+  }
+
+  // Zero-copy variant for transports that own the frame buffer: steals
+  // `body` as the payload (after trimming the 20-byte header in place)
+  // instead of copying it. The hot kTraverse frames carry the frontier and
+  // the plan, so the reader thread avoids an allocation + memcpy per frame.
+  static Result<Message> DecodeBody(std::string&& body) {
+    Message m;
+    if (Status s = DecodeHeader(body, &m); !s.ok()) return s;
+    body.erase(0, kMsgHeaderBytes);
+    m.payload = std::move(body);
+    return m;
+  }
+
+ private:
+  static Status DecodeHeader(std::string_view body, Message* m) {
     Decoder dec(body);
     uint32_t type32 = 0;
-    if (!dec.GetFixed32(&type32) || !dec.GetFixed32(&m.src) || !dec.GetFixed32(&m.dst) ||
-        !dec.GetFixed64(&m.rpc_id)) {
+    if (!dec.GetFixed32(&type32) || !dec.GetFixed32(&m->src) ||
+        !dec.GetFixed32(&m->dst) || !dec.GetFixed64(&m->rpc_id)) {
       return Status::Corruption("short message header");
     }
-    m.type = static_cast<MsgType>(type32 & 0xffff);
-    m.payload.assign(dec.data(), dec.remaining());
-    return m;
+    m->type = static_cast<MsgType>(type32 & 0xffff);
+    return Status::OK();
   }
 };
 

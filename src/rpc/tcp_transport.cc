@@ -230,7 +230,7 @@ struct TcpTransport::Listener {
       }
       std::string body(frame_len, '\0');
       if (!ReadFull(conn, body.data(), frame_len)) return;
-      auto msg = Message::DecodeBody(body);
+      auto msg = Message::DecodeBody(std::move(body));  // steals body as payload
       if (!msg.ok()) {
         GT_WARN << "tcp: protocol error on endpoint " << id << ": "
                 << msg.status().ToString() << "; closing connection";

@@ -204,7 +204,9 @@ TEST(PayloadTest, TraverseRoundTrip) {
   p.plan = "plan-bytes";
   p.entries = {{5, {1, 2}}, {9, {}}};
 
-  auto decoded = TraversePayload::Decode(p.Encode());
+  // The decoded plan is a view into the encoded buffer: keep it alive.
+  const std::string encoded = p.Encode();
+  auto decoded = TraversePayload::Decode(encoded);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->travel_id, 99u);
   EXPECT_EQ(decoded->step, 3u);

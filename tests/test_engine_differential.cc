@@ -152,11 +152,18 @@ TEST(EngineDifferentialTest, AllEnginesMatchOracleOnRandomWorkloads) {
         SCOPED_TRACE(EngineModeName(mode));
         const ServerId coordinator =
             static_cast<ServerId>(rng.Uniform(cfg.num_servers));
-        auto result = (*cluster)->Run(plan, mode, coordinator);
-        ASSERT_TRUE(result.ok()) << result.status().ToString();
-        // TraversalResult::vids is sorted + deduplicated, as is the oracle,
-        // so vector equality is multiset equality.
-        EXPECT_EQ(result->vids, oracle);
+        // Every run executes twice: the first pass populates the adjacency
+        // cache (cold), the second is served from it (warm). A stale or
+        // torn cached row would make the passes disagree with the oracle
+        // or each other, so this doubles as the cache's differential gate.
+        for (int pass = 0; pass < 2; pass++) {
+          SCOPED_TRACE(pass == 0 ? "cache=cold" : "cache=warm");
+          auto result = (*cluster)->Run(plan, mode, coordinator);
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          // TraversalResult::vids is sorted + deduplicated, as is the
+          // oracle, so vector equality is multiset equality.
+          EXPECT_EQ(result->vids, oracle);
+        }
       }
     }
   }

@@ -9,7 +9,7 @@
 #include <thread>
 
 #include "src/common/rng.h"
-#include "src/kv/arena.h"
+#include "src/common/arena.h"
 #include "src/kv/block.h"
 #include "src/kv/bloom.h"
 #include "src/kv/dbformat.h"
@@ -69,10 +69,10 @@ TEST(ArenaTest, AllocationsDoNotOverlap) {
 
 TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
   Arena arena;
-  char* big = arena.Allocate(Arena::kBlockSize);
+  char* big = arena.Allocate(Arena::kDefaultBlockSize);
   ASSERT_NE(big, nullptr);
-  std::memset(big, 0, Arena::kBlockSize);
-  EXPECT_GE(arena.MemoryUsage(), Arena::kBlockSize);
+  std::memset(big, 0, Arena::kDefaultBlockSize);
+  EXPECT_GE(arena.MemoryUsage(), Arena::kDefaultBlockSize);
 }
 
 TEST(ArenaTest, AlignedAllocationsAreAligned) {

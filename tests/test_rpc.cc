@@ -45,7 +45,8 @@ TEST(MessageTest, EncodeDecodeRoundTrip) {
 }
 
 TEST(MessageTest, DecodeRejectsShortBody) {
-  EXPECT_FALSE(Message::DecodeBody("tiny").ok());
+  EXPECT_FALSE(Message::DecodeBody(std::string_view("tiny")).ok());
+  EXPECT_FALSE(Message::DecodeBody(std::string("tiny")).ok());
 }
 
 TEST(MessageTest, EmptyPayloadAllowed) {

@@ -21,10 +21,17 @@ Checks (all scoped to src/):
      statistics go through the metrics registry (src/common/metrics.cc),
      whose exposition the tools/benches print. Hand-rolled stat dumps
      bit-rot and fork the observability story.
-  6. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  6. Raw KV reads (db()->Get / db()->ScanPrefix / db()->NewIterator) are
+     banned in src/engine: traversal hot paths must go through the
+     GraphStore batch/cache APIs (GetVertex, MultiGetVertices, ScanEdges,
+     ScanAllEdges, ScanVerticesByType) so every access flows through the
+     adjacency cache, the device-model charge, and the access interceptor.
+     A per-vertex db()->ScanPrefix in the engine silently bypasses all
+     three and the evaluation numbers stop meaning anything.
+  7. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-5 pass; 1 otherwise. Check 6 never fails the
+Exit status: 0 when checks 1-6 pass; 1 otherwise. Check 7 never fails the
 run — it only prints warnings.
 """
 
@@ -203,6 +210,30 @@ def check_console_output(files):
     return errors
 
 
+# Raw KV read entry points the engine must not call (writes are fine: the
+# engine has no KV write path, mutations go through GraphStore).
+ENGINE_RAW_KV_RE = re.compile(r"\bdb\s*\(\s*\)\s*->\s*(Get|MultiGet|ScanPrefix|NewIterator)\b")
+
+
+def check_engine_raw_kv(files):
+    errors = []
+    for rel in files:
+        if not rel.startswith("src/engine/"):
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = ENGINE_RAW_KV_RE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: raw KV read 'db()->{m.group(1)}' in the engine — "
+                    f"use the GraphStore batch/cache APIs (GetVertex, MultiGetVertices, "
+                    f"ScanEdges/ScanAllEdges, ScanVerticesByType) so the adjacency "
+                    f"cache, device charge and access interceptor see the access"
+                )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -267,6 +298,7 @@ def main():
     errors += check_threads(files)
     errors += check_kv_posix(files)
     errors += check_console_output(files)
+    errors += check_engine_raw_kv(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:
