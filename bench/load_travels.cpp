@@ -1,0 +1,328 @@
+// Multi-tenant travel load generator (PR 7): drives the admission /
+// deadline / cancellation front end and reports travel latency percentiles
+// and throughput *from the metrics registry* (the same figures an operator
+// would scrape), persisting them as BENCH_7.json.
+//
+// Three phases:
+//   closed-loop  - T worker threads, each submit->await in a loop (classic
+//                  closed system; measures saturated travels/sec + p50/p99).
+//   open-loop    - the same workers paced to an aggregate target rate
+//                  (arrival-driven; latency includes admission queueing).
+//   lifecycle    - admission burst past the interactive class limit,
+//                  client-cancelled travels, and sub-deadline travels, to
+//                  exercise rejection/cancel/deadline accounting end to end.
+//
+//   load_travels [--smoke] [--json FILE]
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+
+namespace gt::bench {
+namespace {
+
+using engine::EngineMode;
+using engine::RunOptions;
+using engine::TravelClass;
+
+// Cumulative gt_travel_duration_ms distribution, aggregated across every
+// label set (server, mode), keyed by inclusive upper edge (+Inf = infinity).
+std::map<double, double> DurationBuckets() {
+  std::map<double, double> cum;
+  for (const auto& s : metrics::Registry::Default()->Collect("gt_travel_duration_ms")) {
+    if (s.name != "gt_travel_duration_ms_bucket") continue;
+    double le = std::numeric_limits<double>::infinity();
+    for (const auto& [k, v] : s.labels) {
+      if (k == "le" && v != "+Inf") le = std::stod(v);
+    }
+    cum[le] += s.value;
+  }
+  return cum;
+}
+
+// Linear-interpolated quantile of the delta between two cumulative bucket
+// snapshots. Returns 0 when the window observed nothing.
+double QuantileMs(const std::map<double, double>& before,
+                  const std::map<double, double>& after, double q) {
+  std::map<double, double> delta;
+  for (const auto& [le, v] : after) {
+    auto it = before.find(le);
+    delta[le] = v - (it == before.end() ? 0.0 : it->second);
+  }
+  if (delta.empty()) return 0.0;
+  const double total = delta.rbegin()->second;  // +Inf bucket
+  if (total <= 0) return 0.0;
+  const double target = q * total;
+  double prev_edge = 0.0, prev_cum = 0.0, last_finite = 0.0;
+  for (const auto& [le, cum] : delta) {
+    if (std::isinf(le)) {
+      // Landed in the overflow bucket: report the largest finite edge.
+      return last_finite > 0 ? last_finite : prev_edge;
+    }
+    last_finite = le;
+    if (cum >= target) {
+      const double in_bucket = cum - prev_cum;
+      if (in_bucket <= 0) return le;
+      return prev_edge + (le - prev_edge) * ((target - prev_cum) / in_bucket);
+    }
+    prev_edge = le;
+    prev_cum = cum;
+  }
+  return last_finite;
+}
+
+struct PhaseReport {
+  uint64_t travels = 0;
+  uint64_t failures = 0;
+  double wall_s = 0;
+  double travels_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+}  // namespace
+}  // namespace gt::bench
+
+int main(int argc, char** argv) {
+  using namespace gt;
+  using namespace gt::bench;
+
+  // Peel off --json before the shared parser (it rejects unknown flags).
+  std::string json_path = "BENCH_7.json";
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchConfig cfg;
+  ParseBenchArgs(static_cast<int>(rest.size()), rest.data(), &cfg);
+
+  PrintHeader("load_travels: multi-tenant admission/cancellation load generator",
+              "closed-loop + open-loop travel load; p50/p99 and travels/sec from "
+              "the metrics registry; lifecycle (reject/cancel/deadline) slice");
+
+  const uint32_t servers = ServersOrSmoke(4);
+  graph::Catalog catalog;
+  const graph::RefGraph g = BuildRmat1(&catalog, cfg);
+
+  engine::ClusterConfig ccfg;
+  ccfg.num_servers = servers;
+  ccfg.workers_per_server = cfg.workers_per_server;
+  ccfg.device.access_latency_us = cfg.access_latency_us;
+  ccfg.device.warm_latency_us = cfg.warm_latency_us;
+  ccfg.device.per_kib_us = cfg.per_kib_us;
+  ccfg.device.tail_prob = cfg.tail_prob;
+  ccfg.device.tail_mult = cfg.tail_mult;
+  ccfg.net.latency_us = cfg.net_latency_us;
+  ccfg.exec_timeout_ms = 600000;  // load phases must not trip failure detection
+  // Interactive is kept scarce so the lifecycle slice can overflow it; the
+  // classes the load phases use are sized above their concurrency.
+  ccfg.admission_limits = {{4, 64, 128}};
+  auto cluster_or = engine::Cluster::Create(ccfg);
+  if (!cluster_or.ok()) {
+    std::fprintf(stderr, "load_travels: cluster create failed: %s\n",
+                 cluster_or.status().ToString().c_str());
+    return 1;
+  }
+  engine::Cluster* cluster = cluster_or->get();
+  cluster->catalog()->CopyFrom(catalog);
+  if (auto s = cluster->Load(g); !s.ok()) {
+    std::fprintf(stderr, "load_travels: load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const uint32_t threads = g_smoke ? 4 : 16;
+  const uint32_t travels_per_thread = g_smoke ? 8 : 60;
+
+  // One worker body serves both phases: pace_us == 0 is closed-loop;
+  // otherwise each worker schedules arrivals pace_us apart (aggregate rate
+  // threads / pace_us), submitting late if the previous travel overran.
+  auto run_phase = [&](uint64_t pace_us, PhaseReport* report) {
+    std::atomic<uint64_t> ok_count{0}, fail_count{0};
+    const auto buckets_before = DurationBuckets();
+    const uint64_t completed_before = MetricTotal("gt_travel_completed_total");
+    Stopwatch wall;
+    std::vector<std::thread> pool;
+    for (uint32_t t = 0; t < threads; t++) {
+      pool.emplace_back([&, t]() {
+        auto client = cluster->NewClient();
+        RunOptions opts;
+        opts.mode = EngineMode::kGraphTrek;
+        opts.coordinator = t % servers;
+        opts.priority = (t % 2) == 0 ? TravelClass::kNormal : TravelClass::kBatch;
+        const uint64_t start_us = NowMicros();
+        for (uint32_t k = 0; k < travels_per_thread; k++) {
+          if (pace_us != 0) {
+            const uint64_t due = start_us + k * pace_us;
+            uint64_t now = NowMicros();
+            while (now < due) {
+              std::this_thread::sleep_for(std::chrono::microseconds(due - now));
+              now = NowMicros();
+            }
+          }
+          const auto plan =
+              HopPlan(&catalog, (kBenchSource + t * travels_per_thread + k) % 97, 2);
+          auto result = client->Run(plan, opts);
+          if (result.ok()) {
+            ok_count.fetch_add(1);
+          } else {
+            fail_count.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    report->wall_s = wall.ElapsedMillis() / 1000.0;
+    report->travels = ok_count.load();
+    report->failures = fail_count.load();
+    const uint64_t completed = MetricTotal("gt_travel_completed_total") - completed_before;
+    report->travels_per_sec =
+        report->wall_s > 0 ? static_cast<double>(completed) / report->wall_s : 0;
+    const auto buckets_after = DurationBuckets();
+    report->p50_ms = QuantileMs(buckets_before, buckets_after, 0.50);
+    report->p99_ms = QuantileMs(buckets_before, buckets_after, 0.99);
+  };
+
+  PhaseReport closed, open;
+  run_phase(0, &closed);
+  std::printf("closed-loop: %" PRIu64 " travels (%" PRIu64 " failed) in %.2fs  "
+              "%.1f travels/s  p50=%.2fms p99=%.2fms\n",
+              closed.travels, closed.failures, closed.wall_s,
+              closed.travels_per_sec, closed.p50_ms, closed.p99_ms);
+
+  // Open loop: target ~60% of the closed-loop rate so queues stay bounded
+  // but admission queueing is visible in the percentiles.
+  const double target_rate = std::max(1.0, closed.travels_per_sec * 0.6);
+  const uint64_t pace_us =
+      static_cast<uint64_t>(1e6 * static_cast<double>(threads) / target_rate);
+  run_phase(pace_us, &open);
+  std::printf("open-loop (target %.1f travels/s): %" PRIu64 " travels "
+              "(%" PRIu64 " failed) in %.2fs  %.1f travels/s  p50=%.2fms p99=%.2fms\n",
+              target_rate, open.travels, open.failures, open.wall_s,
+              open.travels_per_sec, open.p50_ms, open.p99_ms);
+
+  // --- lifecycle slice -------------------------------------------------------
+  // (a) Admission burst: 3x the interactive limit of slow 4-hop travels,
+  // submitted back-to-back from separate clients. The overflow must bounce
+  // with Unavailable while the admitted ones complete normally.
+  uint64_t burst_admitted = 0, burst_rejected = 0, burst_other = 0;
+  {
+    const uint32_t burst = ccfg.admission_limits[0] * 3;
+    std::vector<std::unique_ptr<engine::GraphTrekClient>> clients;
+    std::vector<engine::TravelId> admitted;
+    std::vector<size_t> admitted_client;
+    RunOptions opts;
+    opts.priority = TravelClass::kInteractive;
+    for (uint32_t i = 0; i < burst; i++) {
+      clients.push_back(cluster->NewClient());
+      auto travel = clients.back()->Submit(
+          HopPlan(&catalog, (kBenchSource + i) % 97, 4), opts);
+      if (travel.ok()) {
+        admitted.push_back(*travel);
+        admitted_client.push_back(clients.size() - 1);
+        burst_admitted++;
+      } else if (travel.status().IsUnavailable()) {
+        burst_rejected++;
+      } else {
+        burst_other++;
+      }
+    }
+    for (size_t i = 0; i < admitted.size(); i++) {
+      auto result = clients[admitted_client[i]]->Await(admitted[i], 600000);
+      if (!result.ok()) burst_other++;
+    }
+  }
+  std::printf("admission burst: admitted=%" PRIu64 " rejected=%" PRIu64
+              " other=%" PRIu64 "\n",
+              burst_admitted, burst_rejected, burst_other);
+
+  // (b) Client-cancelled travels: give up almost immediately; the Await
+  // timeout path fans the abort out and the travel counts as cancelled.
+  uint64_t cancels_sent = 0;
+  {
+    auto client = cluster->NewClient();
+    RunOptions opts;
+    const uint32_t n = g_smoke ? 2 : 6;
+    for (uint32_t i = 0; i < n; i++) {
+      auto travel = client->Submit(HopPlan(&catalog, (kBenchSource + i) % 97, 4), opts);
+      if (!travel.ok()) continue;
+      auto result = client->Await(*travel, 1);
+      if (!result.ok() && result.status().IsTimeout()) cancels_sent++;
+    }
+  }
+
+  // (c) Sub-deadline travels: a deadline far below a 4-hop travel's cost;
+  // the server must fail them with Timeout (no client cancel involved).
+  uint64_t deadline_hits = 0;
+  {
+    auto client = cluster->NewClient();
+    RunOptions opts;
+    opts.deadline_ms = 1;
+    opts.client_timeout_ms = 60000;
+    const uint32_t n = g_smoke ? 2 : 6;
+    for (uint32_t i = 0; i < n; i++) {
+      auto result =
+          client->Run(HopPlan(&catalog, (kBenchSource + 31 + i) % 97, 4), opts);
+      if (!result.ok() && result.status().IsTimeout()) deadline_hits++;
+    }
+  }
+  std::printf("lifecycle: cancels_sent=%" PRIu64 " deadline_hits=%" PRIu64 "\n",
+              cancels_sent, deadline_hits);
+
+  const uint64_t admitted_total = MetricTotal("gt_travel_admitted_total");
+  const uint64_t rejected_total = MetricTotal("gt_travel_rejected_total");
+  const uint64_t cancelled_total = MetricTotal("gt_travel_cancelled_total");
+  const uint64_t deadline_total = MetricTotal("gt_travel_deadline_exceeded_total");
+  std::printf("registry: admitted=%" PRIu64 " rejected=%" PRIu64
+              " cancelled=%" PRIu64 " deadline_exceeded=%" PRIu64 "\n",
+              admitted_total, rejected_total, cancelled_total, deadline_total);
+  PrintRpcStats(3);
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"load_travels\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"servers\": %u,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"closed_loop\": {\"travels\": %" PRIu64 ", \"failures\": %" PRIu64
+                 ", \"wall_s\": %.3f, \"travels_per_sec\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f},\n"
+                 "  \"open_loop\": {\"target_travels_per_sec\": %.2f, \"travels\": %" PRIu64
+                 ", \"failures\": %" PRIu64 ", \"wall_s\": %.3f, "
+                 "\"travels_per_sec\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f},\n"
+                 "  \"lifecycle\": {\"admitted\": %" PRIu64 ", \"rejected\": %" PRIu64
+                 ", \"cancelled\": %" PRIu64 ", \"deadline_exceeded\": %" PRIu64 "}\n"
+                 "}\n",
+                 g_smoke ? "true" : "false", servers, threads, closed.travels,
+                 closed.failures, closed.wall_s, closed.travels_per_sec, closed.p50_ms,
+                 closed.p99_ms, target_rate, open.travels, open.failures, open.wall_s,
+                 open.travels_per_sec, open.p50_ms, open.p99_ms, admitted_total,
+                 rejected_total, cancelled_total, deadline_total);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "load_travels: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  // The smoke gate fails on unexpected load-phase errors (admission
+  // rejections retry inside Run(); anything surfacing here is a bug).
+  if (closed.failures != 0 || open.failures != 0 || burst_other != 0) {
+    std::fprintf(stderr, "load_travels: unexpected travel failures\n");
+    return 1;
+  }
+  return 0;
+}

@@ -56,6 +56,14 @@ step "I/O-path ablation smoke + adjacency-cache tests"
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'bench_smoke_ablation_optimizations|AdjacencyCacheTest'
 
+# Travel-lifecycle gate: queue-key collision regression, cancellation
+# reclaim, admission control and deadline enforcement, plus the load
+# generator that drives them at --smoke size. Explicit -R so a discovery
+# problem cannot silently drop the lifecycle coverage.
+step "travel lifecycle tests + load-generator smoke"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'RequestQueueTest|TravelLifecycleTest|bench_smoke_load_travels'
+
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
 if command -v clang++ >/dev/null 2>&1; then
@@ -82,6 +90,9 @@ if [[ "$FAST" == 0 ]]; then
   step "adjacency-cache tests under TSan (mutate-while-traversing)"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'AdjacencyCacheTest'
+  step "travel lifecycle tests under TSan (cancel/admission races)"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'RequestQueueTest|TravelLifecycleTest'
 else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi

@@ -59,6 +59,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   StatusCode code() const { return code_; }

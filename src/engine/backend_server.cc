@@ -85,7 +85,8 @@ BackendServer::BackendServer(ServerConfig cfg, graph::GraphStore* store,
       partitioner_(partitioner),
       catalog_(catalog),
       transport_(transport),
-      cache_(cfg.cache_capacity) {
+      cache_(cfg.cache_capacity),
+      maint_cv_(&maint_mu_) {
   auto* reg = metrics::Registry::Default();
   const std::string server = "s" + std::to_string(cfg_.id);
   reg->DescribeFamily("gt_travel_duration_ms", metrics::MetricType::kHistogram,
@@ -102,6 +103,23 @@ BackendServer::BackendServer(ServerConfig cfg, graph::GraphStore* store,
                                 {{"server", server}, {"outcome", "ok"}});
   travels_failed_ = reg->GetCounter("gt_travel_completed_total",
                                     {{"server", server}, {"outcome", "error"}});
+  reg->DescribeFamily("gt_travel_admitted_total", metrics::MetricType::kCounter,
+                      "Travels admitted by the coordinator, by priority class");
+  reg->DescribeFamily("gt_travel_rejected_total", metrics::MetricType::kCounter,
+                      "Travels rejected at admission (Unavailable), by priority class");
+  reg->DescribeFamily("gt_travel_cancelled_total", metrics::MetricType::kCounter,
+                      "Live travels aborted by client cancel/timeout");
+  reg->DescribeFamily("gt_travel_deadline_exceeded_total", metrics::MetricType::kCounter,
+                      "Travels failed by server-side deadline enforcement");
+  for (uint32_t c = 0; c < kNumTravelClasses; c++) {
+    const metrics::Labels labels = {
+        {"server", server}, {"class", TravelClassName(static_cast<TravelClass>(c))}};
+    travel_admitted_[c] = reg->GetCounter("gt_travel_admitted_total", labels);
+    travel_rejected_[c] = reg->GetCounter("gt_travel_rejected_total", labels);
+  }
+  travel_cancelled_ = reg->GetCounter("gt_travel_cancelled_total", {{"server", server}});
+  travel_deadline_exceeded_ =
+      reg->GetCounter("gt_travel_deadline_exceeded_total", {{"server", server}});
 }
 
 BackendServer::~BackendServer() { Stop(); }
@@ -185,6 +203,11 @@ void BackendServer::Stop() {
   metrics::Registry::Default()->RemoveCollector(metrics_collector_);
   transport_->UnregisterEndpoint(cfg_.id);
   stop_.store(true);
+  {
+    MutexLock lk(&maint_mu_);
+    maint_stop_ = true;
+  }
+  maint_cv_.SignalAll();  // wake the maintenance tick out of its sleep
   queue_.Shutdown();
   if (pool_ != nullptr) {
     pool_->Shutdown();  // joins worker + maintenance loops
@@ -200,6 +223,36 @@ size_t BackendServer::cache_size() const {
 uint64_t BackendServer::cache_evictions() const {
   MutexLock lk(&mu_);
   return cache_.evictions();
+}
+
+bool BackendServer::HasTravelResidue(TravelId travel) const {
+  MutexLock lk(&mu_);
+  if (plans_.count(travel) != 0 || travels_.count(travel) != 0 ||
+      sync_locals_.count(travel) != 0 || accessed_.count(travel) != 0 ||
+      scanned_types_.count(travel) != 0 || cache_.HasTravel(travel)) {
+    return true;
+  }
+  for (const auto& [id, exec] : execs_) {
+    if (exec->travel == travel) return true;
+  }
+  for (const auto& [key, items] : trace_buffer_) {
+    if (key.second == travel && !items.empty()) return true;
+  }
+  return false;
+}
+
+void BackendServer::QueueSendLocked(rpc::Message msg) {
+  outbox_.push_back(std::move(msg));
+}
+
+void BackendServer::DrainOutbox() {
+  std::vector<rpc::Message> staged;
+  {
+    MutexLock lk(&mu_);
+    if (outbox_.empty()) return;
+    staged.swap(outbox_);
+  }
+  for (auto& m : staged) SendLossy(std::move(m));
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +285,7 @@ void BackendServer::SendTraceEventLocked(ServerId coordinator, TravelId travel,
   m.src = cfg_.id;
   m.dst = coordinator;
   m.payload = ev.Encode();
-  SendLossy(std::move(m));
+  QueueSendLocked(std::move(m));
 }
 
 // Combined tracing event: registers the downstream executions AND reports
@@ -262,7 +315,7 @@ void BackendServer::FlushTraceBufferLocked(ServerId coordinator, TravelId travel
   m.src = cfg_.id;
   m.dst = coordinator;
   m.payload = batch.Encode();
-  SendLossy(std::move(m));
+  QueueSendLocked(std::move(m));
 }
 
 void BackendServer::FlushAllTraceBuffersLocked() {
@@ -334,6 +387,7 @@ void BackendServer::OnMessage(rpc::Message&& msg) {
       GT_WARN << "server " << cfg_.id << ": unexpected message type "
               << rpc::MsgTypeName(msg.type);
   }
+  DrainOutbox();  // flush sends the handler staged while holding mu_
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +399,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   auto fail = [&](const Status& st) {
     CompletePayload done;
     done.ok = 0;
+    done.code = static_cast<uint8_t>(st.code());
     done.error = st.ToString();
     rpc::Message reply;
     reply.type = rpc::MsgType::kTraversalComplete;
@@ -364,8 +419,36 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     return;
   }
 
+  uint8_t cls_byte = submit->priority_class;
+  if (cls_byte >= kNumTravelClasses) cls_byte = static_cast<uint8_t>(TravelClass::kNormal);
+  const TravelClass cls = static_cast<TravelClass>(cls_byte);
+
   MutexLock lk(&mu_);
+
+  // Admission control: bound the in-flight-travel table, overall and per
+  // priority class. Rejection is backpressure, not failure — the client
+  // retries with jittered backoff.
+  const uint32_t class_limit = cfg_.admission_limits[cls_byte];
+  if ((cfg_.max_inflight_travels != 0 && travels_.size() >= cfg_.max_inflight_travels) ||
+      (class_limit != 0 && inflight_per_class_[cls_byte] >= class_limit)) {
+    travel_rejected_[cls_byte]->Inc();
+    CompletePayload done;
+    done.ok = 0;
+    done.code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    done.error = "admission limit reached";
+    rpc::Message reply;
+    reply.type = rpc::MsgType::kTraversalComplete;
+    reply.src = cfg_.id;
+    reply.dst = msg.src;
+    reply.rpc_id = msg.rpc_id;
+    reply.payload = done.Encode();
+    QueueSendLocked(std::move(reply));
+    return;
+  }
+
   const TravelId travel = MakeExecId(cfg_.id, next_travel_seq_++);
+  inflight_per_class_[cls_byte]++;
+  travel_admitted_[cls_byte]->Inc();
 
   TravelState& ts = travels_[travel];
   ts.id = travel;
@@ -376,6 +459,9 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   ts.started_us = NowMicros();
   ts.last_activity_us = ts.started_us;
   ts.timeout_ms = submit->timeout_ms == 0 ? cfg_.exec_timeout_ms : submit->timeout_ms;
+  ts.cls = cls;
+  ts.deadline_us =
+      submit->deadline_ms == 0 ? 0 : ts.started_us + static_cast<uint64_t>(submit->deadline_ms) * 1000;
   ts.unfinished_per_step.assign(plan->num_steps() + 1, 0);
 
   auto cplan = std::make_shared<CompiledPlan>();
@@ -395,7 +481,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   reply.dst = msg.src;
   reply.rpc_id = msg.rpc_id;
   reply.payload = EncodeTravelId(travel);
-  SendLossy(std::move(reply));
+  QueueSendLocked(std::move(reply));
 
   if (ts.mode == EngineMode::kSync) {
     // Seed step-0 frontier batches, then start step 0 on every server.
@@ -421,7 +507,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
         bm.src = cfg_.id;
         bm.dst = s;
         bm.payload = batch.Encode();
-        SendLossy(std::move(bm));
+        QueueSendLocked(std::move(bm));
       }
     }
     ts.sync_step = 0;
@@ -441,7 +527,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
       sm.src = cfg_.id;
       sm.dst = s;
       sm.payload = start.Encode();
-      SendLossy(std::move(sm));
+      QueueSendLocked(std::move(sm));
     }
     return;
   }
@@ -488,7 +574,7 @@ void BackendServer::StartRootExecsLocked(TravelState& ts) {
     m.src = cfg_.id;
     m.dst = s;
     m.payload = req.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
 
   ts.root_outstanding = static_cast<uint32_t>(created.size());
@@ -514,6 +600,12 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
   if (ts.done) return;
   ts.done = true;
 
+  // Release the admission slot the travel held since HandleSubmit.
+  const uint8_t cls_byte = static_cast<uint8_t>(ts.cls);
+  if (cls_byte < kNumTravelClasses && inflight_per_class_[cls_byte] > 0) {
+    inflight_per_class_[cls_byte]--;
+  }
+
   // Stream results to the client in chunks, then the completion marker.
   std::vector<graph::VertexId> all(ts.results.begin(), ts.results.end());
   std::sort(all.begin(), all.end());
@@ -527,12 +619,13 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
     m.src = cfg_.id;
     m.dst = ts.client;
     m.payload = chunk.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
 
   CompletePayload done;
   done.travel_id = ts.id;
   done.ok = status.ok() ? 1 : 0;
+  done.code = static_cast<uint8_t>(status.code());
   done.error = status.ok() ? "" : status.ToString();
   done.total_results = all.size();
   rpc::Message m;
@@ -540,17 +633,17 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
   m.src = cfg_.id;
   m.dst = ts.client;
   m.payload = done.Encode();
-  SendLossy(std::move(m));
+  QueueSendLocked(std::move(m));
 
   // Broadcast cleanup; every server (including this one) drops the travel's
-  // plans, cache entries and any leftover execution state.
+  // plans, cache entries, queued tasks and any leftover execution state.
   for (ServerId s = 0; s < cfg_.num_servers; s++) {
     rpc::Message abort;
     abort.type = rpc::MsgType::kAbortTraversal;
     abort.src = cfg_.id;
     abort.dst = s;
-    abort.payload = EncodeTravelId(ts.id);
-    SendLossy(std::move(abort));
+    abort.payload = AbortPayload{ts.id, AbortPayload::kCleanup}.Encode();
+    QueueSendLocked(std::move(abort));
   }
 
   const uint64_t now_us = NowMicros();
@@ -801,6 +894,7 @@ void BackendServer::WorkerLoop() {
     } else {
       ProcessBatch(batch);
     }
+    DrainOutbox();  // flush sends staged under mu_ during processing
   }
 }
 
@@ -1129,7 +1223,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
     m.src = cfg_.id;
     m.dst = server;
     m.payload = req.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
   exec.children_outstanding = static_cast<uint32_t>(created.size());
   exec.out_targets.clear();
@@ -1148,7 +1242,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
       m.src = cfg_.id;
       m.dst = cplan.coordinator;
       m.payload = ans.Encode();
-      SendLossy(std::move(m));
+      QueueSendLocked(std::move(m));
     }
     const TravelId travel = exec.travel;
     const uint32_t step = exec.step;
@@ -1190,7 +1284,7 @@ void BackendServer::TryAnswerLocked(ExecState& exec) {
   m.src = cfg_.id;
   m.dst = exec.parent_server;
   m.payload = ans.Encode();
-  SendLossy(std::move(m));
+  QueueSendLocked(std::move(m));
 
   EraseExecLocked(exec.id);  // exec is dangling after this line
 }
@@ -1445,37 +1539,54 @@ void BackendServer::HandleProgress(rpc::Message&& msg) {
 }
 
 void BackendServer::HandleAbort(rpc::Message&& msg) {
-  auto travel = DecodeTravelId(msg.payload);
-  if (!travel.ok()) return;
+  auto abort = AbortPayload::Decode(msg.payload);
+  if (!abort.ok()) return;
+  const TravelId travel = abort->travel_id;
 
   MutexLock lk(&mu_);
-  aborted_travels_.insert(*travel);
-  aborted_order_.push_back(*travel);
+
+  // If this server coordinates the travel and it is still live, route the
+  // abort through the normal completion path: that releases the admission
+  // slot, notifies the client, and re-broadcasts the cleanup to every
+  // server. The local-state erasure below still runs for this delivery.
+  auto tit = travels_.find(travel);
+  if (tit != travels_.end() && !tit->second.done) {
+    if (abort->reason == AbortPayload::kCancel) travel_cancelled_->Inc();
+    tit->second.results.clear();  // cancelled travels return no results
+    CompleteTravelLocked(tit->second, Status::Aborted("travel cancelled"));
+  }
+
+  aborted_travels_.insert(travel);
+  aborted_order_.push_back(travel);
   while (aborted_order_.size() > kMaxAbortTombstones) {
     aborted_travels_.erase(aborted_order_.front());
     aborted_order_.pop_front();
   }
 
-  plans_.erase(*travel);
-  cache_.EraseTravel(*travel);
-  accessed_.erase(*travel);
-  scanned_types_.erase(*travel);
-  sync_locals_.erase(*travel);
+  plans_.erase(travel);
+  cache_.EraseTravel(travel);
+  accessed_.erase(travel);
+  scanned_types_.erase(travel);
+  sync_locals_.erase(travel);
   for (auto it = trace_buffer_.begin(); it != trace_buffer_.end();) {
-    if (it->first.second == *travel) {
+    if (it->first.second == travel) {
       it = trace_buffer_.erase(it);
     } else {
       ++it;
     }
   }
-  travels_.erase(*travel);
+  travels_.erase(travel);
   for (auto it = execs_.begin(); it != execs_.end();) {
-    if (it->second->travel == *travel) {
+    if (it->second->travel == travel) {
       it = execs_.erase(it);
     } else {
       ++it;
     }
   }
+  // Drain the travel's queued-but-unprocessed tasks so workers never touch
+  // them (they would hit the erased plan and bail, but each would still
+  // burn a dequeue and possibly device I/O).
+  queue_.EraseTravel(travel);
 }
 
 void BackendServer::SendLossy(rpc::Message msg) {
@@ -1489,8 +1600,18 @@ void BackendServer::SendLossy(rpc::Message msg) {
 }
 
 void BackendServer::MaintenanceLoop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max<uint32_t>(1, cfg_.maintenance_interval_ms));
   while (!stop_.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      // Interruptible sleep: Stop() signals maint_cv_ so shutdown never
+      // waits out a full interval (and long TSan/soak intervals stay cheap).
+      MutexLock lk(&maint_mu_);
+      if (maint_stop_) return;
+      maint_cv_.WaitFor(interval);
+      if (maint_stop_) return;
+    }
+    std::vector<TravelId> deadline_exceeded;
     std::vector<TravelId> failed;
     {
       MutexLock lk(&mu_);
@@ -1498,9 +1619,20 @@ void BackendServer::MaintenanceLoop() {
       const uint64_t now = NowMicros();
       for (auto& [id, ts] : travels_) {
         if (ts.done) continue;
-        if (now - ts.last_activity_us > static_cast<uint64_t>(ts.timeout_ms) * 1000) {
+        if (ts.deadline_us != 0 && now > ts.deadline_us) {
+          deadline_exceeded.push_back(id);
+        } else if (now - ts.last_activity_us >
+                   static_cast<uint64_t>(ts.timeout_ms) * 1000) {
           failed.push_back(id);
         }
+      }
+      for (TravelId id : deadline_exceeded) {
+        auto it = travels_.find(id);
+        if (it == travels_.end()) continue;
+        travel_deadline_exceeded_->Inc();
+        // Deadline expiry is final: Timeout is not retryable client-side.
+        it->second.results.clear();
+        CompleteTravelLocked(it->second, Status::Timeout("travel deadline exceeded"));
       }
       for (TravelId id : failed) {
         auto it = travels_.find(id);
@@ -1508,11 +1640,12 @@ void BackendServer::MaintenanceLoop() {
         GT_WARN << "server " << cfg_.id << ": traversal " << id
                 << " timed out (execution created but never terminated); failing";
         // The paper's recovery story: detect via the trace registry and
-        // restart the whole traversal (the client resubmits).
+        // restart the whole traversal. Aborted is the client's retry signal.
         it->second.results.clear();
-        CompleteTravelLocked(it->second, Status::Timeout("execution lost"));
+        CompleteTravelLocked(it->second, Status::Aborted("execution lost"));
       }
     }
+    DrainOutbox();  // trace flushes + completions staged under mu_
   }
 }
 
@@ -1598,7 +1731,7 @@ void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
     m.src = cfg_.id;
     m.dst = sl.coordinator;
     m.payload = done.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
 }
 
@@ -1745,7 +1878,7 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
         m.src = cfg_.id;
         m.dst = server;
         m.payload = batch.Encode();
-        SendLossy(std::move(m));
+        QueueSendLocked(std::move(m));
         done.batches_sent[server] = 1;
       }
     }
@@ -1772,7 +1905,7 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
   m.src = cfg_.id;
   m.dst = sl.coordinator;
   m.payload = done.Encode();
-  SendLossy(std::move(m));
+  QueueSendLocked(std::move(m));
 }
 
 void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
@@ -1802,7 +1935,7 @@ void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
       m.src = cfg_.id;
       m.dst = sender;
       m.payload = batch.Encode();
-      SendLossy(std::move(m));
+      QueueSendLocked(std::move(m));
     }
   }
 
@@ -1822,7 +1955,7 @@ void BackendServer::SyncProcessBackwardLocked(TravelId travel, SyncLocal& sl,
     m.src = cfg_.id;
     m.dst = sl.coordinator;
     m.payload = done.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
 }
 
@@ -1921,7 +2054,7 @@ void BackendServer::SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t 
     m.src = cfg_.id;
     m.dst = s;
     m.payload = start.Encode();
-    SendLossy(std::move(m));
+    QueueSendLocked(std::move(m));
   }
 }
 

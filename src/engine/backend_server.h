@@ -13,6 +13,7 @@
 //                smallest-step-first scheduling + execution merging
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -43,6 +44,16 @@ struct ServerConfig {
   size_t cache_capacity = 1 << 20;    // traversal-affiliate cache entries
   uint32_t exec_timeout_ms = 15000;   // coordinator failure-detection window
   uint32_t result_chunk = 4096;       // vids per kResultChunk message
+  // Maintenance tick period: trace-buffer flush cadence and the resolution
+  // of failure detection / deadline enforcement. The 5 ms default drives
+  // small-travel completion latency; raise it for TSan/soak runs.
+  uint32_t maintenance_interval_ms = 5;
+
+  // Admission control (coordinator role). A submit is rejected with
+  // Unavailable when the total in-flight table is full or the submitting
+  // priority class is at its limit. 0 = unlimited.
+  uint32_t max_inflight_travels = 4096;
+  std::array<uint32_t, kNumTravelClasses> admission_limits{{64, 512, 2048}};
 
   // Ablation knobs for the GraphTrek mode (both on in the full system).
   bool graphtrek_merging = true;        // execution merging (Section V-B)
@@ -96,6 +107,12 @@ class BackendServer {
   // Renders the archived trace for `travel` (0 = most recent) as Chrome
   // trace-event JSON. False when the travel is not in the archive.
   bool ExportTraceJson(TravelId travel, std::string* json) const GT_EXCLUDES(mu_);
+
+  // True while any per-travel engine state (plan, execs, coordinator entry,
+  // sync-local, memo/access/type-scan maps) survives for `travel`. The
+  // cancellation contract is that an abort reclaims everything; tests poll
+  // this on every server after cancelling.
+  bool HasTravelResidue(TravelId travel) const GT_EXCLUDES(mu_);
 
  private:
   // --- shared traversal bookkeeping ---------------------------------------
@@ -165,6 +182,8 @@ class BackendServer {
     uint64_t started_us = 0;
     uint64_t last_activity_us = 0;
     uint32_t timeout_ms = 0;
+    TravelClass cls = TravelClass::kNormal;
+    uint64_t deadline_us = 0;  // absolute wall deadline; 0 = none
     bool done = false;
 
     // Execution registry: created/terminated tracing events.
@@ -296,6 +315,14 @@ class BackendServer {
   // propagated — the engine's status tracer owns end-to-end recovery.
   void SendLossy(rpc::Message msg);
 
+  // Sends staged while mu_ is held: QueueSendLocked appends to outbox_, and
+  // every path that may have queued (message handlers, worker batches, the
+  // maintenance tick) calls DrainOutbox after releasing mu_. Keeps the
+  // transport — whose delivery work is unbounded from our perspective —
+  // out of the engine's critical section.
+  void QueueSendLocked(rpc::Message msg) GT_REQUIRES(mu_);
+  void DrainOutbox() GT_EXCLUDES(mu_);
+
   bool VertexPassesLocked(const CompiledPlan& cplan, const graph::VertexRecord& rec,
                           uint32_t step) const GT_REQUIRES(mu_);
   const std::vector<lang::Filter>& StepVertexFilters(const lang::TraversalPlan& plan,
@@ -332,6 +359,11 @@ class BackendServer {
   std::deque<TravelId> aborted_order_ GT_GUARDED_BY(mu_);  // bounds the tombstone set
   uint64_t next_exec_seq_ GT_GUARDED_BY(mu_) = 1;
   uint64_t next_travel_seq_ GT_GUARDED_BY(mu_) = 1;
+  // Live coordinated travels per priority class (admission accounting;
+  // incremented on admit, decremented in CompleteTravelLocked).
+  std::array<uint32_t, kNumTravelClasses> inflight_per_class_ GT_GUARDED_BY(mu_) = {{0, 0, 0}};
+  // Sends staged under mu_, flushed by DrainOutbox once the lock drops.
+  std::vector<rpc::Message> outbox_ GT_GUARDED_BY(mu_);
   // Completed-travel archive for trace export (bounded; oldest dropped).
   std::deque<TravelTrace> recent_traces_ GT_GUARDED_BY(mu_);
 
@@ -340,6 +372,12 @@ class BackendServer {
   metrics::Histogram* travel_duration_ms_[3] = {nullptr, nullptr, nullptr};
   metrics::Counter* travels_ok_ = nullptr;
   metrics::Counter* travels_failed_ = nullptr;
+  // Lifecycle counters (coordinator role), per priority class where the
+  // class is known at the event.
+  metrics::Counter* travel_admitted_[kNumTravelClasses] = {nullptr, nullptr, nullptr};
+  metrics::Counter* travel_rejected_[kNumTravelClasses] = {nullptr, nullptr, nullptr};
+  metrics::Counter* travel_cancelled_ = nullptr;
+  metrics::Counter* travel_deadline_exceeded_ = nullptr;
   metrics::CollectorId metrics_collector_ = 0;  // live between Start and Stop
 
   // Workers plus the maintenance tick run on this pool (cfg_.workers + 1
@@ -348,6 +386,12 @@ class BackendServer {
   std::atomic<uint64_t> send_failures_{0};
   std::atomic<bool> stop_{false};
   bool started_ = false;  // Start/Stop are external-control-thread only
+
+  // Maintenance tick interrupt: Stop signals maint_cv_ so the loop exits
+  // immediately instead of finishing a full sleep interval.
+  Mutex maint_mu_;
+  CondVar maint_cv_;
+  bool maint_stop_ GT_GUARDED_BY(maint_mu_) = false;
 };
 
 }  // namespace gt::engine

@@ -1,6 +1,8 @@
 #include "src/engine/client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
@@ -12,6 +14,8 @@ Result<TravelId> GraphTrekClient::Submit(const lang::TraversalPlan& plan,
   SubmitPayload submit;
   submit.mode = static_cast<uint8_t>(opts.mode);
   submit.timeout_ms = opts.failure_timeout_ms;
+  submit.priority_class = static_cast<uint8_t>(opts.priority);
+  submit.deadline_ms = opts.deadline_ms != 0 ? opts.deadline_ms : opts.client_timeout_ms;
   submit.plan = plan.Encode();
 
   auto reply = mailbox_.Call(opts.coordinator, rpc::MsgType::kSubmitTraversal,
@@ -19,7 +23,13 @@ Result<TravelId> GraphTrekClient::Submit(const lang::TraversalPlan& plan,
   if (!reply.ok()) return reply.status();
   if (reply->type == rpc::MsgType::kTraversalComplete) {
     auto done = CompletePayload::Decode(reply->payload);
-    if (done.ok() && done->ok == 0) return Status::InvalidArgument(done->error);
+    if (done.ok() && done->ok == 0) {
+      // Admission rejections surface as Unavailable; malformed submissions
+      // keep their original code (InvalidArgument fallback for legacy peers).
+      Status st = StatusFromWire(done->code, done->error);
+      if (st.ok()) st = Status::InvalidArgument(done->error);
+      return st;
+    }
     return Status::Internal("unexpected completion on submit");
   }
   Decoder dec(reply->payload);
@@ -28,16 +38,65 @@ Result<TravelId> GraphTrekClient::Submit(const lang::TraversalPlan& plan,
   return travel;
 }
 
+Status GraphTrekClient::Cancel(TravelId travel) {
+  MarkFinished(travel);
+  return mailbox_.Send(ExecServer(travel), rpc::MsgType::kAbortTraversal,
+                       AbortPayload{travel, AbortPayload::kCancel}.Encode());
+}
+
+void GraphTrekClient::MarkFinished(TravelId travel) {
+  constexpr size_t kMaxFinished = 128;
+  if (!finished_.insert(travel).second) return;
+  finished_order_.push_back(travel);
+  while (finished_order_.size() > kMaxFinished) {
+    finished_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+void GraphTrekClient::DrainStaleFrames() {
+  if (finished_.empty()) return;
+  mailbox_.DrainInboxIf([this](const rpc::Message& m) {
+    TravelId travel = 0;
+    if (m.type == rpc::MsgType::kResultChunk) {
+      auto chunk = ResultChunkPayload::Decode(m.payload);
+      if (!chunk.ok()) return false;
+      travel = chunk->travel_id;
+    } else if (m.type == rpc::MsgType::kTraversalComplete) {
+      auto done = CompletePayload::Decode(m.payload);
+      if (!done.ok()) return false;
+      travel = done->travel_id;
+    } else {
+      return false;
+    }
+    return finished_.count(travel) != 0;
+  });
+}
+
 Result<TraversalResult> GraphTrekClient::Await(TravelId travel, uint32_t timeout_ms) {
   TraversalResult result;
   result.travel_id = travel;
   const uint64_t deadline = NowMicros() + static_cast<uint64_t>(timeout_ms) * 1000;
+  DrainStaleFrames();  // drop leftovers from cancelled/abandoned travels
+
+  // Giving up on the travel must tell the coordinator, or the travel keeps
+  // running server-side (leaking frontier state on every server) and its
+  // frames sit in the mailbox forever.
+  auto give_up = [&](Status st) -> Status {
+    Status ignored = Cancel(travel);
+    (void)ignored;  // cancellation is best-effort; the deadline also covers us
+    DrainStaleFrames();
+    return st;
+  };
 
   for (;;) {
     const uint64_t now = NowMicros();
-    if (now >= deadline) return Status::Timeout("traversal wait");
+    if (now >= deadline) return give_up(Status::Timeout("traversal wait"));
     auto msg = mailbox_.Receive(static_cast<uint32_t>((deadline - now) / 1000) + 1);
-    if (!msg.ok()) return msg.status();
+    if (!msg.ok()) {
+      if (msg.status().IsTimeout()) return give_up(Status::Timeout("traversal wait"));
+      return msg.status();
+    }
 
     switch (msg->type) {
       case rpc::MsgType::kResultChunk: {
@@ -51,7 +110,12 @@ Result<TraversalResult> GraphTrekClient::Await(TravelId travel, uint32_t timeout
         auto done = CompletePayload::Decode(msg->payload);
         if (!done.ok()) return done.status();
         if (done->travel_id != travel) continue;
-        if (done->ok == 0) return Status::Aborted(done->error);
+        MarkFinished(travel);
+        if (done->ok == 0) {
+          Status st = StatusFromWire(done->code, done->error);
+          if (st.ok()) st = Status::Aborted(done->error);
+          return st;
+        }
         std::sort(result.vids.begin(), result.vids.end());
         result.vids.erase(std::unique(result.vids.begin(), result.vids.end()),
                           result.vids.end());
@@ -67,9 +131,23 @@ Result<TraversalResult> GraphTrekClient::Run(const lang::TraversalPlan& plan,
                                              const RunOptions& opts) {
   Stopwatch watch;
   uint32_t restarts = 0;
+  uint32_t admission_retries = 0;
   for (;;) {
     auto travel = Submit(plan, opts);
-    if (!travel.ok()) return travel.status();
+    if (!travel.ok()) {
+      if (travel.status().IsUnavailable() &&
+          admission_retries < opts.max_admission_retries) {
+        // Admission backpressure: jittered exponential backoff, then retry.
+        const uint32_t shift = std::min(admission_retries, 6u);
+        const uint64_t base_ms =
+            static_cast<uint64_t>(std::max<uint32_t>(1, opts.backoff_base_ms)) << shift;
+        const uint64_t jitter_ms = NowMicros() % (base_ms + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(base_ms + jitter_ms));
+        admission_retries++;
+        continue;
+      }
+      return travel.status();
+    }
     auto result = Await(*travel, opts.client_timeout_ms);
     if (result.ok()) {
       result->elapsed_ms = watch.ElapsedMillis();

@@ -4,7 +4,9 @@
 // simply resubmitted).
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "src/engine/mutation.h"
@@ -28,6 +30,17 @@ struct RunOptions {
   uint32_t failure_timeout_ms = 0;  // 0 = server default
   uint32_t max_restarts = 2;
   uint32_t client_timeout_ms = 120000;  // overall wait
+
+  // Admission class the travel submits under (per-class coordinator limits).
+  TravelClass priority = TravelClass::kNormal;
+  // Server-enforced deadline shipped in the SubmitPayload; 0 = derive from
+  // client_timeout_ms so the server never runs a travel its client stopped
+  // waiting for.
+  uint32_t deadline_ms = 0;
+  // Backpressure policy: admission rejections (Unavailable) retry with
+  // jittered exponential backoff up to this many attempts.
+  uint32_t max_admission_retries = 8;
+  uint32_t backoff_base_ms = 2;
 };
 
 class GraphTrekClient {
@@ -50,8 +63,15 @@ class GraphTrekClient {
   // Fire-and-forget submission; use Await() to collect.
   Result<TravelId> Submit(const lang::TraversalPlan& plan, const RunOptions& opts);
 
-  // Waits for a previously submitted traversal.
+  // Waits for a previously submitted traversal. On timeout the travel is
+  // cancelled at its coordinator (kAbortTraversal) so server-side state is
+  // reclaimed instead of orphaned.
   Result<TraversalResult> Await(TravelId travel, uint32_t timeout_ms = 120000);
+
+  // Asks the travel's coordinator to abandon it. Fire-and-forget: the
+  // coordinator completes the travel as Aborted and fans cleanup out to
+  // every server.
+  Status Cancel(TravelId travel);
 
   // Requests the per-step unfinished-execution counts from the coordinator.
   Result<ProgressPayload> Progress(TravelId travel, ServerId coordinator,
@@ -83,9 +103,18 @@ class GraphTrekClient {
   Status CallMutation(ServerId dst, rpc::MsgType type, std::string payload,
                       uint32_t timeout_ms);
 
+  // Finished/cancelled travel ids (bounded). Stale kResultChunk /
+  // kTraversalComplete frames for these are dropped from the mailbox so
+  // they never confuse a later Await. Single-threaded like the rest of the
+  // client API.
+  void MarkFinished(TravelId travel);
+  void DrainStaleFrames();
+
   rpc::Mailbox mailbox_;
   graph::HashPartitioner partitioner_;
   bool routed_ = false;
+  std::unordered_set<TravelId> finished_;
+  std::deque<TravelId> finished_order_;
 };
 
 }  // namespace gt::engine

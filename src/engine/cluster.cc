@@ -51,6 +51,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     scfg.workers = c.workers_per_server;
     scfg.cache_capacity = c.cache_capacity;
     scfg.exec_timeout_ms = c.exec_timeout_ms;
+    scfg.maintenance_interval_ms = c.maintenance_interval_ms;
+    scfg.max_inflight_travels = c.max_inflight_travels;
+    scfg.admission_limits = c.admission_limits;
     scfg.graphtrek_merging = c.graphtrek_merging;
     scfg.graphtrek_priority_sched = c.graphtrek_priority_sched;
     scfg.batched_multiget = c.batched_multiget;

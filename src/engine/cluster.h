@@ -5,6 +5,7 @@
 // deploys nodes on the Fusion cluster.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <iosfwd>
 #include <memory>
@@ -27,6 +28,11 @@ struct ClusterConfig {
   uint32_t workers_per_server = 2;
   size_t cache_capacity = 1 << 20;
   uint32_t exec_timeout_ms = 15000;
+  uint32_t maintenance_interval_ms = 5;
+
+  // Admission control at each coordinator (see ServerConfig). 0 = unlimited.
+  uint32_t max_inflight_travels = 4096;
+  std::array<uint32_t, kNumTravelClasses> admission_limits{{64, 512, 2048}};
 
   // Ablation knobs for the GraphTrek optimizations (see DESIGN.md).
   bool graphtrek_merging = true;

@@ -12,6 +12,7 @@
 //   Async-GT tasks  - plain FIFO, never merged.
 #pragma once
 
+#include <cassert>
 #include <map>
 #include <vector>
 
@@ -40,9 +41,14 @@ class RequestQueue {
     {
       MutexLock lk(&mu_);
       const uint64_t seq = next_seq_++;
-      const OrderKey key =
-          priority ? ((static_cast<uint64_t>(task.step) << 44) | (seq & ((1ULL << 44) - 1)))
-                   : seq;
+      // Priority tasks rank by (step, arrival); FIFO tasks rank in the
+      // step-0 band by arrival alone, so fresh travels of either class
+      // interleave exactly as before. The two classes can never collide:
+      // `seq` is globally unique and carried at full 64-bit width (the old
+      // packed encoding truncated it to 44 bits, so a FIFO key could equal
+      // a priority key and the emplace below silently dropped a task while
+      // merge_index_ still recorded it).
+      const OrderKey key = priority ? OrderKey{task.step, seq} : OrderKey{0, seq};
       if (mergeable) merge_index_[MergeKey{task.travel, task.vid}].push_back(key);
       queue_.emplace(key, Item{std::move(task), mergeable});
       if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
@@ -92,6 +98,34 @@ class RequestQueue {
     return true;
   }
 
+  // Drops every queued task belonging to `travel` (cooperative abort /
+  // cancellation reclaim). Returns the number of tasks removed.
+  size_t EraseTravel(TravelId travel) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    size_t erased = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->second.task.travel == travel) {
+        it = queue_.erase(it);
+        erased++;
+      } else {
+        ++it;
+      }
+    }
+    auto lo = merge_index_.lower_bound(MergeKey{travel, 0});
+    auto hi = lo;
+    while (hi != merge_index_.end() && hi->first.travel == travel) ++hi;
+    merge_index_.erase(lo, hi);
+    return erased;
+  }
+
+  // Test hook: fast-forwards the arrival sequence (the key-collision
+  // regression needs seq values near the old 44-bit packing boundary, which
+  // brute-force pushes cannot reach).
+  void SetNextSeqForTest(uint64_t seq) GT_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    next_seq_ = seq;
+  }
+
   void Shutdown() GT_EXCLUDES(mu_) {
     {
       MutexLock lk(&mu_);
@@ -111,7 +145,18 @@ class RequestQueue {
   }
 
  private:
-  using OrderKey = uint64_t;
+  // Scheduling rank. Priority tasks carry their step in `band`; FIFO tasks
+  // always use band 0. `seq` is the full 64-bit arrival number, so keys are
+  // unique across both classes by construction (no packing, no wrap).
+  struct OrderKey {
+    uint64_t band;
+    uint64_t seq;
+    bool operator<(const OrderKey& o) const {
+      if (band != o.band) return band < o.band;
+      return seq < o.seq;
+    }
+    bool operator==(const OrderKey& o) const { return band == o.band && seq == o.seq; }
+  };
 
   struct Item {
     VertexTask task;
@@ -128,11 +173,15 @@ class RequestQueue {
   };
 
   // Moves every queued task of one merge-index group into `batch` and
-  // erases the group.
+  // erases the group. Every key the index records must still be queued —
+  // the two are updated together under mu_ — so a failed find means the
+  // key spaces collided (the pre-fix bug) and dereferencing end() is UB.
   void ExtractGroupLocked(std::map<MergeKey, std::vector<OrderKey>>::iterator idx,
                           std::vector<VertexTask>* batch) GT_REQUIRES(mu_) {
-    for (const OrderKey key : idx->second) {
+    for (const OrderKey& key : idx->second) {
       auto it = queue_.find(key);
+      assert(it != queue_.end() && "merge_index_ key missing from queue_");
+      if (it == queue_.end()) continue;
       batch->push_back(std::move(it->second.task));
       queue_.erase(it);
     }

@@ -91,6 +91,15 @@ class TravelCache {
     }
   }
 
+  // True when any entry of `travel` is still cached (cancellation tests
+  // assert abort reclaims everything; linear scan, test/abort path only).
+  bool HasTravel(TravelId travel) const {
+    for (const auto& [key, entry] : entries_) {
+      if (key.travel == travel) return true;
+    }
+    return false;
+  }
+
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const { return evictions_; }

@@ -51,6 +51,35 @@ inline const char* EngineModeName(EngineMode m) {
   return "?";
 }
 
+// Admission-control priority class carried on every submit. Coordinators
+// keep a bounded in-flight table per class; over-limit submits are rejected
+// with Unavailable and the client backs off and retries.
+enum class TravelClass : uint8_t {
+  kInteractive = 0,  // user-facing point/short traversals, small quota
+  kNormal = 1,       // default
+  kBatch = 2,        // bulk/analytics travels, large quota
+};
+inline constexpr uint32_t kNumTravelClasses = 3;
+
+inline const char* TravelClassName(TravelClass c) {
+  switch (c) {
+    case TravelClass::kInteractive: return "interactive";
+    case TravelClass::kNormal: return "normal";
+    case TravelClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+// Reconstructs a Status from a wire (code, message) pair; out-of-range
+// codes collapse to Internal rather than trusting the peer.
+inline Status StatusFromWire(uint8_t code, std::string msg) {
+  if (code == 0) return Status::OK();
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal(std::move(msg));
+  }
+  return Status(static_cast<StatusCode>(code), std::move(msg));
+}
+
 // One frontier vertex plus the previous-step vertices that produced it.
 struct FrontierEntry {
   graph::VertexId vid = 0;
@@ -114,12 +143,19 @@ struct SubmitPayload {
   uint8_t mode = 0;           // EngineMode
   uint32_t timeout_ms = 0;    // failure-detection timeout (0 = default)
   std::string plan;           // TraversalPlan::Encode()
+  // Lifecycle extension (decode tolerates its absence for old encoders):
+  uint8_t priority_class =    // TravelClass, admission-control quota bucket
+      static_cast<uint8_t>(TravelClass::kNormal);
+  uint32_t deadline_ms = 0;   // end-to-end deadline enforced by the
+                              // coordinator's maintenance tick (0 = none)
 
   std::string Encode() const {
     std::string out;
     out.push_back(static_cast<char>(mode));
     PutVarint32(&out, timeout_ms);
     PutLengthPrefixed(&out, plan);
+    out.push_back(static_cast<char>(priority_class));
+    PutVarint32(&out, deadline_ms);
     return out;
   }
   static Result<SubmitPayload> Decode(std::string_view data) {
@@ -132,6 +168,16 @@ struct SubmitPayload {
     }
     p.mode = static_cast<uint8_t>(mode_byte[0]);
     p.plan.assign(plan);
+    if (!dec.empty()) {
+      std::string_view class_byte;
+      if (!dec.GetBytes(1, &class_byte) || !dec.GetVarint32(&p.deadline_ms)) {
+        return Status::Corruption("bad submit lifecycle tail");
+      }
+      p.priority_class = static_cast<uint8_t>(class_byte[0]);
+      if (p.priority_class >= kNumTravelClasses) {
+        p.priority_class = static_cast<uint8_t>(TravelClass::kNormal);
+      }
+    }
     return p;
   }
 };
@@ -333,6 +379,9 @@ struct CompletePayload {
   uint8_t ok = 1;
   std::string error;
   uint64_t total_results = 0;
+  // StatusCode of the completion (decode tolerates its absence: old
+  // encoders map ok=0 to Aborted, the historical client interpretation).
+  uint8_t code = 0;
 
   std::string Encode() const {
     std::string out;
@@ -340,6 +389,7 @@ struct CompletePayload {
     out.push_back(static_cast<char>(ok));
     PutLengthPrefixed(&out, error);
     PutVarint64(&out, total_results);
+    out.push_back(static_cast<char>(code));
     return out;
   }
   static Result<CompletePayload> Decode(std::string_view data) {
@@ -352,6 +402,44 @@ struct CompletePayload {
     }
     p.ok = static_cast<uint8_t>(ok_byte[0]);
     p.error.assign(err);
+    p.code = p.ok != 0 ? 0 : static_cast<uint8_t>(StatusCode::kAborted);
+    if (!dec.empty()) {
+      std::string_view code_byte;
+      if (!dec.GetBytes(1, &code_byte)) return Status::Corruption("bad complete code");
+      p.code = static_cast<uint8_t>(code_byte[0]);
+    }
+    return p;
+  }
+};
+
+// --- kAbortTraversal (any -> any) -------------------------------------------
+// kCleanup: completion broadcast from the coordinator; receivers drop the
+// travel's local state. kCancel: a client (or operator) asks the travel's
+// coordinator to abandon a live travel — the coordinator completes it as
+// Aborted, which fans the kCleanup broadcast out to every server.
+
+struct AbortPayload {
+  enum Reason : uint8_t { kCleanup = 0, kCancel = 1 };
+
+  TravelId travel_id = 0;
+  uint8_t reason = kCleanup;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, travel_id);
+    out.push_back(static_cast<char>(reason));
+    return out;
+  }
+  static Result<AbortPayload> Decode(std::string_view data) {
+    AbortPayload p;
+    Decoder dec(data);
+    if (!dec.GetVarint64(&p.travel_id)) return Status::Corruption("bad abort payload");
+    if (!dec.empty()) {
+      // Legacy frames carry the bare travel id (implicit kCleanup).
+      std::string_view reason_byte;
+      if (!dec.GetBytes(1, &reason_byte)) return Status::Corruption("bad abort reason");
+      p.reason = static_cast<uint8_t>(reason_byte[0]);
+    }
     return p;
   }
 };

@@ -84,4 +84,18 @@ Result<Message> Mailbox::TryReceive() {
   return m;
 }
 
+size_t Mailbox::DrainInboxIf(const std::function<bool(const Message&)>& pred) {
+  MutexLock lk(&mu_);
+  size_t removed = 0;
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (pred(*it)) {
+      it = inbox_.erase(it);
+      removed++;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 }  // namespace gt::rpc

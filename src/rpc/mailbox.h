@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "src/common/status.h"
@@ -34,6 +35,10 @@ class Mailbox {
 
   // Non-blocking variant; returns Timeout immediately when empty.
   Result<Message> TryReceive();
+
+  // Removes every queued unsolicited message matching `pred` (stale frames
+  // from finished/cancelled travels). Returns the number removed.
+  size_t DrainInboxIf(const std::function<bool(const Message&)>& pred);
 
  private:
   void OnMessage(Message&& msg) GT_EXCLUDES(mu_);

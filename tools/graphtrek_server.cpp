@@ -46,6 +46,10 @@ struct Flags {
   bool metrics_dump = false;
   // Seconds between one-line metrics summaries in the log (0 disables).
   uint32_t metrics_interval_s = 30;
+  // Coordinator admission: cap on concurrently in-flight travels (0 = off).
+  uint32_t max_inflight = 4096;
+  // Maintenance tick period (trace flush + failure/deadline detection).
+  uint32_t maintenance_interval_ms = 5;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
@@ -74,6 +78,10 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
       out->warm_us = static_cast<uint32_t>(atoi(v7));
     } else if (const char* v8 = need("--metrics-interval-s")) {
       out->metrics_interval_s = static_cast<uint32_t>(atoi(v8));
+    } else if (const char* v9 = need("--max-inflight")) {
+      out->max_inflight = static_cast<uint32_t>(atoi(v9));
+    } else if (const char* v10 = need("--maintenance-interval-ms")) {
+      out->maintenance_interval_ms = static_cast<uint32_t>(atoi(v10));
     } else if (std::strcmp(argv[i], "--sync-wal") == 0) {
       out->sync_wal = true;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
@@ -97,7 +105,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: graphtrek_server --id N --servers M [--registry-dir R] "
                  "[--data-dir D] [--workers W] [--access-us U] [--warm-us U] "
-                 "[--sync-wal] [--metrics-dump] [--metrics-interval-s S]\n");
+                 "[--sync-wal] [--metrics-dump] [--metrics-interval-s S] "
+                 "[--max-inflight N] [--maintenance-interval-ms M]\n");
     return 2;
   }
   Logger::SetLevel(LogLevel::kInfo);
@@ -143,6 +152,8 @@ int main(int argc, char** argv) {
   scfg.id = flags.id;
   scfg.num_servers = flags.servers;
   scfg.workers = flags.workers;
+  scfg.max_inflight_travels = flags.max_inflight;
+  scfg.maintenance_interval_ms = flags.maintenance_interval_ms;
   engine::BackendServer server(scfg, store->get(), &partitioner, catalog, &transport);
   if (auto s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server: %s\n", s.ToString().c_str());

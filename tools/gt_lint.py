@@ -28,10 +28,15 @@ Checks (all scoped to src/):
      adjacency cache, the device-model charge, and the access interceptor.
      A per-vertex db()->ScanPrefix in the engine silently bypasses all
      three and the evaluation numbers stop meaning anything.
-  7. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  7. Travel-keyed containers in src/engine (std::map / std::unordered_map
+     with a TravelId key) must have a matching `<member>.erase(` somewhere
+     in src/engine. Per-travel state with no erase path is exactly the
+     orphaned-travel bug class the abort/cancellation protocol exists to
+     prevent: the map grows forever once clients time out or cancel.
+  8. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-6 pass; 1 otherwise. Check 7 never fails the
+Exit status: 0 when checks 1-7 pass; 1 otherwise. Check 8 never fails the
 run — it only prints warnings.
 """
 
@@ -234,6 +239,41 @@ def check_engine_raw_kv(files):
     return errors
 
 
+# Travel-keyed container member declarations in src/engine. Non-greedy up
+# to the closing '>' directly before the member name; tolerates nested
+# template args, a GT_GUARDED_BY annotation and multi-line declarations.
+TRAVEL_MAP_RE = re.compile(
+    r"std::(?:unordered_)?map<\s*TravelId\s*,[^;]*?>\s*"
+    r"(\w+_)\s*(?:GT_GUARDED_BY\([^)]*\))?\s*;",
+    re.DOTALL,
+)
+
+
+def check_travel_map_reclaim(files):
+    """Every per-travel map in the engine needs an erase path (check 7)."""
+    engine_files = [rel for rel in files if rel.startswith("src/engine/")]
+    texts = {}
+    for rel in engine_files:
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            texts[rel] = strip_comments(f.read())
+
+    errors = []
+    for rel, text in texts.items():
+        for m in TRAVEL_MAP_RE.finditer(text):
+            member = m.group(1)
+            erase_re = re.compile(r"\b" + re.escape(member) + r"\s*\.\s*erase\s*\(")
+            if any(erase_re.search(t) for t in texts.values()):
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            errors.append(
+                f"{rel}:{lineno}: travel-keyed map '{member}' has no "
+                f"'{member}.erase(' anywhere in src/engine — per-travel state "
+                f"must be reclaimed on the abort/cancellation path or it leaks "
+                f"once clients time out (see DESIGN.md 'Travel lifecycle')"
+            )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -299,6 +339,7 @@ def main():
     errors += check_kv_posix(files)
     errors += check_console_output(files)
     errors += check_engine_raw_kv(files)
+    errors += check_travel_map_reclaim(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:
