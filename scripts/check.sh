@@ -3,10 +3,12 @@
 #   1. default build + ctest
 #   2. GT_ANALYZE=ON with clang++ (-Werror=thread-safety)  [skipped if no clang++]
 #   3. GT_SANITIZE=thread build + ctest                    [TSan]
-#   4. tools/gt_lint.py                                    [repo lint gate]
+#   4. GT_SANITIZE=address build + ctest                   [ASan+LSan]
+#   5. GT_SANITIZE=undefined build + ctest                 [UBSan, fatal reports]
+#   6. tools/gt_lint.py                                    [repo lint gate]
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitizer leg (slowest part of the matrix)
+#   --fast  skip the sanitizer legs (slowest part of the matrix)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,14 +18,20 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-GEN_ARGS=()
-command -v ninja >/dev/null 2>&1 && GEN_ARGS=(-G Ninja)
-
 step() { printf '\n== %s ==\n' "$*"; }
+
+# Configure a build dir, adding -G Ninja only when the dir is fresh: an
+# existing cache keeps its generator, and a mismatched -G is a hard error.
+configure() {
+  local dir="$1"; shift
+  local gen=()
+  [[ ! -f "$dir/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1 && gen=(-G Ninja)
+  cmake -B "$dir" -S . "${gen[@]}" "$@" >/dev/null
+}
 
 # -- 1. default build + tests -------------------------------------------------
 step "default build + ctest"
-cmake -B build -S . "${GEN_ARGS[@]}" >/dev/null
+configure build
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -64,10 +72,18 @@ step "travel lifecycle tests + load-generator smoke"
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'RequestQueueTest|TravelLifecycleTest|bench_smoke_load_travels'
 
+# Decode-hardening gate: the table-driven malformed-input matrix, the replay
+# of every checked-in fuzz corpus seed through its harness, and the lint
+# self-test that keeps the decode-discipline check itself honest. Explicit
+# -R so a discovery problem cannot silently drop the adversarial coverage.
+step "decode-error matrix + fuzz-corpus replay + lint self-test"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'DecodeErrorsTest|TcpMalformedFrameTest|CorpusReplayTest|gt_lint_selftest'
+
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
 if command -v clang++ >/dev/null 2>&1; then
-  cmake -B build-tsa -S . "${GEN_ARGS[@]}" \
+  configure build-tsa \
     -DCMAKE_CXX_COMPILER=clang++ -DGT_ANALYZE=ON >/dev/null
   cmake --build build-tsa -j "$JOBS"
 else
@@ -78,7 +94,7 @@ fi
 # -- 3. ThreadSanitizer -------------------------------------------------------
 if [[ "$FAST" == 0 ]]; then
   step "GT_SANITIZE=thread build + ctest"
-  cmake -B build-tsan -S . "${GEN_ARGS[@]}" -DGT_SANITIZE=thread >/dev/null
+  configure build-tsan -DGT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
   step "crash-fault-injection sweep under TSan"
@@ -97,7 +113,33 @@ else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi
 
-# -- 4. repo lint gate --------------------------------------------------------
+# -- 4. AddressSanitizer (+LeakSanitizer) -------------------------------------
+if [[ "$FAST" == 0 ]]; then
+  step "GT_SANITIZE=address build + ctest"
+  configure build-asan -DGT_SANITIZE=address
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  step "decode-error matrix + corpus replay under ASan"
+  ctest --test-dir build-asan --output-on-failure --no-tests=error \
+    -R 'DecodeErrorsTest|TcpMalformedFrameTest|CorpusReplayTest'
+else
+  step "GT_SANITIZE=address (skipped: --fast)"
+fi
+
+# -- 5. UndefinedBehaviorSanitizer --------------------------------------------
+if [[ "$FAST" == 0 ]]; then
+  step "GT_SANITIZE=undefined build + ctest"
+  configure build-ubsan -DGT_SANITIZE=undefined
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+  step "decode-error matrix + corpus replay under UBSan"
+  ctest --test-dir build-ubsan --output-on-failure --no-tests=error \
+    -R 'DecodeErrorsTest|TcpMalformedFrameTest|CorpusReplayTest'
+else
+  step "GT_SANITIZE=undefined (skipped: --fast)"
+fi
+
+# -- 6. repo lint gate --------------------------------------------------------
 step "tools/gt_lint.py"
 python3 tools/gt_lint.py
 

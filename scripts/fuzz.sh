@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Time-boxed fuzzing sweep over every decode surface.
+#
+# Builds with -DGT_FUZZ=ON -DGT_SANITIZE=address, rewrites the deterministic
+# seed corpus (gt_fuzz_gen_corpus regenerates the named seeds in place and
+# leaves extra files — promoted crash reproducers — alone), then runs each
+# harness for SECS seconds through the gt_fuzz mutational driver. With
+# clang++ the same harnesses also build as gt_fuzz_<name> libFuzzer binaries;
+# this script prefers those when present because coverage guidance beats
+# blind mutation.
+#
+# Usage: scripts/fuzz.sh [--secs N] [--harness NAME] [--build-dir DIR]
+#   --secs N        seconds per harness (default 60)
+#   --harness NAME  fuzz only NAME (default: every registered harness)
+#   --build-dir DIR build directory (default build-fuzz)
+#
+# Any crash artifact the driver leaves behind should be minimized and checked
+# in under tests/fuzz/corpus/<harness>/ — corpus inputs replay as a plain
+# ctest (CorpusReplayTest) on every default build, so the reproducer becomes
+# a permanent regression test.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+SECS=60
+ONLY=""
+BUILD=build-fuzz
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --secs) SECS="$2"; shift 2 ;;
+    --harness) ONLY="$2"; shift 2 ;;
+    --build-dir) BUILD="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Only pick a generator for a fresh build dir: an existing cache keeps its
+# generator, and passing a different -G is a hard CMake error.
+GEN_ARGS=()
+[[ ! -f "$BUILD/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1 && GEN_ARGS=(-G Ninja)
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build ($BUILD: GT_FUZZ=ON, ASan)"
+cmake -B "$BUILD" -S . "${GEN_ARGS[@]}" -DGT_FUZZ=ON -DGT_SANITIZE=address >/dev/null
+cmake --build "$BUILD" -j "$JOBS" --target gt_fuzz gt_fuzz_gen_corpus
+
+CORPUS="$ROOT/tests/fuzz/corpus"
+step "seed corpus (gt_fuzz_gen_corpus)"
+"$BUILD/tests/fuzz/gt_fuzz_gen_corpus" "$CORPUS"
+
+if [[ -n "$ONLY" ]]; then
+  HARNESSES=("$ONLY")
+else
+  mapfile -t HARNESSES < <("$BUILD/tests/fuzz/gt_fuzz" --list)
+fi
+
+FAILED=()
+for h in "${HARNESSES[@]}"; do
+  step "fuzz $h (${SECS}s)"
+  mkdir -p "$CORPUS/$h"
+  if [[ -x "$BUILD/tests/fuzz/gt_fuzz_$h" ]]; then
+    # libFuzzer build (clang): coverage-guided, writes crash-* into cwd.
+    if ! (cd "$BUILD/tests/fuzz" &&
+          "./gt_fuzz_$h" -max_total_time="$SECS" -timeout=10 -rss_limit_mb=2048 \
+                         "$CORPUS/$h"); then
+      FAILED+=("$h")
+    fi
+  else
+    # Standalone mutational driver (any compiler, still under ASan).
+    if ! "$BUILD/tests/fuzz/gt_fuzz" --harness="$h" --corpus="$CORPUS/$h" \
+                                     --max_total_time="$SECS"; then
+      FAILED+=("$h")
+    fi
+  fi
+done
+
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  printf '\nfuzz.sh: FAILED harnesses: %s\n' "${FAILED[*]}" >&2
+  printf 'minimize the reproducer and check it in under tests/fuzz/corpus/<harness>/\n' >&2
+  exit 1
+fi
+printf '\nfuzz.sh: all harnesses ran %ss clean\n' "$SECS"

@@ -111,12 +111,23 @@ inline void PutVarSigned64(std::string* dst, int64_t v) {
   PutVarint64(dst, ZigZagEncode64(v));
 }
 
-// A cursor over an immutable byte range used for decoding. All Get* methods
-// return false (without advancing past the end) on truncated input.
-class Decoder {
+// CheckedReader: the one sanctioned way to decode untrusted bytes. A cursor
+// over an immutable byte range; every Get* method length-validates before
+// touching memory and returns false (without advancing past the end) on
+// truncated input. Decode functions built on it convert that false into a
+// structured Status/Result at their boundary — never an assert or a crash.
+//
+// Decode discipline (enforced by tools/gt_lint.py check 8 over src/rpc,
+// src/kv and src/lang):
+//   - no raw pointer-arithmetic decodes (DecodeFixed*(p + k)), no memcpy /
+//     reinterpret_cast byte-picking outside this reader;
+//   - length/count prefixes are read with GetCount()/GetLengthPrefixed() so
+//     a hostile length can never drive an allocation or a read past the end;
+//   - every Decode* entry point returns Status or Result<T>.
+class CheckedReader {
  public:
-  Decoder(const char* p, size_t n) : p_(p), end_(p + n) {}
-  explicit Decoder(std::string_view s) : Decoder(s.data(), s.size()) {}
+  CheckedReader(const char* p, size_t n) : p_(p), end_(p + n) {}
+  explicit CheckedReader(std::string_view s) : CheckedReader(s.data(), s.size()) {}
 
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
   bool empty() const { return p_ == end_; }
@@ -181,6 +192,24 @@ class Decoder {
     return true;
   }
 
+  // One raw byte (tag / flag / enum fields).
+  bool GetByte(uint8_t* v) {
+    if (empty()) return false;
+    *v = static_cast<uint8_t>(*p_);
+    p_++;
+    return true;
+  }
+
+  // Element-count prefix. Beyond GetVarint32, validates that the remaining
+  // input could plausibly hold `*n` elements of at least `min_bytes_each`
+  // encoded bytes — so a hostile count can never drive a multi-gigabyte
+  // resize()/reserve() before the per-element reads hit end-of-input.
+  bool GetCount(uint32_t* n, size_t min_bytes_each = 1) {
+    if (!GetVarint32(n)) return false;
+    if (min_bytes_each != 0 && *n > remaining() / min_bytes_each) return false;
+    return true;
+  }
+
   bool GetBytes(size_t n, std::string_view* out) {
     if (remaining() < n) return false;
     *out = std::string_view(p_, n);
@@ -204,6 +233,10 @@ class Decoder {
   const char* p_;
   const char* end_;
 };
+
+// Historical name; new code (and everything gt_lint audits) should spell
+// CheckedReader.
+using Decoder = CheckedReader;
 
 inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
   PutVarint32(dst, static_cast<uint32_t>(s.size()));

@@ -24,7 +24,7 @@ std::string EncodeTravelId(TravelId id) {
 }
 
 Result<TravelId> DecodeTravelId(std::string_view payload) {
-  Decoder dec(payload);
+  CheckedReader dec(payload);
   uint64_t id;
   if (!dec.GetVarint64(&id)) return Status::Corruption("bad travel id payload");
   return id;

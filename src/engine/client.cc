@@ -32,7 +32,7 @@ Result<TravelId> GraphTrekClient::Submit(const lang::TraversalPlan& plan,
     }
     return Status::Internal("unexpected completion on submit");
   }
-  Decoder dec(reply->payload);
+  CheckedReader dec(reply->payload);
   uint64_t travel = 0;
   if (!dec.GetVarint64(&travel)) return Status::Corruption("bad accept payload");
   return travel;

@@ -31,9 +31,10 @@ inline void EncodeNamedProps(std::string* out, const NamedProps& props) {
   }
 }
 
-inline bool DecodeNamedProps(Decoder* dec, NamedProps* out) {
+inline bool DecodeNamedProps(CheckedReader* dec, NamedProps* out) {
   uint32_t n = 0;
-  if (!dec->GetVarint32(&n)) return false;
+  // 2 = minimum encoded prop (empty-name length byte + value tag byte).
+  if (!dec->GetCount(&n, 2)) return false;
   out->clear();
   out->reserve(n);
   for (uint32_t i = 0; i < n; i++) {
@@ -72,7 +73,7 @@ struct PutVertexPayload {
   }
   static Result<PutVertexPayload> Decode(std::string_view data) {
     PutVertexPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     std::string_view label;
     if (!dec.GetVarint64(&p.vid) || !dec.GetLengthPrefixed(&label) ||
         !DecodeNamedProps(&dec, &p.props)) {
@@ -101,7 +102,7 @@ struct PutEdgePayload {
   }
   static Result<PutEdgePayload> Decode(std::string_view data) {
     PutEdgePayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     std::string_view label;
     if (!dec.GetVarint64(&p.src) || !dec.GetLengthPrefixed(&label) ||
         !dec.GetVarint64(&p.dst) || !DecodeNamedProps(&dec, &p.props)) {
@@ -126,12 +127,11 @@ struct MutateAckPayload {
   }
   static Result<MutateAckPayload> Decode(std::string_view data) {
     MutateAckPayload p;
-    Decoder dec(data);
-    std::string_view ok_byte, err;
-    if (!dec.GetBytes(1, &ok_byte) || !dec.GetLengthPrefixed(&err)) {
+    CheckedReader dec(data);
+    std::string_view err;
+    if (!dec.GetByte(&p.ok) || !dec.GetLengthPrefixed(&err)) {
       return Status::Corruption("bad mutate ack");
     }
-    p.ok = static_cast<uint8_t>(ok_byte[0]);
     p.error.assign(err);
     return p;
   }
@@ -149,7 +149,7 @@ struct GetVertexPayload {
   }
   static Result<GetVertexPayload> Decode(std::string_view data) {
     GetVertexPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     if (!dec.GetVarint64(&p.vid)) return Status::Corruption("bad get-vertex payload");
     return p;
   }
@@ -171,13 +171,12 @@ struct VertexReplyPayload {
   }
   static Result<VertexReplyPayload> Decode(std::string_view data) {
     VertexReplyPayload p;
-    Decoder dec(data);
-    std::string_view found_byte, label;
-    if (!dec.GetBytes(1, &found_byte) || !dec.GetVarint64(&p.vid) ||
+    CheckedReader dec(data);
+    std::string_view label;
+    if (!dec.GetByte(&p.found) || !dec.GetVarint64(&p.vid) ||
         !dec.GetLengthPrefixed(&label) || !DecodeNamedProps(&dec, &p.props)) {
       return Status::Corruption("bad vertex reply");
     }
-    p.found = static_cast<uint8_t>(found_byte[0]);
     p.label.assign(label);
     return p;
   }
@@ -197,7 +196,7 @@ struct CatalogInternPayload {
   }
   static Result<CatalogInternPayload> Decode(std::string_view data) {
     CatalogInternPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     std::string_view name;
     if (!dec.GetLengthPrefixed(&name)) return Status::Corruption("bad intern payload");
     p.name.assign(name);
@@ -219,9 +218,9 @@ struct CatalogReplyPayload {
   }
   static Result<CatalogReplyPayload> Decode(std::string_view data) {
     CatalogReplyPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     uint32_t n = 0;
-    if (!dec.GetVarint32(&p.id) || !dec.GetVarint32(&n)) {
+    if (!dec.GetVarint32(&p.id) || !dec.GetCount(&n)) {
       return Status::Corruption("bad catalog reply");
     }
     p.names.reserve(n);

@@ -30,6 +30,10 @@ class RemoteCatalog final : public graph::Catalog {
     if (!reply.ok()) return reply.status();
     auto decoded = CatalogReplyPayload::Decode(reply->payload);
     if (!decoded.ok()) return decoded.status();
+    if (decoded->names.size() > kMaxWireId) {
+      return Status::Corruption("catalog snapshot impossibly large: " +
+                                std::to_string(decoded->names.size()) + " names");
+    }
     for (uint32_t id = 0; id < decoded->names.size(); id++) {
       InsertAt(id, decoded->names[id]);
     }
@@ -46,7 +50,9 @@ class RemoteCatalog final : public graph::Catalog {
                                 timeout_ms_);
     if (!reply.ok()) return kInvalidId;
     auto decoded = CatalogReplyPayload::Decode(reply->payload);
-    if (!decoded.ok() || decoded->id == kInvalidId) return kInvalidId;
+    // The id is untrusted wire input and feeds a resize(id + 1) in
+    // InsertAt; reject anything outside the sane dense-id range.
+    if (!decoded.ok() || decoded->id >= kMaxWireId) return kInvalidId;
     InsertAt(decoded->id, name);
     return decoded->id;
   }

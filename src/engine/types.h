@@ -99,15 +99,17 @@ inline void EncodeEntries(std::string* out, const std::vector<FrontierEntry>& en
   }
 }
 
-inline bool DecodeEntries(Decoder* dec, std::vector<FrontierEntry>* out) {
+inline bool DecodeEntries(CheckedReader* dec, std::vector<FrontierEntry>* out) {
   uint32_t n = 0;
-  if (!dec->GetVarint32(&n)) return false;
+  // Every entry costs at least 2 bytes (vid varint + parent count varint),
+  // so GetCount bounds a hostile count before the reserve.
+  if (!dec->GetCount(&n, 2)) return false;
   out->clear();
   out->reserve(n);
   for (uint32_t i = 0; i < n; i++) {
     FrontierEntry e;
     uint32_t np = 0;
-    if (!dec->GetVarint64(&e.vid) || !dec->GetVarint32(&np)) return false;
+    if (!dec->GetVarint64(&e.vid) || !dec->GetCount(&np)) return false;
     e.parents.reserve(np);
     for (uint32_t j = 0; j < np; j++) {
       uint64_t p;
@@ -124,9 +126,9 @@ inline void EncodeVidList(std::string* out, const std::vector<graph::VertexId>& 
   for (auto v : vids) PutVarint64(out, v);
 }
 
-inline bool DecodeVidList(Decoder* dec, std::vector<graph::VertexId>* out) {
+inline bool DecodeVidList(CheckedReader* dec, std::vector<graph::VertexId>* out) {
   uint32_t n = 0;
-  if (!dec->GetVarint32(&n)) return false;
+  if (!dec->GetCount(&n)) return false;
   out->clear();
   out->reserve(n);
   for (uint32_t i = 0; i < n; i++) {
@@ -160,20 +162,17 @@ struct SubmitPayload {
   }
   static Result<SubmitPayload> Decode(std::string_view data) {
     SubmitPayload p;
-    Decoder dec(data);
-    std::string_view mode_byte, plan;
-    if (!dec.GetBytes(1, &mode_byte) || !dec.GetVarint32(&p.timeout_ms) ||
+    CheckedReader dec(data);
+    std::string_view plan;
+    if (!dec.GetByte(&p.mode) || !dec.GetVarint32(&p.timeout_ms) ||
         !dec.GetLengthPrefixed(&plan)) {
       return Status::Corruption("bad submit payload");
     }
-    p.mode = static_cast<uint8_t>(mode_byte[0]);
     p.plan.assign(plan);
     if (!dec.empty()) {
-      std::string_view class_byte;
-      if (!dec.GetBytes(1, &class_byte) || !dec.GetVarint32(&p.deadline_ms)) {
+      if (!dec.GetByte(&p.priority_class) || !dec.GetVarint32(&p.deadline_ms)) {
         return Status::Corruption("bad submit lifecycle tail");
       }
-      p.priority_class = static_cast<uint8_t>(class_byte[0]);
       if (p.priority_class >= kNumTravelClasses) {
         p.priority_class = static_cast<uint8_t>(TravelClass::kNormal);
       }
@@ -216,17 +215,15 @@ struct TraversePayload {
   }
   static Result<TraversePayload> Decode(std::string_view data) {
     TraversePayload p;
-    Decoder dec(data);
-    std::string_view mode_byte, scan_byte, plan;
+    CheckedReader dec(data);
+    std::string_view plan;
     if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
         !dec.GetVarint64(&p.exec_id) || !dec.GetVarint64(&p.parent_exec) ||
         !dec.GetVarint32(&p.parent_server) || !dec.GetVarint32(&p.coordinator) ||
-        !dec.GetBytes(1, &mode_byte) || !dec.GetBytes(1, &scan_byte) ||
+        !dec.GetByte(&p.mode) || !dec.GetByte(&p.scan_start) ||
         !dec.GetLengthPrefixed(&plan) || !DecodeEntries(&dec, &p.entries)) {
       return Status::Corruption("bad traverse payload");
     }
-    p.mode = static_cast<uint8_t>(mode_byte[0]);
-    p.scan_start = static_cast<uint8_t>(scan_byte[0]);
     p.plan = plan;  // zero-copy: aliases `data`
     return p;
   }
@@ -252,7 +249,7 @@ struct AnswerPayload {
   }
   static Result<AnswerPayload> Decode(std::string_view data) {
     AnswerPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint64(&p.exec_id) ||
         !dec.GetVarint64(&p.parent_exec) || !DecodeVidList(&dec, &p.reached_parents) ||
         !DecodeVidList(&dec, &p.result_vids)) {
@@ -285,9 +282,9 @@ struct ExecEventPayload {
   }
   static Result<ExecEventPayload> Decode(std::string_view data) {
     ExecEventPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     uint32_t n = 0;
-    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) || !dec.GetVarint32(&n)) {
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) || !dec.GetCount(&n)) {
       return Status::Corruption("bad exec event payload");
     }
     p.exec_ids.reserve(n);
@@ -334,19 +331,18 @@ struct TraceBatchPayload {
   }
   static Result<TraceBatchPayload> Decode(std::string_view data) {
     TraceBatchPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     uint32_t n = 0;
-    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&n)) {
+    // 3 = minimum encoded item (exec varint + step varint + created byte).
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetCount(&n, 3)) {
       return Status::Corruption("bad trace batch payload");
     }
     p.items.resize(n);
     for (uint32_t i = 0; i < n; i++) {
-      std::string_view flag;
       if (!dec.GetVarint64(&p.items[i].exec) || !dec.GetVarint32(&p.items[i].step) ||
-          !dec.GetBytes(1, &flag)) {
+          !dec.GetByte(&p.items[i].created)) {
         return Status::Corruption("bad trace item");
       }
-      p.items[i].created = static_cast<uint8_t>(flag[0]);
     }
     return p;
   }
@@ -366,7 +362,7 @@ struct ResultChunkPayload {
   }
   static Result<ResultChunkPayload> Decode(std::string_view data) {
     ResultChunkPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     if (!dec.GetVarint64(&p.travel_id) || !DecodeVidList(&dec, &p.vids)) {
       return Status::Corruption("bad result chunk");
     }
@@ -394,19 +390,16 @@ struct CompletePayload {
   }
   static Result<CompletePayload> Decode(std::string_view data) {
     CompletePayload p;
-    Decoder dec(data);
-    std::string_view ok_byte, err;
-    if (!dec.GetVarint64(&p.travel_id) || !dec.GetBytes(1, &ok_byte) ||
+    CheckedReader dec(data);
+    std::string_view err;
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetByte(&p.ok) ||
         !dec.GetLengthPrefixed(&err) || !dec.GetVarint64(&p.total_results)) {
       return Status::Corruption("bad complete payload");
     }
-    p.ok = static_cast<uint8_t>(ok_byte[0]);
     p.error.assign(err);
     p.code = p.ok != 0 ? 0 : static_cast<uint8_t>(StatusCode::kAborted);
     if (!dec.empty()) {
-      std::string_view code_byte;
-      if (!dec.GetBytes(1, &code_byte)) return Status::Corruption("bad complete code");
-      p.code = static_cast<uint8_t>(code_byte[0]);
+      if (!dec.GetByte(&p.code)) return Status::Corruption("bad complete code");
     }
     return p;
   }
@@ -432,13 +425,11 @@ struct AbortPayload {
   }
   static Result<AbortPayload> Decode(std::string_view data) {
     AbortPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     if (!dec.GetVarint64(&p.travel_id)) return Status::Corruption("bad abort payload");
     if (!dec.empty()) {
       // Legacy frames carry the bare travel id (implicit kCleanup).
-      std::string_view reason_byte;
-      if (!dec.GetBytes(1, &reason_byte)) return Status::Corruption("bad abort reason");
-      p.reason = static_cast<uint8_t>(reason_byte[0]);
+      if (!dec.GetByte(&p.reason)) return Status::Corruption("bad abort reason");
     }
     return p;
   }
@@ -466,9 +457,9 @@ struct ProgressPayload {
   }
   static Result<ProgressPayload> Decode(std::string_view data) {
     ProgressPayload p;
-    Decoder dec(data);
+    CheckedReader dec(data);
     uint32_t n = 0;
-    if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&n)) {
+    if (!dec.GetVarint64(&p.travel_id) || !dec.GetCount(&n)) {
       return Status::Corruption("bad progress payload");
     }
     p.unfinished_per_step.resize(n);
@@ -515,16 +506,14 @@ struct SyncStepPayload {
   }
   static Result<SyncStepPayload> Decode(std::string_view data) {
     SyncStepPayload p;
-    Decoder dec(data);
-    std::string_view phase_byte, scan_byte, plan;
+    CheckedReader dec(data);
+    std::string_view plan;
     uint32_t n = 0;
     if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
-        !dec.GetBytes(1, &phase_byte) || !dec.GetBytes(1, &scan_byte) ||
-        !dec.GetLengthPrefixed(&plan) || !dec.GetVarint32(&n)) {
+        !dec.GetByte(&p.phase) || !dec.GetByte(&p.scan_start) ||
+        !dec.GetLengthPrefixed(&plan) || !dec.GetCount(&n)) {
       return Status::Corruption("bad sync step payload");
     }
-    p.phase = static_cast<uint8_t>(phase_byte[0]);
-    p.scan_start = static_cast<uint8_t>(scan_byte[0]);
     p.plan.assign(plan);
     p.batches_sent.resize(n);
     for (uint32_t i = 0; i < n; i++) {
@@ -557,13 +546,11 @@ struct SyncBatchPayload {
   }
   static Result<SyncBatchPayload> Decode(std::string_view data) {
     SyncBatchPayload p;
-    Decoder dec(data);
-    std::string_view phase_byte;
+    CheckedReader dec(data);
     if (!dec.GetVarint64(&p.travel_id) || !dec.GetVarint32(&p.step) ||
-        !dec.GetBytes(1, &phase_byte) || !DecodeEntries(&dec, &p.entries)) {
+        !dec.GetByte(&p.phase) || !DecodeEntries(&dec, &p.entries)) {
       return Status::Corruption("bad sync batch payload");
     }
-    p.phase = static_cast<uint8_t>(phase_byte[0]);
     return p;
   }
 };

@@ -19,6 +19,13 @@ class Catalog {
   using Id = uint32_t;
   static constexpr Id kInvalidId = 0xffffffffu;
 
+  // Upper bound accepted from remote peers. Catalog ids are dense indexes
+  // into names_, so an id that arrives over the wire drives a resize(id+1);
+  // without a cap a hostile (or corrupt) reply could demand gigabytes. The
+  // catalog holds label/property-key names — tiny by design — so a million
+  // ids is far beyond any legitimate deployment.
+  static constexpr Id kMaxWireId = 1u << 20;
+
   virtual ~Catalog() = default;
 
   // Returns the id for `name`, interning it if new. Thread-safe.

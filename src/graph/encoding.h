@@ -96,23 +96,20 @@ inline std::string TypeIndexPrefix(LabelId label) {
 
 inline bool ParseVertexKey(std::string_view key, VertexId* vid) {
   if (key.size() != 9 || key[0] != kVertexNs) return false;
-  *vid = DecodeFixed64BE(key.data() + 1);
-  return true;
+  CheckedReader dec(key.substr(1));
+  return dec.GetFixed64BE(vid);
 }
 
 inline bool ParseEdgeKey(std::string_view key, VertexId* src, LabelId* label, VertexId* dst) {
   if (key.size() != 21 || key[0] != kEdgeNs) return false;
-  *src = DecodeFixed64BE(key.data() + 1);
-  *label = DecodeFixed32BE(key.data() + 9);
-  *dst = DecodeFixed64BE(key.data() + 13);
-  return true;
+  CheckedReader dec(key.substr(1));
+  return dec.GetFixed64BE(src) && dec.GetFixed32BE(label) && dec.GetFixed64BE(dst);
 }
 
 inline bool ParseTypeIndexKey(std::string_view key, LabelId* label, VertexId* vid) {
   if (key.size() != 13 || key[0] != kTypeIndexNs) return false;
-  *label = DecodeFixed32BE(key.data() + 1);
-  *vid = DecodeFixed64BE(key.data() + 5);
-  return true;
+  CheckedReader dec(key.substr(1));
+  return dec.GetFixed32BE(label) && dec.GetFixed64BE(vid);
 }
 
 // --- values ------------------------------------------------------------
@@ -125,7 +122,7 @@ inline std::string EncodeVertexValue(LabelId label, const PropMap& props) {
 }
 
 inline bool DecodeVertexValue(std::string_view value, LabelId* label, PropMap* props) {
-  Decoder dec(value);
+  CheckedReader dec(value);
   return dec.GetVarint32(label) && PropMap::DecodeFrom(&dec, props);
 }
 
@@ -136,7 +133,7 @@ inline std::string EncodeEdgeValue(const PropMap& props) {
 }
 
 inline bool DecodeEdgeValue(std::string_view value, PropMap* props) {
-  Decoder dec(value);
+  CheckedReader dec(value);
   return PropMap::DecodeFrom(&dec, props);
 }
 

@@ -104,10 +104,10 @@ class PropValue {
     }
   }
 
-  static bool DecodeFrom(Decoder* dec, PropValue* out) {
-    std::string_view tag;
-    if (!dec->GetBytes(1, &tag)) return false;
-    switch (static_cast<Kind>(static_cast<unsigned char>(tag[0]))) {
+  static bool DecodeFrom(CheckedReader* dec, PropValue* out) {
+    uint8_t tag = 0;
+    if (!dec->GetByte(&tag)) return false;
+    switch (static_cast<Kind>(tag)) {
       case Kind::kInt: {
         int64_t v;
         if (!dec->GetVarSigned64(&v)) return false;
@@ -189,10 +189,12 @@ class PropMap {
     }
   }
 
-  static bool DecodeFrom(Decoder* dec, PropMap* out) {
+  static bool DecodeFrom(CheckedReader* dec, PropMap* out) {
     out->entries_.clear();
     uint32_t n;
-    if (!dec->GetVarint32(&n)) return false;
+    // 2 = minimum encoded entry (key varint + value tag byte); bounds a
+    // hostile count before the reserve.
+    if (!dec->GetCount(&n, 2)) return false;
     out->entries_.reserve(n);
     for (uint32_t i = 0; i < n; i++) {
       uint32_t key;

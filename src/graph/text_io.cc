@@ -6,6 +6,7 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace gt::graph {
 
@@ -211,6 +212,7 @@ Status ExportText(const RefGraph& g, const Catalog& catalog, std::ostream* out) 
 
 Result<RefGraph> ImportText(std::istream* in, Catalog* catalog) {
   RefGraph g;
+  std::vector<EdgeRecord> pending_edges;
   std::string line;
   size_t lineno = 0;
   auto fail = [&](const std::string& why) {
@@ -229,6 +231,7 @@ Result<RefGraph> ImportText(std::istream* in, Catalog* catalog) {
       if (!label.ok()) return fail(label.status().message());
       auto props = ParseProps(fields, 3, catalog);
       if (!props.ok()) return fail(props.status().message());
+      if (g.FindVertex(*vid) != nullptr) return fail("duplicate vertex id");
       VertexRecord rec;
       rec.id = *vid;
       rec.label = catalog->Intern(*label);
@@ -247,10 +250,23 @@ Result<RefGraph> ImportText(std::istream* in, Catalog* catalog) {
       rec.label = catalog->Intern(*label);
       rec.dst = *dst;
       rec.props = std::move(*props);
-      g.AddEdge(std::move(rec));
+      // Endpoint existence is validated after the whole file is read, so
+      // edge lines may legally precede their vertices.
+      pending_edges.push_back(std::move(rec));
     } else {
       return fail("unknown record type '" + fields[0] + "'");
     }
+  }
+  // Referential integrity: a dangling edge would count in num_edges() but
+  // be invisible to every per-vertex walk (including re-export), silently
+  // corrupting traversal and round-trip accounting.
+  for (auto& e : pending_edges) {
+    if (g.FindVertex(e.src) == nullptr || g.FindVertex(e.dst) == nullptr) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+          " references a vertex that is not in the file");
+    }
+    g.AddEdge(std::move(e));
   }
   return g;
 }

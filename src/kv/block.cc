@@ -50,13 +50,22 @@ void BlockBuilder::Reset() {
 
 Block::Block(std::string contents) : data_(std::move(contents)) {
   if (data_.size() < 4) return;
-  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - 4);
-  const uint64_t trailer = 4ull + 4ull * num_restarts_;
-  if (trailer > data_.size()) {
-    num_restarts_ = 0;
-    return;
+  uint32_t num_restarts = 0;
+  CheckedReader count(data_.data() + data_.size() - 4, 4);
+  if (!count.GetFixed32(&num_restarts)) return;
+  const uint64_t trailer = 4ull + 4ull * num_restarts;
+  if (trailer > data_.size()) return;  // num_restarts_ stays 0: unhealthy
+  const uint32_t restarts_offset = static_cast<uint32_t>(data_.size() - trailer);
+  // Reject hostile restart offsets up front: every one must land inside the
+  // entry region, or RestartKey/SeekToRestart would compute out-of-bounds
+  // cursors (and `restarts_offset_ - off` would underflow).
+  CheckedReader offsets(data_.data() + restarts_offset, 4ull * num_restarts);
+  for (uint32_t i = 0; i < num_restarts; i++) {
+    uint32_t off = 0;
+    if (!offsets.GetFixed32(&off) || off > restarts_offset) return;
   }
-  restarts_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+  num_restarts_ = num_restarts;
+  restarts_offset_ = restarts_offset;
 }
 
 class Block::Iter final : public Iterator {
@@ -108,26 +117,40 @@ class Block::Iter final : public Iterator {
   Status status() const override { return status_; }
 
  private:
-  void SeekToRestart(uint32_t index) {
-    key_.clear();
-    next_offset_ = DecodeFixed32(block_->data_.data() + block_->restarts_offset_ + 4 * index);
+  // Offset of restart point `index`. In bounds for index < num_restarts_;
+  // the offset value itself was validated (<= restarts_offset_) by the
+  // Block constructor.
+  uint32_t RestartPoint(uint32_t index) const {
+    CheckedReader dec(block_->data_.data() + block_->restarts_offset_ + 4 * index, 4);
+    uint32_t off = 0;
+    (void)dec.GetFixed32(&off);
+    return off;
   }
 
-  // Key at a restart point (shared length is always 0 there).
+  void SeekToRestart(uint32_t index) {
+    key_.clear();
+    next_offset_ = RestartPoint(index);
+  }
+
+  // Key at a restart point (shared length is always 0 there). An empty
+  // slice on a truncated entry degrades the binary search, never the
+  // memory safety: ParseNextEntry re-validates before any key is returned.
   Slice RestartKey(uint32_t index) {
-    const uint32_t off = DecodeFixed32(block_->data_.data() + block_->restarts_offset_ + 4 * index);
-    Decoder dec(block_->data_.data() + off, block_->restarts_offset_ - off);
+    const uint32_t off = RestartPoint(index);
+    CheckedReader dec(block_->data_.data() + off, block_->restarts_offset_ - off);
     uint32_t shared = 0, non_shared = 0, vlen = 0;
-    dec.GetVarint32(&shared);
-    dec.GetVarint32(&non_shared);
-    dec.GetVarint32(&vlen);
-    return Slice(dec.data(), non_shared);
+    std::string_view key;
+    if (!dec.GetVarint32(&shared) || !dec.GetVarint32(&non_shared) ||
+        !dec.GetVarint32(&vlen) || !dec.GetBytes(non_shared, &key)) {
+      return Slice();
+    }
+    return Slice(key);
   }
 
   void ParseNextEntry() {
     current_ = next_offset_;
     if (current_ >= block_->restarts_offset_) return;  // end
-    Decoder dec(block_->data_.data() + current_, block_->restarts_offset_ - current_);
+    CheckedReader dec(block_->data_.data() + current_, block_->restarts_offset_ - current_);
     uint32_t shared = 0, non_shared = 0, vlen = 0;
     if (!dec.GetVarint32(&shared) || !dec.GetVarint32(&non_shared) || !dec.GetVarint32(&vlen) ||
         shared > key_.size()) {

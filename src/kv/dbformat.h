@@ -38,9 +38,21 @@ inline void AppendInternalKey(std::string* dst, Slice user_key, SequenceNumber s
   PutFixed64(dst, PackSeqAndType(seq, t));
 }
 
+// The tag word, or 0 for a key shorter than the tag. Malformed keys occur
+// only when parsing a corrupt/hostile block; the accessors here must stay
+// memory-safe on them (the entry is rejected later by ParseInternalKey).
+inline uint64_t ExtractTag(Slice internal_key) {
+  uint64_t tag = 0;
+  if (internal_key.size() >= 8) {
+    CheckedReader dec(internal_key.data() + internal_key.size() - 8, 8);
+    (void)dec.GetFixed64(&tag);
+  }
+  return tag;
+}
+
 inline bool ParseInternalKey(Slice internal_key, ParsedInternalKey* out) {
   if (internal_key.size() < 8) return false;
-  const uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  const uint64_t tag = ExtractTag(internal_key);
   out->user_key = Slice(internal_key.data(), internal_key.size() - 8);
   out->sequence = tag >> 8;
   const uint8_t t = static_cast<uint8_t>(tag & 0xff);
@@ -50,6 +62,7 @@ inline bool ParseInternalKey(Slice internal_key, ParsedInternalKey* out) {
 }
 
 inline Slice ExtractUserKey(Slice internal_key) {
+  if (internal_key.size() < 8) return Slice(internal_key.data(), 0);
   return Slice(internal_key.data(), internal_key.size() - 8);
 }
 
@@ -59,8 +72,8 @@ class InternalKeyComparator {
   int Compare(Slice a, Slice b) const {
     int r = ExtractUserKey(a).compare(ExtractUserKey(b));
     if (r != 0) return r;
-    const uint64_t atag = DecodeFixed64(a.data() + a.size() - 8);
-    const uint64_t btag = DecodeFixed64(b.data() + b.size() - 8);
+    const uint64_t atag = ExtractTag(a);
+    const uint64_t btag = ExtractTag(b);
     if (atag > btag) return -1;  // higher seq sorts first
     if (atag < btag) return +1;
     return 0;

@@ -46,7 +46,7 @@ void VersionEdit::EncodeTo(std::string* dst) const {
 
 Status VersionEdit::DecodeFrom(Slice src, VersionEdit* edit) {
   *edit = VersionEdit{};
-  Decoder dec(src.data(), src.size());
+  CheckedReader dec(src.data(), src.size());
   uint32_t version = 0;
   if (!dec.GetVarint32(&version)) return Status::Corruption("manifest edit: missing version");
   if (version != kEditFormatVersion) {
@@ -54,19 +54,19 @@ Status VersionEdit::DecodeFrom(Slice src, VersionEdit* edit) {
                               std::to_string(version));
   }
   while (!dec.empty()) {
-    std::string_view tag_byte;
+    uint8_t tag = 0;
     uint64_t value = 0;
-    if (!dec.GetBytes(1, &tag_byte) || !dec.GetVarint64(&value)) {
+    if (!dec.GetByte(&tag) || !dec.GetVarint64(&value)) {
       return Status::Corruption("manifest edit: truncated op");
     }
-    switch (static_cast<uint8_t>(tag_byte[0])) {
+    switch (tag) {
       case kAddTable: edit->added_tables.push_back(value); break;
       case kRemoveTable: edit->removed_tables.push_back(value); break;
       case kNextFileId: edit->next_file_id = value; break;
       case kLastSequence: edit->last_sequence = value; break;
       default:
         return Status::Corruption("manifest edit: unknown tag " +
-                                  std::to_string(static_cast<int>(tag_byte[0])));
+                                  std::to_string(static_cast<int>(tag)));
     }
   }
   return Status::OK();

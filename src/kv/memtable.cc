@@ -1,6 +1,6 @@
 #include "src/kv/memtable.h"
 
-#include <cstring>
+#include <algorithm>
 
 #include "src/common/codec.h"
 
@@ -8,9 +8,11 @@ namespace gt::kv {
 
 namespace {
 
-// Decodes the length-prefixed internal key at `p`.
+// Decodes the length-prefixed internal key at `p`. Memtable entries are
+// trusted (this process encoded them into the arena), so the bound here is
+// the encoding invariant, not an input length.
 Slice GetLengthPrefixedSlice(const char* p) {
-  Decoder dec(p, 5 + 8);  // varint32 is at most 5 bytes; key >= 8
+  CheckedReader dec(p, 5 + 8);  // varint32 is at most 5 bytes; key >= 8
   uint32_t len = 0;
   dec.GetVarint32(&len);
   return Slice(dec.data(), len);
@@ -36,13 +38,10 @@ void MemTable::Add(SequenceNumber seq, ValueType type, Slice user_key, Slice val
   const size_t total = header.size() + ikey.size() + vheader.size() + value.size();
   char* buf = arena_.Allocate(total);
   char* p = buf;
-  std::memcpy(p, header.data(), header.size());
-  p += header.size();
-  std::memcpy(p, ikey.data(), ikey.size());
-  p += ikey.size();
-  std::memcpy(p, vheader.data(), vheader.size());
-  p += vheader.size();
-  std::memcpy(p, value.data(), value.size());
+  p = std::copy(header.begin(), header.end(), p);
+  p = std::copy(ikey.begin(), ikey.end(), p);
+  p = std::copy(vheader.begin(), vheader.end(), p);
+  std::copy(value.data(), value.data() + value.size(), p);
   table_.Insert(buf);
 }
 
@@ -73,7 +72,7 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* status) con
   }
   // Value follows the internal key.
   const char* vstart = entry_ikey.data() + entry_ikey.size();
-  Decoder dec(vstart, 5 + (1 << 30));
+  CheckedReader dec(vstart, 5 + (1 << 30));
   uint32_t vlen = 0;
   dec.GetVarint32(&vlen);
   value->assign(dec.data(), vlen);
@@ -99,7 +98,7 @@ class MemTableIterator final : public Iterator {
   void Next() override { it_.Next(); }
 
   Slice key() const override {
-    Decoder dec(it_.key(), 5 + 8);
+    CheckedReader dec(it_.key(), 5 + 8);
     uint32_t len = 0;
     dec.GetVarint32(&len);
     return Slice(dec.data(), len);
@@ -108,7 +107,7 @@ class MemTableIterator final : public Iterator {
   Slice value() const override {
     Slice k = key();
     const char* vstart = k.data() + k.size();
-    Decoder dec(vstart, 5 + (1 << 30));
+    CheckedReader dec(vstart, 5 + (1 << 30));
     uint32_t vlen = 0;
     dec.GetVarint32(&vlen);
     return Slice(dec.data(), vlen);

@@ -96,15 +96,33 @@ namespace {
 
 // Reads a crc-trailed block from `file` without caching.
 Status ReadRawBlock(RandomAccessFile* file, uint64_t off, uint64_t size, std::string* out) {
+  // The handle is untrusted (it came out of a block on disk): bound it by
+  // the actual file before allocating, so a hostile size can neither wrap
+  // the `size + 4` arithmetic nor drive a multi-gigabyte resize.
+  const uint64_t fsize = file->size();
+  if (off > fsize || size > fsize - off || fsize - off - size < 4) {
+    return Status::Corruption("block handle outside file");
+  }
   out->resize(size + 4);
   Slice result;
   GT_RETURN_IF_ERROR(file->Read(off, size + 4, &result, out->data()));
   if (result.size() != size + 4) return Status::Corruption("short block read");
-  const uint32_t expected = DecodeFixed32(result.data() + size);
+  uint32_t expected = 0;
+  CheckedReader trailer(result.data() + size, 4);
+  (void)trailer.GetFixed32(&expected);
   if (Crc32c::Compute(result.data(), size) != expected) {
     return Status::Corruption("block checksum mismatch");
   }
   out->resize(size);
+  return Status::OK();
+}
+
+// Decodes a 16-byte (offset, size) index handle.
+Status DecodeHandle(Slice handle, uint64_t* off, uint64_t* size) {
+  CheckedReader dec(handle.data(), handle.size());
+  if (handle.size() != 16 || !dec.GetFixed64(off) || !dec.GetFixed64(size)) {
+    return Status::Corruption("bad index handle");
+  }
   return Status::OK();
 }
 
@@ -123,15 +141,15 @@ Result<std::shared_ptr<Table>> Table::Open(Env* env, const std::string& path,
   GT_RETURN_IF_ERROR(table->file_->Read(fsize - kFooterSize, kFooterSize, &footer, scratch));
   if (footer.size() != kFooterSize) return Status::Corruption("short footer read");
 
-  Decoder dec(footer.data(), footer.size());
-  uint64_t index_off, index_size, bloom_off, bloom_size, meta_off, meta_size, magic;
-  dec.GetFixed64(&index_off);
-  dec.GetFixed64(&index_size);
-  dec.GetFixed64(&bloom_off);
-  dec.GetFixed64(&bloom_size);
-  dec.GetFixed64(&meta_off);
-  dec.GetFixed64(&meta_size);
-  dec.GetFixed64(&magic);
+  CheckedReader dec(footer.data(), footer.size());
+  uint64_t index_off = 0, index_size = 0, bloom_off = 0, bloom_size = 0;
+  uint64_t meta_off = 0, meta_size = 0, magic = 0;
+  if (!dec.GetFixed64(&index_off) || !dec.GetFixed64(&index_size) ||
+      !dec.GetFixed64(&bloom_off) || !dec.GetFixed64(&bloom_size) ||
+      !dec.GetFixed64(&meta_off) || !dec.GetFixed64(&meta_size) ||
+      !dec.GetFixed64(&magic)) {
+    return Status::Corruption("short footer: " + path);
+  }
   if (magic != kTableMagic) return Status::Corruption("bad table magic: " + path);
 
   std::string index_contents;
@@ -142,7 +160,7 @@ Result<std::shared_ptr<Table>> Table::Open(Env* env, const std::string& path,
 
   std::string meta;
   GT_RETURN_IF_ERROR(ReadRawBlock(table->file_.get(), meta_off, meta_size, &meta));
-  Decoder mdec(meta.data(), meta.size());
+  CheckedReader mdec(meta.data(), meta.size());
   std::string_view smallest, largest;
   uint64_t entries = 0;
   if (!mdec.GetLengthPrefixed(&smallest) || !mdec.GetLengthPrefixed(&largest) ||
@@ -188,10 +206,8 @@ Status Table::Get(Slice internal_key,
   index_it->Seek(internal_key);
   if (!index_it->Valid()) return Status::NotFound();
 
-  Slice handle = index_it->value();
-  if (handle.size() != 16) return Status::Corruption("bad index handle");
-  const uint64_t off = DecodeFixed64(handle.data());
-  const uint64_t size = DecodeFixed64(handle.data() + 8);
+  uint64_t off = 0, size = 0;
+  GT_RETURN_IF_ERROR(DecodeHandle(index_it->value(), &off, &size));
 
   auto block = ReadBlock(off, size);
   if (!block.ok()) return block.status();
@@ -247,12 +263,12 @@ class Table::TwoLevelIter final : public Iterator {
     data_it_.reset();
     data_block_.reset();
     if (!index_it_->Valid()) return;
-    Slice handle = index_it_->value();
-    if (handle.size() != 16) {
-      status_ = Status::Corruption("bad index handle");
+    uint64_t off = 0, size = 0;
+    if (Status s = DecodeHandle(index_it_->value(), &off, &size); !s.ok()) {
+      status_ = s;
       return;
     }
-    auto block = table_->ReadBlock(DecodeFixed64(handle.data()), DecodeFixed64(handle.data() + 8));
+    auto block = table_->ReadBlock(off, size);
     if (!block.ok()) {
       status_ = block.status();
       return;

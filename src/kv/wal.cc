@@ -35,8 +35,12 @@ bool WalReader::ReadRecord(std::string* scratch, Slice* record) {
     return false;
   }
 
-  const uint32_t crc = DecodeFixed32(h.data());
-  const uint32_t len = DecodeFixed32(h.data() + 4);
+  uint32_t crc = 0, len = 0;
+  CheckedReader hdr(h.data(), h.size());
+  if (!hdr.GetFixed32(&crc) || !hdr.GetFixed32(&len)) {
+    tail_dropped_ = true;  // unreachable: h.size() == 8 here
+    return false;
+  }
 
   // Read the payload in bounded chunks: `len` may be garbage from a corrupt
   // header, so never trust it for a single huge allocation.

@@ -22,9 +22,19 @@ void WriteBatch::Clear() {
   rep_.assign(kHeader, '\0');
 }
 
-uint32_t WriteBatch::Count() const { return DecodeFixed32(rep_.data() + 8); }
+uint32_t WriteBatch::Count() const {
+  uint32_t n = 0;
+  CheckedReader dec(rep_.data() + 8, rep_.size() - 8);
+  (void)dec.GetFixed32(&n);  // rep_ always holds the 12-byte header
+  return n;
+}
 
-SequenceNumber WriteBatch::sequence() const { return DecodeFixed64(rep_.data()); }
+SequenceNumber WriteBatch::sequence() const {
+  uint64_t seq = 0;
+  CheckedReader dec(rep_.data(), rep_.size());
+  (void)dec.GetFixed64(&seq);
+  return seq;
+}
 
 void WriteBatch::SetSequence(SequenceNumber seq) { EncodeFixed64(rep_.data(), seq); }
 

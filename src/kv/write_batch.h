@@ -48,12 +48,12 @@ class WriteBatch {
 template <typename Handler>
 Status WriteBatch::Iterate(Handler&& handler) const {
   if (rep_.size() < kHeader) return Status::Corruption("batch too small");
-  Decoder dec(rep_.data() + kHeader, rep_.size() - kHeader);
+  CheckedReader dec(rep_.data() + kHeader, rep_.size() - kHeader);
   uint32_t found = 0;
   while (!dec.empty()) {
-    std::string_view t;
-    if (!dec.GetBytes(1, &t)) return Status::Corruption("bad record type");
-    const auto type = static_cast<ValueType>(static_cast<unsigned char>(t[0]));
+    uint8_t t = 0;
+    if (!dec.GetByte(&t)) return Status::Corruption("bad record type");
+    const auto type = static_cast<ValueType>(t);
     std::string_view key, value;
     if (!dec.GetLengthPrefixed(&key)) return Status::Corruption("bad key");
     if (type == kTypeValue) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/graph/catalog.h"
 #include "src/graph/encoding.h"
 #include "src/graph/property.h"
@@ -52,23 +53,26 @@ struct Filter {
     for (const auto& v : values) v.EncodeTo(out);
   }
 
-  static bool DecodeFrom(Decoder* dec, Filter* out) {
-    std::string_view op_byte;
+  static Status DecodeFrom(CheckedReader* dec, Filter* out) {
+    uint8_t op = 0;
     uint32_t n = 0;
-    if (!dec->GetVarint32(&out->key) || !dec->GetBytes(1, &op_byte) || !dec->GetVarint32(&n)) {
-      return false;
+    if (!dec->GetVarint32(&out->key) || !dec->GetByte(&op) || !dec->GetCount(&n)) {
+      return Status::Corruption("filter: truncated header");
     }
-    const auto op = static_cast<unsigned char>(op_byte[0]);
-    if (op > static_cast<unsigned char>(FilterOp::kRange)) return false;
+    if (op > static_cast<uint8_t>(FilterOp::kRange)) {
+      return Status::Corruption("filter: unknown op " + std::to_string(op));
+    }
     out->op = static_cast<FilterOp>(op);
     out->values.clear();
     out->values.reserve(n);
     for (uint32_t i = 0; i < n; i++) {
       graph::PropValue v;
-      if (!graph::PropValue::DecodeFrom(dec, &v)) return false;
+      if (!graph::PropValue::DecodeFrom(dec, &v)) {
+        return Status::Corruption("filter: bad value");
+      }
       out->values.push_back(std::move(v));
     }
-    return true;
+    return Status::OK();
   }
 };
 

@@ -84,32 +84,31 @@ struct TraversalPlan {
 
   static Result<TraversalPlan> Decode(std::string_view data) {
     TraversalPlan plan;
-    Decoder dec(data);
+    CheckedReader dec(data);
     uint32_t n = 0;
-    if (!dec.GetVarint32(&n)) return Status::Corruption("plan: start ids");
+    if (!dec.GetCount(&n)) return Status::Corruption("plan: start ids");
     plan.start_ids.reserve(n);
     for (uint32_t i = 0; i < n; i++) {
       uint64_t vid;
       if (!dec.GetVarint64(&vid)) return Status::Corruption("plan: start id");
       plan.start_ids.push_back(vid);
     }
-    if (!DecodeFilters(&dec, &plan.start_vertex_filters)) {
-      return Status::Corruption("plan: start filters");
-    }
-    std::string_view flag;
-    if (!dec.GetBytes(1, &flag)) return Status::Corruption("plan: start rtn");
-    plan.start_rtn = flag[0] != 0;
+    GT_RETURN_IF_ERROR(DecodeFilters(&dec, &plan.start_vertex_filters));
+    uint8_t flag = 0;
+    if (!dec.GetByte(&flag)) return Status::Corruption("plan: start rtn");
+    plan.start_rtn = flag != 0;
 
     uint32_t hops = 0;
-    if (!dec.GetVarint32(&hops)) return Status::Corruption("plan: hop count");
+    // 4 = minimum encoded hop: label varint + two empty filter lists + rtn.
+    if (!dec.GetCount(&hops, 4)) return Status::Corruption("plan: hop count");
     plan.hops.resize(hops);
     for (uint32_t i = 0; i < hops; i++) {
       Hop& h = plan.hops[i];
       if (!dec.GetVarint32(&h.edge_label)) return Status::Corruption("plan: hop label");
-      if (!DecodeFilters(&dec, &h.edge_filters)) return Status::Corruption("plan: hop efilters");
-      if (!DecodeFilters(&dec, &h.vertex_filters)) return Status::Corruption("plan: hop vfilters");
-      if (!dec.GetBytes(1, &flag)) return Status::Corruption("plan: hop rtn");
-      h.rtn = flag[0] != 0;
+      GT_RETURN_IF_ERROR(DecodeFilters(&dec, &h.edge_filters));
+      GT_RETURN_IF_ERROR(DecodeFilters(&dec, &h.vertex_filters));
+      if (!dec.GetByte(&flag)) return Status::Corruption("plan: hop rtn");
+      h.rtn = flag != 0;
     }
     if (!dec.empty()) return Status::Corruption("plan: trailing bytes");
     return plan;
@@ -121,14 +120,15 @@ struct TraversalPlan {
     for (const auto& f : filters) f.EncodeTo(out);
   }
 
-  static bool DecodeFilters(Decoder* dec, std::vector<Filter>* out) {
+  static Status DecodeFilters(CheckedReader* dec, std::vector<Filter>* out) {
     uint32_t n = 0;
-    if (!dec->GetVarint32(&n)) return false;
+    // 3 = minimum encoded filter (key varint + op byte + count varint).
+    if (!dec->GetCount(&n, 3)) return Status::Corruption("plan: filter count");
     out->resize(n);
     for (uint32_t i = 0; i < n; i++) {
-      if (!Filter::DecodeFrom(dec, &(*out)[i])) return false;
+      GT_RETURN_IF_ERROR(Filter::DecodeFrom(dec, &(*out)[i]));
     }
-    return true;
+    return Status::OK();
   }
 };
 

@@ -93,31 +93,38 @@ struct Message {
   }
 
   // Decodes the body of a frame (everything after frame_len).
-  static Result<Message> DecodeBody(std::string_view body) {
+  static Result<Message> DecodeBody(std::string_view frame_body) {
     Message m;
-    if (Status s = DecodeHeader(body, &m); !s.ok()) return s;
-    m.payload.assign(body.substr(kMsgHeaderBytes));
+    if (Status s = DecodeHeader(frame_body, &m); !s.ok()) return s;
+    m.payload.assign(frame_body.substr(kMsgHeaderBytes));
     return m;
   }
 
   // Zero-copy variant for transports that own the frame buffer: steals
-  // `body` as the payload (after trimming the 20-byte header in place)
-  // instead of copying it. The hot kTraverse frames carry the frontier and
-  // the plan, so the reader thread avoids an allocation + memcpy per frame.
-  static Result<Message> DecodeBody(std::string&& body) {
+  // `frame_body` as the payload (after trimming the 20-byte header in
+  // place) instead of copying it. The hot kTraverse frames carry the
+  // frontier and the plan, so the reader thread avoids an allocation +
+  // memcpy per frame.
+  static Result<Message> DecodeBody(std::string&& frame_body) {
     Message m;
-    if (Status s = DecodeHeader(body, &m); !s.ok()) return s;
-    body.erase(0, kMsgHeaderBytes);
-    m.payload = std::move(body);
+    if (Status s = DecodeHeader(frame_body, &m); !s.ok()) return s;
+    frame_body.erase(0, kMsgHeaderBytes);
+    m.payload = std::move(frame_body);
     return m;
   }
 
- private:
-  static Status DecodeHeader(std::string_view body, Message* m) {
-    Decoder dec(body);
+  // Decodes the fixed header prefix of a frame body into *m (payload is
+  // left untouched). `frame_body` is the whole frame after the frame_len
+  // prefix, of which the first kMsgHeaderBytes are the header; anything
+  // shorter — a frame_len that promised more than the header, or a
+  // truncated read — is a Corruption, never an out-of-bounds access: both
+  // DecodeBody variants only slice the payload off after this succeeds, so
+  // a header-vs-body size mismatch can never turn into UB downstream.
+  static Status DecodeHeader(std::string_view frame_body, Message* m) {
+    CheckedReader reader(frame_body);
     uint32_t type32 = 0;
-    if (!dec.GetFixed32(&type32) || !dec.GetFixed32(&m->src) ||
-        !dec.GetFixed32(&m->dst) || !dec.GetFixed64(&m->rpc_id)) {
+    if (!reader.GetFixed32(&type32) || !reader.GetFixed32(&m->src) ||
+        !reader.GetFixed32(&m->dst) || !reader.GetFixed64(&m->rpc_id)) {
       return Status::Corruption("short message header");
     }
     m->type = static_cast<MsgType>(type32 & 0xffff);

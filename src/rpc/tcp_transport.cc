@@ -199,15 +199,22 @@ struct TcpTransport::Listener {
     SetSocketTimeout(conn, SO_RCVTIMEO, owner->cfg_.connect_timeout_ms);
     char hello[kHelloBytes];
     if (!ReadFull(conn, hello, sizeof(hello))) return;
-    const uint32_t magic = DecodeFixed32(hello);
-    const uint32_t version = DecodeFixed32(hello + 4);
-    const EndpointId dialed = DecodeFixed32(hello + 8);
+    CheckedReader hello_reader(hello, sizeof(hello));
+    uint32_t magic = 0, version = 0;
+    EndpointId dialed = 0;
+    if (!hello_reader.GetFixed32(&magic) || !hello_reader.GetFixed32(&version) ||
+        !hello_reader.GetFixed32(&dialed)) {
+      owner->CountDecodeError();
+      return;  // unreachable with kHelloBytes == 12, but keep the reads checked
+    }
     if (magic != kHelloMagic || version != kWireVersion) {
+      owner->CountDecodeError();
       GT_WARN << "tcp: protocol error on endpoint " << id
               << ": bad hello (magic=" << magic << " version=" << version << ")";
       return;
     }
     if (dialed != id) {
+      owner->CountDecodeError();
       GT_WARN << "tcp: endpoint " << id << " refused connection dialed for endpoint "
               << dialed << " (stale registry entry?)";
       return;
@@ -221,8 +228,11 @@ struct TcpTransport::Listener {
     for (;;) {
       char lenbuf[4];
       if (!ReadFull(conn, lenbuf, 4)) return;
-      const uint32_t frame_len = DecodeFixed32(lenbuf);
+      uint32_t frame_len = 0;
+      CheckedReader len_reader(lenbuf, sizeof(lenbuf));
+      (void)len_reader.GetFixed32(&frame_len);  // 4 bytes present by construction
       if (frame_len < kMinFrameBody || frame_len > kMaxFrameBody) {
+        owner->CountDecodeError();
         GT_WARN << "tcp: protocol error on endpoint " << id << ": frame length "
                 << frame_len << " outside [" << kMinFrameBody << ", " << kMaxFrameBody
                 << "]; closing connection";
@@ -232,6 +242,7 @@ struct TcpTransport::Listener {
       if (!ReadFull(conn, body.data(), frame_len)) return;
       auto msg = Message::DecodeBody(std::move(body));  // steals body as payload
       if (!msg.ok()) {
+        owner->CountDecodeError();
         GT_WARN << "tcp: protocol error on endpoint " << id << ": "
                 << msg.status().ToString() << "; closing connection";
         return;
@@ -432,7 +443,10 @@ Result<int> TcpTransport::ConnectAndHandshake(uint16_t port, EndpointId dst) {
     return SockError("handshake send");
   }
   char ack[4];
-  if (!ReadFull(fd, ack, sizeof(ack)) || DecodeFixed32(ack) != kHelloAck) {
+  uint32_t ack_word = 0;
+  CheckedReader ack_reader(ack, sizeof(ack));
+  if (!ReadFull(fd, ack, sizeof(ack)) || !ack_reader.GetFixed32(&ack_word) ||
+      ack_word != kHelloAck) {
     ::close(fd);
     return Status::IOError("handshake rejected by peer on port " + std::to_string(port));
   }

@@ -73,6 +73,11 @@ class TcpTransport final : public Transport {
   struct Listener;
   struct Link;
 
+  // Every malformed inbound frame (bad hello, out-of-range frame length,
+  // undecodable header) bumps gt_rpc_decode_errors_total and costs the peer
+  // its connection — the stream is never resynchronized.
+  void CountDecodeError() { stats_.decode_errors.fetch_add(1); }
+
   Result<uint16_t> ResolvePort(EndpointId dst) GT_EXCLUDES(mu_);
   Result<int> ConnectAndHandshake(uint16_t port, EndpointId dst);
   bool BackoffSleep(uint32_t attempt);  // false if shutdown interrupted it

@@ -21,6 +21,9 @@ Transport::Transport() {
                       "Messages dropped by fault injection or partitions.");
   reg->DescribeFamily("gt_rpc_reconnects_total", metrics::MetricType::kCounter,
                       "Re-established connections.");
+  reg->DescribeFamily("gt_rpc_decode_errors_total", metrics::MetricType::kCounter,
+                      "Malformed or truncated frames received from peers "
+                      "(the connection is dropped, never resynchronized).");
   RegisterMetricsCollector("t" + std::to_string(next_instance.fetch_add(1)));
 }
 
@@ -50,6 +53,7 @@ void Transport::RegisterMetricsCollector(const std::string& label) {
                 stats_.messages_duplicated.load());
         counter("gt_rpc_reconnects_total", stats_.reconnects.load());
         counter("gt_rpc_send_failures_total", stats_.send_failures.load());
+        counter("gt_rpc_decode_errors_total", stats_.decode_errors.load());
         // Per-link rows, keyed by the endpoint pair carried on the messages.
         // Read from the base-class map (not the LinkSnapshot virtual): this
         // collector may fire while a derived transport is partway through

@@ -47,6 +47,7 @@ struct TransportStats {
   std::atomic<uint64_t> messages_duplicated{0};  // fault injection
   std::atomic<uint64_t> reconnects{0};           // re-established connections
   std::atomic<uint64_t> send_failures{0};        // failed write/connect attempts
+  std::atomic<uint64_t> decode_errors{0};        // malformed frames from peers
 };
 
 // Per-link counters, keyed by the (src, dst) endpoint pair carried on the

@@ -1,0 +1,20 @@
+// Fuzzes the serialized traversal-plan parser (TraversalPlan::Decode, which
+// pulls in Filter::DecodeFrom), the decode surface behind kSubmitTraversal.
+// Accepted plans must round-trip: Encode(Decode(x)) decodes to a plan whose
+// re-encoding is byte-identical (the encoding is canonical).
+#include <string>
+#include <string_view>
+
+#include "src/lang/plan.h"
+#include "tests/fuzz/harness.h"
+
+GT_FUZZ_HARNESS(FuzzPlan) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto plan = gt::lang::TraversalPlan::Decode(input);
+  if (!plan.ok()) return 0;
+
+  const std::string wire = plan->Encode();
+  auto again = gt::lang::TraversalPlan::Decode(wire);
+  if (!again.ok() || again->Encode() != wire) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// In-memory Env/file shims for fuzzing the storage decoders without a
+// filesystem: the WAL reader wants a SequentialFile, Table::Open wants an
+// Env that serves one RandomAccessFile. Fuzz inputs are served straight
+// from the mutated byte buffer.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/kv/env.h"
+
+namespace gt::fuzz {
+
+class MemSequentialFile final : public kv::SequentialFile {
+ public:
+  explicit MemSequentialFile(std::string contents) : contents_(std::move(contents)) {}
+
+  Status Read(size_t n, kv::Slice* result, char* scratch) override {
+    const size_t avail = contents_.size() - pos_;
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(scratch, contents_.data() + pos_, take);
+    pos_ += take;
+    *result = kv::Slice(scratch, take);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    const size_t avail = contents_.size() - pos_;
+    pos_ += n < avail ? static_cast<size_t>(n) : avail;
+    return Status::OK();
+  }
+
+ private:
+  std::string contents_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public kv::RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::string contents) : contents_(std::move(contents)) {}
+
+  Status Read(uint64_t offset, size_t n, kv::Slice* result, char* scratch) const override {
+    if (offset > contents_.size()) {
+      *result = kv::Slice();
+      return Status::OK();  // read past EOF yields empty, like pread
+    }
+    const size_t avail = contents_.size() - static_cast<size_t>(offset);
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(scratch, contents_.data() + offset, take);
+    *result = kv::Slice(scratch, take);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return contents_.size(); }
+
+ private:
+  std::string contents_;
+};
+
+// Collects appends into an owned string (gen_corpus uses this to run the
+// real WalWriter/TableBuilder encoders without touching disk).
+class MemWritableFile final : public kv::WritableFile {
+ public:
+  explicit MemWritableFile(std::string* out) : out_(out) {}
+
+  Status Append(kv::Slice data) override {
+    out_->append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+  uint64_t size() const override { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+// Env that serves exactly one read-only in-memory file, for Table::Open.
+// Everything unrelated fails loudly: a fuzz target reaching for the real
+// filesystem is a bug in the harness.
+class OneFileEnv final : public kv::Env {
+ public:
+  explicit OneFileEnv(std::string contents) : contents_(std::move(contents)) {}
+
+  Status NewRandomAccessFile(const std::string&,
+                             std::unique_ptr<kv::RandomAccessFile>* out) override {
+    *out = std::make_unique<MemRandomAccessFile>(contents_);
+    return Status::OK();
+  }
+  Status NewSequentialFile(const std::string&,
+                           std::unique_ptr<kv::SequentialFile>* out) override {
+    *out = std::make_unique<MemSequentialFile>(contents_);
+    return Status::OK();
+  }
+  Result<uint64_t> FileSize(const std::string&) override {
+    return static_cast<uint64_t>(contents_.size());
+  }
+  bool FileExists(const std::string&) override { return true; }
+
+  Status NewWritableFile(const std::string&, std::unique_ptr<kv::WritableFile>*) override {
+    return Status::Internal("OneFileEnv is read-only");
+  }
+  Status CreateDirIfMissing(const std::string&) override {
+    return Status::Internal("OneFileEnv has no directories");
+  }
+  Status RemoveFile(const std::string&) override {
+    return Status::Internal("OneFileEnv is read-only");
+  }
+  Status RemoveDirRecursive(const std::string&) override {
+    return Status::Internal("OneFileEnv is read-only");
+  }
+  Status ListDir(const std::string&, std::vector<std::string>*) override {
+    return Status::Internal("OneFileEnv has no directories");
+  }
+  Status RenameFile(const std::string&, const std::string&) override {
+    return Status::Internal("OneFileEnv is read-only");
+  }
+  Status TruncateFile(const std::string&, uint64_t) override {
+    return Status::Internal("OneFileEnv is read-only");
+  }
+  Status SyncDir(const std::string&) override { return Status::OK(); }
+
+ private:
+  std::string contents_;
+};
+
+}  // namespace gt::fuzz

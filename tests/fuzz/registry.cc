@@ -1,0 +1,41 @@
+#include "tests/fuzz/harness.h"
+
+// One declaration per harness translation unit (the definitions live at
+// global scope, where GT_FUZZ_HARNESS expands them). Adding a harness means
+// adding a fuzz_<name>.cc, a line in each of the two lists below, and a
+// seed corpus under tests/fuzz/corpus/<name>/ (gen_corpus.cc writes one).
+GT_FUZZ_HARNESS(FuzzMessage);
+GT_FUZZ_HARNESS(FuzzRpcPayloads);
+GT_FUZZ_HARNESS(FuzzPlan);
+GT_FUZZ_HARNESS(FuzzWal);
+GT_FUZZ_HARNESS(FuzzManifest);
+GT_FUZZ_HARNESS(FuzzBlock);
+GT_FUZZ_HARNESS(FuzzTable);
+GT_FUZZ_HARNESS(FuzzTextIo);
+GT_FUZZ_HARNESS(FuzzGraphCodec);
+
+namespace gt::fuzz {
+
+const std::vector<Harness>& AllHarnesses() {
+  static const std::vector<Harness> kHarnesses = {
+      {"message", FuzzMessage},
+      {"rpc_payloads", FuzzRpcPayloads},
+      {"plan", FuzzPlan},
+      {"wal", FuzzWal},
+      {"manifest", FuzzManifest},
+      {"block", FuzzBlock},
+      {"table", FuzzTable},
+      {"text_io", FuzzTextIo},
+      {"graph_codec", FuzzGraphCodec},
+  };
+  return kHarnesses;
+}
+
+const Harness* FindHarness(std::string_view name) {
+  for (const Harness& h : AllHarnesses()) {
+    if (name == h.name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace gt::fuzz

@@ -1,0 +1,239 @@
+// gt_fuzz: standalone mutational fuzz driver for the harness registry.
+//
+// The container toolchain is GCC-only, so coverage-guided libFuzzer is not
+// always available; this driver provides the fallback everyone can run:
+// replay the checked-in corpus, then mutate corpus inputs with a
+// deterministic PRNG for a time-boxed loop, under whatever sanitizer the
+// build was configured with (scripts/fuzz.sh uses ASan+UBSan). A sanitizer
+// report or harness trap aborts the process with a nonzero exit; rerunning
+// with the same --seed reproduces the exact input sequence.
+//
+// Usage:
+//   gt_fuzz --harness=NAME [--corpus=DIR] [--max_total_time=SECS]
+//           [--runs=N] [--seed=N] [--max_len=N] [file...]
+//
+// With positional file arguments the driver only replays those files (crash
+// reproduction); otherwise it replays the corpus then fuzzes.
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tests/fuzz/harness.h"
+
+namespace {
+
+using gt::fuzz::FindHarness;
+using gt::fuzz::Harness;
+
+// Crash-artifact plumbing: the handler dumps the input being executed when a
+// harness traps (SIGILL from __builtin_trap, SIGABRT from sanitizers with
+// abort_on_error, SIGSEGV/SIGBUS on a missed bounds check) so the reproducer
+// can be replayed (`gt_fuzz --harness=NAME crash-NAME`) and, once minimized,
+// checked in under tests/fuzz/corpus/<NAME>/. Only async-signal-safe calls.
+const std::string* g_current_input = nullptr;
+char g_crash_path[256] = "crash-unknown";
+
+void DumpCrashInput(int sig) {
+  if (g_current_input != nullptr) {
+    const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ssize_t ignored = ::write(fd, g_current_input->data(), g_current_input->size());
+      (void)ignored;
+      ::close(fd);
+    }
+    const char msg[] = "gt_fuzz: crashing input written to ./";
+    ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+    ignored = ::write(2, g_crash_path, std::strlen(g_crash_path));
+    ignored = ::write(2, "\n", 1);
+    (void)ignored;
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallCrashHandler(const char* harness_name) {
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "crash-%s", harness_name);
+  for (int sig : {SIGILL, SIGABRT, SIGSEGV, SIGBUS, SIGFPE}) {
+    std::signal(sig, DumpCrashInput);
+  }
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// One mutation step; the mix favors small local edits (what checked readers
+// are most sensitive to: truncations, length-byte bumps, bit flips).
+void Mutate(std::string* input, std::mt19937_64* rng,
+            const std::vector<std::string>& corpus, size_t max_len) {
+  auto rand_index = [&](size_t n) { return static_cast<size_t>((*rng)() % n); };
+  switch ((*rng)() % 8) {
+    case 0:  // flip one bit
+      if (!input->empty()) {
+        (*input)[rand_index(input->size())] ^= static_cast<char>(1u << ((*rng)() % 8));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!input->empty()) {
+        (*input)[rand_index(input->size())] = static_cast<char>((*rng)());
+      }
+      break;
+    case 2:  // truncate
+      if (!input->empty()) input->resize(rand_index(input->size()));
+      break;
+    case 3:  // insert a byte
+      if (input->size() < max_len) {
+        input->insert(input->begin() + static_cast<long>(rand_index(input->size() + 1)),
+                      static_cast<char>((*rng)()));
+      }
+      break;
+    case 4:  // erase a byte
+      if (!input->empty()) {
+        input->erase(input->begin() + static_cast<long>(rand_index(input->size())));
+      }
+      break;
+    case 5: {  // overwrite with an interesting length/count value
+      if (input->size() >= 4) {
+        static const uint32_t kInteresting[] = {0xff, 0x7f, 0x80, 0xffff, 0x7fffffff,
+                                                0xffffffff, 0xfffffffe, 1u << 20};
+        const uint32_t v = kInteresting[(*rng)() % (sizeof(kInteresting) / 4)];
+        std::memcpy(input->data() + rand_index(input->size() - 3), &v, 4);
+      }
+      break;
+    }
+    case 6: {  // duplicate a span
+      if (!input->empty() && input->size() < max_len) {
+        const size_t start = rand_index(input->size());
+        const size_t len = 1 + rand_index(input->size() - start);
+        input->insert(rand_index(input->size()), input->substr(start, len));
+      }
+      break;
+    }
+    case 7: {  // splice a prefix of another corpus input onto ours
+      if (!corpus.empty()) {
+        const std::string& other = corpus[rand_index(corpus.size())];
+        if (!other.empty()) {
+          const size_t keep = rand_index(input->size() + 1);
+          input->resize(keep);
+          input->append(other.substr(0, rand_index(other.size() + 1)));
+        }
+      }
+      break;
+    }
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+int Run(const Harness& harness, const std::string& input) {
+  g_current_input = &input;
+  const int rc =
+      harness.fn(reinterpret_cast<const uint8_t*>(input.data()), input.size());
+  g_current_input = nullptr;
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string harness_name, corpus_dir;
+  uint64_t max_total_time = 60, runs = 0, seed = 1, max_len = 4096;
+  std::vector<std::string> replay_files;
+
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.size() > std::strlen(prefix) ? arg.c_str() + std::strlen(prefix)
+                                              : "";
+    };
+    if (arg.rfind("--harness=", 0) == 0) {
+      harness_name = value("--harness=");
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = value("--corpus=");
+    } else if (arg.rfind("--max_total_time=", 0) == 0) {
+      max_total_time = std::strtoull(value("--max_total_time="), nullptr, 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::strtoull(value("--runs="), nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(value("--seed="), nullptr, 10);
+    } else if (arg.rfind("--max_len=", 0) == 0) {
+      max_len = std::strtoull(value("--max_len="), nullptr, 10);
+    } else if (arg == "--list") {
+      for (const Harness& h : gt::fuzz::AllHarnesses()) std::printf("%s\n", h.name);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "gt_fuzz: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      replay_files.push_back(arg);
+    }
+  }
+
+  const Harness* harness = FindHarness(harness_name);
+  if (harness == nullptr) {
+    std::fprintf(stderr, "gt_fuzz: --harness=NAME required; known harnesses:\n");
+    for (const Harness& h : gt::fuzz::AllHarnesses()) {
+      std::fprintf(stderr, "  %s\n", h.name);
+    }
+    return 2;
+  }
+
+  InstallCrashHandler(harness->name);
+
+  // Crash-reproduction mode: replay the named files and exit.
+  if (!replay_files.empty()) {
+    for (const std::string& file : replay_files) {
+      std::fprintf(stderr, "gt_fuzz: replaying %s\n", file.c_str());
+      Run(*harness, ReadFile(file));
+    }
+    std::fprintf(stderr, "gt_fuzz: %zu file(s) replayed clean\n", replay_files.size());
+    return 0;
+  }
+
+  // Seed corpus: every checked-in input replays before any fuzzing, so a
+  // regression on a known input fails immediately and deterministically.
+  std::vector<std::string> corpus;
+  if (!corpus_dir.empty() && std::filesystem::is_directory(corpus_dir)) {
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+      if (entry.is_regular_file()) paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic replay order
+    for (const auto& path : paths) corpus.push_back(ReadFile(path));
+  }
+  for (const std::string& input : corpus) Run(*harness, input);
+  std::fprintf(stderr, "gt_fuzz[%s]: %zu corpus input(s) replayed; fuzzing for %llus\n",
+               harness->name, corpus.size(),
+               static_cast<unsigned long long>(max_total_time));
+
+  // Deterministic mutation loop (time- or run-boxed, whichever ends first).
+  std::mt19937_64 rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  uint64_t execs = 0;
+  std::string input;
+  while ((runs == 0 || execs < runs) &&
+         (execs % 256 != 0 || std::chrono::steady_clock::now() < deadline)) {
+    input = corpus.empty() ? std::string() : corpus[rng() % corpus.size()];
+    const int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations; m++) Mutate(&input, &rng, corpus, max_len);
+    Run(*harness, input);
+    execs++;
+  }
+  std::fprintf(stderr, "gt_fuzz[%s]: done, %llu exec(s), no crashes\n", harness->name,
+               static_cast<unsigned long long>(execs));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Replays every checked-in fuzz corpus input (tests/fuzz/corpus/<name>/*)
+// through its harness. This is the non-fuzzing decode gate: it runs in the
+// default build on every ctest invocation, so a decoder regression on a
+// known-interesting input (including past crash reproducers promoted into
+// the corpus) fails CI even on machines that never run scripts/fuzz.sh.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/fuzz/harness.h"
+
+namespace gt::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CorpusReplayTest, CorpusDirExists) {
+  ASSERT_TRUE(fs::is_directory(GT_FUZZ_CORPUS_DIR))
+      << GT_FUZZ_CORPUS_DIR << " missing — regenerate with gt_fuzz_gen_corpus "
+      << "(scripts/fuzz.sh does this) and check the seeds in";
+}
+
+TEST(CorpusReplayTest, EveryHarnessHasSeeds) {
+  // An empty per-harness corpus would make the replay gate pass vacuously
+  // and give the fuzzers nothing to mutate from.
+  for (const Harness& h : AllHarnesses()) {
+    const fs::path dir = fs::path(GT_FUZZ_CORPUS_DIR) / h.name;
+    ASSERT_TRUE(fs::is_directory(dir)) << "no corpus directory for harness " << h.name;
+    size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files++;
+    }
+    EXPECT_GT(files, 0u) << "empty corpus for harness " << h.name;
+  }
+}
+
+TEST(CorpusReplayTest, AllInputsReplayClean) {
+  size_t replayed = 0;
+  for (const Harness& h : AllHarnesses()) {
+    const fs::path dir = fs::path(GT_FUZZ_CORPUS_DIR) / h.name;
+    if (!fs::is_directory(dir)) continue;  // EveryHarnessHasSeeds reports it
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string input = ReadFile(entry.path());
+      SCOPED_TRACE(h.name + std::string("/") + entry.path().filename().string());
+      // A crash/trap aborts the test binary; a nonzero return is a harness
+      // contract violation either way.
+      EXPECT_EQ(0, h.fn(reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+      replayed++;
+    }
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+}  // namespace
+}  // namespace gt::fuzz

@@ -100,7 +100,7 @@ TEST(FilterTest, SerializationRoundTrip) {
   f.EncodeTo(&buf);
   Decoder dec(buf);
   Filter out;
-  ASSERT_TRUE(Filter::DecodeFrom(&dec, &out));
+  ASSERT_TRUE(Filter::DecodeFrom(&dec, &out).ok());
   EXPECT_TRUE(out == f);
 }
 

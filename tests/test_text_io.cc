@@ -15,7 +15,11 @@ namespace gt::graph {
 namespace {
 
 TEST(TextEscapeTest, RoundTripsAwkwardBytes) {
-  const std::string awkward("name with spaces\t=%\n\x01\xff binary", 31);
+  // (The previous explicit-length constructor claimed 31 bytes of a 30-byte
+  // literal — an out-of-bounds read the ASan leg caught.)
+  std::string awkward("name with spaces\t=%\n\x01\xff binary");
+  awkward += '\0';  // embedded NUL must survive the round trip too
+  awkward += "tail";
   const std::string escaped = EscapeText(awkward);
   EXPECT_EQ(escaped.find('\t'), std::string::npos);
   EXPECT_EQ(escaped.find('\n'), std::string::npos);
@@ -151,6 +155,38 @@ TEST_F(TextIoTest, MalformedLinesReportLineNumbers) {
     auto g = ImportText(&in, &catalog);
     EXPECT_FALSE(g.ok()) << text;
     EXPECT_NE(g.status().message().find("line 2"), std::string::npos) << text;
+  }
+}
+
+TEST_F(TextIoTest, RejectsDanglingEdgesAndDuplicateVertices) {
+  Catalog catalog;
+  // Fuzz-found (gt_fuzz text_io harness): an edge whose endpoint is not in
+  // the file used to import fine but counted in num_edges() while being
+  // invisible to every per-vertex walk — it silently vanished on re-export.
+  {
+    std::istringstream in("V\t1\tNode\nE\t3\tlink\t1\n");
+    auto g = ImportText(&in, &catalog);
+    EXPECT_FALSE(g.ok());
+    EXPECT_NE(g.status().message().find("references a vertex"), std::string::npos);
+  }
+  {
+    std::istringstream in("V\t1\tNode\nE\t1\tlink\t9\n");
+    EXPECT_FALSE(ImportText(&in, &catalog).ok());
+  }
+  // Edges may precede their vertices; validation happens at end of file.
+  {
+    std::istringstream in("E\t2\tlink\t1\nV\t1\tNode\nV\t2\tNode\n");
+    auto g = ImportText(&in, &catalog);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->num_edges(), 1u);
+  }
+  // A duplicate vertex id would overwrite the record but leave a stale
+  // type-index entry behind.
+  {
+    std::istringstream in("V\t1\tNode\nV\t1\tOther\n");
+    auto g = ImportText(&in, &catalog);
+    EXPECT_FALSE(g.ok());
+    EXPECT_NE(g.status().message().find("duplicate vertex id"), std::string::npos);
   }
 }
 

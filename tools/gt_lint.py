@@ -33,10 +33,19 @@ Checks (all scoped to src/):
      in src/engine. Per-travel state with no erase path is exactly the
      orphaned-travel bug class the abort/cancellation protocol exists to
      prevent: the map grows forever once clients time out or cancel.
-  8. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  8. Decode discipline in the wire/storage decode dirs (src/rpc, src/kv,
+     src/lang): raw byte decoding — DecodeFixed*(ptr), memcpy, or
+     reinterpret_cast — is banned outside the bounds-checked CheckedReader
+     (src/common/codec.h); pointer-arithmetic decodes are exactly where the
+     OOB/overflow bugs on untrusted input live. The sockaddr casts that the
+     socket API forces on tcp_transport.cc are allowlisted. Additionally,
+     every Decode* function defined in those dirs must return Status,
+     Result<...> or bool — malformed input must surface as a value the
+     caller checks, never as an assert or a void best-effort parse.
+  9. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-7 pass; 1 otherwise. Check 8 never fails the
+Exit status: 0 when checks 1-8 pass; 1 otherwise. Check 9 never fails the
 run — it only prints warnings.
 """
 
@@ -274,6 +283,74 @@ def check_travel_map_reclaim(files):
     return errors
 
 
+# Directories whose inputs arrive over the wire or from disk: every byte
+# read there is untrusted until a bounds check has seen it.
+DECODE_DIRS = ("src/rpc/", "src/kv/", "src/lang/")
+
+# Raw byte-decoding tokens banned in DECODE_DIRS (check 8). CheckedReader
+# (src/common/codec.h) owns the only sanctioned pointer arithmetic.
+RAW_DECODE_PATTERNS = [
+    (re.compile(r"\bDecodeFixed(?:32|64)(?:BE)?\s*\("), "raw DecodeFixed"),
+    (re.compile(r"(?<![\w:])(?:std::)?memcpy\s*\("), "memcpy"),
+    (re.compile(r"\breinterpret_cast\s*<"), "reinterpret_cast"),
+]
+
+# The socket API (bind/connect/accept/getsockname) forces sockaddr casts;
+# they cast our own stack structs, not untrusted payload bytes.
+SOCKADDR_CAST_FILE = "src/rpc/tcp_transport.cc"
+
+# A Decode* function definition or declaration: optional specifiers, a
+# return type, then an (optionally class-qualified) Decode\w* name followed
+# by '('. Anchored at a statement boundary so call sites don't match.
+DECODE_DEF_RE = re.compile(
+    r"(?:^|[;{}\n])\s*"
+    r"(?:template\s*<[^\n>]*>\s*)?"
+    r"(?:static\s+|inline\s+|virtual\s+|constexpr\s+|\[\[nodiscard\]\]\s+)*"
+    r"(?P<ret>[A-Za-z_][\w:]*(?:<[^;(){}]*>)?)\s*[&*]?\s+"
+    r"(?P<name>(?:[A-Za-z_]\w*::)*Decode\w*)\s*\("
+)
+DECODE_RET_ALLOWED_RE = re.compile(r"^(?:gt::)?(?:Status|Result<.+>|bool)$")
+CPP_KEYWORDS = {
+    "return", "co_return", "if", "while", "for", "else", "case", "switch",
+    "new", "delete", "throw", "goto", "do", "using", "typedef",
+}
+
+
+def check_decode_discipline(files):
+    """Checked-reader decode discipline in src/rpc, src/kv, src/lang (check 8)."""
+    errors = []
+    for rel in files:
+        if not rel.startswith(DECODE_DIRS):
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pat, what in RAW_DECODE_PATTERNS:
+                m = pat.search(line)
+                if not m:
+                    continue
+                if (rel == SOCKADDR_CAST_FILE and what == "reinterpret_cast"
+                        and "sockaddr" in line):
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: {what} in a decode dir — untrusted byte "
+                    f"decoding must go through gt::CheckedReader "
+                    f"(src/common/codec.h) so every read is bounds-checked"
+                )
+        for m in DECODE_DEF_RE.finditer(text):
+            ret = m.group("ret")
+            if ret in CPP_KEYWORDS or DECODE_RET_ALLOWED_RE.match(ret):
+                continue
+            lineno = text.count("\n", 0, m.start("name")) + 1
+            errors.append(
+                f"{rel}:{lineno}: decoder '{m.group('name')}' returns '{ret}' — "
+                f"Decode* functions in the decode dirs must return Status, "
+                f"Result<...> or bool so malformed input surfaces as a checkable "
+                f"value, never as an assert or a silent best-effort parse"
+            )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -340,6 +417,7 @@ def main():
     errors += check_console_output(files)
     errors += check_engine_raw_kv(files)
     errors += check_travel_map_reclaim(files)
+    errors += check_decode_discipline(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:

@@ -1,0 +1,21 @@
+// Lint self-test fixture: every construct in this file must be flagged by
+// gt_lint check 8 (decode discipline). Never compiled — only linted.
+#include <cstring>
+
+namespace gt {
+
+// Raw pointer decode: DecodeFixed on an unchecked cursor.
+unsigned ReadLen(const char* p) { return DecodeFixed32(p); }
+
+// memcpy-based field extraction.
+void ReadField(const char* p, unsigned* out) { std::memcpy(out, p, 4); }
+
+// Type-punning a wire buffer.
+const unsigned* Punned(const char* p) {
+  return reinterpret_cast<const unsigned*>(p);
+}
+
+// A decoder that cannot report failure.
+void DecodeHeader(const char* p, unsigned* type) { *type = DecodeFixed32(p); }
+
+}  // namespace gt

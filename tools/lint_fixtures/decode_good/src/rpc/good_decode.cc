@@ -1,0 +1,24 @@
+// Lint self-test fixture: check 8 must accept everything in this file.
+// Never compiled — only linted.
+namespace gt {
+
+struct Status {};
+class CheckedReader {};
+
+// Bounds-checked decode returning Status: the sanctioned shape.
+Status DecodeHeader(CheckedReader* r) { return Status(); }
+
+// Result<...> and bool returns are also sanctioned.
+template <typename T>
+struct Result {};
+Result<int> DecodeBody(CheckedReader* r) { return Result<int>(); }
+static bool DecodeEntries(CheckedReader* r) { return true; }
+
+// A call site mentioning a decoder is not a definition.
+Status Caller(CheckedReader* r) { return DecodeHeader(r); }
+
+// 'DecodeFixed32' in a comment or string must not trip the token scan:
+// DecodeFixed32(p) — documented here on purpose.
+const char* kDoc = "memcpy(dst, src, n) is banned; reinterpret_cast<T*> too";
+
+}  // namespace gt

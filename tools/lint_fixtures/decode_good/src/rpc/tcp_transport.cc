@@ -1,0 +1,9 @@
+// Lint self-test fixture: the sockaddr casts the socket API forces on
+// tcp_transport.cc are allowlisted in check 8. Never compiled — only linted.
+struct sockaddr;
+struct sockaddr_in {};
+
+int Bind(int fd, const sockaddr_in& addr) {
+  const sockaddr* sa = reinterpret_cast<const sockaddr*>(&addr);
+  return sa != nullptr ? 0 : -1;
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Self-test for gt_lint.py's decode-discipline check (check 8).
+
+Points the linter at the fixture trees under tools/lint_fixtures/ and asserts
+that every banned construct in decode_bad/ is flagged while decode_good/
+(including the allowlisted tcp_transport.cc sockaddr cast) comes back clean.
+Registered as the 'gt_lint_selftest' ctest so a regression in the lint rules
+fails the suite, not just the next human who runs the linter by hand.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gt_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "lint_fixtures")
+
+failures = []
+
+
+def run_on(tree):
+    """Runs check_decode_discipline with REPO/SRC pointed at a fixture tree."""
+    old_repo, old_src = gt_lint.REPO, gt_lint.SRC
+    gt_lint.REPO = os.path.join(FIXTURES, tree)
+    gt_lint.SRC = os.path.join(gt_lint.REPO, "src")
+    try:
+        return gt_lint.check_decode_discipline(list(gt_lint.src_files()))
+    finally:
+        gt_lint.REPO, gt_lint.SRC = old_repo, old_src
+
+
+def expect(cond, label):
+    if cond:
+        print(f"ok: {label}")
+    else:
+        failures.append(label)
+        print(f"FAIL: {label}", file=sys.stderr)
+
+
+def main():
+    bad = run_on("decode_bad")
+    expect(any("raw DecodeFixed" in e for e in bad), "decode_bad flags DecodeFixed")
+    expect(any("memcpy" in e for e in bad), "decode_bad flags memcpy")
+    expect(any("reinterpret_cast" in e for e in bad),
+           "decode_bad flags reinterpret_cast")
+    expect(any("returns 'void'" in e for e in bad),
+           "decode_bad flags the void-returning decoder")
+
+    good = run_on("decode_good")
+    expect(not good, "decode_good is clean (got: %s)" % "; ".join(good))
+
+    # The real tree must satisfy its own discipline: the full linter on the
+    # repo is the last fixture.
+    errors = gt_lint.check_decode_discipline(list(gt_lint.src_files()))
+    expect(not errors, "src/ passes check 8 (got: %s)" % "; ".join(errors))
+
+    if failures:
+        print(f"test_gt_lint: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("test_gt_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
