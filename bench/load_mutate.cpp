@@ -1,0 +1,315 @@
+// Mixed read/write workload (PR 9): a Darshan-style metadata stream ingested
+// live through the mutation RPCs while the suspicious-user audit query runs
+// continuously against it. Before per-travel snapshot pinning this workload
+// had no defined answer — every audit raced the ingest and could observe a
+// torn graph; now each audit sees exactly the graph at its pin point, which
+// makes two cheap-but-sharp correctness gates possible in a *bench*:
+//
+//   monotone   - the stream is insert-only, so successive audits (whose pin
+//                points advance monotonically) must return non-decreasing
+//                result sets: any dip is a torn read.
+//   final      - once ingest completes, all three engines must return exactly
+//                the reference evaluator's answer on the full graph.
+//
+// Reported: ingest throughput (mutations/sec), audit throughput + mean
+// latency while ingest runs, and the kv snapshot accounting (pins taken /
+// released / compaction versions preserved for a pin). Persists BENCH_9.json.
+//
+//   load_mutate [--smoke] [--json FILE]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gen/darshan.h"
+
+namespace gt::bench {
+namespace {
+
+// One flat op of the precomputed ingest stream: vertices first, then edges,
+// so every edge lands with both endpoints present (kPutEdge validates).
+struct IngestOp {
+  enum Kind { kVertex, kEdge } kind = kVertex;
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  std::string label;
+  engine::NamedProps props;
+};
+
+std::vector<IngestOp> FlattenDarshan(const graph::RefGraph& g,
+                                     graph::Catalog* catalog) {
+  auto name_of = [&](graph::Catalog::Id id) {
+    auto name = catalog->Name(id);
+    if (!name.ok()) {
+      std::fprintf(stderr, "load_mutate: unknown catalog id %u\n", id);
+      std::abort();
+    }
+    return *name;
+  };
+  auto named_props = [&](const graph::PropMap& props) {
+    engine::NamedProps out;
+    for (const auto& [k, v] : props) out.emplace_back(name_of(k), v);
+    return out;
+  };
+
+  std::vector<IngestOp> ops;
+  for (const auto& [vid, rec] : g.vertices()) {
+    IngestOp op;
+    op.kind = IngestOp::kVertex;
+    op.src = vid;
+    op.label = name_of(rec.label);
+    op.props = named_props(rec.props);
+    ops.push_back(std::move(op));
+  }
+  const size_t vertex_ops = ops.size();
+  const char* kEdgeLabels[] = {"run", "hasExecutions", "exe",
+                               "read", "readBy",        "write"};
+  for (const auto& [vid, rec] : g.vertices()) {
+    for (const char* label : kEdgeLabels) {
+      for (const auto& [dst, props] : g.Edges(vid, catalog->Lookup(label))) {
+        IngestOp op;
+        op.kind = IngestOp::kEdge;
+        op.src = vid;
+        op.dst = dst;
+        op.label = label;
+        op.props = named_props(props);
+        ops.push_back(std::move(op));
+      }
+    }
+  }
+  std::printf("stream: %zu vertex + %zu edge mutations\n", vertex_ops,
+              ops.size() - vertex_ops);
+  return ops;
+}
+
+}  // namespace
+}  // namespace gt::bench
+
+int main(int argc, char** argv) {
+  using namespace gt;
+  using namespace gt::bench;
+
+  // Peel off --json before the shared parser (it rejects unknown flags).
+  std::string json_path = "BENCH_9.json";
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchConfig cfg;
+  ParseBenchArgs(static_cast<int>(rest.size()), rest.data(), &cfg);
+
+  PrintHeader("load_mutate: streaming ingest racing the audit query",
+              "Darshan trickle through the mutation RPCs + continuous "
+              "suspicious-user audits; per-travel snapshot pins make every "
+              "audit answer exact (monotone + final-equality gates)");
+
+  const uint32_t servers = ServersOrSmoke(4);
+  engine::ClusterConfig ccfg;
+  ccfg.num_servers = servers;
+  ccfg.workers_per_server = cfg.workers_per_server;
+  ccfg.device.access_latency_us = cfg.access_latency_us;
+  ccfg.device.warm_latency_us = cfg.warm_latency_us;
+  ccfg.device.per_kib_us = cfg.per_kib_us;
+  ccfg.device.tail_prob = cfg.tail_prob;
+  ccfg.device.tail_mult = cfg.tail_mult;
+  ccfg.net.latency_us = cfg.net_latency_us;
+  ccfg.exec_timeout_ms = 600000;  // load phases must not trip failure detection
+  auto cluster_or = engine::Cluster::Create(ccfg);
+  if (!cluster_or.ok()) {
+    std::fprintf(stderr, "load_mutate: cluster create failed: %s\n",
+                 cluster_or.status().ToString().c_str());
+    return 1;
+  }
+  engine::Cluster* cluster = cluster_or->get();
+
+  // Generate against the cluster's own catalog: the stream carries names,
+  // but the audit plan and the reference evaluator need the shared ids.
+  graph::Catalog* catalog = cluster->catalog();
+  gen::DarshanConfig dcfg;
+  dcfg.users = g_smoke ? 4 : 16;
+  dcfg.jobs_per_user_max = g_smoke ? 4 : 12;
+  dcfg.execs_per_job_max = g_smoke ? 3 : 6;
+  dcfg.files = g_smoke ? 256 : 2048;
+  dcfg.seed = 2013;
+  gen::DarshanGenerator generator(dcfg);
+  const graph::RefGraph g = generator.Build(catalog);
+  const std::vector<IngestOp> stream = FlattenDarshan(g, catalog);
+
+  // The Table III audit shape, anchored at one user.
+  auto plan = lang::GTravel(catalog)
+                  .v({generator.UserVid(1)})
+                  .e("run")
+                  .ea("ts", lang::FilterOp::kRange,
+                      {graph::PropValue(dcfg.ts_begin), graph::PropValue(dcfg.ts_end)})
+                  .e("hasExecutions")
+                  .e("write")
+                  .e("readBy")
+                  .e("write")
+                  .rtn()
+                  .Build();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "load_mutate: plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ingest pool: vertices fan out across threads, one barrier, then edges —
+  // the only ordering kPutEdge's endpoint validation needs.
+  const uint32_t ingest_threads = g_smoke ? 2 : 4;
+  const size_t vertex_ops =
+      static_cast<size_t>(std::count_if(stream.begin(), stream.end(), [](const IngestOp& op) {
+        return op.kind == IngestOp::kVertex;
+      }));
+  std::atomic<uint64_t> ingest_failures{0};
+  std::atomic<bool> ingest_done{false};
+  Stopwatch ingest_wall;
+  std::thread ingest([&] {
+    auto run_range = [&](size_t begin, size_t end) {
+      std::vector<std::thread> pool;
+      for (uint32_t t = 0; t < ingest_threads; t++) {
+        pool.emplace_back([&, t]() {
+          auto client = cluster->NewClient();
+          for (size_t i = begin + t; i < end; i += ingest_threads) {
+            const IngestOp& op = stream[i];
+            const Status s =
+                op.kind == IngestOp::kVertex
+                    ? client->PutVertex(op.src, op.label, op.props)
+                    : client->PutEdge(op.src, op.label, op.dst, op.props);
+            if (!s.ok()) ingest_failures.fetch_add(1);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    };
+    run_range(0, vertex_ops);            // all vertices...
+    run_range(vertex_ops, stream.size());  // ...then all edges
+    ingest_done.store(true);
+  });
+
+  // Auditor: serial audits (cycling the three engines) for as long as ingest
+  // runs. Serial ⇒ each audit's pin points strictly follow the previous
+  // audit's, and the stream is insert-only ⇒ result sets must only grow.
+  constexpr engine::EngineMode kModes[] = {engine::EngineMode::kGraphTrek,
+                                           engine::EngineMode::kSync,
+                                           engine::EngineMode::kAsyncPlain};
+  auto auditor = cluster->NewClient();
+  uint64_t audits = 0, audit_failures = 0;
+  double audit_ms_total = 0;
+  size_t prev_count = 0;
+  bool monotone = true;
+  while (!ingest_done.load()) {
+    engine::RunOptions opts;
+    opts.mode = kModes[audits % 3];
+    auto result = auditor->Run(*plan, opts);
+    if (!result.ok()) {
+      audit_failures++;
+      continue;
+    }
+    audits++;
+    audit_ms_total += result->elapsed_ms;
+    if (result->vids.size() < prev_count) {
+      std::fprintf(stderr,
+                   "load_mutate: TORN READ: audit %" PRIu64 " (%s) returned %zu "
+                   "results after an earlier audit returned %zu\n",
+                   audits, engine::EngineModeName(opts.mode), result->vids.size(),
+                   prev_count);
+      monotone = false;
+    }
+    prev_count = std::max(prev_count, result->vids.size());
+  }
+  ingest.join();
+  const double ingest_s = ingest_wall.ElapsedMillis() / 1000.0;
+  const double ops_per_sec =
+      ingest_s > 0 ? static_cast<double>(stream.size()) / ingest_s : 0;
+  std::printf("ingest: %zu mutations in %.2fs  %.0f ops/s  (%" PRIu64 " failed)\n",
+              stream.size(), ingest_s, ops_per_sec, ingest_failures.load());
+  std::printf("audits while ingesting: %" PRIu64 " (%" PRIu64 " failed)  "
+              "mean=%.2fms  monotone=%s  last_count=%zu\n",
+              audits, audit_failures, audits ? audit_ms_total / audits : 0.0,
+              monotone ? "yes" : "NO (torn read)", prev_count);
+
+  // Final equality: the quiesced graph must answer exactly like the
+  // reference evaluator, on every engine.
+  const std::vector<graph::VertexId> oracle =
+      lang::EvaluatePlanOnRefGraph(*plan, g, *catalog);
+  bool final_match = true;
+  for (auto mode : kModes) {
+    engine::RunOptions opts;
+    opts.mode = mode;
+    auto result = auditor->Run(*plan, opts);
+    if (!result.ok() || result->vids != oracle) {
+      std::fprintf(stderr, "load_mutate: final audit mismatch on %s\n",
+                   engine::EngineModeName(mode));
+      final_match = false;
+    }
+  }
+  std::printf("final audit: %zu results on all three engines, reference match=%s\n",
+              oracle.size(), final_match ? "yes" : "NO");
+
+  // Snapshot accounting straight from the kv layer: every pin released, and
+  // no travel left a snapshot behind to block compaction forever. Completion
+  // fans the release out asynchronously, so give stragglers a bounded drain.
+  uint64_t live = 0;
+  for (int spin = 0; spin < 1000; spin++) {
+    live = 0;
+    for (uint32_t s = 0; s < servers; s++) {
+      live += cluster->store(s)->db()->NumLiveSnapshots();
+    }
+    if (live == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  uint64_t pins = 0, releases = 0, preserved = 0;
+  for (uint32_t s = 0; s < servers; s++) {
+    const kv::KvStats& st = cluster->store(s)->db()->stats();
+    pins += st.snapshots_taken.load();
+    releases += st.snapshots_released.load();
+    preserved += st.snapshot_preserved_versions.load();
+  }
+  std::printf("snapshots: taken=%" PRIu64 " released=%" PRIu64
+              " live_after=%" PRIu64 " compaction_preserved_versions=%" PRIu64 "\n",
+              pins, releases, live, preserved);
+  PrintRpcStats(3);
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"load_mutate\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"servers\": %u,\n"
+                 "  \"ingest\": {\"mutations\": %zu, \"wall_s\": %.3f, "
+                 "\"ops_per_sec\": %.1f, \"failures\": %" PRIu64 "},\n"
+                 "  \"audits\": {\"count\": %" PRIu64 ", \"failures\": %" PRIu64
+                 ", \"mean_ms\": %.3f, \"monotone\": %s, \"final_results\": %zu, "
+                 "\"final_match\": %s},\n"
+                 "  \"snapshots\": {\"taken\": %" PRIu64 ", \"released\": %" PRIu64
+                 ", \"live_after\": %" PRIu64 ", \"preserved_versions\": %" PRIu64 "}\n"
+                 "}\n",
+                 g_smoke ? "true" : "false", servers, stream.size(), ingest_s,
+                 ops_per_sec, ingest_failures.load(), audits, audit_failures,
+                 audits ? audit_ms_total / audits : 0.0, monotone ? "true" : "false",
+                 oracle.size(), final_match ? "true" : "false", pins, releases, live,
+                 preserved);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "load_mutate: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  // The smoke gate is the snapshot-isolation contract itself.
+  if (!monotone || !final_match || ingest_failures.load() != 0 ||
+      audit_failures != 0 || live != 0) {
+    std::fprintf(stderr, "load_mutate: consistency gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -80,6 +80,15 @@ step "decode-error matrix + fuzz-corpus replay + lint self-test"
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'DecodeErrorsTest|TcpMalformedFrameTest|CorpusReplayTest|gt_lint_selftest'
 
+# Snapshot-isolation gate: the kv pin/GC unit tests, the adjacency-cache
+# pinned-read test, the mutate-while-traversing differential legs (in-process
+# and TCP), the torn-read control that proves the legs can catch a violation,
+# and the mixed read/write load bench at --smoke size. Explicit -R so a
+# discovery problem cannot silently drop the consistency coverage.
+step "snapshot-isolation gate (pins, racing travels, torn-read control)"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'DBTest\..*Snapshot|AdjacencyCacheTest\.PinnedSnapshot|MutationsRacingTravelsMatchPinnedOracle|TornReadControlRequiresSnapshotIsolation|bench_smoke_load_mutate'
+
 # -- 2. thread-safety analysis (clang only) -----------------------------------
 step "GT_ANALYZE=ON (clang thread-safety analysis)"
 if command -v clang++ >/dev/null 2>&1; then
@@ -109,6 +118,9 @@ if [[ "$FAST" == 0 ]]; then
   step "travel lifecycle tests under TSan (cancel/admission races)"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'RequestQueueTest|TravelLifecycleTest'
+  step "snapshot-isolation racing legs under TSan"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'MutationsRacingTravelsMatchPinnedOracle|TornReadControlRequiresSnapshotIsolation|bench_smoke_load_mutate'
 else
   step "GT_SANITIZE=thread (skipped: --fast)"
 fi

@@ -34,9 +34,13 @@ fi
 
 MICRO_BENCHES=(micro_kv micro_graph micro_rpc_engine)
 FIG_BENCHES=(fig8_2step fig9_4step)
+# Load benches with structured self-reports: each emits a JSON summary that
+# is folded verbatim into the snapshot's "after" section (load_mutate = the
+# mixed read/write ingest-vs-audit workload).
+LOAD_BENCHES=(load_mutate)
 
 cmake --build build -j "${JOBS:-$(nproc 2>/dev/null || echo 2)}" \
-  --target "${MICRO_BENCHES[@]}" "${FIG_BENCHES[@]}" >/dev/null
+  --target "${MICRO_BENCHES[@]}" "${FIG_BENCHES[@]}" "${LOAD_BENCHES[@]}" >/dev/null
 
 RAW="$(mktemp -d)"
 for b in "${MICRO_BENCHES[@]}"; do
@@ -46,6 +50,10 @@ done
 for b in "${FIG_BENCHES[@]}"; do
   echo "== $b =="
   ./build/bench/"$b" | tee "$RAW/$b.txt"
+done
+for b in "${LOAD_BENCHES[@]}"; do
+  echo "== $b =="
+  ./build/bench/"$b" --json "$RAW/$b.json" | tee "$RAW/$b.txt"
 done
 
 python3 - "$OUT" "$RAW" "$BEFORE_DIR" <<'PY'
@@ -63,6 +71,11 @@ FIG_RE = re.compile(r"^(\d+)\s+([\d.]+)\s+ms\s+([\d.]+)\s+ms\s+([\d.]+)x")
 def parse_dir(d):
     benches = {}
     for name in sorted(os.listdir(d)):
+        # Load benches self-report structured JSON; fold it in verbatim.
+        if name.endswith(".json"):
+            with open(os.path.join(d, name)) as f:
+                benches[name[:-5]] = json.load(f)
+            continue
         if not name.endswith(".txt"):
             continue
         rows = {}

@@ -120,6 +120,20 @@ BackendServer::BackendServer(ServerConfig cfg, graph::GraphStore* store,
   travel_cancelled_ = reg->GetCounter("gt_travel_cancelled_total", {{"server", server}});
   travel_deadline_exceeded_ =
       reg->GetCounter("gt_travel_deadline_exceeded_total", {{"server", server}});
+  reg->DescribeFamily("gt_travel_snapshots_pinned_total", metrics::MetricType::kCounter,
+                      "Per-travel store snapshots pinned on this server");
+  travel_snapshots_pinned_ =
+      reg->GetCounter("gt_travel_snapshots_pinned_total", {{"server", server}});
+  reg->DescribeFamily("gt_engine_dangling_edges_rejected_total",
+                      metrics::MetricType::kCounter,
+                      "kPutEdge requests rejected because an endpoint vertex is missing");
+  dangling_edges_rejected_ =
+      reg->GetCounter("gt_engine_dangling_edges_rejected_total", {{"server", server}});
+  reg->DescribeFamily("gt_engine_edge_dst_unverified_total", metrics::MetricType::kCounter,
+                      "kPutEdge requests whose dst lives on another shard (existence "
+                      "not checked; counted instead of rejected)");
+  edge_dst_unverified_ =
+      reg->GetCounter("gt_engine_edge_dst_unverified_total", {{"server", server}});
 }
 
 BackendServer::~BackendServer() { Stop(); }
@@ -229,7 +243,8 @@ bool BackendServer::HasTravelResidue(TravelId travel) const {
   MutexLock lk(&mu_);
   if (plans_.count(travel) != 0 || travels_.count(travel) != 0 ||
       sync_locals_.count(travel) != 0 || accessed_.count(travel) != 0 ||
-      scanned_types_.count(travel) != 0 || cache_.HasTravel(travel)) {
+      scanned_types_.count(travel) != 0 || travel_snaps_.count(travel) != 0 ||
+      cache_.HasTravel(travel)) {
     return true;
   }
   for (const auto& [id, exec] : execs_) {
@@ -239,6 +254,51 @@ bool BackendServer::HasTravelResidue(TravelId travel) const {
     if (key.second == travel && !items.empty()) return true;
   }
   return false;
+}
+
+std::shared_ptr<const graph::GraphStore::ReadSnapshot>
+BackendServer::PinTravelSnapLocked(TravelId travel) {
+  if (!cfg_.snapshot_isolation) return nullptr;
+  auto it = travel_snaps_.find(travel);
+  if (it != travel_snaps_.end()) return it->second;
+  // Engine mu_ -> KV locks is a fresh lock order (the KV layer never calls
+  // back into the engine).
+  graph::GraphStore* store = store_;
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> snap(
+      store->GetSnapshot(),
+      [store](const graph::GraphStore::ReadSnapshot* s) { store->ReleaseSnapshot(s); });
+  travel_snaps_.emplace(travel, snap);
+  travel_snapshots_pinned_->Inc();
+  return snap;
+}
+
+std::shared_ptr<const graph::GraphStore::ReadSnapshot> BackendServer::TravelSnapLocked(
+    TravelId travel) const {
+  auto it = travel_snaps_.find(travel);
+  return it == travel_snaps_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const graph::GraphStore::ReadSnapshot>
+BackendServer::TravelSnapshotForTest(TravelId travel) const {
+  MutexLock lk(&mu_);
+  if (auto it = travel_snaps_.find(travel); it != travel_snaps_.end()) return it->second;
+  if (auto it = retained_snaps_.find(travel); it != retained_snaps_.end()) {
+    return it->second;
+  }
+  return nullptr;
+}
+
+void BackendServer::DropRetainedSnapshotsForTest() {
+  std::vector<std::shared_ptr<const graph::GraphStore::ReadSnapshot>> drained;
+  {
+    MutexLock lk(&mu_);
+    drained.reserve(retained_snaps_.size());
+    for (auto it = retained_snaps_.begin(); it != retained_snaps_.end();
+         it = retained_snaps_.erase(it)) {
+      drained.push_back(std::move(it->second));
+    }
+  }
+  // Snapshots release outside mu_ as `drained` goes out of scope.
 }
 
 void BackendServer::QueueSendLocked(rpc::Message msg) {
@@ -355,6 +415,9 @@ void BackendServer::OnMessage(rpc::Message&& msg) {
     case rpc::MsgType::kAbortTraversal:
       HandleAbort(std::move(msg));
       break;
+    case rpc::MsgType::kPinTravel:
+      HandlePinTravel(std::move(msg));
+      break;
     case rpc::MsgType::kSyncStepStart:
       HandleSyncStepStart(std::move(msg));
       break;
@@ -388,6 +451,22 @@ void BackendServer::OnMessage(rpc::Message&& msg) {
               << rpc::MsgTypeName(msg.type);
   }
   DrainOutbox();  // flush sends the handler staged while holding mu_
+}
+
+// Coordinator broadcast: pin the travel's read view on this server. Sent at
+// admission, before any frontier frame, so in-order transports pin every
+// participant at (nearly) the same point in the mutation stream; when a
+// faulty transport reorders it behind the first kTraverse/sync frame the
+// lazy first-touch pin in that handler has already run and this is a no-op.
+void BackendServer::HandlePinTravel(rpc::Message&& msg) {
+  auto travel = DecodeTravelId(msg.payload);
+  if (!travel.ok()) {
+    GT_WARN << "server " << cfg_.id << ": bad pin-travel payload";
+    return;
+  }
+  MutexLock lk(&mu_);
+  if (aborted_travels_.count(*travel) != 0) return;  // raced with cleanup
+  PinTravelSnapLocked(*travel);
 }
 
 // ---------------------------------------------------------------------------
@@ -450,6 +529,24 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   inflight_per_class_[cls_byte]++;
   travel_admitted_[cls_byte]->Inc();
 
+  // Pin the travel's read view locally and broadcast the pin to every other
+  // server. The pin messages are queued before the seed/step frames below,
+  // so on in-order transports every participant pins before it sees any
+  // work for the travel; reordered deliveries fall back to the lazy
+  // first-touch pin in the frontier handlers.
+  PinTravelSnapLocked(travel);
+  if (cfg_.snapshot_isolation) {
+    for (ServerId s = 0; s < cfg_.num_servers; s++) {
+      if (s == cfg_.id) continue;
+      rpc::Message pin;
+      pin.type = rpc::MsgType::kPinTravel;
+      pin.src = cfg_.id;
+      pin.dst = s;
+      pin.payload = EncodeTravelId(travel);
+      QueueSendLocked(std::move(pin));
+    }
+  }
+
   TravelState& ts = travels_[travel];
   ts.id = travel;
   ts.mode = static_cast<EngineMode>(submit->mode);
@@ -469,7 +566,11 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   cplan->plan_bytes = submit->plan;
   cplan->mode = ts.mode;
   cplan->coordinator = cfg_.id;
-  cplan->type_key = catalog_->Lookup("type");
+  // Intern, not Lookup: replica catalogs only know names they have seen;
+  // "type" is virtual (never carried by a mutation) so a local-only Lookup
+  // misses forever and every type filter would degrade to an ordinary prop
+  // filter that no vertex carries.
+  cplan->type_key = catalog_->Intern("type");
   cplan->attribution = NeedsAttribution(*plan);
   plans_[travel] = cplan;
   ts.attribution = cplan->attribution;
@@ -723,6 +824,10 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
   MutexLock lk(&mu_);
   if (aborted_travels_.count(req->travel_id) != 0) return;
 
+  // Lazy first-touch pin: normally the kPinTravel broadcast got here first
+  // and this returns the existing pin.
+  auto travel_snap = PinTravelSnapLocked(req->travel_id);
+
   auto pit = plans_.find(req->travel_id);
   std::shared_ptr<CompiledPlan> cplan;
   if (pit != plans_.end()) {
@@ -738,7 +843,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
     cplan->plan_bytes.assign(req->plan);  // first sight: copy out of the frame
     cplan->mode = static_cast<EngineMode>(req->mode);
     cplan->coordinator = req->coordinator;
-    cplan->type_key = catalog_->Lookup("type");
+    cplan->type_key = catalog_->Intern("type");  // see HandleSubmit: replicas
     cplan->attribution = NeedsAttribution(cplan->plan);
     plans_[req->travel_id] = cplan;
   }
@@ -772,7 +877,7 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
       store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
         scan_entries.push_back(vid);
         return true;
-      }, warm).ok();
+      }, warm, travel_snap.get()).ok();
     }
   }
 
@@ -923,12 +1028,16 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
   }
 
   std::shared_ptr<CompiledPlan> cplan;
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> travel_snap;
   std::vector<bool> warm(vids.size(), false);
   {
     MutexLock lk(&mu_);
     auto it = plans_.find(travel);
     if (it == plans_.end()) return;  // travel aborted while queued
     cplan = it->second;
+    // The shared_ptr copy keeps the pinned view alive through the unlocked
+    // I/O phase even if an abort erases the travel's pin concurrently.
+    travel_snap = TravelSnapLocked(travel);
     // Re-reads within a travel hit the storage engine's block cache.
     auto& acc = accessed_[travel];
     for (size_t i = 0; i < vids.size(); i++) warm[i] = !acc.insert(vids[i]).second;
@@ -988,7 +1097,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
         fetched[i] = true;
       }
       tls_current_step = static_cast<int>(step);
-      store_->MultiGetVertices(&lookups).ok();
+      store_->MultiGetVertices(&lookups, travel_snap.get()).ok();
       tls_current_step = -1;
       for (size_t j = 0; j < slots.size(); j++) {
         vid_data[slots[j]].exists = lookups[j].found;
@@ -998,7 +1107,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
   } else {
     for (size_t i = 0; i < vids.size(); i++) {
       tls_current_step = static_cast<int>(vid_step[i]);
-      auto vrec = store_->GetVertex(vids[i], warm[i]);
+      auto vrec = store_->GetVertex(vids[i], warm[i], travel_snap.get());
       tls_current_step = -1;
       if (vrec.ok()) {
         vid_data[i].exists = true;
@@ -1022,7 +1131,7 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
                          vid_edges[i].push_back({label, dst, props});
                          return true;
                        },
-                       warm[i])
+                       warm[i], travel_snap.get())
         .ok();
     tls_current_step = -1;
   }
@@ -1377,6 +1486,26 @@ void BackendServer::HandleMutation(rpc::Message&& msg) {
       auto req = PutEdgePayload::Decode(msg.payload);
       if (!req.ok()) return reply_ack(req.status());
       if (forward_if_foreign(req->src)) return;  // edge-cut: edges live with src
+      // Referential integrity: an edge whose endpoint vertex does not exist
+      // is a dangling reference no traversal can ever resolve. `src` is
+      // always local here (the forward above routed us to its owner), so it
+      // is checked authoritatively; `dst` is checked when it is ours and
+      // only counted when it lives on another shard (a synchronous
+      // cross-shard existence RPC on the ingest hot path is not worth it).
+      if (!store_->HasVertex(req->src)) {
+        dangling_edges_rejected_->Inc();
+        return reply_ack(Status::NotFound("dangling edge: src vertex " +
+                                          std::to_string(req->src) + " does not exist"));
+      }
+      if (partitioner_->ServerFor(req->dst) == cfg_.id) {
+        if (!store_->HasVertex(req->dst)) {
+          dangling_edges_rejected_->Inc();
+          return reply_ack(Status::NotFound("dangling edge: dst vertex " +
+                                            std::to_string(req->dst) + " does not exist"));
+        }
+      } else {
+        edge_dst_unverified_->Inc();
+      }
       graph::EdgeRecord rec;
       rec.src = req->src;
       rec.label = catalog_->Intern(req->label);
@@ -1568,6 +1697,14 @@ void BackendServer::HandleAbort(rpc::Message&& msg) {
   accessed_.erase(travel);
   scanned_types_.erase(travel);
   sync_locals_.erase(travel);
+  if (auto sit = travel_snaps_.find(travel); sit != travel_snaps_.end()) {
+    // Release the pinned view (unblocking compaction GC) — or park it for
+    // the differential harness when test retention is on. Workers mid-batch
+    // still hold their shared_ptr copy; the KV snapshot is handed back only
+    // when the last holder drops it.
+    if (cfg_.retain_snapshots_for_test) retained_snaps_[travel] = sit->second;
+    travel_snaps_.erase(sit);
+  }
   for (auto it = trace_buffer_.begin(); it != trace_buffer_.end();) {
     if (it->first.second == travel) {
       it = trace_buffer_.erase(it);
@@ -1659,6 +1796,7 @@ void BackendServer::HandleSyncStepStart(rpc::Message&& msg) {
 
   MutexLock lk(&mu_);
   if (aborted_travels_.count(start->travel_id) != 0) return;
+  PinTravelSnapLocked(start->travel_id);  // lazy fallback; usually pinned already
   SyncLocal& sl = sync_locals_[start->travel_id];
 
   if (!sl.plan_ready && !start->plan.empty()) {
@@ -1668,7 +1806,7 @@ void BackendServer::HandleSyncStepStart(rpc::Message&& msg) {
     sl.cplan.plan_bytes = start->plan;
     sl.cplan.mode = EngineMode::kSync;
     sl.cplan.coordinator = msg.src;
-    sl.cplan.type_key = catalog_->Lookup("type");
+    sl.cplan.type_key = catalog_->Intern("type");  // see HandleSubmit: replicas
     sl.coordinator = msg.src;
     sl.scan_start = start->scan_start;
     sl.plan_ready = true;
@@ -1692,6 +1830,7 @@ void BackendServer::HandleSyncBatch(rpc::Message&& msg) {
 
   MutexLock lk(&mu_);
   if (aborted_travels_.count(batch->travel_id) != 0) return;
+  PinTravelSnapLocked(batch->travel_id);  // lazy fallback; usually pinned already
   SyncLocal& sl = sync_locals_[batch->travel_id];
 
   if (batch->phase == 0) {
@@ -1772,7 +1911,7 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
         raw_entries += 1;
         sl.current_frontier.emplace(vid, std::vector<graph::VertexId>{});
         return true;
-      }, warm).ok();
+      }, warm, TravelSnapLocked(travel).get()).ok();
       visit_stats_.received.fetch_add(sl.current_frontier.size() - before);
       visit_stats_.AddStep(step, sl.current_frontier.size() - before);
     }
@@ -1797,6 +1936,7 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
 
 void BackendServer::ProcessSyncTask(const VertexTask& task) {
   std::shared_ptr<CompiledPlan> cplan;
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> travel_snap;
   std::vector<graph::VertexId> parents;
   bool warm = false;
   {
@@ -1806,6 +1946,7 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
     auto fit = it->second.current_frontier.find(task.vid);
     if (fit != it->second.current_frontier.end()) parents = fit->second;
     cplan = std::make_shared<CompiledPlan>(it->second.cplan);
+    travel_snap = TravelSnapLocked(task.travel);
     warm = !accessed_[task.travel].insert(task.vid).second;
   }
   const lang::TraversalPlan& plan = cplan->plan;
@@ -1813,7 +1954,7 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
   const uint32_t step = task.step;
 
   tls_current_step = static_cast<int>(step);
-  auto vrec = store_->GetVertex(task.vid, warm);
+  auto vrec = store_->GetVertex(task.vid, warm, travel_snap.get());
   bool passed = vrec.ok() && lang::VertexMatchesAll(StepVertexFilters(plan, step), *vrec,
                                                     *catalog_, cplan->type_key);
   std::vector<std::pair<graph::VertexId, graph::PropMap>> edges;
@@ -1826,7 +1967,7 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
                         }
                         return true;
                       },
-                      warm)
+                      warm, travel_snap.get())
         .ok();
   }
   tls_current_step = -1;

@@ -73,6 +73,21 @@ struct ServerConfig {
   // Carve worker-loop scratch (edge lists, expansion targets) from a
   // per-thread arena reset between batches instead of the heap.
   bool arena_scratch = true;
+
+  // Per-travel snapshot isolation. When on, every travel pins a KV read
+  // snapshot on each participating server at admission (coordinator) or on
+  // first contact (kPinTravel broadcast / lazy first-touch, whichever lands
+  // first), and every traversal read on that server is bounded to the
+  // pinned view — travels racing live mutations see a consistent
+  // point-in-time graph instead of a torn mix of old and new state. Off
+  // reproduces the historical read-latest behaviour (torn-read control for
+  // tests/benches).
+  bool snapshot_isolation = true;
+  // Test hook: keep each travel's released snapshot in a side map instead
+  // of dropping it at cleanup, so the differential harness can dump the
+  // exact pinned view a finished travel saw (Cluster::DumpAtTravelPin).
+  // Callers must drain via DropRetainedSnapshotsForTest.
+  bool retain_snapshots_for_test = false;
 };
 
 class BackendServer {
@@ -109,10 +124,19 @@ class BackendServer {
   bool ExportTraceJson(TravelId travel, std::string* json) const GT_EXCLUDES(mu_);
 
   // True while any per-travel engine state (plan, execs, coordinator entry,
-  // sync-local, memo/access/type-scan maps) survives for `travel`. The
-  // cancellation contract is that an abort reclaims everything; tests poll
-  // this on every server after cancelling.
+  // sync-local, memo/access/type-scan maps, pinned snapshot) survives for
+  // `travel`. The cancellation contract is that an abort reclaims
+  // everything; tests poll this on every server after cancelling.
   bool HasTravelResidue(TravelId travel) const GT_EXCLUDES(mu_);
+
+  // The snapshot `travel` is pinned to on this server: the live pin while
+  // the travel runs, or the retained copy after cleanup when
+  // cfg.retain_snapshots_for_test is set. Null when never pinned.
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> TravelSnapshotForTest(
+      TravelId travel) const GT_EXCLUDES(mu_);
+  // Drains the test-retention side map (releases the underlying KV
+  // snapshots once the last outside reference drops).
+  void DropRetainedSnapshotsForTest() GT_EXCLUDES(mu_);
 
  private:
   // --- shared traversal bookkeeping ---------------------------------------
@@ -259,6 +283,7 @@ class BackendServer {
   void HandleExecEvent(rpc::Message&& msg, bool created);
   void HandleProgress(rpc::Message&& msg);
   void HandleAbort(rpc::Message&& msg);
+  void HandlePinTravel(rpc::Message&& msg);
 
   void HandleMutation(rpc::Message&& msg);
   void HandleCatalog(rpc::Message&& msg);
@@ -323,6 +348,18 @@ class BackendServer {
   void QueueSendLocked(rpc::Message msg) GT_REQUIRES(mu_);
   void DrainOutbox() GT_EXCLUDES(mu_);
 
+  // Pins this server's current store view for `travel` (no-op when
+  // snapshot isolation is off or the travel is already pinned); returns the
+  // pin. Handlers that materialize travel state call this so every later
+  // store read the travel performs here is bounded to one view, even when
+  // the kPinTravel broadcast was reordered behind the first kTraverse /
+  // sync frame (fault-injected transports).
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> PinTravelSnapLocked(
+      TravelId travel) GT_REQUIRES(mu_);
+  // The travel's pin on this server, or null (isolation off / never pinned).
+  std::shared_ptr<const graph::GraphStore::ReadSnapshot> TravelSnapLocked(
+      TravelId travel) const GT_REQUIRES(mu_);
+
   bool VertexPassesLocked(const CompiledPlan& cplan, const graph::VertexRecord& rec,
                           uint32_t step) const GT_REQUIRES(mu_);
   const std::vector<lang::Filter>& StepVertexFilters(const lang::TraversalPlan& plan,
@@ -355,6 +392,20 @@ class BackendServer {
   // by size or by the maintenance tick.
   std::map<std::pair<ServerId, TravelId>, std::vector<TraceItem>> trace_buffer_
       GT_GUARDED_BY(mu_);
+  // Per-travel pinned store snapshot (snapshot_isolation). Workers copy the
+  // shared_ptr under mu_ and read through it lock-free; the custom deleter
+  // hands the pin back to the GraphStore when the last holder drops it, so
+  // an abort erasing the map entry mid-batch never yanks the view out from
+  // under a worker. Erased in HandleAbort (every completion path broadcasts
+  // an abort/cleanup), which also bounds the map to live travels.
+  std::unordered_map<TravelId, std::shared_ptr<const graph::GraphStore::ReadSnapshot>>
+      travel_snaps_ GT_GUARDED_BY(mu_);
+  // Test-only retention (cfg_.retain_snapshots_for_test): snapshots moved
+  // here at cleanup instead of released, drained by
+  // DropRetainedSnapshotsForTest. Deliberately NOT counted as travel
+  // residue — retention is an explicit harness choice, not a leak.
+  std::unordered_map<TravelId, std::shared_ptr<const graph::GraphStore::ReadSnapshot>>
+      retained_snaps_ GT_GUARDED_BY(mu_);
   std::unordered_set<TravelId> aborted_travels_ GT_GUARDED_BY(mu_);  // late-message tombstones
   std::deque<TravelId> aborted_order_ GT_GUARDED_BY(mu_);  // bounds the tombstone set
   uint64_t next_exec_seq_ GT_GUARDED_BY(mu_) = 1;
@@ -378,6 +429,10 @@ class BackendServer {
   metrics::Counter* travel_rejected_[kNumTravelClasses] = {nullptr, nullptr, nullptr};
   metrics::Counter* travel_cancelled_ = nullptr;
   metrics::Counter* travel_deadline_exceeded_ = nullptr;
+  metrics::Counter* travel_snapshots_pinned_ = nullptr;
+  // Referential-integrity accounting on the kPutEdge ingest path.
+  metrics::Counter* dangling_edges_rejected_ = nullptr;
+  metrics::Counter* edge_dst_unverified_ = nullptr;
   metrics::CollectorId metrics_collector_ = 0;  // live between Start and Stop
 
   // Workers plus the maintenance tick run on this pool (cfg_.workers + 1

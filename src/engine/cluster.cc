@@ -58,6 +58,8 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     scfg.graphtrek_priority_sched = c.graphtrek_priority_sched;
     scfg.batched_multiget = c.batched_multiget;
     scfg.arena_scratch = c.arena_scratch;
+    scfg.snapshot_isolation = c.snapshot_isolation;
+    scfg.retain_snapshots_for_test = c.retain_snapshots_for_test;
     cluster->servers_.push_back(std::make_unique<BackendServer>(
         scfg, cluster->stores_.back().get(), cluster->partitioner_.get(),
         &cluster->catalog_, cluster->transport()));
@@ -117,6 +119,32 @@ Result<graph::RefGraph> Cluster::Dump() {
     }));
   }
   return g;
+}
+
+Result<graph::RefGraph> Cluster::DumpAtTravelPin(TravelId travel) {
+  graph::RefGraph g;
+  for (uint32_t i = 0; i < servers_.size(); i++) {
+    // Holding the shared_ptr keeps the pin alive across both scans even if
+    // the retention map is drained concurrently.
+    auto snap = servers_[i]->TravelSnapshotForTest(travel);
+    GT_RETURN_IF_ERROR(stores_[i]->ScanAllVertices(
+        [&](const graph::VertexRecord& rec) {
+          g.AddVertex(rec);
+          return true;
+        },
+        snap.get()));
+    GT_RETURN_IF_ERROR(stores_[i]->ScanEverythingEdges(
+        [&](const graph::EdgeRecord& rec) {
+          g.AddEdge(rec);
+          return true;
+        },
+        snap.get()));
+  }
+  return g;
+}
+
+void Cluster::DropRetainedSnapshotsForTest() {
+  for (auto& server : servers_) server->DropRetainedSnapshotsForTest();
 }
 
 void Cluster::DumpMetrics(std::ostream* out) {

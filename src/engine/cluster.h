@@ -44,6 +44,14 @@ struct ClusterConfig {
   bool batched_multiget = true;             // frontier-group MultiGet
   bool arena_scratch = true;                // per-worker arena scratch
 
+  // Per-travel snapshot isolation (see ServerConfig::snapshot_isolation).
+  // Off = historical read-latest behaviour; the torn-read control legs in
+  // tests/benches flip this.
+  bool snapshot_isolation = true;
+  // Test hook: servers retain each travel's pinned snapshot past cleanup
+  // so DumpAtTravelPin can reconstruct the exact view the travel saw.
+  bool retain_snapshots_for_test = false;
+
   // Empty: a fresh directory under the system temp dir, removed on Stop.
   std::string data_dir;
 
@@ -104,6 +112,18 @@ class Cluster {
   // Dumps the whole distributed graph (all shards) into the staging
   // RefGraph form — the inverse of Load(); pair with graph::ExportText.
   Result<graph::RefGraph> Dump();
+
+  // Dumps the composite view `travel` was pinned to: each shard contributes
+  // its vertices/edges as seen through that server's pinned snapshot for
+  // the travel (its live state when the server holds no pin — isolation
+  // off, or a server the travel never touched). With
+  // retain_snapshots_for_test set this works after the travel completes;
+  // the result is exactly the graph the distributed engines read, so it is
+  // the oracle input for the mutate-while-traversing differential leg.
+  Result<graph::RefGraph> DumpAtTravelPin(TravelId travel);
+
+  // Drains every server's test-retained snapshots (releases the KV pins).
+  void DropRetainedSnapshotsForTest();
 
   // Writes the process metrics registry (Prometheus text exposition — kv,
   // rpc, engine and travel families) plus the cluster's device-model

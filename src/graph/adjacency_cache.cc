@@ -10,6 +10,7 @@ std::shared_ptr<const AdjacencyRow> AdjacencyRow::Builder::Build() const {
   const uint32_t n = static_cast<uint32_t>(dsts_.size());
   row->count_ = n;
   row->source_bytes_ = source_bytes_;
+  row->build_seq_ = build_seq_;
 
   auto* labels = reinterpret_cast<LabelId*>(
       row->arena_.AllocateAligned(n * sizeof(LabelId)));

@@ -67,6 +67,14 @@ class AdjacencyRow {
   // Cache charge: the arena footprint plus the object itself.
   size_t charge() const { return arena_.BlockBytes() + sizeof(AdjacencyRow); }
 
+  // KV sequence number this row's content is valid from. A *resident* row
+  // is valid on [build_seq, now] — every mutation of its src after the
+  // build either invalidated the row or discarded its insert (epoch token)
+  // — so a snapshot read pinned at sequence S may be served from cache iff
+  // build_seq <= S; a row built after the pin may contain edges the
+  // snapshot must not see and is bypassed instead.
+  uint64_t build_seq() const { return build_seq_; }
+
   // Builder: append edges in scan order, then Build() to flatten.
   class Builder {
    public:
@@ -77,6 +85,8 @@ class AdjacencyRow {
       prop_bytes_.append(encoded_props);
     }
     void AddSourceBytes(uint64_t n) { source_bytes_ += n; }
+    // Sequence the finished row is valid from (see AdjacencyRow::build_seq).
+    void SetBuildSeq(uint64_t seq) { build_seq_ = seq; }
     size_t size() const { return dsts_.size(); }
     std::shared_ptr<const AdjacencyRow> Build() const;
 
@@ -86,6 +96,7 @@ class AdjacencyRow {
     std::vector<uint32_t> prop_off_;
     std::string prop_bytes_;
     uint64_t source_bytes_ = 0;
+    uint64_t build_seq_ = 0;
   };
 
  private:
@@ -98,6 +109,7 @@ class AdjacencyRow {
   const uint32_t* prop_off_ = nullptr;  // count_ + 1 entries
   const char* prop_bytes_ = nullptr;
   uint64_t source_bytes_ = 0;
+  uint64_t build_seq_ = 0;
 };
 
 class AdjacencyCache {

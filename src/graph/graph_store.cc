@@ -84,9 +84,10 @@ void GraphStore::ChargeAccess(VertexId vid, uint64_t bytes, bool warm) {
   if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes, warm);
 }
 
-Result<VertexRecord> GraphStore::GetVertex(VertexId vid, bool warm) {
+Result<VertexRecord> GraphStore::GetVertex(VertexId vid, bool warm,
+                                           const ReadSnapshot* snap) {
   std::string value;
-  GT_RETURN_IF_ERROR(db_->Get(VertexKey(vid), &value));
+  GT_RETURN_IF_ERROR(db_->Get(VertexKey(vid), &value, snap));
   ChargeAccess(vid, value.size(), warm);
 
   VertexRecord rec;
@@ -97,7 +98,13 @@ Result<VertexRecord> GraphStore::GetVertex(VertexId vid, bool warm) {
   return rec;
 }
 
-Status GraphStore::MultiGetVertices(std::vector<VertexLookup>* lookups) {
+bool GraphStore::HasVertex(VertexId vid, const ReadSnapshot* snap) {
+  std::string value;
+  return db_->Get(VertexKey(vid), &value, snap).ok();
+}
+
+Status GraphStore::MultiGetVertices(std::vector<VertexLookup>* lookups,
+                                    const ReadSnapshot* snap) {
   if (lookups->empty()) return Status::OK();
   // Visit keys in vid order (big-endian keys sort the same way) so the
   // batch walks each table's index monotonically; results land back in the
@@ -118,7 +125,7 @@ Status GraphStore::MultiGetVertices(std::vector<VertexLookup>* lookups) {
   }
 
   std::vector<std::optional<std::string>> values;
-  GT_RETURN_IF_ERROR(db_->MultiGet(keys, &values));
+  GT_RETURN_IF_ERROR(db_->MultiGet(keys, &values, snap));
 
   for (size_t i = 0; i < order.size(); ++i) {
     VertexLookup& lk = (*lookups)[order[i]];
@@ -140,8 +147,15 @@ Status GraphStore::MultiGetVertices(std::vector<VertexLookup>* lookups) {
 Result<std::shared_ptr<const AdjacencyRow>> GraphStore::BuildRow(VertexId src,
                                                                  LabelId label) {
   const uint64_t token = adj_cache_->BeginBuild(src);
+  // The row is valid from this sequence on: any write to src's prefix that
+  // lands after this read either shows up in the scan below or bumps the
+  // shard epoch (the invalidation strictly follows the KV commit), which
+  // discards the insert. Reads pinned at an earlier sequence must not be
+  // served from this row — see AdjacencyRow::build_seq().
+  const kv::SequenceNumber build_seq = db_->LastSequence();
   Stopwatch timer;
   AdjacencyRow::Builder builder;
+  builder.SetBuildSeq(build_seq);
   Status inner = Status::OK();
   const std::string prefix = label == AdjacencyCache::kAllLabels
                                  ? EdgePrefixAllLabels(src)
@@ -165,41 +179,83 @@ Result<std::shared_ptr<const AdjacencyRow>> GraphStore::BuildRow(VertexId src,
   return row;
 }
 
+// A cached row may serve a snapshot read only if it was built at or before
+// the pinned sequence: residency guarantees validity on [build_seq, now],
+// so an older pin could otherwise observe edges written after it.
+static bool RowVisibleAt(const AdjacencyRow& row,
+                         const GraphStore::ReadSnapshot* snap) {
+  return snap == nullptr || row.build_seq() <= snap->sequence();
+}
+
+Status GraphStore::ScanEdgesUncached(
+    VertexId src, LabelId label,
+    const std::function<bool(VertexId, const PropMap&)>& fn, bool warm,
+    const ReadSnapshot* snap) {
+  uint64_t bytes = 0;
+  Status inner = Status::OK();
+  Status s = db_->ScanPrefix(EdgePrefix(src, label), [&](kv::Slice key, kv::Slice value) {
+    VertexId esrc, edst;
+    LabelId elabel;
+    if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+      inner = Status::Corruption("bad edge key");
+      return false;
+    }
+    PropMap props;
+    if (!DecodeEdgeValue(value.view(), &props)) {
+      inner = Status::Corruption("bad edge value");
+      return false;
+    }
+    bytes += key.size() + value.size();
+    return fn(edst, props);
+  }, snap);
+  ChargeAccess(src, bytes, warm);
+  if (!inner.ok()) return inner;
+  return s;
+}
+
+Status GraphStore::ScanAllEdgesUncached(
+    VertexId src, const std::function<bool(LabelId, VertexId, const PropMap&)>& fn,
+    bool warm, const ReadSnapshot* snap) {
+  uint64_t bytes = 0;
+  Status inner = Status::OK();
+  Status s = db_->ScanPrefix(EdgePrefixAllLabels(src), [&](kv::Slice key, kv::Slice value) {
+    VertexId esrc, edst;
+    LabelId elabel;
+    if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
+      inner = Status::Corruption("bad edge key");
+      return false;
+    }
+    PropMap props;
+    if (!DecodeEdgeValue(value.view(), &props)) {
+      inner = Status::Corruption("bad edge value");
+      return false;
+    }
+    bytes += key.size() + value.size();
+    return fn(elabel, edst, props);
+  }, snap);
+  ChargeAccess(src, bytes, warm);
+  if (!inner.ok()) return inner;
+  return s;
+}
+
 Status GraphStore::ScanEdges(VertexId src, LabelId label,
                              const std::function<bool(VertexId, const PropMap&)>& fn,
-                             bool warm) {
+                             bool warm, const ReadSnapshot* snap) {
   if (adj_cache_ == nullptr) {
-    uint64_t bytes = 0;
-    Status inner = Status::OK();
-    Status s = db_->ScanPrefix(EdgePrefix(src, label), [&](kv::Slice key, kv::Slice value) {
-      VertexId esrc, edst;
-      LabelId elabel;
-      if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
-        inner = Status::Corruption("bad edge key");
-        return false;
-      }
-      PropMap props;
-      if (!DecodeEdgeValue(value.view(), &props)) {
-        inner = Status::Corruption("bad edge value");
-        return false;
-      }
-      bytes += key.size() + value.size();
-      return fn(edst, props);
-    });
-    ChargeAccess(src, bytes, warm);
-    if (!inner.ok()) return inner;
-    return s;
+    return ScanEdgesUncached(src, label, fn, warm, snap);
   }
 
   // Prefer the exact (src, label) row; fall back to slicing a resident
   // all-labels row (edges are in (label, dst) order, so the slice is a
   // contiguous run and its byte share is proportional by edge count).
+  // Rows built after `snap` was pinned are invisible to it (RowVisibleAt).
   auto row = adj_cache_->Lookup(src, label, /*count_miss=*/false);
+  if (row != nullptr && !RowVisibleAt(*row, snap)) row = nullptr;
   bool hit = row != nullptr;
   uint64_t bytes = 0;
   if (!hit) {
-    if (auto all = adj_cache_->Lookup(src, AdjacencyCache::kAllLabels)) {
-      hit = true;
+    auto all = adj_cache_->Lookup(src, AdjacencyCache::kAllLabels);
+    if (all != nullptr && RowVisibleAt(*all, snap)) {
       Status serve = Status::OK();
       for (uint32_t i = 0; i < all->size(); ++i) {
         if (all->label_at(i) != label) continue;
@@ -216,10 +272,17 @@ Status GraphStore::ScanEdges(VertexId src, LabelId label,
     }
   }
   if (!hit) {
+    // Build at the current sequence regardless of `snap` so future travels
+    // get a warm row; serve this caller from it only when its pin can see
+    // it (no write landed between the pin and the build — always true for
+    // latest reads), else pay one direct snapshot-bounded scan.
     auto built = BuildRow(src, label);
     if (!built.ok()) {
       ChargeAccess(src, 0, warm);
       return built.status();
+    }
+    if (!RowVisibleAt(**built, snap)) {
+      return ScanEdgesUncached(src, label, fn, warm, snap);
     }
     row = *built;
   }
@@ -238,37 +301,22 @@ Status GraphStore::ScanEdges(VertexId src, LabelId label,
 
 Status GraphStore::ScanAllEdges(
     VertexId src, const std::function<bool(LabelId, VertexId, const PropMap&)>& fn,
-    bool warm) {
+    bool warm, const ReadSnapshot* snap) {
   if (adj_cache_ == nullptr) {
-    uint64_t bytes = 0;
-    Status inner = Status::OK();
-    Status s = db_->ScanPrefix(EdgePrefixAllLabels(src), [&](kv::Slice key, kv::Slice value) {
-      VertexId esrc, edst;
-      LabelId elabel;
-      if (!ParseEdgeKey(key.view(), &esrc, &elabel, &edst)) {
-        inner = Status::Corruption("bad edge key");
-        return false;
-      }
-      PropMap props;
-      if (!DecodeEdgeValue(value.view(), &props)) {
-        inner = Status::Corruption("bad edge value");
-        return false;
-      }
-      bytes += key.size() + value.size();
-      return fn(elabel, edst, props);
-    });
-    ChargeAccess(src, bytes, warm);
-    if (!inner.ok()) return inner;
-    return s;
+    return ScanAllEdgesUncached(src, fn, warm, snap);
   }
 
   auto row = adj_cache_->Lookup(src, AdjacencyCache::kAllLabels);
+  if (row != nullptr && !RowVisibleAt(*row, snap)) row = nullptr;
   const bool hit = row != nullptr;
   if (!hit) {
     auto built = BuildRow(src, AdjacencyCache::kAllLabels);
     if (!built.ok()) {
       ChargeAccess(src, 0, warm);
       return built.status();
+    }
+    if (!RowVisibleAt(**built, snap)) {
+      return ScanAllEdgesUncached(src, fn, warm, snap);
     }
     row = *built;
   }
@@ -295,13 +343,18 @@ Status GraphStore::WarmAdjacency() {
   bool have_src = false;
   VertexId cur_src = 0;
   Stopwatch row_timer;
+  // One sequence for the whole sweep: the warm-up contract forbids
+  // concurrent mutation, so every row is valid from the sweep's start.
+  const kv::SequenceNumber sweep_seq = db_->LastSequence();
   AdjacencyRow::Builder builder;
+  builder.SetBuildSeq(sweep_seq);
   auto flush = [&]() {
     if (!have_src) return;
     adj_cache_->Insert(cur_src, AdjacencyCache::kAllLabels, builder.Build(),
                        adj_cache_->BeginBuild(cur_src));
     adj_cache_->RecordBuild(row_timer.ElapsedMicros());
     builder = AdjacencyRow::Builder();
+    builder.SetBuildSeq(sweep_seq);
   };
   Status s = ScanEverythingEdges([&](const EdgeRecord& e) {
     if (!have_src || e.src != cur_src) {
@@ -320,7 +373,7 @@ Status GraphStore::WarmAdjacency() {
 }
 
 Status GraphStore::ScanAllVertices(
-    const std::function<bool(const VertexRecord&)>& fn) {
+    const std::function<bool(const VertexRecord&)>& fn, const ReadSnapshot* snap) {
   Status inner = Status::OK();
   std::string prefix(1, kVertexNs);
   Status s = db_->ScanPrefix(prefix, [&](kv::Slice key, kv::Slice value) {
@@ -331,13 +384,13 @@ Status GraphStore::ScanAllVertices(
       return false;
     }
     return fn(rec);
-  });
+  }, snap);
   if (!inner.ok()) return inner;
   return s;
 }
 
 Status GraphStore::ScanEverythingEdges(
-    const std::function<bool(const EdgeRecord&)>& fn) {
+    const std::function<bool(const EdgeRecord&)>& fn, const ReadSnapshot* snap) {
   Status inner = Status::OK();
   std::string prefix(1, kEdgeNs);
   Status s = db_->ScanPrefix(prefix, [&](kv::Slice key, kv::Slice value) {
@@ -348,14 +401,14 @@ Status GraphStore::ScanEverythingEdges(
       return false;
     }
     return fn(rec);
-  });
+  }, snap);
   if (!inner.ok()) return inner;
   return s;
 }
 
 Status GraphStore::ScanVerticesByType(LabelId label,
                                       const std::function<bool(VertexId)>& fn,
-                                      bool warm) {
+                                      bool warm, const ReadSnapshot* snap) {
   uint64_t bytes = 0;
   Status inner = Status::OK();
   Status s = db_->ScanPrefix(TypeIndexPrefix(label), [&](kv::Slice key, kv::Slice) {
@@ -367,7 +420,7 @@ Status GraphStore::ScanVerticesByType(LabelId label,
     }
     bytes += key.size();
     return fn(vid);
-  });
+  }, snap);
   // The type index is a compact sequential run: charge once per scan, at
   // the caller-tracked warm rate on re-scans (see the header contract).
   if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes, warm);

@@ -40,8 +40,18 @@ struct GraphStoreOptions {
 
 class GraphStore {
  public:
+  // Pinned point-in-time view of this store (see kv::DB::Snapshot). Reads
+  // that take a non-null snapshot see exactly the graph at its sequence,
+  // regardless of racing mutations, flushes or compactions.
+  using ReadSnapshot = kv::DB::Snapshot;
+
   static Result<std::unique_ptr<GraphStore>> Open(const std::string& dir,
                                                   GraphStoreOptions opts);
+
+  // Pins / releases a point-in-time view. Every pin must be released
+  // exactly once; a live snapshot also pins compaction GC in the KV layer.
+  const ReadSnapshot* GetSnapshot() { return db_->GetSnapshot(); }
+  void ReleaseSnapshot(const ReadSnapshot* snap) { db_->ReleaseSnapshot(snap); }
 
   // --- writes (ingest path) ---
   Status PutVertex(const VertexRecord& v);
@@ -51,8 +61,15 @@ class GraphStore {
   Status Compact() { return db_->CompactAll(); }
 
   // --- reads (traversal path); each charges one device access. `warm`
-  // marks a re-read within the same traversal (block-cache hit). ---
-  Result<VertexRecord> GetVertex(VertexId vid, bool warm = false);
+  // marks a re-read within the same traversal (block-cache hit). A non-null
+  // `snap` bounds the read to that pinned view. ---
+  Result<VertexRecord> GetVertex(VertexId vid, bool warm = false,
+                                 const ReadSnapshot* snap = nullptr);
+
+  // Existence probe (vertex record present and not deleted). Charges no
+  // device access: it is the ingest path's referential-integrity check, not
+  // a traversal read.
+  bool HasVertex(VertexId vid, const ReadSnapshot* snap = nullptr);
 
   // One frontier batch of vertex point-reads resolved against a single KV
   // snapshot (DB::MultiGet): the memtable/table handshake is paid once for
@@ -66,7 +83,8 @@ class GraphStore {
     bool found = false;     // out: false = absent/deleted (not an error)
     VertexRecord rec;       // out: valid when found
   };
-  Status MultiGetVertices(std::vector<VertexLookup>* lookups);
+  Status MultiGetVertices(std::vector<VertexLookup>* lookups,
+                          const ReadSnapshot* snap = nullptr);
 
   // Iterates out-edges of `src` with type `label` in dst order. Served from
   // the adjacency cache when resident ((src,label) row, or a (src,all) row
@@ -77,14 +95,14 @@ class GraphStore {
   // before.
   Status ScanEdges(VertexId src, LabelId label,
                    const std::function<bool(VertexId dst, const PropMap&)>& fn,
-                   bool warm = false);
+                   bool warm = false, const ReadSnapshot* snap = nullptr);
 
   // Iterates all out-edges of `src` grouped by type. Same caching and
   // charging policy as ScanEdges, keyed on the (src, all-labels) row.
   Status ScanAllEdges(
       VertexId src,
       const std::function<bool(LabelId, VertexId dst, const PropMap&)>& fn,
-      bool warm = false);
+      bool warm = false, const ReadSnapshot* snap = nullptr);
 
   // Eagerly builds an all-labels adjacency row for every vertex on this
   // shard from one bulk edge sweep (ingest/benchmark warm-up path; charges
@@ -93,11 +111,12 @@ class GraphStore {
 
   // Iterates every vertex record on this shard (maintenance/export path;
   // does not charge the device model).
-  Status ScanAllVertices(const std::function<bool(const VertexRecord&)>& fn);
+  Status ScanAllVertices(const std::function<bool(const VertexRecord&)>& fn,
+                         const ReadSnapshot* snap = nullptr);
 
   // Iterates every edge on this shard (maintenance/export path).
-  Status ScanEverythingEdges(
-      const std::function<bool(const EdgeRecord&)>& fn);
+  Status ScanEverythingEdges(const std::function<bool(const EdgeRecord&)>& fn,
+                             const ReadSnapshot* snap = nullptr);
 
   // Iterates ids of all vertices with the given label (type index scan).
   // Charged as one access per returned vertex would be pessimistic; the
@@ -109,7 +128,7 @@ class GraphStore {
   // deliberately not routed through ChargeAccess because it is not rooted
   // at any single vertex (no interceptor hook, no vertex_accesses_ bump).
   Status ScanVerticesByType(LabelId label, const std::function<bool(VertexId)>& fn,
-                            bool warm = false);
+                            bool warm = false, const ReadSnapshot* snap = nullptr);
 
   void SetInterceptor(AccessInterceptor* interceptor) { interceptor_ = interceptor; }
 
@@ -127,6 +146,16 @@ class GraphStore {
 
   // Charges one logical access of `bytes` bytes rooted at `vid`.
   void ChargeAccess(VertexId vid, uint64_t bytes, bool warm);
+
+  // Cache-free KV prefix scans: the adjacency_cache_bytes == 0 path, and
+  // the fallback when a snapshot read cannot be served by any cached row.
+  Status ScanEdgesUncached(VertexId src, LabelId label,
+                           const std::function<bool(VertexId, const PropMap&)>& fn,
+                           bool warm, const ReadSnapshot* snap);
+  Status ScanAllEdgesUncached(
+      VertexId src,
+      const std::function<bool(LabelId, VertexId, const PropMap&)>& fn, bool warm,
+      const ReadSnapshot* snap);
 
   // Scans the (src, label) KV prefix (label == kAllLabels: every label),
   // builds the CSR row, and inserts it into the cache. Never serves the

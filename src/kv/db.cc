@@ -13,9 +13,16 @@ namespace {
 
 // Collapses internal-key versions into a live user-key view: first version
 // (highest sequence) of each user key wins; tombstoned keys are skipped.
+// `seq` bounds visibility: versions newer than it do not exist for this
+// iterator (kMaxSequenceNumber = read the latest state).
 class DBIter final : public Iterator {
  public:
-  DBIter(std::unique_ptr<Iterator> internal) : it_(std::move(internal)) {}
+  // `mem` pins the memtable the internal iterator reads (table iterators
+  // pin their own Table; the memtable iterator holds only a raw pointer,
+  // so without this ref a racing flush could free it mid-scan).
+  DBIter(std::unique_ptr<Iterator> internal, std::shared_ptr<MemTable> mem,
+         SequenceNumber seq = kMaxSequenceNumber)
+      : it_(std::move(internal)), mem_(std::move(mem)), seq_(seq) {}
 
   bool Valid() const override { return valid_; }
 
@@ -26,7 +33,7 @@ class DBIter final : public Iterator {
 
   void Seek(Slice target) override {
     std::string ikey;
-    AppendInternalKey(&ikey, target, kMaxSequenceNumber, kTypeValue);
+    AppendInternalKey(&ikey, target, seq_, kTypeValue);
     it_->Seek(ikey);
     FindNextLiveEntry();
   }
@@ -56,6 +63,13 @@ class DBIter final : public Iterator {
         it_->Next();
         continue;
       }
+      if (parsed.sequence > seq_) {
+        // Written after the snapshot was pinned: invisible. Skip just this
+        // version — an older, visible version of the same user key may
+        // follow and is then the authoritative one.
+        it_->Next();
+        continue;
+      }
       if (parsed.type == kTypeDeletion) {
         // Skip all versions of this deleted key.
         std::string dead(parsed.user_key.data(), parsed.user_key.size());
@@ -68,6 +82,8 @@ class DBIter final : public Iterator {
   }
 
   std::unique_ptr<Iterator> it_;
+  std::shared_ptr<MemTable> mem_;
+  const SequenceNumber seq_;
   bool valid_ = false;
 };
 
@@ -110,6 +126,10 @@ metrics::CollectorId RegisterKvCollector(const std::string& label,
     counter("gt_kv_manifest_rotations_total", stats->manifest_rotations);
     counter("gt_kv_orphans_swept_total", stats->orphans_swept);
     counter("gt_kv_file_op_errors_total", stats->file_op_errors);
+    counter("gt_kv_snapshots_taken_total", stats->snapshots_taken);
+    counter("gt_kv_snapshots_released_total", stats->snapshots_released);
+    counter("gt_kv_snapshot_preserved_versions_total",
+            stats->snapshot_preserved_versions);
   });
 }
 
@@ -430,14 +450,27 @@ Status DB::DoCompaction() {
   MutexLock run_lk(&compaction_run_mu_);
 
   std::vector<std::shared_ptr<Table>> inputs;
+  // Versions at or below the smallest live pinned sequence can be
+  // collapsed to one per user key; everything newer must survive so every
+  // snapshot keeps its view. No snapshots = collapse everything (the
+  // pre-snapshot behavior). A snapshot pinned after this read is safe: its
+  // sequence is >= every sequence in `inputs`, so it only needs each key's
+  // newest input version — which is always kept — and it additionally pins
+  // the input tables themselves via its ReadState.
+  SequenceNumber smallest_snapshot = 0;
   {
+    MutexLock lk(&write_mu_);
+    smallest_snapshot = last_sequence_;
     MutexLock slk(&state_mu_);
     inputs = tables_;
+    if (!snapshot_seqs_.empty()) smallest_snapshot = *snapshot_seqs_.begin();
   }
   if (inputs.size() <= 1) return Status::OK();
 
-  // Merge all inputs, keeping only the newest version of each user key and
-  // dropping tombstones (this is a full compaction: nothing older exists).
+  // Merge all inputs, keeping for each user key its newest version plus
+  // every version some live snapshot can still see (tombstones included);
+  // with no snapshots this collapses to newest-version-only with tombstones
+  // dropped (this is a full compaction: nothing older exists).
   InternalKeyComparator icmp;
   std::vector<std::unique_ptr<Iterator>> children;
   children.reserve(inputs.size());
@@ -460,16 +493,40 @@ Status DB::DoCompaction() {
   Status s;
   std::string last_user_key;
   bool has_last = false;
+  // Sequence of the previous (newer) version of the current user key;
+  // kMaxSequenceNumber while positioned at a key's newest version.
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
   for (merged.SeekToFirst(); s.ok() && merged.Valid(); merged.Next()) {
     ParsedInternalKey parsed;
     if (!ParseInternalKey(merged.key(), &parsed)) {
       s = Status::Corruption("bad key during compaction");
       break;
     }
-    if (has_last && parsed.user_key == Slice(last_user_key)) continue;  // shadowed
-    last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
-    has_last = true;
-    if (parsed.type == kTypeDeletion) continue;  // drop tombstone
+    if (!has_last || parsed.user_key != Slice(last_user_key)) {
+      last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_last = true;
+      last_sequence_for_key = kMaxSequenceNumber;
+    }
+    const bool newest_of_key = last_sequence_for_key == kMaxSequenceNumber;
+    bool drop = false;
+    if (last_sequence_for_key <= smallest_snapshot) {
+      // A newer version at/below every live snapshot already shadows this
+      // one at every visible horizon.
+      drop = true;
+    } else if (parsed.type == kTypeDeletion && parsed.sequence <= smallest_snapshot) {
+      // Tombstone visible to every snapshot: this is a full compaction, so
+      // no older version survives outside the inputs and the deletion
+      // marker itself can vanish (its older versions drop via the rule
+      // above on the next iterations).
+      drop = true;
+    }
+    last_sequence_for_key = parsed.sequence;
+    if (drop) continue;
+    if (!newest_of_key || parsed.type == kTypeDeletion) {
+      // Kept only because a live snapshot may still read it; without
+      // snapshots the old collapse-to-newest rule would have dropped it.
+      stats_.snapshot_preserved_versions.fetch_add(1);
+    }
     s = builder.Add(merged.key(), merged.value());
   }
   if (s.ok()) s = merged.status();
@@ -528,23 +585,65 @@ DB::ReadState DB::SnapshotState() const {
   return ReadState{mem_, tables_};
 }
 
-Status DB::Get(Slice key, std::string* value) {
+const DB::Snapshot* DB::GetSnapshot() {
+  // write_mu_ freezes last_sequence_ while the matching state is copied, so
+  // the pinned view holds exactly the versions at seq (lock order:
+  // write_mu_ -> state_mu_).
+  MutexLock lk(&write_mu_);
+  const SequenceNumber seq = last_sequence_;
+  MutexLock slk(&state_mu_);
+  snapshot_seqs_.insert(seq);
+  stats_.snapshots_taken.fetch_add(1);
+  return new Snapshot(seq, ReadState{mem_, tables_});
+}
+
+void DB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  {
+    MutexLock slk(&state_mu_);
+    auto it = snapshot_seqs_.find(snapshot->seq_);
+    if (it != snapshot_seqs_.end()) snapshot_seqs_.erase(it);
+    stats_.snapshots_released.fetch_add(1);
+  }
+  // Deleting outside state_mu_: dropping the pinned table refs can close
+  // (and unlink-finalize) files, which has no business under the state lock.
+  delete snapshot;
+}
+
+size_t DB::NumLiveSnapshots() const {
+  MutexLock slk(&state_mu_);
+  return snapshot_seqs_.size();
+}
+
+SequenceNumber DB::LastSequence() {
+  MutexLock lk(&write_mu_);
+  return last_sequence_;
+}
+
+Status DB::Get(Slice key, std::string* value, const Snapshot* snap) {
   stats_.gets.fetch_add(1);
-  ReadState state = SnapshotState();
-  Status s = GetFromState(state, key, value);
+  ReadState local;
+  if (snap == nullptr) local = SnapshotState();
+  const ReadState& state = snap != nullptr ? snap->state_ : local;
+  const SequenceNumber seq = snap != nullptr ? snap->seq_ : kMaxSequenceNumber;
+  Status s = GetFromState(state, key, value, seq);
   if (s.ok()) stats_.get_hits.fetch_add(1);
   return s;
 }
 
 Status DB::MultiGet(const std::vector<Slice>& keys,
-                    std::vector<std::optional<std::string>>* values) {
+                    std::vector<std::optional<std::string>>* values,
+                    const Snapshot* snap) {
   values->assign(keys.size(), std::nullopt);
   if (keys.empty()) return Status::OK();
   stats_.gets.fetch_add(keys.size());
-  ReadState state = SnapshotState();
+  ReadState local;
+  if (snap == nullptr) local = SnapshotState();
+  const ReadState& state = snap != nullptr ? snap->state_ : local;
+  const SequenceNumber seq = snap != nullptr ? snap->seq_ : kMaxSequenceNumber;
   std::string value;
   for (size_t i = 0; i < keys.size(); ++i) {
-    Status s = GetFromState(state, keys[i], &value);
+    Status s = GetFromState(state, keys[i], &value, seq);
     if (s.ok()) {
       stats_.get_hits.fetch_add(1);
       (*values)[i] = std::move(value);
@@ -555,8 +654,9 @@ Status DB::MultiGet(const std::vector<Slice>& keys,
   return Status::OK();
 }
 
-Status DB::GetFromState(const ReadState& state, Slice key, std::string* value) {
-  LookupKey lkey(key, kMaxSequenceNumber);
+Status DB::GetFromState(const ReadState& state, Slice key, std::string* value,
+                        SequenceNumber seq) {
+  LookupKey lkey(key, seq);
 
   Status st;
   if (state.mem->Get(lkey, value, &st)) return st;
@@ -578,19 +678,23 @@ Status DB::GetFromState(const ReadState& state, Slice key, std::string* value) {
   return Status::NotFound();
 }
 
-std::unique_ptr<Iterator> DB::NewIterator() {
-  ReadState state = SnapshotState();
+std::unique_ptr<Iterator> DB::NewIterator(const Snapshot* snap) {
+  ReadState local;
+  if (snap == nullptr) local = SnapshotState();
+  const ReadState& state = snap != nullptr ? snap->state_ : local;
+  const SequenceNumber seq = snap != nullptr ? snap->seq_ : kMaxSequenceNumber;
   static const InternalKeyComparator icmp;
 
   std::vector<std::unique_ptr<Iterator>> children;
   children.push_back(state.mem->NewIterator());
-  for (auto& t : state.tables) children.push_back(t->NewIterator());
+  for (const auto& t : state.tables) children.push_back(t->NewIterator());
   auto merged = std::make_unique<MergingIterator>(&icmp, std::move(children));
-  return std::make_unique<DBIter>(std::move(merged));
+  return std::make_unique<DBIter>(std::move(merged), state.mem, seq);
 }
 
-Status DB::ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn) {
-  auto it = NewIterator();
+Status DB::ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn,
+                      const Snapshot* snap) {
+  auto it = NewIterator(snap);
   for (it->Seek(prefix); it->Valid(); it->Next()) {
     if (!it->key().starts_with(prefix)) break;
     if (!fn(it->key(), it->value())) break;

@@ -4,13 +4,16 @@
 // Architecture: a write-ahead log + arena skip-list memtable; memtables are
 // flushed to immutable sorted-table files (newest first); a background
 // compaction merges table files into a single run and drops shadowed
-// versions and tombstones. Readers are lock-free against writers: they
-// operate on a shared_ptr snapshot of {memtable, table list}.
+// versions and tombstones that no pinned snapshot can still see. Readers
+// are lock-free against writers: they operate on a shared_ptr snapshot of
+// {memtable, table list}; GetSnapshot() pins such a view together with a
+// sequence-number ceiling for repeatable point-in-time reads.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,8 +82,27 @@ class DB {
   Status Delete(Slice key);
   Status Write(WriteBatch batch);
 
-  // Reads the newest live version; NotFound if absent or deleted.
-  Status Get(Slice key, std::string* value);
+  // A pinned, immutable point-in-time view of the store: the sequence
+  // number at pin time plus the {memtable, table list} version that held
+  // it. Reads through a snapshot see exactly the versions visible at that
+  // sequence — writes, flushes and compactions that land afterwards are
+  // invisible. Obtained from GetSnapshot(); must be handed back to
+  // ReleaseSnapshot() (a live snapshot also pins compaction garbage
+  // collection, see DoCompaction).
+  class Snapshot;
+
+  // Pins the current view. Never fails; the caller owns the registration
+  // and must release it exactly once.
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  // Sequence number of the most recent write — the visibility horizon a
+  // snapshot pinned right now would get.
+  SequenceNumber LastSequence();
+
+  // Reads the newest live version; NotFound if absent or deleted. A
+  // non-null `snap` bounds the read to the snapshot's sequence.
+  Status Get(Slice key, std::string* value, const Snapshot* snap = nullptr);
 
   // Point-reads a batch of keys against ONE snapshot of the memtable/table
   // stack — the version-set handshake (mutex + shared_ptr copies) is paid
@@ -89,20 +111,23 @@ class DB {
   // sorted order, but any order is correct. Only I/O errors are returned;
   // per-key NotFound is expressed through the nullopt slot.
   Status MultiGet(const std::vector<Slice>& keys,
-                  std::vector<std::optional<std::string>>* values);
+                  std::vector<std::optional<std::string>>* values,
+                  const Snapshot* snap = nullptr);
 
   // Iterator over live user keys in ascending order. key() is the user key.
-  std::unique_ptr<Iterator> NewIterator();
+  // A non-null `snap` yields the keys live at the snapshot's sequence.
+  std::unique_ptr<Iterator> NewIterator(const Snapshot* snap = nullptr);
 
   // Calls fn(key, value) for every live key starting with `prefix`, in
   // order; stops early if fn returns false.
-  Status ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn);
+  Status ScanPrefix(Slice prefix, const std::function<bool(Slice, Slice)>& fn,
+                    const Snapshot* snap = nullptr);
 
   // Forces the memtable to a table file (no-op when empty).
   Status Flush();
 
   // Merges all table files into one run, dropping shadowed versions and
-  // tombstones. Blocks until done.
+  // tombstones no live snapshot can see. Blocks until done.
   Status CompactAll();
 
   // Blocks until any scheduled background compaction has finished.
@@ -112,6 +137,7 @@ class DB {
   KvStats& mutable_stats() { return stats_; }
   size_t NumTableFiles() const;
   uint64_t ApproximateMemtableBytes() const;
+  size_t NumLiveSnapshots() const;
 
  private:
   struct ReadState {
@@ -136,7 +162,8 @@ class DB {
   std::string TablePath(uint64_t id) const;
   std::string WalPath() const;
   ReadState SnapshotState() const GT_EXCLUDES(state_mu_);
-  Status GetFromState(const ReadState& state, Slice key, std::string* value);
+  Status GetFromState(const ReadState& state, Slice key, std::string* value,
+                      SequenceNumber seq);
   TableReadOptions MakeTableReadOptions();
 
   const std::string dir_;
@@ -164,10 +191,32 @@ class DB {
   mutable Mutex state_mu_;
   std::shared_ptr<MemTable> mem_ GT_GUARDED_BY(state_mu_);
   std::vector<std::shared_ptr<Table>> tables_ GT_GUARDED_BY(state_mu_);  // newest first
+  // Sequence numbers of live pinned snapshots (multiset: the same seq can
+  // be pinned by several travels). The smallest entry bounds what
+  // compaction may garbage-collect.
+  std::multiset<SequenceNumber> snapshot_seqs_ GT_GUARDED_BY(state_mu_);
 
   std::unique_ptr<ThreadPool> compaction_pool_;
   bool compaction_scheduled_ GT_GUARDED_BY(state_mu_) = false;
   Mutex compaction_run_mu_;  // at most one compaction at a time
+};
+
+// Immutable once constructed: the pinned {memtable, table list} version
+// keeps every file a reader may need alive (tables hold their fd open, so
+// even inputs a later compaction unlinks stay readable), and the sequence
+// bound hides every version written after the pin. Thread-safe to read
+// from concurrently; destroyed only via DB::ReleaseSnapshot.
+class DB::Snapshot {
+ public:
+  SequenceNumber sequence() const { return seq_; }
+
+ private:
+  friend class DB;
+  Snapshot(SequenceNumber seq, ReadState state)
+      : seq_(seq), state_(std::move(state)) {}
+
+  const SequenceNumber seq_;
+  const ReadState state_;
 };
 
 }  // namespace gt::kv

@@ -28,6 +28,10 @@ struct KvStats {
   std::atomic<uint64_t> orphans_swept{0};      // leftover .tmp/unreferenced files removed at open
   std::atomic<uint64_t> file_op_errors{0};     // failed deletes/closes/flushes an operator
                                                // should investigate (dying disk)
+  std::atomic<uint64_t> snapshots_taken{0};    // GetSnapshot calls (pins)
+  std::atomic<uint64_t> snapshots_released{0};
+  std::atomic<uint64_t> snapshot_preserved_versions{0};  // compaction entries kept
+                                                         // only for a live snapshot
 
   void Reset() {
     puts = deletes = gets = get_hits = 0;
@@ -36,6 +40,7 @@ struct KvStats {
     bytes_written = bytes_read = wal_records = wal_fsyncs = 0;
     wal_torn_tails = manifest_edits = manifest_rotations = 0;
     orphans_swept = file_op_errors = 0;
+    snapshots_taken = snapshots_released = snapshot_preserved_versions = 0;
   }
 
   std::string ToString() const {
@@ -54,6 +59,10 @@ struct KvStats {
     s += " wal_torn_tails=" + std::to_string(wal_torn_tails.load());
     s += " orphans_swept=" + std::to_string(orphans_swept.load());
     s += " file_op_errors=" + std::to_string(file_op_errors.load());
+    s += " snapshots_taken=" + std::to_string(snapshots_taken.load());
+    s += " snapshots_released=" + std::to_string(snapshots_released.load());
+    s += " snapshot_preserved_versions=" +
+         std::to_string(snapshot_preserved_versions.load());
     return s;
   }
 };

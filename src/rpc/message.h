@@ -56,6 +56,7 @@ enum class MsgType : uint16_t {
   kAbortTraversal = 48,
   kPing = 49,
   kPong = 50,
+  kPinTravel = 51,      // coordinator -> all servers: pin a read snapshot
 
   // Live updates + point queries (client -> owning server).
   kPutVertex = 64,
@@ -155,6 +156,7 @@ inline const char* MsgTypeName(MsgType t) {
     case MsgType::kAbortTraversal: return "AbortTraversal";
     case MsgType::kPing: return "Ping";
     case MsgType::kPong: return "Pong";
+    case MsgType::kPinTravel: return "PinTravel";
     case MsgType::kPutVertex: return "PutVertex";
     case MsgType::kPutEdge: return "PutEdge";
     case MsgType::kMutateAck: return "MutateAck";

@@ -1,0 +1,276 @@
+// Shared mutate-while-traversing differential leg (transport-agnostic).
+//
+// A seeded mutation stream — Darshan-style trickle ingest through the
+// live-update RPCs (src/engine/mutation.h) plus churn (overwrites, edge
+// inserts, vertex deletes) on the queried subgraph — races random travels.
+// Per-travel snapshot pinning makes each travel's answer well-defined even
+// though the graph moves underneath it: the travel must equal the reference
+// evaluator run on the frozen copy of the graph taken at its pin point
+// (Cluster::DumpAtTravelPin or the TCP-fixture equivalent). The leg is
+// deterministic despite racing because every travel is judged against its
+// OWN pin, never against a global notion of "current" state.
+//
+// Both the in-process cluster leg (test_engine_differential.cc) and the TCP
+// leg (test_distributed.cc) instantiate this via the hook struct below.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/client.h"
+#include "src/gen/darshan.h"
+#include "src/graph/catalog.h"
+#include "src/graph/ref_graph.h"
+#include "src/lang/gtravel.h"
+
+namespace gt::testing {
+
+// Trickled Darshan vids live far above the queried base range so churn
+// deletes and trickle inserts never collide.
+inline constexpr graph::VertexId kTrickleVidBase = 1u << 20;
+
+struct RacingEnv {
+  engine::GraphTrekClient* mutator = nullptr;   // carries the mutation stream
+  engine::GraphTrekClient* traveler = nullptr;  // runs the racing travels
+  graph::Catalog* catalog = nullptr;            // the interning authority
+  // Frozen copy of the graph at `travel`'s pin point (one pinned snapshot
+  // per shard, composed).
+  std::function<Result<graph::RefGraph>(engine::TravelId)> dump_at_pin;
+  // True while any server still holds live (non-retained) travel state.
+  std::function<bool(engine::TravelId)> has_residue;
+};
+
+// One flat op of the precomputed mutation stream.
+struct MutationOp {
+  enum Kind { kVertex, kEdge } kind = kVertex;
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  std::string label;
+  engine::NamedProps props;
+};
+
+// Flattens a small Darshan graph into trickle order: every vertex first,
+// then every edge (so each edge lands with both endpoints present and the
+// ingest validation accepts it). Vids are offset into the trickle range.
+inline std::vector<MutationOp> BuildTrickleStream(graph::Catalog* catalog,
+                                                  uint64_t seed) {
+  gen::DarshanConfig dcfg;
+  dcfg.users = 4;
+  dcfg.jobs_per_user_max = 4;
+  dcfg.execs_per_job_max = 3;
+  dcfg.files = 64;
+  dcfg.reads_per_exec_max = 3;
+  dcfg.writes_per_exec_max = 2;
+  dcfg.seed = seed;
+  gen::DarshanGenerator generator(dcfg);
+  graph::RefGraph g = generator.Build(catalog);
+
+  auto name_of = [&](graph::Catalog::Id id) {
+    auto name = catalog->Name(id);
+    EXPECT_TRUE(name.ok()) << id;
+    return name.ok() ? *name : std::string();
+  };
+  auto named_props = [&](const graph::PropMap& props) {
+    engine::NamedProps out;
+    for (const auto& [k, v] : props) out.emplace_back(name_of(k), v);
+    return out;
+  };
+
+  std::vector<MutationOp> ops;
+  for (const auto& [vid, rec] : g.vertices()) {
+    MutationOp op;
+    op.kind = MutationOp::kVertex;
+    op.src = vid + kTrickleVidBase;
+    op.label = name_of(rec.label);
+    op.props = named_props(rec.props);
+    ops.push_back(std::move(op));
+  }
+  const char* kEdgeLabels[] = {"run", "hasExecutions", "exe",
+                               "read", "readBy",        "write"};
+  for (const auto& [vid, rec] : g.vertices()) {
+    for (const char* label : kEdgeLabels) {
+      for (const auto& [dst, props] : g.Edges(vid, catalog->Lookup(label))) {
+        MutationOp op;
+        op.kind = MutationOp::kEdge;
+        op.src = vid + kTrickleVidBase;
+        op.dst = dst + kTrickleVidBase;
+        op.label = label;
+        op.props = named_props(props);
+        ops.push_back(std::move(op));
+      }
+    }
+  }
+  return ops;
+}
+
+// Seeds the queried base graph through the live-update API: vids
+// [0, n) with labels A/B and an integer w, then 3n x/y edges with an
+// integer p — the vocabulary the random plans below traverse.
+inline void SeedBaseGraph(engine::GraphTrekClient* client, Rng* rng, uint32_t n) {
+  for (graph::VertexId v = 0; v < n; v++) {
+    const auto w = static_cast<int64_t>(rng->Uniform(100));
+    ASSERT_TRUE(client
+                    ->PutVertex(v, rng->Bernoulli(0.6) ? "A" : "B",
+                                {{"w", graph::PropValue(w)}})
+                    .ok())
+        << v;
+  }
+  for (uint32_t i = 0; i < 3 * n; i++) {
+    const auto p = static_cast<int64_t>(rng->Uniform(100));
+    ASSERT_TRUE(client
+                    ->PutEdge(rng->Uniform(n), rng->Bernoulli(0.5) ? "x" : "y",
+                              rng->Uniform(n), {{"p", graph::PropValue(p)}})
+                    .ok())
+        << i;
+  }
+}
+
+// Random plan over the base vocabulary: anchored or type-scan start,
+// 2-3 x/y hops, optional w/p filters, optional (incl. intermediate) rtn().
+inline lang::TraversalPlan BuildRacingPlan(graph::Catalog* catalog, Rng* rng,
+                                           uint32_t n) {
+  lang::GTravel travel(catalog);
+  if (rng->Bernoulli(0.75)) {
+    std::vector<graph::VertexId> ids;
+    const uint32_t k = 1 + static_cast<uint32_t>(rng->Uniform(3));
+    for (uint32_t i = 0; i < k; i++) ids.push_back(rng->Uniform(n));
+    travel.v(ids);
+  } else {
+    travel.v().va("type", lang::FilterOp::kEq,
+                  {graph::PropValue(rng->Bernoulli(0.5) ? "A" : "B")});
+  }
+  if (rng->Bernoulli(0.15)) travel.rtn();
+  const uint32_t hops = 2 + static_cast<uint32_t>(rng->Uniform(2));
+  for (uint32_t h = 0; h < hops; h++) {
+    travel.e(rng->Bernoulli(0.5) ? "x" : "y");
+    if (rng->Bernoulli(0.25)) {
+      const auto lo = static_cast<int64_t>(rng->Uniform(40));
+      travel.ea("p", lang::FilterOp::kRange,
+                {graph::PropValue(lo), graph::PropValue(lo + 55)});
+    }
+    if (rng->Bernoulli(0.2)) {
+      travel.va("w", lang::FilterOp::kRange,
+                {graph::PropValue(int64_t{0}), graph::PropValue(int64_t{85})});
+    }
+    if (rng->Bernoulli(0.3)) travel.rtn();
+  }
+  auto plan = travel.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+// The leg itself. `travels` traversals (cycling through the three engine
+// modes) race the stream; each must equal the oracle on its pin-point dump.
+inline void RunMutateRacingLeg(const RacingEnv& env, uint64_t seed,
+                               int travels) {
+  Rng rng(seed * 2654435761u);
+  const uint32_t n = 48;
+  SeedBaseGraph(env.mutator, &rng, n);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const std::vector<MutationOp> trickle = BuildTrickleStream(env.catalog, seed);
+  ASSERT_GT(trickle.size(), 100u);
+
+  // Mutator thread: trickle the Darshan stream and interleave churn on the
+  // base range. It is the only writer, so it knows the live vid set exactly
+  // and every mutation status is deterministic (EXPECT, not tolerated).
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    Rng mrng(seed * 7919 + 1);
+    std::vector<graph::VertexId> live(n);
+    for (uint32_t v = 0; v < n; v++) live[v] = v;
+    uint32_t deletes = 0;
+    size_t next = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (next < trickle.size()) {
+        const MutationOp& op = trickle[next++];
+        if (op.kind == MutationOp::kVertex) {
+          EXPECT_TRUE(env.mutator->PutVertex(op.src, op.label, op.props).ok());
+        } else {
+          EXPECT_TRUE(
+              env.mutator->PutEdge(op.src, op.label, op.dst, op.props).ok());
+        }
+      }
+      // Churn on the queried range: this is what the pin protects against.
+      switch (mrng.Uniform(4)) {
+        case 0: {  // overwrite a live vertex (new w, maybe new type)
+          const graph::VertexId v = live[mrng.Uniform(live.size())];
+          const auto w = static_cast<int64_t>(mrng.Uniform(100));
+          EXPECT_TRUE(env.mutator
+                          ->PutVertex(v, mrng.Bernoulli(0.6) ? "A" : "B",
+                                      {{"w", graph::PropValue(w)}})
+                          .ok());
+          break;
+        }
+        case 1:
+        case 2: {  // new/overwritten edge between live vertices
+          const graph::VertexId src = live[mrng.Uniform(live.size())];
+          const graph::VertexId dst = live[mrng.Uniform(live.size())];
+          const auto p = static_cast<int64_t>(mrng.Uniform(100));
+          EXPECT_TRUE(env.mutator
+                          ->PutEdge(src, mrng.Bernoulli(0.5) ? "x" : "y", dst,
+                                    {{"p", graph::PropValue(p)}})
+                          .ok());
+          break;
+        }
+        case 3: {  // delete a live vertex (bounded so the graph stays dense)
+          if (deletes >= n / 4) break;
+          const size_t idx = mrng.Uniform(live.size());
+          EXPECT_TRUE(env.mutator->DeleteVertex(live[idx]).ok());
+          live[idx] = live.back();
+          live.pop_back();
+          deletes++;
+          break;
+        }
+      }
+    }
+  });
+
+  constexpr engine::EngineMode kModes[] = {engine::EngineMode::kSync,
+                                           engine::EngineMode::kAsyncPlain,
+                                           engine::EngineMode::kGraphTrek};
+  std::vector<engine::TravelId> travel_ids;
+  Rng prng(seed * 104729 + 7);
+  for (int t = 0; t < travels; t++) {
+    SCOPED_TRACE("travel=" + std::to_string(t));
+    const lang::TraversalPlan plan = BuildRacingPlan(env.catalog, &prng, n);
+    engine::RunOptions opts;
+    opts.mode = kModes[t % 3];
+    SCOPED_TRACE(engine::EngineModeName(opts.mode));
+    auto result = env.traveler->Run(plan, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // A restart re-pins mid-stream; with no fault injection there are none,
+    // so every travel has exactly one pin point.
+    ASSERT_EQ(result->restarts, 0u);
+    travel_ids.push_back(result->travel_id);
+
+    auto frozen = env.dump_at_pin(result->travel_id);
+    ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+    const std::vector<graph::VertexId> oracle =
+        lang::EvaluatePlanOnRefGraph(plan, *frozen, *env.catalog);
+    EXPECT_EQ(result->vids, oracle);
+  }
+  stop.store(true);
+  mutator.join();
+
+  // Completion must have moved every pin out of live state (the retained
+  // test-hook map is not residue); lint check-7's erase-path contract.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (engine::TravelId travel : travel_ids) {
+    while (env.has_residue(travel)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "travel " << travel << " still has live pinned state";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+}  // namespace gt::testing

@@ -58,29 +58,34 @@ class AdjacencyCacheTest : public ::testing::Test {
   }
 
   // Out-edges of (src, label) as the store reports them.
-  static EdgeList Scan(GraphStore* store, VertexId src, LabelId label) {
+  static EdgeList Scan(GraphStore* store, VertexId src, LabelId label,
+                       const GraphStore::ReadSnapshot* snap = nullptr) {
     EdgeList out;
     store
-        ->ScanEdges(src, label,
-                    [&](VertexId dst, const PropMap& props) {
-                      const PropValue* w = props.Find(kWeightKey);
-                      out.emplace_back(dst, w != nullptr ? w->as_int() : -1);
-                      return true;
-                    })
+        ->ScanEdges(
+            src, label,
+            [&](VertexId dst, const PropMap& props) {
+              const PropValue* w = props.Find(kWeightKey);
+              out.emplace_back(dst, w != nullptr ? w->as_int() : -1);
+              return true;
+            },
+            /*warm=*/false, snap)
         .ok();
     return out;
   }
 
-  static EdgeList ScanAll(GraphStore* store, VertexId src) {
+  static EdgeList ScanAll(GraphStore* store, VertexId src,
+                          const GraphStore::ReadSnapshot* snap = nullptr) {
     EdgeList out;
     store
-        ->ScanAllEdges(src,
-                       [&](LabelId label, VertexId dst, const PropMap& props) {
-                         const PropValue* w = props.Find(kWeightKey);
-                         out.emplace_back(dst * 1000 + label,
-                                          w != nullptr ? w->as_int() : -1);
-                         return true;
-                       })
+        ->ScanAllEdges(
+            src,
+            [&](LabelId label, VertexId dst, const PropMap& props) {
+              const PropValue* w = props.Find(kWeightKey);
+              out.emplace_back(dst * 1000 + label, w != nullptr ? w->as_int() : -1);
+              return true;
+            },
+            /*warm=*/false, snap)
         .ok();
     return out;
   }
@@ -289,6 +294,64 @@ TEST_F(AdjacencyCacheTest, ScanVerticesByTypeWarmFlagChargesWarm) {
                                        /*warm=*/true)
                   .ok());
   EXPECT_EQ(device.warm_accesses(), warm_before + 1);
+}
+
+// Regression for the torn-read bug this PR fixes. The cache used to be
+// snapshot-oblivious: a pinned reader whose scan missed would build a row
+// from the LIVE store and be handed post-pin edges. Rows now carry the
+// sequence they were built at; a row newer than the reader's snapshot is
+// bypassed (the reader falls back to an uncached scan of the KV snapshot),
+// while rows built at or before the pin are served from cache as usual.
+TEST_F(AdjacencyCacheTest, PinnedSnapshotNeverSeesPostPinRows) {
+  testing::ScopedTempDir dir;
+  auto store = OpenStore(dir.sub("s"), 1 << 20);
+  for (VertexId v : {1u, 2u, 4u}) {
+    ASSERT_TRUE(store->PutVertex(MakeVertex(v)).ok());
+  }
+  ASSERT_TRUE(store->PutEdge(MakeEdge(1, kEdgeX, 2, 1)).ok());
+  ASSERT_TRUE(store->PutEdge(MakeEdge(2, kEdgeX, 1, 1)).ok());
+  ASSERT_TRUE(store->PutEdge(MakeEdge(4, kEdgeX, 1, 1)).ok());
+
+  // Rows for vids 2 and 4 are resident before the pin; vid 1 stays cold.
+  ASSERT_EQ(Scan(store.get(), 2, kEdgeX).size(), 1u);
+  ASSERT_EQ(Scan(store.get(), 4, kEdgeX).size(), 1u);
+
+  const GraphStore::ReadSnapshot* snap = store->GetSnapshot();
+
+  // Post-pin mutations: vid 1's row will be built fresh (too new), vid 2's
+  // resident row is invalidated and also rebuilds too new. Vid 4 untouched.
+  ASSERT_TRUE(store->PutEdge(MakeEdge(1, kEdgeX, 3, 2)).ok());
+  ASSERT_TRUE(store->PutEdge(MakeEdge(2, kEdgeX, 3, 2)).ok());
+
+  // Cold scan under the pin: the freshly built row carries a build sequence
+  // newer than the snapshot, so the pinned reader must not be served it.
+  EdgeList pinned = Scan(store.get(), 1, kEdgeX, snap);
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0].first, 2u);
+  EXPECT_EQ(ScanAll(store.get(), 1, snap).size(), 1u);
+
+  // Same for the invalidated-then-rebuilt row of vid 2.
+  EdgeList pinned2 = Scan(store.get(), 2, kEdgeX, snap);
+  ASSERT_EQ(pinned2.size(), 1u);
+  EXPECT_EQ(pinned2[0].first, 1u);
+
+  // A row built before the pin and never invalidated is still a plain cache
+  // hit for the pinned reader.
+  const uint64_t builds_before = store->adjacency_cache()->builds();
+  const uint64_t hits_before = store->adjacency_cache()->hits();
+  EdgeList pinned4 = Scan(store.get(), 4, kEdgeX, snap);
+  ASSERT_EQ(pinned4.size(), 1u);
+  EXPECT_EQ(pinned4[0].first, 1u);
+  EXPECT_GT(store->adjacency_cache()->hits(), hits_before);
+  EXPECT_EQ(store->adjacency_cache()->builds(), builds_before);
+
+  // Live readers see the post-pin edges, served by the rows the pinned
+  // scans populated (no additional build).
+  EXPECT_EQ(Scan(store.get(), 1, kEdgeX).size(), 2u);
+  EXPECT_EQ(Scan(store.get(), 2, kEdgeX).size(), 2u);
+  EXPECT_EQ(store->adjacency_cache()->builds(), builds_before);
+
+  store->ReleaseSnapshot(snap);
 }
 
 // Concurrent scanners + a mutator: scans must never crash, never observe a

@@ -10,6 +10,7 @@
 #include "src/engine/cluster.h"
 #include "src/engine/remote_catalog.h"
 #include "src/rpc/tcp_transport.h"
+#include "tests/racing_harness.h"
 #include "tests/test_util.h"
 
 namespace gt::engine {
@@ -192,6 +193,15 @@ TEST_P(MutationOracleSweep, LiveMutationsMatchOracleTraversals) {
         const VertexId src = rng.Uniform(kVertices);
         const VertexId dst = rng.Uniform(kVertices);
         const char* label = kEdges[rng.Uniform(2)];
+        // The ingest path rejects edges with a missing (local) endpoint, so
+        // a dangling src doubles as a rejection regression check; edges
+        // with a not-yet-inserted dst are skipped because the dst shard
+        // decides between reject (local) and accept-unverified (remote).
+        if (oracle.FindVertex(src) == nullptr) {
+          EXPECT_FALSE(client->PutEdge(src, label, dst).ok());
+          continue;
+        }
+        if (oracle.FindVertex(dst) == nullptr) continue;
         // Skip duplicate (src,label,dst) edges: the store overwrites them
         // but the oracle would record parallels.
         const auto lid = catalog->Intern(label);
@@ -261,6 +271,7 @@ class TcpClusterTest : public ::testing::Test {
       ServerConfig scfg;
       scfg.id = i;
       scfg.num_servers = kServers;
+      scfg.retain_snapshots_for_test = retain_snapshots_;
       servers_.push_back(std::make_unique<BackendServer>(
           scfg, stores_[i].get(), partitioner_.get(), catalog, transport_.get()));
       ASSERT_TRUE(servers_.back()->Start().ok());
@@ -271,6 +282,10 @@ class TcpClusterTest : public ::testing::Test {
     for (auto& s : servers_) s->Stop();
     transport_->Shutdown();
   }
+
+  // Derived fixtures flip this in their constructor (before SetUp builds
+  // the servers) to keep each travel's pinned snapshot for DumpAtTravelPin.
+  bool retain_snapshots_ = false;
 
   gt::testing::ScopedTempDir dir_;
   std::unique_ptr<rpc::TcpTransport> transport_;
@@ -318,6 +333,55 @@ TEST_F(TcpClusterTest, EndToEndOverRealSockets) {
     ASSERT_TRUE(result.ok()) << EngineModeName(mode) << ": "
                              << result.status().ToString();
     EXPECT_EQ(result->vids, std::vector<VertexId>{4}) << EngineModeName(mode);
+  }
+}
+
+// Mutate-while-traversing over real sockets: the same differential leg as
+// the in-process cluster runs (racing_harness.h), proving the pin protocol
+// (kPinTravel broadcast + lazy first-touch pin) holds over TCP framing too.
+class TcpSnapshotRacingTest : public TcpClusterTest {
+ protected:
+  TcpSnapshotRacingTest() { retain_snapshots_ = true; }
+};
+
+TEST_F(TcpSnapshotRacingTest, MutationsRacingTravelsMatchPinnedOracle) {
+  GraphTrekClient mutator(transport_.get(), 6502, kServers);
+  GraphTrekClient traveler(transport_.get(), 6503, kServers);
+
+  gt::testing::RacingEnv env;
+  env.mutator = &mutator;
+  env.traveler = &traveler;
+  env.catalog = &authority_catalog_;
+  env.dump_at_pin = [&](TravelId travel) -> Result<graph::RefGraph> {
+    graph::RefGraph g;
+    for (uint32_t i = 0; i < kServers; i++) {
+      auto snap = servers_[i]->TravelSnapshotForTest(travel);
+      GT_RETURN_IF_ERROR(stores_[i]->ScanAllVertices(
+          [&](const graph::VertexRecord& rec) {
+            g.AddVertex(rec);
+            return true;
+          },
+          snap.get()));
+      GT_RETURN_IF_ERROR(stores_[i]->ScanEverythingEdges(
+          [&](const graph::EdgeRecord& rec) {
+            g.AddEdge(rec);
+            return true;
+          },
+          snap.get()));
+    }
+    return g;
+  };
+  env.has_residue = [&](TravelId travel) {
+    for (auto& server : servers_) {
+      if (server->HasTravelResidue(travel)) return true;
+    }
+    return false;
+  };
+  gt::testing::RunMutateRacingLeg(env, /*seed=*/1, /*travels=*/6);
+
+  for (auto& server : servers_) server->DropRetainedSnapshotsForTest();
+  for (auto& store : stores_) {
+    EXPECT_EQ(store->db()->NumLiveSnapshots(), 0u);
   }
 }
 

@@ -516,6 +516,125 @@ TEST_F(DBTest, EmptyDatabaseIteratesNothing) {
   EXPECT_TRUE(db->Get("missing", &value).IsNotFound());
 }
 
+// --- Snapshots ----------------------------------------------------------------
+
+TEST_F(DBTest, SnapshotHidesWritesAfterPin) {
+  auto db = OpenDB();
+  ASSERT_TRUE(db->Put("k", "v1").ok());
+  ASSERT_TRUE(db->Put("gone", "soon").ok());
+  const DB::Snapshot* snap = db->GetSnapshot();
+  EXPECT_EQ(db->NumLiveSnapshots(), 1u);
+
+  ASSERT_TRUE(db->Put("k", "v2").ok());
+  ASSERT_TRUE(db->Delete("gone").ok());
+  ASSERT_TRUE(db->Put("new-key", "x").ok());
+
+  std::string value;
+  ASSERT_TRUE(db->Get("k", &value, snap).ok());
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(db->Get("gone", &value, snap).ok());
+  EXPECT_EQ(value, "soon");
+  EXPECT_TRUE(db->Get("new-key", &value, snap).IsNotFound());
+  // Live reads are unaffected.
+  ASSERT_TRUE(db->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+  EXPECT_TRUE(db->Get("gone", &value).IsNotFound());
+
+  // Iterator and prefix scan through the snapshot see the pinned view.
+  auto it = db->NewIterator(snap);
+  std::map<std::string, std::string> seen;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    seen[it->key().ToString()] = it->value().ToString();
+  }
+  EXPECT_EQ(seen, (std::map<std::string, std::string>{{"gone", "soon"}, {"k", "v1"}}));
+
+  std::vector<std::optional<std::string>> values;
+  ASSERT_TRUE(db->MultiGet({"k", "gone", "new-key"}, &values, snap).ok());
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "v1");
+  EXPECT_EQ(values[1], "soon");
+  EXPECT_FALSE(values[2].has_value());
+
+  db->ReleaseSnapshot(snap);
+  EXPECT_EQ(db->NumLiveSnapshots(), 0u);
+}
+
+TEST_F(DBTest, SnapshotSurvivesFlushAndCompaction) {
+  auto db = OpenDB();
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), "old" + std::to_string(i)).ok());
+  }
+  // Flush so the pinned generation lands in its own table: compaction then
+  // has real input overlap to garbage-collect (a single table is a no-op).
+  ASSERT_TRUE(db->Flush().ok());
+  const DB::Snapshot* snap = db->GetSnapshot();
+
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), "new" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 25; i++) {
+    ASSERT_TRUE(db->Delete("key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  // Compaction must keep the versions the pinned snapshot can still see.
+  EXPECT_GT(db->stats().snapshot_preserved_versions.load(), 0u);
+
+  std::string value;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &value, snap).ok()) << i;
+    EXPECT_EQ(value, "old" + std::to_string(i)) << i;
+  }
+  // Live view: first half deleted, second half overwritten.
+  for (int i = 0; i < 25; i++) {
+    EXPECT_TRUE(db->Get("key" + std::to_string(i), &value).IsNotFound()) << i;
+  }
+  for (int i = 25; i < 50; i++) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "new" + std::to_string(i)) << i;
+  }
+  db->ReleaseSnapshot(snap);
+}
+
+TEST_F(DBTest, ReleaseSnapshotUnblocksGarbageCollection) {
+  auto db = OpenDB();
+  ASSERT_TRUE(db->Put("k", "old").ok());
+  ASSERT_TRUE(db->Flush().ok());  // two tables so CompactAll does real work
+  const DB::Snapshot* snap = db->GetSnapshot();
+  ASSERT_TRUE(db->Put("k", "new").ok());
+  ASSERT_TRUE(db->Delete("dead").ok());
+  ASSERT_TRUE(db->Flush().ok());
+
+  db->ReleaseSnapshot(snap);
+  EXPECT_EQ(db->NumLiveSnapshots(), 0u);
+  const uint64_t preserved_before = db->stats().snapshot_preserved_versions.load();
+  ASSERT_TRUE(db->CompactAll().ok());
+  // No live snapshot: shadowed versions and tombstones are dropped, nothing
+  // is preserved on a snapshot's behalf.
+  EXPECT_EQ(db->stats().snapshot_preserved_versions.load(), preserved_before);
+  std::string value;
+  ASSERT_TRUE(db->Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST_F(DBTest, ConcurrentSnapshotsPinDistinctVersions) {
+  auto db = OpenDB();
+  std::vector<const DB::Snapshot*> snaps;
+  for (int gen = 0; gen < 4; gen++) {
+    ASSERT_TRUE(db->Put("k", "gen" + std::to_string(gen)).ok());
+    snaps.push_back(db->GetSnapshot());
+    ASSERT_TRUE(db->Flush().ok());  // one table per generation
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::string value;
+  for (int gen = 0; gen < 4; gen++) {
+    ASSERT_TRUE(db->Get("k", &value, snaps[gen]).ok()) << gen;
+    EXPECT_EQ(value, "gen" + std::to_string(gen)) << gen;
+  }
+  for (auto* s : snaps) db->ReleaseSnapshot(s);
+  EXPECT_EQ(db->NumLiveSnapshots(), 0u);
+}
+
 class DBValueSizeParam : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(DBValueSizeParam, RoundTripsValuesOfVariousSizes) {
