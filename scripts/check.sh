@@ -49,6 +49,15 @@ step "cross-engine differential harness (test_engine_differential)"
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'EngineDifferentialTest'
 
+# GTravel language + planner gate: plan codec round-trip/validation, the
+# GTravel builder, the reference evaluator, and the statistics-driven
+# planner goldens. Planner-on/off result identity itself rides in the
+# differential harness above; this gate keeps the unit-level coverage from
+# silently dropping out of discovery.
+step "GTravel language + planner tests"
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'PlanTest|FilterTest|GTravelTest|EvaluatorTest|PlannerTest'
+
 # Bench smoke gate: every figure/table/ablation binary must still run end to
 # end at --smoke size (they read the metrics registry, so a renamed series
 # breaks here instead of on a multi-hour full run).
@@ -112,6 +121,9 @@ if [[ "$FAST" == 0 ]]; then
   step "cross-engine differential harness under TSan"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'EngineDifferentialTest'
+  step "planner goldens + fuzz-corpus replay under TSan"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+    -R 'PlannerTest|CorpusReplayTest'
   step "adjacency-cache tests under TSan (mutate-while-traversing)"
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
     -R 'AdjacencyCacheTest'

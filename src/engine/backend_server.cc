@@ -16,6 +16,10 @@ namespace {
 
 constexpr uint32_t kBackwardKeyBit = 0x80000000u;
 constexpr size_t kMaxAbortTombstones = 10000;
+// Coordinator-side bound on accumulated kPaths results: path counts can grow
+// combinatorially with fan-out, and the coordinator materializes every
+// distinct chain before rendering.
+constexpr size_t kMaxCoordinatorPaths = size_t{1} << 17;
 
 std::string EncodeTravelId(TravelId id) {
   std::string s;
@@ -35,10 +39,22 @@ bool RtnAtStep(const lang::TraversalPlan& plan, uint32_t step) {
   return plan.hops[step - 1].rtn;
 }
 
-// Whether a vertex surviving the final step is itself a result.
+// Whether a vertex surviving the final step is itself a result. until()
+// plans return only the until() hits: final-step survivors that never
+// matched the until filters are dropped.
 bool FinalStepYieldsResults(const lang::TraversalPlan& plan) {
+  if (plan.has_until()) return false;
   const uint32_t last = static_cast<uint32_t>(plan.num_steps());
   return !plan.has_rtn() || RtnAtStep(plan, last);
+}
+
+// The until() filter set checked on vertices entering `step` (stamped on
+// every unrolled copy of a repeat hop), or null when the step has none.
+const std::vector<lang::Filter>* UntilFiltersAtStep(const lang::TraversalPlan& plan,
+                                                    uint32_t step) {
+  if (step == 0 || step > plan.hops.size()) return nullptr;
+  const auto& u = plan.hops[step - 1].until_filters;
+  return u.empty() ? nullptr : &u;
 }
 
 // True when results require per-vertex attribution through the answer tree
@@ -497,12 +513,65 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     fail(plan.status());
     return;
   }
+  // The wire plan is untrusted: Decode enforces structure, Validate the
+  // semantic rules (scan anchor, until/branch/paths restrictions, caps).
+  if (Status vst = plan->Validate(); !vst.ok()) {
+    fail(vst);
+    return;
+  }
 
   uint8_t cls_byte = submit->priority_class;
   if (cls_byte >= kNumTravelClasses) cls_byte = static_cast<uint8_t>(TravelClass::kNormal);
   const TravelClass cls = static_cast<TravelClass>(cls_byte);
 
   MutexLock lk(&mu_);
+
+  // Statistics-driven rewrite (result-identical; see src/lang/planner.h).
+  // Runs before expansion so hand-offs forward the rewritten compact form.
+  std::string plan_bytes = submit->plan;
+  if (cfg_.planner) {
+    *plan = lang::RewritePlan(*plan, PlanStatsLocked(), *catalog_,
+                              catalog_->Intern("type"));
+    plan_bytes = plan->Encode();
+  }
+
+  // Expand to the executable form up front so oversized repeat chains
+  // reject before admission. Branch plans flatten into one linear sub-plan
+  // per alternative; each runs as an internal child travel below.
+  auto locked_fail = [&](const Status& st) {
+    CompletePayload done;
+    done.ok = 0;
+    done.code = static_cast<uint8_t>(st.code());
+    done.error = st.ToString();
+    rpc::Message reply;
+    reply.type = rpc::MsgType::kTraversalComplete;
+    reply.src = cfg_.id;
+    reply.dst = msg.src;
+    reply.rpc_id = msg.rpc_id;
+    reply.payload = done.Encode();
+    QueueSendLocked(std::move(reply));
+  };
+  std::vector<lang::TraversalPlan> subs;      // branch alternatives (compact)
+  std::vector<lang::TraversalPlan> expanded;  // parallel: unrolled sub-plans
+  lang::TraversalPlan unrolled;               // non-branch executable plan
+  if (plan->has_branch()) {
+    subs = plan->FlattenBranches();
+    for (const auto& sub : subs) {
+      auto u = sub.Unrolled();
+      if (!u.ok()) {
+        locked_fail(u.status());
+        return;
+      }
+      expanded.push_back(std::move(*u));
+    }
+  } else {
+    auto u = plan->Unrolled();
+    if (!u.ok()) {
+      locked_fail(u.status());
+      return;
+    }
+    unrolled = std::move(*u);
+  }
 
   // Admission control: bound the in-flight-travel table, overall and per
   // priority class. Rejection is backpressure, not failure — the client
@@ -529,6 +598,97 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   inflight_per_class_[cls_byte]++;
   travel_admitted_[cls_byte]->Inc();
 
+  const EngineMode mode = static_cast<EngineMode>(submit->mode);
+  const uint64_t now_us = NowMicros();
+  const uint32_t timeout_ms =
+      submit->timeout_ms == 0 ? cfg_.exec_timeout_ms : submit->timeout_ms;
+  const uint64_t deadline_us =
+      submit->deadline_ms == 0
+          ? 0
+          : now_us + static_cast<uint64_t>(submit->deadline_ms) * 1000;
+
+  TravelState& ts = travels_[travel];
+  ts.id = travel;
+  ts.mode = mode;
+  ts.client = msg.src;
+  ts.plan_bytes = plan_bytes;
+  ts.started_us = now_us;
+  ts.last_activity_us = now_us;
+  ts.timeout_ms = timeout_ms;
+  ts.cls = cls;
+  ts.deadline_us = deadline_us;
+  ts.result_mode = plan->result_mode;
+  ts.group_key = plan->group_key;
+
+  // Acknowledge with the assigned travel id; results stream separately.
+  rpc::Message reply;
+  reply.type = rpc::MsgType::kTraversalAccepted;
+  reply.src = cfg_.id;
+  reply.dst = msg.src;
+  reply.rpc_id = msg.rpc_id;
+  reply.payload = EncodeTravelId(travel);
+  QueueSendLocked(std::move(reply));
+
+  if (plan->has_branch()) {
+    // Branch fan-out: the parent travel does no engine work of its own —
+    // each flattened alternative runs as an internal child travel
+    // coordinated on this same server, so parent/child result folding
+    // happens under one mu_. Children pin their own snapshots (per-child
+    // consistency; union-of-consistent-views semantics under races) and
+    // inherit the parent's absolute deadline so lifecycle enforcement
+    // happens at the children, which propagate failure upward.
+    ts.plan = *plan;
+    ts.unfinished_per_step.assign(1, 0);
+    ts.pending_children = static_cast<uint32_t>(subs.size());
+    for (size_t a = 0; a < subs.size(); a++) {
+      ts.children.push_back(MakeExecId(cfg_.id, next_travel_seq_++));
+    }
+    for (size_t a = 0; a < subs.size(); a++) {
+      const TravelId child = ts.children[a];
+      PinTravelSnapLocked(child);
+      if (cfg_.snapshot_isolation) {
+        for (ServerId s = 0; s < cfg_.num_servers; s++) {
+          if (s == cfg_.id) continue;
+          rpc::Message pin;
+          pin.type = rpc::MsgType::kPinTravel;
+          pin.src = cfg_.id;
+          pin.dst = s;
+          pin.payload = EncodeTravelId(child);
+          QueueSendLocked(std::move(pin));
+        }
+      }
+      TravelState& cs = travels_[child];
+      cs.id = child;
+      cs.mode = mode;
+      cs.client = 0;
+      cs.internal = true;
+      cs.parent_travel = travel;
+      cs.plan_bytes = subs[a].Encode();
+      cs.plan = expanded[a];
+      cs.started_us = now_us;
+      cs.last_activity_us = now_us;
+      cs.timeout_ms = timeout_ms;
+      cs.cls = cls;
+      cs.deadline_us = deadline_us;
+      cs.result_mode = plan->result_mode;
+      cs.group_key = plan->group_key;
+      cs.unfinished_per_step.assign(cs.plan.num_steps() + 1, 0);
+
+      auto cplan = std::make_shared<CompiledPlan>();
+      cplan->plan = cs.plan;
+      cplan->plan_bytes = cs.plan_bytes;
+      cplan->mode = mode;
+      cplan->coordinator = cfg_.id;
+      cplan->type_key = catalog_->Intern("type");
+      cplan->attribution = NeedsAttribution(cs.plan);
+      plans_[child] = cplan;
+      cs.attribution = cplan->attribution;
+
+      StartTravelLocked(cs);
+    }
+    return;
+  }
+
   // Pin the travel's read view locally and broadcast the pin to every other
   // server. The pin messages are queued before the seed/step frames below,
   // so on in-order transports every participant pins before it sees any
@@ -547,23 +707,12 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     }
   }
 
-  TravelState& ts = travels_[travel];
-  ts.id = travel;
-  ts.mode = static_cast<EngineMode>(submit->mode);
-  ts.client = msg.src;
-  ts.plan_bytes = submit->plan;
-  ts.plan = *plan;
-  ts.started_us = NowMicros();
-  ts.last_activity_us = ts.started_us;
-  ts.timeout_ms = submit->timeout_ms == 0 ? cfg_.exec_timeout_ms : submit->timeout_ms;
-  ts.cls = cls;
-  ts.deadline_us =
-      submit->deadline_ms == 0 ? 0 : ts.started_us + static_cast<uint64_t>(submit->deadline_ms) * 1000;
-  ts.unfinished_per_step.assign(plan->num_steps() + 1, 0);
+  ts.plan = std::move(unrolled);  // executable (repeat-expanded) form
+  ts.unfinished_per_step.assign(ts.plan.num_steps() + 1, 0);
 
   auto cplan = std::make_shared<CompiledPlan>();
-  cplan->plan = *plan;
-  cplan->plan_bytes = submit->plan;
+  cplan->plan = ts.plan;
+  cplan->plan_bytes = plan_bytes;
   cplan->mode = ts.mode;
   cplan->coordinator = cfg_.id;
   // Intern, not Lookup: replica catalogs only know names they have seen;
@@ -571,19 +720,14 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
   // misses forever and every type filter would degrade to an ordinary prop
   // filter that no vertex carries.
   cplan->type_key = catalog_->Intern("type");
-  cplan->attribution = NeedsAttribution(*plan);
+  cplan->attribution = NeedsAttribution(ts.plan);
   plans_[travel] = cplan;
   ts.attribution = cplan->attribution;
 
-  // Acknowledge with the assigned travel id; results stream separately.
-  rpc::Message reply;
-  reply.type = rpc::MsgType::kTraversalAccepted;
-  reply.src = cfg_.id;
-  reply.dst = msg.src;
-  reply.rpc_id = msg.rpc_id;
-  reply.payload = EncodeTravelId(travel);
-  QueueSendLocked(std::move(reply));
+  StartTravelLocked(ts);
+}
 
+void BackendServer::StartTravelLocked(TravelState& ts) {
   if (ts.mode == EngineMode::kSync) {
     // Seed step-0 frontier batches, then start step 0 on every server.
     ts.sync_fwd_matrices.assign(ts.plan.num_steps() + 1,
@@ -599,7 +743,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     for (ServerId s = 0; s < cfg_.num_servers; s++) {
       if (!seed[s].empty()) {
         SyncBatchPayload batch;
-        batch.travel_id = travel;
+        batch.travel_id = ts.id;
         batch.step = 0;
         batch.phase = 0;
         batch.entries = std::move(seed[s]);
@@ -617,7 +761,7 @@ void BackendServer::HandleSubmit(rpc::Message&& msg) {
     for (ServerId s = 0; s < cfg_.num_servers; s++) {
       RecordStepEventLocked(ts, 0, /*created=*/true);
       SyncStepPayload start;
-      start.travel_id = travel;
+      start.travel_id = ts.id;
       start.step = 0;
       start.phase = 0;
       start.scan_start = scan ? 1 : 0;
@@ -701,40 +845,93 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
   if (ts.done) return;
   ts.done = true;
 
-  // Release the admission slot the travel held since HandleSubmit.
-  const uint8_t cls_byte = static_cast<uint8_t>(ts.cls);
-  if (cls_byte < kNumTravelClasses && inflight_per_class_[cls_byte] > 0) {
-    inflight_per_class_[cls_byte]--;
+  // Release the admission slot the travel held since HandleSubmit (internal
+  // branch children were never admitted).
+  if (!ts.internal) {
+    const uint8_t cls_byte = static_cast<uint8_t>(ts.cls);
+    if (cls_byte < kNumTravelClasses && inflight_per_class_[cls_byte] > 0) {
+      inflight_per_class_[cls_byte]--;
+    }
   }
 
-  // Stream results to the client in chunks, then the completion marker.
-  std::vector<graph::VertexId> all(ts.results.begin(), ts.results.end());
-  std::sort(all.begin(), all.end());
-  for (size_t off = 0; off < all.size(); off += cfg_.result_chunk) {
-    ResultChunkPayload chunk;
-    chunk.travel_id = ts.id;
-    chunk.vids.assign(all.begin() + off,
-                      all.begin() + std::min(all.size(), off + cfg_.result_chunk));
+  // Render + stream results to the client by result mode, then the
+  // completion marker. Internal children skip rendering entirely: their raw
+  // structures fold into the parent below and the parent renders once.
+  if (!ts.internal) {
+    auto send_chunk = [&](ResultChunkPayload&& chunk) {
+      chunk.travel_id = ts.id;
+      rpc::Message m;
+      m.type = rpc::MsgType::kResultChunk;
+      m.src = cfg_.id;
+      m.dst = ts.client;
+      m.payload = chunk.Encode();
+      QueueSendLocked(std::move(m));
+    };
+    uint64_t total = 0;
+    switch (ts.result_mode) {
+      case lang::ResultMode::kVertices: {
+        std::vector<graph::VertexId> all(ts.results.begin(), ts.results.end());
+        std::sort(all.begin(), all.end());
+        for (size_t off = 0; off < all.size(); off += cfg_.result_chunk) {
+          ResultChunkPayload chunk;
+          chunk.vids.assign(all.begin() + off,
+                            all.begin() + std::min(all.size(), off + cfg_.result_chunk));
+          send_chunk(std::move(chunk));
+        }
+        total = all.size();
+        break;
+      }
+      case lang::ResultMode::kCount:
+        // count() folds entirely into total_results; no chunks.
+        total = ts.results.size();
+        break;
+      case lang::ResultMode::kGroup: {
+        // value -> count over the distinct result vertices, in value order.
+        std::map<std::string, uint64_t> groups;
+        for (const auto& [vid, value] : ts.result_values) {
+          (void)vid;
+          groups[value]++;
+        }
+        ResultChunkPayload chunk;
+        for (const auto& [value, count] : groups) {
+          chunk.groups.emplace_back(value, count);
+          if (chunk.groups.size() >= cfg_.result_chunk) {
+            send_chunk(std::move(chunk));
+            chunk = ResultChunkPayload();
+          }
+        }
+        if (!chunk.groups.empty()) send_chunk(std::move(chunk));
+        total = ts.result_values.size();
+        break;
+      }
+      case lang::ResultMode::kPaths: {
+        ResultChunkPayload chunk;
+        for (const auto& path : ts.result_paths) {
+          chunk.paths.push_back(path);
+          if (chunk.paths.size() >= cfg_.result_chunk) {
+            send_chunk(std::move(chunk));
+            chunk = ResultChunkPayload();
+          }
+        }
+        if (!chunk.paths.empty()) send_chunk(std::move(chunk));
+        total = ts.result_paths.size();
+        break;
+      }
+    }
+
+    CompletePayload done;
+    done.travel_id = ts.id;
+    done.ok = status.ok() ? 1 : 0;
+    done.code = static_cast<uint8_t>(status.code());
+    done.error = status.ok() ? "" : status.ToString();
+    done.total_results = total;
     rpc::Message m;
-    m.type = rpc::MsgType::kResultChunk;
+    m.type = rpc::MsgType::kTraversalComplete;
     m.src = cfg_.id;
     m.dst = ts.client;
-    m.payload = chunk.Encode();
+    m.payload = done.Encode();
     QueueSendLocked(std::move(m));
   }
-
-  CompletePayload done;
-  done.travel_id = ts.id;
-  done.ok = status.ok() ? 1 : 0;
-  done.code = static_cast<uint8_t>(status.code());
-  done.error = status.ok() ? "" : status.ToString();
-  done.total_results = all.size();
-  rpc::Message m;
-  m.type = rpc::MsgType::kTraversalComplete;
-  m.src = cfg_.id;
-  m.dst = ts.client;
-  m.payload = done.Encode();
-  QueueSendLocked(std::move(m));
 
   // Broadcast cleanup; every server (including this one) drops the travel's
   // plans, cache entries, queued tasks and any leftover execution state.
@@ -745,6 +942,46 @@ void BackendServer::CompleteTravelLocked(TravelState& ts, Status status) {
     abort.dst = s;
     abort.payload = AbortPayload{ts.id, AbortPayload::kCleanup}.Encode();
     QueueSendLocked(std::move(abort));
+  }
+  // A completing branch parent cancels any children still running (their
+  // local abort routes back through this function and finds the parent
+  // done, so the fold below is skipped for them).
+  for (TravelId child : ts.children) {
+    for (ServerId s = 0; s < cfg_.num_servers; s++) {
+      rpc::Message abort;
+      abort.type = rpc::MsgType::kAbortTraversal;
+      abort.src = cfg_.id;
+      abort.dst = s;
+      abort.payload = AbortPayload{child, AbortPayload::kCleanup}.Encode();
+      QueueSendLocked(std::move(abort));
+    }
+  }
+
+  if (ts.internal) {
+    // Fold this child's raw result structures into the parent; the union of
+    // the alternatives' results is the branch semantics. A failing child
+    // fails the whole branch with its status.
+    auto pit = travels_.find(ts.parent_travel);
+    if (pit != travels_.end() && !pit->second.done) {
+      TravelState& parent = pit->second;
+      if (!status.ok()) {
+        parent.results.clear();
+        parent.result_values.clear();
+        parent.result_paths.clear();
+        CompleteTravelLocked(parent, status);
+      } else {
+        parent.results.insert(ts.results.begin(), ts.results.end());
+        for (const auto& [vid, value] : ts.result_values) {
+          parent.result_values.emplace(vid, value);
+        }
+        parent.result_paths.insert(ts.result_paths.begin(), ts.result_paths.end());
+        parent.last_activity_us = NowMicros();
+        if (parent.pending_children > 0) parent.pending_children--;
+        if (parent.pending_children == 0) CompleteTravelLocked(parent, Status::OK());
+      }
+    }
+    travels_.erase(ts.id);  // ts is dangling after this line
+    return;
   }
 
   const uint64_t now_us = NowMicros();
@@ -838,8 +1075,16 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
       GT_WARN << "server " << cfg_.id << ": bad plan in traverse";
       return;
     }
+    // The wire form is compact; execution uses the repeat-expanded chain so
+    // step attribution and cohort numbering line up across servers.
+    auto unrolled = plan->Unrolled();
+    if (!unrolled.ok()) {
+      GT_WARN << "server " << cfg_.id << ": bad plan in traverse: "
+              << unrolled.status().ToString();
+      return;
+    }
     cplan = std::make_shared<CompiledPlan>();
-    cplan->plan = std::move(*plan);
+    cplan->plan = std::move(*unrolled);
     cplan->plan_bytes.assign(req->plan);  // first sight: copy out of the frame
     cplan->mode = static_cast<EngineMode>(req->mode);
     cplan->coordinator = req->coordinator;
@@ -874,16 +1119,61 @@ void BackendServer::HandleTraverse(rpc::Message&& msg) {
     const graph::LabelId label = ScanLabelFor(cplan->plan, catalog_);
     if (label != graph::Catalog::kInvalidId) {
       const bool warm = !scanned_types_[req->travel_id].insert(label).second;
-      store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
+      auto collect = [&](graph::VertexId vid) {
         scan_entries.push_back(vid);
         return true;
-      }, warm, travel_snap.get()).ok();
+      };
+      if (cplan->plan.push_start_filters) {
+        // Planner pushdown: apply every start filter inside the index scan
+        // so non-matching vertices never become root tasks. The engine
+        // re-applies the filters at processing time (idempotent), so this
+        // is result-identical with the unpushed path.
+        const auto& sf = cplan->plan.start_vertex_filters;
+        store_->ScanVerticesByTypeFiltered(
+            label,
+            [&](const graph::VertexRecord& rec) {
+              return lang::VertexMatchesAll(sf, rec, *catalog_, cplan->type_key);
+            },
+            collect, warm, travel_snap.get()).ok();
+      } else {
+        store_->ScanVerticesByType(label, collect, warm, travel_snap.get()).ok();
+      }
     }
   }
 
   const ExecId exec_id = exec.id;
   execs_.emplace(exec_id, std::move(exec_owner));
   ExecState& ex = *execs_.at(exec_id);
+
+  if (cplan->plan.result_mode == lang::ResultMode::kPaths) {
+    // kPaths (always direct protocol: the validator forbids rtn): prefixes
+    // ride FrontierEntry.parents, and the same vertex reached along
+    // different chains expands once per distinct prefix. The travel cache
+    // is bypassed — absorption would collapse distinct prefixes into one.
+    auto add_entry = [&](graph::VertexId vid,
+                         const std::vector<graph::VertexId>& prefix) {
+      auto& prefixes = ex.path_prefixes[vid];
+      if (std::find(prefixes.begin(), prefixes.end(), prefix) == prefixes.end()) {
+        prefixes.push_back(prefix);
+      }
+    };
+    for (const auto& e : req->entries) add_entry(e.vid, e.parents);
+    for (auto vid : scan_entries) add_entry(vid, std::vector<graph::VertexId>{});
+    visit_stats_.received.fetch_add(ex.path_prefixes.size());
+    visit_stats_.AddStep(ex.step, ex.path_prefixes.size());
+    for (const auto& [vid, prefixes] : ex.path_prefixes) {
+      (void)prefixes;
+      ex.owned_unprocessed++;
+      queue_.Push(VertexTask{ex.travel, ex.step, vid, ex.id, /*is_owner=*/true,
+                             /*sync=*/false},
+                  graphtrek && cfg_.graphtrek_priority_sched,
+                  graphtrek && cfg_.graphtrek_merging);
+    }
+    if (ex.owned_unprocessed == 0 && !ex.dispatched) {
+      DispatchLocked(ex, *cplan);  // erases ex
+    }
+    return;
+  }
 
   if (!attribution) {
     // Direct protocol: per entry, one memo probe decides owner vs redundant.
@@ -1078,7 +1368,12 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
     vid_edges.emplace_back(ArenaAllocator<EdgeEntry>(arena));
   }
 
-  if (cfg_.batched_multiget && vids.size() > 1) {
+  // Planner fetch strategy: 0 honours the server knob, 1 forces the batched
+  // MultiGet, 2 forces per-vertex point reads. Both read the same records
+  // from the same snapshot — result-identical by construction.
+  const bool batched_fetch =
+      plan.fetch_hint == 0 ? cfg_.batched_multiget : plan.fetch_hint == 1;
+  if (batched_fetch && vids.size() > 1) {
     // One MultiGet per step cohort (usually the whole group) so straggler
     // rules still see the step each access belongs to.
     std::vector<bool> fetched(vids.size(), false);
@@ -1150,6 +1445,9 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
     bool passed = false;
     bool final_step = false;
     TargetVec targets;
+    // kGroup: the vertex's rendered group value, captured here while the
+    // record is in hand (the apply phase never re-reads the store).
+    std::string group_value;
     explicit Outcome(Arena* a)
         : targets(ArenaAllocator<std::pair<ServerId, graph::VertexId>>(a)) {}
   };
@@ -1167,8 +1465,27 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
       continue;
     }
     out.passed = true;
-    if (t.step >= num_steps) {
+    // until(): a matching vertex at an iteration boundary is a terminal
+    // result — no further expansion. In an until() plan, final-step
+    // survivors that never matched are not results at all.
+    const std::vector<lang::Filter>* until = UntilFiltersAtStep(plan, t.step);
+    const bool until_hit =
+        until != nullptr &&
+        lang::VertexMatchesAll(*until, vd.rec, *catalog_, cplan->type_key);
+    if (until_hit) {
       out.final_step = true;
+    } else if (t.step >= num_steps) {
+      if (plan.has_until()) {
+        out.passed = false;
+        continue;
+      }
+      out.final_step = true;
+    }
+    if (out.final_step) {
+      if (plan.result_mode == lang::ResultMode::kGroup) {
+        out.group_value =
+            lang::GroupValueForVertex(vd.rec, plan.group_key, *catalog_, cplan->type_key);
+      }
       continue;
     }
     const lang::Hop& hop = plan.hops[t.step];
@@ -1191,6 +1508,35 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
     if (eit == execs_.end()) continue;  // exec gone (abort)
     ExecState& exec = *eit->second;
     Outcome& out = outcomes[i];
+
+    if (cplan->plan.result_mode == lang::ResultMode::kPaths) {
+      // kPaths bypasses the cache and classification entirely: every task
+      // is an owner task, and each distinct prefix of the vertex extends
+      // through every passing edge independently.
+      const auto ppit = exec.path_prefixes.find(t.vid);
+      if (ppit != exec.path_prefixes.end()) {
+        if (out.passed && out.final_step) {
+          for (const auto& prefix : ppit->second) {
+            std::vector<graph::VertexId> path = prefix;
+            path.push_back(t.vid);
+            exec.result_paths.push_back(std::move(path));
+          }
+        } else if (out.passed) {
+          for (auto& [server, dst] : out.targets) {
+            for (const auto& prefix : ppit->second) {
+              std::vector<graph::VertexId> chain = prefix;
+              chain.push_back(t.vid);
+              exec.out_path_entries[server].push_back(FrontierEntry{dst, std::move(chain)});
+            }
+          }
+        }
+      }
+      exec.owned_unprocessed--;
+      if (exec.owned_unprocessed == 0 && !exec.dispatched) {
+        DispatchLocked(exec, *cplan);  // erases exec on this path
+      }
+      continue;
+    }
 
     bool owner = t.is_owner;
     if (!graphtrek) {
@@ -1248,6 +1594,9 @@ void BackendServer::ProcessBatch(const std::vector<VertexTask>& batch) {
         for (auto& w : waiters) w(out.passed);  // none are registered
         if (out.passed && out.final_step) {
           exec.results.push_back(t.vid);
+          if (cplan->plan.result_mode == lang::ResultMode::kGroup) {
+            exec.result_values.push_back(std::move(out.group_value));
+          }
         } else if (out.passed) {
           for (auto& [server, dst] : out.targets) {
             exec.out_targets[server][dst];  // parents not tracked
@@ -1309,7 +1658,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
   exec.dispatched = true;
 
   std::vector<ExecId> created;
-  for (auto& [server, targets] : exec.out_targets) {
+  auto send_child = [&](ServerId server, std::vector<FrontierEntry> entries) {
     const ExecId child_id = MakeExecId(cfg_.id, next_exec_seq_++);
     created.push_back(child_id);
 
@@ -1322,10 +1671,7 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
     req.coordinator = cplan.coordinator;
     req.mode = static_cast<uint8_t>(cplan.mode);
     req.plan = cplan.plan_bytes;
-    req.entries.reserve(targets.size());
-    for (auto& [dst, parents] : targets) {
-      req.entries.push_back(FrontierEntry{dst, std::move(parents)});
-    }
+    req.entries = std::move(entries);
 
     rpc::Message m;
     m.type = rpc::MsgType::kTraverse;
@@ -1333,19 +1679,34 @@ void BackendServer::DispatchLocked(ExecState& exec, const CompiledPlan& cplan) {
     m.dst = server;
     m.payload = req.Encode();
     QueueSendLocked(std::move(m));
+  };
+  for (auto& [server, targets] : exec.out_targets) {
+    std::vector<FrontierEntry> entries;
+    entries.reserve(targets.size());
+    for (auto& [dst, parents] : targets) {
+      entries.push_back(FrontierEntry{dst, std::move(parents)});
+    }
+    send_child(server, std::move(entries));
+  }
+  // kPaths expansion: one entry per (prefix, edge), prefixes in `parents`.
+  for (auto& [server, entries] : exec.out_path_entries) {
+    send_child(server, std::move(entries));
   }
   exec.children_outstanding = static_cast<uint32_t>(created.size());
   exec.out_targets.clear();
+  exec.out_path_entries.clear();
 
   if (!cplan.attribution) {
     // Direct protocol (paper Fig. 3): results go straight to the
     // coordinator; the execution is finished once it has dispatched.
-    if (!exec.results.empty()) {
+    if (!exec.results.empty() || !exec.result_paths.empty()) {
       AnswerPayload ans;
       ans.travel_id = exec.travel;
       ans.exec_id = exec.id;
       ans.parent_exec = 0;  // travel-level accumulation
       ans.result_vids = std::move(exec.results);
+      ans.result_values = std::move(exec.result_values);
+      ans.result_paths = std::move(exec.result_paths);
       rpc::Message m;
       m.type = rpc::MsgType::kReturnVertices;
       m.src = cfg_.id;
@@ -1412,7 +1773,23 @@ void BackendServer::HandleAnswer(rpc::Message&& msg) {
     if (it == travels_.end()) return;
     TravelState& ts = it->second;
     ts.results.insert(ans->result_vids.begin(), ans->result_vids.end());
+    if (!ans->result_values.empty()) {
+      // Decode validated the parallel-array invariant.
+      for (size_t i = 0; i < ans->result_vids.size(); i++) {
+        ts.result_values[ans->result_vids[i]] = std::move(ans->result_values[i]);
+      }
+    }
+    for (auto& path : ans->result_paths) {
+      ts.result_paths.insert(std::move(path));
+    }
     ts.last_activity_us = NowMicros();
+    if (ts.result_paths.size() > kMaxCoordinatorPaths) {
+      ts.results.clear();
+      ts.result_values.clear();
+      ts.result_paths.clear();
+      CompleteTravelLocked(ts, Status::Internal("path result limit exceeded"));
+      return;
+    }
     if (!ts.attribution) return;  // completion comes from status tracing
     if (ts.root_outstanding > 0) ts.root_outstanding--;
     if (ts.root_outstanding == 0) CompleteTravelLocked(ts, Status::OK());
@@ -1681,7 +2058,12 @@ void BackendServer::HandleAbort(rpc::Message&& msg) {
   auto tit = travels_.find(travel);
   if (tit != travels_.end() && !tit->second.done) {
     if (abort->reason == AbortPayload::kCancel) travel_cancelled_->Inc();
-    tit->second.results.clear();  // cancelled travels return no results
+    // Cancelled travels return no results. A cancelled branch child also
+    // folds nothing: the parent either initiated the cancel (done already)
+    // or fails over via the child's Aborted status.
+    tit->second.results.clear();
+    tit->second.result_values.clear();
+    tit->second.result_paths.clear();
     CompleteTravelLocked(tit->second, Status::Aborted("travel cancelled"));
   }
 
@@ -1756,6 +2138,11 @@ void BackendServer::MaintenanceLoop() {
       const uint64_t now = NowMicros();
       for (auto& [id, ts] : travels_) {
         if (ts.done) continue;
+        // Branch parents do no engine work: their children inherit the
+        // absolute deadline and carry their own activity timeouts, and any
+        // child failure propagates up through the fold. Enforcing the
+        // parent's own last_activity would race the children's progress.
+        if (ts.pending_children > 0) continue;
         if (ts.deadline_us != 0 && now > ts.deadline_us) {
           deadline_exceeded.push_back(id);
         } else if (now - ts.last_activity_us >
@@ -1769,6 +2156,8 @@ void BackendServer::MaintenanceLoop() {
         travel_deadline_exceeded_->Inc();
         // Deadline expiry is final: Timeout is not retryable client-side.
         it->second.results.clear();
+        it->second.result_values.clear();
+        it->second.result_paths.clear();
         CompleteTravelLocked(it->second, Status::Timeout("travel deadline exceeded"));
       }
       for (TravelId id : failed) {
@@ -1779,6 +2168,8 @@ void BackendServer::MaintenanceLoop() {
         // The paper's recovery story: detect via the trace registry and
         // restart the whole traversal. Aborted is the client's retry signal.
         it->second.results.clear();
+        it->second.result_values.clear();
+        it->second.result_paths.clear();
         CompleteTravelLocked(it->second, Status::Aborted("execution lost"));
       }
     }
@@ -1802,7 +2193,9 @@ void BackendServer::HandleSyncStepStart(rpc::Message&& msg) {
   if (!sl.plan_ready && !start->plan.empty()) {
     auto plan = lang::TraversalPlan::Decode(start->plan);
     if (!plan.ok()) return;
-    sl.cplan.plan = std::move(*plan);
+    auto unrolled = plan->Unrolled();  // execute the repeat-expanded chain
+    if (!unrolled.ok()) return;
+    sl.cplan.plan = std::move(*unrolled);
     sl.cplan.plan_bytes = start->plan;
     sl.cplan.mode = EngineMode::kSync;
     sl.cplan.coordinator = msg.src;
@@ -1889,13 +2282,25 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
   sl.steps_processed.insert(step);
   sl.processing = true;
 
-  // Merge the inbox into a deduplicated frontier.
+  // Merge the inbox into a deduplicated frontier. In kPaths mode the
+  // entries' parents are distinct visited-chain prefixes; each is kept (and
+  // deduplicated) per vertex rather than concatenated.
+  const bool paths_mode = sl.cplan.plan.result_mode == lang::ResultMode::kPaths;
   sl.current_frontier.clear();
+  sl.current_paths.clear();
   uint64_t raw_entries = 0;
   for (auto& [sender, entries] : sl.inbox[step]) {
     (void)sender;
     for (auto& e : entries) {
       raw_entries += 1;
+      if (paths_mode) {
+        auto& prefixes = sl.current_paths[e.vid];
+        if (std::find(prefixes.begin(), prefixes.end(), e.parents) == prefixes.end()) {
+          prefixes.push_back(e.parents);
+        }
+        sl.current_frontier.emplace(e.vid, std::vector<graph::VertexId>{});
+        continue;
+      }
       auto [fit, inserted] = sl.current_frontier.emplace(e.vid, e.parents);
       if (!inserted) {
         fit->second.insert(fit->second.end(), e.parents.begin(), e.parents.end());
@@ -1907,11 +2312,28 @@ void BackendServer::SyncMaybeProcessStepLocked(TravelId travel) {
     if (label != graph::Catalog::kInvalidId) {
       const size_t before = sl.current_frontier.size();
       const bool warm = !scanned_types_[travel].insert(label).second;
-      store_->ScanVerticesByType(label, [&](graph::VertexId vid) {
+      auto add = [&](graph::VertexId vid) {
         raw_entries += 1;
+        if (paths_mode) {
+          auto& prefixes = sl.current_paths[vid];
+          if (prefixes.empty()) prefixes.push_back({});  // scan roots: empty prefix
+        }
         sl.current_frontier.emplace(vid, std::vector<graph::VertexId>{});
         return true;
-      }, warm, TravelSnapLocked(travel).get()).ok();
+      };
+      if (sl.cplan.plan.push_start_filters) {
+        // Planner pushdown, mirroring the async scan start.
+        const auto& sf = sl.cplan.plan.start_vertex_filters;
+        const graph::Catalog::Id type_key = sl.cplan.type_key;
+        store_->ScanVerticesByTypeFiltered(
+            label,
+            [&](const graph::VertexRecord& rec) {
+              return lang::VertexMatchesAll(sf, rec, *catalog_, type_key);
+            },
+            add, warm, TravelSnapLocked(travel).get()).ok();
+      } else {
+        store_->ScanVerticesByType(label, add, warm, TravelSnapLocked(travel).get()).ok();
+      }
       visit_stats_.received.fetch_add(sl.current_frontier.size() - before);
       visit_stats_.AddStep(step, sl.current_frontier.size() - before);
     }
@@ -1957,8 +2379,21 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
   auto vrec = store_->GetVertex(task.vid, warm, travel_snap.get());
   bool passed = vrec.ok() && lang::VertexMatchesAll(StepVertexFilters(plan, step), *vrec,
                                                     *catalog_, cplan->type_key);
+  // until(): a match at an iteration boundary is a terminal result — no
+  // expansion. Group values are rendered here, while the record is in hand.
+  const std::vector<lang::Filter>* until = UntilFiltersAtStep(plan, step);
+  const bool until_hit = passed && until != nullptr &&
+                         lang::VertexMatchesAll(*until, *vrec, *catalog_, cplan->type_key);
+  std::string group_value;
+  bool have_group_value = false;
+  if (passed && plan.result_mode == lang::ResultMode::kGroup &&
+      (until_hit || (step >= num_steps && !plan.has_until()))) {
+    group_value = lang::GroupValueForVertex(*vrec, plan.group_key, *catalog_,
+                                            cplan->type_key);
+    have_group_value = true;
+  }
   std::vector<std::pair<graph::VertexId, graph::PropMap>> edges;
-  if (passed && step < num_steps) {
+  if (passed && !until_hit && step < num_steps) {
     const lang::Hop& hop = plan.hops[step];
     store_->ScanEdges(task.vid, hop.edge_label,
                       [&](graph::VertexId dst, const graph::PropMap& props) {
@@ -1979,10 +2414,31 @@ void BackendServer::ProcessSyncTask(const VertexTask& task) {
   SyncLocal& sl = it->second;
   if (passed) {
     sl.passed[step].insert(task.vid);
-    for (const auto& [dst, props] : edges) {
-      (void)props;
-      sl.expansion[step][partitioner_->ServerFor(dst)][dst].push_back(task.vid);
+    if (until_hit) {
+      // Terminal until() result: reported with this step's done message.
+      sl.step_results.push_back(task.vid);
+      if (have_group_value) sl.step_result_values.push_back(std::move(group_value));
+    } else if (plan.result_mode == lang::ResultMode::kPaths) {
+      // Each distinct prefix of this vertex extends through every edge.
+      const auto ppit = sl.current_paths.find(task.vid);
+      if (ppit != sl.current_paths.end()) {
+        for (const auto& [dst, props] : edges) {
+          (void)props;
+          const ServerId server = partitioner_->ServerFor(dst);
+          for (const auto& prefix : ppit->second) {
+            std::vector<graph::VertexId> chain = prefix;
+            chain.push_back(task.vid);
+            sl.path_expansion[step][server].push_back(FrontierEntry{dst, std::move(chain)});
+          }
+        }
+      }
+    } else {
+      for (const auto& [dst, props] : edges) {
+        (void)props;
+        sl.expansion[step][partitioner_->ServerFor(dst)][dst].push_back(task.vid);
+      }
     }
+    if (!until_hit && have_group_value) sl.value_by_vid[task.vid] = std::move(group_value);
   }
   if (sl.pending_tasks > 0) sl.pending_tasks--;
   if (sl.pending_tasks == 0) SyncFinishForwardStepLocked(task.travel, sl);
@@ -1999,38 +2455,100 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
   done.phase = 0;
   done.batches_sent.assign(cfg_.num_servers, 0);
 
+  const bool paths_mode = plan.result_mode == lang::ResultMode::kPaths;
+
   if (step < num_steps) {
-    auto exp_it = sl.expansion.find(step);
-    if (exp_it != sl.expansion.end()) {
-      for (auto& [server, targets] : exp_it->second) {
-        SyncBatchPayload batch;
-        batch.travel_id = travel;
-        batch.step = step + 1;
-        batch.phase = 0;
-        batch.entries.reserve(targets.size());
-        // Parents stay local (the backward phase uses this server's own
-        // expansion map); ship bare vertex ids.
-        for (auto& [dst, parents] : targets) {
-          (void)parents;
-          batch.entries.push_back(FrontierEntry{dst, {}});
+    if (paths_mode) {
+      // Path batches ship full prefixes in FrontierEntry::parents; duplicate
+      // (vid, prefix) pairs were already deduped at expansion time.
+      auto pexp_it = sl.path_expansion.find(step);
+      if (pexp_it != sl.path_expansion.end()) {
+        for (auto& [server, entries] : pexp_it->second) {
+          SyncBatchPayload batch;
+          batch.travel_id = travel;
+          batch.step = step + 1;
+          batch.phase = 0;
+          batch.entries = std::move(entries);
+          rpc::Message m;
+          m.type = rpc::MsgType::kSyncBatch;
+          m.src = cfg_.id;
+          m.dst = server;
+          m.payload = batch.Encode();
+          QueueSendLocked(std::move(m));
+          done.batches_sent[server] = 1;
         }
-        rpc::Message m;
-        m.type = rpc::MsgType::kSyncBatch;
-        m.src = cfg_.id;
-        m.dst = server;
-        m.payload = batch.Encode();
-        QueueSendLocked(std::move(m));
-        done.batches_sent[server] = 1;
+      }
+    } else {
+      auto exp_it = sl.expansion.find(step);
+      if (exp_it != sl.expansion.end()) {
+        for (auto& [server, targets] : exp_it->second) {
+          SyncBatchPayload batch;
+          batch.travel_id = travel;
+          batch.step = step + 1;
+          batch.phase = 0;
+          batch.entries.reserve(targets.size());
+          // Parents stay local (the backward phase uses this server's own
+          // expansion map); ship bare vertex ids.
+          for (auto& [dst, parents] : targets) {
+            (void)parents;
+            batch.entries.push_back(FrontierEntry{dst, {}});
+          }
+          rpc::Message m;
+          m.type = rpc::MsgType::kSyncBatch;
+          m.src = cfg_.id;
+          m.dst = server;
+          m.payload = batch.Encode();
+          QueueSendLocked(std::move(m));
+          done.batches_sent[server] = 1;
+        }
       }
     }
   } else {
     // Final step: report surviving vertices when they are the results.
-    if (FinalStepYieldsResults(plan)) {
+    if (paths_mode) {
+      auto pit = sl.passed.find(step);
+      if (pit != sl.passed.end()) {
+        for (graph::VertexId vid : pit->second) {
+          auto ppit = sl.current_paths.find(vid);
+          if (ppit == sl.current_paths.end()) continue;
+          for (const auto& prefix : ppit->second) {
+            std::vector<graph::VertexId> chain = prefix;
+            chain.push_back(vid);
+            done.result_paths.push_back(std::move(chain));
+          }
+        }
+      }
+    } else if (FinalStepYieldsResults(plan)) {
       auto pit = sl.passed.find(step);
       if (pit != sl.passed.end()) {
         done.result_vids.assign(pit->second.begin(), pit->second.end());
+        if (plan.result_mode == lang::ResultMode::kGroup) {
+          done.result_values.reserve(done.result_vids.size());
+          for (graph::VertexId vid : done.result_vids) {
+            done.result_values.push_back(sl.value_by_vid[vid]);
+          }
+        }
       }
     }
+  }
+
+  // until() hits collected at this step are terminal results regardless of
+  // the step index; attach them to this step's done message.
+  if (!sl.step_results.empty()) {
+    if (plan.result_mode == lang::ResultMode::kGroup && done.result_values.empty() &&
+        !done.result_vids.empty()) {
+      // Keep the parallel-array invariant if finals were attached above.
+      done.result_values.resize(done.result_vids.size());
+    }
+    done.result_vids.insert(done.result_vids.end(), sl.step_results.begin(),
+                            sl.step_results.end());
+    if (plan.result_mode == lang::ResultMode::kGroup) {
+      done.result_values.insert(done.result_values.end(),
+                                sl.step_result_values.begin(),
+                                sl.step_result_values.end());
+    }
+    sl.step_results.clear();
+    sl.step_result_values.clear();
   }
 
   // Keep forward history only when a backward phase will need it.
@@ -2038,6 +2556,9 @@ void BackendServer::SyncFinishForwardStepLocked(TravelId travel, SyncLocal& sl) 
     sl.expansion.erase(step);
     sl.passed.erase(step);
   }
+  sl.path_expansion.erase(step);  // paths plans never have a backward phase
+  sl.current_paths.clear();
+  sl.value_by_vid.clear();
   sl.current_frontier.clear();
   sl.processing = false;
 
@@ -2120,6 +2641,21 @@ void BackendServer::SyncCoordinatorStepDoneLocked(TravelState& ts,
   // Forward-phase barrier arrivals close the per-server span for this step.
   if (done.phase == 0) RecordStepEventLocked(ts, done.step, /*created=*/false);
   ts.results.insert(done.result_vids.begin(), done.result_vids.end());
+  if (!done.result_values.empty()) {
+    for (size_t i = 0; i < done.result_vids.size() && i < done.result_values.size(); i++) {
+      ts.result_values.emplace(done.result_vids[i], done.result_values[i]);
+    }
+  }
+  if (!done.result_paths.empty()) {
+    for (auto& p : done.result_paths) ts.result_paths.insert(std::move(p));
+    if (ts.result_paths.size() > kMaxCoordinatorPaths) {
+      ts.results.clear();
+      ts.result_values.clear();
+      ts.result_paths.clear();
+      CompleteTravelLocked(ts, Status::Internal("path result limit exceeded"));
+      return;
+    }
+  }
   if (done.phase == 0) {
     if (ts.sync_fwd_matrices[done.step].empty()) {
       ts.sync_fwd_matrices[done.step].assign(cfg_.num_servers,
@@ -2197,6 +2733,26 @@ void BackendServer::SyncStartStepLocked(TravelState& ts, uint32_t step, uint8_t 
     m.payload = start.Encode();
     QueueSendLocked(std::move(m));
   }
+}
+
+const lang::PlanStats& BackendServer::PlanStatsLocked() {
+  if (plan_stats_ready_) return plan_stats_;
+  plan_stats_ready_ = true;
+  // Statistics from this coordinator's local shard. Hash partitioning
+  // spreads every type/label roughly evenly, so shard-local counts are a
+  // representative sample for selectivity *ordering* — the only thing the
+  // planner consumes. Maintenance-path scans: no device charges.
+  store_->ScanAllVertices([&](const graph::VertexRecord& rec) {
+    plan_stats_.total_vertices++;
+    plan_stats_.vertices_per_type[rec.label]++;
+    return true;
+  }).ok();
+  store_->ScanEverythingEdges([&](const graph::EdgeRecord& rec) {
+    plan_stats_.total_edges++;
+    plan_stats_.edges_per_label[rec.label]++;
+    return true;
+  }).ok();
+  return plan_stats_;
 }
 
 }  // namespace gt::engine

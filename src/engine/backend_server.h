@@ -17,6 +17,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "src/graph/graph_store.h"
 #include "src/graph/partitioner.h"
 #include "src/lang/gtravel.h"
+#include "src/lang/planner.h"
 #include "src/rpc/transport.h"
 
 namespace gt::engine {
@@ -88,6 +90,13 @@ struct ServerConfig {
   // exact pinned view a finished travel saw (Cluster::DumpAtTravelPin).
   // Callers must drain via DropRetainedSnapshotsForTest.
   bool retain_snapshots_for_test = false;
+
+  // Statistics-driven planner (coordinator role): rewrite each submitted
+  // plan (selectivity-ordered filter lists, start-filter pushdown, fetch
+  // strategy) against statistics collected once from the local shard. Every
+  // rewrite is result-identical by construction; the differential harness
+  // asserts planner-on == planner-off on randomized plans.
+  bool planner = false;
 };
 
 class BackendServer {
@@ -142,8 +151,13 @@ class BackendServer {
   // --- shared traversal bookkeeping ---------------------------------------
 
   struct CompiledPlan {
+    // The executable plan: repeat hops expanded into linear cohorts
+    // (TraversalPlan::Unrolled), never carrying a branch — the coordinator
+    // flattens branches into per-alternative child travels before any
+    // engine sees them. plan_bytes stays the compact wire form so hand-offs
+    // forward what arrived.
     lang::TraversalPlan plan;
-    std::string plan_bytes;  // serialized form forwarded on every hand-off
+    std::string plan_bytes;  // serialized (compact) form forwarded on hand-offs
     EngineMode mode = EngineMode::kGraphTrek;
     ServerId coordinator = 0;
     graph::Catalog::Id type_key = graph::Catalog::kInvalidId;
@@ -193,6 +207,18 @@ class BackendServer {
     uint32_t children_outstanding = 0;
 
     std::vector<graph::VertexId> results;  // rtn/final hits + child pass-through
+    // kGroup: rendered group value per results entry (parallel vector),
+    // captured at processing time while the vertex record is in hand.
+    std::vector<std::string> result_values;
+    // kPaths: completed visited chains discovered by this execution.
+    std::vector<std::vector<graph::VertexId>> result_paths;
+    // kPaths: distinct path prefixes per entry vertex (the same vertex can
+    // be reached along several chains; each expands independently).
+    std::unordered_map<graph::VertexId, std::vector<std::vector<graph::VertexId>>>
+        path_prefixes;
+    // kPaths outbound expansion: one frontier entry per (prefix, edge) —
+    // out_targets' dst->parents merging would garble distinct prefixes.
+    std::unordered_map<ServerId, std::vector<FrontierEntry>> out_path_entries;
     bool answered = false;
   };
 
@@ -228,6 +254,23 @@ class BackendServer {
     bool roots_dispatched = false;
     uint64_t incomplete_execs = 0;  // trace entries missing created/terminated
     std::unordered_set<graph::VertexId> results;
+
+    // Result-mode accumulation (rendered to the client only at completion).
+    lang::ResultMode result_mode = lang::ResultMode::kVertices;
+    graph::Catalog::Id group_key = 0;
+    std::unordered_map<graph::VertexId, std::string> result_values;  // kGroup
+    std::set<std::vector<graph::VertexId>> result_paths;             // kPaths
+
+    // Branch fan-out (coordinator-side): a branch plan becomes one parent
+    // travel plus one internal child travel per flattened alternative, all
+    // coordinated on this server so parent/child folding happens under one
+    // mu_. Children skip admission and client streaming; their RAW result
+    // structures merge into the parent at completion, and rendering happens
+    // only when the parent completes.
+    TravelId parent_travel = 0;      // nonzero = internal branch child
+    bool internal = false;           // true for branch children
+    uint32_t pending_children = 0;   // parent: children not yet folded
+    std::vector<TravelId> children;  // parent: abort/deadline cascade list
 
     // Per-step span accumulation for the archived TravelTrace (async modes
     // feed this from trace items, the sync engine from its step barriers).
@@ -268,7 +311,21 @@ class BackendServer {
     size_t pending_tasks = 0;
     std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> current_frontier;
     std::unordered_set<graph::VertexId> current_passed;
+    // until() hits collected during this forward step (terminal results; they
+    // ride the step-done report's result_vids). step_result_values is the
+    // parallel kGroup value vector.
     std::vector<graph::VertexId> step_results;
+    std::vector<std::string> step_result_values;
+    // kGroup: rendered value per final-step passing vertex, captured while
+    // the record is in hand during ProcessSyncTask.
+    std::unordered_map<graph::VertexId, std::string> value_by_vid;
+    // kPaths: distinct visited-chain prefixes per current-frontier vertex,
+    // and the per-(prefix, edge) outbound expansion (dst->parents merging in
+    // `expansion` would garble distinct prefixes).
+    std::unordered_map<graph::VertexId, std::vector<std::vector<graph::VertexId>>>
+        current_paths;
+    std::unordered_map<uint32_t, std::unordered_map<ServerId, std::vector<FrontierEntry>>>
+        path_expansion;
     // Backward phase.
     std::unordered_map<uint32_t, std::unordered_set<graph::VertexId>> alive;
     std::unordered_map<uint32_t, uint32_t> back_batches_received;
@@ -305,6 +362,14 @@ class BackendServer {
   void TryAnswerLocked(ExecState& exec) GT_REQUIRES(mu_);
   void EraseExecLocked(ExecId id) GT_REQUIRES(mu_);
   void StartRootExecsLocked(TravelState& ts) GT_REQUIRES(mu_);
+  // Launches an admitted travel: seeds the sync step matrix + step-start
+  // broadcast (kSync) or the root executions (async modes). Factored out of
+  // HandleSubmit so branch children launch through the same path.
+  void StartTravelLocked(TravelState& ts) GT_REQUIRES(mu_);
+  // Lazily collects planner statistics from the local shard (once per
+  // server; guarded by plan_stats_ready_). Maintenance-path scans only — no
+  // device charges.
+  const lang::PlanStats& PlanStatsLocked() GT_REQUIRES(mu_);
   void CompleteTravelLocked(TravelState& ts, Status status) GT_REQUIRES(mu_);
   // Folds one execution lifecycle event into the travel's step spans.
   void RecordStepEventLocked(TravelState& ts, uint32_t step, bool created)
@@ -410,6 +475,11 @@ class BackendServer {
   std::deque<TravelId> aborted_order_ GT_GUARDED_BY(mu_);  // bounds the tombstone set
   uint64_t next_exec_seq_ GT_GUARDED_BY(mu_) = 1;
   uint64_t next_travel_seq_ GT_GUARDED_BY(mu_) = 1;
+  // Planner statistics, built once from this shard on first planner-enabled
+  // submit (under hash partitioning the local shard is a representative
+  // sample of global selectivities; rewrites only need relative order).
+  bool plan_stats_ready_ GT_GUARDED_BY(mu_) = false;
+  lang::PlanStats plan_stats_ GT_GUARDED_BY(mu_);
   // Live coordinated travels per priority class (admission accounting;
   // incremented on admit, decremented in CompleteTravelLocked).
   std::array<uint32_t, kNumTravelClasses> inflight_per_class_ GT_GUARDED_BY(mu_) = {{0, 0, 0}};

@@ -104,6 +104,8 @@ Result<TraversalResult> GraphTrekClient::Await(TravelId travel, uint32_t timeout
         if (!chunk.ok()) return chunk.status();
         if (chunk->travel_id != travel) continue;  // stale stream
         result.vids.insert(result.vids.end(), chunk->vids.begin(), chunk->vids.end());
+        for (const auto& [value, count] : chunk->groups) result.groups[value] += count;
+        for (auto& path : chunk->paths) result.paths.push_back(std::move(path));
         break;
       }
       case rpc::MsgType::kTraversalComplete: {
@@ -116,9 +118,13 @@ Result<TraversalResult> GraphTrekClient::Await(TravelId travel, uint32_t timeout
           if (st.ok()) st = Status::Aborted(done->error);
           return st;
         }
+        result.count = done->total_results;
         std::sort(result.vids.begin(), result.vids.end());
         result.vids.erase(std::unique(result.vids.begin(), result.vids.end()),
                           result.vids.end());
+        std::sort(result.paths.begin(), result.paths.end());
+        result.paths.erase(std::unique(result.paths.begin(), result.paths.end()),
+                           result.paths.end());
         return result;
       }
       default:
@@ -175,12 +181,19 @@ Result<TraversalResult> GraphTrekClient::RunUnion(
     auto result = Run(plan, opts);
     if (!result.ok()) return result.status();
     combined.vids.insert(combined.vids.end(), result->vids.begin(), result->vids.end());
+    combined.count += result->count;
+    for (const auto& [value, count] : result->groups) combined.groups[value] += count;
+    combined.paths.insert(combined.paths.end(), result->paths.begin(),
+                          result->paths.end());
     restarts += result->restarts;
     combined.travel_id = result->travel_id;
   }
   std::sort(combined.vids.begin(), combined.vids.end());
   combined.vids.erase(std::unique(combined.vids.begin(), combined.vids.end()),
                       combined.vids.end());
+  std::sort(combined.paths.begin(), combined.paths.end());
+  combined.paths.erase(std::unique(combined.paths.begin(), combined.paths.end()),
+                       combined.paths.end());
   combined.elapsed_ms = watch.ElapsedMillis();
   combined.restarts = restarts;
   return combined;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -19,7 +20,13 @@ namespace gt::engine {
 
 struct TraversalResult {
   TravelId travel_id = 0;
-  std::vector<graph::VertexId> vids;  // sorted, deduplicated
+  std::vector<graph::VertexId> vids;  // sorted, deduplicated (kVertices)
+  // Aggregation / path terminals (populated per the plan's result_mode; the
+  // others stay empty). `count` is the coordinator-reported result total and
+  // is set for every mode — for count() plans it IS the result.
+  uint64_t count = 0;
+  std::map<std::string, uint64_t> groups;           // group(key): value -> count
+  std::vector<std::vector<graph::VertexId>> paths;  // path(): visited chains
   double elapsed_ms = 0.0;
   uint32_t restarts = 0;  // failure-triggered resubmissions
 };

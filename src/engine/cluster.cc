@@ -56,6 +56,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig cfg) {
     scfg.admission_limits = c.admission_limits;
     scfg.graphtrek_merging = c.graphtrek_merging;
     scfg.graphtrek_priority_sched = c.graphtrek_priority_sched;
+    scfg.planner = c.planner;
     scfg.batched_multiget = c.batched_multiget;
     scfg.arena_scratch = c.arena_scratch;
     scfg.snapshot_isolation = c.snapshot_isolation;

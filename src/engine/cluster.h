@@ -38,6 +38,11 @@ struct ClusterConfig {
   bool graphtrek_merging = true;
   bool graphtrek_priority_sched = true;
 
+  // Statistics-driven plan rewriting at each coordinator (see
+  // ServerConfig::planner). Off by default: the differential harness
+  // compares planner-on vs planner-off clusters for result identity.
+  bool planner = false;
+
   // I/O-path ablation knobs (see DESIGN.md "Adjacency cache & batched
   // I/O"). Each axis toggles independently of the two above.
   size_t adjacency_cache_bytes = 16 << 20;  // 0 disables the CSR cache

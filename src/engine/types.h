@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/codec.h"
@@ -139,6 +140,46 @@ inline bool DecodeVidList(CheckedReader* dec, std::vector<graph::VertexId>* out)
   return true;
 }
 
+// Length-prefixed string list (group values riding beside result vids).
+inline void EncodeStringList(std::string* out, const std::vector<std::string>& strs) {
+  PutVarint32(out, static_cast<uint32_t>(strs.size()));
+  for (const auto& s : strs) PutLengthPrefixed(out, s);
+}
+
+inline bool DecodeStringList(CheckedReader* dec, std::vector<std::string>* out) {
+  uint32_t n = 0;
+  if (!dec->GetCount(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    std::string_view s;
+    if (!dec->GetLengthPrefixed(&s)) return false;
+    out->emplace_back(s);
+  }
+  return true;
+}
+
+// Vertex-chain list (kPaths results: each inner list is one visited chain).
+inline void EncodePathList(std::string* out,
+                           const std::vector<std::vector<graph::VertexId>>& paths) {
+  PutVarint32(out, static_cast<uint32_t>(paths.size()));
+  for (const auto& p : paths) EncodeVidList(out, p);
+}
+
+inline bool DecodePathList(CheckedReader* dec,
+                           std::vector<std::vector<graph::VertexId>>* out) {
+  uint32_t n = 0;
+  if (!dec->GetCount(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    std::vector<graph::VertexId> p;
+    if (!DecodeVidList(dec, &p)) return false;
+    out->push_back(std::move(p));
+  }
+  return true;
+}
+
 // --- kSubmitTraversal (client -> coordinator) ------------------------------
 
 struct SubmitPayload {
@@ -237,6 +278,10 @@ struct AnswerPayload {
   ExecId parent_exec = 0;     // destination execution
   std::vector<graph::VertexId> reached_parents;  // parent vids with a live path
   std::vector<graph::VertexId> result_vids;      // rtn/final results, pass-through
+  // Result-mode extension (decode tolerates its absence for old encoders;
+  // legacy plans encode no tail, so their frames stay byte-identical):
+  std::vector<std::string> result_values;  // kGroup: value per result vid
+  std::vector<std::vector<graph::VertexId>> result_paths;  // kPaths chains
 
   std::string Encode() const {
     std::string out;
@@ -245,6 +290,10 @@ struct AnswerPayload {
     PutVarint64(&out, parent_exec);
     EncodeVidList(&out, reached_parents);
     EncodeVidList(&out, result_vids);
+    if (!result_values.empty() || !result_paths.empty()) {
+      EncodeStringList(&out, result_values);
+      EncodePathList(&out, result_paths);
+    }
     return out;
   }
   static Result<AnswerPayload> Decode(std::string_view data) {
@@ -254,6 +303,16 @@ struct AnswerPayload {
         !dec.GetVarint64(&p.parent_exec) || !DecodeVidList(&dec, &p.reached_parents) ||
         !DecodeVidList(&dec, &p.result_vids)) {
       return Status::Corruption("bad answer payload");
+    }
+    if (!dec.empty()) {
+      if (!DecodeStringList(&dec, &p.result_values) ||
+          !DecodePathList(&dec, &p.result_paths)) {
+        return Status::Corruption("bad answer result tail");
+      }
+      // Group values ride one-per-result-vid; anything else is corrupt.
+      if (!p.result_values.empty() && p.result_values.size() != p.result_vids.size()) {
+        return Status::Corruption("answer result_values/result_vids mismatch");
+      }
     }
     return p;
   }
@@ -353,11 +412,24 @@ struct TraceBatchPayload {
 struct ResultChunkPayload {
   TravelId travel_id = 0;
   std::vector<graph::VertexId> vids;
+  // Result-mode extension (decode tolerates its absence; legacy kVertices
+  // travels never encode it): group buckets and path chains streamed to the
+  // client at completion time.
+  std::vector<std::pair<std::string, uint64_t>> groups;  // value -> count
+  std::vector<std::vector<graph::VertexId>> paths;
 
   std::string Encode() const {
     std::string out;
     PutVarint64(&out, travel_id);
     EncodeVidList(&out, vids);
+    if (!groups.empty() || !paths.empty()) {
+      PutVarint32(&out, static_cast<uint32_t>(groups.size()));
+      for (const auto& [value, count] : groups) {
+        PutLengthPrefixed(&out, value);
+        PutVarint64(&out, count);
+      }
+      EncodePathList(&out, paths);
+    }
     return out;
   }
   static Result<ResultChunkPayload> Decode(std::string_view data) {
@@ -365,6 +437,23 @@ struct ResultChunkPayload {
     CheckedReader dec(data);
     if (!dec.GetVarint64(&p.travel_id) || !DecodeVidList(&dec, &p.vids)) {
       return Status::Corruption("bad result chunk");
+    }
+    if (!dec.empty()) {
+      uint32_t n = 0;
+      // 2 = minimum encoded bucket (empty length-prefixed value + count).
+      if (!dec.GetCount(&n, 2)) return Status::Corruption("bad result chunk groups");
+      p.groups.reserve(n);
+      for (uint32_t i = 0; i < n; i++) {
+        std::string_view value;
+        uint64_t count = 0;
+        if (!dec.GetLengthPrefixed(&value) || !dec.GetVarint64(&count)) {
+          return Status::Corruption("bad result chunk group");
+        }
+        p.groups.emplace_back(std::string(value), count);
+      }
+      if (!DecodePathList(&dec, &p.paths)) {
+        return Status::Corruption("bad result chunk paths");
+      }
     }
     return p;
   }
@@ -490,6 +579,10 @@ struct SyncStepPayload {
   uint32_t batches_expected = 0;
   // kSyncStepDone: local result vids discovered this step (final/rtn).
   std::vector<graph::VertexId> result_vids;
+  // Result-mode extension (decode tolerates its absence; legacy plans never
+  // encode it): group values parallel to result_vids, path chains.
+  std::vector<std::string> result_values;
+  std::vector<std::vector<graph::VertexId>> result_paths;
 
   std::string Encode() const {
     std::string out;
@@ -502,6 +595,10 @@ struct SyncStepPayload {
     for (auto c : batches_sent) PutVarint32(&out, c);
     PutVarint32(&out, batches_expected);
     EncodeVidList(&out, result_vids);
+    if (!result_values.empty() || !result_paths.empty()) {
+      EncodeStringList(&out, result_values);
+      EncodePathList(&out, result_paths);
+    }
     return out;
   }
   static Result<SyncStepPayload> Decode(std::string_view data) {
@@ -521,6 +618,15 @@ struct SyncStepPayload {
     }
     if (!dec.GetVarint32(&p.batches_expected) || !DecodeVidList(&dec, &p.result_vids)) {
       return Status::Corruption("bad sync step tail");
+    }
+    if (!dec.empty()) {
+      if (!DecodeStringList(&dec, &p.result_values) ||
+          !DecodePathList(&dec, &p.result_paths)) {
+        return Status::Corruption("bad sync step result tail");
+      }
+      if (!p.result_values.empty() && p.result_values.size() != p.result_vids.size()) {
+        return Status::Corruption("sync step result_values/result_vids mismatch");
+      }
     }
     return p;
   }

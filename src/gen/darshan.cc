@@ -61,8 +61,10 @@ graph::RefGraph DarshanGenerator::Build(graph::Catalog* catalog) {
     e.label = label;
     e.dst = dst;
     e.props = std::move(props);
-    g.AddEdge(std::move(e));
-    stats_.edges++;
+    // AddEdge upserts on (src, label, dst) — an execution re-reading the
+    // same hot file collapses to one resident edge, and stats_ counts what
+    // is actually resident, not the raw event stream.
+    if (g.AddEdge(std::move(e))) stats_.edges++;
   };
 
   // Jobs, executions and file accesses. User activity is skewed: a handful

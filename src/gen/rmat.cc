@@ -24,12 +24,25 @@ graph::RefGraph RmatGenerator::Build(graph::Catalog* catalog,
     g.AddVertex(std::move(v));
   }
 
+  // RefGraph (like the KV stores) upserts on (src, label, dst), so repeated
+  // samples cannot become parallel edges. Resample collisions so the graph
+  // really contains the requested n * avg_degree distinct edges; with
+  // dedup_edges the duplicate is dropped instead (fewer edges). The retry
+  // cap only matters for degenerate configs where the quadrant skew makes a
+  // handful of pairs absorb most of the mass.
   std::unordered_set<uint64_t> seen;
   for (uint64_t i = 0; i < m; i++) {
     auto [src, dst] = SampleEdge();
+    uint64_t key = (src << cfg_.scale) | dst;
     if (cfg_.dedup_edges) {
-      const uint64_t key = (src << cfg_.scale) | dst;
       if (!seen.insert(key).second) continue;
+    } else {
+      int retries = 0;
+      while (!seen.insert(key).second && ++retries <= 64) {
+        std::tie(src, dst) = SampleEdge();
+        key = (src << cfg_.scale) | dst;
+      }
+      if (retries > 64) continue;  // saturated hot pair; give up on this edge
     }
     graph::EdgeRecord e;
     e.src = src;

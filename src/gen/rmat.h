@@ -21,7 +21,8 @@ struct RmatConfig {
   double a = 0.45, b = 0.15, c = 0.15, d = 0.25;
   uint32_t attr_bytes = 128;    // random payload per vertex and edge
   uint64_t seed = 20150901;     // CLUSTER'15 vintage
-  bool dedup_edges = false;     // drop repeated (src, dst) pairs
+  bool dedup_edges = false;     // drop repeated (src, dst) pairs instead of
+                                // resampling them (yields < n*avg_degree edges)
 };
 
 class RmatGenerator {

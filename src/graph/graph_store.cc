@@ -428,4 +428,73 @@ Status GraphStore::ScanVerticesByType(LabelId label,
   return s;
 }
 
+Status GraphStore::ScanVerticesByTypeFiltered(
+    LabelId label, const std::function<bool(const VertexRecord&)>& pred,
+    const std::function<bool(VertexId)>& fn, bool warm, const ReadSnapshot* snap) {
+  // The index walk charges once, as in ScanVerticesByType, and yields the
+  // candidates in ascending vid order (index keys are label + vid-BE).
+  std::vector<VertexId> candidates;
+  GT_RETURN_IF_ERROR(ScanVerticesByType(
+      label,
+      [&](VertexId vid) {
+        candidates.push_back(vid);
+        return true;
+      },
+      warm, snap));
+  if (candidates.empty()) return Status::OK();
+
+  // The pushed-down predicate reads the candidate records here instead of
+  // once per root exec at task time, as one sequential run over the record
+  // keyspace charged like the index walk — a single access covering the
+  // run's bytes — which is the point of the pushdown: sequential scan cost
+  // instead of a random point-read per candidate. The run only touches
+  // shard-resident keys in [first, last], and ingest assigns type runs
+  // contiguously, so the candidates are locally dense even though their
+  // global vid span is ~num_servers× wider than any one shard's share.
+  // Only a handful of candidates is cheaper as point reads (one batched
+  // MultiGet with ordinary per-vertex accounting).
+  constexpr size_t kPointReadCutoff = 16;
+  if (candidates.size() > kPointReadCutoff) {
+    auto it = db_->NewIterator(snap);
+    uint64_t bytes = 0;
+    size_t next = 0;  // two-pointer into the vid-sorted candidate list
+    Status inner = Status::OK();
+    for (it->Seek(VertexKey(candidates.front()));
+         it->Valid() && next < candidates.size(); it->Next()) {
+      VertexId vid;
+      if (!ParseVertexKey(it->key().view(), &vid)) break;  // left the namespace
+      bytes += it->key().size() + it->value().size();
+      while (next < candidates.size() && candidates[next] < vid) {
+        next++;  // deleted between the index walk and this read
+      }
+      if (next >= candidates.size() || candidates[next] != vid) continue;
+      next++;
+      VertexRecord rec;
+      rec.id = vid;
+      if (!DecodeVertexValue(it->value().view(), &rec.label, &rec.props)) {
+        inner = Status::Corruption("bad vertex value for vid " + std::to_string(vid));
+        break;
+      }
+      if (!pred(rec)) continue;
+      if (!fn(vid)) break;
+    }
+    if (opts_.device != nullptr) opts_.device->ChargeAccess(bytes, warm);
+    GT_RETURN_IF_ERROR(inner);
+    return it->status();
+  }
+
+  std::vector<VertexLookup> lookups(candidates.size());
+  for (size_t i = 0; i < candidates.size(); i++) {
+    lookups[i].vid = candidates[i];
+    lookups[i].warm = warm;
+  }
+  GT_RETURN_IF_ERROR(MultiGetVertices(&lookups, snap));
+  for (const VertexLookup& lk : lookups) {
+    if (!lk.found) continue;  // deleted between index walk and read
+    if (!pred(lk.rec)) continue;
+    if (!fn(lk.vid)) break;
+  }
+  return Status::OK();
+}
+
 }  // namespace gt::graph

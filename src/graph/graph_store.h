@@ -130,6 +130,22 @@ class GraphStore {
   Status ScanVerticesByType(LabelId label, const std::function<bool(VertexId)>& fn,
                             bool warm = false, const ReadSnapshot* snap = nullptr);
 
+  // Type-index scan with a predicate pushed down over the vertex records
+  // (planner pushdown: push_start_filters). The index yields candidate ids;
+  // each candidate's record is read and handed to `pred`, and only passing
+  // vertices reach `fn`. Charges one scan access for the index walk (like
+  // ScanVerticesByType); the record reads are one sequential run over the
+  // record keyspace when the candidates are dense there (a single access
+  // covering the run's bytes — the pushdown's actual win: sequential scan
+  // cost where a non-pushdown start pays a random point-read per root exec
+  // at task time), or one batched MultiGet with ordinary per-vertex
+  // accounting when they are sparse. Like the index walk, the sequential
+  // run is not vertex-rooted, so it bypasses the per-vertex interceptor.
+  Status ScanVerticesByTypeFiltered(
+      LabelId label, const std::function<bool(const VertexRecord&)>& pred,
+      const std::function<bool(VertexId)>& fn, bool warm = false,
+      const ReadSnapshot* snap = nullptr);
+
   void SetInterceptor(AccessInterceptor* interceptor) { interceptor_ = interceptor; }
 
   uint64_t vertex_accesses() const { return vertex_accesses_.load(std::memory_order_relaxed); }

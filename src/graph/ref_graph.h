@@ -21,9 +21,23 @@ class RefGraph {
     vertices_[v.id] = std::move(v);
   }
 
-  void AddEdge(EdgeRecord e) {
-    adj_[e.src][e.label].emplace_back(e.dst, std::move(e.props));
+  // Upsert on (src, label, dst), mirroring the KV store's edge key: loading
+  // the same edge twice replaces its properties (last writer wins), it does
+  // not create a parallel edge. Without this the oracle would evaluate
+  // filters against multigraph duplicates the stores cannot represent.
+  // Returns true when a new edge was inserted, false on a property upsert —
+  // generators use this to report resident (distinct) edge counts.
+  bool AddEdge(EdgeRecord e) {
+    auto& edges = adj_[e.src][e.label];
+    for (auto& [dst, props] : edges) {
+      if (dst == e.dst) {
+        props = std::move(e.props);
+        return false;
+      }
+    }
+    edges.emplace_back(e.dst, std::move(e.props));
     num_edges_++;
+    return true;
   }
 
   const VertexRecord* FindVertex(VertexId vid) const {

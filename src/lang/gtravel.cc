@@ -1,11 +1,20 @@
 #include "src/lang/gtravel.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
 
 namespace gt::lang {
 
+void GTravel::SetError(const std::string& msg) {
+  if (chain_error_.empty()) chain_error_ = msg;
+}
+
 GTravel& GTravel::v(std::vector<graph::VertexId> ids) {
+  if (is_alt_) {
+    SetError("v() is not allowed inside a branch alternative");
+    return *this;
+  }
   if (has_v_) {
     v_repeated_ = true;
     return *this;
@@ -19,12 +28,18 @@ GTravel& GTravel::v(std::vector<graph::VertexId> ids) {
 }
 
 GTravel& GTravel::e(const std::string& label) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
   hop_labels_.push_back(label);
+  hop_repeats_.push_back(1);
   return *this;
 }
 
 GTravel& GTravel::va(const std::string& key, FilterOp op,
                      std::vector<graph::PropValue> values) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (branch_step_ >= 0 && static_cast<int>(hop_labels_.size()) == branch_step_) {
+    SetError("va() after branch() must follow an e() step");
+  }
   PendingFilter f;
   f.is_edge = false;
   f.key = key;
@@ -37,6 +52,10 @@ GTravel& GTravel::va(const std::string& key, FilterOp op,
 
 GTravel& GTravel::ea(const std::string& key, FilterOp op,
                      std::vector<graph::PropValue> values) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (branch_step_ >= 0 && static_cast<int>(hop_labels_.size()) == branch_step_) {
+    SetError("ea() after branch() must follow an e() step");
+  }
   PendingFilter f;
   f.is_edge = true;
   f.key = key;
@@ -48,7 +67,92 @@ GTravel& GTravel::ea(const std::string& key, FilterOp op,
 }
 
 GTravel& GTravel::rtn() {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (branch_step_ >= 0 && static_cast<int>(hop_labels_.size()) == branch_step_) {
+    SetError("rtn() directly after branch() is not supported");
+  }
   rtn_steps_.push_back(static_cast<int>(hop_labels_.size()));
+  return *this;
+}
+
+GTravel& GTravel::repeat(uint32_t n) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (hop_labels_.empty() ||
+      (branch_step_ >= 0 && static_cast<int>(hop_labels_.size()) == branch_step_)) {
+    SetError("repeat() requires a preceding e()");
+    return *this;
+  }
+  if (n == 0 || n > kMaxRepeat) {
+    SetError("repeat() count must be in 1..64");
+    return *this;
+  }
+  hop_repeats_.back() = n;
+  return *this;
+}
+
+GTravel& GTravel::until(const std::string& key, FilterOp op,
+                        std::vector<graph::PropValue> values) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (hop_labels_.empty() ||
+      (branch_step_ >= 0 && static_cast<int>(hop_labels_.size()) == branch_step_)) {
+    SetError("until() requires a preceding e()");
+    return *this;
+  }
+  PendingFilter f;
+  f.is_until = true;
+  f.key = key;
+  f.op = op;
+  f.values = std::move(values);
+  f.step = static_cast<int>(hop_labels_.size());
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+GTravel& GTravel::branch(std::vector<GTravel> alternatives) {
+  if (terminal_) SetError("no steps may follow a terminal (count/group/path)");
+  if (is_alt_) {
+    SetError("branch() cannot nest inside an alternative");
+    return *this;
+  }
+  if (branch_step_ >= 0) {
+    SetError("at most one branch() per traversal");
+    return *this;
+  }
+  if (alternatives.size() < 2 || alternatives.size() > kMaxBranchAlts) {
+    SetError("branch() needs 2..8 alternatives");
+    return *this;
+  }
+  for (const auto& alt : alternatives) {
+    if (!alt.is_alt_) {
+      SetError("branch() alternatives must be built with GTravel::Alt()");
+      return *this;
+    }
+  }
+  branch_step_ = static_cast<int>(hop_labels_.size());
+  branch_alts_ = std::move(alternatives);
+  return *this;
+}
+
+GTravel& GTravel::count() {
+  if (terminal_) SetError("only one terminal (count/group/path) per traversal");
+  terminal_ = true;
+  result_mode_ = ResultMode::kCount;
+  return *this;
+}
+
+GTravel& GTravel::group(const std::string& key) {
+  if (terminal_) SetError("only one terminal (count/group/path) per traversal");
+  if (key.empty()) SetError("group() requires a property key");
+  terminal_ = true;
+  result_mode_ = ResultMode::kGroup;
+  group_key_ = key;
+  return *this;
+}
+
+GTravel& GTravel::path() {
+  if (terminal_) SetError("only one terminal (count/group/path) per traversal");
+  terminal_ = true;
+  result_mode_ = ResultMode::kPaths;
   return *this;
 }
 
@@ -71,12 +175,26 @@ Result<TraversalPlan> GTravel::Build() const {
   if (!has_v_) return Status::InvalidArgument("traversal must start with v()");
   if (v_repeated_) return Status::InvalidArgument("v() may only be called once");
   if (v_first_error_) return Status::InvalidArgument("v() must be the first call");
+  if (!chain_error_.empty()) return Status::InvalidArgument(chain_error_);
+  if (is_alt_) return Status::InvalidArgument("branch alternatives cannot Build() alone");
 
   TraversalPlan plan;
   plan.start_ids = start_ids_;
-  plan.hops.resize(hop_labels_.size());
+  plan.result_mode = result_mode_;
+  if (result_mode_ == ResultMode::kGroup) plan.group_key = catalog_->Intern(group_key_);
+
+  // With a branch, the chain splits at branch_step_: hops before it form the
+  // prefix (plan.hops), hops after it form the post-merge tail.
+  const int prefix_hops =
+      branch_step_ >= 0 ? branch_step_ : static_cast<int>(hop_labels_.size());
+  plan.hops.resize(prefix_hops);
+  plan.branch_tail.resize(hop_labels_.size() - prefix_hops);
+  auto hop_at = [&](int idx) -> Hop& {
+    return idx < prefix_hops ? plan.hops[idx] : plan.branch_tail[idx - prefix_hops];
+  };
   for (size_t i = 0; i < hop_labels_.size(); i++) {
-    plan.hops[i].edge_label = catalog_->Intern(hop_labels_[i]);
+    hop_at(static_cast<int>(i)).edge_label = catalog_->Intern(hop_labels_[i]);
+    hop_at(static_cast<int>(i)).repeat = hop_repeats_[i];
   }
 
   for (const auto& f : filters_) {
@@ -85,13 +203,15 @@ Result<TraversalPlan> GTravel::Build() const {
     compiled.key = catalog_->Intern(f.key);
     compiled.op = f.op;
     compiled.values = f.values;
-    if (f.is_edge) {
+    if (f.is_until) {
+      hop_at(f.step - 1).until_filters.push_back(std::move(compiled));
+    } else if (f.is_edge) {
       if (f.step == 0) return Status::InvalidArgument("ea() requires a preceding e()");
-      plan.hops[f.step - 1].edge_filters.push_back(std::move(compiled));
+      hop_at(f.step - 1).edge_filters.push_back(std::move(compiled));
     } else if (f.step == 0) {
       plan.start_vertex_filters.push_back(std::move(compiled));
     } else {
-      plan.hops[f.step - 1].vertex_filters.push_back(std::move(compiled));
+      hop_at(f.step - 1).vertex_filters.push_back(std::move(compiled));
     }
   }
 
@@ -99,7 +219,47 @@ Result<TraversalPlan> GTravel::Build() const {
     if (step == 0) {
       plan.start_rtn = true;
     } else {
-      plan.hops[step - 1].rtn = true;
+      hop_at(step - 1).rtn = true;
+    }
+  }
+
+  if (branch_step_ >= 0) {
+    for (const auto& alt : branch_alts_) {
+      if (!alt.chain_error_.empty()) return Status::InvalidArgument(alt.chain_error_);
+      if (!alt.rtn_steps_.empty()) {
+        return Status::InvalidArgument("rtn() inside a branch alternative");
+      }
+      if (alt.terminal_) {
+        return Status::InvalidArgument("terminal inside a branch alternative");
+      }
+      if (alt.hop_labels_.empty()) {
+        return Status::InvalidArgument("branch alternatives need at least one e()");
+      }
+      std::vector<Hop> hops(alt.hop_labels_.size());
+      for (size_t i = 0; i < alt.hop_labels_.size(); i++) {
+        hops[i].edge_label = catalog_->Intern(alt.hop_labels_[i]);
+        hops[i].repeat = alt.hop_repeats_[i];
+      }
+      for (const auto& f : alt.filters_) {
+        GT_RETURN_IF_ERROR(CheckFilterShape(f));
+        if (f.is_until) {
+          return Status::InvalidArgument("until() inside a branch alternative");
+        }
+        if (f.step == 0 && !f.is_edge) {
+          return Status::InvalidArgument(
+              "va() at the head of an alternative must follow its first e()");
+        }
+        Filter compiled;
+        compiled.key = catalog_->Intern(f.key);
+        compiled.op = f.op;
+        compiled.values = f.values;
+        if (f.is_edge) {
+          hops[f.step - 1].edge_filters.push_back(std::move(compiled));
+        } else {
+          hops[f.step - 1].vertex_filters.push_back(std::move(compiled));
+        }
+      }
+      plan.branch_alts.push_back(std::move(hops));
     }
   }
 
@@ -116,9 +276,7 @@ Result<TraversalPlan> GTravel::Build() const {
     }
   }
 
-  if (plan.hops.empty() && plan.start_ids.empty()) {
-    return Status::InvalidArgument("traversal needs at least one hop or explicit start ids");
-  }
+  GT_RETURN_IF_ERROR(plan.Validate());
   return plan;
 }
 
@@ -126,15 +284,42 @@ Result<TraversalPlan> GTravel::Build() const {
 // Reference evaluator (oracle)
 // ---------------------------------------------------------------------------
 
-std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
-                                                    const graph::RefGraph& graph,
-                                                    const graph::Catalog& catalog) {
-  using graph::VertexId;
+std::string GroupValueForVertex(const graph::VertexRecord& rec, graph::Catalog::Id group_key,
+                                const graph::Catalog& catalog, graph::Catalog::Id type_key) {
+  std::string out;
+  if (group_key == type_key && type_key != graph::Catalog::kInvalidId &&
+      rec.props.Find(group_key) == nullptr) {
+    auto name = catalog.Name(rec.label);
+    graph::PropValue(name.ok() ? *name : std::string()).EncodeTo(&out);
+    return out;
+  }
+  const graph::PropValue* v = rec.props.Find(group_key);
+  if (v == nullptr) {
+    graph::PropValue(std::string()).EncodeTo(&out);
+    return out;
+  }
+  v->EncodeTo(&out);
+  return out;
+}
+
+namespace {
+
+using graph::VertexId;
+
+// Forward/backward evaluation of one linear (unrolled, branch-free) plan.
+// until semantics: a vertex arriving at a step whose hop carries
+// until_filters and matching them becomes a terminal result instead of
+// joining the frontier; until plans never carry rtn, so the result set is
+// exactly the matched vertices.
+std::unordered_set<VertexId> EvalLinearVids(const TraversalPlan& plan,
+                                            const graph::RefGraph& graph,
+                                            const graph::Catalog& catalog) {
   const size_t n = plan.hops.size();
   const graph::Catalog::Id type_key = catalog.Lookup("type");
 
-  // Forward pass: fwd[k] = working set at step k (deduplicated).
   std::vector<std::unordered_set<VertexId>> fwd(n + 1);
+  std::unordered_set<VertexId> until_results;
+  const bool has_until = plan.has_until();
 
   auto vertex_passes = [&](VertexId vid, const std::vector<Filter>& filters) {
     const graph::VertexRecord* rec = graph.FindVertex(vid);
@@ -157,10 +342,15 @@ std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
       for (const auto& [dst, eprops] : graph.Edges(src, hop.edge_label)) {
         if (!MatchesAll(hop.edge_filters, eprops)) continue;
         if (!vertex_passes(dst, hop.vertex_filters)) continue;
+        if (!hop.until_filters.empty() && vertex_passes(dst, hop.until_filters)) {
+          until_results.insert(dst);
+          continue;  // terminal: matched vertices stop expanding
+        }
         fwd[k + 1].insert(dst);
       }
     }
   }
+  if (has_until) return until_results;
 
   // Backward pass: alive[k] = members of fwd[k] with a full path to step n.
   std::vector<std::unordered_set<VertexId>> alive(n + 1);
@@ -187,9 +377,93 @@ std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
       if (plan.hops[k].rtn) result.insert(alive[k + 1].begin(), alive[k + 1].end());
     }
   }
+  return result;
+}
 
+// Path enumeration for one linear plan (kPaths: no rtn, no until, <= 8
+// expanded steps by validation).
+std::set<std::vector<VertexId>> EvalLinearPaths(const TraversalPlan& plan,
+                                                const graph::RefGraph& graph,
+                                                const graph::Catalog& catalog) {
+  const graph::Catalog::Id type_key = catalog.Lookup("type");
+  auto vertex_passes = [&](VertexId vid, const std::vector<Filter>& filters) {
+    const graph::VertexRecord* rec = graph.FindVertex(vid);
+    return rec != nullptr && VertexMatchesAll(filters, *rec, catalog, type_key);
+  };
+
+  std::vector<std::vector<VertexId>> frontier;
+  if (!plan.start_ids.empty()) {
+    for (VertexId vid : plan.start_ids) {
+      if (vertex_passes(vid, plan.start_vertex_filters)) frontier.push_back({vid});
+    }
+  } else {
+    for (const auto& [vid, rec] : graph.vertices()) {
+      if (VertexMatchesAll(plan.start_vertex_filters, rec, catalog, type_key)) {
+        frontier.push_back({vid});
+      }
+    }
+  }
+
+  for (const Hop& hop : plan.hops) {
+    std::vector<std::vector<VertexId>> next;
+    for (const auto& path : frontier) {
+      for (const auto& [dst, eprops] : graph.Edges(path.back(), hop.edge_label)) {
+        if (!MatchesAll(hop.edge_filters, eprops)) continue;
+        if (!vertex_passes(dst, hop.vertex_filters)) continue;
+        std::vector<VertexId> extended = path;
+        extended.push_back(dst);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {frontier.begin(), frontier.end()};
+}
+
+}  // namespace
+
+std::vector<graph::VertexId> EvaluatePlanOnRefGraph(const TraversalPlan& plan,
+                                                    const graph::RefGraph& graph,
+                                                    const graph::Catalog& catalog) {
+  std::unordered_set<VertexId> result;
+  for (const TraversalPlan& sub : plan.FlattenBranches()) {
+    auto lin = sub.Unrolled();
+    if (!lin.ok()) return {};
+    auto part = EvalLinearVids(*lin, graph, catalog);
+    result.insert(part.begin(), part.end());
+  }
   std::vector<VertexId> out(result.begin(), result.end());
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+RefEvalResult EvaluatePlanExtOnRefGraph(const TraversalPlan& plan,
+                                        const graph::RefGraph& graph,
+                                        const graph::Catalog& catalog) {
+  RefEvalResult out;
+  if (plan.result_mode == ResultMode::kPaths) {
+    std::set<std::vector<VertexId>> paths;
+    for (const TraversalPlan& sub : plan.FlattenBranches()) {
+      auto lin = sub.Unrolled();
+      if (!lin.ok()) return out;
+      auto part = EvalLinearPaths(*lin, graph, catalog);
+      paths.insert(part.begin(), part.end());
+    }
+    out.paths.assign(paths.begin(), paths.end());
+    out.count = out.paths.size();
+    return out;
+  }
+
+  out.vids = EvaluatePlanOnRefGraph(plan, graph, catalog);
+  out.count = out.vids.size();
+  if (plan.result_mode == ResultMode::kGroup) {
+    const graph::Catalog::Id type_key = catalog.Lookup("type");
+    for (VertexId vid : out.vids) {
+      const graph::VertexRecord* rec = graph.FindVertex(vid);
+      if (rec == nullptr) continue;
+      out.groups[GroupValueForVertex(*rec, plan.group_key, catalog, type_key)]++;
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,22 @@
 //
 // Step numbering matches the paper: step 0 is the start working set; step i
 // (i >= 1) is the working set after following hops[i-1].
+//
+// Language extensions beyond the paper's v/e/va/ea/rtn surface ride in a
+// versioned tail appended after the legacy encoding (absent tail = legacy
+// defaults, truncated tail = error; see DESIGN.md "GTravel language &
+// planner"):
+//   - repeat(n)/until(filter): a hop may carry a repeat count (unrolled
+//     server-side into ordinary hop cohorts by Unrolled()) and an until
+//     filter set checked at each iteration boundary; matches are terminal
+//     results.
+//   - result modes: kVertices (legacy), kCount, kGroup (group_key), kPaths.
+//   - branch: the working set forks across alternative hop chains after the
+//     `hops` prefix and merges (union) before `branch_tail`; executed as
+//     one flattened linear sub-plan per alternative (FlattenBranches()).
+//   - planner hints: push_start_filters (apply start filters inside the
+//     type-index scan) and fetch_hint (batched-vs-single frontier fetch);
+//     hints never change results, only how the engines execute.
 #pragma once
 
 #include <string>
@@ -17,15 +33,40 @@
 
 namespace gt::lang {
 
+// What the completion protocol delivers to the client.
+enum class ResultMode : uint8_t {
+  kVertices = 0,  // sorted distinct vertex ids (legacy)
+  kCount = 1,     // just |result set|
+  kGroup = 2,     // result vertices grouped by the group_key property value
+  kPaths = 3,     // full visited vertex chains (start..result)
+};
+
+// Hard caps enforced at decode time and by the builder: the plan codec is an
+// untrusted surface, and repeat unrolling multiplies work server-side.
+inline constexpr uint32_t kMaxRepeat = 64;
+inline constexpr uint32_t kMaxExpandedSteps = 128;
+inline constexpr uint32_t kMaxPathSteps = 8;
+inline constexpr uint32_t kMaxBranchAlts = 8;
+
 struct Hop {
   graph::LabelId edge_label = 0;
   std::vector<Filter> edge_filters;    // ea() on the traversed edges
   std::vector<Filter> vertex_filters;  // va() on the destination vertices
   bool rtn = false;
 
+  // Extension fields (versioned codec tail; defaults = legacy semantics).
+  // repeat > 1 executes this hop that many times in sequence; until_filters
+  // (AND-composed) are checked after each iteration's vertex filters, and a
+  // matching vertex becomes a terminal result instead of expanding further.
+  uint32_t repeat = 1;
+  std::vector<Filter> until_filters;
+
+  bool has_ext() const { return repeat != 1 || !until_filters.empty(); }
+
   bool operator==(const Hop& o) const {
     return edge_label == o.edge_label && edge_filters == o.edge_filters &&
-           vertex_filters == o.vertex_filters && rtn == o.rtn;
+           vertex_filters == o.vertex_filters && rtn == o.rtn && repeat == o.repeat &&
+           until_filters == o.until_filters;
   }
 };
 
@@ -39,8 +80,45 @@ struct TraversalPlan {
 
   std::vector<Hop> hops;
 
-  // Number of traversal steps in the paper's sense (edge hops).
+  // --- extensions (versioned codec tail; defaults = legacy semantics) ---
+  ResultMode result_mode = ResultMode::kVertices;
+  graph::Catalog::Id group_key = 0;  // property key for ResultMode::kGroup
+
+  // Planner hints. push_start_filters: the scan-start applies every start
+  // vertex filter inside the type-index scan, so only matching vertices
+  // become root execs. fetch_hint: 0 = server default, 1 = force batched
+  // MultiGet frontier fetch, 2 = force single-vertex fetch. Both are
+  // result-identical by construction.
+  bool push_start_filters = false;
+  uint8_t fetch_hint = 0;
+
+  // Branch/union step: when branch_alts is non-empty (>= 2 alternatives),
+  // the chain is `hops` (prefix), then a fork across the alternatives, then
+  // a union-merge, then `branch_tail`. Executed via FlattenBranches().
+  std::vector<std::vector<Hop>> branch_alts;
+  std::vector<Hop> branch_tail;
+
+  // Number of traversal steps in the paper's sense (edge hops) of the
+  // prefix chain. For branch plans the per-alternative totals come from
+  // FlattenBranches(); for repeat hops see expanded_num_steps().
   size_t num_steps() const { return hops.size(); }
+
+  bool has_branch() const { return !branch_alts.empty(); }
+
+  // Steps after repeat expansion (prefix chain only; no branch).
+  static size_t ExpandedSteps(const std::vector<Hop>& hs) {
+    size_t n = 0;
+    for (const auto& h : hs) n += h.repeat == 0 ? 1 : h.repeat;
+    return n;
+  }
+  size_t expanded_num_steps() const { return ExpandedSteps(hops); }
+
+  bool has_until() const {
+    for (const auto& h : hops) {
+      if (!h.until_filters.empty()) return true;
+    }
+    return false;
+  }
 
   // True if any step is marked rtn(); otherwise the engines return the
   // final working set.
@@ -49,10 +127,13 @@ struct TraversalPlan {
     for (const auto& h : hops) {
       if (h.rtn) return true;
     }
+    for (const auto& h : branch_tail) {
+      if (h.rtn) return true;
+    }
     return false;
   }
 
-  // Index of the last rtn-marked step, or -1 when none.
+  // Index of the last rtn-marked step, or -1 when none (prefix chain only).
   int last_rtn_step() const {
     int last = start_rtn ? 0 : -1;
     for (size_t i = 0; i < hops.size(); i++) {
@@ -61,75 +142,47 @@ struct TraversalPlan {
     return last;
   }
 
+  // True when any extension field differs from its legacy default; the
+  // codec appends the versioned tail exactly in this case, keeping legacy
+  // plans byte-identical to the pre-extension encoding.
+  bool has_ext() const;
+
   bool operator==(const TraversalPlan& o) const {
     return start_ids == o.start_ids && start_vertex_filters == o.start_vertex_filters &&
-           start_rtn == o.start_rtn && hops == o.hops;
+           start_rtn == o.start_rtn && hops == o.hops && result_mode == o.result_mode &&
+           group_key == o.group_key && push_start_filters == o.push_start_filters &&
+           fetch_hint == o.fetch_hint && branch_alts == o.branch_alts &&
+           branch_tail == o.branch_tail;
   }
 
-  std::string Encode() const {
-    std::string out;
-    PutVarint32(&out, static_cast<uint32_t>(start_ids.size()));
-    for (auto vid : start_ids) PutVarint64(&out, vid);
-    EncodeFilters(&out, start_vertex_filters);
-    out.push_back(start_rtn ? 1 : 0);
-    PutVarint32(&out, static_cast<uint32_t>(hops.size()));
-    for (const auto& h : hops) {
-      PutVarint32(&out, h.edge_label);
-      EncodeFilters(&out, h.edge_filters);
-      EncodeFilters(&out, h.vertex_filters);
-      out.push_back(h.rtn ? 1 : 0);
-    }
-    return out;
-  }
+  std::string Encode() const;
+  static Result<TraversalPlan> Decode(std::string_view data);
 
-  static Result<TraversalPlan> Decode(std::string_view data) {
-    TraversalPlan plan;
-    CheckedReader dec(data);
-    uint32_t n = 0;
-    if (!dec.GetCount(&n)) return Status::Corruption("plan: start ids");
-    plan.start_ids.reserve(n);
-    for (uint32_t i = 0; i < n; i++) {
-      uint64_t vid;
-      if (!dec.GetVarint64(&vid)) return Status::Corruption("plan: start id");
-      plan.start_ids.push_back(vid);
-    }
-    GT_RETURN_IF_ERROR(DecodeFilters(&dec, &plan.start_vertex_filters));
-    uint8_t flag = 0;
-    if (!dec.GetByte(&flag)) return Status::Corruption("plan: start rtn");
-    plan.start_rtn = flag != 0;
+  // Semantic validation beyond what Decode's structural checks enforce;
+  // called by GTravel::Build() and again by the coordinator on every
+  // wire-delivered plan (the decode surface is untrusted).
+  Status Validate() const;
 
-    uint32_t hops = 0;
-    // 4 = minimum encoded hop: label varint + two empty filter lists + rtn.
-    if (!dec.GetCount(&hops, 4)) return Status::Corruption("plan: hop count");
-    plan.hops.resize(hops);
-    for (uint32_t i = 0; i < hops; i++) {
-      Hop& h = plan.hops[i];
-      if (!dec.GetVarint32(&h.edge_label)) return Status::Corruption("plan: hop label");
-      GT_RETURN_IF_ERROR(DecodeFilters(&dec, &h.edge_filters));
-      GT_RETURN_IF_ERROR(DecodeFilters(&dec, &h.vertex_filters));
-      if (!dec.GetByte(&flag)) return Status::Corruption("plan: hop rtn");
-      h.rtn = flag != 0;
-    }
-    if (!dec.empty()) return Status::Corruption("plan: trailing bytes");
-    return plan;
-  }
+  // Expands repeat hops into ordinary linear hop cohorts so step
+  // attribution and snapshot pinning work unchanged. REQUIRES: no branch.
+  // rtn transfers to the last copy; until_filters are stamped on every copy
+  // (the check applies at each iteration boundary). Fails when the expanded
+  // chain exceeds kMaxExpandedSteps.
+  Result<TraversalPlan> Unrolled() const;
+
+  // Branch execution: one linear sub-plan per alternative
+  // (prefix + alternative + tail), each preserving start, filters, result
+  // mode and planner hints. Returns {*this} for non-branch plans. The union
+  // of the sub-plans' results is exactly the branch semantics because hops
+  // and filters distribute over union.
+  std::vector<TraversalPlan> FlattenBranches() const;
 
  private:
-  static void EncodeFilters(std::string* out, const std::vector<Filter>& filters) {
-    PutVarint32(out, static_cast<uint32_t>(filters.size()));
-    for (const auto& f : filters) f.EncodeTo(out);
-  }
-
-  static Status DecodeFilters(CheckedReader* dec, std::vector<Filter>* out) {
-    uint32_t n = 0;
-    // 3 = minimum encoded filter (key varint + op byte + count varint).
-    if (!dec->GetCount(&n, 3)) return Status::Corruption("plan: filter count");
-    out->resize(n);
-    for (uint32_t i = 0; i < n; i++) {
-      GT_RETURN_IF_ERROR(Filter::DecodeFrom(dec, &(*out)[i]));
-    }
-    return Status::OK();
-  }
+  static void EncodeFilters(std::string* out, const std::vector<Filter>& filters);
+  static Status DecodeFilters(CheckedReader* dec, std::vector<Filter>* out);
+  static void EncodeHopExt(std::string* out, const Hop& h);
+  static Status DecodeHopExt(CheckedReader* dec, Hop* h);
+  Status DecodeExtTail(CheckedReader* dec);
 };
 
 }  // namespace gt::lang

@@ -1,0 +1,73 @@
+// Statistics-driven plan rewriting. The planner consumes the same graph
+// statistics the Table II generator benches compute (vertex counts per
+// type, edge counts per label) and applies three result-identical rewrites:
+//
+//   1. Filter reordering: AND-composed va()/ea() filter lists are
+//      stable-sorted by estimated selectivity (cheapest-to-eliminate
+//      first). AND is commutative, so the rewrite cannot change results.
+//   2. Predicate pushdown: scan-start plans with filters beyond the type
+//      anchor set push_start_filters, so the engines apply every start
+//      filter inside the type-index scan and only matching vertices become
+//      root execs. Engines re-apply the filters at processing time
+//      (idempotent), so this is result-identical by construction.
+//   3. Fetch strategy: the expected frontier width after the first hop
+//      decides batched MultiGet vs single-vertex fetch (fetch_hint); both
+//      paths read the same records from the same snapshot.
+//
+// The differential harness enforces planner-on == planner-off equality on
+// randomized plans; test_planner.cc pins the rewrite goldens.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/graph/ref_graph.h"
+#include "src/lang/plan.h"
+
+namespace gt::lang {
+
+// Graph statistics the planner consumes. On a server these come from the
+// local shard (hash partitioning makes the shard a uniform sample, so the
+// ratios are representative); tests and benches build them from a RefGraph.
+struct PlanStats {
+  uint64_t total_vertices = 0;
+  uint64_t total_edges = 0;
+  std::map<graph::LabelId, uint64_t> vertices_per_type;
+  std::map<graph::LabelId, uint64_t> edges_per_label;
+
+  double avg_out_degree(graph::LabelId edge_label) const {
+    if (total_vertices == 0) return 0.0;
+    auto it = edges_per_label.find(edge_label);
+    const double edges = it == edges_per_label.end()
+                             ? static_cast<double>(total_edges)
+                             : static_cast<double>(it->second);
+    return edges / static_cast<double>(total_vertices);
+  }
+};
+
+// Which rewrites ran (for goldens and for the bench's self-report).
+struct PlannerReport {
+  uint32_t filter_lists_reordered = 0;
+  bool pushed_down = false;
+  uint8_t fetch_hint = 0;
+  double est_start_width = 0.0;
+  double est_first_hop_width = 0.0;
+};
+
+// Builds PlanStats by counting a RefGraph (tests, benches, clients). The
+// catalog bounds the label-id space for the per-label edge counts.
+PlanStats CollectPlanStats(const graph::RefGraph& graph, const graph::Catalog& catalog);
+
+// Estimated fraction of candidate vertices/edges a filter keeps. Type-EQ
+// filters use the per-type counts; the rest use fixed per-op priors scaled
+// by IN-list width. `catalog` resolves type filter values to label ids.
+double EstimateSelectivity(const Filter& f, const PlanStats& stats,
+                           const graph::Catalog& catalog, graph::Catalog::Id type_key);
+
+// Applies the rewrites above. Never changes plan semantics; the returned
+// plan passes Validate() whenever the input did.
+TraversalPlan RewritePlan(const TraversalPlan& plan, const PlanStats& stats,
+                          const graph::Catalog& catalog, graph::Catalog::Id type_key,
+                          PlannerReport* report = nullptr);
+
+}  // namespace gt::lang

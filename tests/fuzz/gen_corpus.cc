@@ -59,6 +59,60 @@ std::vector<gt::engine::FrontierEntry> SampleFrontier() {
   return {{100, {1, 2}}, {101, {}}, {102, {3}}};
 }
 
+// Extended-language plans (versioned ext tail): every new field appears in
+// at least one seed so the mutator starts from the full wire surface.
+gt::lang::TraversalPlan RepeatUntilCountPlan() {
+  gt::lang::TraversalPlan plan;
+  plan.start_ids = {1};
+  gt::lang::Hop h1;
+  h1.edge_label = 3;
+  h1.repeat = 4;
+  gt::lang::Hop h2;
+  h2.edge_label = 3;
+  gt::lang::Filter until;
+  until.key = 9;
+  until.op = gt::lang::FilterOp::kRange;
+  until.values = {gt::graph::PropValue(int64_t{5}), gt::graph::PropValue(int64_t{30})};
+  h2.until_filters.push_back(until);
+  plan.hops = {h1, h2};
+  plan.result_mode = gt::lang::ResultMode::kCount;
+  return plan;
+}
+
+gt::lang::TraversalPlan BranchGroupPlan() {
+  gt::lang::TraversalPlan plan;
+  gt::lang::Filter type_eq;
+  type_eq.key = 0;
+  type_eq.op = gt::lang::FilterOp::kEq;
+  type_eq.values = {gt::graph::PropValue(std::string("file"))};
+  plan.start_vertex_filters.push_back(type_eq);
+  gt::lang::Hop a1;
+  a1.edge_label = 3;
+  gt::lang::Hop a2;
+  a2.edge_label = 4;
+  a2.repeat = 2;
+  plan.branch_alts = {{a1}, {a2}};
+  gt::lang::Hop tail;
+  tail.edge_label = 5;
+  plan.branch_tail = {tail};
+  plan.result_mode = gt::lang::ResultMode::kGroup;
+  plan.group_key = 9;
+  plan.push_start_filters = true;
+  plan.fetch_hint = 1;
+  return plan;
+}
+
+gt::lang::TraversalPlan PathsPlan() {
+  gt::lang::TraversalPlan plan;
+  plan.start_ids = {1, 2};
+  gt::lang::Hop h;
+  h.edge_label = 3;
+  plan.hops = {h, h};
+  plan.result_mode = gt::lang::ResultMode::kPaths;
+  plan.fetch_hint = 2;
+  return plan;
+}
+
 void GenMessage(const std::filesystem::path& root) {
   gt::rpc::Message m;
   m.type = gt::rpc::MsgType::kSubmitTraversal;
@@ -111,6 +165,13 @@ void GenRpcPayloads(const std::filesystem::path& root) {
   answer.result_vids = {100, 101};
   seed(2, "answer", answer.Encode());
 
+  AnswerPayload answer_ext;
+  answer_ext.travel_id = 9;
+  answer_ext.result_vids = {100, 101};
+  answer_ext.result_values = {"bucket-a", "bucket-b"};
+  answer_ext.result_paths = {{1, 50, 100}, {2, 101}};
+  seed(2, "answer_ext", answer_ext.Encode());
+
   ExecEventPayload event;
   event.travel_id = 9;
   event.step = 1;
@@ -127,11 +188,18 @@ void GenRpcPayloads(const std::filesystem::path& root) {
   chunk.vids = {5, 6, 7};
   seed(5, "result_chunk", chunk.Encode());
 
+  ResultChunkPayload chunk_ext;
+  chunk_ext.travel_id = 9;
+  chunk_ext.groups = {{"file", 12}, {"dir", 3}};
+  chunk_ext.paths = {{1, 5}, {2, 6, 7}};
+  seed(5, "result_chunk_ext", chunk_ext.Encode());
+
   CompletePayload complete;
   complete.travel_id = 9;
   complete.ok = 0;
   complete.error = "deadline exceeded";
   complete.code = 4;
+  complete.total_results = 42;
   seed(6, "complete", complete.Encode());
 
   AbortPayload abort_p;
@@ -151,6 +219,14 @@ void GenRpcPayloads(const std::filesystem::path& root) {
   step.plan = plan;
   step.batches_sent = {1, 0};
   seed(9, "sync_step", step.Encode());
+
+  SyncStepPayload step_ext;
+  step_ext.travel_id = 9;
+  step_ext.step = 2;
+  step_ext.result_vids = {100, 101};
+  step_ext.result_values = {"bucket-a", "bucket-b"};
+  step_ext.result_paths = {{1, 100}, {2, 50, 101}};
+  seed(9, "sync_step_ext", step_ext.Encode());
 
   SyncBatchPayload batch;
   batch.travel_id = 9;
@@ -208,6 +284,11 @@ void GenPlan(const std::filesystem::path& root) {
   empty_start.start_vertex_filters.push_back(type_eq);
   empty_start.start_rtn = true;
   WriteSeed(root / "plan", "scan_start", empty_start.Encode());
+
+  // Extended-language tails.
+  WriteSeed(root / "plan", "repeat_until_count", RepeatUntilCountPlan().Encode());
+  WriteSeed(root / "plan", "branch_group", BranchGroupPlan().Encode());
+  WriteSeed(root / "plan", "paths", PathsPlan().Encode());
 }
 
 void GenWal(const std::filesystem::path& root) {

@@ -133,7 +133,12 @@ inline void SeedBaseGraph(engine::GraphTrekClient* client, Rng* rng, uint32_t n)
 }
 
 // Random plan over the base vocabulary: anchored or type-scan start,
-// 2-3 x/y hops, optional w/p filters, optional (incl. intermediate) rtn().
+// 2-3 x/y hops, optional w/p filters, then one of three flavors — legacy
+// (optional, incl. intermediate, rtn()), repeat/until (seeded bounded loops
+// terminating the chain), or aggregate (count()/group() terminals). Branch
+// plans are deliberately absent here: branch children pin their own
+// snapshots, so under racing mutations their union is not a single frozen
+// graph the pinned oracle could replay (see DESIGN.md).
 inline lang::TraversalPlan BuildRacingPlan(graph::Catalog* catalog, Rng* rng,
                                            uint32_t n) {
   lang::GTravel travel(catalog);
@@ -146,10 +151,14 @@ inline lang::TraversalPlan BuildRacingPlan(graph::Catalog* catalog, Rng* rng,
     travel.v().va("type", lang::FilterOp::kEq,
                   {graph::PropValue(rng->Bernoulli(0.5) ? "A" : "B")});
   }
-  if (rng->Bernoulli(0.15)) travel.rtn();
+  const uint32_t flavor = rng->Uniform(3);
+  if (flavor == 0 && rng->Bernoulli(0.15)) travel.rtn();
   const uint32_t hops = 2 + static_cast<uint32_t>(rng->Uniform(2));
   for (uint32_t h = 0; h < hops; h++) {
     travel.e(rng->Bernoulli(0.5) ? "x" : "y");
+    if (flavor == 1 && rng->Bernoulli(0.3)) {
+      travel.repeat(2 + static_cast<uint32_t>(rng->Uniform(2)));
+    }
     if (rng->Bernoulli(0.25)) {
       const auto lo = static_cast<int64_t>(rng->Uniform(40));
       travel.ea("p", lang::FilterOp::kRange,
@@ -159,11 +168,43 @@ inline lang::TraversalPlan BuildRacingPlan(graph::Catalog* catalog, Rng* rng,
       travel.va("w", lang::FilterOp::kRange,
                 {graph::PropValue(int64_t{0}), graph::PropValue(int64_t{85})});
     }
-    if (rng->Bernoulli(0.3)) travel.rtn();
+    if (flavor == 0 && rng->Bernoulli(0.3)) travel.rtn();
+  }
+  if (flavor == 1 && rng->Bernoulli(0.5)) {
+    const auto lo = static_cast<int64_t>(rng->Uniform(60));
+    travel.until("w", lang::FilterOp::kRange,
+                 {graph::PropValue(lo), graph::PropValue(lo + 30)});
+  }
+  if (flavor == 2) {
+    rng->Bernoulli(0.5) ? travel.count() : travel.group(rng->Bernoulli(0.5) ? "w" : "type");
   }
   auto plan = travel.Build();
   EXPECT_TRUE(plan.ok()) << plan.status().ToString();
   return *plan;
+}
+
+// Compares one finished travel against the extended reference evaluation of
+// the frozen graph at its pin point, per the plan's result mode.
+inline void ExpectMatchesOracle(const lang::TraversalPlan& plan,
+                                const engine::TraversalResult& result,
+                                const graph::RefGraph& frozen,
+                                const graph::Catalog& catalog) {
+  const lang::RefEvalResult oracle = lang::EvaluatePlanExtOnRefGraph(plan, frozen, catalog);
+  switch (plan.result_mode) {
+    case lang::ResultMode::kVertices:
+      EXPECT_EQ(result.vids, oracle.vids);
+      break;
+    case lang::ResultMode::kCount:
+      EXPECT_EQ(result.count, oracle.count);
+      EXPECT_TRUE(result.vids.empty());  // count() ships no vertex stream
+      break;
+    case lang::ResultMode::kGroup:
+      EXPECT_EQ(result.groups, oracle.groups);
+      break;
+    case lang::ResultMode::kPaths:
+      EXPECT_EQ(result.paths, oracle.paths);
+      break;
+  }
 }
 
 // The leg itself. `travels` traversals (cycling through the three engine
@@ -253,9 +294,7 @@ inline void RunMutateRacingLeg(const RacingEnv& env, uint64_t seed,
 
     auto frozen = env.dump_at_pin(result->travel_id);
     ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
-    const std::vector<graph::VertexId> oracle =
-        lang::EvaluatePlanOnRefGraph(plan, *frozen, *env.catalog);
-    EXPECT_EQ(result->vids, oracle);
+    ExpectMatchesOracle(plan, *result, *frozen, *env.catalog);
   }
   stop.store(true);
   mutator.join();

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <functional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +53,58 @@ Surface PayloadSurface(std::string name, const P& sample, size_t strict_prefix) 
         *reencoded = decoded->Encode();
         return true;
       }};
+}
+
+// Sample plans for the extension-tail surfaces. StripExt resets every
+// versioned-tail field so Encode() yields exactly the legacy prefix bytes.
+lang::TraversalPlan ExtSamplePlan() {
+  lang::TraversalPlan plan;
+  plan.start_ids = {1, 2};
+  lang::Filter f;
+  f.key = 3;
+  f.op = lang::FilterOp::kRange;
+  f.values = {graph::PropValue(int64_t{1}), graph::PropValue(int64_t{5})};
+  lang::Hop h1;
+  h1.edge_label = 4;
+  h1.repeat = 3;
+  lang::Hop h2;
+  h2.edge_label = 5;
+  h2.until_filters.push_back(f);
+  plan.hops = {h1, h2};
+  plan.result_mode = lang::ResultMode::kCount;
+  return plan;
+}
+
+lang::TraversalPlan BranchSamplePlan() {
+  lang::TraversalPlan plan;
+  plan.start_ids = {9};
+  lang::Hop alt_hop;
+  alt_hop.edge_label = 4;
+  lang::Hop alt_hop2;
+  alt_hop2.edge_label = 5;
+  alt_hop2.repeat = 2;
+  plan.branch_alts = {{alt_hop}, {alt_hop2}};
+  lang::Hop tail_hop;
+  tail_hop.edge_label = 6;
+  plan.branch_tail = {tail_hop};
+  plan.result_mode = lang::ResultMode::kGroup;
+  plan.group_key = 7;
+  plan.push_start_filters = true;
+  plan.fetch_hint = 1;
+  return plan;
+}
+
+void StripExt(lang::TraversalPlan* plan) {
+  for (auto& h : plan->hops) {
+    h.repeat = 1;
+    h.until_filters.clear();
+  }
+  plan->result_mode = lang::ResultMode::kVertices;
+  plan->group_key = 0;
+  plan->push_start_filters = false;
+  plan->fetch_hint = 0;
+  plan->branch_alts.clear();
+  plan->branch_tail.clear();
 }
 
 std::vector<Surface> AllSurfaces() {
@@ -104,6 +157,40 @@ std::vector<Surface> AllSurfaces() {
         }});
   }
 
+  // Extended plan (versioned ext tail): repeat + until + aggregate result
+  // mode. The strict prefix stops at the legacy boundary — decoding exactly
+  // the legacy bytes is the documented tail-tolerant case (covered by the
+  // dedicated ext-tail tests below), any shorter prefix must fail.
+  {
+    lang::TraversalPlan plan = ExtSamplePlan();
+    lang::TraversalPlan legacy = plan;
+    StripExt(&legacy);
+    surfaces.push_back(Surface{
+        "plan_ext", plan.Encode(), legacy.Encode().size(),
+        [](std::string_view in, std::string* reencoded) {
+          auto decoded = lang::TraversalPlan::Decode(in);
+          if (!decoded.ok()) return false;
+          *reencoded = decoded->Encode();
+          return true;
+        }});
+  }
+
+  // Branch plan: alternatives + tail + group mode + planner flags, so the
+  // bit-flip sweep walks every branch row and the flags byte.
+  {
+    lang::TraversalPlan plan = BranchSamplePlan();
+    lang::TraversalPlan legacy = plan;
+    StripExt(&legacy);
+    surfaces.push_back(Surface{
+        "plan_branch", plan.Encode(), legacy.Encode().size(),
+        [](std::string_view in, std::string* reencoded) {
+          auto decoded = lang::TraversalPlan::Decode(in);
+          if (!decoded.ok()) return false;
+          *reencoded = decoded->Encode();
+          return true;
+        }});
+  }
+
   // Engine payloads. Tail-tolerant ones (Submit / Complete / Abort read a
   // legacy-optional tail) get a strict prefix that stops before the tail.
   {
@@ -139,6 +226,19 @@ std::vector<Surface> AllSurfaces() {
     surfaces.push_back(PayloadSurface("answer", answer, answer.Encode().size()));
   }
   {
+    // Result-mode tail: group values (parallel to result_vids) + path
+    // chains. Strict up to the legacy boundary; the tail itself is
+    // all-or-nothing (see ResultTailTruncationIsRejected).
+    engine::AnswerPayload answer;
+    answer.travel_id = 7;
+    answer.exec_id = 3;
+    answer.result_vids = {10, 11};
+    engine::AnswerPayload legacy = answer;
+    answer.result_values = {"va", "vb"};
+    answer.result_paths = {{1, 2, 10}, {4, 11}};
+    surfaces.push_back(PayloadSurface("answer_ext", answer, legacy.Encode().size()));
+  }
+  {
     engine::ExecEventPayload event;
     event.travel_id = 7;
     event.step = 2;
@@ -156,6 +256,15 @@ std::vector<Surface> AllSurfaces() {
     chunk.travel_id = 7;
     chunk.vids = {1, 2, 3};
     surfaces.push_back(PayloadSurface("result_chunk", chunk, chunk.Encode().size()));
+  }
+  {
+    engine::ResultChunkPayload chunk;
+    chunk.travel_id = 7;
+    engine::ResultChunkPayload legacy = chunk;
+    chunk.groups = {{"bucket-a", 2}, {"", 5}};
+    chunk.paths = {{1, 2}, {3}};
+    surfaces.push_back(
+        PayloadSurface("result_chunk_ext", chunk, legacy.Encode().size()));
   }
   {
     engine::CompletePayload complete;
@@ -196,6 +305,17 @@ std::vector<Surface> AllSurfaces() {
     step.batches_sent = {2, 0};
     step.result_vids = {4};
     surfaces.push_back(PayloadSurface("sync_step", step, step.Encode().size()));
+  }
+  {
+    engine::SyncStepPayload step;
+    step.travel_id = 7;
+    step.step = 2;
+    step.result_vids = {4};
+    engine::SyncStepPayload legacy = step;
+    step.result_values = {"gv"};
+    step.result_paths = {{1, 4}};
+    surfaces.push_back(
+        PayloadSurface("sync_step_ext", step, legacy.Encode().size()));
   }
   {
     engine::SyncBatchPayload batch;
@@ -397,6 +517,123 @@ TEST(DecodeErrorsTest, HostileCountPrefixesFailWithoutAllocating) {
     graph::PropMap props;
     CheckedReader dec(in);
     EXPECT_FALSE(graph::PropMap::DecodeFrom(&dec, &props));
+  }
+}
+
+// The new result-mode / plan-extension tails are all-or-nothing: absent
+// means legacy defaults, but once the first tail byte is present the whole
+// tail must parse. The generic truncation sweep only checks acceptance
+// re-decodes; these pin the rejection side explicitly for every new field.
+TEST(DecodeErrorsTest, ExtTailTruncationIsRejected) {
+  const std::set<std::string> ext_surfaces = {
+      "plan_ext", "plan_branch", "answer_ext", "result_chunk_ext", "sync_step_ext"};
+  size_t seen = 0;
+  for (const Surface& s : AllSurfaces()) {
+    if (ext_surfaces.count(s.name) == 0) continue;
+    seen++;
+    SCOPED_TRACE(s.name);
+    std::string reencoded;
+    // Exactly the legacy prefix: tail-tolerant accept.
+    EXPECT_TRUE(s.decode(std::string_view(s.valid).substr(0, s.strict_prefix),
+                         &reencoded));
+    // Any nonempty partial tail: hard error.
+    for (size_t k = s.strict_prefix + 1; k < s.valid.size(); k++) {
+      SCOPED_TRACE("tail truncated to " + std::to_string(k) + "/" +
+                   std::to_string(s.valid.size()) + " bytes");
+      EXPECT_FALSE(s.decode(std::string_view(s.valid).substr(0, k), &reencoded));
+    }
+  }
+  EXPECT_EQ(seen, ext_surfaces.size());
+}
+
+TEST(DecodeErrorsTest, ExtPlanAbsentTailDecodesAsLegacy) {
+  const lang::TraversalPlan plan = ExtSamplePlan();
+  lang::TraversalPlan legacy = plan;
+  StripExt(&legacy);
+  const std::string valid = plan.Encode();
+  const std::string legacy_bytes = legacy.Encode();
+  // The ext encoding is the legacy encoding plus a pure suffix.
+  ASSERT_LT(legacy_bytes.size(), valid.size());
+  ASSERT_EQ(valid.compare(0, legacy_bytes.size(), legacy_bytes), 0);
+
+  auto decoded = lang::TraversalPlan::Decode(legacy_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->has_ext());
+  EXPECT_EQ(decoded->result_mode, lang::ResultMode::kVertices);
+  EXPECT_EQ(decoded->hops[0].repeat, 1u);
+  EXPECT_TRUE(decoded->hops[1].until_filters.empty());
+}
+
+TEST(DecodeErrorsTest, ExtPlanTailSemanticRows) {
+  const lang::TraversalPlan plan = ExtSamplePlan();
+  lang::TraversalPlan legacy = plan;
+  StripExt(&legacy);
+  const std::string valid = plan.Encode();
+  const std::string legacy_bytes = legacy.Encode();
+  const size_t ext_at = legacy_bytes.size();
+
+  {  // Unknown ext version byte.
+    std::string bad = valid;
+    bad[ext_at] = 2;
+    EXPECT_FALSE(lang::TraversalPlan::Decode(bad).ok());
+  }
+  {  // Unknown flag bit (flags byte = version + mode + 1-byte group key varint).
+    std::string bad = valid;
+    bad[ext_at + 3] = static_cast<char>(0x80);
+    EXPECT_FALSE(lang::TraversalPlan::Decode(bad).ok());
+  }
+  {  // Bad result mode.
+    std::string bad = valid;
+    bad[ext_at + 1] = 9;
+    EXPECT_FALSE(lang::TraversalPlan::Decode(bad).ok());
+  }
+
+  // Hand-built tails over the legacy prefix.
+  auto tail = [&](uint32_t hop_count, uint32_t repeat, uint8_t mode) {
+    std::string out = legacy_bytes;
+    out.push_back(1);  // kPlanExtVersion
+    out.push_back(static_cast<char>(mode));
+    PutVarint32(&out, 0);  // group key
+    out.push_back(0);      // flags
+    PutVarint32(&out, hop_count);
+    for (uint32_t i = 0; i < hop_count; i++) {
+      PutVarint32(&out, repeat);
+      PutVarint32(&out, 0);  // empty until-filter list
+    }
+    PutVarint32(&out, 0);  // no branch
+    return out;
+  };
+  const uint32_t hops = static_cast<uint32_t>(legacy.hops.size());
+  // An all-default tail is non-canonical (Encode would have omitted it).
+  EXPECT_FALSE(lang::TraversalPlan::Decode(tail(hops, 1, 0)).ok());
+  // Per-hop count must re-state the legacy hop count exactly.
+  EXPECT_FALSE(lang::TraversalPlan::Decode(tail(hops + 1, 2, 1)).ok());
+  // Repeat bounds: 0 and kMaxRepeat+1 are rejected at decode time.
+  EXPECT_FALSE(lang::TraversalPlan::Decode(tail(hops, 0, 1)).ok());
+  EXPECT_FALSE(lang::TraversalPlan::Decode(tail(hops, lang::kMaxRepeat + 1, 1)).ok());
+  // The same tail with a valid repeat is accepted (the rows above fail for
+  // the right reason, not because the scaffold is malformed).
+  EXPECT_TRUE(lang::TraversalPlan::Decode(tail(hops, 2, 1)).ok());
+}
+
+TEST(DecodeErrorsTest, ResultTailParallelArrayMismatchIsRejected) {
+  {  // Answer: group values must ride one-per-result-vid.
+    engine::AnswerPayload answer;
+    answer.travel_id = 7;
+    answer.result_vids = {10, 11};
+    answer.result_values = {"only-one"};
+    EXPECT_FALSE(engine::AnswerPayload::Decode(answer.Encode()).ok());
+    answer.result_values = {"a", "b"};
+    EXPECT_TRUE(engine::AnswerPayload::Decode(answer.Encode()).ok());
+  }
+  {  // Sync step: same invariant on the barrier path.
+    engine::SyncStepPayload step;
+    step.travel_id = 7;
+    step.result_vids = {4};
+    step.result_values = {"a", "b"};
+    EXPECT_FALSE(engine::SyncStepPayload::Decode(step.Encode()).ok());
+    step.result_values = {"a"};
+    EXPECT_TRUE(engine::SyncStepPayload::Decode(step.Encode()).ok());
   }
 }
 

@@ -12,6 +12,7 @@
 // status-tracing restart path converges to the same answer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,141 @@ lang::TraversalPlan BuildRandomPlan(Catalog* catalog, Rng* rng, uint32_t n) {
   return *plan;
 }
 
+// Extended random plan: every language extension, one flavor per plan so
+// each seed sweep covers all of them. Flavor 0 is the legacy generator
+// above (rtn/attribution); 1 = repeat/until loops (optionally aggregated);
+// 2 = count()/group() terminals; 3 = branch() unions (optionally with
+// repeat inside alternatives and an aggregate terminal); 4 = path() chains
+// (hop count capped by the kMaxPathSteps validation rule).
+lang::TraversalPlan BuildRandomExtPlan(Catalog* catalog, Rng* rng, uint32_t n) {
+  const uint32_t flavor = rng->Uniform(5);
+  if (flavor == 0) return BuildRandomPlan(catalog, rng, n);
+
+  GTravel travel(catalog);
+  if (rng->Bernoulli(0.7)) {
+    std::vector<VertexId> ids;
+    const uint32_t k = 1 + static_cast<uint32_t>(rng->Uniform(3));
+    for (uint32_t i = 0; i < k; i++) ids.push_back(rng->Uniform(n));
+    travel.v(ids);
+  } else {
+    travel.v().va("type", FilterOp::kEq, {PropValue(rng->Bernoulli(0.5) ? "A" : "B")});
+  }
+
+  auto random_hop = [&](GTravel& t, bool allow_repeat) {
+    t.e(rng->Bernoulli(0.5) ? "x" : "y");
+    if (allow_repeat && rng->Bernoulli(0.35)) {
+      t.repeat(2 + static_cast<uint32_t>(rng->Uniform(2)));
+    }
+    if (rng->Bernoulli(0.25)) {
+      const int64_t lo = static_cast<int64_t>(rng->Uniform(40));
+      t.ea("p", FilterOp::kRange, {PropValue(lo), PropValue(lo + 55)});
+    }
+    if (rng->Bernoulli(0.2)) {
+      t.va("w", FilterOp::kRange, {PropValue(int64_t{0}), PropValue(int64_t{85})});
+    }
+  };
+
+  switch (flavor) {
+    case 1: {  // repeat/until
+      const uint32_t hops = 1 + static_cast<uint32_t>(rng->Uniform(3));
+      for (uint32_t h = 0; h < hops; h++) random_hop(travel, /*allow_repeat=*/true);
+      if (rng->Bernoulli(0.6)) {
+        const int64_t lo = static_cast<int64_t>(rng->Uniform(60));
+        travel.until("w", FilterOp::kRange, {PropValue(lo), PropValue(lo + 30)});
+      }
+      if (rng->Bernoulli(0.3)) {
+        rng->Bernoulli(0.5) ? travel.count()
+                            : travel.group(rng->Bernoulli(0.5) ? "w" : "type");
+      }
+      break;
+    }
+    case 2: {  // aggregate terminals
+      const uint32_t hops = 2 + static_cast<uint32_t>(rng->Uniform(3));
+      for (uint32_t h = 0; h < hops; h++) random_hop(travel, /*allow_repeat=*/false);
+      if (rng->Bernoulli(0.5)) {
+        if (rng->Bernoulli(0.3)) travel.rtn();  // count() composes with rtn()
+        travel.count();
+      } else {
+        travel.group(rng->Bernoulli(0.5) ? "w" : "type");
+      }
+      break;
+    }
+    case 3: {  // branch unions
+      if (rng->Bernoulli(0.5)) random_hop(travel, /*allow_repeat=*/false);
+      std::vector<GTravel> alts;
+      const uint32_t num_alts = 2 + static_cast<uint32_t>(rng->Uniform(2));
+      for (uint32_t a = 0; a < num_alts; a++) {
+        GTravel alt = GTravel::Alt(catalog);
+        const uint32_t alt_hops = 1 + static_cast<uint32_t>(rng->Uniform(2));
+        for (uint32_t h = 0; h < alt_hops; h++) random_hop(alt, /*allow_repeat=*/true);
+        alts.push_back(std::move(alt));
+      }
+      travel.branch(std::move(alts));
+      if (rng->Bernoulli(0.4)) random_hop(travel, /*allow_repeat=*/false);
+      if (rng->Bernoulli(0.3)) {
+        rng->Bernoulli(0.5) ? travel.count()
+                            : travel.group(rng->Bernoulli(0.5) ? "w" : "type");
+      }
+      break;
+    }
+    default: {  // path chains
+      const uint32_t hops = 2 + static_cast<uint32_t>(rng->Uniform(2));
+      for (uint32_t h = 0; h < hops; h++) random_hop(travel, /*allow_repeat=*/false);
+      travel.path();
+      break;
+    }
+  }
+
+  auto plan = travel.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+// Mode-aware comparison of one engine result against the extended
+// reference evaluation.
+void ExpectMatchesRefEval(const lang::TraversalPlan& plan, const TraversalResult& result,
+                          const lang::RefEvalResult& oracle) {
+  switch (plan.result_mode) {
+    case lang::ResultMode::kVertices:
+      EXPECT_EQ(result.vids, oracle.vids);
+      break;
+    case lang::ResultMode::kCount:
+      EXPECT_EQ(result.count, oracle.count);
+      EXPECT_TRUE(result.vids.empty());
+      break;
+    case lang::ResultMode::kGroup:
+      EXPECT_EQ(result.groups, oracle.groups);
+      break;
+    case lang::ResultMode::kPaths: {
+      EXPECT_EQ(result.paths, oracle.paths);
+      if (result.paths != oracle.paths) {
+        std::vector<std::vector<graph::VertexId>> extra, missing;
+        std::set_difference(result.paths.begin(), result.paths.end(),
+                            oracle.paths.begin(), oracle.paths.end(),
+                            std::back_inserter(extra));
+        std::set_difference(oracle.paths.begin(), oracle.paths.end(),
+                            result.paths.begin(), result.paths.end(),
+                            std::back_inserter(missing));
+        auto render = [](const std::vector<std::vector<graph::VertexId>>& ps) {
+          std::string s;
+          for (size_t i = 0; i < ps.size() && i < 8; i++) {
+            s += " [";
+            for (size_t j = 0; j < ps[i].size(); j++) {
+              if (j) s += ",";
+              s += std::to_string(ps[i][j]);
+            }
+            s += "]";
+          }
+          return s;
+        };
+        ADD_FAILURE() << "paths diff: " << extra.size() << " extra:" << render(extra)
+                      << " | " << missing.size() << " missing:" << render(missing);
+      }
+      break;
+    }
+  }
+}
+
 constexpr EngineMode kAllModes[] = {EngineMode::kSync, EngineMode::kAsyncPlain,
                                     EngineMode::kGraphTrek};
 
@@ -144,12 +280,14 @@ TEST(EngineDifferentialTest, AllEnginesMatchOracleOnRandomWorkloads) {
     RefGraph g = BuildRandomGraph(catalog, &rng, n);
     ASSERT_TRUE((*cluster)->Load(g).ok());
 
-    // Several plans per graph amortize the cluster setup cost.
-    for (int q = 0; q < 3; q++) {
+    // Several plans per graph amortize the cluster setup cost. The extended
+    // generator rotates through every language flavor (legacy rtn, repeat/
+    // until, count/group, branch, path).
+    for (int q = 0; q < 5; q++) {
       SCOPED_TRACE("query=" + std::to_string(q));
-      const lang::TraversalPlan plan = BuildRandomPlan(catalog, &rng, n);
-      const std::vector<VertexId> oracle =
-          lang::EvaluatePlanOnRefGraph(plan, g, *catalog);
+      const lang::TraversalPlan plan = BuildRandomExtPlan(catalog, &rng, n);
+      const lang::RefEvalResult oracle =
+          lang::EvaluatePlanExtOnRefGraph(plan, g, *catalog);
       for (EngineMode mode : kAllModes) {
         SCOPED_TRACE(EngineModeName(mode));
         const ServerId coordinator =
@@ -162,10 +300,69 @@ TEST(EngineDifferentialTest, AllEnginesMatchOracleOnRandomWorkloads) {
           SCOPED_TRACE(pass == 0 ? "cache=cold" : "cache=warm");
           auto result = (*cluster)->Run(plan, mode, coordinator);
           ASSERT_TRUE(result.ok()) << result.status().ToString();
-          // TraversalResult::vids is sorted + deduplicated, as is the
-          // oracle, so vector equality is multiset equality.
-          EXPECT_EQ(result->vids, oracle);
+          // TraversalResult::vids/paths are sorted + deduplicated, as is
+          // the oracle, so vector equality is multiset equality.
+          ExpectMatchesRefEval(plan, *result, oracle);
         }
+      }
+    }
+  }
+}
+
+// Planner equality leg: the statistics-driven rewrites must be result-
+// identical. Two clusters over the same graph — one with the coordinator
+// planner on, one off — run the same randomized extended plans on all
+// three engines; both must agree with the reference evaluator (and hence
+// each other) for every result mode.
+TEST(EngineDifferentialTest, PlannerOnMatchesPlannerOff) {
+#if defined(GT_UNDER_TSAN)
+  const uint64_t seeds = 3;
+#else
+  const uint64_t seeds = 8;
+#endif
+  for (uint64_t seed = 1; seed <= seeds; seed++) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 15485863);
+    ClusterConfig cfg_off;
+    cfg_off.num_servers = 3;
+    ClusterConfig cfg_on = cfg_off;
+    cfg_on.planner = true;
+    auto off = Cluster::Create(cfg_off);
+    ASSERT_TRUE(off.ok());
+    auto on = Cluster::Create(cfg_on);
+    ASSERT_TRUE(on.ok());
+    // One interning authority: clusters share no catalog state otherwise.
+    Catalog* catalog = (*off)->catalog();
+
+    const uint32_t n = 50 + static_cast<uint32_t>(rng.Uniform(50));
+    RefGraph g = BuildRandomGraph(catalog, &rng, n);
+    ASSERT_TRUE((*off)->Load(g).ok());
+    // Replay the same interned names into the planner cluster's catalog so
+    // label/property ids line up across both deployments.
+    for (graph::Catalog::Id id = 0; id < catalog->size(); id++) {
+      auto name = catalog->Name(id);
+      ASSERT_TRUE(name.ok());
+      ASSERT_EQ((*on)->catalog()->Intern(*name), id);
+    }
+    ASSERT_TRUE((*on)->Load(g).ok());
+
+    for (int q = 0; q < 4; q++) {
+      SCOPED_TRACE("query=" + std::to_string(q));
+      const lang::TraversalPlan plan = BuildRandomExtPlan(catalog, &rng, n);
+      const lang::RefEvalResult oracle =
+          lang::EvaluatePlanExtOnRefGraph(plan, g, *catalog);
+      for (EngineMode mode : kAllModes) {
+        SCOPED_TRACE(EngineModeName(mode));
+        auto r_off = (*off)->Run(plan, mode);
+        ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+        auto r_on = (*on)->Run(plan, mode);
+        ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+        ExpectMatchesRefEval(plan, *r_off, oracle);
+        ExpectMatchesRefEval(plan, *r_on, oracle);
+        EXPECT_EQ(r_on->vids, r_off->vids);
+        EXPECT_EQ(r_on->count, r_off->count);
+        EXPECT_EQ(r_on->groups, r_off->groups);
+        EXPECT_EQ(r_on->paths, r_off->paths);
       }
     }
   }
@@ -210,9 +407,8 @@ TEST(EngineDifferentialTest, AsyncEnginesMatchOracleUnderDuplicationAndDrops) {
     lossy.drop_probability = 0.2;
     (*cluster)->fault_transport()->SetLinkFault(1, 2, lossy);
 
-    const lang::TraversalPlan plan = BuildRandomPlan(catalog, &rng, n);
-    const std::vector<VertexId> oracle =
-        lang::EvaluatePlanOnRefGraph(plan, g, *catalog);
+    const lang::TraversalPlan plan = BuildRandomExtPlan(catalog, &rng, n);
+    const lang::RefEvalResult oracle = lang::EvaluatePlanExtOnRefGraph(plan, g, *catalog);
     auto client = (*cluster)->NewClient();
     for (EngineMode mode : {EngineMode::kAsyncPlain, EngineMode::kGraphTrek}) {
       SCOPED_TRACE(EngineModeName(mode));
@@ -222,7 +418,7 @@ TEST(EngineDifferentialTest, AsyncEnginesMatchOracleUnderDuplicationAndDrops) {
       opts.max_restarts = 8;  // drops can kill several attempts in a row
       auto result = client->Run(plan, opts);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
-      EXPECT_EQ(result->vids, oracle);
+      ExpectMatchesRefEval(plan, *result, oracle);
     }
     EXPECT_GT(
         (*cluster)->fault_transport()->stats().messages_duplicated.load(), 0u);

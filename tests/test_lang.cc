@@ -423,5 +423,332 @@ TEST_F(EvaluatorTest, ZeroHopPlanReturnsFilteredStartSet) {
   EXPECT_EQ(EvaluatePlanOnRefGraph(*plan, g_, cat_), (std::vector<VertexId>{1, 10}));
 }
 
+// --- Language extensions: builder + validation -----------------------------------
+
+TEST_F(GTravelTest, RepeatExpandsIntoHopCopies) {
+  auto plan = GTravel(&cat_).v({1}).e("next").repeat(3).Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->hops.size(), 1u);  // compact wire form keeps one hop
+  EXPECT_EQ(plan->hops[0].repeat, 3u);
+  EXPECT_EQ(plan->num_steps(), 1u);
+  EXPECT_EQ(plan->expanded_num_steps(), 3u);
+
+  auto unrolled = plan->Unrolled();
+  ASSERT_TRUE(unrolled.ok());
+  ASSERT_EQ(unrolled->hops.size(), 3u);
+  for (const auto& h : unrolled->hops) {
+    EXPECT_EQ(h.edge_label, cat_.Lookup("next"));
+    EXPECT_EQ(h.repeat, 1u);
+  }
+}
+
+TEST_F(GTravelTest, UnrolledPutsRtnOnLastCopyAndUntilOnEveryCopy) {
+  auto with_rtn = GTravel(&cat_).v({1}).e("next").repeat(3).rtn().Build();
+  ASSERT_TRUE(with_rtn.ok());
+  auto u = with_rtn->Unrolled();
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->hops.size(), 3u);
+  EXPECT_FALSE(u->hops[0].rtn);
+  EXPECT_FALSE(u->hops[1].rtn);
+  EXPECT_TRUE(u->hops[2].rtn);
+
+  auto with_until = GTravel(&cat_)
+                        .v({1})
+                        .e("next")
+                        .repeat(3)
+                        .until("w", FilterOp::kEq, {PropValue(int64_t{5})})
+                        .Build();
+  ASSERT_TRUE(with_until.ok());
+  u = with_until->Unrolled();
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->hops.size(), 3u);
+  // until() checks fire at every iteration boundary of the loop.
+  for (const auto& h : u->hops) EXPECT_EQ(h.until_filters.size(), 1u);
+  EXPECT_TRUE(u->has_until());
+}
+
+TEST_F(GTravelTest, RepeatValidation) {
+  EXPECT_FALSE(GTravel(&cat_).v({1}).repeat(2).Build().ok());  // repeat before e()
+  EXPECT_FALSE(GTravel(&cat_).v({1}).e("x").repeat(0).Build().ok());
+  EXPECT_FALSE(GTravel(&cat_).v({1}).e("x").repeat(65).Build().ok());
+  EXPECT_TRUE(GTravel(&cat_).v({1}).e("x").repeat(64).Build().ok());
+}
+
+TEST_F(GTravelTest, UntilMustTerminateTheChain) {
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .e("x")
+                   .until("w", FilterOp::kEq, {PropValue(int64_t{1})})
+                   .e("y")
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .e("x")
+                   .rtn()
+                   .until("w", FilterOp::kEq, {PropValue(int64_t{1})})
+                   .Build()
+                   .ok());  // until + rtn
+  EXPECT_TRUE(GTravel(&cat_)
+                  .v({1})
+                  .e("x")
+                  .until("w", FilterOp::kEq, {PropValue(int64_t{1})})
+                  .Build()
+                  .ok());
+}
+
+TEST_F(GTravelTest, TerminalsSetResultModeAndEndTheChain) {
+  auto counted = GTravel(&cat_).v({1}).e("x").count().Build();
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->result_mode, ResultMode::kCount);
+
+  auto grouped = GTravel(&cat_).v({1}).e("x").group("w").Build();
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->result_mode, ResultMode::kGroup);
+  EXPECT_EQ(grouped->group_key, cat_.Lookup("w"));
+
+  auto pathed = GTravel(&cat_).v({1}).e("x").path().Build();
+  ASSERT_TRUE(pathed.ok());
+  EXPECT_EQ(pathed->result_mode, ResultMode::kPaths);
+
+  // Steps after a terminal are chain errors.
+  EXPECT_FALSE(GTravel(&cat_).v({1}).e("x").count().e("y").Build().ok());
+  // group()/path() cannot compose with rtn().
+  EXPECT_FALSE(GTravel(&cat_).v({1}).e("x").rtn().group("w").Build().ok());
+  EXPECT_FALSE(GTravel(&cat_).v({1}).e("x").rtn().path().Build().ok());
+}
+
+TEST_F(GTravelTest, PathPlansAreCappedAtEightExpandedSteps) {
+  GTravel ok_travel(&cat_);
+  ok_travel.v({1});
+  for (int h = 0; h < 8; h++) ok_travel.e("x");
+  EXPECT_TRUE(ok_travel.path().Build().ok());
+
+  GTravel too_deep(&cat_);
+  too_deep.v({1});
+  for (int h = 0; h < 9; h++) too_deep.e("x");
+  EXPECT_FALSE(too_deep.path().Build().ok());
+
+  // repeat() counts expanded: 3 hops x repeat(3) = 9 > 8.
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .e("x")
+                   .repeat(3)
+                   .e("x")
+                   .repeat(3)
+                   .e("x")
+                   .repeat(3)
+                   .path()
+                   .Build()
+                   .ok());
+}
+
+TEST_F(GTravelTest, BranchBuildsAlternativesAndTail) {
+  auto plan = GTravel(&cat_)
+                  .v({1})
+                  .e("run")
+                  .branch({GTravel::Alt(&cat_).e("spawn"),
+                           GTravel::Alt(&cat_).e("read").repeat(2)})
+                  .e("write")
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->has_branch());
+  ASSERT_EQ(plan->hops.size(), 1u);
+  ASSERT_EQ(plan->branch_alts.size(), 2u);
+  EXPECT_EQ(plan->branch_alts[0][0].edge_label, cat_.Lookup("spawn"));
+  EXPECT_EQ(plan->branch_alts[1][0].repeat, 2u);
+  ASSERT_EQ(plan->branch_tail.size(), 1u);
+  EXPECT_EQ(plan->branch_tail[0].edge_label, cat_.Lookup("write"));
+
+  // Unrolled() refuses branches (engines flatten first).
+  EXPECT_FALSE(plan->Unrolled().ok());
+
+  auto subs = plan->FlattenBranches();
+  ASSERT_EQ(subs.size(), 2u);
+  for (const auto& sub : subs) {
+    EXPECT_FALSE(sub.has_branch());
+    EXPECT_TRUE(sub.Validate().ok());
+    EXPECT_EQ(sub.hops.front().edge_label, cat_.Lookup("run"));
+    EXPECT_EQ(sub.hops.back().edge_label, cat_.Lookup("write"));
+  }
+  EXPECT_EQ(subs[0].hops.size(), 3u);  // run + spawn + write
+  EXPECT_EQ(subs[1].hops.size(), 3u);  // run + read(repeat 2, compact) + write
+  EXPECT_EQ(subs[1].hops[1].repeat, 2u);
+}
+
+TEST_F(GTravelTest, BranchValidation) {
+  // Fewer than two alternatives defeats the point of a fork.
+  EXPECT_FALSE(GTravel(&cat_).v({1}).branch({GTravel::Alt(&cat_).e("x")}).Build().ok());
+  // rtn()/until() are not allowed inside an alternative.
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .branch({GTravel::Alt(&cat_).e("x").rtn(), GTravel::Alt(&cat_).e("y")})
+                   .Build()
+                   .ok());
+  // At most one branch per traversal.
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .branch({GTravel::Alt(&cat_).e("x"), GTravel::Alt(&cat_).e("y")})
+                   .branch({GTravel::Alt(&cat_).e("x"), GTravel::Alt(&cat_).e("y")})
+                   .Build()
+                   .ok());
+  // until() may not follow a branch merge.
+  EXPECT_FALSE(GTravel(&cat_)
+                   .v({1})
+                   .branch({GTravel::Alt(&cat_).e("x"), GTravel::Alt(&cat_).e("y")})
+                   .e("x")
+                   .until("w", FilterOp::kEq, {PropValue(int64_t{1})})
+                   .Build()
+                   .ok());
+  // FlattenBranches of a branch-free plan is the identity.
+  auto flat = GTravel(&cat_).v({1}).e("x").Build();
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->FlattenBranches().size(), 1u);
+}
+
+TEST_F(GTravelTest, ExtendedPlanSerializationRoundTrip) {
+  auto plan = GTravel(&cat_)
+                  .v()
+                  .va("type", FilterOp::kEq, {PropValue("User")})
+                  .va("w", FilterOp::kRange, {PropValue(int64_t{1}), PropValue(int64_t{9})})
+                  .e("run")
+                  .repeat(4)
+                  .branch({GTravel::Alt(&cat_).e("spawn").repeat(2),
+                           GTravel::Alt(&cat_).e("read")})
+                  .e("write")
+                  .group("w")
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Planner outputs ride the same versioned tail.
+  TraversalPlan tuned = *plan;
+  tuned.push_start_filters = true;
+  tuned.fetch_hint = 1;
+  ASSERT_TRUE(tuned.Validate().ok());
+  EXPECT_TRUE(tuned.has_ext());
+
+  auto decoded = TraversalPlan::Decode(tuned.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == tuned);
+  EXPECT_EQ(decoded->Encode(), tuned.Encode());
+
+  auto until_plan = GTravel(&cat_)
+                        .v({1})
+                        .e("next")
+                        .repeat(8)
+                        .until("w", FilterOp::kEq, {PropValue(int64_t{5})})
+                        .count()
+                        .Build();
+  ASSERT_TRUE(until_plan.ok());
+  decoded = TraversalPlan::Decode(until_plan->Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == *until_plan);
+}
+
+// --- Language extensions: reference evaluator ------------------------------------
+
+TEST_F(EvaluatorTest, RepeatMatchesManualUnroll) {
+  const auto t = cat_.Intern("Node");
+  const auto next = cat_.Intern("next");
+  AddVertex(1, t);
+  AddVertex(2, t);
+  AddEdge(1, next, 2, 0);
+  AddEdge(2, next, 1, 0);
+  auto repeated = GTravel(&cat_).v({1}).e("next").repeat(3).Build();
+  auto manual = GTravel(&cat_).v({1}).e("next").e("next").e("next").Build();
+  ASSERT_TRUE(repeated.ok());
+  ASSERT_TRUE(manual.ok());
+  EXPECT_EQ(EvaluatePlanExtOnRefGraph(*repeated, g_, cat_).vids,
+            EvaluatePlanOnRefGraph(*manual, g_, cat_));
+}
+
+TEST_F(EvaluatorTest, UntilHitsAreTerminalResults) {
+  // Chain 1 -> 2 -> 3 -> 4 with w = id; until(w==2) stops the loop at
+  // vertex 2 — vertices 3 and 4 are never reached.
+  const auto t = cat_.Intern("Node");
+  const auto next = cat_.Intern("next");
+  const auto w = cat_.Intern("w");
+  for (VertexId v = 1; v <= 4; v++) {
+    VertexRecord rec;
+    rec.id = v;
+    rec.label = t;
+    rec.props.Set(w, PropValue(static_cast<int64_t>(v)));
+    g_.AddVertex(rec);
+    if (v > 1) AddEdge(v - 1, next, v, 0);
+  }
+  auto plan = GTravel(&cat_)
+                  .v({1})
+                  .e("next")
+                  .repeat(3)
+                  .until("w", FilterOp::kEq, {PropValue(int64_t{2})})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(EvaluatePlanExtOnRefGraph(*plan, g_, cat_).vids, (std::vector<VertexId>{2}));
+
+  // A never-matching until yields nothing (final-step survivors are not
+  // results in until plans).
+  auto miss = GTravel(&cat_)
+                  .v({1})
+                  .e("next")
+                  .repeat(3)
+                  .until("w", FilterOp::kEq, {PropValue(int64_t{99})})
+                  .Build();
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(EvaluatePlanExtOnRefGraph(*miss, g_, cat_).vids.empty());
+}
+
+TEST_F(EvaluatorTest, CountReturnsCardinality) {
+  BuildGraph();
+  auto plan = GTravel(&cat_).v({1}).e("run").count().Build();
+  ASSERT_TRUE(plan.ok());
+  const RefEvalResult r = EvaluatePlanExtOnRefGraph(*plan, g_, cat_);
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST_F(EvaluatorTest, GroupBucketsByPropertyAndTypePseudoProperty) {
+  BuildGraph();
+  auto by_type = GTravel(&cat_).v({1}).e("run").e("spawn").group("type").Build();
+  ASSERT_TRUE(by_type.ok());
+  const RefEvalResult r = EvaluatePlanExtOnRefGraph(*by_type, g_, cat_);
+  // Both executions land in one bucket keyed the way the engines render it.
+  VertexRecord probe;
+  probe.id = 20;
+  probe.label = exec_t_;
+  const std::string key =
+      GroupValueForVertex(probe, cat_.Lookup("type"), cat_, cat_.Lookup("type"));
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups.at(key), 2u);
+}
+
+TEST_F(EvaluatorTest, PathReturnsVisitedChains) {
+  BuildGraph();
+  auto plan = GTravel(&cat_).v({1}).e("run").e("spawn").path().Build();
+  ASSERT_TRUE(plan.ok());
+  const RefEvalResult r = EvaluatePlanExtOnRefGraph(*plan, g_, cat_);
+  EXPECT_EQ(r.paths, (std::vector<std::vector<VertexId>>{{1, 10, 20}, {1, 11, 21}}));
+}
+
+TEST_F(EvaluatorTest, BranchUnionsAlternatives) {
+  BuildGraph();
+  auto plan = GTravel(&cat_)
+                  .v({1})
+                  .branch({GTravel::Alt(&cat_).e("run"),
+                           GTravel::Alt(&cat_).e("run").e("spawn")})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(EvaluatePlanExtOnRefGraph(*plan, g_, cat_).vids,
+            (std::vector<VertexId>{10, 11, 20, 21}));
+
+  // A tail after the merge runs on the union.
+  auto tailed = GTravel(&cat_)
+                    .v({1})
+                    .branch({GTravel::Alt(&cat_).e("run"),
+                             GTravel::Alt(&cat_).e("run")})
+                    .e("spawn")
+                    .Build();
+  ASSERT_TRUE(tailed.ok());
+  EXPECT_EQ(EvaluatePlanExtOnRefGraph(*tailed, g_, cat_).vids,
+            (std::vector<VertexId>{20, 21}));
+}
+
 }  // namespace
 }  // namespace gt::lang

@@ -42,10 +42,15 @@ Checks (all scoped to src/):
      every Decode* function defined in those dirs must return Status,
      Result<...> or bool — malformed input must surface as a value the
      caller checks, never as an assert or a void best-effort parse.
-  9. (warn-only) clang-format clean-ness of files changed vs HEAD, when
+  9. Reader discipline in the same dirs plus the payload codecs in
+     src/engine/types.h: every Decode* body must read through a
+     CheckedReader (parameter, local construction, or delegation to another
+     Decode*). New plan/payload fields — the versioned ext tails in
+     particular — must never grow a hand-walked byte read.
+  10. (warn-only) clang-format clean-ness of files changed vs HEAD, when
      clang-format is installed.
 
-Exit status: 0 when checks 1-8 pass; 1 otherwise. Check 9 never fails the
+Exit status: 0 when checks 1-9 pass; 1 otherwise. Check 10 never fails the
 run — it only prints warnings.
 """
 
@@ -351,6 +356,81 @@ def check_decode_discipline(files):
     return errors
 
 
+# The RPC payload codecs live in src/engine/types.h, outside the decode
+# dirs, but decode the same untrusted frames — the reader-discipline check
+# below covers them too.
+DECODE_READER_EXTRA_FILES = ("src/engine/types.h",)
+
+# A body "uses a checked reader" when it names CheckedReader (constructs one
+# or threads one through) or delegates to another Decode*/Get* helper that
+# owns the checking.
+DECODE_READER_RE = re.compile(r"\bCheckedReader\b")
+DECODE_DELEGATE_RE = re.compile(r"\b\w*Decode\w*\s*\(")
+
+
+def _function_body(text, open_paren):
+    """Returns (params, body, has_body) for the definition whose parameter
+    list opens at text[open_paren] == '('. Declarations (';' before '{')
+    return has_body=False."""
+    depth = 0
+    i = open_paren
+    n = len(text)
+    while i < n:
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    params = text[open_paren + 1:i]
+    i += 1
+    while i < n and text[i] not in "{;":
+        i += 1
+    if i >= n or text[i] == ";":
+        return params, "", False
+    start = i + 1
+    depth = 1
+    i = start
+    while i < n and depth:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+        i += 1
+    return params, text[start:i - 1], True
+
+
+def check_decode_reader(files):
+    """Every Decode* body in the decode dirs (and the payload codecs in
+    src/engine/types.h) must read bytes through a CheckedReader — either
+    taking one as a parameter, constructing one locally, or delegating to
+    another Decode* that does. A decoder that walks the input by hand is
+    exactly how a new plan/payload field grows an unchecked read."""
+    errors = []
+    for rel in files:
+        if not (rel.startswith(DECODE_DIRS) or rel in DECODE_READER_EXTRA_FILES):
+            continue
+        with open(os.path.join(REPO, rel), encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for m in DECODE_DEF_RE.finditer(text):
+            params, body, has_body = _function_body(text, m.end() - 1)
+            if not has_body:
+                continue  # declaration: the definition is checked where it lives
+            if DECODE_READER_RE.search(params) or DECODE_READER_RE.search(body):
+                continue
+            if DECODE_DELEGATE_RE.search(body):
+                continue  # delegates to another Decode*, which owns the checking
+            lineno = text.count("\n", 0, m.start("name")) + 1
+            errors.append(
+                f"{rel}:{lineno}: decoder '{m.group('name')}' reads its input "
+                f"without a CheckedReader — take one as a parameter, construct "
+                f"one over the buffer, or delegate to a Decode* helper that "
+                f"does; hand-walked bytes are unchecked bytes"
+            )
+    return errors
+
+
 def check_include_cycles(files):
     graph = {}
     for rel in files:
@@ -418,6 +498,7 @@ def main():
     errors += check_engine_raw_kv(files)
     errors += check_travel_map_reclaim(files)
     errors += check_decode_discipline(files)
+    errors += check_decode_reader(files)
     errors += check_include_cycles(files)
     warn_format()
     if errors:

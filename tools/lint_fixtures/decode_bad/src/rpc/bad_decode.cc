@@ -18,4 +18,13 @@ const unsigned* Punned(const char* p) {
 // A decoder that cannot report failure.
 void DecodeHeader(const char* p, unsigned* type) { *type = DecodeFixed32(p); }
 
+// A decoder that walks the wire buffer by hand: no CheckedReader in sight
+// and no delegation to one (check 9).
+bool DecodeTail(const char* p, unsigned n, unsigned* out) {
+  unsigned v = 0;
+  for (unsigned i = 0; i < n; i++) v = (v << 8) | (unsigned char)p[i];
+  *out = v;
+  return true;
+}
+
 }  // namespace gt

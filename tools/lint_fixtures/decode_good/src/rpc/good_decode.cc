@@ -17,6 +17,20 @@ static bool DecodeEntries(CheckedReader* r) { return true; }
 // A call site mentioning a decoder is not a definition.
 Status Caller(CheckedReader* r) { return DecodeHeader(r); }
 
+// Raw-bytes entry point that constructs its own reader (check 9's
+// sanctioned shape for top-level decoders).
+struct StringView {};
+Status DecodeFrame(StringView data) {
+  CheckedReader reader;
+  return DecodeHeader(&reader);
+}
+
+// Delegation without a local reader: the callee owns the checking.
+static bool DecodeOuter(CheckedReader* r) { return DecodeEntries(r); }
+
+// A declaration is checked where it is defined, not here.
+Status DecodeElsewhere(StringView data);
+
 // 'DecodeFixed32' in a comment or string must not trip the token scan:
 // DecodeFixed32(p) — documented here on purpose.
 const char* kDoc = "memcpy(dst, src, n) is banned; reinterpret_cast<T*> too";

@@ -20,12 +20,15 @@ failures = []
 
 
 def run_on(tree):
-    """Runs check_decode_discipline with REPO/SRC pointed at a fixture tree."""
+    """Runs the decode checks (8 and 9) with REPO/SRC pointed at a fixture
+    tree."""
     old_repo, old_src = gt_lint.REPO, gt_lint.SRC
     gt_lint.REPO = os.path.join(FIXTURES, tree)
     gt_lint.SRC = os.path.join(gt_lint.REPO, "src")
     try:
-        return gt_lint.check_decode_discipline(list(gt_lint.src_files()))
+        files = list(gt_lint.src_files())
+        return (gt_lint.check_decode_discipline(files)
+                + gt_lint.check_decode_reader(files))
     finally:
         gt_lint.REPO, gt_lint.SRC = old_repo, old_src
 
@@ -46,14 +49,19 @@ def main():
            "decode_bad flags reinterpret_cast")
     expect(any("returns 'void'" in e for e in bad),
            "decode_bad flags the void-returning decoder")
+    expect(any("without a CheckedReader" in e and "DecodeTail" in e for e in bad),
+           "decode_bad flags the hand-walked decoder (check 9)")
 
     good = run_on("decode_good")
     expect(not good, "decode_good is clean (got: %s)" % "; ".join(good))
 
     # The real tree must satisfy its own discipline: the full linter on the
     # repo is the last fixture.
-    errors = gt_lint.check_decode_discipline(list(gt_lint.src_files()))
+    files = list(gt_lint.src_files())
+    errors = gt_lint.check_decode_discipline(files)
     expect(not errors, "src/ passes check 8 (got: %s)" % "; ".join(errors))
+    errors = gt_lint.check_decode_reader(files)
+    expect(not errors, "src/ passes check 9 (got: %s)" % "; ".join(errors))
 
     if failures:
         print(f"test_gt_lint: {len(failures)} failure(s)", file=sys.stderr)
